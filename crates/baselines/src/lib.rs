@@ -1,0 +1,27 @@
+//! `vw-baselines` — the two execution models the paper positions
+//! vectorized execution against (§I-A):
+//!
+//! * [`row`] — a **tuple-at-a-time Volcano** engine: one `next()` virtual
+//!   call and a full expression-tree interpretation per tuple. This is the
+//!   "straightforward implementation … bound to spend most execution time in
+//!   interpretation overhead" that Vectorwise claims a >10x win over
+//!   (experiment E2), and the stand-in for the pipelined commercial engine
+//!   in the TPC-H comparison (E1).
+//! * [`materialized`] — a **full-materialization column-at-a-time** engine
+//!   in the MonetDB mould: operators consume and produce whole materialized
+//!   intermediates. Implemented by composing the vectorized kernels of
+//!   `vw-core` with a materialization barrier between every operator, which
+//!   reproduces the memory/cache behaviour the paper criticizes (E3) while
+//!   sharing kernel code (so the measured difference is the execution
+//!   *model*, not incidental implementation quality).
+//!
+//! Both engines cross-compile the same `vw_plan::LogicalPlan` and scan the
+//! same `vw_storage::TableStorage`, so the three-way comparisons isolate the
+//! execution model. The baselines read stable storage only (no PDT merge):
+//! comparisons run on bulk-loaded, checkpointed tables.
+
+pub mod materialized;
+pub mod row;
+
+pub use materialized::compile_materialized;
+pub use row::{compile_row, collect_row_engine, RowOperator};

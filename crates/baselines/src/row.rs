@@ -1,0 +1,885 @@
+//! The tuple-at-a-time Volcano baseline engine.
+//!
+//! Deliberately built the way the paper describes classic pipelined engines:
+//! every operator's `next()` produces exactly one tuple (`Vec<Value>`),
+//! expressions are interpreted per tuple via `vw_plan::Expr::eval_row`, and
+//! every scalar travels as a boxed self-describing [`Value`]. No vectors, no
+//! selection lists, no kernels — per-tuple interpretation overhead everywhere,
+//! which is exactly what experiments E1/E2 measure against.
+//!
+//! To keep comparisons about the *execution model* rather than I/O, the scan
+//! uses the same columnar storage, the same group pruning and the same
+//! pushed-down filters as the vectorized engine.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vw_common::hash::FxHashMap;
+use vw_common::{Result, Schema, TableId, Value, VwError};
+use vw_plan::plan::AggPhase;
+use vw_plan::rewrite::parallel::partial_avg_count_columns;
+use vw_plan::{AggExpr, AggFunc, Expr, JoinKind, LogicalPlan, SortKey};
+use vw_storage::block::PruneOp;
+use vw_storage::{NullableColumn, TableStorage};
+
+/// One-tuple-per-call operator interface (classic Volcano).
+pub trait RowOperator {
+    fn schema(&self) -> &Schema;
+    fn next(&mut self) -> Result<Option<Vec<Value>>>;
+}
+
+pub type BoxedRowOperator = Box<dyn RowOperator>;
+
+/// Tables visible to the row engine.
+pub type RowCtx = HashMap<TableId, Arc<RwLock<TableStorage>>>;
+
+/// Drain a row operator.
+pub fn collect_row_engine(op: &mut dyn RowOperator) -> Result<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    while let Some(r) = op.next()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Cross-compile a logical plan for the row engine.
+pub fn compile_row(plan: &LogicalPlan, ctx: &RowCtx) -> Result<BoxedRowOperator> {
+    Ok(match plan {
+        LogicalPlan::Scan {
+            table_id,
+            schema,
+            projection,
+            filter,
+            ..
+        } => {
+            let storage = ctx
+                .get(table_id)
+                .ok_or_else(|| VwError::Plan(format!("no table {}", table_id)))?
+                .clone();
+            let projection = match projection {
+                Some(p) => p.clone(),
+                None => (0..schema.len()).collect(),
+            };
+            Box::new(RowScan::new(storage, projection, filter.clone()))
+        }
+        LogicalPlan::Filter { input, predicate } => Box::new(RowFilter {
+            schema: input.schema()?,
+            input: compile_row(input, ctx)?,
+            predicate: predicate.clone(),
+        }),
+        LogicalPlan::Project { input, exprs } => {
+            let child = compile_row(input, ctx)?;
+            let schema = plan.schema()?;
+            Box::new(RowProject {
+                input: child,
+                exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
+                schema,
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+        } => Box::new(RowHashJoin::new(
+            compile_row(left, ctx)?,
+            compile_row(right, ctx)?,
+            *kind,
+            on.clone(),
+            residual.clone(),
+            plan.schema()?,
+        )),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            phase,
+        } => Box::new(RowAggregate::new(
+            compile_row(input, ctx)?,
+            group_by.clone(),
+            aggs.clone(),
+            *phase,
+            plan.schema()?,
+        )),
+        LogicalPlan::Sort { input, keys } => Box::new(RowSort {
+            schema: input.schema()?,
+            input: Some(compile_row(input, ctx)?),
+            keys: keys.clone(),
+            sorted: Vec::new(),
+            done: false,
+        }),
+        LogicalPlan::Limit {
+            input,
+            offset,
+            fetch,
+        } => Box::new(RowLimit {
+            schema: input.schema()?,
+            input: compile_row(input, ctx)?,
+            to_skip: *offset,
+            remaining: *fetch,
+        }),
+        LogicalPlan::Exchange { .. } => {
+            return Err(VwError::Unsupported(
+                "the tuple-at-a-time baseline has no parallel Exchange".into(),
+            ))
+        }
+    })
+}
+
+// -------------------------------------------------------------------- scan
+
+struct RowScan {
+    storage: Arc<RwLock<TableStorage>>,
+    projection: Vec<usize>,
+    filter: Option<Expr>,
+    out_schema: Schema,
+    groups: Vec<usize>,
+    group_pos: usize,
+    current: Option<(Vec<NullableColumn>, usize, usize)>, // cols, len, offset
+}
+
+impl RowScan {
+    fn new(storage: Arc<RwLock<TableStorage>>, projection: Vec<usize>, filter: Option<Expr>) -> RowScan {
+        let guard = storage.read();
+        let out_schema = guard.schema().project(&projection);
+        // Same zone-map pruning as the vectorized scan.
+        let prune = filter
+            .as_ref()
+            .map(|f| prunable_conjuncts(f))
+            .unwrap_or_default();
+        let groups: Vec<usize> = (0..guard.group_count())
+            .filter(|&g| {
+                prune.iter().all(|(out_col, op, v)| {
+                    let sc = projection[*out_col];
+                    guard.group(g).columns[sc].minmax.may_match(*op, v)
+                })
+            })
+            .collect();
+        drop(guard);
+        RowScan {
+            storage,
+            projection,
+            filter,
+            out_schema,
+            groups,
+            group_pos: 0,
+            current: None,
+        }
+    }
+}
+
+fn prunable_conjuncts(filter: &Expr) -> Vec<(usize, PruneOp, Value)> {
+    use vw_plan::BinOp;
+    let mut conjuncts = Vec::new();
+    vw_plan::rewrite::pushdown::split_conjunction(filter, &mut conjuncts);
+    let mut out = Vec::new();
+    for c in conjuncts {
+        if let Expr::Binary { op, l, r } = &c {
+            let to_prune = |op: BinOp| match op {
+                BinOp::Eq => Some(PruneOp::Eq),
+                BinOp::Lt => Some(PruneOp::Lt),
+                BinOp::Le => Some(PruneOp::Le),
+                BinOp::Gt => Some(PruneOp::Gt),
+                BinOp::Ge => Some(PruneOp::Ge),
+                _ => None,
+            };
+            let flip = |op: BinOp| match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                o => o,
+            };
+            match (&**l, &**r) {
+                (Expr::Col(i), Expr::Lit(v)) => {
+                    if let Some(p) = to_prune(*op) {
+                        out.push((*i, p, v.clone()));
+                    }
+                }
+                (Expr::Lit(v), Expr::Col(i)) => {
+                    if let Some(p) = to_prune(flip(*op)) {
+                        out.push((*i, p, v.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+impl RowOperator for RowScan {
+    fn schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        loop {
+            if self.current.is_none() {
+                if self.group_pos >= self.groups.len() {
+                    return Ok(None);
+                }
+                let g = self.groups[self.group_pos];
+                self.group_pos += 1;
+                let guard = self.storage.read();
+                let n = guard.group(g).n_rows;
+                let cols: Vec<NullableColumn> = self
+                    .projection
+                    .iter()
+                    .map(|&c| guard.read_column(g, c))
+                    .collect::<Result<_>>()?;
+                self.current = Some((cols, n, 0));
+            }
+            let (cols, len, off) = self.current.as_mut().unwrap();
+            if *off >= *len {
+                self.current = None;
+                continue;
+            }
+            let i = *off;
+            *off += 1;
+            // The tuple-at-a-time cost: one boxed Value per column per row.
+            let row: Vec<Value> = cols
+                .iter()
+                .zip(self.out_schema.fields())
+                .map(|(c, f)| c.get_value(i, f.ty))
+                .collect();
+            if let Some(f) = &self.filter {
+                if f.eval_row(&row)? != Value::Bool(true) {
+                    continue;
+                }
+            }
+            return Ok(Some(row));
+        }
+    }
+}
+
+// ----------------------------------------------------------- filter/project
+
+struct RowFilter {
+    input: BoxedRowOperator,
+    predicate: Expr,
+    schema: Schema,
+}
+
+impl RowOperator for RowFilter {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        while let Some(row) = self.input.next()? {
+            if self.predicate.eval_row(&row)? == Value::Bool(true) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct RowProject {
+    input: BoxedRowOperator,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl RowOperator for RowProject {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        match self.input.next()? {
+            Some(row) => {
+                let out: Result<Vec<Value>> =
+                    self.exprs.iter().map(|e| e.eval_row(&row)).collect();
+                Ok(Some(out?))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+// --------------------------------------------------------------------- join
+
+struct RowHashJoin {
+    left: BoxedRowOperator,
+    right: Option<BoxedRowOperator>,
+    kind: JoinKind,
+    on: Vec<(usize, usize)>,
+    residual: Option<Expr>,
+    schema: Schema,
+    right_width: usize,
+    table: Option<FxHashMap<Vec<Value>, Vec<Vec<Value>>>>,
+    /// Pending output rows from the current probe tuple.
+    pending: Vec<Vec<Value>>,
+}
+
+impl RowHashJoin {
+    fn new(
+        left: BoxedRowOperator,
+        right: BoxedRowOperator,
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+        schema: Schema,
+    ) -> RowHashJoin {
+        let right_width = right.schema().len();
+        RowHashJoin {
+            left,
+            right: Some(right),
+            kind,
+            on,
+            residual,
+            schema,
+            right_width,
+            table: None,
+            pending: Vec::new(),
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut right = self.right.take().unwrap();
+        let mut table: FxHashMap<Vec<Value>, Vec<Vec<Value>>> = FxHashMap::default();
+        while let Some(row) = right.next()? {
+            let key: Vec<Value> = self.on.iter().map(|&(_, rc)| row[rc].clone()).collect();
+            if key.iter().any(|v| v.is_null()) {
+                continue; // NULL keys never join
+            }
+            table.entry(key).or_default().push(row);
+        }
+        self.table = Some(table);
+        Ok(())
+    }
+}
+
+impl RowOperator for RowHashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.table.is_none() {
+            self.build()?;
+        }
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Ok(Some(row));
+            }
+            let Some(probe) = self.left.next()? else {
+                return Ok(None);
+            };
+            let key: Vec<Value> = self.on.iter().map(|&(lc, _)| probe[lc].clone()).collect();
+            let matches: Vec<&Vec<Value>> = if key.iter().any(|v| v.is_null()) {
+                vec![]
+            } else {
+                self.table
+                    .as_ref()
+                    .unwrap()
+                    .get(&key)
+                    .map(|v| v.iter().collect())
+                    .unwrap_or_default()
+            };
+            // residual check per candidate pair
+            let mut survivors: Vec<&Vec<Value>> = Vec::new();
+            for m in matches {
+                if let Some(res) = &self.residual {
+                    let mut combined = probe.clone();
+                    combined.extend(m.iter().cloned());
+                    if res.eval_row(&combined)? != Value::Bool(true) {
+                        continue;
+                    }
+                }
+                survivors.push(m);
+            }
+            match self.kind {
+                JoinKind::Inner => {
+                    for m in survivors {
+                        let mut out = probe.clone();
+                        out.extend(m.iter().cloned());
+                        self.pending.push(out);
+                    }
+                }
+                JoinKind::Left => {
+                    if survivors.is_empty() {
+                        let mut out = probe.clone();
+                        out.extend(std::iter::repeat(Value::Null).take(self.right_width));
+                        self.pending.push(out);
+                    } else {
+                        for m in survivors {
+                            let mut out = probe.clone();
+                            out.extend(m.iter().cloned());
+                            self.pending.push(out);
+                        }
+                    }
+                }
+                JoinKind::Semi => {
+                    if !survivors.is_empty() {
+                        self.pending.push(probe);
+                    }
+                }
+                JoinKind::Anti => {
+                    if survivors.is_empty() {
+                        self.pending.push(probe);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- aggregate
+
+#[derive(Clone)]
+enum RState {
+    Count(i64),
+    SumI(i64, bool),
+    SumF(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, i64),
+}
+
+struct RowAggregate {
+    input: Option<BoxedRowOperator>,
+    group_by: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    phase: AggPhase,
+    schema: Schema,
+    hidden_in: Vec<(usize, usize)>,
+    output: Vec<Vec<Value>>,
+    done: bool,
+    in_schema: Schema,
+}
+
+impl RowAggregate {
+    fn new(
+        input: BoxedRowOperator,
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        phase: AggPhase,
+        schema: Schema,
+    ) -> RowAggregate {
+        let hidden_in = if phase == AggPhase::Final {
+            partial_avg_count_columns(group_by.len(), &aggs)
+        } else {
+            Vec::new()
+        };
+        let in_schema = input.schema().clone();
+        RowAggregate {
+            input: Some(input),
+            group_by,
+            aggs,
+            phase,
+            schema,
+            hidden_in,
+            output: Vec::new(),
+            done: false,
+            in_schema,
+        }
+    }
+
+    fn new_state(&self, a: &AggExpr) -> Result<RState> {
+        Ok(match a.func {
+            AggFunc::CountStar | AggFunc::Count => RState::Count(0),
+            AggFunc::Sum => {
+                let ty = a
+                    .arg
+                    .as_ref()
+                    .ok_or_else(|| VwError::Exec("SUM needs arg".into()))?
+                    .data_type(&self.in_schema)?;
+                if ty == vw_common::DataType::F64 {
+                    RState::SumF(0.0, false)
+                } else {
+                    RState::SumI(0, false)
+                }
+            }
+            AggFunc::Min => RState::Min(None),
+            AggFunc::Max => RState::Max(None),
+            AggFunc::Avg => RState::Avg(0.0, 0),
+        })
+    }
+
+    fn run(&mut self) -> Result<()> {
+        let mut input = self.input.take().unwrap();
+        let mut groups: HashMap<Vec<Value>, Vec<RState>> = HashMap::new();
+        while let Some(row) = input.next()? {
+            let key: Vec<Value> = self.group_by.iter().map(|&g| row[g].clone()).collect();
+            if !groups.contains_key(&key) {
+                let states: Result<Vec<RState>> =
+                    self.aggs.iter().map(|a| self.new_state(a)).collect();
+                groups.insert(key.clone(), states?);
+            }
+            let states = groups.get_mut(&key).unwrap();
+            for (k, (a, st)) in self.aggs.iter().zip(states.iter_mut()).enumerate() {
+                let v = a.arg.as_ref().map(|e| e.eval_row(&row)).transpose()?;
+                if self.phase == AggPhase::Final {
+                    let hidden = self
+                        .hidden_in
+                        .iter()
+                        .find(|(ai, _)| *ai == k)
+                        .map(|(_, col)| row[*col].clone());
+                    combine_final(st, v.unwrap_or(Value::Null), hidden)?;
+                } else {
+                    update_state(st, a.func, v)?;
+                }
+            }
+        }
+        if groups.is_empty() && self.group_by.is_empty() {
+            let states: Result<Vec<RState>> =
+                self.aggs.iter().map(|a| self.new_state(a)).collect();
+            groups.insert(vec![], states?);
+        }
+        for (key, states) in groups {
+            let mut row = key;
+            for st in &states {
+                row.push(finish_state(st, self.phase));
+            }
+            if self.phase == AggPhase::Partial {
+                for (k, a) in self.aggs.iter().enumerate() {
+                    if a.func == AggFunc::Avg {
+                        if let RState::Avg(_, c) = &states[k] {
+                            row.push(Value::I64(*c));
+                        }
+                    }
+                }
+            }
+            self.output.push(row);
+        }
+        Ok(())
+    }
+}
+
+fn update_state(st: &mut RState, func: AggFunc, v: Option<Value>) -> Result<()> {
+    match st {
+        RState::Count(n) => match func {
+            AggFunc::CountStar => *n += 1,
+            _ => {
+                if v.as_ref().is_some_and(|x| !x.is_null()) {
+                    *n += 1;
+                }
+            }
+        },
+        RState::SumI(sum, seen) => {
+            if let Some(x) = v {
+                if !x.is_null() {
+                    *sum = sum.wrapping_add(
+                        x.as_i64().ok_or_else(|| VwError::Exec("SUM on non-int".into()))?,
+                    );
+                    *seen = true;
+                }
+            }
+        }
+        RState::SumF(sum, seen) => {
+            if let Some(x) = v {
+                if !x.is_null() {
+                    *sum += x.as_f64().ok_or_else(|| VwError::Exec("SUM on non-num".into()))?;
+                    *seen = true;
+                }
+            }
+        }
+        RState::Min(cur) => {
+            if let Some(x) = v {
+                if !x.is_null() && cur.as_ref().map_or(true, |c| x.total_cmp(c).is_lt()) {
+                    *cur = Some(x);
+                }
+            }
+        }
+        RState::Max(cur) => {
+            if let Some(x) = v {
+                if !x.is_null() && cur.as_ref().map_or(true, |c| x.total_cmp(c).is_gt()) {
+                    *cur = Some(x);
+                }
+            }
+        }
+        RState::Avg(sum, count) => {
+            if let Some(x) = v {
+                if !x.is_null() {
+                    *sum += x.as_f64().ok_or_else(|| VwError::Exec("AVG on non-num".into()))?;
+                    *count += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn combine_final(st: &mut RState, v: Value, hidden: Option<Value>) -> Result<()> {
+    if v.is_null() {
+        return Ok(());
+    }
+    match st {
+        RState::Count(n) => *n += v.as_i64().unwrap_or(0),
+        RState::SumI(sum, seen) => {
+            *sum = sum.wrapping_add(v.as_i64().unwrap_or(0));
+            *seen = true;
+        }
+        RState::SumF(sum, seen) => {
+            *sum += v.as_f64().unwrap_or(0.0);
+            *seen = true;
+        }
+        RState::Min(cur) => {
+            if cur.as_ref().map_or(true, |c| v.total_cmp(c).is_lt()) {
+                *cur = Some(v);
+            }
+        }
+        RState::Max(cur) => {
+            if cur.as_ref().map_or(true, |c| v.total_cmp(c).is_gt()) {
+                *cur = Some(v);
+            }
+        }
+        RState::Avg(sum, count) => {
+            *sum += v.as_f64().unwrap_or(0.0);
+            *count += hidden
+                .and_then(|h| h.as_i64())
+                .ok_or_else(|| VwError::Exec("AVG final needs count".into()))?;
+        }
+    }
+    Ok(())
+}
+
+fn finish_state(st: &RState, phase: AggPhase) -> Value {
+    match st {
+        RState::Count(n) => Value::I64(*n),
+        RState::SumI(s, seen) => {
+            if *seen {
+                Value::I64(*s)
+            } else {
+                Value::Null
+            }
+        }
+        RState::SumF(s, seen) => {
+            if *seen {
+                Value::F64(*s)
+            } else {
+                Value::Null
+            }
+        }
+        RState::Min(v) | RState::Max(v) => v.clone().unwrap_or(Value::Null),
+        RState::Avg(s, c) => {
+            if *c == 0 {
+                Value::Null
+            } else if phase == AggPhase::Partial {
+                Value::F64(*s)
+            } else {
+                Value::F64(*s / *c as f64)
+            }
+        }
+    }
+}
+
+impl RowOperator for RowAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if !self.done {
+            self.run()?;
+            self.done = true;
+            self.output.reverse();
+        }
+        Ok(self.output.pop())
+    }
+}
+
+// -------------------------------------------------------------- sort/limit
+
+struct RowSort {
+    input: Option<BoxedRowOperator>,
+    keys: Vec<SortKey>,
+    schema: Schema,
+    sorted: Vec<Vec<Value>>,
+    done: bool,
+}
+
+impl RowOperator for RowSort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        if !self.done {
+            let mut input = self.input.take().unwrap();
+            let mut rows = collect_row_engine(input.as_mut())?;
+            let keys = self.keys.clone();
+            rows.sort_by(|a, b| {
+                for k in &keys {
+                    let ord = a[k.col].total_cmp(&b[k.col]);
+                    let ord = if k.asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            rows.reverse();
+            self.sorted = rows;
+            self.done = true;
+        }
+        Ok(self.sorted.pop())
+    }
+}
+
+struct RowLimit {
+    input: BoxedRowOperator,
+    schema: Schema,
+    to_skip: u64,
+    remaining: u64,
+}
+
+impl RowOperator for RowLimit {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Value>>> {
+        while self.to_skip > 0 {
+            if self.input.next()?.is_none() {
+                return Ok(None);
+            }
+            self.to_skip -= 1;
+        }
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::{DataType, Field};
+    use vw_storage::{SimDisk, SimDiskConfig, TableBuilder};
+
+    fn setup(n: usize) -> (RowCtx, TableId, Schema) {
+        let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::new("q", DataType::I64),
+            Field::nullable("tag", DataType::Str),
+        ]);
+        let mut b = TableBuilder::with_group_size(schema.clone(), disk, 64);
+        for i in 0..n {
+            b.push_row(vec![
+                Value::I64(i as i64),
+                Value::I64((i % 5) as i64),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("t{}", i % 2))
+                },
+            ])
+            .unwrap();
+        }
+        let storage = b.finish().unwrap();
+        let tid = TableId::new(1);
+        let mut ctx = RowCtx::new();
+        ctx.insert(tid, Arc::new(RwLock::new(storage)));
+        (ctx, tid, schema)
+    }
+
+    fn scan(tid: TableId, schema: &Schema) -> LogicalPlan {
+        LogicalPlan::scan("t", tid, schema.clone())
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        use vw_plan::BinOp;
+        let (ctx, tid, schema) = setup(100);
+        let plan = scan(tid, &schema)
+            .filter(Expr::binary(
+                BinOp::Lt,
+                Expr::col(0),
+                Expr::lit(Value::I64(10)),
+            ))
+            .project(vec![(
+                Expr::binary(BinOp::Mul, Expr::col(0), Expr::lit(Value::I64(3))),
+                "k3",
+            )]);
+        let mut op = compile_row(&plan, &ctx).unwrap();
+        let rows = collect_row_engine(op.as_mut()).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[9], vec![Value::I64(27)]);
+    }
+
+    #[test]
+    fn aggregate_group() {
+        let (ctx, tid, schema) = setup(100);
+        let plan = scan(tid, &schema).aggregate(
+            vec![1],
+            vec![
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    name: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col(0)),
+                    name: "s".into(),
+                },
+            ],
+        );
+        let mut op = compile_row(&plan, &ctx).unwrap();
+        let mut rows = collect_row_engine(op.as_mut()).unwrap();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][1], Value::I64(20));
+        let total: i64 = rows.iter().map(|r| r[2].as_i64().unwrap()).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn join_kinds() {
+        let (ctx, tid, schema) = setup(20);
+        // self-join on q == k (matches k in 0..5)
+        let plan = scan(tid, &schema).join(
+            scan(tid, &schema),
+            JoinKind::Semi,
+            vec![(0, 1)],
+        );
+        let mut op = compile_row(&plan, &ctx).unwrap();
+        let rows = collect_row_engine(op.as_mut()).unwrap();
+        // left rows whose k appears as some q: k ∈ {0..4}
+        assert_eq!(rows.len(), 5);
+        let plan = scan(tid, &schema).join(
+            scan(tid, &schema),
+            JoinKind::Anti,
+            vec![(0, 1)],
+        );
+        let mut op = compile_row(&plan, &ctx).unwrap();
+        assert_eq!(collect_row_engine(op.as_mut()).unwrap().len(), 15);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let (ctx, tid, schema) = setup(30);
+        let plan = scan(tid, &schema)
+            .sort(vec![SortKey { col: 0, asc: false }])
+            .limit(2, 3);
+        let mut op = compile_row(&plan, &ctx).unwrap();
+        let rows = collect_row_engine(op.as_mut()).unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::I64(27), Value::I64(26), Value::I64(25)]
+        );
+    }
+
+    #[test]
+    fn exchange_unsupported() {
+        let (ctx, tid, schema) = setup(5);
+        let plan = LogicalPlan::Exchange {
+            input: Box::new(scan(tid, &schema)),
+            partitions: 2,
+        };
+        assert!(compile_row(&plan, &ctx).is_err());
+    }
+}

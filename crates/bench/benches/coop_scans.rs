@@ -1,0 +1,109 @@
+//! E6 — Cooperative Scans vs LRU (reference [4], §I-A).
+//!
+//! N concurrent full-table scans with a buffer a fraction of the table:
+//! under LRU each scan streams the whole table from disk; under the ABM one
+//! disk pass feeds everyone. The bench measures wall time of the whole
+//! multi-scan episode (policy overhead included); the deterministic virtual
+//! I/O statistics — the paper's actual claim — are printed per
+//! configuration for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vw_bufman::{Abm, BlockReader, LruPool};
+use vw_storage::{SimDisk, SimDiskConfig};
+
+const N_BLOCKS: usize = 128;
+const BLOCK_BYTES: usize = 64 * 1024;
+
+fn setup() -> (Arc<SimDisk>, Vec<vw_common::BlockId>) {
+    let disk = Arc::new(SimDisk::new(SimDiskConfig::hdd()));
+    let blocks = (0..N_BLOCKS)
+        .map(|_| disk.write_block(vec![0u8; BLOCK_BYTES]))
+        .collect();
+    (disk, blocks)
+}
+
+/// Round-robin interleaved scans (models queries progressing together).
+fn run_lru(disk: &Arc<SimDisk>, blocks: &[vw_common::BlockId], n_scans: usize) -> u64 {
+    let pool = LruPool::new(disk.clone(), N_BLOCKS / 4 * BLOCK_BYTES);
+    let mut cursors = vec![0usize; n_scans];
+    // stagger starts
+    for (s, c) in cursors.iter_mut().enumerate() {
+        *c = s * (blocks.len() / n_scans.max(1));
+    }
+    let mut remaining = n_scans * blocks.len();
+    let mut step = vec![0usize; n_scans];
+    while remaining > 0 {
+        for s in 0..n_scans {
+            if step[s] < blocks.len() {
+                let idx = (cursors[s] + step[s]) % blocks.len();
+                pool.read(blocks[idx]).unwrap();
+                step[s] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    disk.stats().reads
+}
+
+fn run_abm(disk: &Arc<SimDisk>, blocks: &[vw_common::BlockId], n_scans: usize) -> u64 {
+    let abm = Abm::new(disk.clone(), N_BLOCKS / 4 * BLOCK_BYTES);
+    let mut scans: Vec<_> = (0..n_scans)
+        .map(|_| abm.register_scan(blocks.to_vec()))
+        .collect();
+    let mut live = n_scans;
+    while live > 0 {
+        live = 0;
+        for scan in &mut scans {
+            if scan.next().unwrap().is_some() {
+                live += 1;
+            }
+        }
+    }
+    disk.stats().reads
+}
+
+fn coop_scans(c: &mut Criterion) {
+    // Deterministic I/O accounting for EXPERIMENTS.md.
+    eprintln!("\n[E6] disk reads for N concurrent scans of a {}-block table (buffer 25%):", N_BLOCKS);
+    eprintln!("  {:>2} scans: {:>6} (LRU) vs {:>6} (cooperative)", "N", "reads", "reads");
+    for n in [2usize, 4, 8, 16] {
+        let (disk, blocks) = setup();
+        disk.reset_stats();
+        let lru_reads = run_lru(&disk, &blocks, n);
+        let lru_ns = disk.stats().virtual_read_ns;
+        disk.reset_stats();
+        let abm_reads = run_abm(&disk, &blocks, n);
+        let abm_ns = disk.stats().virtual_read_ns;
+        eprintln!(
+            "  {:>2} scans: {:>6} ({:>6.2}s) vs {:>6} ({:>6.2}s)  → {:.1}x less I/O",
+            n,
+            lru_reads,
+            lru_ns as f64 / 1e9,
+            abm_reads,
+            abm_ns as f64 / 1e9,
+            lru_reads as f64 / abm_reads as f64
+        );
+    }
+
+    let mut g = c.benchmark_group("coop_scans");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::new("lru", n), &n, |b, &n| {
+            let (disk, blocks) = setup();
+            b.iter(|| std::hint::black_box(run_lru(&disk, &blocks, n)))
+        });
+        g.bench_with_input(BenchmarkId::new("abm", n), &n, |b, &n| {
+            let (disk, blocks) = setup();
+            b.iter(|| std::hint::black_box(run_abm(&disk, &blocks, n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = coop_scans
+}
+criterion_main!(benches);

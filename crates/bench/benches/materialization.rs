@@ -1,0 +1,150 @@
+//! E3 — vectorized pipelining vs full materialization (the MonetDB
+//! comparison of §I-A: "since it avoids the penalties of full
+//! materialization, [Vectorwise] is also significantly faster than
+//! MonetDB").
+//!
+//! Both engines share kernels; the materialized engine inserts a
+//! materialization barrier under every operator, so its intermediates grow
+//! to relation size and fall out of cache. The gap should widen as the
+//! pipeline gets longer (more intermediates) and as selectivity grows
+//! (bigger intermediates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vw_bench::drain;
+use vw_common::config::EngineConfig;
+use vw_common::{DataType, Field, Schema, TableId, Value};
+use vw_core::compile::{ExecContext, TableProvider};
+use vw_plan::{AggExpr, AggFunc, BinOp, Expr, LogicalPlan};
+use vw_storage::{SimDisk, SimDiskConfig, TableBuilder};
+
+const ROWS: usize = 2_000_000;
+const T: TableId = TableId(1);
+
+fn setup() -> (ExecContext, Schema) {
+    let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::I64),
+        Field::new("a", DataType::F64),
+        Field::new("b", DataType::F64),
+        Field::new("c", DataType::F64),
+    ]);
+    let mut builder = TableBuilder::new(schema.clone(), disk);
+    for i in 0..ROWS {
+        builder
+            .push_row(vec![
+                Value::I64((i % 1000) as i64),
+                Value::F64((i % 977) as f64),
+                Value::F64((i % 331) as f64 * 0.5),
+                Value::F64((i % 13) as f64),
+            ])
+            .unwrap();
+    }
+    let storage = builder.finish().unwrap();
+    let mut tables = HashMap::new();
+    tables.insert(
+        T,
+        TableProvider {
+            storage: Arc::new(parking_lot::RwLock::new(storage)),
+            pdt: Arc::new(vw_pdt::Pdt::new(ROWS as u64)),
+        },
+    );
+    (ExecContext::new(tables, EngineConfig::default()), schema)
+}
+
+/// filter(selectivity) → chain of arithmetic projects → aggregate.
+fn pipeline(schema: &Schema, sel_bound: i64, chain: usize) -> LogicalPlan {
+    let mut plan = LogicalPlan::scan("t", T, schema.clone()).filter(Expr::binary(
+        BinOp::Lt,
+        Expr::col(0),
+        Expr::lit(Value::I64(sel_bound)),
+    ));
+    for _ in 0..chain {
+        plan = plan.project(vec![
+            (Expr::col(0), "k"),
+            (
+                Expr::binary(BinOp::Add, Expr::col(1), Expr::col(2)),
+                "a",
+            ),
+            (
+                Expr::binary(BinOp::Mul, Expr::col(2), Expr::lit(Value::F64(1.01))),
+                "b",
+            ),
+            (Expr::col(3), "c"),
+        ]);
+    }
+    plan.aggregate(
+        vec![],
+        vec![AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(Expr::col(1)),
+            name: "s".into(),
+        }],
+    )
+}
+
+fn materialization(c: &mut Criterion) {
+    let (ctx, schema) = setup();
+    let mut g = c.benchmark_group("materialization");
+    g.sample_size(10);
+
+    // selectivity sweep at pipeline depth 3 (bound of 1000 ≈ 100%).
+    for sel in [100i64, 500, 1000] {
+        let plan = pipeline(&schema, sel, 3);
+        g.bench_with_input(
+            BenchmarkId::new("vectorized/sel", sel),
+            &sel,
+            |b, _| {
+                b.iter(|| {
+                    let op = vw_core::compile_plan(&plan, &ctx).unwrap();
+                    std::hint::black_box(drain(op))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("materialized/sel", sel),
+            &sel,
+            |b, _| {
+                b.iter(|| {
+                    let op = vw_baselines::compile_materialized(&plan, &ctx).unwrap();
+                    std::hint::black_box(drain(op))
+                })
+            },
+        );
+    }
+
+    // pipeline-depth sweep at full selectivity: each extra stage is another
+    // full-size intermediate for the materialized engine.
+    for chain in [1usize, 3, 6] {
+        let plan = pipeline(&schema, 1000, chain);
+        g.bench_with_input(
+            BenchmarkId::new("vectorized/depth", chain),
+            &chain,
+            |b, _| {
+                b.iter(|| {
+                    let op = vw_core::compile_plan(&plan, &ctx).unwrap();
+                    std::hint::black_box(drain(op))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("materialized/depth", chain),
+            &chain,
+            |b, _| {
+                b.iter(|| {
+                    let op = vw_baselines::compile_materialized(&plan, &ctx).unwrap();
+                    std::hint::black_box(drain(op))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = materialization
+}
+criterion_main!(benches);

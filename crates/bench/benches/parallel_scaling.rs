@@ -1,0 +1,38 @@
+//! E4 — Volcano-style multi-core parallelization (§I-B).
+//!
+//! The rewriter splits eligible plans into Exchange + partial/final
+//! aggregation; this bench sweeps the degree of parallelism on Q1/Q6-shaped
+//! queries. On a single-core host the wall-clock curve is flat (the
+//! interesting assertion — identical results with partitioned work — is
+//! covered by tests); on a multi-core host it shows near-linear scaling for
+//! the scan-heavy shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vw_bench::load_tpch;
+use vw_tpch::queries::{q1, q6};
+
+fn parallel_scaling(c: &mut Criterion) {
+    let (db, cat) = load_tpch(0.01);
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.sample_size(10);
+    for dop in [1usize, 2, 4] {
+        db.set_parallelism(dop);
+        let q1p = q1(&cat);
+        g.bench_with_input(BenchmarkId::new("q1/dop", dop), &dop, |b, _| {
+            b.iter(|| std::hint::black_box(db.run_plan(q1p.clone()).unwrap().rows.len()))
+        });
+        let q6p = q6(&cat);
+        g.bench_with_input(BenchmarkId::new("q6/dop", dop), &dop, |b, _| {
+            b.iter(|| std::hint::black_box(db.run_plan(q6p.clone()).unwrap().rows.len()))
+        });
+    }
+    db.set_parallelism(1);
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = parallel_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! E7 — Positional Delta Trees (reference [5], §I-B).
+//!
+//! Three claims to reproduce:
+//! * updates into a PDT are far cheaper than rewriting the columnar image
+//!   (the "one I/O per column plus recompression" the paper avoids),
+//! * scans pay only a small merge cost even with percent-level deltas,
+//! * positional merging beats value-based (key-join) merging because no key
+//!   columns need to be read or hashed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vw_common::Value;
+use vw_core::Database;
+
+const ROWS: i64 = 200_000;
+
+fn fresh_db() -> Database {
+    let db = Database::new().unwrap();
+    db.execute("CREATE TABLE t (id BIGINT NOT NULL, a BIGINT NOT NULL, b VARCHAR NOT NULL)")
+        .unwrap();
+    db.bulk_load(
+        "t",
+        (0..ROWS).map(|i| {
+            vec![
+                Value::I64(i),
+                Value::I64(i % 97),
+                Value::Str(format!("r{}", i % 11)),
+            ]
+        }),
+    )
+    .unwrap();
+    db
+}
+
+fn pdt_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdt_updates");
+    g.sample_size(10);
+
+    // (a) update cost: PDT batch update vs full checkpoint rewrite.
+    for pct in [1u64, 10] {
+        let n_upd = ROWS as u64 * pct / 1000; // 0.1% / 1.0%
+        g.bench_with_input(BenchmarkId::new("update_batch_permille", pct), &pct, |b, _| {
+            let db = fresh_db();
+            let mut hi = 0i64;
+            // Cycle within the first 5% of rows so repeated iterations merge
+            // into existing PDT entries instead of growing it unboundedly.
+            let cycle = ROWS / 20;
+            b.iter(|| {
+                let lo = hi % cycle;
+                hi += n_upd as i64;
+                db.execute(&format!(
+                    "UPDATE t SET a = 0 WHERE id >= {} AND id < {}",
+                    lo,
+                    (lo + n_upd as i64).min(cycle)
+                ))
+                .unwrap();
+            })
+        });
+    }
+    g.bench_function("full_checkpoint_rewrite", |b| {
+        let db = fresh_db();
+        db.execute("UPDATE t SET a = 1 WHERE id = 0").unwrap();
+        b.iter(|| {
+            // keep a delta alive so every checkpoint rewrites the image
+            db.execute("UPDATE t SET a = a + 1 WHERE id = 0").unwrap();
+            std::hint::black_box(db.checkpoint("t").unwrap())
+        })
+    });
+
+    // (b) scan + merge overhead at growing delta fractions.
+    for permille in [0u64, 1, 10, 30] {
+        let db = fresh_db();
+        let n_upd = (ROWS as u64 * permille / 1000) as i64;
+        if n_upd > 0 {
+            db.execute(&format!("UPDATE t SET a = 0 WHERE id < {}", n_upd))
+                .unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::new("scan_with_deltas_permille", permille),
+            &permille,
+            |b, _| {
+                b.iter(|| {
+                    let r = db.execute("SELECT SUM(a) FROM t").unwrap();
+                    std::hint::black_box(r.rows.len())
+                })
+            },
+        );
+    }
+
+    // (c) positional vs value-based merge: applying a batch of deltas by
+    // RID (PDT) vs joining a delta table on the key column.
+    let db = fresh_db();
+    db.execute(
+        "CREATE TABLE delta (id BIGINT NOT NULL, a BIGINT NOT NULL)",
+    )
+    .unwrap();
+    db.bulk_load(
+        "delta",
+        (0..ROWS / 100).map(|i| vec![Value::I64(i * 100), Value::I64(-1)]),
+    )
+    .unwrap();
+    g.bench_function("merge/positional_pdt", |b| {
+        let dbp = fresh_db();
+        dbp.execute("UPDATE t SET a = 0 WHERE id < 2000").unwrap();
+        b.iter(|| {
+            // merged scan through PDT
+            let r = dbp.execute("SELECT SUM(a), COUNT(*) FROM t").unwrap();
+            std::hint::black_box(r.rows.len())
+        })
+    });
+    g.bench_function("merge/value_based_join", |b| {
+        b.iter(|| {
+            // the classic alternative: outer-join the delta by key and take
+            // the patched value — pays hashing the key column of the base
+            let r = db
+                .execute(
+                    "SELECT SUM(CASE WHEN d.a IS NOT NULL THEN d.a ELSE t.a END), COUNT(*) \
+                     FROM t LEFT JOIN delta d ON t.id = d.id",
+                )
+                .unwrap();
+            std::hint::black_box(r.rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = pdt_updates
+}
+criterion_main!(benches);

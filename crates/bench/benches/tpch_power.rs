@@ -1,0 +1,63 @@
+//! E1 (per-query view): TPC-H query latencies on the three engines.
+//!
+//! The composite QphH-style score lives in the `qph` binary; this bench
+//! gives per-query timings with criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vw_bench::{drain, load_tpch, row_tables, run};
+
+fn tpch_power(c: &mut Criterion) {
+    let (db, cat) = load_tpch(0.01);
+    let tables = row_tables(&db);
+    let ctx = db.exec_context(None).unwrap();
+
+    let mut g = c.benchmark_group("tpch_power");
+    g.sample_size(10);
+
+    // The full power run.
+    g.bench_function("all22/vectorized", |b| {
+        b.iter(|| {
+            for (_, plan) in vw_tpch::all_queries(&cat) {
+                std::hint::black_box(run(&db, &plan));
+            }
+        })
+    });
+
+    // Representative queries, per engine.
+    for qn in [1u8, 3, 6, 9, 13] {
+        let plan = vw_tpch::all_queries(&cat)
+            .into_iter()
+            .find(|(n, _)| *n == qn)
+            .unwrap()
+            .1;
+        let opt = db.optimize_plan(plan);
+        g.bench_function(format!("q{}/vectorized", qn), |b| {
+            b.iter(|| {
+                let op = vw_core::compile_plan(&opt, &ctx).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+        g.bench_function(format!("q{}/materialized", qn), |b| {
+            b.iter(|| {
+                let op = vw_baselines::compile_materialized(&opt, &ctx).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+        g.bench_function(format!("q{}/tuple_at_a_time", qn), |b| {
+            b.iter(|| {
+                let mut op = vw_baselines::compile_row(&opt, &tables).unwrap();
+                std::hint::black_box(
+                    vw_baselines::collect_row_engine(op.as_mut()).unwrap().len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = tpch_power
+}
+criterion_main!(benches);

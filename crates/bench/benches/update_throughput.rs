@@ -1,0 +1,152 @@
+//! E9 — update throughput under the WAL (§I-C: "Some other effort was spent
+//! in making updates faster, this was especially relevant in the throughput
+//! runs").
+//!
+//! TPC-H-refresh-shaped transactions (RF1 insert batches, RF2 delete
+//! batches) committed while analytical queries keep running, with the WAL's
+//! per-commit flush on and off (group-commit style), plus the cost of a
+//! read-only query for reference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use vw_bench::load_tpch;
+use vw_common::Value;
+
+fn update_throughput(c: &mut Criterion) {
+    let (db, cat) = load_tpch(0.005);
+    use vw_sql::CatalogView;
+    let (orders_id, _) = db.resolve_table("orders").unwrap();
+    let base_orders = db.table_rows("orders").unwrap();
+
+    let mut g = c.benchmark_group("update_throughput");
+    g.sample_size(10);
+
+    for (label, sync) in [("fsync_per_commit", true), ("group_commit", false)] {
+        db.set_sync_on_commit(sync);
+        let mut next_key = 10_000_000i64;
+        g.bench_with_input(BenchmarkId::new("rf1_insert_100", label), &sync, |b, _| {
+            b.iter_batched(
+                || {
+                    // Keep the master PDT bounded between timed runs
+                    // (checkpointing is maintenance, not commit cost).
+                    if db.table_rows("orders").unwrap() > base_orders + 2000 {
+                        db.checkpoint("orders").unwrap();
+                    }
+                },
+                |_| {
+                    let mut t = db.begin();
+                    for _ in 0..100 {
+                        next_key += 1;
+                        t.append(
+                            orders_id,
+                            vec![
+                                Value::I64(next_key),
+                                Value::I64(1),
+                                Value::Str("O".into()),
+                                Value::F64(1000.0),
+                                Value::Date(9500),
+                                Value::Str("1-URGENT".into()),
+                                Value::Str("Clerk#000000001".into()),
+                                Value::I64(0),
+                                Value::Str("refresh".into()),
+                            ],
+                        )
+                        .unwrap();
+                    }
+                    db.commit(t).unwrap();
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        db.checkpoint("orders").unwrap();
+    }
+    db.set_sync_on_commit(true);
+
+    // RF2-style deletes of previously inserted refresh orders.
+    g.bench_function("rf2_delete_refresh_batch", |b| {
+        b.iter_batched(
+            || {
+                if db.table_rows("orders").unwrap() > base_orders + 2000 {
+                    db.checkpoint("orders").unwrap();
+                }
+                // ensure there is something to delete
+                let mut t = db.begin();
+                for k in 0..100 {
+                    t.append(
+                        orders_id,
+                        vec![
+                            Value::I64(30_000_000 + k),
+                            Value::I64(1),
+                            Value::Str("O".into()),
+                            Value::F64(1.0),
+                            Value::Date(9500),
+                            Value::Str("5-LOW".into()),
+                            Value::Str("Clerk#000000003".into()),
+                            Value::I64(0),
+                            Value::Str("x".into()),
+                        ],
+                    )
+                    .unwrap();
+                }
+                db.commit(t).unwrap();
+            },
+            |_| {
+                // delete the refresh rows appended beyond the base image
+                let mut t = db.begin();
+                let pdt = t.effective_pdt(orders_id).unwrap();
+                let rows = pdt.current_rows();
+                let n = (rows.saturating_sub(base_orders)).min(100);
+                for _ in 0..n {
+                    let last = t.effective_pdt(orders_id).unwrap().current_rows() - 1;
+                    t.delete_at(orders_id, last).unwrap();
+                }
+                db.commit(t).unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Queries stay fast while the PDT holds refresh deltas.
+    g.bench_function("q6_during_refresh_stream", |b| {
+        let q6 = vw_tpch::queries::q6(&cat);
+        let mut tick = 0i64;
+        b.iter_batched(
+            || {
+                if db.table_rows("orders").unwrap() > base_orders + 2000 {
+                    db.checkpoint("orders").unwrap();
+                }
+            },
+            |_| {
+            // one small refresh commit ...
+            let mut t = db.begin();
+            tick += 1;
+            t.append(
+                orders_id,
+                vec![
+                    Value::I64(20_000_000 + tick),
+                    Value::I64(1),
+                    Value::Str("O".into()),
+                    Value::F64(1.0),
+                    Value::Date(9500),
+                    Value::Str("5-LOW".into()),
+                    Value::Str("Clerk#000000002".into()),
+                    Value::I64(0),
+                    Value::Str("x".into()),
+                ],
+            )
+            .unwrap();
+                db.commit(t).unwrap();
+                // ... interleaved with the analytical query
+                std::hint::black_box(db.run_plan(q6.clone()).unwrap().rows.len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = update_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E2 — the defining X100 experiment: raw processing power as a function of
+//! vector size.
+//!
+//! Data is entirely in memory (pre-built batches), so the measurement is
+//! pure execution: at vector size 1 the engine degenerates to tuple-at-a-
+//! time dispatch; at huge sizes intermediates fall out of cache (the
+//! MonetDB regime); ~1K is the sweet spot (§I-A). The explicit
+//! tuple-at-a-time interpreter is measured alongside as the "pipelined
+//! engine" reference — the paper's ">10 times faster in terms of raw
+//! processing power" claim is the ratio between it and the vectorized
+//! engine at the sweet spot. Criterion reports element throughput, so the
+//! two workload sizes (tiny vectors are benched on fewer rows to bound
+//! memory) remain directly comparable per row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vw_bench::{drain, q1_like, q6_like, q6_like_tuple_at_a_time, MemWorkload};
+
+const SMALL_ROWS: usize = 100_000;
+const LARGE_ROWS: usize = 2_000_000;
+
+fn vector_size(c: &mut Criterion) {
+    let small = MemWorkload::generate(SMALL_ROWS);
+    let large = MemWorkload::generate(LARGE_ROWS);
+
+    let mut g = c.benchmark_group("vector_size_q6");
+    g.sample_size(10);
+    // tiny vectors: interpretation overhead dominates
+    g.throughput(Throughput::Elements(SMALL_ROWS as u64));
+    for vs in [1usize, 4, 16, 64] {
+        let batches = small.batches(vs);
+        g.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
+            b.iter(|| {
+                let op = q6_like(small.source(&batches)).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+    }
+    // cache-resident sweet spot through full materialization
+    g.throughput(Throughput::Elements(LARGE_ROWS as u64));
+    for vs in [256usize, 1024, 4096, 65_536, LARGE_ROWS] {
+        let batches = large.batches(vs);
+        g.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
+            b.iter(|| {
+                let op = q6_like(large.source(&batches)).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+    }
+    g.bench_function("tuple_at_a_time", |b| {
+        b.iter(|| std::hint::black_box(q6_like_tuple_at_a_time(&large.rows)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("vector_size_q1");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SMALL_ROWS as u64));
+    for vs in [1usize, 16] {
+        let batches = small.batches(vs);
+        g.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
+            b.iter(|| {
+                let op = q1_like(small.source(&batches)).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+    }
+    g.throughput(Throughput::Elements(LARGE_ROWS as u64));
+    for vs in [256usize, 1024, 4096, LARGE_ROWS] {
+        let batches = large.batches(vs);
+        g.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
+            b.iter(|| {
+                let op = q1_like(large.source(&batches)).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = vector_size
+}
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! Shared infrastructure for the benchmark harnesses.
+//!
+//! Every bench target regenerates one row of `EXPERIMENTS.md` (see
+//! `DESIGN.md`'s experiment index). The helpers here load TPC-H into a
+//! database, build in-memory workloads for the raw-processing-power
+//! experiments, and implement a deliberately classic tuple-at-a-time
+//! interpreter loop used as the E2 baseline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vw_common::{Result, Schema, Value};
+use vw_core::batch::Batch;
+use vw_core::operators::{BatchSource, BoxedOperator};
+use vw_core::Database;
+use vw_plan::LogicalPlan;
+use vw_tpch::{tpch_schema, TpchCatalog, TpchGenerator, TPCH_TABLES};
+
+/// Load a TPC-H database at `sf` (bulk load + ANALYZE on the big tables).
+pub fn load_tpch(sf: f64) -> (Database, TpchCatalog) {
+    let db = Database::new().expect("db");
+    let generator = TpchGenerator::new(sf);
+    for table in TPCH_TABLES {
+        db.create_table(table, tpch_schema(table).unwrap()).unwrap();
+        db.bulk_load(table, generator.rows(table)).unwrap();
+    }
+    for t in ["lineitem", "orders", "customer", "part", "partsupp", "supplier"] {
+        db.analyze(t).unwrap();
+    }
+    use vw_sql::CatalogView;
+    let cat = TpchCatalog::new(|name| db.resolve_table(name)).unwrap();
+    (db, cat)
+}
+
+/// Row-engine table map from a database.
+pub fn row_tables(
+    db: &Database,
+) -> HashMap<vw_common::TableId, Arc<parking_lot::RwLock<vw_storage::TableStorage>>> {
+    db.exec_context(None)
+        .unwrap()
+        .tables
+        .iter()
+        .map(|(id, p)| (*id, Arc::clone(&p.storage)))
+        .collect()
+}
+
+/// Drain an operator, returning the row count (keeps the optimizer honest).
+pub fn drain(mut op: BoxedOperator) -> usize {
+    let mut n = 0;
+    while let Some(b) = op.next().expect("exec") {
+        n += b.len();
+    }
+    n
+}
+
+/// Run a plan end-to-end on a database (optimize + rewrite + execute).
+pub fn run(db: &Database, plan: &LogicalPlan) -> usize {
+    db.run_plan(plan.clone()).expect("run").rows.len()
+}
+
+// ------------------------------------------------- in-memory E2 workload
+
+/// The in-memory lineitem-like relation used by the raw-processing-power
+/// experiments: (quantity f64, extendedprice f64, discount f64, shipdate
+/// i32-as-date, returnflag str).
+pub struct MemWorkload {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl MemWorkload {
+    pub fn generate(n: usize) -> MemWorkload {
+        use vw_common::rng::Xoshiro256;
+        let mut r = Xoshiro256::seeded(42);
+        let schema = Schema::new(vec![
+            vw_common::Field::new("quantity", vw_common::DataType::F64),
+            vw_common::Field::new("extendedprice", vw_common::DataType::F64),
+            vw_common::Field::new("discount", vw_common::DataType::F64),
+            vw_common::Field::new("shipdate", vw_common::DataType::Date),
+            vw_common::Field::new("returnflag", vw_common::DataType::Str),
+        ]);
+        let flags = ["A", "N", "R"];
+        let rows = (0..n)
+            .map(|_| {
+                vec![
+                    Value::F64(r.range_i64(1, 50) as f64),
+                    Value::F64(r.range_i64(1000, 100_000) as f64 / 100.0),
+                    Value::F64(r.range_i64(0, 10) as f64 / 100.0),
+                    Value::Date(8035 + r.range_i64(0, 2400) as i32),
+                    Value::Str(flags[r.next_below(3) as usize].to_string()),
+                ]
+            })
+            .collect();
+        MemWorkload { schema, rows }
+    }
+
+    /// The relation pre-chunked into batches of `vector_size`.
+    pub fn batches(&self, vector_size: usize) -> Vec<Batch> {
+        self.rows
+            .chunks(vector_size.max(1))
+            .map(|chunk| Batch::from_rows(&self.schema, chunk).expect("batch"))
+            .collect()
+    }
+
+    /// A fresh operator source over pre-built batches.
+    pub fn source(&self, batches: &[Batch]) -> BoxedOperator {
+        Box::new(BatchSource::new(self.schema.clone(), batches.to_vec()))
+    }
+}
+
+/// Q6-like pipeline over an arbitrary source: filter on shipdate+discount+
+/// quantity, then SUM(extendedprice*discount).
+pub fn q6_like(source: BoxedOperator) -> Result<BoxedOperator> {
+    use vw_plan::{AggExpr, AggFunc, BinOp, Expr};
+    let lo = Expr::lit(Value::Date(8766));
+    let hi = Expr::lit(Value::Date(9131));
+    let pred = Expr::and(
+        Expr::and(
+            Expr::binary(BinOp::Ge, Expr::col(3), lo),
+            Expr::binary(BinOp::Lt, Expr::col(3), hi),
+        ),
+        Expr::and(
+            Expr::binary(BinOp::Ge, Expr::col(2), Expr::lit(Value::F64(0.05))),
+            Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::F64(24.0))),
+        ),
+    );
+    let filter = vw_core::operators::VecFilter::new(source, pred, false)?;
+    let agg = vw_core::operators::HashAggregate::new(
+        Box::new(filter),
+        vec![],
+        vec![AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(Expr::binary(BinOp::Mul, Expr::col(1), Expr::col(2))),
+            name: "revenue".into(),
+        }],
+        vw_plan::plan::AggPhase::Single,
+        1024,
+        false,
+    )?;
+    Ok(Box::new(agg))
+}
+
+/// Q1-like pipeline: filter on shipdate, group by returnflag with sums/avgs.
+pub fn q1_like(source: BoxedOperator) -> Result<BoxedOperator> {
+    use vw_plan::{AggExpr, AggFunc, BinOp, Expr};
+    let pred = Expr::binary(BinOp::Le, Expr::col(3), Expr::lit(Value::Date(10_000)));
+    let filter = vw_core::operators::VecFilter::new(source, pred, false)?;
+    let disc_price = Expr::binary(
+        BinOp::Mul,
+        Expr::col(1),
+        Expr::binary(BinOp::Sub, Expr::lit(Value::F64(1.0)), Expr::col(2)),
+    );
+    let agg = vw_core::operators::HashAggregate::new(
+        Box::new(filter),
+        vec![4],
+        vec![
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::col(0)),
+                name: "sum_qty".into(),
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(disc_price),
+                name: "sum_disc_price".into(),
+            },
+            AggExpr {
+                func: AggFunc::Avg,
+                arg: Some(Expr::col(1)),
+                name: "avg_price".into(),
+            },
+            AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            },
+        ],
+        vw_plan::plan::AggPhase::Single,
+        1024,
+        false,
+    )?;
+    Ok(Box::new(agg))
+}
+
+/// The tuple-at-a-time interpreter baseline for the in-memory workloads:
+/// one expression-tree interpretation per tuple, boxed `Value`s throughout —
+/// the execution model the paper claims >10x over (§I-A).
+pub fn q6_like_tuple_at_a_time(rows: &[Vec<Value>]) -> f64 {
+    use vw_plan::{BinOp, Expr};
+    let lo = Expr::lit(Value::Date(8766));
+    let hi = Expr::lit(Value::Date(9131));
+    let pred = Expr::and(
+        Expr::and(
+            Expr::binary(BinOp::Ge, Expr::col(3), lo),
+            Expr::binary(BinOp::Lt, Expr::col(3), hi),
+        ),
+        Expr::and(
+            Expr::binary(BinOp::Ge, Expr::col(2), Expr::lit(Value::F64(0.05))),
+            Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::F64(24.0))),
+        ),
+    );
+    let revenue = Expr::binary(BinOp::Mul, Expr::col(1), Expr::col(2));
+    let mut sum = 0.0;
+    for row in rows {
+        if pred.eval_row(row).expect("pred") == Value::Bool(true) {
+            sum += revenue
+                .eval_row(row)
+                .expect("expr")
+                .as_f64()
+                .unwrap_or(0.0);
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_core::operators::collect_rows;
+
+    #[test]
+    fn mem_workload_pipelines_agree_with_tuple_baseline() {
+        let w = MemWorkload::generate(20_000);
+        let batches = w.batches(1024);
+        let mut op = q6_like(w.source(&batches)).unwrap();
+        let rows = collect_rows(op.as_mut()).unwrap();
+        let vec_sum = rows[0][0].as_f64().unwrap();
+        let tup_sum = q6_like_tuple_at_a_time(&w.rows);
+        assert!(
+            (vec_sum - tup_sum).abs() <= vec_sum.abs() * 1e-9,
+            "{} vs {}",
+            vec_sum,
+            tup_sum
+        );
+        // q1-like runs and groups by the three flags
+        let mut op = q1_like(w.source(&batches)).unwrap();
+        let rows = collect_rows(op.as_mut()).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn tpch_loader_smoke() {
+        let (db, cat) = load_tpch(0.001);
+        let n = run(&db, &vw_tpch::queries::q1(&cat));
+        assert!(n >= 1);
+        assert!(!row_tables(&db).is_empty());
+    }
+}

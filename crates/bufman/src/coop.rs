@@ -1,0 +1,440 @@
+//! Cooperative Scans: the Active Buffer Manager (ABM).
+//!
+//! After "Cooperative scans: dynamic bandwidth sharing in a DBMS"
+//! (Zukowski et al., VLDB 2007 — reference [4] of the Vectorwise paper).
+//!
+//! Scans *register* the set of blocks they need and then repeatedly ask the
+//! ABM for "any block I still need". The ABM:
+//!
+//! * serves a cached block first if the scan still needs one (free);
+//! * otherwise *chooses* which block to load next by **relevance**: the block
+//!   needed by the most currently-active scans, so one disk read feeds many
+//!   consumers;
+//! * breaks relevance ties in favour of the scan that has made the least
+//!   progress (a starvation bound, keeping slow scans from being left
+//!   behind);
+//! * keeps a block cached while any registered scan still needs it, evicting
+//!   fully-consumed blocks first.
+//!
+//! Consumption is deliberately out-of-order ("relaxed" scans): callers get
+//! `(BlockId, bytes)` pairs and must not assume table order.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use vw_common::{BlockId, Result, VwError};
+use vw_storage::SimDisk;
+
+type ScanId = u64;
+
+struct CachedBlock {
+    data: Arc<Vec<u8>>,
+    /// Scans that still need to consume this block.
+    needed_by: HashSet<ScanId>,
+}
+
+struct ScanState {
+    /// Blocks this scan has not yet consumed.
+    remaining: HashSet<BlockId>,
+    /// Blocks consumed so far (for the starvation/fairness tiebreak).
+    consumed: usize,
+}
+
+#[derive(Default)]
+struct AbmState {
+    scans: HashMap<ScanId, ScanState>,
+    cache: HashMap<BlockId, CachedBlock>,
+    cache_bytes: usize,
+    next_scan: ScanId,
+    loads: u64,
+    shared_hits: u64,
+}
+
+/// The Active Buffer Manager.
+pub struct Abm {
+    disk: Arc<SimDisk>,
+    capacity_bytes: usize,
+    state: Mutex<AbmState>,
+}
+
+/// ABM-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbmStats {
+    /// Blocks loaded from disk.
+    pub loads: u64,
+    /// Block consumptions served from cache (another scan's load).
+    pub shared_hits: u64,
+}
+
+impl Abm {
+    pub fn new(disk: Arc<SimDisk>, capacity_bytes: usize) -> Arc<Abm> {
+        Arc::new(Abm {
+            disk,
+            capacity_bytes,
+            state: Mutex::new(AbmState::default()),
+        })
+    }
+
+    pub fn stats(&self) -> AbmStats {
+        let g = self.state.lock();
+        AbmStats {
+            loads: g.loads,
+            shared_hits: g.shared_hits,
+        }
+    }
+
+    /// Register a scan over `blocks`. Returns a handle to pull blocks from.
+    pub fn register_scan(self: &Arc<Self>, blocks: impl IntoIterator<Item = BlockId>) -> CoopScanHandle {
+        let mut g = self.state.lock();
+        let id = g.next_scan;
+        g.next_scan += 1;
+        let remaining: HashSet<BlockId> = blocks.into_iter().collect();
+        // Blocks already cached become immediately relevant to this scan.
+        for (bid, cb) in g.cache.iter_mut() {
+            if remaining.contains(bid) {
+                cb.needed_by.insert(id);
+            }
+        }
+        g.scans.insert(
+            id,
+            ScanState {
+                remaining,
+                consumed: 0,
+            },
+        );
+        CoopScanHandle {
+            abm: self.clone(),
+            id,
+            done: false,
+        }
+    }
+
+    /// Produce the next block for scan `id`: cached-and-needed first, else
+    /// load the globally most relevant block this scan needs.
+    fn next_for(&self, id: ScanId) -> Result<Option<(BlockId, Arc<Vec<u8>>)>> {
+        let chosen: BlockId;
+        {
+            let mut g = self.state.lock();
+            let scan = g
+                .scans
+                .get(&id)
+                .ok_or_else(|| VwError::Invalid("scan not registered".into()))?;
+            if scan.remaining.is_empty() {
+                return Ok(None);
+            }
+            // 1. A cached block we still need?
+            let cached_hit = scan
+                .remaining
+                .iter()
+                .find(|b| g.cache.contains_key(b))
+                .copied();
+            if let Some(bid) = cached_hit {
+                let data = {
+                    let cb = g.cache.get_mut(&bid).unwrap();
+                    cb.needed_by.remove(&id);
+                    cb.data.clone()
+                };
+                g.shared_hits += 1;
+                let scan = g.scans.get_mut(&id).unwrap();
+                scan.remaining.remove(&bid);
+                scan.consumed += 1;
+                Self::evict_consumed(&mut g, self.capacity_bytes);
+                return Ok(Some((bid, data)));
+            }
+            // 2. Choose what to load: relevance = number of active scans that
+            // still need the block; ties broken toward blocks needed by the
+            // least-progressed scan (starvation bound), then by id for
+            // determinism.
+            let candidates: Vec<BlockId> = scan.remaining.iter().copied().collect();
+            let mut best: Option<(usize, usize, u64, BlockId)> = None;
+            for bid in candidates {
+                let relevance = g
+                    .scans
+                    .values()
+                    .filter(|s| s.remaining.contains(&bid))
+                    .count();
+                let min_progress = g
+                    .scans
+                    .values()
+                    .filter(|s| s.remaining.contains(&bid))
+                    .map(|s| s.consumed)
+                    .min()
+                    .unwrap_or(usize::MAX);
+                // maximize relevance, minimize progress, then smallest id
+                let key = (relevance, usize::MAX - min_progress, u64::MAX - bid.as_u64(), bid);
+                if best.as_ref().map_or(true, |b| (key.0, key.1, key.2) > (b.0, b.1, b.2)) {
+                    best = Some(key);
+                }
+            }
+            chosen = best.unwrap().3;
+        }
+        // Load outside the lock (charges virtual I/O time).
+        let data = self.disk.read_block(chosen)?;
+        let mut g = self.state.lock();
+        g.loads += 1;
+        // All scans that still need it share the load.
+        let needed_by: HashSet<ScanId> = g
+            .scans
+            .iter()
+            .filter(|(sid, s)| **sid != id && s.remaining.contains(&chosen))
+            .map(|(sid, _)| *sid)
+            .collect();
+        g.cache_bytes += data.len();
+        g.cache.insert(
+            chosen,
+            CachedBlock {
+                data: data.clone(),
+                needed_by,
+            },
+        );
+        let scan = g.scans.get_mut(&id).unwrap();
+        scan.remaining.remove(&chosen);
+        scan.consumed += 1;
+        Self::evict_consumed(&mut g, self.capacity_bytes);
+        Ok(Some((chosen, data)))
+    }
+
+    /// Evict blocks no scan needs; if still over capacity, evict the blocks
+    /// with the fewest remaining consumers.
+    fn evict_consumed(g: &mut AbmState, capacity: usize) {
+        let dead: Vec<BlockId> = g
+            .cache
+            .iter()
+            .filter(|(_, cb)| cb.needed_by.is_empty())
+            .map(|(b, _)| *b)
+            .collect();
+        for b in dead {
+            let cb = g.cache.remove(&b).unwrap();
+            g.cache_bytes -= cb.data.len();
+        }
+        while g.cache_bytes > capacity && !g.cache.is_empty() {
+            let victim = *g
+                .cache
+                .iter()
+                .min_by_key(|(b, cb)| (cb.needed_by.len(), b.as_u64()))
+                .map(|(b, _)| b)
+                .unwrap();
+            let cb = g.cache.remove(&victim).unwrap();
+            g.cache_bytes -= cb.data.len();
+        }
+    }
+
+    fn unregister(&self, id: ScanId) {
+        let mut g = self.state.lock();
+        g.scans.remove(&id);
+        for cb in g.cache.values_mut() {
+            cb.needed_by.remove(&id);
+        }
+        Self::evict_consumed(&mut g, self.capacity_bytes);
+    }
+}
+
+/// Handle for one registered cooperative scan.
+pub struct CoopScanHandle {
+    abm: Arc<Abm>,
+    id: ScanId,
+    done: bool,
+}
+
+impl CoopScanHandle {
+    /// Next `(block, bytes)` this scan needs, in relevance order — NOT table
+    /// order. `None` once every registered block was consumed.
+    pub fn next(&mut self) -> Result<Option<(BlockId, Arc<Vec<u8>>)>> {
+        if self.done {
+            return Ok(None);
+        }
+        let r = self.abm.next_for(self.id)?;
+        if r.is_none() {
+            self.done = true;
+        }
+        Ok(r)
+    }
+}
+
+impl Drop for CoopScanHandle {
+    fn drop(&mut self) {
+        self.abm.unregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_storage::SimDiskConfig;
+
+    fn setup(n_blocks: usize, block_bytes: usize) -> (Arc<SimDisk>, Vec<BlockId>) {
+        let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let ids = (0..n_blocks)
+            .map(|i| disk.write_block(vec![i as u8; block_bytes]))
+            .collect();
+        (disk, ids)
+    }
+
+    #[test]
+    fn single_scan_sees_every_block_once() {
+        let (disk, ids) = setup(10, 50);
+        let abm = Abm::new(disk.clone(), 10_000);
+        let mut scan = abm.register_scan(ids.clone());
+        let mut seen = HashSet::new();
+        while let Some((bid, data)) = scan.next().unwrap() {
+            assert_eq!(data.len(), 50);
+            assert!(seen.insert(bid), "block delivered twice");
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(disk.stats().reads, 10);
+        assert!(scan.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn two_interleaved_scans_share_one_disk_pass() {
+        let (disk, ids) = setup(20, 100);
+        let abm = Abm::new(disk.clone(), 20 * 100);
+        let mut a = abm.register_scan(ids.clone());
+        let mut b = abm.register_scan(ids.clone());
+        let mut done_a = false;
+        let mut done_b = false;
+        let (mut got_a, mut got_b) = (0, 0);
+        while !done_a || !done_b {
+            if !done_a {
+                match a.next().unwrap() {
+                    Some(_) => got_a += 1,
+                    None => done_a = true,
+                }
+            }
+            if !done_b {
+                match b.next().unwrap() {
+                    Some(_) => got_b += 1,
+                    None => done_b = true,
+                }
+            }
+        }
+        assert_eq!(got_a, 20);
+        assert_eq!(got_b, 20);
+        // The headline effect: 2 scans, ~1 table's worth of disk reads.
+        assert_eq!(disk.stats().reads, 20);
+        assert_eq!(abm.stats().shared_hits, 20);
+    }
+
+    #[test]
+    fn late_joining_scan_shares_remaining_blocks() {
+        let (disk, ids) = setup(10, 100);
+        let abm = Abm::new(disk.clone(), 10 * 100);
+        let mut a = abm.register_scan(ids.clone());
+        // A consumes half the table alone.
+        for _ in 0..5 {
+            a.next().unwrap().unwrap();
+        }
+        let mut b = abm.register_scan(ids.clone());
+        let mut done_a = false;
+        let mut done_b = false;
+        while !done_a || !done_b {
+            if !done_a && a.next().unwrap().is_none() {
+                done_a = true;
+            }
+            if !done_b && b.next().unwrap().is_none() {
+                done_b = true;
+            }
+        }
+        // A: 10 loads. B shares A's remaining 5 loads if cached, plus
+        // re-reads the 5 blocks A consumed before B joined (cache may still
+        // hold some). Total reads strictly less than 20.
+        assert!(disk.stats().reads < 20, "reads {}", disk.stats().reads);
+        assert!(abm.stats().shared_hits >= 5);
+    }
+
+    #[test]
+    fn capacity_bound_still_completes() {
+        let (disk, ids) = setup(50, 100);
+        let abm = Abm::new(disk.clone(), 300); // tiny: 3 blocks
+        let mut a = abm.register_scan(ids.clone());
+        let mut b = abm.register_scan(ids.clone());
+        let mut remaining = 2;
+        let mut guard = 0;
+        while remaining > 0 {
+            guard += 1;
+            assert!(guard < 10_000, "livelock");
+            if a.next().unwrap().is_none() && remaining == 2 {
+                remaining -= 1;
+            }
+            if b.next().unwrap().is_none() && remaining >= 1 {
+                if b.next().unwrap().is_none() {
+                    // b is done; drain a
+                    while a.next().unwrap().is_some() {}
+                    remaining = 0;
+                }
+            }
+        }
+        // With a 3-block cache, sharing is partial but must beat 2 full passes
+        // only when interleaved tightly; here we just require completion and
+        // read count within 2 passes.
+        assert!(disk.stats().reads <= 100);
+    }
+
+    #[test]
+    fn disjoint_scans_do_not_interfere() {
+        let (disk, ids) = setup(10, 10);
+        let abm = Abm::new(disk.clone(), 1000);
+        let mut a = abm.register_scan(ids[..5].to_vec());
+        let mut b = abm.register_scan(ids[5..].to_vec());
+        let mut got_a: Vec<BlockId> = Vec::new();
+        let mut got_b: Vec<BlockId> = Vec::new();
+        loop {
+            let ra = a.next().unwrap();
+            let rb = b.next().unwrap();
+            if let Some((id, _)) = ra {
+                got_a.push(id);
+            }
+            if let Some((id, _)) = rb {
+                got_b.push(id);
+            }
+            if ra.is_none() && rb.is_none() {
+                break;
+            }
+        }
+        assert_eq!(got_a.len(), 5);
+        assert_eq!(got_b.len(), 5);
+        assert!(got_a.iter().all(|id| ids[..5].contains(id)));
+        assert!(got_b.iter().all(|id| ids[5..].contains(id)));
+    }
+
+    #[test]
+    fn dropping_handle_releases_cache() {
+        let (disk, ids) = setup(5, 100);
+        let abm = Abm::new(disk.clone(), 10_000);
+        {
+            let mut a = abm.register_scan(ids.clone());
+            a.next().unwrap();
+            // drop mid-scan
+        }
+        let g = abm.state.lock();
+        assert!(g.scans.is_empty());
+        assert_eq!(g.cache_bytes, 0, "cache retained after unregister");
+    }
+
+    #[test]
+    fn threaded_scans_share() {
+        let (disk, ids) = setup(30, 64);
+        let abm = Abm::new(disk.clone(), 30 * 64);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mut scan = abm.register_scan(ids.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut n = 0;
+                while scan.next().unwrap().is_some() {
+                    n += 1;
+                    std::thread::yield_now();
+                }
+                n
+            }));
+        }
+        let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(counts.iter().all(|&c| c == 30));
+        // 4 scans over 30 blocks: perfect sharing = 30 reads; allow slack for
+        // scheduling skew but demand clearly better than 4 passes.
+        assert!(
+            disk.stats().reads < 60,
+            "reads {} — no sharing happened",
+            disk.stats().reads
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Engine-wide tuning constants.
+//!
+//! The single most important knob in a vectorized engine is the vector size:
+//! the number of tuples processed per primitive invocation. X100 found ~1K
+//! tuples to be the sweet spot — large enough to amortize interpretation
+//! overhead over a whole vector, small enough that all vectors touched by a
+//! query pipeline stay resident in the CPU cache. The `vector_size` bench
+//! (experiment E2) sweeps this knob and reproduces both cliffs.
+
+/// Default number of tuples per vector.
+pub const VECTOR_SIZE: usize = 1024;
+
+/// Default number of values per column block on "disk" (storage granularity).
+pub const BLOCK_VALUES: usize = 64 * 1024;
+
+/// Default size in bytes we model for a physical disk block (compressed).
+pub const BLOCK_BYTES: usize = 512 * 1024;
+
+/// Runtime-configurable engine options, threaded through executors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Tuples per vector (per primitive call).
+    pub vector_size: usize,
+    /// Degree of parallelism the `parallelize` rewrite rule targets.
+    pub parallelism: usize,
+    /// Whether the null-decompose rewrite runs (kept on in production;
+    /// switchable so the E8 bench can compare against naive NULL handling).
+    pub rewrite_nulls: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            vector_size: VECTOR_SIZE,
+            parallelism: 1,
+            rewrite_nulls: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with a specific vector size (used by the vector-size sweep).
+    pub fn with_vector_size(vector_size: usize) -> Self {
+        EngineConfig {
+            vector_size,
+            ..Default::default()
+        }
+    }
+
+    /// Config with a specific degree of parallelism.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        EngineConfig {
+            parallelism,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert_eq!(c.vector_size, VECTOR_SIZE);
+        assert_eq!(c.parallelism, 1);
+        assert!(c.rewrite_nulls);
+        assert!(VECTOR_SIZE.is_power_of_two());
+        assert!(BLOCK_VALUES % VECTOR_SIZE == 0);
+    }
+
+    #[test]
+    fn builders() {
+        assert_eq!(EngineConfig::with_vector_size(16).vector_size, 16);
+        assert_eq!(EngineConfig::with_parallelism(4).parallelism, 4);
+    }
+}

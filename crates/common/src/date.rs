@@ -1,0 +1,167 @@
+//! Calendar date arithmetic.
+//!
+//! Dates are stored engine-wide as `i32` days since the Unix epoch
+//! (1970-01-01 = day 0), the same trick Vectorwise uses so that date columns
+//! compress with PFOR-DELTA and compare with plain integer kernels.
+//!
+//! Conversion uses Howard Hinnant's branchless civil-date algorithms, valid
+//! for the full proleptic Gregorian calendar range we care about.
+
+/// Convert a civil date to days since 1970-01-01.
+///
+/// `m` is 1-based (1 = January). Out-of-range day-of-month values are the
+/// caller's responsibility; use [`is_valid_date`] to check first.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March=0 .. February=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Convert days since 1970-01-01 back to a civil date `(y, m, d)`.
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// True iff `y` is a leap year in the Gregorian calendar.
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in month `m` (1-based) of year `y`.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// True iff `(y, m, d)` names a real calendar date.
+pub fn is_valid_date(y: i32, m: u32, d: u32) -> bool {
+    (1..=12).contains(&m) && d >= 1 && d <= days_in_month(y, m)
+}
+
+/// Parse a `YYYY-MM-DD` literal into days-since-epoch.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !is_valid_date(y, m, d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{:04}-{:02}-{:02}", y, m, d)
+}
+
+/// Extract the year of a days-since-epoch date (SQL `EXTRACT(YEAR ...)`).
+pub fn year_of(days: i32) -> i32 {
+    civil_from_days(days).0
+}
+
+/// Extract the month (1-12) of a days-since-epoch date.
+pub fn month_of(days: i32) -> i32 {
+    civil_from_days(days).1 as i32
+}
+
+/// Add `months` to a date, clamping the day-of-month (SQL interval rules).
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = civil_from_days(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let nd = d.min(days_in_month(ny, nm));
+    days_from_civil(ny, nm, nd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(format_date(days_from_civil(1992, 1, 1)), "1992-01-01");
+        assert_eq!(format_date(days_from_civil(1998, 12, 31)), "1998-12-31");
+        // Leap day.
+        assert_eq!(parse_date("2000-02-29"), Some(days_from_civil(2000, 2, 29)));
+        assert_eq!(parse_date("1900-02-29"), None); // 1900 not a leap year
+        assert_eq!(parse_date("2000-13-01"), None);
+        assert_eq!(parse_date("2000-04-31"), None);
+        assert_eq!(parse_date("garbage"), None);
+    }
+
+    #[test]
+    fn roundtrip_every_day_for_decades() {
+        let start = days_from_civil(1950, 1, 1);
+        let end = days_from_civil(2050, 1, 1);
+        let mut prev = civil_from_days(start - 1);
+        for z in start..end {
+            let (y, m, d) = civil_from_days(z);
+            assert!(is_valid_date(y, m, d), "invalid {y}-{m}-{d}");
+            assert_eq!(days_from_civil(y, m, d), z);
+            // Dates advance strictly.
+            assert!((y, m, d) > prev);
+            prev = (y, m, d);
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1997));
+    }
+
+    #[test]
+    fn extract_and_interval() {
+        let d = parse_date("1995-03-15").unwrap();
+        assert_eq!(year_of(d), 1995);
+        assert_eq!(month_of(d), 3);
+        assert_eq!(format_date(add_months(d, 3)), "1995-06-15");
+        assert_eq!(format_date(add_months(d, -3)), "1994-12-15");
+        // Clamping: Jan 31 + 1 month = Feb 28 (non-leap).
+        let jan31 = parse_date("1995-01-31").unwrap();
+        assert_eq!(format_date(add_months(jan31, 1)), "1995-02-28");
+        // 12-month wrap.
+        assert_eq!(format_date(add_months(d, 12)), "1996-03-15");
+    }
+
+    #[test]
+    fn negative_days_before_epoch() {
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Unified error type for all vectorwise crates.
+
+use std::fmt;
+
+/// The error type shared by every layer of the system.
+///
+/// Lower layers construct the variant closest to their domain; upper layers
+/// pass errors through unchanged so a failure deep in storage surfaces to the
+/// SQL user with its original context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VwError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// Name resolution / type checking of a query failed.
+    Bind(String),
+    /// A plan was structurally invalid for the executor given to it.
+    Plan(String),
+    /// A runtime failure during query execution (overflow, bad cast, ...).
+    Exec(String),
+    /// Storage-layer failure (corrupt block, unknown column, ...).
+    Storage(String),
+    /// Transaction aborted due to a write-write conflict (optimistic CC).
+    TxnConflict(String),
+    /// Transaction machinery failure other than a conflict.
+    Txn(String),
+    /// Write-ahead-log corruption or I/O failure.
+    Wal(String),
+    /// Catalog-level failure (duplicate table, unknown table, ...).
+    Catalog(String),
+    /// An operation was given arguments that violate its contract.
+    Invalid(String),
+    /// Feature is recognized but not implemented.
+    Unsupported(String),
+    /// Underlying OS I/O failure, stringified to keep the type `Clone + Eq`.
+    Io(String),
+}
+
+impl VwError {
+    /// Short machine-readable category tag, used in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VwError::Parse(_) => "parse",
+            VwError::Bind(_) => "bind",
+            VwError::Plan(_) => "plan",
+            VwError::Exec(_) => "exec",
+            VwError::Storage(_) => "storage",
+            VwError::TxnConflict(_) => "txn_conflict",
+            VwError::Txn(_) => "txn",
+            VwError::Wal(_) => "wal",
+            VwError::Catalog(_) => "catalog",
+            VwError::Invalid(_) => "invalid",
+            VwError::Unsupported(_) => "unsupported",
+            VwError::Io(_) => "io",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            VwError::Parse(m)
+            | VwError::Bind(m)
+            | VwError::Plan(m)
+            | VwError::Exec(m)
+            | VwError::Storage(m)
+            | VwError::TxnConflict(m)
+            | VwError::Txn(m)
+            | VwError::Wal(m)
+            | VwError::Catalog(m)
+            | VwError::Invalid(m)
+            | VwError::Unsupported(m)
+            | VwError::Io(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for VwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for VwError {}
+
+impl From<std::io::Error> for VwError {
+    fn from(e: std::io::Error) -> Self {
+        VwError::Io(e.to_string())
+    }
+}
+
+/// Result alias used across all vectorwise crates.
+pub type Result<T> = std::result::Result<T, VwError>;
+
+/// Convenience constructors: `exec_err!("bad {}", x)` etc.
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => { $crate::error::VwError::Exec(format!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => { $crate::error::VwError::Plan(format!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! bind_err {
+    ($($arg:tt)*) => { $crate::error::VwError::Bind(format!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! storage_err {
+    ($($arg:tt)*) => { $crate::error::VwError::Storage(format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = VwError::Exec("division by zero".into());
+        assert_eq!(e.to_string(), "exec: division by zero");
+        assert_eq!(e.kind(), "exec");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: VwError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn macros_format() {
+        let e = exec_err!("bad value {}", 42);
+        assert_eq!(e, VwError::Exec("bad value 42".into()));
+        let e = plan_err!("no column {}", "x");
+        assert_eq!(e.kind(), "plan");
+        let e = bind_err!("unknown table");
+        assert_eq!(e.kind(), "bind");
+        let e = storage_err!("corrupt block {}", 7);
+        assert_eq!(e.kind(), "storage");
+    }
+
+    #[test]
+    fn every_variant_has_distinct_kind() {
+        let variants = [
+            VwError::Parse(String::new()),
+            VwError::Bind(String::new()),
+            VwError::Plan(String::new()),
+            VwError::Exec(String::new()),
+            VwError::Storage(String::new()),
+            VwError::TxnConflict(String::new()),
+            VwError::Txn(String::new()),
+            VwError::Wal(String::new()),
+            VwError::Catalog(String::new()),
+            VwError::Invalid(String::new()),
+            VwError::Unsupported(String::new()),
+            VwError::Io(String::new()),
+        ];
+        let kinds: std::collections::HashSet<_> = variants.iter().map(|v| v.kind()).collect();
+        assert_eq!(kinds.len(), variants.len());
+    }
+}

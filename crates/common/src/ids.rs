@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers.
+//!
+//! Positions deserve particular care in a system built on Positional Delta
+//! Trees, where two coordinate systems coexist:
+//!
+//! * [`Sid`] — *stable* ID: a tuple's position in the last checkpointed
+//!   (stable) table image on disk. Deletions/insertions recorded in a PDT do
+//!   not renumber SIDs.
+//! * [`Rid`] — *row* ID: a tuple's position in the current logical table
+//!   image, i.e. after merging all PDT layers. This is what queries see.
+//!
+//! Mixing them up is the classic PDT bug; newtypes make it a type error.
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            pub const ZERO: $name = $name(0);
+
+            #[inline]
+            pub fn new(v: u64) -> Self {
+                $name(v)
+            }
+
+            #[inline]
+            pub fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            #[inline]
+            pub fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Next sequential id.
+            #[inline]
+            pub fn next(self) -> Self {
+                $name(self.0 + 1)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a table in the catalog.
+    TableId
+);
+id_newtype!(
+    /// Identifies a column within a table.
+    ColId
+);
+id_newtype!(
+    /// Identifies a transaction; monotonically increasing.
+    TxnId
+);
+id_newtype!(
+    /// Log sequence number of a WAL record.
+    Lsn
+);
+id_newtype!(
+    /// Identifies a storage block (one column chunk) on the simulated disk.
+    BlockId
+);
+id_newtype!(
+    /// Stable ID: position in the stable (checkpointed) table image.
+    Sid
+);
+id_newtype!(
+    /// Row ID: position in the current logical table image (stable + PDTs).
+    Rid
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_are_distinct_types_and_ordered() {
+        let a = Sid::new(5);
+        let b = Sid::new(7);
+        assert!(a < b);
+        assert_eq!(a.next(), Sid::new(6));
+        assert_eq!(a.as_usize(), 5);
+        assert_eq!(format!("{}", a), "Sid(5)");
+        // Compile-time check that Sid and Rid are different types:
+        fn takes_rid(_r: Rid) {}
+        takes_rid(Rid::from(5));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(TxnId::default(), TxnId::ZERO);
+        assert_eq!(Lsn::default().as_u64(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Relational schemas: ordered, named, typed, nullable-flagged fields.
+
+use crate::error::{Result, VwError};
+use crate::types::DataType;
+use std::fmt;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of fields. Lookup is by exact name; qualified names
+/// (`t.col`) are resolved by the binder before schemas are built.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the column named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Like [`index_of`] but returns a bind error naming the column.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            VwError::Bind(format!(
+                "column '{}' not found (have: {})",
+                name,
+                self.fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Schema of a projection of this schema (by column indexes).
+    pub fn project(&self, indexes: &[usize]) -> Schema {
+        Schema {
+            fields: indexes.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenation of two schemas (join output).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(right.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Append a field, returning its index.
+    pub fn push(&mut self, field: Field) -> usize {
+        self.fields.push(field);
+        self.fields.len() - 1
+    }
+
+    /// Validate that all names are unique (catalog-level invariant).
+    pub fn check_unique_names(&self) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &self.fields {
+            if !seen.insert(f.name.as_str()) {
+                return Err(VwError::Catalog(format!("duplicate column '{}'", f.name)));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fd.name, fd.ty)?;
+            if fd.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Field> for Schema {
+    fn from_iter<T: IntoIterator<Item = Field>>(iter: T) -> Self {
+        Schema {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::I64),
+            Field::nullable("name", DataType::Str),
+            Field::new("price", DataType::F64),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_resolve() {
+        let s = sample();
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.resolve("price").unwrap(), 2);
+        let err = s.resolve("nope").unwrap_err();
+        assert_eq!(err.kind(), "bind");
+        assert!(err.to_string().contains("id, name, price"));
+    }
+
+    #[test]
+    fn project_and_join() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "price");
+        assert_eq!(p.field(1).name, "id");
+        let j = s.join(&p);
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.field(4).name, "id");
+    }
+
+    #[test]
+    fn unique_names() {
+        let s = sample();
+        assert!(s.check_unique_names().is_ok());
+        let mut dup = sample();
+        dup.push(Field::new("id", DataType::I32));
+        assert_eq!(dup.check_unique_names().unwrap_err().kind(), "catalog");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            sample().to_string(),
+            "(id BIGINT, name VARCHAR NULL, price DOUBLE)"
+        );
+    }
+}

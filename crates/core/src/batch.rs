@@ -1,0 +1,360 @@
+//! Vectors and batches — the unit of data flow between operators.
+//!
+//! An [`ExecVector`] is a typed value array ([`ColumnData`], shared with the
+//! storage layer) plus an optional *widened* NULL indicator (`Vec<bool>`, one
+//! byte per value, so kernels index it without bit twiddling — storage keeps
+//! the packed form, §I-B's PAX pair).
+//!
+//! A [`Batch`] is a set of equal-length vectors plus an optional **selection
+//! vector**: a list of qualifying row positions. Filters produce selection
+//! vectors instead of copying survivors — the X100 trick that makes selective
+//! scans nearly free. Kernels take the selection as a parameter; operators
+//! that need dense input call [`Batch::compact`].
+
+use vw_common::{BitVec, DataType, Result, Schema, Value, VwError};
+use vw_storage::{ColumnData, NullableColumn, StrColumn};
+
+/// A typed vector with an optional byte-per-value NULL indicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecVector {
+    pub data: ColumnData,
+    /// `true` = NULL at that position. `None` = no NULLs.
+    pub nulls: Option<Vec<bool>>,
+}
+
+impl ExecVector {
+    pub fn not_null(data: ColumnData) -> ExecVector {
+        ExecVector { data, nulls: None }
+    }
+
+    pub fn new(data: ColumnData, nulls: Option<Vec<bool>>) -> ExecVector {
+        if let Some(n) = &nulls {
+            assert_eq!(n.len(), data.len(), "null indicator length mismatch");
+        }
+        ExecVector { data, nulls }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n[i])
+    }
+
+    /// Convert from the storage representation (packed indicator).
+    pub fn from_storage(col: NullableColumn) -> ExecVector {
+        let nulls = col.nulls.as_ref().map(widen_bits);
+        ExecVector {
+            data: col.data,
+            nulls,
+        }
+    }
+
+    /// Read one position as a `Value` with logical type `ty`.
+    pub fn get_value(&self, i: usize, ty: DataType) -> Value {
+        if self.is_null(i) {
+            Value::Null
+        } else {
+            self.data.get_value(i, ty)
+        }
+    }
+
+    /// Gather positions into a new dense vector.
+    pub fn gather(&self, positions: &[u32]) -> ExecVector {
+        let data = match &self.data {
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(positions.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::I32(v) => {
+                ColumnData::I32(positions.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::I64(v) => {
+                ColumnData::I64(positions.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::F64(v) => {
+                ColumnData::F64(positions.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                let mut out = StrColumn::with_capacity(positions.len(), positions.len() * 8);
+                for &i in positions {
+                    out.push(v.get(i as usize));
+                }
+                ColumnData::Str(out)
+            }
+        };
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|n| positions.iter().map(|&i| n[i as usize]).collect());
+        ExecVector { data, nulls }
+    }
+
+    /// Copy positions `[from, to)` into a new vector (scan batching).
+    pub fn slice(&self, from: usize, to: usize) -> ExecVector {
+        ExecVector {
+            data: self.data.slice(from, to),
+            nulls: self.nulls.as_ref().map(|n| n[from..to].to_vec()),
+        }
+    }
+
+    /// An all-NULL vector of logical type `ty` (LEFT-join padding).
+    pub fn all_null(ty: DataType, len: usize) -> ExecVector {
+        let mut data = ColumnData::empty(ty);
+        for _ in 0..len {
+            data.push_safe_null();
+        }
+        ExecVector {
+            data,
+            nulls: Some(vec![true; len]),
+        }
+    }
+
+    /// Build from `Value`s (test helper and slow paths).
+    pub fn from_values(ty: DataType, values: &[Value]) -> Result<ExecVector> {
+        Ok(ExecVector::from_storage(NullableColumn::from_values(
+            ty, values,
+        )?))
+    }
+}
+
+/// Widen a packed bit indicator to one byte per value.
+pub fn widen_bits(bits: &BitVec) -> Vec<bool> {
+    bits.iter().collect()
+}
+
+/// A batch: columns + optional selection vector.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub columns: Vec<ExecVector>,
+    /// Qualifying positions, ascending. `None` = all rows qualify.
+    pub sel: Option<Vec<u32>>,
+    /// Physical row count of every column.
+    pub rows: usize,
+}
+
+impl Batch {
+    pub fn new(columns: Vec<ExecVector>) -> Batch {
+        let rows = columns.first().map_or(0, |c| c.len());
+        debug_assert!(columns.iter().all(|c| c.len() == rows), "ragged batch");
+        Batch {
+            columns,
+            sel: None,
+            rows,
+        }
+    }
+
+    pub fn with_sel(columns: Vec<ExecVector>, sel: Vec<u32>) -> Batch {
+        let rows = columns.first().map_or(0, |c| c.len());
+        debug_assert!(sel.iter().all(|&i| (i as usize) < rows));
+        Batch {
+            columns,
+            sel: Some(sel),
+            rows,
+        }
+    }
+
+    /// An empty batch with no columns and no rows (COUNT(*) sources still
+    /// need row counts; use `rows` directly).
+    pub fn empty() -> Batch {
+        Batch {
+            columns: vec![],
+            sel: None,
+            rows: 0,
+        }
+    }
+
+    /// Logical (selected) row count.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate logical positions (selected physical indexes).
+    pub fn positions(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match &self.sel {
+            Some(s) => Box::new(s.iter().map(|&i| i as usize)),
+            None => Box::new(0..self.rows),
+        }
+    }
+
+    /// Materialize the selection: gather selected rows into dense columns.
+    /// No-op when there is no selection.
+    pub fn compact(self) -> Batch {
+        match self.sel {
+            None => self,
+            Some(sel) => {
+                let columns = self
+                    .columns
+                    .iter()
+                    .map(|c| c.gather(&sel))
+                    .collect::<Vec<_>>();
+                let rows = sel.len();
+                Batch {
+                    columns,
+                    sel: None,
+                    rows,
+                }
+            }
+        }
+    }
+
+    /// Read one logical row as `Value`s (result delivery; not a hot path).
+    pub fn row_values(&self, logical: usize, schema: &Schema) -> Vec<Value> {
+        let phys = match &self.sel {
+            Some(s) => s[logical] as usize,
+            None => logical,
+        };
+        self.columns
+            .iter()
+            .zip(schema.fields())
+            .map(|(c, f)| c.get_value(phys, f.ty))
+            .collect()
+    }
+
+    /// Convert a whole batch into rows (result delivery).
+    pub fn to_rows(&self, schema: &Schema) -> Vec<Vec<Value>> {
+        (0..self.len())
+            .map(|i| self.row_values(i, schema))
+            .collect()
+    }
+
+    /// Build a batch from rows (test helper).
+    pub fn from_rows(schema: &Schema, rows: &[Vec<Value>]) -> Result<Batch> {
+        let mut cols = Vec::with_capacity(schema.len());
+        for (c, f) in schema.fields().iter().enumerate() {
+            let vals: Vec<Value> = rows
+                .iter()
+                .map(|r| {
+                    r.get(c)
+                        .cloned()
+                        .ok_or_else(|| VwError::Exec("short row".into()))
+                })
+                .collect::<Result<_>>()?;
+            cols.push(ExecVector::from_values(f.ty, &vals)?);
+        }
+        let mut b = Batch::new(cols);
+        b.rows = rows.len(); // correct even for zero-column schemas
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Field;
+
+    fn sample_batch() -> Batch {
+        Batch::new(vec![
+            ExecVector::not_null(ColumnData::I64(vec![10, 20, 30, 40])),
+            ExecVector::new(
+                ColumnData::Str(StrColumn::from_iter(["a", "b", "c", "d"])),
+                Some(vec![false, true, false, false]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn batch_len_and_positions() {
+        let b = sample_batch();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.positions().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let s = Batch::with_sel(b.columns.clone(), vec![1, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.positions().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn compact_gathers_and_drops_sel() {
+        let b = sample_batch();
+        let s = Batch::with_sel(b.columns.clone(), vec![0, 2]);
+        let c = s.compact();
+        assert!(c.sel.is_none());
+        assert_eq!(c.rows, 2);
+        match &c.columns[0].data {
+            ColumnData::I64(v) => assert_eq!(v, &vec![10, 30]),
+            _ => panic!(),
+        }
+        match &c.columns[1].data {
+            ColumnData::Str(s) => assert_eq!(s.iter().collect::<Vec<_>>(), vec!["a", "c"]),
+            _ => panic!(),
+        }
+        assert_eq!(c.columns[1].nulls, Some(vec![false, false]));
+    }
+
+    #[test]
+    fn compact_without_sel_is_identity() {
+        let b = sample_batch();
+        let rows = b.rows;
+        let c = b.compact();
+        assert_eq!(c.rows, rows);
+    }
+
+    #[test]
+    fn row_values_respect_sel_and_nulls() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::nullable("s", DataType::Str),
+        ]);
+        let b = sample_batch();
+        let s = Batch::with_sel(b.columns.clone(), vec![1]);
+        let row = s.row_values(0, &schema);
+        assert_eq!(row, vec![Value::I64(20), Value::Null]);
+        let all = Batch::new(b.columns).to_rows(&schema);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[2], vec![Value::I64(30), Value::Str("c".into())]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::nullable("s", DataType::Str),
+        ]);
+        let rows = vec![
+            vec![Value::I64(1), Value::Str("x".into())],
+            vec![Value::I64(2), Value::Null],
+        ];
+        let b = Batch::from_rows(&schema, &rows).unwrap();
+        assert_eq!(b.to_rows(&schema), rows);
+    }
+
+    #[test]
+    fn all_null_vector() {
+        let v = ExecVector::all_null(DataType::F64, 3);
+        assert_eq!(v.len(), 3);
+        assert!(v.is_null(0) && v.is_null(2));
+        assert_eq!(v.get_value(1, DataType::F64), Value::Null);
+    }
+
+    #[test]
+    fn gather_bool_and_f64() {
+        let v = ExecVector::not_null(ColumnData::Bool(vec![true, false, true]));
+        let g = v.gather(&[2, 0]);
+        assert_eq!(g.data, ColumnData::Bool(vec![true, true]));
+        let f = ExecVector::not_null(ColumnData::F64(vec![1.5, 2.5]));
+        assert_eq!(f.gather(&[1]).data, ColumnData::F64(vec![2.5]));
+    }
+
+    #[test]
+    fn from_storage_widens_nulls() {
+        let col = NullableColumn::from_values(
+            DataType::I64,
+            &[Value::I64(1), Value::Null],
+        )
+        .unwrap();
+        let v = ExecVector::from_storage(col);
+        assert_eq!(v.nulls, Some(vec![false, true]));
+    }
+}

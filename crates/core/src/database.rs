@@ -1,0 +1,830 @@
+//! The `Database` facade — the integrated analytical DBMS.
+//!
+//! This is the layer that corresponds to the *product*: SQL comes in
+//! (`vw-sql`), plans are optimized (`vw-plan::optimizer`), rewritten
+//! (`vw-plan::rewrite`: constant folding, pushdown, parallelization),
+//! cross-compiled ([`crate::compile`]) and executed by the vectorized engine
+//! over PDT-merged columnar storage, under snapshot-isolated transactions
+//! with a WAL (`vw-txn`).
+//!
+//! Queries run against an immutable snapshot (Arc'd master PDTs + immutable
+//! stable storage between checkpoints), so readers never block writers.
+
+use crate::compile::{compile_plan, ExecContext, TableProvider};
+use crate::operators::collect_rows;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vw_common::config::EngineConfig;
+use vw_common::{DataType, Result, Schema, TableId, Value, VwError};
+use vw_plan::{optimize, rewrite_default, LogicalPlan, TableStats};
+use vw_sql::{compile_sql, BoundStatement, CatalogView};
+use vw_storage::{SimDisk, SimDiskConfig, TableBuilder, TableStorage};
+use vw_txn::{checkpoint_table, materialize_image, Transaction, TxnManager};
+
+/// A query result: schema + row values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Single-value convenience accessor.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// Render as an aligned text table (examples, demos).
+    pub fn format_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {:w$} |", c, w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+struct TableEntry {
+    id: TableId,
+    storage: Arc<RwLock<TableStorage>>,
+}
+
+/// The embedded analytical DBMS.
+pub struct Database {
+    disk: Arc<SimDisk>,
+    tables: RwLock<HashMap<String, TableEntry>>,
+    txn: RwLock<TxnManager>,
+    stats: RwLock<HashMap<TableId, TableStats>>,
+    config: RwLock<EngineConfig>,
+    wal_path: PathBuf,
+    next_table_id: AtomicU64,
+}
+
+static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl Database {
+    /// A fresh database with a default simulated disk and a WAL in the
+    /// system temp directory.
+    pub fn new() -> Result<Database> {
+        let n = DB_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let wal = std::env::temp_dir().join(format!(
+            "vectorwise_{}_{}.wal",
+            std::process::id(),
+            n
+        ));
+        // A fresh database must not replay a stale WAL from a previous
+        // process that happened to share the path.
+        let _ = std::fs::remove_file(&wal);
+        Database::with_wal_and_disk(wal, SimDiskConfig::default())
+    }
+
+    /// Full control over WAL location and simulated-disk profile.
+    pub fn with_wal_and_disk(wal_path: PathBuf, disk: SimDiskConfig) -> Result<Database> {
+        Ok(Database {
+            disk: Arc::new(SimDisk::new(disk)),
+            tables: RwLock::new(HashMap::new()),
+            txn: RwLock::new(TxnManager::new(&wal_path)?),
+            stats: RwLock::new(HashMap::new()),
+            config: RwLock::new(EngineConfig::default()),
+            wal_path,
+            next_table_id: AtomicU64::new(1),
+        })
+    }
+
+    pub fn disk(&self) -> &Arc<SimDisk> {
+        &self.disk
+    }
+
+    pub fn wal_path(&self) -> &std::path::Path {
+        &self.wal_path
+    }
+
+    pub fn config(&self) -> EngineConfig {
+        self.config.read().clone()
+    }
+
+    pub fn set_config(&self, config: EngineConfig) {
+        *self.config.write() = config;
+    }
+
+    /// Degree of parallelism used by the parallelize rewrite.
+    pub fn set_parallelism(&self, dop: usize) {
+        self.config.write().parallelism = dop.max(1);
+    }
+
+    pub fn set_vector_size(&self, vs: usize) {
+        self.config.write().vector_size = vs.max(1);
+    }
+
+    /// Toggle the NULL-rewrite (experiment E8; on by default).
+    pub fn set_rewrite_nulls(&self, on: bool) {
+        self.config.write().rewrite_nulls = on;
+    }
+
+    // ------------------------------------------------------------- catalog
+
+    /// Create an empty table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableId> {
+        schema.check_unique_names()?;
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(VwError::Catalog(format!("table '{}' already exists", name)));
+        }
+        let id = TableId::new(self.next_table_id.fetch_add(1, Ordering::Relaxed));
+        let storage = TableStorage::new(schema, self.disk.clone());
+        self.txn.read().register_table(id, 0);
+        tables.insert(
+            name.to_string(),
+            TableEntry {
+                id,
+                storage: Arc::new(RwLock::new(storage)),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Bulk-load rows directly into stable storage (initial load path,
+    /// bypassing the WAL — like any warehouse bulk loader). The table must
+    /// be empty.
+    pub fn bulk_load(
+        &self,
+        name: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<u64> {
+        let entry_storage;
+        let entry_id;
+        {
+            let tables = self.tables.read();
+            let entry = tables
+                .get(name)
+                .ok_or_else(|| VwError::Catalog(format!("unknown table '{}'", name)))?;
+            entry_storage = entry.storage.clone();
+            entry_id = entry.id;
+        }
+        let mut storage = entry_storage.write();
+        if storage.n_rows() != 0 || !self.txn.read().current_pdt(entry_id)?.is_empty() {
+            return Err(VwError::Invalid(format!(
+                "bulk_load requires empty table '{}'",
+                name
+            )));
+        }
+        let schema = storage.schema().clone();
+        let mut builder = TableBuilder::new(schema, self.disk.clone());
+        let mut n = 0u64;
+        for row in rows {
+            builder.push_row(row)?;
+            n += 1;
+        }
+        *storage = builder.finish()?;
+        self.txn.read().register_table(entry_id, n);
+        Ok(n)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Current (stable + deltas) row count of a table.
+    pub fn table_rows(&self, name: &str) -> Result<u64> {
+        let tables = self.tables.read();
+        let entry = tables
+            .get(name)
+            .ok_or_else(|| VwError::Catalog(format!("unknown table '{}'", name)))?;
+        Ok(self.txn.read().current_pdt(entry.id)?.current_rows())
+    }
+
+    /// The schema of a table.
+    pub fn table_schema(&self, name: &str) -> Result<Schema> {
+        let tables = self.tables.read();
+        let entry = tables
+            .get(name)
+            .ok_or_else(|| VwError::Catalog(format!("unknown table '{}'", name)))?;
+        let schema = entry.storage.read().schema().clone();
+        Ok(schema)
+    }
+
+    fn entry_by_id(&self, id: TableId) -> Result<(String, Arc<RwLock<TableStorage>>)> {
+        let tables = self.tables.read();
+        tables
+            .iter()
+            .find(|(_, e)| e.id == id)
+            .map(|(n, e)| (n.clone(), e.storage.clone()))
+            .ok_or_else(|| VwError::Catalog(format!("unknown table {}", id)))
+    }
+
+    // ------------------------------------------------------------ execution
+
+    /// Build an execution context from the current committed snapshot (or a
+    /// transaction's view).
+    pub fn exec_context(&self, txn: Option<&Transaction>) -> Result<ExecContext> {
+        let tables = self.tables.read();
+        let mgr = self.txn.read();
+        let mut providers = HashMap::new();
+        for entry in tables.values() {
+            let pdt = match txn {
+                Some(t) => Arc::new(t.effective_pdt(entry.id)?.clone()),
+                None => mgr.current_pdt(entry.id)?,
+            };
+            providers.insert(
+                entry.id,
+                TableProvider {
+                    storage: entry.storage.clone(),
+                    pdt,
+                },
+            );
+        }
+        Ok(ExecContext::new(providers, self.config.read().clone()))
+    }
+
+    /// Optimize + rewrite a logical plan per current config and stats.
+    pub fn optimize_plan(&self, plan: LogicalPlan) -> LogicalPlan {
+        let stats = self.stats.read().clone();
+        let plan = optimize(plan, &stats);
+        rewrite_default(plan, self.config.read().parallelism)
+    }
+
+    /// Execute a logical plan against the committed snapshot.
+    pub fn run_plan(&self, plan: LogicalPlan) -> Result<QueryResult> {
+        self.run_plan_in(plan, None)
+    }
+
+    /// Execute a logical plan, optionally inside a transaction's view.
+    pub fn run_plan_in(&self, plan: LogicalPlan, txn: Option<&Transaction>) -> Result<QueryResult> {
+        let plan = self.optimize_plan(plan);
+        let schema = plan.schema()?;
+        let ctx = self.exec_context(txn)?;
+        let mut op = compile_plan(&plan, &ctx)?;
+        let rows = collect_rows(op.as_mut())?;
+        Ok(QueryResult { schema, rows })
+    }
+
+    /// Execute one SQL statement (autocommit).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let bound = compile_sql(sql, self)?;
+        match bound {
+            BoundStatement::Query(plan) => self.run_plan(plan),
+            BoundStatement::Explain(plan) => {
+                let optimized = self.optimize_plan(plan);
+                let text = optimized.explain();
+                let schema = Schema::new(vec![vw_common::Field::new("plan", DataType::Str)]);
+                let rows = text
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(QueryResult { schema, rows })
+            }
+            BoundStatement::CreateTable { name, schema } => {
+                self.create_table(&name, schema)?;
+                Ok(empty_result("created"))
+            }
+            BoundStatement::Insert { table, rows } => {
+                let mut txn = self.begin();
+                let n = rows.len();
+                for row in rows {
+                    txn.append(table, row)?;
+                }
+                self.commit(txn)?;
+                Ok(count_result("inserted", n))
+            }
+            BoundStatement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let mut txn = self.begin();
+                let n = self.apply_update(&mut txn, table, &assignments, predicate.as_ref())?;
+                self.commit(txn)?;
+                Ok(count_result("updated", n))
+            }
+            BoundStatement::Delete { table, predicate } => {
+                let mut txn = self.begin();
+                let n = self.apply_delete(&mut txn, table, predicate.as_ref())?;
+                self.commit(txn)?;
+                Ok(count_result("deleted", n))
+            }
+        }
+    }
+
+    /// Execute a SQL statement inside an open transaction (DML + queries).
+    pub fn execute_in(&self, txn: &mut Transaction, sql: &str) -> Result<QueryResult> {
+        let bound = compile_sql(sql, self)?;
+        match bound {
+            BoundStatement::Query(plan) => self.run_plan_in(plan, Some(txn)),
+            BoundStatement::Insert { table, rows } => {
+                let n = rows.len();
+                for row in rows {
+                    txn.append(table, row)?;
+                }
+                Ok(count_result("inserted", n))
+            }
+            BoundStatement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let n = self.apply_update(txn, table, &assignments, predicate.as_ref())?;
+                Ok(count_result("updated", n))
+            }
+            BoundStatement::Delete { table, predicate } => {
+                let n = self.apply_delete(txn, table, predicate.as_ref())?;
+                Ok(count_result("deleted", n))
+            }
+            _ => Err(VwError::Txn(
+                "only queries and DML are allowed inside a transaction".into(),
+            )),
+        }
+    }
+
+    /// Rows of a table as seen by a transaction (or the committed snapshot),
+    /// in RID order — the reference row view for DML.
+    fn current_rows_of(
+        &self,
+        txn: &Transaction,
+        table: TableId,
+    ) -> Result<Vec<Vec<Value>>> {
+        let (_, storage) = self.entry_by_id(table)?;
+        let storage = storage.read();
+        let pdt = txn.effective_pdt(table)?;
+        let cols = materialize_image(pdt, &storage)?;
+        let schema = storage.schema();
+        let n = cols.first().map_or(0, |c| c.len());
+        Ok((0..n)
+            .map(|i| {
+                cols.iter()
+                    .zip(schema.fields())
+                    .map(|(c, f)| c.get_value(i, f.ty))
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn apply_update(
+        &self,
+        txn: &mut Transaction,
+        table: TableId,
+        assignments: &[(usize, vw_plan::Expr)],
+        predicate: Option<&vw_plan::Expr>,
+    ) -> Result<usize> {
+        let rows = self.current_rows_of(txn, table)?;
+        let mut n = 0usize;
+        for (rid, row) in rows.iter().enumerate() {
+            if let Some(p) = predicate {
+                if p.eval_row(row)? != Value::Bool(true) {
+                    continue;
+                }
+            }
+            // All assignments see the pre-update row (SQL semantics).
+            for (col, e) in assignments {
+                let mut v = e.eval_row(row)?;
+                let want = {
+                    let (_, storage) = self.entry_by_id(table)?;
+                    let s = storage.read().schema().field(*col).ty;
+                    s
+                };
+                if !v.is_null() {
+                    v = v
+                        .cast_to(want)
+                        .ok_or_else(|| VwError::Exec(format!("cannot store {} as {}", v, want)))?;
+                }
+                txn.modify_at(table, rid as u64, *col as u32, v)?;
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn apply_delete(
+        &self,
+        txn: &mut Transaction,
+        table: TableId,
+        predicate: Option<&vw_plan::Expr>,
+    ) -> Result<usize> {
+        let rows = self.current_rows_of(txn, table)?;
+        let mut rids: Vec<u64> = Vec::new();
+        for (rid, row) in rows.iter().enumerate() {
+            match predicate {
+                Some(p) => {
+                    if p.eval_row(row)? == Value::Bool(true) {
+                        rids.push(rid as u64);
+                    }
+                }
+                None => rids.push(rid as u64),
+            }
+        }
+        // Descending order keeps earlier RIDs stable while deleting.
+        for &rid in rids.iter().rev() {
+            txn.delete_at(table, rid)?;
+        }
+        Ok(rids.len())
+    }
+
+    // ---------------------------------------------------------- transactions
+
+    /// Begin an explicit transaction.
+    pub fn begin(&self) -> Transaction {
+        self.txn.read().begin()
+    }
+
+    /// Commit (may fail with `TxnConflict` under optimistic CC).
+    pub fn commit(&self, txn: Transaction) -> Result<()> {
+        self.txn.read().commit(txn)
+    }
+
+    /// Abort.
+    pub fn abort(&self, txn: Transaction) {
+        self.txn.read().abort(txn)
+    }
+
+    pub fn commit_count(&self) -> u64 {
+        self.txn.read().commit_count()
+    }
+
+    pub fn abort_count(&self) -> u64 {
+        self.txn.read().abort_count()
+    }
+
+    /// Control WAL flushing (group commit experiments).
+    pub fn set_sync_on_commit(&self, sync: bool) {
+        self.txn.read().set_sync_on_commit(sync);
+    }
+
+    // ---------------------------------------------------------- maintenance
+
+    /// Fold a table's PDT into stable storage and truncate the WAL.
+    pub fn checkpoint(&self, name: &str) -> Result<u64> {
+        let (id, storage) = {
+            let tables = self.tables.read();
+            let entry = tables
+                .get(name)
+                .ok_or_else(|| VwError::Catalog(format!("unknown table '{}'", name)))?;
+            (entry.id, entry.storage.clone())
+        };
+        let mgr = self.txn.read();
+        let mut storage = storage.write();
+        checkpoint_table(&mgr, id, &mut storage)
+    }
+
+    /// Build optimizer statistics for a table from a sample of its stable
+    /// image.
+    pub fn analyze(&self, name: &str) -> Result<()> {
+        let (id, storage) = {
+            let tables = self.tables.read();
+            let entry = tables
+                .get(name)
+                .ok_or_else(|| VwError::Catalog(format!("unknown table '{}'", name)))?;
+            (entry.id, entry.storage.clone())
+        };
+        let storage = storage.read();
+        let schema = storage.schema().clone();
+        let n_rows = self.txn.read().current_pdt(id)?.current_rows();
+        // Sample up to ~4 row groups.
+        let mut samples: Vec<Vec<Value>> = vec![Vec::new(); schema.len()];
+        let step = (storage.group_count() / 4).max(1);
+        for g in (0..storage.group_count()).step_by(step) {
+            for (c, sample) in samples.iter_mut().enumerate() {
+                let col = storage.read_column(g, c)?;
+                let stride = (col.len() / 256).max(1);
+                for i in (0..col.len()).step_by(stride) {
+                    sample.push(col.get_value(i, schema.field(c).ty));
+                }
+            }
+        }
+        let types: Vec<DataType> = schema.fields().iter().map(|f| f.ty).collect();
+        let stats = TableStats::build(n_rows, &types, &samples);
+        self.stats.write().insert(id, stats);
+        Ok(())
+    }
+
+    /// Simulate a crash: throw away all in-memory transaction state and
+    /// recover it from the WAL (stable storage survives on the SimDisk).
+    pub fn simulate_crash_and_recover(&self) -> Result<()> {
+        let tables = self.tables.read();
+        let table_rows: HashMap<TableId, u64> = tables
+            .values()
+            .map(|e| (e.id, e.storage.read().n_rows()))
+            .collect();
+        let recovered = TxnManager::recover(&self.wal_path, &table_rows)?;
+        *self.txn.write() = recovered;
+        Ok(())
+    }
+}
+
+fn empty_result(tag: &str) -> QueryResult {
+    QueryResult {
+        schema: Schema::new(vec![vw_common::Field::new(tag, DataType::I64)]),
+        rows: vec![],
+    }
+}
+
+fn count_result(tag: &str, n: usize) -> QueryResult {
+    QueryResult {
+        schema: Schema::new(vec![vw_common::Field::new(tag, DataType::I64)]),
+        rows: vec![vec![Value::I64(n as i64)]],
+    }
+}
+
+impl CatalogView for Database {
+    fn resolve_table(&self, name: &str) -> Option<(TableId, Schema)> {
+        let tables = self.tables.read();
+        tables
+            .get(name)
+            .map(|e| (e.id, e.storage.read().schema().clone()))
+    }
+
+    fn table_rows(&self, id: TableId) -> Option<u64> {
+        self.txn
+            .read()
+            .current_pdt(id)
+            .ok()
+            .map(|p| p.current_rows())
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        // best-effort cleanup of the WAL file for throwaway databases
+        let _ = std::fs::remove_file(&self.wal_path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let db = Database::new().unwrap();
+        db.execute(
+            "CREATE TABLE items (id BIGINT NOT NULL, qty BIGINT NOT NULL, \
+             price DOUBLE NOT NULL, tag VARCHAR)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO items VALUES \
+             (1, 5, 10.0, 'a'), (2, 3, 20.0, 'b'), (3, 8, 30.0, 'a'), \
+             (4, 1, 40.0, NULL), (5, 9, 50.0, 'b')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let db = sample_db();
+        let r = db
+            .execute("SELECT id, price FROM items WHERE qty >= 5 ORDER BY id")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0], vec![Value::I64(1), Value::F64(10.0)]);
+        assert_eq!(r.schema.field(1).name, "price");
+    }
+
+    #[test]
+    fn aggregates_via_sql() {
+        let db = sample_db();
+        let r = db
+            .execute(
+                "SELECT tag, COUNT(*) AS n, SUM(price) AS total FROM items \
+                 GROUP BY tag ORDER BY tag",
+            )
+            .unwrap();
+        // NULL tag sorts first (nulls-first ordering)
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::Null);
+        assert_eq!(r.rows[1], vec![
+            Value::Str("a".into()),
+            Value::I64(2),
+            Value::F64(40.0)
+        ]);
+        assert_eq!(r.rows[2][2], Value::F64(70.0));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = sample_db();
+        let r = db
+            .execute("UPDATE items SET price = price * 2 WHERE tag = 'a'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(2));
+        let r = db
+            .execute("SELECT SUM(price) FROM items")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::F64(10.0 + 20.0 + 30.0 + 40.0 + 50.0 + 40.0));
+        let r = db.execute("DELETE FROM items WHERE qty < 4").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(2));
+        assert_eq!(db.table_rows("items").unwrap(), 3);
+        // deleted rows are gone from queries
+        let r = db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(3));
+    }
+
+    #[test]
+    fn updates_visible_through_scans_with_pdt_merge() {
+        let db = sample_db();
+        db.execute("UPDATE items SET tag = 'z' WHERE id = 1").unwrap();
+        let r = db
+            .execute("SELECT tag FROM items WHERE id = 1")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Str("z".into()));
+    }
+
+    #[test]
+    fn explicit_transaction_isolation_and_conflict() {
+        let db = sample_db();
+        let mut t1 = db.begin();
+        db.execute_in(&mut t1, "UPDATE items SET qty = 100 WHERE id = 2")
+            .unwrap();
+        // Own writes visible inside txn:
+        let r = db
+            .execute_in(&mut t1, "SELECT qty FROM items WHERE id = 2")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(100));
+        // Not visible outside:
+        let r = db.execute("SELECT qty FROM items WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(3));
+        // Conflicting concurrent txn:
+        let mut t2 = db.begin();
+        db.execute_in(&mut t2, "UPDATE items SET qty = 200 WHERE id = 2")
+            .unwrap();
+        db.commit(t1).unwrap();
+        let err = db.commit(t2).unwrap_err();
+        assert_eq!(err.kind(), "txn_conflict");
+        // Committed value is t1's.
+        let r = db.execute("SELECT qty FROM items WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(100));
+    }
+
+    #[test]
+    fn checkpoint_then_query() {
+        let db = sample_db();
+        db.execute("DELETE FROM items WHERE id = 1").unwrap();
+        db.execute("INSERT INTO items VALUES (6, 2, 60.0, 'c')")
+            .unwrap();
+        let before = db.execute("SELECT id FROM items ORDER BY id").unwrap();
+        db.checkpoint("items").unwrap();
+        let after = db.execute("SELECT id FROM items ORDER BY id").unwrap();
+        assert_eq!(before.rows, after.rows);
+        // PDT is empty post-checkpoint; data served purely from storage.
+        assert_eq!(db.table_rows("items").unwrap(), 5);
+    }
+
+    #[test]
+    fn crash_recovery_preserves_committed_only() {
+        let db = sample_db();
+        db.execute("UPDATE items SET qty = 77 WHERE id = 3").unwrap();
+        // an uncommitted transaction...
+        let mut t = db.begin();
+        db.execute_in(&mut t, "DELETE FROM items WHERE id = 5").unwrap();
+        // ...lost in the crash (never committed)
+        db.simulate_crash_and_recover().unwrap();
+        let r = db
+            .execute("SELECT qty FROM items WHERE id = 3")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(77));
+        assert_eq!(db.table_rows("items").unwrap(), 5);
+        drop(t);
+    }
+
+    #[test]
+    fn explain_output() {
+        let db = sample_db();
+        let r = db
+            .execute("EXPLAIN SELECT tag, COUNT(*) FROM items WHERE qty > 1 GROUP BY tag")
+            .unwrap();
+        let text: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_str().unwrap().to_string())
+            .collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("Aggregate"), "{}", joined);
+        assert!(joined.contains("Scan items"), "{}", joined);
+        // filter was pushed into the scan
+        assert!(joined.contains("filter="), "{}", joined);
+    }
+
+    #[test]
+    fn parallel_config_changes_plan_not_results() {
+        let db = sample_db();
+        let serial = db
+            .execute("SELECT tag, SUM(qty) FROM items GROUP BY tag ORDER BY tag")
+            .unwrap();
+        db.set_parallelism(3);
+        let parallel = db
+            .execute("SELECT tag, SUM(qty) FROM items GROUP BY tag ORDER BY tag")
+            .unwrap();
+        assert_eq!(serial.rows, parallel.rows);
+        let explain = db
+            .execute("EXPLAIN SELECT tag, SUM(qty) FROM items GROUP BY tag")
+            .unwrap();
+        let text: String = explain
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("Exchange"), "{}", text);
+    }
+
+    #[test]
+    fn analyze_feeds_optimizer() {
+        let db = sample_db();
+        db.analyze("items").unwrap();
+        // build-side selection now has stats; just verify queries still work
+        let r = db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(5));
+    }
+
+    #[test]
+    fn bulk_load_requires_empty_and_counts() {
+        let db = Database::new().unwrap();
+        db.execute("CREATE TABLE t (a BIGINT NOT NULL)").unwrap();
+        let n = db
+            .bulk_load("t", (0..100).map(|i| vec![Value::I64(i)]))
+            .unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(db.table_rows("t").unwrap(), 100);
+        assert!(db.bulk_load("t", vec![vec![Value::I64(1)]]).is_err());
+        let r = db.execute("SELECT SUM(a) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(4950));
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let db = sample_db();
+        assert!(db.execute("SELECT nosuch FROM items").is_err());
+        assert!(db.execute("SELECT * FROM nosuch").is_err());
+        assert!(db.execute("CREATE TABLE items (a BIGINT)").is_err());
+        assert_eq!(db.execute("SELECT 1 FROM items WHERE qty / 0 > 1").unwrap_err().kind(), "exec");
+    }
+
+    #[test]
+    fn format_table_renders() {
+        let db = sample_db();
+        let r = db
+            .execute("SELECT id, tag FROM items ORDER BY id LIMIT 2")
+            .unwrap();
+        let text = r.format_table();
+        assert!(text.contains("| id | tag |"), "{}", text);
+        assert!(text.contains("| 1  | a   |"), "{}", text);
+    }
+
+    #[test]
+    fn transactional_inserts_then_scan_in_txn() {
+        let db = sample_db();
+        let mut t = db.begin();
+        db.execute_in(&mut t, "INSERT INTO items VALUES (10, 1, 1.0, 'x')")
+            .unwrap();
+        let r = db
+            .execute_in(&mut t, "SELECT COUNT(*) FROM items")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(6));
+        db.abort(t);
+        let r = db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(5));
+    }
+}

@@ -1,0 +1,742 @@
+//! Vectorized hash aggregation, with the partial/final split used by the
+//! Volcano parallelizer (see `vw_plan::rewrite::parallel`).
+//!
+//! Group lookup is allocation-free on the hot path: hash lanes directly from
+//! the key columns, verify candidates by lane comparison, and only when a
+//! *new* group is born are its key values materialized. Aggregate arguments
+//! are evaluated vector-at-a-time with the batch's selection vector, so the
+//! classic `Scan → Filter → Aggregate` pipeline never materializes survivors.
+
+use crate::batch::{Batch, ExecVector};
+use crate::vexpr::ExprEvaluator;
+use vw_common::hash::FxHashMap;
+use vw_common::{DataType, Field, Result, Schema, Value, VwError};
+use vw_plan::plan::AggPhase;
+use vw_plan::rewrite::parallel::partial_avg_count_columns;
+use vw_plan::{AggExpr, AggFunc};
+use vw_storage::ColumnData;
+
+use super::{hash_lane, BoxedOperator, Operator};
+
+/// One aggregate's running state.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumI { sum: i64, seen: bool },
+    SumF { sum: f64, seen: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc, arg_ty: Option<DataType>) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match arg_ty {
+                Some(DataType::F64) => AggState::SumF { sum: 0.0, seen: false },
+                _ => AggState::SumI { sum: 0, seen: false },
+            },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Single-phase update from one lane of the argument vector.
+    fn update(&mut self, arg: Option<(&ExecVector, usize, DataType)>) -> Result<()> {
+        match self {
+            AggState::Count(n) => match arg {
+                None => *n += 1, // COUNT(*)
+                Some((v, i, _)) => {
+                    if !v.is_null(i) {
+                        *n += 1;
+                    }
+                }
+            },
+            AggState::SumI { sum, seen } => {
+                let (v, i, _) = arg.ok_or_else(|| VwError::Exec("SUM needs arg".into()))?;
+                if !v.is_null(i) {
+                    *sum = sum.wrapping_add(lane_i64(v, i)?);
+                    *seen = true;
+                }
+            }
+            AggState::SumF { sum, seen } => {
+                let (v, i, _) = arg.ok_or_else(|| VwError::Exec("SUM needs arg".into()))?;
+                if !v.is_null(i) {
+                    *sum += lane_f64(v, i)?;
+                    *seen = true;
+                }
+            }
+            AggState::Min(cur) => {
+                let (v, i, ty) = arg.ok_or_else(|| VwError::Exec("MIN needs arg".into()))?;
+                if !v.is_null(i) {
+                    let val = v.get_value(i, ty);
+                    if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_lt()) {
+                        *cur = Some(val);
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                let (v, i, ty) = arg.ok_or_else(|| VwError::Exec("MAX needs arg".into()))?;
+                if !v.is_null(i) {
+                    let val = v.get_value(i, ty);
+                    if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_gt()) {
+                        *cur = Some(val);
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                let (v, i, _) = arg.ok_or_else(|| VwError::Exec("AVG needs arg".into()))?;
+                if !v.is_null(i) {
+                    *sum += lane_f64(v, i)?;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final-phase update: combine a partial value (and hidden count for AVG).
+    fn combine(
+        &mut self,
+        arg: (&ExecVector, usize, DataType),
+        hidden_count: Option<(&ExecVector, usize)>,
+    ) -> Result<()> {
+        let (v, i, ty) = arg;
+        if v.is_null(i) {
+            return Ok(());
+        }
+        match self {
+            AggState::Count(n) => *n += lane_i64(v, i)?,
+            AggState::SumI { sum, seen } => {
+                *sum = sum.wrapping_add(lane_i64(v, i)?);
+                *seen = true;
+            }
+            AggState::SumF { sum, seen } => {
+                *sum += lane_f64(v, i)?;
+                *seen = true;
+            }
+            AggState::Min(cur) => {
+                let val = v.get_value(i, ty);
+                if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_lt()) {
+                    *cur = Some(val);
+                }
+            }
+            AggState::Max(cur) => {
+                let val = v.get_value(i, ty);
+                if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_gt()) {
+                    *cur = Some(val);
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += lane_f64(v, i)?;
+                let (hc, hi) =
+                    hidden_count.ok_or_else(|| VwError::Exec("AVG final needs count".into()))?;
+                *count += lane_i64(hc, hi)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish into the output value for the given phase.
+    fn finish(&self, phase: AggPhase) -> Value {
+        match self {
+            AggState::Count(n) => Value::I64(*n),
+            AggState::SumI { sum, seen } => {
+                if *seen {
+                    Value::I64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumF { sum, seen } => {
+                if *seen {
+                    Value::F64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else if phase == AggPhase::Partial {
+                    Value::F64(*sum) // partial carries raw sum + hidden count
+                } else {
+                    Value::F64(*sum / *count as f64)
+                }
+            }
+        }
+    }
+
+    /// The hidden count value (partial AVG output).
+    fn hidden_count(&self) -> Value {
+        match self {
+            AggState::Avg { count, .. } => Value::I64(*count),
+            _ => Value::Null,
+        }
+    }
+}
+
+#[inline]
+fn lane_i64(v: &ExecVector, i: usize) -> Result<i64> {
+    match &v.data {
+        ColumnData::I64(x) => Ok(x[i]),
+        ColumnData::I32(x) => Ok(x[i] as i64),
+        ColumnData::Bool(x) => Ok(x[i] as i64),
+        other => Err(VwError::Exec(format!(
+            "integer aggregate over {}",
+            other.type_name()
+        ))),
+    }
+}
+
+#[inline]
+fn lane_f64(v: &ExecVector, i: usize) -> Result<f64> {
+    match &v.data {
+        ColumnData::F64(x) => Ok(x[i]),
+        ColumnData::I64(x) => Ok(x[i] as f64),
+        ColumnData::I32(x) => Ok(x[i] as f64),
+        other => Err(VwError::Exec(format!(
+            "numeric aggregate over {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Hash aggregation operator.
+pub struct HashAggregate {
+    input: BoxedOperator,
+    group_by: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    arg_evals: Vec<Option<ExprEvaluator>>,
+    arg_types: Vec<Option<DataType>>,
+    phase: AggPhase,
+    out_schema: Schema,
+    in_schema: Schema,
+    vector_size: usize,
+    /// Columns in the (partial) input carrying hidden AVG counts:
+    /// `(agg index, input column)`.
+    hidden_in: Vec<(usize, usize)>,
+    done: bool,
+    output: Vec<Batch>,
+}
+
+impl HashAggregate {
+    pub fn new(
+        input: BoxedOperator,
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        phase: AggPhase,
+        vector_size: usize,
+        naive_nulls: bool,
+    ) -> Result<HashAggregate> {
+        let in_schema = input.schema().clone();
+        let mut arg_evals = Vec::with_capacity(aggs.len());
+        let mut arg_types = Vec::with_capacity(aggs.len());
+        for a in &aggs {
+            match &a.arg {
+                Some(e) => {
+                    let ev = ExprEvaluator::new(e.clone(), &in_schema, naive_nulls)?;
+                    arg_types.push(Some(ev.output_type()));
+                    arg_evals.push(Some(ev));
+                }
+                None => {
+                    arg_evals.push(None);
+                    arg_types.push(None);
+                }
+            }
+        }
+        let mut fields: Vec<Field> = group_by
+            .iter()
+            .map(|&g| in_schema.field(g).clone())
+            .collect();
+        for (a, ty) in aggs.iter().zip(&arg_types) {
+            let out_ty = output_type(a.func, *ty, phase);
+            fields.push(Field {
+                name: a.name.clone(),
+                ty: out_ty,
+                nullable: true,
+            });
+        }
+        if phase == AggPhase::Partial {
+            for a in &aggs {
+                if a.func == AggFunc::Avg {
+                    fields.push(Field::new(format!("__{}_count", a.name), DataType::I64));
+                }
+            }
+        }
+        // For the Final phase, locate hidden count columns in the partial
+        // input layout.
+        let hidden_in = if phase == AggPhase::Final {
+            partial_avg_count_columns(group_by.len(), &aggs)
+        } else {
+            Vec::new()
+        };
+        Ok(HashAggregate {
+            input,
+            group_by,
+            aggs,
+            arg_evals,
+            arg_types,
+            phase,
+            out_schema: Schema::new(fields),
+            in_schema,
+            vector_size: vector_size.max(1),
+            hidden_in,
+            done: false,
+            output: Vec::new(),
+        })
+    }
+
+    fn run(&mut self) -> Result<()> {
+        // group hash table: hash -> group ids; group id -> (keys, states)
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut states: Vec<Vec<AggState>> = Vec::new();
+        let key_types: Vec<DataType> = self
+            .group_by
+            .iter()
+            .map(|&g| self.in_schema.field(g).ty)
+            .collect();
+
+        while let Some(batch) = self.input.next()? {
+            // Evaluate aggregate argument expressions with the selection.
+            let args: Vec<Option<ExecVector>> = self
+                .arg_evals
+                .iter()
+                .map(|ev| ev.as_ref().map(|e| e.eval(&batch)).transpose())
+                .collect::<Result<_>>()?;
+            let sel_owned: Vec<u32>;
+            let lanes: &[u32] = match &batch.sel {
+                Some(s) => s,
+                None => {
+                    sel_owned = (0..batch.rows as u32).collect();
+                    &sel_owned
+                }
+            };
+            for &lane in lanes {
+                let i = lane as usize;
+                // group lookup
+                let mut h = 0u64;
+                for &g in &self.group_by {
+                    h = hash_lane(&batch.columns[g], i, h);
+                }
+                let bucket = buckets.entry(h).or_default();
+                let mut gid: Option<u32> = None;
+                for &cand in bucket.iter() {
+                    let keys = &group_keys[cand as usize];
+                    let ok = self.group_by.iter().enumerate().all(|(k, &g)| {
+                        value_lane_eq(&keys[k], &batch.columns[g], i)
+                    });
+                    if ok {
+                        gid = Some(cand);
+                        break;
+                    }
+                }
+                let gid = match gid {
+                    Some(g) => g as usize,
+                    None => {
+                        let id = group_keys.len();
+                        bucket.push(id as u32);
+                        group_keys.push(
+                            self.group_by
+                                .iter()
+                                .zip(&key_types)
+                                .map(|(&g, &ty)| batch.columns[g].get_value(i, ty))
+                                .collect(),
+                        );
+                        states.push(
+                            self.aggs
+                                .iter()
+                                .zip(&self.arg_types)
+                                .map(|(a, ty)| AggState::new(a.func, *ty))
+                                .collect(),
+                        );
+                        id
+                    }
+                };
+                // update states
+                for (k, st) in states[gid].iter_mut().enumerate() {
+                    if self.phase == AggPhase::Final {
+                        let arg = args[k]
+                            .as_ref()
+                            .ok_or_else(|| VwError::Exec("final agg needs arg".into()))?;
+                        let hidden = self
+                            .hidden_in
+                            .iter()
+                            .find(|(ai, _)| *ai == k)
+                            .map(|(_, col)| (&batch.columns[*col], i));
+                        st.combine(
+                            (arg, i, self.arg_types[k].unwrap_or(DataType::F64)),
+                            hidden,
+                        )?;
+                    } else {
+                        let arg = args[k]
+                            .as_ref()
+                            .map(|v| (v, i, self.arg_types[k].unwrap_or(DataType::I64)));
+                        st.update(arg)?;
+                    }
+                }
+            }
+        }
+
+        // Scalar aggregate over empty input still yields one row.
+        if group_keys.is_empty() && self.group_by.is_empty() {
+            group_keys.push(vec![]);
+            states.push(
+                self.aggs
+                    .iter()
+                    .zip(&self.arg_types)
+                    .map(|(a, ty)| AggState::new(a.func, *ty))
+                    .collect(),
+            );
+        }
+
+        // Emit result rows chunked at vector size.
+        let schema = self.out_schema.clone();
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(group_keys.len());
+        for (keys, sts) in group_keys.into_iter().zip(&states) {
+            let mut row = keys;
+            for st in sts {
+                row.push(st.finish(self.phase));
+            }
+            if self.phase == AggPhase::Partial {
+                for (k, a) in self.aggs.iter().enumerate() {
+                    if a.func == AggFunc::Avg {
+                        row.push(sts[k].hidden_count());
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        for chunk in rows.chunks(self.vector_size) {
+            self.output.push(Batch::from_rows(&schema, chunk)?);
+        }
+        self.output.reverse(); // pop() from the back in order
+        Ok(())
+    }
+}
+
+fn output_type(func: AggFunc, arg_ty: Option<DataType>, _phase: AggPhase) -> DataType {
+    match func {
+        AggFunc::CountStar | AggFunc::Count => DataType::I64,
+        AggFunc::Avg => DataType::F64,
+        AggFunc::Sum => match arg_ty {
+            Some(DataType::F64) => DataType::F64,
+            _ => DataType::I64,
+        },
+        AggFunc::Min | AggFunc::Max => arg_ty.unwrap_or(DataType::I64),
+    }
+}
+
+/// Allocation-free comparison between a stored key `Value` and a column lane.
+fn value_lane_eq(key: &Value, col: &ExecVector, i: usize) -> bool {
+    if col.is_null(i) {
+        return key.is_null();
+    }
+    match (key, &col.data) {
+        (Value::Null, _) => false,
+        (Value::Bool(k), ColumnData::Bool(v)) => *k == v[i],
+        (Value::I32(k), ColumnData::I32(v)) => *k == v[i],
+        (Value::Date(k), ColumnData::I32(v)) => *k == v[i],
+        (Value::I64(k), ColumnData::I64(v)) => *k == v[i],
+        (Value::F64(k), ColumnData::F64(v)) => k.to_bits() == v[i].to_bits(),
+        (Value::Str(k), ColumnData::Str(v)) => k.as_bytes() == v.get_bytes(i),
+        _ => false,
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if !self.done {
+            self.run()?;
+            self.done = true;
+        }
+        Ok(self.output.pop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{collect_rows, BatchSource};
+    use vw_plan::Expr;
+
+    fn source(rows: Vec<Vec<Value>>) -> BoxedOperator {
+        let schema = Schema::new(vec![
+            Field::new("grp", DataType::Str),
+            Field::nullable("x", DataType::I64),
+            Field::new("f", DataType::F64),
+        ]);
+        Box::new(BatchSource::from_rows(schema, &rows, 3).unwrap())
+    }
+
+    fn rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Str("a".into()), Value::I64(1), Value::F64(0.5)],
+            vec![Value::Str("b".into()), Value::I64(2), Value::F64(1.0)],
+            vec![Value::Str("a".into()), Value::I64(3), Value::F64(1.5)],
+            vec![Value::Str("a".into()), Value::Null, Value::F64(2.0)],
+            vec![Value::Str("b".into()), Value::I64(4), Value::F64(2.5)],
+        ]
+    }
+
+    fn agg(func: AggFunc, arg: Option<Expr>, name: &str) -> AggExpr {
+        AggExpr {
+            func,
+            arg,
+            name: name.into(),
+        }
+    }
+
+    fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        rows
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let mut op = HashAggregate::new(
+            source(rows()),
+            vec![0],
+            vec![
+                agg(AggFunc::CountStar, None, "n"),
+                agg(AggFunc::Count, Some(Expr::col(1)), "nx"),
+                agg(AggFunc::Sum, Some(Expr::col(1)), "sx"),
+                agg(AggFunc::Avg, Some(Expr::col(1)), "ax"),
+                agg(AggFunc::Min, Some(Expr::col(2)), "mn"),
+                agg(AggFunc::Max, Some(Expr::col(2)), "mx"),
+            ],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let out = sorted(collect_rows(&mut op).unwrap());
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0],
+            vec![
+                Value::Str("a".into()),
+                Value::I64(3),
+                Value::I64(2),
+                Value::I64(4),
+                Value::F64(2.0),
+                Value::F64(0.5),
+                Value::F64(2.0),
+            ]
+        );
+        assert_eq!(
+            out[1],
+            vec![
+                Value::Str("b".into()),
+                Value::I64(2),
+                Value::I64(2),
+                Value::I64(6),
+                Value::F64(3.0),
+                Value::F64(1.0),
+                Value::F64(2.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_aggregate_empty_input() {
+        let mut op = HashAggregate::new(
+            source(vec![]),
+            vec![],
+            vec![
+                agg(AggFunc::CountStar, None, "n"),
+                agg(AggFunc::Sum, Some(Expr::col(1)), "s"),
+            ],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let out = collect_rows(&mut op).unwrap();
+        assert_eq!(out, vec![vec![Value::I64(0), Value::Null]]);
+    }
+
+    #[test]
+    fn grouped_aggregate_empty_input_no_rows() {
+        let mut op = HashAggregate::new(
+            source(vec![]),
+            vec![0],
+            vec![agg(AggFunc::CountStar, None, "n")],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        assert!(collect_rows(&mut op).unwrap().is_empty());
+    }
+
+    #[test]
+    fn computed_argument_expressions() {
+        // SUM(x * 2)
+        let mut op = HashAggregate::new(
+            source(rows()),
+            vec![],
+            vec![agg(
+                AggFunc::Sum,
+                Some(Expr::binary(
+                    vw_plan::BinOp::Mul,
+                    Expr::col(1),
+                    Expr::lit(Value::I64(2)),
+                )),
+                "s2",
+            )],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let out = collect_rows(&mut op).unwrap();
+        assert_eq!(out, vec![vec![Value::I64(20)]]);
+    }
+
+    #[test]
+    fn partial_final_roundtrip_equals_single() {
+        let aggs = vec![
+            agg(AggFunc::CountStar, None, "n"),
+            agg(AggFunc::Sum, Some(Expr::col(1)), "s"),
+            agg(AggFunc::Avg, Some(Expr::col(1)), "a"),
+            agg(AggFunc::Min, Some(Expr::col(2)), "mn"),
+        ];
+        // Single-phase reference.
+        let mut single = HashAggregate::new(
+            source(rows()),
+            vec![0],
+            aggs.clone(),
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let want = sorted(collect_rows(&mut single).unwrap());
+
+        // Partial over two halves, then Final over the union.
+        let all = rows();
+        let (h1, h2) = all.split_at(2);
+        let mut parts: Vec<Vec<Value>> = Vec::new();
+        let mut partial_schema = None;
+        for half in [h1.to_vec(), h2.to_vec()] {
+            let mut p = HashAggregate::new(
+                source(half),
+                vec![0],
+                aggs.clone(),
+                AggPhase::Partial,
+                1024,
+                false,
+            )
+            .unwrap();
+            partial_schema = Some(p.schema().clone());
+            parts.extend(collect_rows(&mut p).unwrap());
+        }
+        let pschema = partial_schema.unwrap();
+        assert_eq!(pschema.len(), 1 + 4 + 1); // group + aggs + hidden avg count
+        let final_aggs: Vec<AggExpr> = aggs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| AggExpr {
+                func: a.func,
+                arg: Some(Expr::col(1 + i)),
+                name: a.name.clone(),
+            })
+            .collect();
+        let src = Box::new(BatchSource::from_rows(pschema, &parts, 2).unwrap());
+        let mut fin = HashAggregate::new(
+            src,
+            vec![0],
+            final_aggs,
+            AggPhase::Final,
+            1024,
+            false,
+        )
+        .unwrap();
+        let got = sorted(collect_rows(&mut fin).unwrap());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn null_group_keys_form_one_group() {
+        let schema = Schema::new(vec![
+            Field::nullable("g", DataType::I64),
+            Field::new("x", DataType::I64),
+        ]);
+        let rows = vec![
+            vec![Value::Null, Value::I64(1)],
+            vec![Value::I64(5), Value::I64(2)],
+            vec![Value::Null, Value::I64(3)],
+        ];
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 2).unwrap());
+        let mut op = HashAggregate::new(
+            src,
+            vec![0],
+            vec![agg(AggFunc::Sum, Some(Expr::col(1)), "s")],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let mut out = collect_rows(&mut op).unwrap();
+        out.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Value::Null, Value::I64(4)]);
+        assert_eq!(out[1], vec![Value::I64(5), Value::I64(2)]);
+    }
+
+    #[test]
+    fn respects_selection_from_filter() {
+        use crate::operators::VecFilter;
+        let f = VecFilter::new(
+            source(rows()),
+            Expr::binary(vw_plan::BinOp::Gt, Expr::col(2), Expr::lit(Value::F64(0.9))),
+            false,
+        )
+        .unwrap();
+        let mut op = HashAggregate::new(
+            Box::new(f),
+            vec![],
+            vec![agg(AggFunc::CountStar, None, "n")],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let out = collect_rows(&mut op).unwrap();
+        assert_eq!(out, vec![vec![Value::I64(4)]]);
+    }
+
+    #[test]
+    fn many_groups_chunk_output() {
+        let schema = Schema::new(vec![Field::new("g", DataType::I64)]);
+        let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::I64(i)]).collect();
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 7).unwrap());
+        let mut op = HashAggregate::new(
+            src,
+            vec![0],
+            vec![agg(AggFunc::CountStar, None, "n")],
+            AggPhase::Single,
+            16,
+            false,
+        )
+        .unwrap();
+        let mut batches = 0;
+        let mut total = 0;
+        while let Some(b) = op.next().unwrap() {
+            batches += 1;
+            total += b.len();
+            assert!(b.len() <= 16);
+        }
+        assert_eq!(total, 100);
+        assert!(batches >= 7);
+    }
+}

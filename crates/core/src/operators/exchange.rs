@@ -1,0 +1,127 @@
+//! The Volcano-style Exchange operator (§I-B multi-core parallelization).
+//!
+//! `P` worker threads each compile and run their own copy of the child plan
+//! with a `(worker, P)` partition spec — every `VecScan` below restricts
+//! itself to row groups `g % P == worker`. Batches stream back through a
+//! bounded channel; the consumer unions them in arrival order (exchange
+//! output is unordered, like the SQL semantics of the operators it wraps).
+
+use crate::batch::Batch;
+use crate::compile::{compile_plan, ExecContext};
+use crossbeam::channel::{bounded, Receiver};
+use std::thread::JoinHandle;
+use vw_common::{Result, Schema, VwError};
+use vw_plan::LogicalPlan;
+
+use super::Operator;
+
+/// Exchange operator.
+pub struct Exchange {
+    plan: LogicalPlan,
+    ctx: ExecContext,
+    partitions: usize,
+    schema: Schema,
+    rx: Option<Receiver<Result<Batch>>>,
+    workers: Vec<JoinHandle<()>>,
+    failed: bool,
+}
+
+impl Exchange {
+    pub fn new(plan: LogicalPlan, ctx: ExecContext, partitions: usize) -> Result<Exchange> {
+        let schema = plan
+            .schema()
+            .map_err(|e| VwError::Plan(format!("exchange child schema: {}", e)))?;
+        Ok(Exchange {
+            plan,
+            ctx,
+            partitions: partitions.max(1),
+            schema,
+            rx: None,
+            workers: Vec::new(),
+            failed: false,
+        })
+    }
+
+    fn spawn(&mut self) {
+        let (tx, rx) = bounded::<Result<Batch>>(self.partitions * 2);
+        for w in 0..self.partitions {
+            let tx = tx.clone();
+            let plan = self.plan.clone();
+            let mut ctx = self.ctx.clone();
+            ctx.partition = Some((w, self.partitions));
+            let handle = std::thread::spawn(move || {
+                let mut op = match compile_plan(&plan, &ctx) {
+                    Ok(op) => op,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                };
+                loop {
+                    match op.next() {
+                        Ok(Some(batch)) => {
+                            // Compact before crossing threads: selection
+                            // vectors are a producer-local optimization.
+                            if tx.send(Ok(batch.compact())).is_err() {
+                                return; // consumer went away
+                            }
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            });
+            self.workers.push(handle);
+        }
+        // Drop the original sender so the channel closes when workers finish.
+        drop(tx);
+        self.rx = Some(rx);
+    }
+
+    fn join_workers(&mut self) {
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Operator for Exchange {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.failed {
+            return Ok(None);
+        }
+        if self.rx.is_none() {
+            self.spawn();
+        }
+        match self.rx.as_ref().unwrap().recv() {
+            Ok(Ok(batch)) => Ok(Some(batch)),
+            Ok(Err(e)) => {
+                self.failed = true;
+                self.rx = None; // disconnect; workers stop on send failure
+                self.join_workers();
+                Err(e)
+            }
+            Err(_) => {
+                // all senders dropped: end of stream
+                self.join_workers();
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for Exchange {
+    fn drop(&mut self) {
+        self.rx = None;
+        self.join_workers();
+    }
+}
+
+// Tests live in `crate::compile` where plan construction helpers exist.

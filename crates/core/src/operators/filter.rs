@@ -1,0 +1,150 @@
+//! The vectorized filter: evaluates a boolean expression per batch and emits
+//! a *selection vector* — no survivor copying (the X100 selection idiom).
+
+use crate::batch::Batch;
+use crate::primitives::sel_from_bool;
+use crate::vexpr::ExprEvaluator;
+use vw_common::{Result, Schema, VwError};
+use vw_plan::Expr;
+use vw_storage::ColumnData;
+
+use super::{BoxedOperator, Operator};
+
+/// Filter operator.
+pub struct VecFilter {
+    input: BoxedOperator,
+    predicate: ExprEvaluator,
+    schema: Schema,
+}
+
+impl VecFilter {
+    pub fn new(input: BoxedOperator, predicate: Expr, naive_nulls: bool) -> Result<VecFilter> {
+        let schema = input.schema().clone();
+        let predicate = ExprEvaluator::new(predicate, &schema, naive_nulls)?;
+        Ok(VecFilter {
+            input,
+            predicate,
+            schema,
+        })
+    }
+}
+
+impl Operator for VecFilter {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let Some(mut batch) = self.input.next()? else {
+                return Ok(None);
+            };
+            let v = self.predicate.eval(&batch)?;
+            let vals = match &v.data {
+                ColumnData::Bool(b) => b,
+                other => {
+                    return Err(VwError::Exec(format!(
+                        "filter produced {}, expected booleans",
+                        other.type_name()
+                    )))
+                }
+            };
+            let mut sel = Vec::new();
+            sel_from_bool(vals, v.nulls.as_deref(), batch.sel.as_deref(), &mut sel);
+            if sel.is_empty() {
+                continue;
+            }
+            batch.sel = Some(sel);
+            return Ok(Some(batch));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{collect_rows, BatchSource};
+    use vw_common::{DataType, Field, Value};
+    use vw_plan::BinOp;
+
+    fn source() -> BoxedOperator {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::nullable("v", DataType::I64),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| {
+                vec![
+                    Value::I64(i),
+                    if i % 5 == 0 { Value::Null } else { Value::I64(i * 2) },
+                ]
+            })
+            .collect();
+        Box::new(BatchSource::from_rows(schema, &rows, 6).unwrap())
+    }
+
+    #[test]
+    fn basic_filtering() {
+        let f = VecFilter::new(
+            source(),
+            Expr::binary(BinOp::Ge, Expr::col(0), Expr::lit(Value::I64(15))),
+            false,
+        )
+        .unwrap();
+        let mut f = f;
+        let rows = collect_rows(&mut f).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0], Value::I64(15));
+    }
+
+    #[test]
+    fn null_predicate_rows_are_dropped() {
+        // v > 0 is NULL where v is NULL → those rows dropped.
+        let mut f = VecFilter::new(
+            source(),
+            Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(Value::I64(-1))),
+            false,
+        )
+        .unwrap();
+        let rows = collect_rows(&mut f).unwrap();
+        assert_eq!(rows.len(), 16); // 20 - 4 nulls (i=0,5,10,15)
+    }
+
+    #[test]
+    fn chained_filters_intersect_selections() {
+        let f1 = VecFilter::new(
+            source(),
+            Expr::binary(BinOp::Ge, Expr::col(0), Expr::lit(Value::I64(5))),
+            false,
+        )
+        .unwrap();
+        let mut f2 = VecFilter::new(
+            Box::new(f1),
+            Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(8))),
+            false,
+        )
+        .unwrap();
+        let rows = collect_rows(&mut f2).unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::I64(5), Value::I64(6), Value::I64(7)]
+        );
+    }
+
+    #[test]
+    fn all_filtered_batches_are_skipped() {
+        let mut f = VecFilter::new(
+            source(),
+            Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(Value::I64(100))),
+            false,
+        )
+        .unwrap();
+        assert!(f.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn non_boolean_predicate_errors() {
+        let mut f = VecFilter::new(source(), Expr::col(0), false).unwrap();
+        assert!(f.next().is_err());
+    }
+}

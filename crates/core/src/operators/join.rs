@@ -1,0 +1,450 @@
+//! The vectorized hash join.
+//!
+//! Builds a hash table from the **right** input (the optimizer arranges the
+//! smaller side there), then streams the left input vector-at-a-time:
+//! hash probe → candidate verification (allocation-free lane comparison) →
+//! gather of matched pairs. Supports inner, left-outer, semi and anti joins
+//! plus a residual (non-equi) predicate evaluated over matched pairs.
+//!
+//! SQL NULL key semantics: a NULL key never matches anything — NULL-keyed
+//! build rows are not inserted, NULL-keyed probe rows never find matches
+//! (for LEFT/ANTI they surface as unmatched rows, as SQL requires).
+
+use crate::batch::{Batch, ExecVector};
+use crate::vexpr::ExprEvaluator;
+use vw_common::hash::FxHashMap;
+use vw_common::{Result, Schema, VwError};
+use vw_plan::{Expr, JoinKind};
+use vw_storage::ColumnData;
+
+use super::{drain_to_single_batch, hash_lane, lanes_eq, BoxedOperator, Operator};
+
+/// Hash join operator.
+pub struct HashJoin {
+    left: BoxedOperator,
+    right: Option<BoxedOperator>,
+    kind: JoinKind,
+    /// (left key col, right key col) pairs.
+    on: Vec<(usize, usize)>,
+    residual: Option<ExprEvaluator>,
+    out_schema: Schema,
+    left_schema: Schema,
+    right_schema: Schema,
+    build: Option<BuildSide>,
+}
+
+struct BuildSide {
+    columns: Vec<ExecVector>,
+    /// hash → build row indexes (collision chains resolved by verify).
+    table: FxHashMap<u64, Vec<u32>>,
+}
+
+impl HashJoin {
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+        naive_nulls: bool,
+    ) -> Result<HashJoin> {
+        if on.is_empty() {
+            return Err(VwError::Plan("hash join needs at least one key".into()));
+        }
+        let left_schema = left.schema().clone();
+        let right_schema = right.schema().clone();
+        let out_schema = match kind {
+            JoinKind::Semi | JoinKind::Anti => left_schema.clone(),
+            JoinKind::Inner => left_schema.join(&right_schema),
+            JoinKind::Left => {
+                let mut fields: Vec<vw_common::Field> = left_schema.fields().to_vec();
+                for f in right_schema.fields() {
+                    let mut nf = f.clone();
+                    nf.nullable = true;
+                    fields.push(nf);
+                }
+                Schema::new(fields)
+            }
+        };
+        // Residual is evaluated over the concatenated (left ++ right) schema
+        // regardless of join kind.
+        let combined = left_schema.join(&right_schema);
+        let residual = residual
+            .map(|e| ExprEvaluator::new(e, &combined, naive_nulls))
+            .transpose()?;
+        Ok(HashJoin {
+            left,
+            right: Some(right),
+            kind,
+            on,
+            residual,
+            out_schema,
+            left_schema,
+            right_schema,
+            build: None,
+        })
+    }
+
+    fn build_side(&mut self) -> Result<()> {
+        let mut right = self.right.take().expect("build called twice");
+        let batch = drain_to_single_batch(right.as_mut())?;
+        let rows = batch.rows;
+        let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        'row: for i in 0..rows {
+            let mut h = 0u64;
+            for &(_, rc) in &self.on {
+                if batch.columns[rc].is_null(i) {
+                    continue 'row; // NULL keys never match
+                }
+                h = hash_lane(&batch.columns[rc], i, h);
+            }
+            table.entry(h).or_default().push(i as u32);
+        }
+        self.build = Some(BuildSide {
+            columns: batch.columns,
+            table,
+        });
+        Ok(())
+    }
+
+    /// Candidate (probe, build) pairs for one dense probe batch.
+    fn match_pairs(&self, probe: &Batch) -> (Vec<u32>, Vec<u32>) {
+        let build = self.build.as_ref().unwrap();
+        let mut probe_idx = Vec::new();
+        let mut build_idx = Vec::new();
+        'row: for i in 0..probe.rows {
+            let mut h = 0u64;
+            for &(lc, _) in &self.on {
+                if probe.columns[lc].is_null(i) {
+                    continue 'row;
+                }
+                h = hash_lane(&probe.columns[lc], i, h);
+            }
+            if let Some(cands) = build.table.get(&h) {
+                for &bj in cands {
+                    let ok = self.on.iter().all(|&(lc, rc)| {
+                        lanes_eq(
+                            &probe.columns[lc],
+                            i,
+                            &build.columns[rc],
+                            bj as usize,
+                        )
+                    });
+                    if ok {
+                        probe_idx.push(i as u32);
+                        build_idx.push(bj);
+                    }
+                }
+            }
+        }
+        (probe_idx, build_idx)
+    }
+
+    /// Assemble the combined (left ++ right) batch for matched pairs.
+    fn combined_batch(&self, probe: &Batch, pi: &[u32], bi: &[u32]) -> Batch {
+        let build = self.build.as_ref().unwrap();
+        let mut cols = Vec::with_capacity(self.left_schema.len() + self.right_schema.len());
+        for c in &probe.columns {
+            cols.push(c.gather(pi));
+        }
+        for c in &build.columns {
+            cols.push(c.gather(bi));
+        }
+        Batch::new(cols)
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.build.is_none() {
+            self.build_side()?;
+        }
+        loop {
+            let Some(batch) = self.left.next()? else {
+                return Ok(None);
+            };
+            let probe = batch.compact();
+            if probe.rows == 0 {
+                continue;
+            }
+            let (mut pi, mut bi) = self.match_pairs(&probe);
+            // Residual predicate filters candidate pairs.
+            if let Some(res) = &self.residual {
+                if !pi.is_empty() {
+                    let combined = self.combined_batch(&probe, &pi, &bi);
+                    let v = res.eval(&combined)?;
+                    let vals = match &v.data {
+                        ColumnData::Bool(b) => b,
+                        _ => return Err(VwError::Exec("residual must be boolean".into())),
+                    };
+                    let keep: Vec<usize> = (0..pi.len())
+                        .filter(|&k| vals[k] && !v.is_null(k))
+                        .collect();
+                    pi = keep.iter().map(|&k| pi[k]).collect();
+                    bi = keep.iter().map(|&k| bi[k]).collect();
+                }
+            }
+            let out = match self.kind {
+                JoinKind::Inner => {
+                    if pi.is_empty() {
+                        continue;
+                    }
+                    self.combined_batch(&probe, &pi, &bi)
+                }
+                JoinKind::Left => {
+                    // matched pairs + null-padded unmatched probe rows
+                    let mut matched = vec![false; probe.rows];
+                    for &p in &pi {
+                        matched[p as usize] = true;
+                    }
+                    let unmatched: Vec<u32> = (0..probe.rows as u32)
+                        .filter(|&i| !matched[i as usize])
+                        .collect();
+                    let mut cols =
+                        Vec::with_capacity(self.left_schema.len() + self.right_schema.len());
+                    let all_pi: Vec<u32> =
+                        pi.iter().copied().chain(unmatched.iter().copied()).collect();
+                    for c in &probe.columns {
+                        cols.push(c.gather(&all_pi));
+                    }
+                    let build = self.build.as_ref().unwrap();
+                    for (k, c) in build.columns.iter().enumerate() {
+                        let matched_part = c.gather(&bi);
+                        let pad = ExecVector::all_null(
+                            self.right_schema.field(k).ty,
+                            unmatched.len(),
+                        );
+                        cols.push(super::concat_vectors(&[matched_part, pad]));
+                    }
+                    if all_pi.is_empty() {
+                        continue;
+                    }
+                    Batch::new(cols)
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    let mut matched = vec![false; probe.rows];
+                    for &p in &pi {
+                        matched[p as usize] = true;
+                    }
+                    let want = self.kind == JoinKind::Semi;
+                    let keep: Vec<u32> = (0..probe.rows as u32)
+                        .filter(|&i| matched[i as usize] == want)
+                        .collect();
+                    if keep.is_empty() {
+                        continue;
+                    }
+                    let cols = probe.columns.iter().map(|c| c.gather(&keep)).collect();
+                    Batch::new(cols)
+                }
+            };
+            return Ok(Some(out));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{collect_rows, BatchSource};
+    use vw_common::{DataType, Field, Value};
+    use vw_plan::BinOp;
+
+    fn orders() -> BoxedOperator {
+        // (orderkey, custkey)
+        let schema = Schema::new(vec![
+            Field::new("orderkey", DataType::I64),
+            Field::nullable("custkey", DataType::I64),
+        ]);
+        let rows = vec![
+            vec![Value::I64(1), Value::I64(10)],
+            vec![Value::I64(2), Value::I64(20)],
+            vec![Value::I64(3), Value::I64(10)],
+            vec![Value::I64(4), Value::Null],
+            vec![Value::I64(5), Value::I64(99)],
+        ];
+        Box::new(BatchSource::from_rows(schema, &rows, 2).unwrap())
+    }
+
+    fn customers() -> BoxedOperator {
+        // (custkey, name)
+        let schema = Schema::new(vec![
+            Field::new("custkey", DataType::I64),
+            Field::new("name", DataType::Str),
+        ]);
+        let rows = vec![
+            vec![Value::I64(10), Value::Str("alice".into())],
+            vec![Value::I64(20), Value::Str("bob".into())],
+            vec![Value::I64(30), Value::Str("carol".into())],
+        ];
+        Box::new(BatchSource::from_rows(schema, &rows, 10).unwrap())
+    }
+
+    fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let mut j = HashJoin::new(orders(), customers(), JoinKind::Inner, vec![(1, 0)], None, false)
+            .unwrap();
+        assert_eq!(j.schema().len(), 4);
+        let rows = sorted(collect_rows(&mut j).unwrap());
+        assert_eq!(rows.len(), 3); // orders 1, 2, 3 match
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::I64(1),
+                Value::I64(10),
+                Value::I64(10),
+                Value::Str("alice".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let mut j =
+            HashJoin::new(orders(), customers(), JoinKind::Left, vec![(1, 0)], None, false)
+                .unwrap();
+        let rows = sorted(collect_rows(&mut j).unwrap());
+        assert_eq!(rows.len(), 5);
+        // order 4 (null key) and order 5 (no match) padded with NULLs
+        let padded: Vec<&Vec<Value>> = rows.iter().filter(|r| r[2] == Value::Null).collect();
+        assert_eq!(padded.len(), 2);
+        assert!(padded.iter().all(|r| r[3] == Value::Null));
+        // right schema nullable in output
+        assert!(j.schema().field(3).nullable);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let mut s =
+            HashJoin::new(orders(), customers(), JoinKind::Semi, vec![(1, 0)], None, false)
+                .unwrap();
+        assert_eq!(s.schema().len(), 2);
+        let rows = sorted(collect_rows(&mut s).unwrap());
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::I64(1), Value::I64(2), Value::I64(3)]
+        );
+        let mut a =
+            HashJoin::new(orders(), customers(), JoinKind::Anti, vec![(1, 0)], None, false)
+                .unwrap();
+        let rows = sorted(collect_rows(&mut a).unwrap());
+        // NULL-key row and unmatched row both survive ANTI
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::I64(4), Value::I64(5)]
+        );
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let schema = Schema::new(vec![Field::new("k", DataType::I64)]);
+        let left = Box::new(
+            BatchSource::from_rows(schema.clone(), &[vec![Value::I64(1)]], 8).unwrap(),
+        );
+        let right_schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::new("n", DataType::I64),
+        ]);
+        let right = Box::new(
+            BatchSource::from_rows(
+                right_schema,
+                &[
+                    vec![Value::I64(1), Value::I64(100)],
+                    vec![Value::I64(1), Value::I64(200)],
+                ],
+                8,
+            )
+            .unwrap(),
+        );
+        let mut j = HashJoin::new(left, right, JoinKind::Inner, vec![(0, 0)], None, false).unwrap();
+        let rows = collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn residual_filters_pairs() {
+        // join orders-customers but require orderkey > 1 via residual
+        let residual = Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(Value::I64(1)));
+        let mut j = HashJoin::new(
+            orders(),
+            customers(),
+            JoinKind::Inner,
+            vec![(1, 0)],
+            Some(residual),
+            false,
+        )
+        .unwrap();
+        let rows = sorted(collect_rows(&mut j).unwrap());
+        assert_eq!(rows.len(), 2); // orders 2 and 3
+        assert_eq!(rows[0][0], Value::I64(2));
+    }
+
+    #[test]
+    fn residual_in_semi_join() {
+        let residual = Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(Value::I64(1)));
+        let mut j = HashJoin::new(
+            orders(),
+            customers(),
+            JoinKind::Semi,
+            vec![(1, 0)],
+            Some(residual),
+            false,
+        )
+        .unwrap();
+        let rows = sorted(collect_rows(&mut j).unwrap());
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::I64(2), Value::I64(3)]
+        );
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::I64),
+            Field::new("b", DataType::Str),
+        ]);
+        let rows_l = vec![
+            vec![Value::I64(1), Value::Str("x".into())],
+            vec![Value::I64(1), Value::Str("y".into())],
+        ];
+        let rows_r = vec![
+            vec![Value::I64(1), Value::Str("y".into())],
+            vec![Value::I64(2), Value::Str("y".into())],
+        ];
+        let left = Box::new(BatchSource::from_rows(schema.clone(), &rows_l, 8).unwrap());
+        let right = Box::new(BatchSource::from_rows(schema, &rows_r, 8).unwrap());
+        let mut j =
+            HashJoin::new(left, right, JoinKind::Inner, vec![(0, 0), (1, 1)], None, false)
+                .unwrap();
+        let rows = collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::Str("y".into()));
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let schema = Schema::new(vec![Field::new("k", DataType::I64)]);
+        let right = Box::new(BatchSource::from_rows(schema.clone(), &[], 8).unwrap());
+        let left = Box::new(
+            BatchSource::from_rows(schema, &[vec![Value::I64(1)]], 8).unwrap(),
+        );
+        let mut inner =
+            HashJoin::new(left, right, JoinKind::Inner, vec![(0, 0)], None, false).unwrap();
+        assert!(collect_rows(&mut inner).unwrap().is_empty());
+    }
+}

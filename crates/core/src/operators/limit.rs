@@ -1,0 +1,118 @@
+//! LIMIT/OFFSET over a batch stream.
+
+use crate::batch::Batch;
+use vw_common::{Result, Schema};
+
+use super::{BoxedOperator, Operator};
+
+/// Limit operator: skip `offset` rows, pass at most `fetch` rows.
+pub struct VecLimit {
+    input: BoxedOperator,
+    schema: Schema,
+    to_skip: u64,
+    remaining: u64,
+}
+
+impl VecLimit {
+    pub fn new(input: BoxedOperator, offset: u64, fetch: u64) -> VecLimit {
+        let schema = input.schema().clone();
+        VecLimit {
+            input,
+            schema,
+            to_skip: offset,
+            remaining: fetch,
+        }
+    }
+}
+
+impl Operator for VecLimit {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        loop {
+            if self.remaining == 0 {
+                return Ok(None);
+            }
+            let Some(batch) = self.input.next()? else {
+                return Ok(None);
+            };
+            let n = batch.len() as u64;
+            if n == 0 {
+                continue;
+            }
+            if self.to_skip >= n {
+                self.to_skip -= n;
+                continue;
+            }
+            let start = self.to_skip as usize;
+            self.to_skip = 0;
+            let take = ((n as usize) - start).min(self.remaining as usize);
+            self.remaining -= take as u64;
+            if start == 0 && take == batch.len() {
+                return Ok(Some(batch));
+            }
+            // Slice the logical window [start, start+take) via selection.
+            let keep: Vec<u32> = match &batch.sel {
+                Some(s) => s[start..start + take].to_vec(),
+                None => (start as u32..(start + take) as u32).collect(),
+            };
+            let mut out = batch;
+            out.sel = Some(keep);
+            return Ok(Some(out));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{collect_rows, BatchSource};
+    use vw_common::{DataType, Field, Value};
+
+    fn source(n: i64, batch: usize) -> BoxedOperator {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::I64(i)]).collect();
+        Box::new(BatchSource::from_rows(schema, &rows, batch).unwrap())
+    }
+
+    fn keys(rows: Vec<Vec<Value>>) -> Vec<i64> {
+        rows.iter()
+            .map(|r| match r[0] {
+                Value::I64(k) => k,
+                _ => panic!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fetch_only() {
+        let mut l = VecLimit::new(source(10, 3), 0, 5);
+        assert_eq!(keys(collect_rows(&mut l).unwrap()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn offset_spans_batches() {
+        let mut l = VecLimit::new(source(10, 3), 4, 3);
+        assert_eq!(keys(collect_rows(&mut l).unwrap()), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn offset_beyond_input() {
+        let mut l = VecLimit::new(source(5, 2), 10, 3);
+        assert!(collect_rows(&mut l).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fetch_larger_than_input() {
+        let mut l = VecLimit::new(source(4, 2), 1, 100);
+        assert_eq!(keys(collect_rows(&mut l).unwrap()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_fetch() {
+        let mut l = VecLimit::new(source(4, 2), 0, 0);
+        assert!(collect_rows(&mut l).unwrap().is_empty());
+    }
+}

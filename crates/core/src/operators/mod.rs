@@ -1,0 +1,329 @@
+//! Vectorized Volcano operators.
+//!
+//! Pull-based (`next()` returns a [`Batch`] or end-of-stream), exactly one
+//! virtual call per ~1000-tuple vector — the X100 execution model [1]. Each
+//! operator is a plain struct; trees are built by the cross-compiler in
+//! [`crate::compile`].
+
+pub mod aggregate;
+pub mod exchange;
+pub mod filter;
+pub mod join;
+pub mod limit;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+pub use aggregate::HashAggregate;
+pub use exchange::Exchange;
+pub use filter::VecFilter;
+pub use join::HashJoin;
+pub use limit::VecLimit;
+pub use project::VecProject;
+pub use scan::VecScan;
+pub use sort::VecSort;
+
+use crate::batch::{Batch, ExecVector};
+use vw_common::hash::{hash_bytes, hash_combine, hash_u64};
+use vw_common::{Result, Schema, Value};
+use vw_storage::{ColumnData, StrColumn};
+
+/// A vectorized operator: the unit of query-plan composition.
+pub trait Operator: Send {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next batch, or `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Batch>>;
+}
+
+/// Boxed operator trees.
+pub type BoxedOperator = Box<dyn Operator>;
+
+/// Drain an operator into rows (tests and result delivery).
+pub fn collect_rows(op: &mut dyn Operator) -> Result<Vec<Vec<Value>>> {
+    let schema = op.schema().clone();
+    let mut out = Vec::new();
+    while let Some(batch) = op.next()? {
+        out.extend(batch.to_rows(&schema));
+    }
+    Ok(out)
+}
+
+/// Hash one lane of a column into an accumulator (join/aggregate keys).
+/// NULL hashes to a fixed marker so NULL groups collide (GROUP BY treats
+/// NULLs as equal); join code must additionally reject NULL keys.
+#[inline]
+pub fn hash_lane(col: &ExecVector, i: usize, acc: u64) -> u64 {
+    if col.is_null(i) {
+        return hash_combine(acc, 0x6e75_6c6c);
+    }
+    let h = match &col.data {
+        ColumnData::Bool(v) => hash_u64(v[i] as u64),
+        ColumnData::I32(v) => hash_u64(v[i] as i64 as u64),
+        ColumnData::I64(v) => hash_u64(v[i] as u64),
+        ColumnData::F64(v) => hash_u64(v[i].to_bits()),
+        ColumnData::Str(v) => hash_bytes(v.get_bytes(i)),
+    };
+    hash_combine(acc, h)
+}
+
+/// Allocation-free equality between two column lanes (hash-table verify).
+/// NULL == NULL here (GROUP BY semantics); join code rejects NULL keys
+/// before ever probing.
+#[inline]
+pub fn lanes_eq(a: &ExecVector, i: usize, b: &ExecVector, j: usize) -> bool {
+    match (a.is_null(i), b.is_null(j)) {
+        (true, true) => return true,
+        (false, false) => {}
+        _ => return false,
+    }
+    match (&a.data, &b.data) {
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i] == y[j],
+        (ColumnData::I32(x), ColumnData::I32(y)) => x[i] == y[j],
+        (ColumnData::I64(x), ColumnData::I64(y)) => x[i] == y[j],
+        (ColumnData::I32(x), ColumnData::I64(y)) => x[i] as i64 == y[j],
+        (ColumnData::I64(x), ColumnData::I32(y)) => x[i] == y[j] as i64,
+        (ColumnData::F64(x), ColumnData::F64(y)) => x[i].to_bits() == y[j].to_bits(),
+        (ColumnData::Str(x), ColumnData::Str(y)) => x.get_bytes(i) == y.get_bytes(j),
+        _ => false,
+    }
+}
+
+/// Allocation-free ordering between two lanes of the *same* column type.
+/// NULLs sort first (consistent with `Value::total_cmp`).
+#[inline]
+pub fn lanes_cmp(a: &ExecVector, i: usize, b: &ExecVector, j: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_null(i), b.is_null(j)) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        _ => {}
+    }
+    match (&a.data, &b.data) {
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i].cmp(&y[j]),
+        (ColumnData::I32(x), ColumnData::I32(y)) => x[i].cmp(&y[j]),
+        (ColumnData::I64(x), ColumnData::I64(y)) => x[i].cmp(&y[j]),
+        (ColumnData::F64(x), ColumnData::F64(y)) => {
+            x[i].partial_cmp(&y[j]).unwrap_or(Ordering::Equal)
+        }
+        (ColumnData::Str(x), ColumnData::Str(y)) => x.get_bytes(i).cmp(y.get_bytes(j)),
+        _ => Ordering::Equal,
+    }
+}
+
+/// Concatenate column chunks of identical physical type.
+pub fn concat_vectors(parts: &[ExecVector]) -> ExecVector {
+    if parts.len() == 1 {
+        return parts[0].clone();
+    }
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let any_nulls = parts.iter().any(|p| p.nulls.is_some());
+    let mut nulls = if any_nulls {
+        Some(Vec::with_capacity(total))
+    } else {
+        None
+    };
+    let data = match &parts[0].data {
+        ColumnData::Bool(_) => {
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                if let ColumnData::Bool(v) = &p.data {
+                    out.extend_from_slice(v);
+                }
+            }
+            ColumnData::Bool(out)
+        }
+        ColumnData::I32(_) => {
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                if let ColumnData::I32(v) = &p.data {
+                    out.extend_from_slice(v);
+                }
+            }
+            ColumnData::I32(out)
+        }
+        ColumnData::I64(_) => {
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                if let ColumnData::I64(v) = &p.data {
+                    out.extend_from_slice(v);
+                }
+            }
+            ColumnData::I64(out)
+        }
+        ColumnData::F64(_) => {
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                if let ColumnData::F64(v) = &p.data {
+                    out.extend_from_slice(v);
+                }
+            }
+            ColumnData::F64(out)
+        }
+        ColumnData::Str(_) => {
+            let mut out = StrColumn::with_capacity(total, total * 8);
+            for p in parts {
+                if let ColumnData::Str(v) = &p.data {
+                    for s in v.iter() {
+                        out.push(s);
+                    }
+                }
+            }
+            ColumnData::Str(out)
+        }
+    };
+    if let Some(nv) = &mut nulls {
+        for p in parts {
+            match &p.nulls {
+                Some(n) => nv.extend_from_slice(n),
+                None => nv.extend(std::iter::repeat(false).take(p.len())),
+            }
+        }
+    }
+    ExecVector::new(data, nulls)
+}
+
+/// Drain and concatenate an operator's whole output into one dense batch
+/// (build sides, sort input).
+pub fn drain_to_single_batch(op: &mut dyn Operator) -> Result<Batch> {
+    let ncols = op.schema().len();
+    let mut parts: Vec<Vec<ExecVector>> = vec![Vec::new(); ncols];
+    let mut total_rows = 0usize;
+    let mut batches = 0usize;
+    while let Some(b) = op.next()? {
+        let b = b.compact();
+        total_rows += b.rows;
+        batches += 1;
+        for (c, col) in b.columns.into_iter().enumerate() {
+            parts[c].push(col);
+        }
+    }
+    if batches == 0 {
+        // Preserve the column structure: downstream operators index columns
+        // even over empty inputs.
+        let columns: Vec<ExecVector> = op
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| ExecVector::not_null(vw_storage::ColumnData::empty(f.ty)))
+            .collect();
+        return Ok(Batch::new(columns));
+    }
+    if ncols == 0 {
+        let mut b = Batch::new(vec![]);
+        b.rows = total_rows;
+        return Ok(b);
+    }
+    let columns: Vec<ExecVector> = parts.iter().map(|p| concat_vectors(p)).collect();
+    Ok(Batch::new(columns))
+}
+
+/// A fixed list of batches as an operator (tests, exchange plumbing).
+pub struct BatchSource {
+    schema: Schema,
+    batches: std::vec::IntoIter<Batch>,
+}
+
+impl BatchSource {
+    pub fn new(schema: Schema, batches: Vec<Batch>) -> BatchSource {
+        BatchSource {
+            schema,
+            batches: batches.into_iter(),
+        }
+    }
+
+    /// Source from rows, split into `vector_size` batches.
+    pub fn from_rows(schema: Schema, rows: &[Vec<Value>], vector_size: usize) -> Result<BatchSource> {
+        let mut batches = Vec::new();
+        for chunk in rows.chunks(vector_size.max(1)) {
+            batches.push(Batch::from_rows(&schema, chunk)?);
+        }
+        Ok(BatchSource::new(schema, batches))
+    }
+}
+
+impl Operator for BatchSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        Ok(self.batches.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::{DataType, Field};
+
+    #[test]
+    fn hash_and_eq_lanes() {
+        let a = ExecVector::from_values(
+            DataType::I64,
+            &[Value::I64(5), Value::Null, Value::I64(7)],
+        )
+        .unwrap();
+        let b = ExecVector::from_values(DataType::I64, &[Value::I64(5)]).unwrap();
+        assert_eq!(hash_lane(&a, 0, 0), hash_lane(&b, 0, 0));
+        assert_ne!(hash_lane(&a, 2, 0), hash_lane(&b, 0, 0));
+        assert!(lanes_eq(&a, 0, &b, 0));
+        assert!(!lanes_eq(&a, 2, &b, 0));
+        assert!(!lanes_eq(&a, 1, &b, 0)); // null vs value
+        assert!(lanes_eq(&a, 1, &a, 1)); // null == null (group-by semantics)
+    }
+
+    #[test]
+    fn lanes_cmp_with_nulls_first() {
+        use std::cmp::Ordering;
+        let a = ExecVector::from_values(
+            DataType::Str,
+            &[Value::Str("b".into()), Value::Null, Value::Str("a".into())],
+        )
+        .unwrap();
+        assert_eq!(lanes_cmp(&a, 0, &a, 2), Ordering::Greater);
+        assert_eq!(lanes_cmp(&a, 1, &a, 0), Ordering::Less);
+        assert_eq!(lanes_cmp(&a, 1, &a, 1), Ordering::Equal);
+    }
+
+    #[test]
+    fn concat_and_drain() {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let rows1 = vec![vec![Value::I64(1)], vec![Value::I64(2)]];
+        let rows2 = vec![vec![Value::I64(3)]];
+        let mut src = BatchSource::new(
+            schema.clone(),
+            vec![
+                Batch::from_rows(&schema, &rows1).unwrap(),
+                Batch::from_rows(&schema, &rows2).unwrap(),
+            ],
+        );
+        let b = drain_to_single_batch(&mut src).unwrap();
+        assert_eq!(b.rows, 3);
+        assert_eq!(
+            b.to_rows(&schema),
+            vec![vec![Value::I64(1)], vec![Value::I64(2)], vec![Value::I64(3)]]
+        );
+    }
+
+    #[test]
+    fn batch_source_chunks_by_vector_size() {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::I64(i)]).collect();
+        let mut src = BatchSource::from_rows(schema.clone(), &rows, 4).unwrap();
+        let mut sizes = Vec::new();
+        while let Some(b) = src.next().unwrap() {
+            sizes.push(b.len());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn collect_rows_works() {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let rows: Vec<Vec<Value>> = (0..5).map(|i| vec![Value::I64(i)]).collect();
+        let mut src = BatchSource::from_rows(schema, &rows, 2).unwrap();
+        assert_eq!(collect_rows(&mut src).unwrap(), rows);
+    }
+}

@@ -1,0 +1,506 @@
+//! The vectorized table scan.
+//!
+//! Reads the stable columnar image row-group by row-group, merges in the
+//! table's PDT deltas (§I-B: "incoming queries … merge in the differences …
+//! while they scan data from disk"), applies zone-map pruning for pushed-down
+//! predicates, slices groups into engine-sized vectors, and evaluates the
+//! pushed-down filter producing selection vectors.
+//!
+//! Pruning vs PDTs: a row group may only be skipped by its MinMax stats if
+//! the PDT holds **no** changes for its SID range — a modify could move a
+//! value into the predicate's range. Appended rows (inserts at
+//! `sid == stable_rows`) form a virtual tail group that is never pruned.
+
+use crate::batch::{Batch, ExecVector};
+use crate::primitives::sel_from_bool;
+use crate::vexpr::ExprEvaluator;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use vw_common::{Result, Schema, Value, VwError};
+use vw_pdt::{Change, Pdt};
+use vw_plan::{BinOp, Expr};
+use vw_storage::block::PruneOp;
+use vw_storage::TableStorage;
+
+/// One unit of scan work: a real row group or the PDT append tail.
+#[derive(Debug, Clone, Copy)]
+enum ScanUnit {
+    Group(usize),
+    AppendTail,
+}
+
+/// The vectorized scan operator.
+pub struct VecScan {
+    storage: Arc<RwLock<TableStorage>>,
+    pdt: Arc<Pdt>,
+    /// Storage column indexes produced, in output order.
+    projection: Vec<usize>,
+    out_schema: Schema,
+    filter: Option<ExprEvaluator>,
+    vector_size: usize,
+    units: std::vec::IntoIter<ScanUnit>,
+    /// Current decoded group columns + remaining offset.
+    current: Option<(Vec<ExecVector>, usize, usize)>, // (cols, len, offset)
+}
+
+impl VecScan {
+    /// Create a scan.
+    ///
+    /// * `projection` — storage columns to produce (output order),
+    /// * `filter` — predicate over the projected schema (optional),
+    /// * `partition` — `(worker, total)` slice for Exchange parallelism,
+    /// * `naive_nulls` — use the naive NULL interpreter (experiment E8).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        storage: Arc<RwLock<TableStorage>>,
+        pdt: Arc<Pdt>,
+        projection: Vec<usize>,
+        filter: Option<Expr>,
+        vector_size: usize,
+        partition: Option<(usize, usize)>,
+        naive_nulls: bool,
+    ) -> Result<VecScan> {
+        let guard = storage.read();
+        let out_schema = guard.schema().project(&projection);
+        // Candidate prune predicates from the filter's conjuncts.
+        let prune = filter
+            .as_ref()
+            .map(|f| prunable_conjuncts(f))
+            .unwrap_or_default();
+        let n_groups = guard.group_count();
+        let mut units: Vec<ScanUnit> = Vec::new();
+        for g in 0..n_groups {
+            if let Some((w, p)) = partition {
+                if g % p != w {
+                    continue;
+                }
+            }
+            let grp = guard.group(g);
+            let (lo, hi) = pdt.entry_range_for_sids(grp.start_row, grp.start_row + grp.n_rows as u64);
+            let dirty = lo != hi;
+            if !dirty && !prune.is_empty() {
+                let keep = prune.iter().all(|(out_col, op, v)| {
+                    let storage_col = projection[*out_col];
+                    grp.columns[storage_col].minmax.may_match(*op, v)
+                });
+                if !keep {
+                    continue;
+                }
+            }
+            units.push(ScanUnit::Group(g));
+        }
+        // Appends: inserts at sid == stable_rows; worker 0 owns them.
+        let stable = pdt.stable_rows();
+        let (alo, ahi) = pdt.entry_range_for_sids(stable, stable + 1);
+        if ahi > alo && partition.map_or(true, |(w, _)| w == 0) {
+            units.push(ScanUnit::AppendTail);
+        }
+        drop(guard);
+        let filter = filter
+            .map(|f| ExprEvaluator::new(f, &out_schema, naive_nulls))
+            .transpose()?;
+        Ok(VecScan {
+            storage,
+            pdt,
+            projection,
+            out_schema,
+            filter,
+            vector_size: vector_size.max(1),
+            units: units.into_iter(),
+            current: None,
+        })
+    }
+
+    /// Load the columns of a scan unit, merging PDT changes.
+    fn load_unit(&self, unit: ScanUnit) -> Result<(Vec<ExecVector>, usize)> {
+        match unit {
+            ScanUnit::Group(g) => {
+                let guard = self.storage.read();
+                let grp_start;
+                let grp_rows;
+                {
+                    let grp = guard.group(g);
+                    grp_start = grp.start_row;
+                    grp_rows = grp.n_rows;
+                }
+                let (lo, hi) = self
+                    .pdt
+                    .entry_range_for_sids(grp_start, grp_start + grp_rows as u64);
+                let mut cols = Vec::with_capacity(self.projection.len());
+                for &c in &self.projection {
+                    cols.push(ExecVector::from_storage(guard.read_column(g, c)?));
+                }
+                drop(guard);
+                if lo == hi {
+                    return Ok((cols, grp_rows));
+                }
+                self.merge_group(cols, grp_start, grp_rows, lo, hi)
+            }
+            ScanUnit::AppendTail => {
+                let stable = self.pdt.stable_rows();
+                let (lo, hi) = self.pdt.entry_range_for_sids(stable, stable + 1);
+                let schema = self.out_schema.clone();
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(hi - lo);
+                for e in &self.pdt.entries()[lo..hi] {
+                    if let Change::Insert { row, .. } = &e.change {
+                        rows.push(self.projection.iter().map(|&c| row[c].clone()).collect());
+                    }
+                }
+                let n = rows.len();
+                let batch = Batch::from_rows(&schema, &rows)?;
+                Ok((batch.columns, n))
+            }
+        }
+    }
+
+    /// Merge PDT entries `[lo, hi)` into the decoded group columns.
+    /// Value-based slow path — only taken for groups with pending deltas.
+    fn merge_group(
+        &self,
+        cols: Vec<ExecVector>,
+        grp_start: u64,
+        grp_rows: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<(Vec<ExecVector>, usize)> {
+        let schema = &self.out_schema;
+        let entries = &self.pdt.entries()[lo..hi];
+        let mut out: Vec<Vec<Value>> = vec![Vec::with_capacity(grp_rows); cols.len()];
+        let mut emitted = 0usize;
+        let mut e_idx = 0usize;
+        for local in 0..grp_rows {
+            let sid = grp_start + local as u64;
+            // Emit inserts positioned before this stable tuple.
+            while e_idx < entries.len() && entries[e_idx].sid == sid {
+                match &entries[e_idx].change {
+                    Change::Insert { row, .. } => {
+                        for (k, &c) in self.projection.iter().enumerate() {
+                            out[k].push(row[c].clone());
+                        }
+                        emitted += 1;
+                        e_idx += 1;
+                    }
+                    _ => break,
+                }
+            }
+            // The stable tuple itself: deleted / modified / untouched.
+            let tuple_entry = entries
+                .get(e_idx)
+                .filter(|e| e.sid == sid && !e.change.is_insert());
+            match tuple_entry.map(|e| &e.change) {
+                Some(Change::Delete) => {
+                    e_idx += 1;
+                }
+                Some(Change::Modify(mods)) => {
+                    for (k, &c) in self.projection.iter().enumerate() {
+                        let v = match mods.get(&(c as u32)) {
+                            Some(nv) => nv.clone(),
+                            None => cols[k].get_value(local, schema.field(k).ty),
+                        };
+                        out[k].push(v);
+                    }
+                    emitted += 1;
+                    e_idx += 1;
+                }
+                _ => {
+                    for (k, col) in cols.iter().enumerate() {
+                        out[k].push(col.get_value(local, schema.field(k).ty));
+                    }
+                    emitted += 1;
+                }
+            }
+        }
+        debug_assert_eq!(e_idx, entries.len(), "unconsumed PDT entries in group");
+        debug_assert!(out.first().map_or(true, |c| c.len() == emitted));
+        let n = emitted;
+        let columns = schema
+            .fields()
+            .iter()
+            .zip(out)
+            .map(|(f, vals)| ExecVector::from_values(f.ty, &vals))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((columns, n))
+    }
+}
+
+/// Extract `col <op> literal` conjuncts usable for zone-map pruning.
+fn prunable_conjuncts(filter: &Expr) -> Vec<(usize, PruneOp, Value)> {
+    let mut conjuncts = Vec::new();
+    vw_plan::rewrite::pushdown::split_conjunction(filter, &mut conjuncts);
+    let mut out = Vec::new();
+    for c in conjuncts {
+        if let Expr::Binary { op, l, r } = &c {
+            let mapped = match (&**l, &**r) {
+                (Expr::Col(i), Expr::Lit(v)) => prune_op(*op).map(|p| (*i, p, v.clone())),
+                (Expr::Lit(v), Expr::Col(i)) => {
+                    prune_op(flip(*op)).map(|p| (*i, p, v.clone()))
+                }
+                _ => None,
+            };
+            if let Some(m) = mapped {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+fn prune_op(op: BinOp) -> Option<PruneOp> {
+    Some(match op {
+        BinOp::Eq => PruneOp::Eq,
+        BinOp::Lt => PruneOp::Lt,
+        BinOp::Le => PruneOp::Le,
+        BinOp::Gt => PruneOp::Gt,
+        BinOp::Ge => PruneOp::Ge,
+        _ => return None,
+    })
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+impl super::Operator for VecScan {
+    fn schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        loop {
+            if self.current.is_none() {
+                match self.units.next() {
+                    Some(unit) => {
+                        let (cols, len) = self.load_unit(unit)?;
+                        if len == 0 {
+                            continue;
+                        }
+                        self.current = Some((cols, len, 0));
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let (cols, len, off) = self.current.as_mut().unwrap();
+            let from = *off;
+            let to = (from + self.vector_size).min(*len);
+            let slice: Vec<ExecVector> = cols.iter().map(|c| c.slice(from, to)).collect();
+            *off = to;
+            let exhausted = *off >= *len;
+            let n = to - from;
+            if exhausted {
+                self.current = None;
+            }
+            if n == 0 {
+                continue;
+            }
+            let mut batch = Batch::new(slice);
+            batch.rows = n;
+            if let Some(f) = &self.filter {
+                let v = f.eval(&batch)?;
+                let vals = match &v.data {
+                    vw_storage::ColumnData::Bool(b) => b,
+                    _ => return Err(VwError::Exec("filter must produce booleans".into())),
+                };
+                let mut sel = Vec::new();
+                sel_from_bool(vals, v.nulls.as_deref(), None, &mut sel);
+                if sel.is_empty() {
+                    continue;
+                }
+                if sel.len() < batch.rows {
+                    batch.sel = Some(sel);
+                }
+            }
+            return Ok(Some(batch));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{collect_rows, Operator};
+    use vw_common::{DataType, Field};
+    use vw_storage::{SimDisk, SimDiskConfig, TableBuilder};
+
+    fn make_table(n: usize, group: usize) -> Arc<RwLock<TableStorage>> {
+        let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::new("q", DataType::I64),
+            Field::nullable("tag", DataType::Str),
+        ]);
+        let mut b = TableBuilder::with_group_size(schema, disk, group);
+        for i in 0..n {
+            b.push_row(vec![
+                Value::I64(i as i64),
+                Value::I64((i % 10) as i64),
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("t{}", i % 3))
+                },
+            ])
+            .unwrap();
+        }
+        Arc::new(RwLock::new(b.finish().unwrap()))
+    }
+
+    fn scan_all(
+        storage: &Arc<RwLock<TableStorage>>,
+        pdt: &Arc<Pdt>,
+        projection: Vec<usize>,
+        filter: Option<Expr>,
+        vs: usize,
+    ) -> Vec<Vec<Value>> {
+        let mut scan = VecScan::new(
+            storage.clone(),
+            pdt.clone(),
+            projection,
+            filter,
+            vs,
+            None,
+            false,
+        )
+        .unwrap();
+        collect_rows(&mut scan).unwrap()
+    }
+
+    #[test]
+    fn clean_scan_returns_all_rows() {
+        let t = make_table(250, 100);
+        let pdt = Arc::new(Pdt::new(250));
+        let rows = scan_all(&t, &pdt, vec![0, 1, 2], None, 64);
+        assert_eq!(rows.len(), 250);
+        assert_eq!(rows[0][0], Value::I64(0));
+        assert_eq!(rows[249][0], Value::I64(249));
+        assert_eq!(rows[4][2], Value::Null);
+    }
+
+    #[test]
+    fn projection_subset_and_order() {
+        let t = make_table(10, 100);
+        let pdt = Arc::new(Pdt::new(10));
+        let rows = scan_all(&t, &pdt, vec![1, 0], None, 4);
+        assert_eq!(rows[3], vec![Value::I64(3), Value::I64(3)]);
+        let s = VecScan::new(t, pdt, vec![1, 0], None, 4, None, false).unwrap();
+        assert_eq!(s.schema().field(0).name, "q");
+        assert_eq!(s.schema().field(1).name, "k");
+    }
+
+    #[test]
+    fn filter_produces_selection() {
+        let t = make_table(100, 50);
+        let pdt = Arc::new(Pdt::new(100));
+        let f = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(5)));
+        let rows = scan_all(&t, &pdt, vec![0], Some(f), 32);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[4], vec![Value::I64(4)]);
+    }
+
+    #[test]
+    fn zone_map_pruning_skips_groups() {
+        let t = make_table(1000, 100);
+        let pdt = Arc::new(Pdt::new(1000));
+        let disk_reads_before = t.read().disk().stats().reads;
+        // k < 150 → only groups 0 and 1 must be read.
+        let f = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(150)));
+        let rows = scan_all(&t, &pdt, vec![0], Some(f), 128);
+        assert_eq!(rows.len(), 150);
+        let reads = t.read().disk().stats().reads - disk_reads_before;
+        assert_eq!(reads, 2, "expected 2 group reads, got {}", reads);
+    }
+
+    #[test]
+    fn pdt_merge_deletes_inserts_modifies() {
+        let t = make_table(100, 40);
+        let mut pdt = Pdt::new(100);
+        pdt.delete_at(0).unwrap(); // delete k=0
+        pdt.modify_at(0, 1, Value::I64(999)).unwrap(); // modify (now k=1)'s q
+        pdt.insert_at(
+            50,
+            vec![
+                Value::I64(-1),
+                Value::I64(-2),
+                Value::Str("ins".into()),
+            ],
+        )
+        .unwrap();
+        // append at end
+        let end = pdt.current_rows();
+        pdt.insert_at(
+            end,
+            vec![Value::I64(1000), Value::I64(0), Value::Null],
+        )
+        .unwrap();
+        let pdt = Arc::new(pdt);
+        let rows = scan_all(&t, &pdt, vec![0, 1, 2], None, 16);
+        assert_eq!(rows.len(), 101); // 100 - 1 + 1 + 1
+        assert_eq!(rows[0][0], Value::I64(1)); // k=0 deleted
+        assert_eq!(rows[0][1], Value::I64(999)); // modified
+        assert_eq!(rows[50][0], Value::I64(-1)); // inserted mid-table
+        assert_eq!(rows[100][0], Value::I64(1000)); // appended
+        assert_eq!(rows[100][2], Value::Null);
+    }
+
+    #[test]
+    fn dirty_groups_are_not_pruned() {
+        let t = make_table(200, 100);
+        let mut pdt = Pdt::new(200);
+        // modify k in group 1 to a value the predicate matches
+        let rid = pdt.rid_of_sid(150).unwrap();
+        pdt.modify_at(rid, 0, Value::I64(1)).unwrap();
+        let pdt = Arc::new(pdt);
+        // predicate k <= 1 would prune group 1 by zone map (its min is 100)
+        let f = Expr::binary(BinOp::Le, Expr::col(0), Expr::lit(Value::I64(1)));
+        let rows = scan_all(&t, &pdt, vec![0], Some(f), 64);
+        // rows: k=0, k=1 from group 0, and the modified k=1 in group 1
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn partitioned_scans_cover_disjointly() {
+        let t = make_table(500, 50); // 10 groups
+        let mut pdt = Pdt::new(500);
+        pdt.insert_at(500, vec![Value::I64(9999), Value::I64(0), Value::Null])
+            .unwrap();
+        let pdt = Arc::new(pdt);
+        let mut all: Vec<Vec<Value>> = Vec::new();
+        for w in 0..3 {
+            let mut scan = VecScan::new(
+                t.clone(),
+                pdt.clone(),
+                vec![0],
+                None,
+                64,
+                Some((w, 3)),
+                false,
+            )
+            .unwrap();
+            all.extend(collect_rows(&mut scan).unwrap());
+        }
+        assert_eq!(all.len(), 501);
+        let mut keys: Vec<i64> = all
+            .iter()
+            .map(|r| match r[0] {
+                Value::I64(k) => k,
+                _ => panic!(),
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 501); // disjoint coverage
+    }
+
+    #[test]
+    fn vector_size_one_works() {
+        let t = make_table(5, 100);
+        let pdt = Arc::new(Pdt::new(5));
+        let rows = scan_all(&t, &pdt, vec![0], None, 1);
+        assert_eq!(rows.len(), 5);
+    }
+}

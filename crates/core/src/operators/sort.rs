@@ -1,0 +1,151 @@
+//! Vectorized sort: drain, order indexes by key columns, emit gathered
+//! batches. NULLs order first on ascending keys (consistent with
+//! `Value::total_cmp`, which all engines share).
+
+use crate::batch::Batch;
+use vw_common::{Result, Schema};
+use vw_plan::SortKey;
+
+use super::{drain_to_single_batch, lanes_cmp, BoxedOperator, Operator};
+
+/// Sort operator.
+pub struct VecSort {
+    input: BoxedOperator,
+    keys: Vec<SortKey>,
+    schema: Schema,
+    vector_size: usize,
+    output: Option<Vec<Batch>>,
+}
+
+impl VecSort {
+    pub fn new(input: BoxedOperator, keys: Vec<SortKey>, vector_size: usize) -> VecSort {
+        let schema = input.schema().clone();
+        VecSort {
+            input,
+            keys,
+            schema,
+            vector_size: vector_size.max(1),
+            output: None,
+        }
+    }
+
+    fn run(&mut self) -> Result<Vec<Batch>> {
+        let batch = drain_to_single_batch(self.input.as_mut())?;
+        let mut idx: Vec<u32> = (0..batch.rows as u32).collect();
+        let keys = self.keys.clone();
+        let cols = &batch.columns;
+        idx.sort_by(|&a, &b| {
+            for k in &keys {
+                let c = &cols[k.col];
+                let ord = lanes_cmp(c, a as usize, c, b as usize);
+                let ord = if k.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            // stable tiebreak on input order for determinism
+            a.cmp(&b)
+        });
+        let mut out = Vec::new();
+        for chunk in idx.chunks(self.vector_size) {
+            let columns = batch.columns.iter().map(|c| c.gather(chunk)).collect();
+            out.push(Batch::new(columns));
+        }
+        out.reverse();
+        Ok(out)
+    }
+}
+
+impl Operator for VecSort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            self.output = Some(self.run()?);
+        }
+        Ok(self.output.as_mut().unwrap().pop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{collect_rows, BatchSource};
+    use vw_common::{DataType, Field, Value};
+
+    fn source() -> BoxedOperator {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::I64),
+            Field::nullable("s", DataType::Str),
+        ]);
+        let rows = vec![
+            vec![Value::I64(3), Value::Str("c".into())],
+            vec![Value::I64(1), Value::Str("b".into())],
+            vec![Value::I64(1), Value::Null],
+            vec![Value::I64(2), Value::Str("a".into())],
+        ];
+        Box::new(BatchSource::from_rows(schema, &rows, 2).unwrap())
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let mut s = VecSort::new(source(), vec![SortKey { col: 0, asc: true }], 1024);
+        let rows = collect_rows(&mut s).unwrap();
+        let keys: Vec<Value> = rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            keys,
+            vec![Value::I64(1), Value::I64(1), Value::I64(2), Value::I64(3)]
+        );
+    }
+
+    #[test]
+    fn multi_key_with_nulls_first() {
+        let mut s = VecSort::new(
+            source(),
+            vec![
+                SortKey { col: 0, asc: true },
+                SortKey { col: 1, asc: true },
+            ],
+            1024,
+        );
+        let rows = collect_rows(&mut s).unwrap();
+        // a=1 group: NULL sorts before "b"
+        assert_eq!(rows[0], vec![Value::I64(1), Value::Null]);
+        assert_eq!(rows[1], vec![Value::I64(1), Value::Str("b".into())]);
+    }
+
+    #[test]
+    fn descending() {
+        let mut s = VecSort::new(source(), vec![SortKey { col: 0, asc: false }], 1024);
+        let rows = collect_rows(&mut s).unwrap();
+        assert_eq!(rows[0][0], Value::I64(3));
+        assert_eq!(rows[3][0], Value::I64(1));
+    }
+
+    #[test]
+    fn chunked_output_preserves_order() {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let rows: Vec<Vec<Value>> = (0..50).rev().map(|i| vec![Value::I64(i)]).collect();
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 8).unwrap());
+        let mut s = VecSort::new(src, vec![SortKey { col: 0, asc: true }], 7);
+        let out = collect_rows(&mut s).unwrap();
+        let keys: Vec<i64> = out
+            .iter()
+            .map(|r| match r[0] {
+                Value::I64(k) => k,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(keys, (0..50).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let src = Box::new(BatchSource::from_rows(schema, &[], 8).unwrap());
+        let mut s = VecSort::new(src, vec![SortKey { col: 0, asc: true }], 8);
+        assert!(s.next().unwrap().is_none());
+    }
+}

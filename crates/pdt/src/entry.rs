@@ -1,0 +1,150 @@
+//! PDT entries: one positional change each.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vw_common::Value;
+
+/// Sequence number used by `Delete`/`Modify` entries: they affect the stable
+/// tuple itself and therefore order *after* every insert at the same SID
+/// (inserts go before the stable tuple).
+pub const TUPLE_SEQ: u32 = u32::MAX;
+
+static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique identity tag for an inserted tuple. Tags let
+/// later transactions (and crash recovery) refer to a PDT insert even after
+/// its `(sid, seq)` coordinates were renumbered by neighbouring inserts.
+pub fn next_tag() -> u64 {
+    NEXT_TAG.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Ensure future [`next_tag`] results exceed `floor` (used by WAL recovery
+/// after replaying records that embed historical tags).
+pub fn bump_tag_floor(floor: u64) {
+    NEXT_TAG.fetch_max(floor + 1, Ordering::Relaxed);
+}
+
+/// The change a PDT entry records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// A new tuple, positioned immediately before stable tuple `sid`
+    /// (or at end-of-table when `sid == stable_rows`).
+    Insert {
+        /// Process-unique identity (see [`next_tag`]).
+        tag: u64,
+        row: Vec<Value>,
+    },
+    /// The stable tuple `sid` is deleted.
+    Delete,
+    /// Some columns of stable tuple `sid` are overwritten.
+    Modify(BTreeMap<u32, Value>),
+}
+
+impl Change {
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Change::Insert { .. })
+    }
+
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Change::Delete)
+    }
+
+    pub fn is_modify(&self) -> bool {
+        matches!(self, Change::Modify(_))
+    }
+
+    /// +1 for inserts, -1 for deletes, 0 for modifies: the RID shift this
+    /// entry applies to everything after it.
+    pub fn delta(&self) -> i64 {
+        match self {
+            Change::Insert { .. } => 1,
+            Change::Delete => -1,
+            Change::Modify(_) => 0,
+        }
+    }
+
+    /// The identity tag, for inserts.
+    pub fn tag(&self) -> Option<u64> {
+        match self {
+            Change::Insert { tag, .. } => Some(*tag),
+            _ => None,
+        }
+    }
+}
+
+/// One positional change, keyed by `(sid, seq)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Stable position this entry precedes (insert) or affects (delete/modify).
+    pub sid: u64,
+    /// Order among inserts sharing a SID; [`TUPLE_SEQ`] for delete/modify.
+    pub seq: u32,
+    pub change: Change,
+}
+
+impl Entry {
+    pub fn insert(sid: u64, seq: u32, tag: u64, row: Vec<Value>) -> Entry {
+        debug_assert!(seq != TUPLE_SEQ);
+        Entry {
+            sid,
+            seq,
+            change: Change::Insert { tag, row },
+        }
+    }
+
+    pub fn delete(sid: u64) -> Entry {
+        Entry {
+            sid,
+            seq: TUPLE_SEQ,
+            change: Change::Delete,
+        }
+    }
+
+    pub fn modify(sid: u64, mods: BTreeMap<u32, Value>) -> Entry {
+        Entry {
+            sid,
+            seq: TUPLE_SEQ,
+            change: Change::Modify(mods),
+        }
+    }
+
+    /// Ordering key: inserts at a SID precede the delete/modify of that SID.
+    pub fn key(&self) -> (u64, u32) {
+        (self.sid, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_inserts_before_tuple_entries() {
+        let i = Entry::insert(5, 0, next_tag(), vec![Value::I64(1)]);
+        let d = Entry::delete(5);
+        assert!(i.key() < d.key());
+        let m = Entry::modify(5, BTreeMap::new());
+        assert_eq!(d.key(), m.key()); // mutually exclusive in one PDT
+        let i2 = Entry::insert(5, 1, next_tag(), vec![]);
+        assert!(i.key() < i2.key());
+        assert!(i2.key() < d.key());
+    }
+
+    #[test]
+    fn deltas() {
+        assert_eq!(Entry::insert(0, 0, next_tag(), vec![]).change.delta(), 1);
+        assert_eq!(Entry::delete(0).change.delta(), -1);
+        assert_eq!(Entry::modify(0, BTreeMap::new()).change.delta(), 0);
+    }
+
+    #[test]
+    fn tags_are_unique_and_floor_bumps() {
+        let a = next_tag();
+        let b = next_tag();
+        assert!(b > a);
+        bump_tag_floor(b + 1000);
+        assert!(next_tag() > b + 1000);
+        assert_eq!(Entry::delete(1).change.tag(), None);
+        assert_eq!(Entry::insert(1, 0, 42, vec![]).change.tag(), Some(42));
+    }
+}

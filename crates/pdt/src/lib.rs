@@ -1,0 +1,33 @@
+//! `vw-pdt` — Positional Delta Trees.
+//!
+//! Vectorwise never updates its columnar stable storage in place: a single
+//! updated record would cost one I/O per column plus recompression (§I-B).
+//! Instead, updates accumulate in *Positional Delta Trees* [5]: differential
+//! structures that record inserts, deletes and modifies **by position**
+//! (stable ID / SID) rather than by key, so scans can merge them in without
+//! ever reading key columns.
+//!
+//! Two coordinate systems (see `vw_common::ids`):
+//!
+//! * **SID** — position in the immutable stable table image,
+//! * **RID** — position in the current logical image (stable + deltas).
+//!
+//! A [`Pdt`] stores an ordered list of [`Entry`]s keyed by `(sid, seq)` with
+//! precomputed per-entry RIDs, giving `O(log n)` RID⇄SID translation. Layers
+//! stack exactly as in the paper: a transaction's private PDT ("trans-PDT")
+//! is expressed in the RID space of its snapshot image and is *translated*
+//! into stable coordinates at commit ([`translate`]), checked for positional
+//! conflicts ([`Footprint`]), then *propagated* into the master PDT
+//! ([`propagate`]).
+
+pub mod entry;
+pub mod footprint;
+pub mod pdt;
+pub mod propagate;
+pub mod serde;
+
+pub use entry::{bump_tag_floor, next_tag, Change, Entry};
+pub use footprint::Footprint;
+pub use pdt::{Loc, Pdt};
+pub use propagate::{propagate, translate, StableOp};
+pub use serde::{deserialize_ops, max_tag, serialize_ops};

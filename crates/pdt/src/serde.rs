@@ -1,0 +1,299 @@
+//! Binary serialization of PDT ops and values, used by the write-ahead log.
+//!
+//! Format notes: little-endian throughout, length-prefixed strings, one tag
+//! byte per value / op. The format is self-contained — recovery can decode a
+//! commit record without any catalog context beyond the table id stored by
+//! the WAL framing.
+
+use crate::propagate::StableOp;
+use std::collections::BTreeMap;
+use vw_common::{Result, Value, VwError};
+
+fn err(msg: &str) -> VwError {
+    VwError::Wal(format!("corrupt record: {}", msg))
+}
+
+/// Append a value to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::I32(x) => {
+            out.push(2);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::I64(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(4);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Date(x) => {
+            out.push(5);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(6);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decode one value, advancing `pos`.
+pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = *bytes.get(*pos).ok_or_else(|| err("value tag"))?;
+    *pos += 1;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        let s = bytes.get(*pos..*pos + n).ok_or_else(|| err("value body"))?;
+        *pos += n;
+        Ok(s)
+    };
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Bool(take(pos, 1)?[0] != 0),
+        2 => Value::I32(i32::from_le_bytes(take(pos, 4)?.try_into().unwrap())),
+        3 => Value::I64(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+        4 => Value::F64(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+        5 => Value::Date(i32::from_le_bytes(take(pos, 4)?.try_into().unwrap())),
+        6 => {
+            let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+            let s = take(pos, n)?;
+            Value::Str(String::from_utf8(s.to_vec()).map_err(|_| err("utf8"))?)
+        }
+        _ => return Err(err("unknown value tag")),
+    })
+}
+
+fn encode_mods(mods: &BTreeMap<u32, Value>, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(mods.len() as u32).to_le_bytes());
+    for (c, v) in mods {
+        out.extend_from_slice(&c.to_le_bytes());
+        encode_value(v, out);
+    }
+}
+
+fn decode_mods(bytes: &[u8], pos: &mut usize) -> Result<BTreeMap<u32, Value>> {
+    let n = read_u32(bytes, pos)? as usize;
+    let mut mods = BTreeMap::new();
+    for _ in 0..n {
+        let c = read_u32(bytes, pos)?;
+        let v = decode_value(bytes, pos)?;
+        mods.insert(c, v);
+    }
+    Ok(mods)
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    let s = bytes.get(*pos..*pos + 4).ok_or_else(|| err("u32"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let s = bytes.get(*pos..*pos + 8).ok_or_else(|| err("u64"))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+/// Serialize a translated op list (one table's changes in one commit).
+pub fn serialize_ops(ops: &[StableOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            StableOp::DeleteStable { sid } => {
+                out.push(0);
+                out.extend_from_slice(&sid.to_le_bytes());
+            }
+            StableOp::ModifyStable { sid, mods } => {
+                out.push(1);
+                out.extend_from_slice(&sid.to_le_bytes());
+                encode_mods(mods, &mut out);
+            }
+            StableOp::Insert {
+                sid,
+                before_tag,
+                tag,
+                row,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&sid.to_le_bytes());
+                out.extend_from_slice(&before_tag.unwrap_or(0).to_le_bytes());
+                out.extend_from_slice(&tag.to_le_bytes());
+                out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for v in row {
+                    encode_value(v, &mut out);
+                }
+            }
+            StableOp::DeleteInserted { sid, tag } => {
+                out.push(3);
+                out.extend_from_slice(&sid.to_le_bytes());
+                out.extend_from_slice(&tag.to_le_bytes());
+            }
+            StableOp::ModifyInserted { sid, tag, mods } => {
+                out.push(4);
+                out.extend_from_slice(&sid.to_le_bytes());
+                out.extend_from_slice(&tag.to_le_bytes());
+                encode_mods(mods, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Deserialize an op list written by [`serialize_ops`].
+pub fn deserialize_ops(bytes: &[u8]) -> Result<Vec<StableOp>> {
+    let mut pos = 0usize;
+    let n = read_u32(bytes, &mut pos)? as usize;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = *bytes.get(pos).ok_or_else(|| err("op tag"))?;
+        pos += 1;
+        let op = match tag {
+            0 => StableOp::DeleteStable {
+                sid: read_u64(bytes, &mut pos)?,
+            },
+            1 => {
+                let sid = read_u64(bytes, &mut pos)?;
+                let mods = decode_mods(bytes, &mut pos)?;
+                StableOp::ModifyStable { sid, mods }
+            }
+            2 => {
+                let sid = read_u64(bytes, &mut pos)?;
+                let bt = read_u64(bytes, &mut pos)?;
+                let itag = read_u64(bytes, &mut pos)?;
+                let nvals = read_u32(bytes, &mut pos)? as usize;
+                let mut row = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    row.push(decode_value(bytes, &mut pos)?);
+                }
+                StableOp::Insert {
+                    sid,
+                    before_tag: if bt == 0 { None } else { Some(bt) },
+                    tag: itag,
+                    row,
+                }
+            }
+            3 => {
+                let sid = read_u64(bytes, &mut pos)?;
+                let itag = read_u64(bytes, &mut pos)?;
+                StableOp::DeleteInserted { sid, tag: itag }
+            }
+            4 => {
+                let sid = read_u64(bytes, &mut pos)?;
+                let itag = read_u64(bytes, &mut pos)?;
+                let mods = decode_mods(bytes, &mut pos)?;
+                StableOp::ModifyInserted { sid, tag: itag, mods }
+            }
+            _ => return Err(err("unknown op tag")),
+        };
+        ops.push(op);
+    }
+    if pos != bytes.len() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(ops)
+}
+
+/// Largest insert tag mentioned in an op list (recovery bumps the tag floor
+/// past this so new inserts never collide with replayed ones).
+pub fn max_tag(ops: &[StableOp]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            StableOp::Insert {
+                tag, before_tag, ..
+            } => (*tag).max(before_tag.unwrap_or(0)),
+            StableOp::DeleteInserted { tag, .. } | StableOp::ModifyInserted { tag, .. } => *tag,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::next_tag;
+
+    #[test]
+    fn value_roundtrip_all_types() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I32(-7),
+            Value::I64(i64::MIN),
+            Value::F64(2.5),
+            Value::F64(f64::NAN),
+            Value::Date(9131),
+            Value::Str("héllo".into()),
+            Value::Str(String::new()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            encode_value(v, &mut buf);
+        }
+        let mut pos = 0;
+        for v in &vals {
+            let back = decode_value(&buf, &mut pos).unwrap();
+            assert_eq!(&back, v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        let t1 = next_tag();
+        let t2 = next_tag();
+        let mut mods = BTreeMap::new();
+        mods.insert(2, Value::Str("x".into()));
+        mods.insert(0, Value::Null);
+        let ops = vec![
+            StableOp::Insert {
+                sid: 3,
+                before_tag: Some(t1),
+                tag: t2,
+                row: vec![Value::I64(1), Value::Str("abc".into())],
+            },
+            StableOp::DeleteInserted { sid: 3, tag: t1 },
+            StableOp::DeleteStable { sid: 4 },
+            StableOp::ModifyStable { sid: 9, mods: mods.clone() },
+            StableOp::ModifyInserted {
+                sid: 9,
+                tag: t2,
+                mods,
+            },
+        ];
+        let bytes = serialize_ops(&ops);
+        let back = deserialize_ops(&bytes).unwrap();
+        assert_eq!(back, ops);
+        assert_eq!(max_tag(&ops), t2);
+    }
+
+    #[test]
+    fn corrupt_ops_fail() {
+        let ops = vec![StableOp::DeleteStable { sid: 1 }];
+        let bytes = serialize_ops(&ops);
+        assert!(deserialize_ops(&bytes[..bytes.len() - 1]).is_err());
+        assert!(deserialize_ops(&[]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(deserialize_ops(&extra).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(deserialize_ops(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_ops() {
+        let bytes = serialize_ops(&[]);
+        assert_eq!(deserialize_ops(&bytes).unwrap(), vec![]);
+        assert_eq!(max_tag(&[]), 0);
+    }
+}

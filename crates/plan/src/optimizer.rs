@@ -1,0 +1,446 @@
+//! Cardinality estimation and plan optimization.
+//!
+//! Mirrors the division of labour in the product (§I-B): the front-end
+//! optimizer (Ingres there, this module here) uses histogram statistics to
+//! estimate selectivities and choose join strategy, while rule-based
+//! rewriting happens separately in [`crate::rewrite`].
+//!
+//! Two optimizations are implemented:
+//!
+//! * **Greedy join ordering** ([`order_relations`]) — used by the SQL binder
+//!   *before* the positional join tree is built, which is where ordering is
+//!   cheap (name-level, no column remapping).
+//! * **Build-side selection** ([`optimize`]) — hash joins in this system
+//!   build on the right input and stream the left; when the estimated left
+//!   cardinality is smaller, the optimizer swaps the inputs (and restores
+//!   column order with a projection).
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::plan::{JoinKind, LogicalPlan};
+use crate::stats::TableStats;
+use std::collections::HashMap;
+use vw_common::{Schema, TableId, Value};
+
+/// Default selectivity guesses when histograms can't answer.
+const DEFAULT_EQ_SEL: f64 = 0.05;
+const DEFAULT_RANGE_SEL: f64 = 0.3;
+const DEFAULT_OTHER_SEL: f64 = 0.5;
+
+/// Estimate the selectivity of a predicate over a relation with `stats`.
+/// `col_map` translates expression column indexes to stats column indexes
+/// (identity for unprojected scans).
+pub fn selectivity(
+    e: &Expr,
+    schema: &Schema,
+    stats: Option<&TableStats>,
+    col_map: &dyn Fn(usize) -> Option<usize>,
+) -> f64 {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            l,
+            r,
+        } => selectivity(l, schema, stats, col_map) * selectivity(r, schema, stats, col_map),
+        Expr::Binary { op: BinOp::Or, l, r } => {
+            let a = selectivity(l, schema, stats, col_map);
+            let b = selectivity(r, schema, stats, col_map);
+            (a + b - a * b).min(1.0)
+        }
+        Expr::Unary { op: UnOp::Not, e } => 1.0 - selectivity(e, schema, stats, col_map),
+        Expr::Binary { op, l, r } if op.is_comparison() => {
+            // col <op> literal is the estimable shape.
+            let (col, lit, op) = match (&**l, &**r) {
+                (Expr::Col(i), Expr::Lit(v)) => (*i, v.clone(), *op),
+                (Expr::Lit(v), Expr::Col(i)) => (*i, v.clone(), flip(*op)),
+                _ => {
+                    return match op {
+                        BinOp::Eq => DEFAULT_EQ_SEL,
+                        _ => DEFAULT_RANGE_SEL,
+                    }
+                }
+            };
+            estimate_cmp(col, op, &lit, stats, col_map)
+        }
+        Expr::InList { list, negated, .. } => {
+            let s = (DEFAULT_EQ_SEL * list.len() as f64).min(1.0);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::Like { negated, .. } => {
+            if *negated {
+                1.0 - 0.1
+            } else {
+                0.1
+            }
+        }
+        Expr::Unary {
+            op: UnOp::IsNull, ..
+        } => 0.05,
+        Expr::Unary {
+            op: UnOp::IsNotNull,
+            ..
+        } => 0.95,
+        Expr::Lit(Value::Bool(true)) => 1.0,
+        Expr::Lit(Value::Bool(false)) => 0.0,
+        _ => DEFAULT_OTHER_SEL,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn estimate_cmp(
+    col: usize,
+    op: BinOp,
+    lit: &Value,
+    stats: Option<&TableStats>,
+    col_map: &dyn Fn(usize) -> Option<usize>,
+) -> f64 {
+    let Some(ts) = stats else {
+        return if op == BinOp::Eq {
+            DEFAULT_EQ_SEL
+        } else {
+            DEFAULT_RANGE_SEL
+        };
+    };
+    let Some(sc) = col_map(col).and_then(|i| ts.cols.get(i)) else {
+        return DEFAULT_RANGE_SEL;
+    };
+    let x = match lit.as_f64().or_else(|| lit.as_i64().map(|v| v as f64)) {
+        Some(x) => x,
+        None => {
+            // Non-numeric literal: distinct-based equality estimate only.
+            return match op {
+                BinOp::Eq => 1.0 / sc.n_distinct as f64,
+                BinOp::Ne => 1.0 - 1.0 / sc.n_distinct as f64,
+                _ => DEFAULT_RANGE_SEL,
+            };
+        }
+    };
+    match (&sc.histogram, op) {
+        (Some(h), BinOp::Lt) => h.fraction_below(x),
+        (Some(h), BinOp::Le) => h.fraction_below(x) + h.eq_selectivity(x, sc.n_distinct),
+        (Some(h), BinOp::Gt) => 1.0 - h.fraction_below(x) - h.eq_selectivity(x, sc.n_distinct),
+        (Some(h), BinOp::Ge) => 1.0 - h.fraction_below(x),
+        (Some(h), BinOp::Eq) => h.eq_selectivity(x, sc.n_distinct),
+        (Some(h), BinOp::Ne) => 1.0 - h.eq_selectivity(x, sc.n_distinct),
+        (None, BinOp::Eq) => 1.0 / sc.n_distinct as f64,
+        (None, BinOp::Ne) => 1.0 - 1.0 / sc.n_distinct as f64,
+        _ => DEFAULT_RANGE_SEL,
+    }
+    .clamp(0.0, 1.0)
+}
+
+/// Estimate output cardinality of a plan.
+pub fn estimate_rows(plan: &LogicalPlan, stats: &HashMap<TableId, TableStats>) -> f64 {
+    match plan {
+        LogicalPlan::Scan {
+            table_id,
+            schema,
+            projection,
+            filter,
+            ..
+        } => {
+            let ts = stats.get(table_id);
+            let base = ts.map(|t| t.n_rows as f64).unwrap_or(1000.0);
+            match filter {
+                Some(f) => {
+                    let proj = projection.clone();
+                    let sel = selectivity(f, schema, ts, &|i| match &proj {
+                        Some(p) => p.get(i).copied(),
+                        None => Some(i),
+                    });
+                    base * sel
+                }
+                None => base,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let in_rows = estimate_rows(input, stats);
+            let schema = input.schema().unwrap_or_default();
+            in_rows * selectivity(predicate, &schema, None, &|i| Some(i))
+        }
+        LogicalPlan::Project { input, .. } => estimate_rows(input, stats),
+        LogicalPlan::Join {
+            left, right, kind, ..
+        } => {
+            let l = estimate_rows(left, stats);
+            let r = estimate_rows(right, stats);
+            match kind {
+                // Classic FK-join guess: |L ⋈ R| ≈ max input size.
+                JoinKind::Inner | JoinKind::Left => (l * r / l.max(r).max(1.0)).max(1.0),
+                JoinKind::Semi => l * 0.5,
+                JoinKind::Anti => l * 0.5,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let in_rows = estimate_rows(input, stats);
+            if group_by.is_empty() {
+                1.0
+            } else {
+                // Square-root rule of thumb for group count.
+                in_rows.sqrt().max(1.0)
+            }
+        }
+        LogicalPlan::Sort { input, .. } | LogicalPlan::Exchange { input, .. } => {
+            estimate_rows(input, stats)
+        }
+        LogicalPlan::Limit { input, fetch, .. } => estimate_rows(input, stats).min(*fetch as f64),
+    }
+}
+
+/// Greedy join ordering over a relation graph. `sizes[i]` is the estimated
+/// (post-filter) cardinality of relation `i`; `edges` are join-predicate
+/// pairs. Returns an ordering starting from the smallest relation that
+/// prefers connected, size-minimizing expansions — the shape the binder then
+/// builds left-deep (probe side = accumulated prefix, build = next smallest).
+pub fn order_relations(sizes: &[f64], edges: &[(usize, usize)]) -> Vec<usize> {
+    let n = sizes.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    // Start at the largest relation: it becomes the probe (streaming) side
+    // of the left-deep pipeline; dimensions hash-build on the right.
+    let first = (0..n)
+        .max_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
+        .unwrap();
+    order.push(first);
+    used[first] = true;
+    while order.len() < n {
+        // Connected candidates first.
+        let connected: Vec<usize> = (0..n)
+            .filter(|&i| !used[i])
+            .filter(|&i| {
+                edges
+                    .iter()
+                    .any(|&(a, b)| (a == i && used[b]) || (b == i && used[a]))
+            })
+            .collect();
+        let pool = if connected.is_empty() {
+            (0..n).filter(|&i| !used[i]).collect::<Vec<_>>()
+        } else {
+            connected
+        };
+        let next = pool
+            .into_iter()
+            .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
+            .unwrap();
+        order.push(next);
+        used[next] = true;
+    }
+    order
+}
+
+/// Cost-based plan tweaks: currently build-side selection for inner joins.
+pub fn optimize(plan: LogicalPlan, stats: &HashMap<TableId, TableStats>) -> LogicalPlan {
+    let children: Vec<LogicalPlan> = plan
+        .children()
+        .into_iter()
+        .map(|c| optimize(c.clone(), stats))
+        .collect();
+    let node = plan.with_children(children);
+    let LogicalPlan::Join {
+        left,
+        right,
+        kind: JoinKind::Inner,
+        on,
+        residual,
+    } = node
+    else {
+        return node;
+    };
+    let l_rows = estimate_rows(&left, stats);
+    let r_rows = estimate_rows(&right, stats);
+    // Build happens on the right; if the left is (much) smaller, swap and
+    // restore output column order with a projection.
+    if l_rows * 1.5 < r_rows {
+        let l_schema = left.schema().unwrap_or_default();
+        let r_schema = right.schema().unwrap_or_default();
+        let ln = l_schema.len();
+        let rn = r_schema.len();
+        let swapped = LogicalPlan::Join {
+            left: right,
+            right: left,
+            kind: JoinKind::Inner,
+            on: on.iter().map(|&(l, r)| (r, l)).collect(),
+            residual: residual.map(|e| {
+                e.remap_columns(&|i| if i < ln { rn + i } else { i - ln })
+            }),
+        };
+        // Output of swapped join: right ++ left; restore left ++ right.
+        let mut exprs: Vec<(Expr, String)> = Vec::with_capacity(ln + rn);
+        for (i, f) in l_schema.fields().iter().enumerate() {
+            exprs.push((Expr::col(rn + i), f.name.clone()));
+        }
+        for (i, f) in r_schema.fields().iter().enumerate() {
+            exprs.push((Expr::col(i), f.name.clone()));
+        }
+        LogicalPlan::Project {
+            input: Box::new(swapped),
+            exprs,
+        }
+    } else {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JoinKind::Inner,
+            on,
+            residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{ColStats, Histogram};
+    use vw_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::I64),
+            Field::new("b", DataType::I64),
+        ])
+    }
+
+    fn stats_uniform_0_100() -> TableStats {
+        let samples: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        TableStats {
+            n_rows: 10_000,
+            cols: vec![
+                ColStats {
+                    n_distinct: 101,
+                    null_fraction: 0.0,
+                    histogram: Histogram::build(&samples),
+                },
+                ColStats {
+                    n_distinct: 10,
+                    null_fraction: 0.0,
+                    histogram: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn histogram_selectivity() {
+        let s = stats_uniform_0_100();
+        let e = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(25)));
+        let sel = selectivity(&e, &schema(), Some(&s), &|i| Some(i));
+        assert!((sel - 0.25).abs() < 0.05, "sel {}", sel);
+        // flipped literal side
+        let e2 = Expr::binary(BinOp::Gt, Expr::lit(Value::I64(25)), Expr::col(0));
+        let sel2 = selectivity(&e2, &schema(), Some(&s), &|i| Some(i));
+        assert!((sel2 - 0.25).abs() < 0.05, "sel2 {}", sel2);
+        // conjunction multiplies
+        let e3 = Expr::and(e.clone(), Expr::eq(Expr::col(1), Expr::lit(Value::I64(3))));
+        let sel3 = selectivity(&e3, &schema(), Some(&s), &|i| Some(i));
+        assert!((sel3 - 0.25 * 0.1).abs() < 0.02, "sel3 {}", sel3);
+        // out of range equality
+        let e4 = Expr::eq(Expr::col(0), Expr::lit(Value::I64(500)));
+        assert_eq!(selectivity(&e4, &schema(), Some(&s), &|i| Some(i)), 0.0);
+    }
+
+    #[test]
+    fn row_estimates_flow() {
+        let mut stats = HashMap::new();
+        stats.insert(TableId::new(1), stats_uniform_0_100());
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            table_id: TableId::new(1),
+            schema: schema(),
+            projection: None,
+            filter: Some(Expr::binary(
+                BinOp::Lt,
+                Expr::col(0),
+                Expr::lit(Value::I64(50)),
+            )),
+        };
+        let rows = estimate_rows(&scan, &stats);
+        assert!((rows - 5000.0).abs() < 600.0, "rows {}", rows);
+        let agg = scan.clone().aggregate(vec![0], vec![]);
+        assert!(estimate_rows(&agg, &stats) < rows);
+        let lim = scan.limit(0, 10);
+        assert_eq!(estimate_rows(&lim, &stats), 10.0);
+    }
+
+    #[test]
+    fn greedy_order_starts_large_then_connected_small() {
+        // fact (0) huge, dims 1..3 small, star edges 0-1, 0-2, 0-3
+        let sizes = [1_000_000.0, 100.0, 5000.0, 10.0];
+        let edges = [(0, 1), (0, 2), (0, 3)];
+        let order = order_relations(&sizes, &edges);
+        assert_eq!(order[0], 0);
+        // dims follow smallest-first
+        assert_eq!(order[1], 3);
+        assert_eq!(order[2], 1);
+        assert_eq!(order[3], 2);
+    }
+
+    #[test]
+    fn order_handles_disconnected() {
+        let sizes = [10.0, 20.0, 5.0];
+        let order = order_relations(&sizes, &[]);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 1); // largest first
+        let empty: Vec<usize> = order_relations(&[], &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn build_side_swap() {
+        let mut stats = HashMap::new();
+        stats.insert(
+            TableId::new(1),
+            TableStats::unknown(10, 2), // small
+        );
+        stats.insert(TableId::new(2), TableStats::unknown(100_000, 2));
+        let small = LogicalPlan::Scan {
+            table: "small".into(),
+            table_id: TableId::new(1),
+            schema: schema(),
+            projection: None,
+            filter: None,
+        };
+        let big = LogicalPlan::Scan {
+            table: "big".into(),
+            table_id: TableId::new(2),
+            schema: schema(),
+            projection: None,
+            filter: None,
+        };
+        // small ⋈ big: left tiny → swap so big streams, small builds.
+        let join = small.clone().join(big.clone(), JoinKind::Inner, vec![(0, 1)]);
+        let opt = optimize(join.clone(), &stats);
+        match &opt {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Join { left, on, .. } => {
+                    assert!(matches!(&**left, LogicalPlan::Scan { table, .. } if table == "big"));
+                    assert_eq!(on, &vec![(1, 0)]);
+                }
+                other => panic!("{}", other.describe()),
+            },
+            other => panic!("{}", other.explain()),
+        }
+        // schema preserved
+        assert_eq!(opt.schema().unwrap(), join.schema().unwrap());
+        // big ⋈ small: already good → untouched
+        let join2 = big.join(small, JoinKind::Inner, vec![(0, 1)]);
+        let opt2 = optimize(join2.clone(), &stats);
+        assert_eq!(opt2, join2);
+    }
+}

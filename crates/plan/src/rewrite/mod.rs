@@ -1,0 +1,275 @@
+//! The rule-based rewriter.
+//!
+//! The product implemented a column-oriented rewriter inside X100 (using the
+//! Tom pattern-matching tool) for "a variety of functionalities, which
+//! include among others null handling and multi-core parallelization" (§I-B).
+//! Here the rules are plain Rust functions over [`LogicalPlan`]:
+//!
+//! * [`fold_constants`] — evaluate constant sub-expressions at plan time,
+//! * [`push_down_filters`] — split conjunctions, push predicates through
+//!   Project and into Scan nodes (where zone maps can use them),
+//! * [`parallelize`] — the Volcano-style multi-core rule: wrap eligible
+//!   pipelines in Exchange and split aggregates into partial/final pairs.
+//!
+//! NULL handling note: the *plan*-level part of the paper's NULL rewrite is
+//! that no operator here is NULL-aware — NULL behaviour lives entirely in the
+//! kernel layer of `vw-core`, which represents every nullable column as a
+//! value vector plus an indicator vector and combines indicators with plain
+//! boolean kernels (the two-column representation of §I-B). The
+//! `EngineConfig::rewrite_nulls` switch selects between that representation
+//! and a deliberately naive branch-per-value interpreter for experiment E8.
+
+pub mod parallel;
+pub mod prune;
+pub mod pushdown;
+
+pub use parallel::parallelize;
+pub use prune::prune_columns;
+pub use pushdown::push_down_filters;
+
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
+
+/// Run the default rewrite pipeline: constant folding, predicate pushdown,
+/// column pruning, then (optionally) parallelization.
+pub fn rewrite_default(plan: LogicalPlan, parallelism: usize) -> LogicalPlan {
+    let plan = map_exprs(plan, &fold_expr);
+    let plan = push_down_filters(plan);
+    let plan = prune_columns(plan);
+    if parallelism > 1 {
+        parallelize(plan, parallelism)
+    } else {
+        plan
+    }
+}
+
+/// Fold constant sub-expressions of every expression in the plan.
+pub fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
+    map_exprs(plan, &fold_expr)
+}
+
+/// Apply `f` to every expression in the plan, bottom-up over plan nodes.
+pub fn map_exprs(plan: LogicalPlan, f: &dyn Fn(Expr) -> Expr) -> LogicalPlan {
+    let children: Vec<LogicalPlan> = plan
+        .children()
+        .into_iter()
+        .map(|c| map_exprs(c.clone(), f))
+        .collect();
+    let node = plan.with_children(children);
+    match node {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: f(predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input,
+            exprs: exprs.into_iter().map(|(e, n)| (f(e), n)).collect(),
+        },
+        LogicalPlan::Scan {
+            table,
+            table_id,
+            schema,
+            projection,
+            filter,
+        } => LogicalPlan::Scan {
+            table,
+            table_id,
+            schema,
+            projection,
+            filter: filter.map(f),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+        } => LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual: residual.map(f),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            phase,
+        } => LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(f);
+                    a
+                })
+                .collect(),
+            phase,
+        },
+        other => other,
+    }
+}
+
+/// Bottom-up constant folding of one expression tree. Sub-expressions that
+/// reference no columns and evaluate without error are replaced by literals.
+pub fn fold_expr(e: Expr) -> Expr {
+    // Fold children first.
+    let e = match e {
+        Expr::Cast(inner, t) => Expr::Cast(Box::new(fold_expr(*inner)), t),
+        Expr::Unary { op, e } => Expr::Unary {
+            op,
+            e: Box::new(fold_expr(*e)),
+        },
+        Expr::Binary { op, l, r } => Expr::Binary {
+            op,
+            l: Box::new(fold_expr(*l)),
+            r: Box::new(fold_expr(*r)),
+        },
+        Expr::Case { whens, otherwise } => Expr::Case {
+            whens: whens
+                .into_iter()
+                .map(|(c, t)| (fold_expr(c), fold_expr(t)))
+                .collect(),
+            otherwise: otherwise.map(|e| Box::new(fold_expr(*e))),
+        },
+        Expr::Like {
+            e,
+            pattern,
+            negated,
+        } => Expr::Like {
+            e: Box::new(fold_expr(*e)),
+            pattern,
+            negated,
+        },
+        Expr::InList { e, list, negated } => Expr::InList {
+            e: Box::new(fold_expr(*e)),
+            list,
+            negated,
+        },
+        Expr::Substr { e, start, len } => Expr::Substr {
+            e: Box::new(fold_expr(*e)),
+            start,
+            len,
+        },
+        Expr::Extract { part, e } => Expr::Extract {
+            part,
+            e: Box::new(fold_expr(*e)),
+        },
+        Expr::AddMonths { e, months } => Expr::AddMonths {
+            e: Box::new(fold_expr(*e)),
+            months,
+        },
+        leaf => leaf,
+    };
+    if matches!(e, Expr::Lit(_) | Expr::Col(_)) {
+        return e;
+    }
+    if e.is_constant() {
+        if let Ok(v) = e.eval_row(&[]) {
+            return Expr::Lit(v);
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use vw_common::{DataType, Field, Schema, TableId, Value};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::scan(
+            "t",
+            TableId::new(1),
+            Schema::new(vec![
+                Field::new("a", DataType::I64),
+                Field::new("b", DataType::I64),
+            ]),
+        )
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        // a < (2 + 3) * 10  →  a < 50
+        let e = Expr::binary(
+            BinOp::Lt,
+            Expr::col(0),
+            Expr::binary(
+                BinOp::Mul,
+                Expr::binary(BinOp::Add, Expr::lit(Value::I64(2)), Expr::lit(Value::I64(3))),
+                Expr::lit(Value::I64(10)),
+            ),
+        );
+        let folded = fold_expr(e);
+        assert_eq!(
+            folded,
+            Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(50)))
+        );
+    }
+
+    #[test]
+    fn folding_preserves_errors_unfolded() {
+        // 1/0 must NOT fold into a panic or a wrong literal; it stays as-is
+        // and fails at execution (matching SQL runtime error semantics).
+        let e = Expr::binary(BinOp::Div, Expr::lit(Value::I64(1)), Expr::lit(Value::I64(0)));
+        let folded = fold_expr(e.clone());
+        assert_eq!(folded, e);
+    }
+
+    #[test]
+    fn folds_date_intervals() {
+        let d = vw_common::date::parse_date("1995-01-01").unwrap();
+        let e = Expr::AddMonths {
+            e: Box::new(Expr::lit(Value::Date(d))),
+            months: 3,
+        };
+        assert_eq!(
+            fold_expr(e),
+            Expr::lit(Value::Date(
+                vw_common::date::parse_date("1995-04-01").unwrap()
+            ))
+        );
+    }
+
+    #[test]
+    fn fold_walks_the_plan() {
+        let p = scan().filter(Expr::binary(
+            BinOp::Lt,
+            Expr::col(0),
+            Expr::binary(BinOp::Add, Expr::lit(Value::I64(1)), Expr::lit(Value::I64(2))),
+        ));
+        let folded = fold_constants(p);
+        match folded {
+            LogicalPlan::Filter { predicate, .. } => {
+                assert_eq!(
+                    predicate,
+                    Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(3)))
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rewrite_default_composes() {
+        let p = scan().filter(Expr::binary(
+            BinOp::Gt,
+            Expr::col(1),
+            Expr::binary(BinOp::Add, Expr::lit(Value::I64(0)), Expr::lit(Value::I64(7))),
+        ));
+        let out = rewrite_default(p, 1);
+        // filter pushed into scan, constant folded
+        match out {
+            LogicalPlan::Scan { filter: Some(f), .. } => {
+                assert_eq!(
+                    f,
+                    Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(Value::I64(7)))
+                );
+            }
+            other => panic!("expected fused scan, got:\n{}", other.explain()),
+        }
+    }
+}

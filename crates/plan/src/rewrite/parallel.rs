@@ -1,0 +1,275 @@
+//! The Volcano-style parallelization rule.
+//!
+//! §I-B: "The Vectorwise rewriter was used to implement a Volcano-style query
+//! parallellizer". The rule introduces [`LogicalPlan::Exchange`] nodes: each
+//! of `P` workers executes a copy of the subtree below the Exchange with
+//! every `Scan` leaf restricted to a disjoint slice of the table's row
+//! groups (`group_index % P == worker`); the Exchange unions their output
+//! streams.
+//!
+//! Aggregates are split into a *partial* phase (inside the Exchange, one hash
+//! table per worker) and a *final* phase (above it, combining partial
+//! states). AVG carries a hidden count column between the phases so means
+//! combine exactly.
+//!
+//! Shapes handled:
+//! * `Aggregate(pipeline)` → `Final(Exchange(Partial(pipeline)))`
+//! * bare pipelines (Scan/Filter/Project/left-deep Join) → `Exchange(...)`
+//! * `Sort`/`Limit`/`Project` on top are preserved above the Exchange.
+//!
+//! Joins parallelize over their *left* (probe) input; the right (build) side
+//! is replicated into every worker — the standard broadcast strategy, fine
+//! for the dimension-table builds TPC-H plans produce.
+
+use crate::expr::{AggFunc, Expr};
+use crate::plan::{AggPhase, LogicalPlan};
+
+/// True if the subtree can run partitioned (every path to a leaf allows
+/// slicing scans: the probe side of joins, through filters/projects).
+fn is_partitionable(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            is_partitionable(input)
+        }
+        LogicalPlan::Join { left, .. } => is_partitionable(left),
+        _ => false,
+    }
+}
+
+/// Introduce Exchange operators for `dop` workers. Identity when `dop <= 1`.
+pub fn parallelize(plan: LogicalPlan, dop: usize) -> LogicalPlan {
+    if dop <= 1 {
+        return plan;
+    }
+    match plan {
+        // Preserve order/limit/projection operators above the parallel part.
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(parallelize(*input, dop)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            offset,
+            fetch,
+        } => LogicalPlan::Limit {
+            input: Box::new(parallelize(*input, dop)),
+            offset,
+            fetch,
+        },
+        LogicalPlan::Project { input, exprs } if !is_partitionable(&input) => {
+            LogicalPlan::Project {
+                input: Box::new(parallelize(*input, dop)),
+                exprs,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            phase: AggPhase::Single,
+        } if is_partitionable(&input) => {
+            let k = group_by.len();
+            let partial = LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs: aggs.clone(),
+                phase: AggPhase::Partial,
+            };
+            let exchange = LogicalPlan::Exchange {
+                input: Box::new(partial),
+                partitions: dop,
+            };
+            // Final phase: group by the partial group columns (positions
+            // 0..k), aggregate over the partial agg columns (k..k+m).
+            let final_aggs = aggs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let mut fa = a.clone();
+                    fa.arg = Some(Expr::col(k + i));
+                    // COUNT over partials must SUM the partial counts; the
+                    // phase marker tells executors, but the function is kept
+                    // so output names/types stay stable.
+                    fa
+                })
+                .collect();
+            LogicalPlan::Aggregate {
+                input: Box::new(exchange),
+                group_by: (0..k).collect(),
+                aggs: final_aggs,
+                phase: AggPhase::Final,
+            }
+        }
+        p if is_partitionable(&p) => LogicalPlan::Exchange {
+            input: Box::new(p),
+            partitions: dop,
+        },
+        // Anything else: try children? Joins with non-partitionable probe,
+        // nested aggregates, existing Exchanges — leave serial.
+        other => other,
+    }
+}
+
+/// For executors: positions of the hidden AVG count columns in a Partial
+/// aggregate's output, given the agg list. Returns `(avg_index_in_aggs,
+/// column_position)` pairs.
+pub fn partial_avg_count_columns(n_group: usize, aggs: &[crate::expr::AggExpr]) -> Vec<(usize, usize)> {
+    let base = n_group + aggs.len();
+    aggs.iter()
+        .enumerate()
+        .filter(|(_, a)| a.func == AggFunc::Avg)
+        .enumerate()
+        .map(|(nth_avg, (i, _))| (i, base + nth_avg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggExpr, BinOp};
+    use vw_common::{DataType, Field, Schema, TableId, Value};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::scan(
+            "t",
+            TableId::new(1),
+            Schema::new(vec![
+                Field::new("a", DataType::I64),
+                Field::new("b", DataType::F64),
+            ]),
+        )
+    }
+
+    fn sum_a() -> AggExpr {
+        AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(Expr::col(0)),
+            name: "s".into(),
+        }
+    }
+
+    fn avg_b() -> AggExpr {
+        AggExpr {
+            func: AggFunc::Avg,
+            arg: Some(Expr::col(1)),
+            name: "m".into(),
+        }
+    }
+
+    #[test]
+    fn dop_one_is_identity() {
+        let p = scan().aggregate(vec![], vec![sum_a()]);
+        assert_eq!(parallelize(p.clone(), 1), p);
+    }
+
+    #[test]
+    fn aggregate_splits_into_partial_final() {
+        let p = scan()
+            .filter(Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(5))))
+            .aggregate(vec![0], vec![sum_a(), avg_b()]);
+        let out = parallelize(p, 4);
+        match &out {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                phase: AggPhase::Final,
+            } => {
+                assert_eq!(group_by, &vec![0]);
+                assert_eq!(aggs[0].arg, Some(Expr::col(1)));
+                assert_eq!(aggs[1].arg, Some(Expr::col(2)));
+                match &**input {
+                    LogicalPlan::Exchange { input, partitions } => {
+                        assert_eq!(*partitions, 4);
+                        assert!(matches!(
+                            &**input,
+                            LogicalPlan::Aggregate {
+                                phase: AggPhase::Partial,
+                                ..
+                            }
+                        ));
+                    }
+                    other => panic!("{}", other.explain()),
+                }
+            }
+            other => panic!("{}", other.explain()),
+        }
+        // Final schema equals the serial schema.
+        let serial = scan()
+            .filter(Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(5))))
+            .aggregate(vec![0], vec![sum_a(), avg_b()]);
+        assert_eq!(out.schema().unwrap(), serial.schema().unwrap());
+    }
+
+    #[test]
+    fn bare_pipeline_gets_exchange() {
+        let p = scan().filter(Expr::binary(
+            BinOp::Lt,
+            Expr::col(0),
+            Expr::lit(Value::I64(5)),
+        ));
+        let out = parallelize(p, 2);
+        assert!(matches!(out, LogicalPlan::Exchange { partitions: 2, .. }));
+    }
+
+    #[test]
+    fn sort_and_limit_stay_on_top() {
+        let p = scan()
+            .aggregate(vec![0], vec![sum_a()])
+            .sort(vec![crate::plan::SortKey { col: 1, asc: false }])
+            .limit(0, 10);
+        let out = parallelize(p, 2);
+        match out {
+            LogicalPlan::Limit { input, .. } => match *input {
+                LogicalPlan::Sort { input, .. } => {
+                    assert!(matches!(
+                        *input,
+                        LogicalPlan::Aggregate {
+                            phase: AggPhase::Final,
+                            ..
+                        }
+                    ));
+                }
+                other => panic!("{}", other.explain()),
+            },
+            other => panic!("{}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn join_probe_side_partitionable() {
+        let p = scan()
+            .join(scan(), crate::plan::JoinKind::Inner, vec![(0, 0)])
+            .aggregate(vec![], vec![sum_a()]);
+        let out = parallelize(p, 2);
+        assert!(matches!(
+            out,
+            LogicalPlan::Aggregate {
+                phase: AggPhase::Final,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_partitionable_stays_serial() {
+        // aggregate over aggregate: inner one blocks partitioning of outer
+        let inner = scan().aggregate(vec![0], vec![sum_a()]);
+        let p = inner.aggregate(vec![], vec![AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+            name: "n".into(),
+        }]);
+        let out = parallelize(p.clone(), 4);
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn hidden_avg_count_positions() {
+        let aggs = vec![sum_a(), avg_b(), sum_a(), avg_b()];
+        let cols = partial_avg_count_columns(2, &aggs);
+        // groups 0..2, aggs 2..6, hidden counts 6..8
+        assert_eq!(cols, vec![(1, 6), (3, 7)]);
+    }
+}

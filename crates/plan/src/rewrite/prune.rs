@@ -1,0 +1,455 @@
+//! Column (projection) pruning.
+//!
+//! The defining advantage of columnar storage is reading only the columns a
+//! query touches. This pass computes, top-down, which columns each node's
+//! consumers need and pushes the union into every `Scan`'s projection,
+//! remapping all column references along the way.
+//!
+//! Contract of [`prune_rec`]: the returned plan produces a (possibly proper)
+//! **superset** of the requested columns, in ascending original order; the
+//! returned map translates the node's original output indexes to the new
+//! ones for every surviving column. At the root everything is required, so
+//! the output schema is unchanged.
+
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
+use std::collections::HashMap;
+
+/// Prune unused columns from every scan under `plan`. Output schema is
+/// preserved exactly.
+pub fn prune_columns(plan: LogicalPlan) -> LogicalPlan {
+    let n = match plan.schema() {
+        Ok(s) => s.len(),
+        Err(_) => return plan, // malformed plans surface errors elsewhere
+    };
+    let (out, _) = prune_rec(plan, (0..n).collect());
+    out
+}
+
+type ColMap = HashMap<usize, usize>;
+
+fn identity_map(n: usize) -> ColMap {
+    (0..n).map(|i| (i, i)).collect()
+}
+
+fn expr_cols(e: &Expr, out: &mut Vec<usize>) {
+    e.columns(out);
+}
+
+fn remap(e: &Expr, map: &ColMap) -> Expr {
+    e.remap_columns(&|i| *map.get(&i).expect("pruned a required column"))
+}
+
+fn sorted_dedup(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn prune_rec(plan: LogicalPlan, required: Vec<usize>) -> (LogicalPlan, ColMap) {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            table_id,
+            schema,
+            projection,
+            filter,
+        } => {
+            let mut need = required;
+            if let Some(f) = &filter {
+                expr_cols(f, &mut need);
+            }
+            let need = sorted_dedup(need);
+            let old_projection: Vec<usize> = match &projection {
+                Some(p) => p.clone(),
+                None => (0..schema.len()).collect(),
+            };
+            // `need` is in scan-output coordinates; translate to storage.
+            let new_projection: Vec<usize> =
+                need.iter().map(|&i| old_projection[i]).collect();
+            let map: ColMap = need.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let filter = filter.map(|f| remap(&f, &map));
+            (
+                LogicalPlan::Scan {
+                    table,
+                    table_id,
+                    schema,
+                    projection: Some(new_projection),
+                    filter,
+                },
+                map,
+            )
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut need = required;
+            expr_cols(&predicate, &mut need);
+            let (child, map) = prune_rec(*input, sorted_dedup(need));
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(child),
+                    predicate: remap(&predicate, &map),
+                },
+                map,
+            )
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let keep = sorted_dedup(required);
+            let mut child_need = Vec::new();
+            for &i in &keep {
+                expr_cols(&exprs[i].0, &mut child_need);
+            }
+            let (child, child_map) = prune_rec(*input, sorted_dedup(child_need));
+            let new_exprs: Vec<(Expr, String)> = keep
+                .iter()
+                .map(|&i| (remap(&exprs[i].0, &child_map), exprs[i].1.clone()))
+                .collect();
+            let map: ColMap = keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            (
+                LogicalPlan::Project {
+                    input: Box::new(child),
+                    exprs: new_exprs,
+                },
+                map,
+            )
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+        } => {
+            let lw = left.schema().map(|s| s.len()).unwrap_or(0);
+            let semi_like = matches!(
+                kind,
+                crate::plan::JoinKind::Semi | crate::plan::JoinKind::Anti
+            );
+            // Columns needed from each side: parent's requirements plus the
+            // join keys and residual references.
+            let mut l_need = Vec::new();
+            let mut r_need = Vec::new();
+            for &i in &required {
+                if i < lw {
+                    l_need.push(i);
+                } else {
+                    debug_assert!(!semi_like, "semi/anti output is left-only");
+                    r_need.push(i - lw);
+                }
+            }
+            for &(lk, rk) in &on {
+                l_need.push(lk);
+                r_need.push(rk);
+            }
+            if let Some(res) = &residual {
+                let mut cols = Vec::new();
+                expr_cols(res, &mut cols);
+                for c in cols {
+                    if c < lw {
+                        l_need.push(c);
+                    } else {
+                        r_need.push(c - lw);
+                    }
+                }
+            }
+            let (new_left, l_map) = prune_rec(*left, sorted_dedup(l_need));
+            let (new_right, r_map) = prune_rec(*right, sorted_dedup(r_need));
+            let new_lw = new_left.schema().map(|s| s.len()).unwrap_or(0);
+            let on: Vec<(usize, usize)> =
+                on.iter().map(|&(l, r)| (l_map[&l], r_map[&r])).collect();
+            // Combined map for parents and the residual.
+            let mut map: ColMap = ColMap::new();
+            for (&old, &new) in &l_map {
+                map.insert(old, new);
+            }
+            if !semi_like {
+                for (&old, &new) in &r_map {
+                    map.insert(lw + old, new_lw + new);
+                }
+            }
+            let residual = residual.map(|res| {
+                // The residual sees left ++ right even for semi/anti joins.
+                let mut res_map = l_map.clone();
+                for (&old, &new) in &r_map {
+                    res_map.insert(lw + old, new_lw + new);
+                }
+                remap(&res, &res_map)
+            });
+            (
+                LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind,
+                    on,
+                    residual,
+                },
+                map,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            phase,
+        } => {
+            // Aggregates keep their full output (group keys + every agg):
+            // agg results are cheap and positions encode meaning for the
+            // Partial/Final protocol.
+            let mut child_need: Vec<usize> = group_by.clone();
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    expr_cols(arg, &mut child_need);
+                }
+            }
+            let (child, child_map) = prune_rec(*input, sorted_dedup(child_need));
+            let group_by: Vec<usize> = group_by.iter().map(|g| child_map[g]).collect();
+            let aggs = aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(|arg| remap(&arg, &child_map));
+                    a
+                })
+                .collect::<Vec<_>>();
+            let out_n = group_by.len()
+                + aggs.len()
+                + if phase == crate::plan::AggPhase::Partial {
+                    aggs.iter()
+                        .filter(|a| a.func == crate::expr::AggFunc::Avg)
+                        .count()
+                } else {
+                    0
+                };
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(child),
+                    group_by,
+                    aggs,
+                    phase,
+                },
+                identity_map(out_n),
+            )
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut need = required;
+            need.extend(keys.iter().map(|k| k.col));
+            let (child, map) = prune_rec(*input, sorted_dedup(need));
+            let keys = keys
+                .iter()
+                .map(|k| crate::plan::SortKey {
+                    col: map[&k.col],
+                    asc: k.asc,
+                })
+                .collect();
+            (
+                LogicalPlan::Sort {
+                    input: Box::new(child),
+                    keys,
+                },
+                map,
+            )
+        }
+        LogicalPlan::Limit {
+            input,
+            offset,
+            fetch,
+        } => {
+            let (child, map) = prune_rec(*input, required);
+            (
+                LogicalPlan::Limit {
+                    input: Box::new(child),
+                    offset,
+                    fetch,
+                },
+                map,
+            )
+        }
+        LogicalPlan::Exchange { input, partitions } => {
+            let (child, map) = prune_rec(*input, required);
+            (
+                LogicalPlan::Exchange {
+                    input: Box::new(child),
+                    partitions,
+                },
+                map,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggExpr, AggFunc, BinOp};
+    use vw_common::{DataType, Field, Schema, TableId, Value};
+
+    fn wide_scan() -> LogicalPlan {
+        LogicalPlan::scan(
+            "t",
+            TableId::new(1),
+            Schema::new(
+                (0..10)
+                    .map(|i| Field::new(format!("c{}", i), DataType::I64))
+                    .collect::<Vec<_>>(),
+            ),
+        )
+    }
+
+    fn scan_projection(plan: &LogicalPlan) -> Vec<usize> {
+        match plan {
+            LogicalPlan::Scan { projection, .. } => projection.clone().unwrap(),
+            other => other
+                .children()
+                .first()
+                .map(|c| scan_projection(c))
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn prunes_to_used_columns() {
+        let p = wide_scan()
+            .filter(Expr::binary(
+                BinOp::Gt,
+                Expr::col(7),
+                Expr::lit(Value::I64(0)),
+            ))
+            .project(vec![(Expr::col(2), "a"), (Expr::col(5), "b")]);
+        let before = p.schema().unwrap();
+        let pruned = prune_columns(p);
+        assert_eq!(pruned.schema().unwrap(), before);
+        assert_eq!(scan_projection(&pruned), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn aggregate_needs_only_args_and_keys() {
+        let p = wide_scan().aggregate(
+            vec![1],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::binary(BinOp::Mul, Expr::col(4), Expr::col(9))),
+                name: "s".into(),
+            }],
+        );
+        let before = p.schema().unwrap();
+        let pruned = prune_columns(p);
+        assert_eq!(pruned.schema().unwrap(), before);
+        assert_eq!(scan_projection(&pruned), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn join_prunes_both_sides() {
+        let p = wide_scan()
+            .join(wide_scan(), crate::plan::JoinKind::Inner, vec![(3, 6)])
+            .project(vec![(Expr::col(0), "l0"), (Expr::col(12), "r2")]);
+        let before = p.schema().unwrap();
+        let pruned = prune_columns(p);
+        assert_eq!(pruned.schema().unwrap(), before);
+        match &pruned {
+            LogicalPlan::Project { input, exprs } => match &**input {
+                LogicalPlan::Join { left, right, on, .. } => {
+                    assert_eq!(scan_projection(left), vec![0, 3]);
+                    assert_eq!(scan_projection(right), vec![2, 6]);
+                    assert_eq!(on, &vec![(1, 1)]);
+                    // l0 -> new col 0; r2 -> left_width(2) + 0 = 2
+                    assert_eq!(exprs[0].0, Expr::col(0));
+                    assert_eq!(exprs[1].0, Expr::col(2));
+                }
+                other => panic!("{}", other.explain()),
+            },
+            other => panic!("{}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn semi_join_keeps_right_keys_only() {
+        let p = wide_scan()
+            .join(wide_scan(), crate::plan::JoinKind::Semi, vec![(2, 8)])
+            .project(vec![(Expr::col(1), "x")]);
+        let pruned = prune_columns(p);
+        match &pruned {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Join { left, right, .. } => {
+                    assert_eq!(scan_projection(left), vec![1, 2]);
+                    assert_eq!(scan_projection(right), vec![8]);
+                }
+                other => panic!("{}", other.explain()),
+            },
+            other => panic!("{}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn sort_keys_are_preserved() {
+        let p = wide_scan()
+            .project(vec![
+                (Expr::col(0), "a"),
+                (Expr::col(1), "b"),
+                (Expr::col(2), "c"),
+            ])
+            .sort(vec![crate::plan::SortKey { col: 2, asc: true }])
+            .limit(0, 3);
+        let before = p.schema().unwrap();
+        let pruned = prune_columns(p);
+        assert_eq!(pruned.schema().unwrap(), before);
+        assert_eq!(scan_projection(&pruned), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn residual_references_survive() {
+        let join = LogicalPlan::Join {
+            left: Box::new(wide_scan()),
+            right: Box::new(wide_scan()),
+            kind: crate::plan::JoinKind::Inner,
+            on: vec![(0, 0)],
+            residual: Some(Expr::binary(
+                BinOp::Lt,
+                Expr::col(4),
+                Expr::col(15), // right col 5
+            )),
+        };
+        let p = LogicalPlan::Project {
+            input: Box::new(join),
+            exprs: vec![(Expr::col(1), "x".into())],
+        };
+        let before = p.schema().unwrap();
+        let pruned = prune_columns(p);
+        assert_eq!(pruned.schema().unwrap(), before);
+        match &pruned {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Join { left, right, residual, .. } => {
+                    assert_eq!(scan_projection(left), vec![0, 1, 4]);
+                    assert_eq!(scan_projection(right), vec![0, 5]);
+                    // left width now 3; right col 5 -> 3 + 1
+                    assert_eq!(
+                        residual.as_ref().unwrap(),
+                        &Expr::binary(BinOp::Lt, Expr::col(2), Expr::col(4))
+                    );
+                }
+                other => panic!("{}", other.explain()),
+            },
+            other => panic!("{}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn already_projected_scan_composes() {
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            table_id: TableId::new(1),
+            schema: Schema::new(
+                (0..10)
+                    .map(|i| Field::new(format!("c{}", i), DataType::I64))
+                    .collect::<Vec<_>>(),
+            ),
+            projection: Some(vec![9, 5, 1]),
+            filter: None,
+        };
+        let p = LogicalPlan::Project {
+            input: Box::new(scan),
+            exprs: vec![(Expr::col(1), "x".into())], // scan-output col 1 = storage 5
+        };
+        let pruned = prune_columns(p);
+        assert_eq!(scan_projection(&pruned), vec![5]);
+        let s = pruned.schema().unwrap();
+        assert_eq!(s.field(0).name, "x");
+    }
+}

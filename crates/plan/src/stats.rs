@@ -1,0 +1,221 @@
+//! Table statistics: equi-width histograms, distinct counts, null fractions.
+//!
+//! Stands in for the Ingres front-end's "quite accurate histogram-based query
+//! estimation" (§I-B). Statistics are built from a sample of column values at
+//! load/analyze time and consumed by the selectivity estimator in
+//! [`crate::optimizer`].
+
+use vw_common::{DataType, Value};
+
+/// Number of buckets in an equi-width histogram.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// An equi-width histogram over a numeric domain (ints, floats, dates all
+/// map onto f64 bucket boundaries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub min: f64,
+    pub max: f64,
+    pub buckets: Vec<u64>,
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Build from numeric samples; `None` if fewer than 2 samples or a
+    /// degenerate domain.
+    pub fn build(samples: &[f64]) -> Option<Histogram> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &s in samples {
+            if s.is_nan() {
+                return None;
+            }
+            min = min.min(s);
+            max = max.max(s);
+        }
+        if !(max > min) {
+            return None;
+        }
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        let width = (max - min) / HISTOGRAM_BUCKETS as f64;
+        for &s in samples {
+            let b = (((s - min) / width) as usize).min(HISTOGRAM_BUCKETS - 1);
+            buckets[b] += 1;
+        }
+        Some(Histogram {
+            min,
+            max,
+            buckets,
+            total: samples.len() as u64,
+        })
+    }
+
+    /// Estimated fraction of values `< x` (linear interpolation in-bucket).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let width = (self.max - self.min) / HISTOGRAM_BUCKETS as f64;
+        let pos = (x - self.min) / width;
+        let full = pos.floor() as usize;
+        let frac = pos - full as f64;
+        let mut count = 0.0;
+        for b in 0..full.min(HISTOGRAM_BUCKETS) {
+            count += self.buckets[b] as f64;
+        }
+        if full < HISTOGRAM_BUCKETS {
+            count += self.buckets[full] as f64 * frac;
+        }
+        count / self.total as f64
+    }
+
+    /// Estimated selectivity of an equality with `x`.
+    pub fn eq_selectivity(&self, x: f64, n_distinct: u64) -> f64 {
+        if x < self.min || x > self.max {
+            return 0.0;
+        }
+        1.0 / n_distinct.max(1) as f64
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColStats {
+    pub n_distinct: u64,
+    pub null_fraction: f64,
+    pub histogram: Option<Histogram>,
+}
+
+impl ColStats {
+    /// Build from a value sample.
+    pub fn build(ty: DataType, samples: &[Value]) -> ColStats {
+        let n = samples.len().max(1);
+        let nulls = samples.iter().filter(|v| v.is_null()).count();
+        let mut distinct: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for v in samples {
+            if !v.is_null() {
+                distinct.insert(v.to_string());
+            }
+        }
+        let numeric: Vec<f64> = samples
+            .iter()
+            .filter_map(|v| v.as_f64().or_else(|| v.as_i64().map(|x| x as f64)))
+            .collect();
+        let histogram = if ty.is_numeric() || ty == DataType::Date {
+            Histogram::build(&numeric)
+        } else {
+            None
+        };
+        ColStats {
+            n_distinct: distinct.len().max(1) as u64,
+            null_fraction: nulls as f64 / n as f64,
+            histogram,
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub n_rows: u64,
+    pub cols: Vec<ColStats>,
+}
+
+impl TableStats {
+    /// Build from per-column samples (each inner Vec is one column's sample).
+    pub fn build(n_rows: u64, types: &[DataType], samples: &[Vec<Value>]) -> TableStats {
+        TableStats {
+            n_rows,
+            cols: types
+                .iter()
+                .zip(samples)
+                .map(|(t, s)| ColStats::build(*t, s))
+                .collect(),
+        }
+    }
+
+    /// A stats object with no information (uniform guesses everywhere).
+    pub fn unknown(n_rows: u64, n_cols: usize) -> TableStats {
+        TableStats {
+            n_rows,
+            cols: vec![
+                ColStats {
+                    n_distinct: (n_rows / 10).max(1),
+                    null_fraction: 0.0,
+                    histogram: None,
+                };
+                n_cols
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_fractions() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(&samples).unwrap();
+        assert!((h.fraction_below(500.0) - 0.5).abs() < 0.05);
+        assert_eq!(h.fraction_below(-10.0), 0.0);
+        assert_eq!(h.fraction_below(2000.0), 1.0);
+        assert!((h.fraction_below(250.0) - 0.25).abs() < 0.05);
+        // skewed data
+        let skew: Vec<f64> = (0..1000).map(|i| if i < 900 { 1.0 } else { 100.0 }).collect();
+        let hs = Histogram::build(&skew).unwrap();
+        assert!(hs.fraction_below(50.0) > 0.85);
+    }
+
+    #[test]
+    fn histogram_degenerate() {
+        assert!(Histogram::build(&[]).is_none());
+        assert!(Histogram::build(&[1.0]).is_none());
+        assert!(Histogram::build(&[2.0, 2.0]).is_none());
+        assert!(Histogram::build(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn col_stats() {
+        let vals: Vec<Value> = (0..100)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Value::Null
+                } else {
+                    Value::I64(i % 7)
+                }
+            })
+            .collect();
+        let s = ColStats::build(DataType::I64, &vals);
+        assert_eq!(s.n_distinct, 7); // i % 7 ∈ {0..6}, all present among non-nulls
+        assert!((s.null_fraction - 0.1).abs() < 1e-9);
+        assert!(s.histogram.is_some());
+        let strs: Vec<Value> = (0..10).map(|i| Value::Str(format!("s{}", i % 3))).collect();
+        let s2 = ColStats::build(DataType::Str, &strs);
+        assert_eq!(s2.n_distinct, 3);
+        assert!(s2.histogram.is_none());
+    }
+
+    #[test]
+    fn eq_selectivity_ranges() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&samples).unwrap();
+        assert_eq!(h.eq_selectivity(200.0, 100), 0.0);
+        assert!((h.eq_selectivity(50.0, 100) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_stats() {
+        let s = TableStats::unknown(1000, 3);
+        assert_eq!(s.cols.len(), 3);
+        assert_eq!(s.n_rows, 1000);
+        assert_eq!(s.cols[0].n_distinct, 100);
+    }
+}

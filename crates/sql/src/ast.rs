@@ -1,0 +1,259 @@
+//! The abstract syntax tree produced by the parser, consumed by the binder.
+
+use vw_common::{DataType, Value};
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, AstExpr)>,
+        predicate: Option<AstExpr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<AstExpr>,
+    },
+    Explain(Box<Statement>),
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+/// SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub selection: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// expression with optional alias
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// One FROM item: a base table with joined tables chained onto it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+    pub joins: Vec<Join>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: AstJoinKind,
+    pub table: String,
+    pub alias: Option<String>,
+    pub on: AstExpr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    Inner,
+    Left,
+}
+
+/// ORDER BY item: expression (usually a name or ordinal) + direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub asc: bool,
+}
+
+/// Binary operators at the AST level (mapped to `vw_plan::BinOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstAggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// A scalar expression before binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified column name: `x` or `t.x`.
+    Column(Option<String>, String),
+    Literal(Value),
+    Binary {
+        op: AstBinOp,
+        l: Box<AstExpr>,
+        r: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    Neg(Box<AstExpr>),
+    IsNull {
+        e: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        e: Box<AstExpr>,
+        lo: Box<AstExpr>,
+        hi: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        e: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    InSubquery {
+        e: Box<AstExpr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    Like {
+        e: Box<AstExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    Case {
+        whens: Vec<(AstExpr, AstExpr)>,
+        otherwise: Option<Box<AstExpr>>,
+    },
+    Cast {
+        e: Box<AstExpr>,
+        ty: DataType,
+    },
+    /// Aggregate call; `arg = None` means `COUNT(*)`.
+    Agg {
+        func: AstAggFunc,
+        arg: Option<Box<AstExpr>>,
+    },
+    Substring {
+        e: Box<AstExpr>,
+        start: u32,
+        len: u32,
+    },
+    Extract {
+        part: ExtractPart,
+        e: Box<AstExpr>,
+    },
+    /// `expr + INTERVAL 'n' MONTH/YEAR` normalized to month counts.
+    AddMonths {
+        e: Box<AstExpr>,
+        months: i32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractPart {
+    Year,
+    Month,
+}
+
+impl AstExpr {
+    pub fn binary(op: AstBinOp, l: AstExpr, r: AstExpr) -> AstExpr {
+        AstExpr::Binary {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    /// True if the expression tree contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Column(..) | AstExpr::Literal(_) => false,
+            AstExpr::Binary { l, r, .. } => l.contains_aggregate() || r.contains_aggregate(),
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_aggregate(),
+            AstExpr::IsNull { e, .. }
+            | AstExpr::Like { e, .. }
+            | AstExpr::Cast { e, .. }
+            | AstExpr::Substring { e, .. }
+            | AstExpr::Extract { e, .. }
+            | AstExpr::AddMonths { e, .. } => e.contains_aggregate(),
+            AstExpr::Between { e, lo, hi, .. } => {
+                e.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            AstExpr::InList { e, list, .. } => {
+                e.contains_aggregate() || list.iter().any(|x| x.contains_aggregate())
+            }
+            AstExpr::InSubquery { e, .. } => e.contains_aggregate(),
+            AstExpr::Case { whens, otherwise } => {
+                whens
+                    .iter()
+                    .any(|(c, t)| c.contains_aggregate() || t.contains_aggregate())
+                    || otherwise.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::Agg {
+            func: AstAggFunc::Sum,
+            arg: Some(Box::new(AstExpr::Column(None, "x".into()))),
+        };
+        assert!(agg.contains_aggregate());
+        let nested = AstExpr::binary(
+            AstBinOp::Add,
+            AstExpr::Literal(Value::I64(1)),
+            AstExpr::binary(AstBinOp::Mul, agg, AstExpr::Literal(Value::I64(2))),
+        );
+        assert!(nested.contains_aggregate());
+        assert!(!AstExpr::Column(None, "x".into()).contains_aggregate());
+        let case = AstExpr::Case {
+            whens: vec![(
+                AstExpr::Literal(Value::Bool(true)),
+                AstExpr::Agg {
+                    func: AstAggFunc::Count,
+                    arg: None,
+                },
+            )],
+            otherwise: None,
+        };
+        assert!(case.contains_aggregate());
+    }
+}

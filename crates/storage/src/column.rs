@@ -1,0 +1,387 @@
+//! Uncompressed in-memory column representation.
+//!
+//! [`ColumnData`] is the *physical* shape of a column chunk: a dense typed
+//! array. The logical type lives in the schema; logical `Date` maps onto
+//! physical `I32`, which is how date columns get integer kernels and
+//! PFOR-DELTA compression for free.
+//!
+//! NULLs follow the paper's two-column representation (§I-B): a value column
+//! holding a "safe" value at NULL positions plus a separate indicator bitmap,
+//! so kernels never branch on NULL.
+
+use vw_common::{BitVec, DataType, Value, VwError};
+
+/// Variable-length string column: concatenated bytes plus offsets.
+/// `offsets.len() == n + 1`; string `i` is `bytes[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StrColumn {
+    pub offsets: Vec<u32>,
+    pub bytes: Vec<u8>,
+}
+
+impl StrColumn {
+    pub fn new() -> Self {
+        StrColumn {
+            offsets: vec![0],
+            bytes: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(n: usize, byte_cap: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        StrColumn {
+            offsets,
+            bytes: Vec::with_capacity(byte_cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let s = self.offsets[i] as usize;
+        let e = self.offsets[i + 1] as usize;
+        // Storage only ever holds valid UTF-8 (built via `push`).
+        std::str::from_utf8(&self.bytes[s..e]).expect("corrupt string column")
+    }
+
+    #[inline]
+    pub fn get_bytes(&self, i: usize) -> &[u8] {
+        let s = self.offsets[i] as usize;
+        let e = self.offsets[i + 1] as usize;
+        &self.bytes[s..e]
+    }
+
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.bytes.len() as u32);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Build from an iterator of string slices.
+    pub fn from_iter<'a>(it: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut c = StrColumn::new();
+        for s in it {
+            c.push(s);
+        }
+        c
+    }
+}
+
+/// A dense, typed, uncompressed column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Bool(Vec<bool>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Str(StrColumn),
+}
+
+impl ColumnData {
+    /// The physical representation used for a logical type.
+    pub fn physical_type(ty: DataType) -> DataType {
+        match ty {
+            DataType::Date => DataType::I32,
+            other => other,
+        }
+    }
+
+    /// An empty column of the physical representation of `ty`.
+    pub fn empty(ty: DataType) -> Self {
+        match Self::physical_type(ty) {
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::I32 => ColumnData::I32(Vec::new()),
+            DataType::I64 => ColumnData::I64(Vec::new()),
+            DataType::F64 => ColumnData::F64(Vec::new()),
+            DataType::Str => ColumnData::Str(StrColumn::new()),
+            DataType::Date => unreachable!("date maps to i32"),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::I32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The "safe" placeholder stored at NULL positions (paper §I-B): any
+    /// in-domain value works because the indicator column masks it out.
+    pub fn push_safe_null(&mut self) {
+        match self {
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::I32(v) => v.push(0),
+            ColumnData::I64(v) => v.push(0),
+            ColumnData::F64(v) => v.push(0.0),
+            ColumnData::Str(v) => v.push(""),
+        }
+    }
+
+    /// Append a non-null `Value`; errors on a type mismatch.
+    pub fn push_value(&mut self, value: &Value) -> Result<(), VwError> {
+        match (self, value) {
+            (ColumnData::Bool(v), Value::Bool(b)) => v.push(*b),
+            (ColumnData::I32(v), Value::I32(x)) => v.push(*x),
+            (ColumnData::I32(v), Value::Date(x)) => v.push(*x),
+            (ColumnData::I64(v), Value::I64(x)) => v.push(*x),
+            (ColumnData::I64(v), Value::I32(x)) => v.push(*x as i64),
+            (ColumnData::F64(v), Value::F64(x)) => v.push(*x),
+            (ColumnData::F64(v), Value::I32(x)) => v.push(*x as f64),
+            (ColumnData::F64(v), Value::I64(x)) => v.push(*x as f64),
+            (ColumnData::Str(v), Value::Str(s)) => v.push(s),
+            (me, v) => {
+                return Err(VwError::Storage(format!(
+                    "cannot append {:?} to {} column",
+                    v,
+                    me.type_name()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Read position `i` back as a `Value` with logical type `ty`.
+    pub fn get_value(&self, i: usize, ty: DataType) -> Value {
+        match self {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::I32(v) => {
+                if ty == DataType::Date {
+                    Value::Date(v[i])
+                } else {
+                    Value::I32(v[i])
+                }
+            }
+            ColumnData::I64(v) => Value::I64(v[i]),
+            ColumnData::F64(v) => Value::F64(v[i]),
+            ColumnData::Str(v) => Value::Str(v.get(i).to_string()),
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ColumnData::Bool(_) => "bool",
+            ColumnData::I32(_) => "i32",
+            ColumnData::I64(_) => "i64",
+            ColumnData::F64(_) => "f64",
+            ColumnData::Str(_) => "str",
+        }
+    }
+
+    /// Copy positions `[from, to)` into a new column (PAX group slicing).
+    pub fn slice(&self, from: usize, to: usize) -> ColumnData {
+        match self {
+            ColumnData::Bool(v) => ColumnData::Bool(v[from..to].to_vec()),
+            ColumnData::I32(v) => ColumnData::I32(v[from..to].to_vec()),
+            ColumnData::I64(v) => ColumnData::I64(v[from..to].to_vec()),
+            ColumnData::F64(v) => ColumnData::F64(v[from..to].to_vec()),
+            ColumnData::Str(v) => {
+                let mut out = StrColumn::new();
+                for i in from..to {
+                    out.push(v.get(i));
+                }
+                ColumnData::Str(out)
+            }
+        }
+    }
+
+    /// Heap bytes this chunk occupies uncompressed (for compression ratios).
+    pub fn uncompressed_bytes(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::I32(v) => v.len() * 4,
+            ColumnData::I64(v) => v.len() * 8,
+            ColumnData::F64(v) => v.len() * 8,
+            ColumnData::Str(v) => v.bytes.len() + v.offsets.len() * 4,
+        }
+    }
+}
+
+/// A column chunk plus its optional NULL indicator — the unit the rest of the
+/// system passes around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NullableColumn {
+    pub data: ColumnData,
+    /// One bit per value; `true` = NULL. Absent means "no NULLs".
+    pub nulls: Option<BitVec>,
+}
+
+impl NullableColumn {
+    pub fn not_null(data: ColumnData) -> Self {
+        NullableColumn { data, nulls: None }
+    }
+
+    pub fn new(data: ColumnData, nulls: Option<BitVec>) -> Self {
+        if let Some(n) = &nulls {
+            assert_eq!(n.len(), data.len(), "indicator length mismatch");
+        }
+        NullableColumn { data, nulls }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n.get(i))
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.nulls.as_ref().map_or(0, |n| n.count_ones())
+    }
+
+    /// Read position `i` as a `Value` with logical type `ty` (NULL-aware).
+    pub fn get_value(&self, i: usize, ty: DataType) -> Value {
+        if self.is_null(i) {
+            Value::Null
+        } else {
+            self.data.get_value(i, ty)
+        }
+    }
+
+    /// Drop the indicator if it is all-false (normalization after merges).
+    pub fn normalize(mut self) -> Self {
+        if let Some(n) = &self.nulls {
+            if !n.any() {
+                self.nulls = None;
+            }
+        }
+        self
+    }
+
+    /// Build from `Value`s (bulk-load path). `ty` is the logical type.
+    pub fn from_values(ty: DataType, values: &[Value]) -> Result<Self, VwError> {
+        let mut data = ColumnData::empty(ty);
+        let mut nulls = BitVec::new();
+        let mut any_null = false;
+        for v in values {
+            if v.is_null() {
+                data.push_safe_null();
+                nulls.push(true);
+                any_null = true;
+            } else {
+                data.push_value(v)?;
+                nulls.push(false);
+            }
+        }
+        Ok(NullableColumn {
+            data,
+            nulls: if any_null { Some(nulls) } else { None },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_column_roundtrip() {
+        let mut c = StrColumn::new();
+        c.push("hello");
+        c.push("");
+        c.push("wörld");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), "hello");
+        assert_eq!(c.get(1), "");
+        assert_eq!(c.get(2), "wörld");
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec!["hello", "", "wörld"]);
+        assert_eq!(c.get_bytes(2), "wörld".as_bytes());
+    }
+
+    #[test]
+    fn date_maps_to_i32() {
+        let mut c = ColumnData::empty(DataType::Date);
+        assert_eq!(c.type_name(), "i32");
+        c.push_value(&Value::Date(9000)).unwrap();
+        assert_eq!(c.get_value(0, DataType::Date), Value::Date(9000));
+        assert_eq!(c.get_value(0, DataType::I32), Value::I32(9000));
+    }
+
+    #[test]
+    fn push_value_type_checks() {
+        let mut c = ColumnData::empty(DataType::I64);
+        c.push_value(&Value::I64(5)).unwrap();
+        c.push_value(&Value::I32(6)).unwrap(); // implicit widen
+        assert!(c.push_value(&Value::Str("x".into())).is_err());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get_value(1, DataType::I64), Value::I64(6));
+    }
+
+    #[test]
+    fn nullable_from_values() {
+        let vals = vec![Value::I64(1), Value::Null, Value::I64(3)];
+        let c = NullableColumn::from_values(DataType::I64, &vals).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.is_null(1));
+        assert!(!c.is_null(0));
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get_value(1, DataType::I64), Value::Null);
+        assert_eq!(c.get_value(2, DataType::I64), Value::I64(3));
+        // safe value stored under the NULL
+        assert_eq!(c.data.get_value(1, DataType::I64), Value::I64(0));
+    }
+
+    #[test]
+    fn from_values_no_nulls_has_no_indicator() {
+        let vals = vec![Value::F64(1.5), Value::F64(2.5)];
+        let c = NullableColumn::from_values(DataType::F64, &vals).unwrap();
+        assert!(c.nulls.is_none());
+    }
+
+    #[test]
+    fn normalize_drops_empty_indicator() {
+        let data = ColumnData::I32(vec![1, 2]);
+        let c = NullableColumn::new(data, Some(BitVec::filled(2, false))).normalize();
+        assert!(c.nulls.is_none());
+        let data = ColumnData::I32(vec![1, 2]);
+        let mut bits = BitVec::filled(2, false);
+        bits.set(0, true);
+        let c = NullableColumn::new(data, Some(bits)).normalize();
+        assert!(c.nulls.is_some());
+    }
+
+    #[test]
+    fn slicing() {
+        let c = ColumnData::Str(StrColumn::from_iter(["a", "bb", "ccc", "dddd"]));
+        let s = c.slice(1, 3);
+        match s {
+            ColumnData::Str(sc) => {
+                assert_eq!(sc.iter().collect::<Vec<_>>(), vec!["bb", "ccc"]);
+            }
+            _ => panic!(),
+        }
+        let c = ColumnData::I64(vec![10, 20, 30]);
+        assert_eq!(c.slice(0, 2), ColumnData::I64(vec![10, 20]));
+    }
+
+    #[test]
+    fn uncompressed_sizes() {
+        assert_eq!(ColumnData::I32(vec![0; 10]).uncompressed_bytes(), 40);
+        assert_eq!(ColumnData::F64(vec![0.0; 10]).uncompressed_bytes(), 80);
+        let s = ColumnData::Str(StrColumn::from_iter(["ab", "c"]));
+        assert_eq!(s.uncompressed_bytes(), 3 + 3 * 4);
+    }
+}

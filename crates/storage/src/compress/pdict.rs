@@ -1,0 +1,158 @@
+//! PDICT — dictionary compression for string columns.
+//!
+//! From the same compression family as PFOR [2]: distinct strings go into a
+//! per-block dictionary and each value becomes a bit-packed code. TPC-H is
+//! full of tiny-domain strings (flags, modes, priorities) where this is a
+//! 10-50x win; high-cardinality comment columns fall back to plain.
+//!
+//! Wire layout:
+//! ```text
+//! [n_dict:   u32 LE]
+//! [dict_bytes_len: u32 LE][dict bytes][dict offsets: (n_dict+1) * u32 LE]
+//! [width: u8][packed codes]
+//! ```
+
+use super::bitpack::{bits_needed, pack, packed_len, unpack};
+use crate::column::StrColumn;
+use std::collections::HashMap;
+
+/// Encode a string column with a per-block dictionary.
+/// Returns `None` when the dictionary would not be smaller than plain
+/// (the caller then keeps plain encoding).
+pub fn pdict_encode(col: &StrColumn) -> Option<Vec<u8>> {
+    let n = col.len();
+    let mut dict_index: HashMap<&str, u32> = HashMap::new();
+    let mut dict: Vec<&str> = Vec::new();
+    let mut codes: Vec<u64> = Vec::with_capacity(n);
+    for s in col.iter() {
+        let next = dict.len() as u32;
+        let code = *dict_index.entry(s).or_insert_with(|| {
+            dict.push(s);
+            next
+        });
+        codes.push(code as u64);
+    }
+    let width = bits_needed(dict.len().saturating_sub(1) as u64);
+    let dict_bytes: usize = dict.iter().map(|s| s.len()).sum();
+    let encoded_size =
+        4 + 4 + dict_bytes + (dict.len() + 1) * 4 + 1 + packed_len(n, width);
+    let plain_size = col.bytes.len() + col.offsets.len() * 4;
+    if encoded_size >= plain_size {
+        return None;
+    }
+    let mut out = Vec::with_capacity(encoded_size);
+    out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(dict_bytes as u32).to_le_bytes());
+    let mut offsets: Vec<u32> = Vec::with_capacity(dict.len() + 1);
+    offsets.push(0);
+    for s in &dict {
+        out.extend_from_slice(s.as_bytes());
+        offsets.push(*offsets.last().unwrap() + s.len() as u32);
+    }
+    for o in &offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    out.push(width as u8);
+    out.extend_from_slice(&pack(&codes, width));
+    Some(out)
+}
+
+/// Decode a PDICT block of `n` values.
+pub fn pdict_decode(bytes: &[u8], n: usize) -> Option<StrColumn> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let n_dict = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let dict_bytes_len = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let mut off = 8;
+    if bytes.len() < off + dict_bytes_len + (n_dict + 1) * 4 + 1 {
+        return None;
+    }
+    let dict_bytes = &bytes[off..off + dict_bytes_len];
+    off += dict_bytes_len;
+    let mut offsets = Vec::with_capacity(n_dict + 1);
+    for i in 0..=n_dict {
+        offsets.push(u32::from_le_bytes(
+            bytes[off + i * 4..off + i * 4 + 4].try_into().ok()?,
+        ) as usize);
+    }
+    off += (n_dict + 1) * 4;
+    let width = bytes[off] as u32;
+    off += 1;
+    if width > 32 || bytes.len() < off + packed_len(n, width) {
+        return None;
+    }
+    let codes = unpack(&bytes[off..], n, width);
+    // Validate the dictionary once; code expansion is then a bounds check
+    // and a byte copy per value.
+    let mut dict: Vec<&str> = Vec::with_capacity(n_dict);
+    for c in 0..n_dict {
+        if offsets[c] > offsets[c + 1] || offsets[c + 1] > dict_bytes.len() {
+            return None;
+        }
+        dict.push(std::str::from_utf8(&dict_bytes[offsets[c]..offsets[c + 1]]).ok()?);
+    }
+    let mut out = StrColumn::with_capacity(n, dict_bytes_len * 2);
+    for c in codes {
+        out.push(dict.get(c as usize)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_card_column(n: usize) -> StrColumn {
+        let domain = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"];
+        StrColumn::from_iter((0..n).map(|i| domain[(i * 7 + i / 3) % domain.len()]))
+    }
+
+    #[test]
+    fn roundtrip_low_cardinality() {
+        let col = low_card_column(5000);
+        let enc = pdict_encode(&col).expect("should compress");
+        let plain = col.bytes.len() + col.offsets.len() * 4;
+        assert!(enc.len() * 4 < plain, "enc {} vs plain {}", enc.len(), plain);
+        let back = pdict_decode(&enc, col.len()).unwrap();
+        assert_eq!(back, col);
+    }
+
+    #[test]
+    fn high_cardinality_declines() {
+        let col = StrColumn::from_iter(
+            (0..1000)
+                .map(|i| format!("unique-string-number-{}", i))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.as_str()),
+        );
+        assert!(pdict_encode(&col).is_none());
+    }
+
+    #[test]
+    fn single_distinct_value_width_zero() {
+        let col = StrColumn::from_iter(std::iter::repeat("N").take(1000));
+        let enc = pdict_encode(&col).unwrap();
+        assert!(enc.len() < 32, "enc {}", enc.len());
+        assert_eq!(pdict_decode(&enc, 1000).unwrap(), col);
+    }
+
+    #[test]
+    fn empty_strings_and_unicode() {
+        let col = StrColumn::from_iter(["", "ü", "", "ü", "", "ü", "", "ü", "", "ü"]);
+        let enc = pdict_encode(&col).unwrap();
+        assert_eq!(pdict_decode(&enc, col.len()).unwrap(), col);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let col = low_card_column(100);
+        let enc = pdict_encode(&col).unwrap();
+        assert!(pdict_decode(&enc[..enc.len() - 1], 100).is_none());
+        assert!(pdict_decode(&[], 100).is_none());
+        // wrong n: more codes than packed data holds may still decode if
+        // packed_len allows, but must never panic
+        let _ = pdict_decode(&enc, 99);
+    }
+}

@@ -1,0 +1,28 @@
+//! `vw-storage` — columnar storage for vectorwise-rs.
+//!
+//! The paper (§I-A) describes Vectorwise storage as a column store with
+//! hybrid PAX/DSM layout, lightweight compression (PFOR and friends, [2])
+//! chosen per block, and MinMax metadata for scan pruning. This crate builds
+//! all of that:
+//!
+//! * [`column`] — uncompressed in-memory column representation (the form the
+//!   execution engine consumes),
+//! * [`compress`] — PFOR, PFOR-DELTA, PDICT, RLE and plain codecs with a
+//!   cost-based per-block scheme chooser,
+//! * [`block`] — self-describing serialized column blocks with MinMax stats,
+//! * [`simdisk`] — a deterministic simulated disk that charges virtual I/O
+//!   time (substitute for the paper's real disk arrays; see DESIGN.md),
+//! * [`table`] — PAX-grouped table storage: row groups of column blocks,
+//!   bulk load, per-group reads, zone-map pruning.
+
+pub mod block;
+pub mod column;
+pub mod compress;
+pub mod simdisk;
+pub mod table;
+
+pub use block::{ColumnBlock, MinMax, PruneOp};
+pub use column::{ColumnData, NullableColumn, StrColumn};
+pub use compress::{compress_data, decompress_data, CompressionScheme};
+pub use simdisk::{DiskStats, SimDisk, SimDiskConfig};
+pub use table::{concat_columns, read_all_columns, RowGroup, TableBuilder, TableStorage};

@@ -1,0 +1,248 @@
+//! A deterministic simulated disk.
+//!
+//! The paper's experiments ran on real disk arrays; on a laptop-scale
+//! reproduction the interesting quantity is not wall-clock I/O time but the
+//! *amount of I/O* and how bandwidth is shared. `SimDisk` stores blocks in
+//! memory and charges *virtual time* per read (`latency + bytes/bandwidth`),
+//! so experiments E5 (compression vs bandwidth) and E6 (cooperative scans)
+//! are reproducible bit-for-bit on any machine.
+//!
+//! Thread-safe: the buffer manager issues reads from many scan threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use vw_common::{BlockId, Result, VwError};
+
+/// Physical characteristics of the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimDiskConfig {
+    /// Sustained sequential bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-request latency in seconds (seek + controller).
+    pub latency_sec: f64,
+}
+
+impl Default for SimDiskConfig {
+    fn default() -> Self {
+        // A modest SATA SSD: 500 MB/s, 100µs per request.
+        SimDiskConfig {
+            bandwidth_bytes_per_sec: 500.0 * 1024.0 * 1024.0,
+            latency_sec: 100e-6,
+        }
+    }
+}
+
+impl SimDiskConfig {
+    /// A spinning-disk profile (the paper-era hardware): 150 MB/s, 4ms seeks.
+    pub fn hdd() -> Self {
+        SimDiskConfig {
+            bandwidth_bytes_per_sec: 150.0 * 1024.0 * 1024.0,
+            latency_sec: 4e-3,
+        }
+    }
+
+    /// Custom bandwidth in MB/s with SSD-like latency.
+    pub fn with_bandwidth_mb(mb_per_sec: f64) -> Self {
+        SimDiskConfig {
+            bandwidth_bytes_per_sec: mb_per_sec * 1024.0 * 1024.0,
+            latency_sec: 100e-6,
+        }
+    }
+}
+
+/// Cumulative I/O counters. Virtual time is in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub virtual_read_ns: u64,
+}
+
+/// The simulated block device.
+pub struct SimDisk {
+    config: SimDiskConfig,
+    blocks: RwLock<HashMap<BlockId, Arc<Vec<u8>>>>,
+    next_id: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    virtual_read_ns: AtomicU64,
+}
+
+impl SimDisk {
+    pub fn new(config: SimDiskConfig) -> Self {
+        SimDisk {
+            config,
+            blocks: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            virtual_read_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub fn default_disk() -> Arc<SimDisk> {
+        Arc::new(SimDisk::new(SimDiskConfig::default()))
+    }
+
+    pub fn config(&self) -> SimDiskConfig {
+        self.config
+    }
+
+    /// Store a block, returning its id. Charges write counters only
+    /// (writes happen at checkpoint time, off the query path).
+    pub fn write_block(&self, bytes: Vec<u8>) -> BlockId {
+        let id = BlockId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.blocks.write().unwrap().insert(id, Arc::new(bytes));
+        id
+    }
+
+    /// Replace the contents of an existing block (checkpoint rewrite).
+    pub fn overwrite_block(&self, id: BlockId, bytes: Vec<u8>) -> Result<()> {
+        let mut guard = self.blocks.write().unwrap();
+        if !guard.contains_key(&id) {
+            return Err(VwError::Storage(format!("overwrite of unknown {}", id)));
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        guard.insert(id, Arc::new(bytes));
+        Ok(())
+    }
+
+    /// Read a block, charging virtual I/O time.
+    pub fn read_block(&self, id: BlockId) -> Result<Arc<Vec<u8>>> {
+        let block = self
+            .blocks
+            .read()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| VwError::Storage(format!("read of unknown {}", id)))?;
+        let secs =
+            self.config.latency_sec + block.len() as f64 / self.config.bandwidth_bytes_per_sec;
+        self.virtual_read_ns
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        Ok(block)
+    }
+
+    /// Drop a block (table drop / checkpoint garbage collection).
+    pub fn free_block(&self, id: BlockId) {
+        self.blocks.write().unwrap().remove(&id);
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            virtual_read_ns: self.virtual_read_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset counters (between benchmark phases), keeping data.
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.virtual_read_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of stored blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.read().unwrap().len()
+    }
+
+    /// Total stored bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.blocks.read().unwrap().values().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let disk = SimDisk::new(SimDiskConfig::default());
+        let id = disk.write_block(vec![1, 2, 3]);
+        let back = disk.read_block(id).unwrap();
+        assert_eq!(&**back, &[1, 2, 3]);
+        assert!(disk.read_block(BlockId::new(999)).is_err());
+    }
+
+    #[test]
+    fn virtual_time_charges_latency_plus_bandwidth() {
+        let disk = SimDisk::new(SimDiskConfig {
+            bandwidth_bytes_per_sec: 1_000_000.0, // 1 MB/s
+            latency_sec: 0.001,                   // 1 ms
+        });
+        let id = disk.write_block(vec![0u8; 500_000]); // 0.5s transfer
+        disk.read_block(id).unwrap();
+        let stats = disk.stats();
+        let secs = stats.virtual_read_ns as f64 / 1e9;
+        assert!((0.499..0.503).contains(&secs), "virtual {}s", secs);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.bytes_read, 500_000);
+        assert_eq!(stats.writes, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let disk = SimDisk::new(SimDiskConfig::default());
+        let id = disk.write_block(vec![0u8; 100]);
+        disk.read_block(id).unwrap();
+        disk.read_block(id).unwrap();
+        assert_eq!(disk.stats().reads, 2);
+        assert_eq!(disk.stats().bytes_read, 200);
+        disk.reset_stats();
+        assert_eq!(disk.stats(), DiskStats::default());
+        assert_eq!(disk.block_count(), 1);
+    }
+
+    #[test]
+    fn overwrite_and_free() {
+        let disk = SimDisk::new(SimDiskConfig::default());
+        let id = disk.write_block(vec![1]);
+        disk.overwrite_block(id, vec![2, 3]).unwrap();
+        assert_eq!(&**disk.read_block(id).unwrap(), &[2, 3]);
+        assert!(disk.overwrite_block(BlockId::new(77), vec![]).is_err());
+        disk.free_block(id);
+        assert!(disk.read_block(id).is_err());
+        assert_eq!(disk.block_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_reads() {
+        let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let id = disk.write_block(vec![7u8; 1024]);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = disk.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    assert_eq!(d.read_block(id).unwrap().len(), 1024);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(disk.stats().reads, 400);
+    }
+}

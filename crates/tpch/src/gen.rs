@@ -1,0 +1,552 @@
+//! The deterministic TPC-H data generator.
+//!
+//! Faithful to the properties queries depend on rather than to dbgen's exact
+//! text grammars; see the crate docs for the substitution rationale.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vw_common::date::parse_date;
+use vw_common::Value;
+
+/// The eight TPC-H tables in load (dependency) order.
+pub const TPCH_TABLES: &[&str] = &[
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// (name, regionkey) for the 25 standard nations.
+const NATIONS: &[(&str, i64)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const TYPE_SYL1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_SYL1: &[&str] = &["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_SYL2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "indian", "ivory",
+    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive",
+    "orange", "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+    "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna",
+    "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+];
+const WORDS: &[&str] = &[
+    "packages", "instructions", "accounts", "deposits", "foxes", "ideas", "theodolites",
+    "pinto", "beans", "requests", "platelets", "asymptotes", "courts", "dolphins", "multipliers",
+    "sauternes", "warthogs", "frets", "dinos", "attainments", "somas", "braids", "hockey",
+    "players", "excuses", "waters", "sheaves", "depths", "sentiments", "decoys", "realms",
+    "pains", "grouches", "escapades", "quickly", "slyly", "carefully", "furiously", "blithely",
+    "express", "regular", "final", "ironic", "even", "bold", "silent", "pending", "unusual",
+    "special",
+];
+
+/// Deterministic TPC-H generator at a given scale factor.
+pub struct TpchGenerator {
+    sf: f64,
+    seed: u64,
+}
+
+impl TpchGenerator {
+    pub fn new(sf: f64) -> TpchGenerator {
+        TpchGenerator { sf, seed: 0x7c_d6 }
+    }
+
+    pub fn with_seed(sf: f64, seed: u64) -> TpchGenerator {
+        TpchGenerator { sf, seed }
+    }
+
+    pub fn scale_factor(&self) -> f64 {
+        self.sf
+    }
+
+    fn scaled(&self, base: u64, min: u64) -> u64 {
+        ((base as f64 * self.sf).round() as u64).max(min)
+    }
+
+    /// Cardinality of a table at this scale factor.
+    pub fn rows_of(&self, table: &str) -> u64 {
+        match table {
+            "region" => 5,
+            "nation" => 25,
+            "supplier" => self.scaled(10_000, 10),
+            "part" => self.scaled(200_000, 50),
+            "partsupp" => self.rows_of("part") * 4,
+            "customer" => self.scaled(150_000, 30),
+            "orders" => self.scaled(1_500_000, 150),
+            // lineitem is 1..7 per order; exact count comes from generation
+            "lineitem" => self.rows_of("orders") * 4,
+            _ => 0,
+        }
+    }
+
+    fn rng(&self, table: &str) -> SmallRng {
+        let mut h = self.seed;
+        for b in table.bytes() {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+
+    /// Generate all rows of one table.
+    pub fn rows(&self, table: &str) -> Vec<Vec<Value>> {
+        match table {
+            "region" => self.region(),
+            "nation" => self.nation(),
+            "supplier" => self.supplier(),
+            "part" => self.part(),
+            "partsupp" => self.partsupp(),
+            "customer" => self.customer(),
+            "orders" => self.orders().0,
+            "lineitem" => self.lineitem(),
+            other => panic!("unknown TPC-H table {}", other),
+        }
+    }
+
+    fn comment(rng: &mut SmallRng, inject: Option<&str>) -> String {
+        let n = rng.gen_range(3..8);
+        let mut words: Vec<&str> = (0..n)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+            .collect();
+        if let Some(phrase) = inject {
+            words.insert(rng.gen_range(0..words.len()), phrase);
+        }
+        words.join(" ")
+    }
+
+    fn region(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("region");
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                vec![
+                    Value::I64(i as i64),
+                    Value::Str(name.to_string()),
+                    Value::Str(Self::comment(&mut rng, None)),
+                ]
+            })
+            .collect()
+    }
+
+    fn nation(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("nation");
+        NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, region))| {
+                vec![
+                    Value::I64(i as i64),
+                    Value::Str(name.to_string()),
+                    Value::I64(*region),
+                    Value::Str(Self::comment(&mut rng, None)),
+                ]
+            })
+            .collect()
+    }
+
+    fn supplier(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("supplier");
+        let n = self.rows_of("supplier");
+        (1..=n as i64)
+            .map(|k| {
+                let nation = rng.gen_range(0..25i64);
+                // Q16 filters suppliers with complaint comments (~5%).
+                let inject = if rng.gen_bool(0.05) {
+                    Some("Customer Complaints")
+                } else {
+                    None
+                };
+                vec![
+                    Value::I64(k),
+                    Value::Str(format!("Supplier#{:09}", k)),
+                    Value::Str(format!("addr sup {}", k * 7 % 1000)),
+                    Value::I64(nation),
+                    Value::Str(phone(nation, k)),
+                    Value::F64(money(&mut rng, -999.99, 9999.99)),
+                    Value::Str(Self::comment(&mut rng, inject)),
+                ]
+            })
+            .collect()
+    }
+
+    fn part(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("part");
+        let n = self.rows_of("part");
+        (1..=n as i64)
+            .map(|k| {
+                let name: Vec<&str> = (0..5)
+                    .map(|_| COLORS[rng.gen_range(0..COLORS.len())])
+                    .collect();
+                let brand = format!(
+                    "Brand#{}{}",
+                    rng.gen_range(1..=5),
+                    rng.gen_range(1..=5)
+                );
+                let ptype = format!(
+                    "{} {} {}",
+                    TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
+                    TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
+                    TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())]
+                );
+                let container = format!(
+                    "{} {}",
+                    CONTAINER_SYL1[rng.gen_range(0..CONTAINER_SYL1.len())],
+                    CONTAINER_SYL2[rng.gen_range(0..CONTAINER_SYL2.len())]
+                );
+                vec![
+                    Value::I64(k),
+                    Value::Str(name.join(" ")),
+                    Value::Str(format!("Manufacturer#{}", (k % 5) + 1)),
+                    Value::Str(brand),
+                    Value::Str(ptype),
+                    Value::I64(rng.gen_range(1..=50)),
+                    Value::Str(container),
+                    Value::F64(retail_price(k)),
+                    Value::Str(Self::comment(&mut rng, None)),
+                ]
+            })
+            .collect()
+    }
+
+    fn partsupp(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("partsupp");
+        let parts = self.rows_of("part") as i64;
+        let suppliers = self.rows_of("supplier") as i64;
+        let mut out = Vec::with_capacity((parts * 4) as usize);
+        for p in 1..=parts {
+            for s in 0..4i64 {
+                let suppkey = (p + s * spread_step(suppliers, p)) % suppliers + 1;
+                out.push(vec![
+                    Value::I64(p),
+                    Value::I64(suppkey),
+                    Value::I64(rng.gen_range(1..=9999)),
+                    Value::F64(money(&mut rng, 1.0, 1000.0)),
+                    Value::Str(Self::comment(&mut rng, None)),
+                ]);
+            }
+        }
+        out
+    }
+
+    fn customer(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("customer");
+        let n = self.rows_of("customer");
+        (1..=n as i64)
+            .map(|k| {
+                let nation = rng.gen_range(0..25i64);
+                vec![
+                    Value::I64(k),
+                    Value::Str(format!("Customer#{:09}", k)),
+                    Value::Str(format!("addr cust {}", k * 13 % 1000)),
+                    Value::I64(nation),
+                    Value::Str(phone(nation, k)),
+                    Value::F64(money(&mut rng, -999.99, 9999.99)),
+                    Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string()),
+                    Value::Str(Self::comment(&mut rng, None)),
+                ]
+            })
+            .collect()
+    }
+
+    /// Orders plus the per-order (orderdate, line count) needed by lineitem.
+    fn orders(&self) -> (Vec<Vec<Value>>, Vec<(i64, i32, u32)>) {
+        let mut rng = self.rng("orders");
+        let n = self.rows_of("orders");
+        let customers = self.rows_of("customer") as i64;
+        let start = parse_date("1992-01-01").unwrap();
+        let end = parse_date("1998-08-02").unwrap();
+        let cutoff = parse_date("1995-06-17").unwrap();
+        let mut rows = Vec::with_capacity(n as usize);
+        let mut meta = Vec::with_capacity(n as usize);
+        for k in 1..=n as i64 {
+            // Spec: a third of customers get no orders (custkey % 3 == 0).
+            let mut custkey = rng.gen_range(1..=customers);
+            if custkey % 3 == 0 {
+                custkey = (custkey % customers) + 1;
+                if custkey % 3 == 0 {
+                    custkey = (custkey % customers) + 1;
+                }
+            }
+            let orderdate = rng.gen_range(start..=end - 122);
+            let n_lines = rng.gen_range(1..=7u32);
+            let status = if orderdate + 121 < cutoff {
+                "F"
+            } else if orderdate > cutoff {
+                "O"
+            } else {
+                "P"
+            };
+            // Q13 filters comments '%special%requests%' (~5%).
+            let inject = if rng.gen_bool(0.05) {
+                Some("special handling requests")
+            } else {
+                None
+            };
+            rows.push(vec![
+                Value::I64(k),
+                Value::I64(custkey),
+                Value::Str(status.to_string()),
+                Value::F64(money(&mut rng, 800.0, 500_000.0)),
+                Value::Date(orderdate),
+                Value::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string()),
+                Value::Str(format!("Clerk#{:09}", rng.gen_range(1..=1000))),
+                Value::I64(0),
+                Value::Str(Self::comment(&mut rng, inject)),
+            ]);
+            meta.push((k, orderdate, n_lines));
+        }
+        (rows, meta)
+    }
+
+    fn lineitem(&self) -> Vec<Vec<Value>> {
+        let mut rng = self.rng("lineitem");
+        let (_, order_meta) = self.orders();
+        let parts = self.rows_of("part") as i64;
+        let suppliers = self.rows_of("supplier") as i64;
+        let cutoff = parse_date("1995-06-17").unwrap();
+        let mut out = Vec::with_capacity(order_meta.len() * 4);
+        for (orderkey, orderdate, n_lines) in order_meta {
+            for line in 1..=n_lines {
+                let partkey = rng.gen_range(1..=parts);
+                // one of the 4 suppliers of this part (same spreading fn)
+                let s = rng.gen_range(0..4i64);
+                let suppkey = (partkey + s * spread_step(suppliers, partkey)) % suppliers + 1;
+                let quantity = rng.gen_range(1..=50) as f64;
+                let extendedprice = quantity * retail_price(partkey);
+                let discount = rng.gen_range(0..=10) as f64 / 100.0;
+                let tax = rng.gen_range(0..=8) as f64 / 100.0;
+                let shipdate = orderdate + rng.gen_range(1..=121);
+                let commitdate = orderdate + rng.gen_range(30..=90);
+                let receiptdate = shipdate + rng.gen_range(1..=30);
+                let returnflag = if receiptdate <= cutoff {
+                    if rng.gen_bool(0.5) {
+                        "R"
+                    } else {
+                        "A"
+                    }
+                } else {
+                    "N"
+                };
+                let linestatus = if shipdate > cutoff { "O" } else { "F" };
+                out.push(vec![
+                    Value::I64(orderkey),
+                    Value::I64(partkey),
+                    Value::I64(suppkey),
+                    Value::I64(line as i64),
+                    Value::F64(quantity),
+                    Value::F64(extendedprice),
+                    Value::F64(discount),
+                    Value::F64(tax),
+                    Value::Str(returnflag.to_string()),
+                    Value::Str(linestatus.to_string()),
+                    Value::Date(shipdate),
+                    Value::Date(commitdate),
+                    Value::Date(receiptdate),
+                    Value::Str(INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())].to_string()),
+                    Value::Str(SHIPMODES[rng.gen_range(0..SHIPMODES.len())].to_string()),
+                    Value::Str(Self::comment(&mut rng, None)),
+                ]);
+            }
+        }
+        out
+    }
+}
+
+/// The spec's supplier spreading step, adjusted so the four suppliers of a
+/// part stay distinct even at tiny scale factors (where `suppliers/4` can
+/// divide `suppliers`).
+fn spread_step(suppliers: i64, partkey: i64) -> i64 {
+    let mut step = suppliers / 4 + (partkey - 1) / suppliers;
+    while (1..4).any(|k| (k * step) % suppliers == 0) {
+        step += 1;
+    }
+    step
+}
+
+fn phone(nation: i64, key: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        key * 31 % 1000,
+        key * 17 % 1000,
+        key * 7 % 10_000
+    )
+}
+
+fn money(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo..hi) * 100.0).round() / 100.0
+}
+
+/// The spec's retail price formula (deterministic in the part key).
+fn retail_price(partkey: i64) -> f64 {
+    (90000.0 + (partkey % 200_001) as f64 / 10.0 + 100.0 * (partkey % 1000) as f64) / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::tpch_schema;
+    use vw_common::date::parse_date;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TpchGenerator::new(0.001).rows("customer");
+        let b = TpchGenerator::new(0.001).rows("customer");
+        assert_eq!(a, b);
+        let c = TpchGenerator::with_seed(0.001, 42).rows("customer");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let g = TpchGenerator::new(0.01);
+        assert_eq!(g.rows_of("region"), 5);
+        assert_eq!(g.rows_of("nation"), 25);
+        assert_eq!(g.rows_of("supplier"), 100);
+        assert_eq!(g.rows_of("part"), 2000);
+        assert_eq!(g.rows_of("customer"), 1500);
+        assert_eq!(g.rows_of("orders"), 15000);
+        assert_eq!(g.rows("partsupp").len(), 8000);
+        let li = g.rows("lineitem").len();
+        assert!((45_000..75_000).contains(&li), "lineitem {}", li);
+    }
+
+    #[test]
+    fn rows_match_schemas() {
+        let g = TpchGenerator::new(0.001);
+        for t in TPCH_TABLES {
+            let schema = tpch_schema(t).unwrap();
+            let rows = g.rows(t);
+            assert!(!rows.is_empty(), "{}", t);
+            for row in rows.iter().take(50) {
+                assert_eq!(row.len(), schema.len(), "{}", t);
+                for (v, f) in row.iter().zip(schema.fields()) {
+                    assert_eq!(
+                        v.data_type(),
+                        Some(f.ty),
+                        "table {} column {}",
+                        t,
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lineitem_date_invariants() {
+        let g = TpchGenerator::new(0.001);
+        let schema = tpch_schema("lineitem").unwrap();
+        let ship = schema.index_of("l_shipdate").unwrap();
+        let commit = schema.index_of("l_commitdate").unwrap();
+        let receipt = schema.index_of("l_receiptdate").unwrap();
+        let flag = schema.index_of("l_returnflag").unwrap();
+        let status = schema.index_of("l_linestatus").unwrap();
+        let cutoff = parse_date("1995-06-17").unwrap();
+        for row in g.rows("lineitem") {
+            let s = row[ship].as_i64().unwrap() as i32;
+            let c = row[commit].as_i64().unwrap() as i32;
+            let r = row[receipt].as_i64().unwrap() as i32;
+            assert!(r > s, "receipt after ship");
+            assert!(c >= s - 121, "commit sane");
+            let f = row[flag].as_str().unwrap();
+            if r <= cutoff {
+                assert!(f == "R" || f == "A");
+            } else {
+                assert_eq!(f, "N");
+            }
+            let st = row[status].as_str().unwrap();
+            assert_eq!(st == "O", s > cutoff);
+        }
+    }
+
+    #[test]
+    fn orders_skip_every_third_customer() {
+        let g = TpchGenerator::new(0.01);
+        let schema = tpch_schema("orders").unwrap();
+        let ck = schema.index_of("o_custkey").unwrap();
+        for row in g.rows("orders") {
+            let c = row[ck].as_i64().unwrap();
+            assert_ne!(c % 3, 0, "custkey {} should have no orders", c);
+        }
+    }
+
+    #[test]
+    fn partsupp_pairs_are_distinct() {
+        let g = TpchGenerator::new(0.003);
+        let rows = g.rows("partsupp");
+        let mut seen = std::collections::HashSet::new();
+        for row in &rows {
+            let p = row[0].as_i64().unwrap();
+            let s = row[1].as_i64().unwrap();
+            assert!(seen.insert((p, s)), "dup pair ({}, {})", p, s);
+            assert!(s >= 1 && s <= g.rows_of("supplier") as i64);
+        }
+    }
+
+    #[test]
+    fn query_relevant_value_domains_present() {
+        let g = TpchGenerator::new(0.01);
+        // Q14 needs PROMO parts, Q2 needs BRASS, Q9 needs green names.
+        let parts = g.rows("part");
+        assert!(parts.iter().any(|r| r[4].as_str().unwrap().starts_with("PROMO")));
+        assert!(parts.iter().any(|r| r[4].as_str().unwrap().ends_with("BRASS")));
+        assert!(parts.iter().any(|r| r[1].as_str().unwrap().contains("green")));
+        // Q13/Q16 comment phrases.
+        let orders = g.rows("orders");
+        assert!(orders
+            .iter()
+            .any(|r| r[8].as_str().unwrap().contains("special handling requests")));
+        let suppliers = g.rows("supplier");
+        assert!(suppliers
+            .iter()
+            .any(|r| r[6].as_str().unwrap().contains("Customer Complaints")));
+        // Q22 phone codes: two-digit country codes 10..34.
+        let cust = g.rows("customer");
+        assert!(cust.iter().all(|r| {
+            let p = r[4].as_str().unwrap();
+            let code: i64 = p[..2].parse().unwrap();
+            (10..35).contains(&code)
+        }));
+    }
+}

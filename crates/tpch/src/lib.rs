@@ -1,0 +1,26 @@
+//! `vw-tpch` — a deterministic TPC-H data generator and the 22 benchmark
+//! queries as logical-plan builders.
+//!
+//! The paper's evaluation (§I-C) is audited TPC-H at 100GB–1TB. This crate
+//! reproduces the workload at laptop scale factors (0.001–0.1): the official
+//! `dbgen` is C and its exact text grammars are irrelevant to engine
+//! behaviour, so [`gen`] produces schema-correct, distribution-faithful data
+//! (uniform keys, the 1992–1998 date ranges, the flag/status/priority
+//! domains, comment text seeded with the phrases Q13/Q16 filter on, skipping
+//! every third customer for orders so Q13/Q22 have customers without orders,
+//! and so on — every property a TPC-H query's predicate or join relies on).
+//!
+//! [`queries`] builds all 22 queries as `vw_plan::LogicalPlan`s with the
+//! standard parameter defaults — the same role the Ingres front-end plays
+//! for the product: hand the engine a well-shaped plan. Constructs SQL-level
+//! machinery can't express in this dialect (correlated scalar subqueries)
+//! are expressed the way optimizers decorrelate them anyway: aggregate +
+//! join (documented per query).
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::{TpchGenerator, TPCH_TABLES};
+pub use queries::{all_queries, TpchCatalog};
+pub use schema::tpch_schema;

@@ -1,0 +1,1316 @@
+//! The 22 TPC-H queries as logical-plan builders (standard parameter
+//! defaults).
+//!
+//! Queries are built against a [`TpchCatalog`] that maps table names to the
+//! `(TableId, Schema)` pairs of a concrete database. A small name-tracking
+//! wrapper ([`P`]) threads column names through the algebra so the plans are
+//! written by name, never by brittle positional index.
+//!
+//! SQL features the dialect lacks are expressed the way optimizers
+//! decorrelate them anyway:
+//!
+//! * correlated scalar subqueries (Q2, Q17, Q20) → per-key aggregate + join,
+//! * uncorrelated scalar subqueries (Q11, Q15, Q22) → single-row aggregate
+//!   joined on a constant key,
+//! * `EXISTS`/`NOT EXISTS` (Q4, Q21, Q22) → semi/anti joins (with residual
+//!   predicates for the correlated inequality in Q21),
+//! * `COUNT(DISTINCT x)` (Q16) → nested aggregation.
+
+use std::collections::HashMap;
+use vw_common::date::parse_date;
+use vw_common::{Result, Schema, TableId, Value, VwError};
+use vw_plan::{AggExpr, AggFunc, BinOp, DatePart, Expr, JoinKind, LogicalPlan, SortKey};
+
+/// Table name → (id, schema) mapping for a loaded TPC-H database.
+#[derive(Debug, Clone)]
+pub struct TpchCatalog {
+    tables: HashMap<String, (TableId, Schema)>,
+}
+
+impl TpchCatalog {
+    /// Build from a resolver (e.g. `vw_core::Database`'s catalog view).
+    pub fn new(resolve: impl Fn(&str) -> Option<(TableId, Schema)>) -> Result<TpchCatalog> {
+        let mut tables = HashMap::new();
+        for t in crate::gen::TPCH_TABLES {
+            let entry = resolve(t)
+                .ok_or_else(|| VwError::Catalog(format!("TPC-H table '{}' missing", t)))?;
+            tables.insert(t.to_string(), entry);
+        }
+        Ok(TpchCatalog { tables })
+    }
+
+    fn get(&self, t: &str) -> &(TableId, Schema) {
+        self.tables
+            .get(t)
+            .unwrap_or_else(|| panic!("unknown TPC-H table {}", t))
+    }
+}
+
+/// All 22 queries, in order, as `(query number, plan)`.
+pub fn all_queries(cat: &TpchCatalog) -> Vec<(u8, LogicalPlan)> {
+    vec![
+        (1, q1(cat)),
+        (2, q2(cat)),
+        (3, q3(cat)),
+        (4, q4(cat)),
+        (5, q5(cat)),
+        (6, q6(cat)),
+        (7, q7(cat)),
+        (8, q8(cat)),
+        (9, q9(cat)),
+        (10, q10(cat)),
+        (11, q11(cat)),
+        (12, q12(cat)),
+        (13, q13(cat)),
+        (14, q14(cat)),
+        (15, q15(cat)),
+        (16, q16(cat)),
+        (17, q17(cat)),
+        (18, q18(cat, 300.0)),
+        (19, q19(cat)),
+        (20, q20(cat)),
+        (21, q21(cat)),
+        (22, q22(cat)),
+    ]
+}
+
+// ------------------------------------------------------- plan builder by name
+
+/// A plan fragment with tracked column names.
+#[derive(Debug, Clone)]
+struct P {
+    plan: LogicalPlan,
+    cols: Vec<String>,
+}
+
+fn d(s: &str) -> Value {
+    Value::Date(parse_date(s).expect("bad date literal"))
+}
+
+fn lit_f(x: f64) -> Expr {
+    Expr::lit(Value::F64(x))
+}
+
+fn lit_i(x: i64) -> Expr {
+    Expr::lit(Value::I64(x))
+}
+
+fn lit_s(s: &str) -> Expr {
+    Expr::lit(Value::Str(s.to_string()))
+}
+
+impl P {
+    fn scan(cat: &TpchCatalog, table: &str) -> P {
+        let (id, schema) = cat.get(table).clone();
+        let cols = schema.fields().iter().map(|f| f.name.clone()).collect();
+        P {
+            plan: LogicalPlan::scan(table, id, schema),
+            cols,
+        }
+    }
+
+    /// Column index by name.
+    fn c(&self, name: &str) -> usize {
+        self.cols
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column '{}' in {:?}", name, self.cols))
+    }
+
+    /// Column reference by name.
+    fn col(&self, name: &str) -> Expr {
+        Expr::col(self.c(name))
+    }
+
+    fn filter(self, predicate: Expr) -> P {
+        P {
+            plan: self.plan.filter(predicate),
+            cols: self.cols,
+        }
+    }
+
+    /// Inner/left/semi/anti join by named keys (+ optional residual built
+    /// from the combined columns).
+    fn join_on(
+        self,
+        right: P,
+        kind: JoinKind,
+        keys: &[(&str, &str)],
+        residual: Option<Box<dyn Fn(&P) -> Expr>>,
+    ) -> P {
+        let on: Vec<(usize, usize)> = keys
+            .iter()
+            .map(|(l, r)| (self.c(l), right.c(r)))
+            .collect();
+        let mut combined_cols = self.cols.clone();
+        combined_cols.extend(right.cols.iter().cloned());
+        let combined_view = P {
+            plan: self.plan.clone(), // placeholder: only cols are used
+            cols: combined_cols.clone(),
+        };
+        let residual = residual.map(|f| f(&combined_view));
+        let out_cols = match kind {
+            JoinKind::Semi | JoinKind::Anti => self.cols.clone(),
+            _ => combined_cols,
+        };
+        P {
+            plan: LogicalPlan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                kind,
+                on,
+                residual,
+            },
+            cols: out_cols,
+        }
+    }
+
+    fn join(self, right: P, keys: &[(&str, &str)]) -> P {
+        self.join_on(right, JoinKind::Inner, keys, None)
+    }
+
+    /// Project named expressions (borrows so items may reference `self`).
+    fn select(&self, items: Vec<(Expr, &str)>) -> P {
+        let cols = items.iter().map(|(_, n)| n.to_string()).collect();
+        P {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan.clone()),
+                exprs: items
+                    .into_iter()
+                    .map(|(e, n)| (e, n.to_string()))
+                    .collect(),
+            },
+            cols,
+        }
+    }
+
+    /// Group by named columns with aggregates `(func, arg, output name)`.
+    fn agg(&self, group: &[&str], aggs: Vec<(AggFunc, Option<Expr>, &str)>) -> P {
+        let group_by: Vec<usize> = group.iter().map(|g| self.c(g)).collect();
+        let mut cols: Vec<String> = group.iter().map(|g| g.to_string()).collect();
+        let agg_exprs: Vec<AggExpr> = aggs
+            .into_iter()
+            .map(|(func, arg, name)| {
+                cols.push(name.to_string());
+                AggExpr {
+                    func,
+                    arg,
+                    name: name.to_string(),
+                }
+            })
+            .collect();
+        P {
+            plan: self.plan.clone().aggregate(group_by, agg_exprs),
+            cols,
+        }
+    }
+
+    fn sort(self, keys: &[(&str, bool)]) -> P {
+        let sort_keys: Vec<SortKey> = keys
+            .iter()
+            .map(|(name, asc)| SortKey {
+                col: self.c(name),
+                asc: *asc,
+            })
+            .collect();
+        P {
+            plan: self.plan.sort(sort_keys),
+            cols: self.cols,
+        }
+    }
+
+    fn limit(self, n: u64) -> P {
+        P {
+            plan: self.plan.limit(0, n),
+            cols: self.cols,
+        }
+    }
+
+    /// Join this (left) with a single-row aggregate (right) on a constant
+    /// key — the decorrelated form of an uncorrelated scalar subquery.
+    fn cross_one(self, right: P) -> P {
+        let left = self.select_with_extra("__kl");
+        let right = right.select_with_extra("__kr");
+        left.join(right, &[("__kl", "__kr")])
+    }
+
+    fn select_with_extra(self, key_name: &str) -> P {
+        let mut items: Vec<(Expr, String)> = self
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Expr::col(i), n.clone()))
+            .collect();
+        items.push((lit_i(1), key_name.to_string()));
+        let cols = items.iter().map(|(_, n)| n.clone()).collect();
+        P {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs: items,
+            },
+            cols,
+        }
+    }
+}
+
+fn between(e: Expr, lo: Expr, hi: Expr) -> Expr {
+    Expr::and(
+        Expr::binary(BinOp::Ge, e.clone(), lo),
+        Expr::binary(BinOp::Le, e, hi),
+    )
+}
+
+fn ge_lt(e: Expr, lo: Expr, hi: Expr) -> Expr {
+    Expr::and(
+        Expr::binary(BinOp::Ge, e.clone(), lo),
+        Expr::binary(BinOp::Lt, e, hi),
+    )
+}
+
+fn like(e: Expr, pattern: &str) -> Expr {
+    Expr::Like {
+        e: Box::new(e),
+        pattern: pattern.to_string(),
+        negated: false,
+    }
+}
+
+fn not_like(e: Expr, pattern: &str) -> Expr {
+    Expr::Like {
+        e: Box::new(e),
+        pattern: pattern.to_string(),
+        negated: true,
+    }
+}
+
+fn year(e: Expr) -> Expr {
+    Expr::Extract {
+        part: DatePart::Year,
+        e: Box::new(e),
+    }
+}
+
+/// `l_extendedprice * (1 - l_discount)` over a fragment with lineitem cols.
+fn disc_price(p: &P) -> Expr {
+    Expr::binary(
+        BinOp::Mul,
+        p.col("l_extendedprice"),
+        Expr::binary(BinOp::Sub, lit_f(1.0), p.col("l_discount")),
+    )
+}
+
+// ------------------------------------------------------------------ queries
+
+/// Q1: pricing summary report.
+pub fn q1(cat: &TpchCatalog) -> LogicalPlan {
+    let li = P::scan(cat, "lineitem");
+    let pred = Expr::binary(BinOp::Le, li.col("l_shipdate"), Expr::lit(d("1998-09-02")));
+    let li = li.filter(pred);
+    let charge = Expr::binary(
+        BinOp::Mul,
+        disc_price(&li),
+        Expr::binary(BinOp::Add, lit_f(1.0), li.col("l_tax")),
+    );
+    let dp = disc_price(&li);
+    let li = li.clone().agg(
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            (AggFunc::Sum, Some(li.col("l_quantity")), "sum_qty"),
+            (AggFunc::Sum, Some(li.col("l_extendedprice")), "sum_base_price"),
+            (AggFunc::Sum, Some(dp), "sum_disc_price"),
+            (AggFunc::Sum, Some(charge), "sum_charge"),
+            (AggFunc::Avg, Some(li.col("l_quantity")), "avg_qty"),
+            (AggFunc::Avg, Some(li.col("l_extendedprice")), "avg_price"),
+            (AggFunc::Avg, Some(li.col("l_discount")), "avg_disc"),
+            (AggFunc::CountStar, None, "count_order"),
+        ],
+    );
+    li.sort(&[("l_returnflag", true), ("l_linestatus", true)]).plan
+}
+
+/// Q2: minimum-cost supplier (correlated scalar subquery → min-agg + join).
+pub fn q2(cat: &TpchCatalog) -> LogicalPlan {
+    // Europe suppliers with costs per part.
+    let europe_ps = || {
+        P::scan(cat, "partsupp")
+            .join(P::scan(cat, "supplier"), &[("ps_suppkey", "s_suppkey")])
+            .join(P::scan(cat, "nation"), &[("s_nationkey", "n_nationkey")])
+            .join(
+                P::scan(cat, "region").filter(Expr::eq(
+                    Expr::col(1), // r_name
+                    lit_s("EUROPE"),
+                )),
+                &[("n_regionkey", "r_regionkey")],
+            )
+    };
+    let joined2 = {
+        let j = {
+            let mut j = europe_ps()
+                .join(
+                    P::scan(cat, "part").filter(Expr::and(
+                        Expr::eq(Expr::col(5), lit_i(15)),
+                        like(Expr::col(4), "%BRASS"),
+                    )),
+                    &[("ps_partkey", "p_partkey")],
+                )
+                .join(
+                    {
+                        let eps = europe_ps();
+                        let sc = eps.col("ps_supplycost");
+                        let mc = eps.agg(
+                            &["ps_partkey"],
+                            vec![(AggFunc::Min, Some(sc), "min_cost")],
+                        );
+                        P {
+                            plan: mc.plan,
+                            cols: vec!["mc_partkey".into(), "min_cost".into()],
+                        }
+                    },
+                    &[("ps_partkey", "mc_partkey")],
+                );
+            let pred = Expr::eq(j.col("ps_supplycost"), j.col("min_cost"));
+            j = j.filter(pred);
+            j
+        };
+        j.select(vec![
+            (j.col("s_acctbal"), "s_acctbal"),
+            (j.col("s_name"), "s_name"),
+            (j.col("n_name"), "n_name"),
+            (j.col("p_partkey"), "p_partkey"),
+            (j.col("p_mfgr"), "p_mfgr"),
+            (j.col("s_address"), "s_address"),
+            (j.col("s_phone"), "s_phone"),
+            (j.col("s_comment"), "s_comment"),
+        ])
+    };
+    joined2
+        .sort(&[
+            ("s_acctbal", false),
+            ("n_name", true),
+            ("s_name", true),
+            ("p_partkey", true),
+        ])
+        .limit(100)
+        .plan
+}
+
+/// Q3: shipping priority.
+pub fn q3(cat: &TpchCatalog) -> LogicalPlan {
+    let cust = P::scan(cat, "customer");
+    let seg = Expr::eq(cust.col("c_mktsegment"), lit_s("BUILDING"));
+    let cust = cust.filter(seg);
+    let orders = P::scan(cat, "orders");
+    let od = Expr::binary(BinOp::Lt, orders.col("o_orderdate"), Expr::lit(d("1995-03-15")));
+    let orders = orders.filter(od);
+    let li = P::scan(cat, "lineitem");
+    let sd = Expr::binary(BinOp::Gt, li.col("l_shipdate"), Expr::lit(d("1995-03-15")));
+    let li = li.filter(sd);
+    let j = li
+        .join(orders, &[("l_orderkey", "o_orderkey")])
+        .join(cust, &[("o_custkey", "c_custkey")]);
+    let dp = disc_price(&j);
+    let g = j.clone().agg(
+        &["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![(AggFunc::Sum, Some(dp), "revenue")],
+    );
+    g.sort(&[("revenue", false), ("o_orderdate", true)])
+        .limit(10)
+        .plan
+}
+
+/// Q4: order priority checking (EXISTS → semi join).
+pub fn q4(cat: &TpchCatalog) -> LogicalPlan {
+    let orders = P::scan(cat, "orders");
+    let od = ge_lt(
+        orders.col("o_orderdate"),
+        Expr::lit(d("1993-07-01")),
+        Expr::lit(d("1993-10-01")),
+    );
+    let orders = orders.filter(od);
+    let li = P::scan(cat, "lineitem");
+    let late = Expr::binary(BinOp::Lt, li.col("l_commitdate"), li.col("l_receiptdate"));
+    let li = li.filter(late);
+    let semi = orders.join_on(li, JoinKind::Semi, &[("o_orderkey", "l_orderkey")], None);
+    semi.agg(
+        &["o_orderpriority"],
+        vec![(AggFunc::CountStar, None, "order_count")],
+    )
+    .sort(&[("o_orderpriority", true)])
+    .plan
+}
+
+/// Q5: local supplier volume.
+pub fn q5(cat: &TpchCatalog) -> LogicalPlan {
+    let orders = P::scan(cat, "orders");
+    let od = ge_lt(
+        orders.col("o_orderdate"),
+        Expr::lit(d("1994-01-01")),
+        Expr::lit(d("1995-01-01")),
+    );
+    let orders = orders.filter(od);
+    let region = P::scan(cat, "region");
+    let rn = Expr::eq(region.col("r_name"), lit_s("ASIA"));
+    let region = region.filter(rn);
+    let j = P::scan(cat, "lineitem")
+        .join(orders, &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "customer"), &[("o_custkey", "c_custkey")])
+        .join(P::scan(cat, "supplier"), &[("l_suppkey", "s_suppkey")]);
+    // local supplier: customer and supplier in the same nation
+    let same_nation = Expr::eq(j.col("c_nationkey"), j.col("s_nationkey"));
+    let j = j
+        .filter(same_nation)
+        .join(P::scan(cat, "nation"), &[("s_nationkey", "n_nationkey")])
+        .join(region, &[("n_regionkey", "r_regionkey")]);
+    let dp = disc_price(&j);
+    j.clone()
+        .agg(&["n_name"], vec![(AggFunc::Sum, Some(dp), "revenue")])
+        .sort(&[("revenue", false)])
+        .plan
+}
+
+/// Q6: revenue change forecast.
+pub fn q6(cat: &TpchCatalog) -> LogicalPlan {
+    let li = P::scan(cat, "lineitem");
+    let pred = Expr::and(
+        Expr::and(
+            ge_lt(
+                li.col("l_shipdate"),
+                Expr::lit(d("1994-01-01")),
+                Expr::lit(d("1995-01-01")),
+            ),
+            between(li.col("l_discount"), lit_f(0.05), lit_f(0.07)),
+        ),
+        Expr::binary(BinOp::Lt, li.col("l_quantity"), lit_f(24.0)),
+    );
+    let li = li.filter(pred);
+    let rev = Expr::binary(BinOp::Mul, li.col("l_extendedprice"), li.col("l_discount"));
+    li.agg(&[], vec![(AggFunc::Sum, Some(rev), "revenue")]).plan
+}
+
+/// Q7: volume shipping between two nations.
+pub fn q7(cat: &TpchCatalog) -> LogicalPlan {
+    let n1 = P {
+        plan: P::scan(cat, "nation").plan,
+        cols: vec![
+            "n1_nationkey".into(),
+            "n1_name".into(),
+            "n1_regionkey".into(),
+            "n1_comment".into(),
+        ],
+    };
+    let n2 = P {
+        plan: P::scan(cat, "nation").plan,
+        cols: vec![
+            "n2_nationkey".into(),
+            "n2_name".into(),
+            "n2_regionkey".into(),
+            "n2_comment".into(),
+        ],
+    };
+    let li = P::scan(cat, "lineitem");
+    let sd = between(
+        li.col("l_shipdate"),
+        Expr::lit(d("1995-01-01")),
+        Expr::lit(d("1996-12-31")),
+    );
+    let li = li.filter(sd);
+    let j = li
+        .join(P::scan(cat, "orders"), &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "customer"), &[("o_custkey", "c_custkey")])
+        .join(P::scan(cat, "supplier"), &[("l_suppkey", "s_suppkey")])
+        .join(n1, &[("s_nationkey", "n1_nationkey")])
+        .join(n2, &[("c_nationkey", "n2_nationkey")]);
+    let pair = Expr::or(
+        Expr::and(
+            Expr::eq(j.col("n1_name"), lit_s("FRANCE")),
+            Expr::eq(j.col("n2_name"), lit_s("GERMANY")),
+        ),
+        Expr::and(
+            Expr::eq(j.col("n1_name"), lit_s("GERMANY")),
+            Expr::eq(j.col("n2_name"), lit_s("FRANCE")),
+        ),
+    );
+    let j = j.filter(pair);
+    let dp = disc_price(&j);
+    let yr = year(j.col("l_shipdate"));
+    let sel = j.select(vec![
+        (j.col("n1_name"), "supp_nation"),
+        (j.col("n2_name"), "cust_nation"),
+        (yr, "l_year"),
+        (dp, "volume"),
+    ]);
+    let volume = sel.col("volume");
+    sel.agg(
+        &["supp_nation", "cust_nation", "l_year"],
+        vec![(AggFunc::Sum, Some(volume), "revenue")],
+    )
+    .sort(&[
+        ("supp_nation", true),
+        ("cust_nation", true),
+        ("l_year", true),
+    ])
+    .plan
+}
+
+/// Q8: national market share.
+pub fn q8(cat: &TpchCatalog) -> LogicalPlan {
+    let n1 = P {
+        plan: P::scan(cat, "nation").plan,
+        cols: vec![
+            "n1_nationkey".into(),
+            "n1_name".into(),
+            "n1_regionkey".into(),
+            "n1_comment".into(),
+        ],
+    };
+    let n2 = P {
+        plan: P::scan(cat, "nation").plan,
+        cols: vec![
+            "n2_nationkey".into(),
+            "n2_name".into(),
+            "n2_regionkey".into(),
+            "n2_comment".into(),
+        ],
+    };
+    let part = P::scan(cat, "part");
+    let pt = Expr::eq(part.col("p_type"), lit_s("ECONOMY ANODIZED STEEL"));
+    let part = part.filter(pt);
+    let orders = P::scan(cat, "orders");
+    let od = between(
+        orders.col("o_orderdate"),
+        Expr::lit(d("1995-01-01")),
+        Expr::lit(d("1996-12-31")),
+    );
+    let orders = orders.filter(od);
+    let region = P::scan(cat, "region");
+    let rn = Expr::eq(region.col("r_name"), lit_s("AMERICA"));
+    let region = region.filter(rn);
+    let j = P::scan(cat, "lineitem")
+        .join(part, &[("l_partkey", "p_partkey")])
+        .join(orders, &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "customer"), &[("o_custkey", "c_custkey")])
+        .join(n1, &[("c_nationkey", "n1_nationkey")])
+        .join(region, &[("n1_regionkey", "r_regionkey")])
+        .join(P::scan(cat, "supplier"), &[("l_suppkey", "s_suppkey")])
+        .join(n2, &[("s_nationkey", "n2_nationkey")]);
+    let dp = disc_price(&j);
+    let yr = year(j.col("o_orderdate"));
+    let brazil_volume = Expr::Case {
+        whens: vec![(
+            Expr::eq(j.col("n2_name"), lit_s("BRAZIL")),
+            dp.clone(),
+        )],
+        otherwise: Some(Box::new(lit_f(0.0))),
+    };
+    let sel = j.select(vec![
+        (yr, "o_year"),
+        (dp, "volume"),
+        (brazil_volume, "brazil_volume"),
+    ]);
+    let (v, bv) = (sel.col("volume"), sel.col("brazil_volume"));
+    let g = sel.agg(
+        &["o_year"],
+        vec![
+            (AggFunc::Sum, Some(bv), "brazil"),
+            (AggFunc::Sum, Some(v), "total"),
+        ],
+    );
+    let share = Expr::binary(BinOp::Div, g.col("brazil"), g.col("total"));
+    let oy = g.col("o_year");
+    g.select(vec![(oy, "o_year"), (share, "mkt_share")])
+        .sort(&[("o_year", true)])
+        .plan
+}
+
+/// Q9: product-type profit measure.
+pub fn q9(cat: &TpchCatalog) -> LogicalPlan {
+    let part = P::scan(cat, "part");
+    let pn = like(part.col("p_name"), "%green%");
+    let part = part.filter(pn);
+    let j = P::scan(cat, "lineitem")
+        .join(part, &[("l_partkey", "p_partkey")])
+        .join(P::scan(cat, "supplier"), &[("l_suppkey", "s_suppkey")])
+        .join(
+            P::scan(cat, "partsupp"),
+            &[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+        )
+        .join(P::scan(cat, "orders"), &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "nation"), &[("s_nationkey", "n_nationkey")]);
+    // amount = extprice*(1-disc) - supplycost*quantity
+    let amount = Expr::binary(
+        BinOp::Sub,
+        disc_price(&j),
+        Expr::binary(BinOp::Mul, j.col("ps_supplycost"), j.col("l_quantity")),
+    );
+    let yr = year(j.col("o_orderdate"));
+    let sel = j.select(vec![
+        (j.col("n_name"), "nation"),
+        (yr, "o_year"),
+        (amount, "amount"),
+    ]);
+    let amt = sel.col("amount");
+    sel.agg(
+        &["nation", "o_year"],
+        vec![(AggFunc::Sum, Some(amt), "sum_profit")],
+    )
+    .sort(&[("nation", true), ("o_year", false)])
+    .plan
+}
+
+/// Q10: returned item reporting.
+pub fn q10(cat: &TpchCatalog) -> LogicalPlan {
+    let orders = P::scan(cat, "orders");
+    let od = ge_lt(
+        orders.col("o_orderdate"),
+        Expr::lit(d("1993-10-01")),
+        Expr::lit(d("1994-01-01")),
+    );
+    let orders = orders.filter(od);
+    let li = P::scan(cat, "lineitem");
+    let rf = Expr::eq(li.col("l_returnflag"), lit_s("R"));
+    let li = li.filter(rf);
+    let j = li
+        .join(orders, &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "customer"), &[("o_custkey", "c_custkey")])
+        .join(P::scan(cat, "nation"), &[("c_nationkey", "n_nationkey")]);
+    let dp = disc_price(&j);
+    j.clone()
+        .agg(
+            &[
+                "c_custkey",
+                "c_name",
+                "c_acctbal",
+                "c_phone",
+                "n_name",
+                "c_address",
+                "c_comment",
+            ],
+            vec![(AggFunc::Sum, Some(dp), "revenue")],
+        )
+        .sort(&[("revenue", false)])
+        .limit(20)
+        .plan
+}
+
+/// Q11: important stock identification (global-total scalar subquery →
+/// constant-key join).
+pub fn q11(cat: &TpchCatalog) -> LogicalPlan {
+    let germany_ps = || {
+        let n = P::scan(cat, "nation");
+        let g = Expr::eq(n.col("n_name"), lit_s("GERMANY"));
+        P::scan(cat, "partsupp")
+            .join(P::scan(cat, "supplier"), &[("ps_suppkey", "s_suppkey")])
+            .join(n.filter(g), &[("s_nationkey", "n_nationkey")])
+    };
+    let value_expr = |p: &P| {
+        Expr::binary(
+            BinOp::Mul,
+            p.col("ps_supplycost"),
+            Expr::Cast(Box::new(p.col("ps_availqty")), vw_common::DataType::F64),
+        )
+    };
+    let base = germany_ps();
+    let ve = value_expr(&base);
+    let per_part = base.agg(
+        &["ps_partkey"],
+        vec![(AggFunc::Sum, Some(ve), "value")],
+    );
+    let total_base = germany_ps();
+    let tve = value_expr(&total_base);
+    let total = total_base.agg(&[], vec![(AggFunc::Sum, Some(tve), "total_value")]);
+    let j = per_part.cross_one(total);
+    let threshold = Expr::binary(BinOp::Mul, j.col("total_value"), lit_f(0.0001));
+    let keep = Expr::binary(BinOp::Gt, j.col("value"), threshold);
+    let j = j.filter(keep);
+    let (pk, v) = (j.col("ps_partkey"), j.col("value"));
+    j.select(vec![(pk, "ps_partkey"), (v, "value")])
+        .sort(&[("value", false)])
+        .plan
+}
+
+/// Q12: shipping modes and order priority.
+pub fn q12(cat: &TpchCatalog) -> LogicalPlan {
+    let li = P::scan(cat, "lineitem");
+    let pred = Expr::and(
+        Expr::and(
+            Expr::InList {
+                e: Box::new(li.col("l_shipmode")),
+                list: vec![Value::Str("MAIL".into()), Value::Str("SHIP".into())],
+                negated: false,
+            },
+            Expr::and(
+                Expr::binary(BinOp::Lt, li.col("l_commitdate"), li.col("l_receiptdate")),
+                Expr::binary(BinOp::Lt, li.col("l_shipdate"), li.col("l_commitdate")),
+            ),
+        ),
+        ge_lt(
+            li.col("l_receiptdate"),
+            Expr::lit(d("1994-01-01")),
+            Expr::lit(d("1995-01-01")),
+        ),
+    );
+    let li = li.filter(pred);
+    let j = li.join(P::scan(cat, "orders"), &[("l_orderkey", "o_orderkey")]);
+    let high = Expr::Case {
+        whens: vec![(
+            Expr::InList {
+                e: Box::new(j.col("o_orderpriority")),
+                list: vec![Value::Str("1-URGENT".into()), Value::Str("2-HIGH".into())],
+                negated: false,
+            },
+            lit_i(1),
+        )],
+        otherwise: Some(Box::new(lit_i(0))),
+    };
+    let low = Expr::Case {
+        whens: vec![(
+            Expr::InList {
+                e: Box::new(j.col("o_orderpriority")),
+                list: vec![Value::Str("1-URGENT".into()), Value::Str("2-HIGH".into())],
+                negated: true,
+            },
+            lit_i(1),
+        )],
+        otherwise: Some(Box::new(lit_i(0))),
+    };
+    let sel = j.select(vec![
+        (j.col("l_shipmode"), "l_shipmode"),
+        (high, "high_line"),
+        (low, "low_line"),
+    ]);
+    let (h, l) = (sel.col("high_line"), sel.col("low_line"));
+    sel.agg(
+        &["l_shipmode"],
+        vec![
+            (AggFunc::Sum, Some(h), "high_line_count"),
+            (AggFunc::Sum, Some(l), "low_line_count"),
+        ],
+    )
+    .sort(&[("l_shipmode", true)])
+    .plan
+}
+
+/// Q13: customer distribution (left join + aggregate of aggregate).
+pub fn q13(cat: &TpchCatalog) -> LogicalPlan {
+    let orders = P::scan(cat, "orders");
+    let oc = not_like(orders.col("o_comment"), "%special%requests%");
+    let orders = orders.filter(oc);
+    let j = P::scan(cat, "customer").join_on(
+        orders,
+        JoinKind::Left,
+        &[("c_custkey", "o_custkey")],
+        None,
+    );
+    let per_cust = {
+        let ok = j.col("o_orderkey");
+        j.agg(
+            &["c_custkey"],
+            vec![(AggFunc::Count, Some(ok), "c_count")],
+        )
+    };
+    per_cust
+        .agg(&["c_count"], vec![(AggFunc::CountStar, None, "custdist")])
+        .sort(&[("custdist", false), ("c_count", false)])
+        .plan
+}
+
+/// Q14: promotion effect.
+pub fn q14(cat: &TpchCatalog) -> LogicalPlan {
+    let li = P::scan(cat, "lineitem");
+    let sd = ge_lt(
+        li.col("l_shipdate"),
+        Expr::lit(d("1995-09-01")),
+        Expr::lit(d("1995-10-01")),
+    );
+    let li = li.filter(sd);
+    let j = li.join(P::scan(cat, "part"), &[("l_partkey", "p_partkey")]);
+    let dp = disc_price(&j);
+    let promo = Expr::Case {
+        whens: vec![(like(j.col("p_type"), "PROMO%"), dp.clone())],
+        otherwise: Some(Box::new(lit_f(0.0))),
+    };
+    let sel = j.select(vec![(promo, "promo"), (dp, "total")]);
+    let (p, t) = (sel.col("promo"), sel.col("total"));
+    let g = sel.agg(
+        &[],
+        vec![
+            (AggFunc::Sum, Some(p), "promo_sum"),
+            (AggFunc::Sum, Some(t), "total_sum"),
+        ],
+    );
+    let pct = Expr::binary(
+        BinOp::Mul,
+        lit_f(100.0),
+        Expr::binary(BinOp::Div, g.col("promo_sum"), g.col("total_sum")),
+    );
+    g.select(vec![(pct, "promo_revenue")]).plan
+}
+
+/// Q15: top supplier (max-of-aggregate via constant-key join).
+pub fn q15(cat: &TpchCatalog) -> LogicalPlan {
+    let revenue = || {
+        let li = P::scan(cat, "lineitem");
+        let sd = ge_lt(
+            li.col("l_shipdate"),
+            Expr::lit(d("1996-01-01")),
+            Expr::lit(d("1996-04-01")),
+        );
+        let li = li.filter(sd);
+        let dp = disc_price(&li);
+        li.agg(
+            &["l_suppkey"],
+            vec![(AggFunc::Sum, Some(dp), "total_revenue")],
+        )
+    };
+    let max_rev = {
+        let r = revenue();
+        let tr = r.col("total_revenue");
+        r.agg(&[], vec![(AggFunc::Max, Some(tr), "max_revenue")])
+    };
+    let j = revenue().cross_one(max_rev);
+    let is_max = Expr::eq(j.col("total_revenue"), j.col("max_revenue"));
+    let j = j
+        .filter(is_max)
+        .join(P::scan(cat, "supplier"), &[("l_suppkey", "s_suppkey")]);
+    j.select(vec![
+        (j.col("s_suppkey"), "s_suppkey"),
+        (j.col("s_name"), "s_name"),
+        (j.col("s_address"), "s_address"),
+        (j.col("s_phone"), "s_phone"),
+        (j.col("total_revenue"), "total_revenue"),
+    ])
+    .sort(&[("s_suppkey", true)])
+    .plan
+}
+
+/// Q16: parts/supplier relationship (NOT IN → anti join;
+/// COUNT(DISTINCT) → nested aggregation).
+pub fn q16(cat: &TpchCatalog) -> LogicalPlan {
+    let part = P::scan(cat, "part");
+    let pp = Expr::and(
+        Expr::and(
+            Expr::binary(BinOp::Ne, part.col("p_brand"), lit_s("Brand#45")),
+            not_like(part.col("p_type"), "MEDIUM POLISHED%"),
+        ),
+        Expr::InList {
+            e: Box::new(part.col("p_size")),
+            list: [49i64, 14, 23, 45, 19, 3, 36, 9]
+                .iter()
+                .map(|&x| Value::I64(x))
+                .collect(),
+            negated: false,
+        },
+    );
+    let part = part.filter(pp);
+    let complainers = {
+        let s = P::scan(cat, "supplier");
+        let c = like(s.col("s_comment"), "%Customer%Complaints%");
+        s.filter(c).select(vec![(Expr::col(0), "bad_suppkey")])
+    };
+    let ps = P::scan(cat, "partsupp").join_on(
+        complainers,
+        JoinKind::Anti,
+        &[("ps_suppkey", "bad_suppkey")],
+        None,
+    );
+    let j = ps.join(part, &[("ps_partkey", "p_partkey")]);
+    // distinct (brand, type, size, suppkey) then count per (brand,type,size)
+    let distinct = j.agg(&["p_brand", "p_type", "p_size", "ps_suppkey"], vec![]);
+    distinct
+        .agg(
+            &["p_brand", "p_type", "p_size"],
+            vec![(AggFunc::CountStar, None, "supplier_cnt")],
+        )
+        .sort(&[
+            ("supplier_cnt", false),
+            ("p_brand", true),
+            ("p_type", true),
+            ("p_size", true),
+        ])
+        .plan
+}
+
+/// Q17: small-quantity-order revenue (correlated avg → per-part agg + join).
+pub fn q17(cat: &TpchCatalog) -> LogicalPlan {
+    let avg_qty = {
+        let li = P::scan(cat, "lineitem");
+        let q = li.col("l_quantity");
+        let a = li.agg(&["l_partkey"], vec![(AggFunc::Avg, Some(q), "avg_qty")]);
+        P {
+            plan: a.plan,
+            cols: vec!["aq_partkey".into(), "avg_qty".into()],
+        }
+    };
+    let part = P::scan(cat, "part");
+    let pp = Expr::and(
+        Expr::eq(part.col("p_brand"), lit_s("Brand#23")),
+        Expr::eq(part.col("p_container"), lit_s("MED BOX")),
+    );
+    let part = part.filter(pp);
+    let j = P::scan(cat, "lineitem")
+        .join(part, &[("l_partkey", "p_partkey")])
+        .join(avg_qty, &[("l_partkey", "aq_partkey")]);
+    let small = Expr::binary(
+        BinOp::Lt,
+        j.col("l_quantity"),
+        Expr::binary(BinOp::Mul, lit_f(0.2), j.col("avg_qty")),
+    );
+    let j = j.filter(small);
+    let ep = j.col("l_extendedprice");
+    let g = j.agg(&[], vec![(AggFunc::Sum, Some(ep), "sum_price")]);
+    let avg_yearly = Expr::binary(BinOp::Div, g.col("sum_price"), lit_f(7.0));
+    g.select(vec![(avg_yearly, "avg_yearly")]).plan
+}
+
+/// Q18: large-volume customers (HAVING sum > threshold via agg + join back).
+pub fn q18(cat: &TpchCatalog, threshold: f64) -> LogicalPlan {
+    let big_orders = {
+        let li = P::scan(cat, "lineitem");
+        let q = li.col("l_quantity");
+        let a = li.agg(
+            &["l_orderkey"],
+            vec![(AggFunc::Sum, Some(q), "sum_qty_o")],
+        );
+        let keep = Expr::binary(BinOp::Gt, a.col("sum_qty_o"), lit_f(threshold));
+        let f = a.filter(keep);
+        let k = f.col("l_orderkey");
+        f.select(vec![(k, "big_orderkey")])
+    };
+    let j = P::scan(cat, "lineitem")
+        .join(big_orders, &[("l_orderkey", "big_orderkey")])
+        .join(P::scan(cat, "orders"), &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "customer"), &[("o_custkey", "c_custkey")]);
+    let q = j.col("l_quantity");
+    j.agg(
+        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+        vec![(AggFunc::Sum, Some(q), "sum_qty")],
+    )
+    .sort(&[("o_totalprice", false), ("o_orderdate", true)])
+    .limit(100)
+    .plan
+}
+
+/// Q19: discounted revenue (disjunctive join predicates as residual filter).
+pub fn q19(cat: &TpchCatalog) -> LogicalPlan {
+    let j = P::scan(cat, "lineitem")
+        .join(P::scan(cat, "part"), &[("l_partkey", "p_partkey")]);
+    let common = Expr::and(
+        Expr::InList {
+            e: Box::new(j.col("l_shipmode")),
+            list: vec![Value::Str("AIR".into()), Value::Str("REG AIR".into())],
+            negated: false,
+        },
+        Expr::eq(j.col("l_shipinstruct"), lit_s("DELIVER IN PERSON")),
+    );
+    let branch = |brand: &str, containers: &[&str], qlo: f64, qhi: f64, size_hi: i64| {
+        Expr::and(
+            Expr::and(
+                Expr::eq(j.col("p_brand"), lit_s(brand)),
+                Expr::InList {
+                    e: Box::new(j.col("p_container")),
+                    list: containers
+                        .iter()
+                        .map(|c| Value::Str(c.to_string()))
+                        .collect(),
+                    negated: false,
+                },
+            ),
+            Expr::and(
+                between(j.col("l_quantity"), lit_f(qlo), lit_f(qhi)),
+                between(j.col("p_size"), lit_i(1), lit_i(size_hi)),
+            ),
+        )
+    };
+    let disjunct = Expr::or(
+        Expr::or(
+            branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
+            branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
+        ),
+        branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+    );
+    let j = j.filter(Expr::and(common, disjunct));
+    let dp = disc_price(&j);
+    j.agg(&[], vec![(AggFunc::Sum, Some(dp), "revenue")]).plan
+}
+
+/// Q20: potential part promotion (nested subqueries → aggregates + semi
+/// joins).
+pub fn q20(cat: &TpchCatalog) -> LogicalPlan {
+    // half the quantity shipped per (part, supp) in 1994
+    let half_qty = {
+        let li = P::scan(cat, "lineitem");
+        let sd = ge_lt(
+            li.col("l_shipdate"),
+            Expr::lit(d("1994-01-01")),
+            Expr::lit(d("1995-01-01")),
+        );
+        let li = li.filter(sd);
+        let q = li.col("l_quantity");
+        let a = li.agg(
+            &["l_partkey", "l_suppkey"],
+            vec![(AggFunc::Sum, Some(q), "sum_qty")],
+        );
+        P {
+            plan: a.plan,
+            cols: vec!["hq_partkey".into(), "hq_suppkey".into(), "sum_qty".into()],
+        }
+    };
+    let forest_parts = {
+        let p = P::scan(cat, "part");
+        let f = like(p.col("p_name"), "forest%");
+        let fp = p.filter(f);
+        let k = fp.col("p_partkey");
+        fp.select(vec![(k, "fp_partkey")])
+    };
+    let ps = P::scan(cat, "partsupp")
+        .join_on(
+            forest_parts,
+            JoinKind::Semi,
+            &[("ps_partkey", "fp_partkey")],
+            None,
+        )
+        .join(
+            half_qty,
+            &[("ps_partkey", "hq_partkey"), ("ps_suppkey", "hq_suppkey")],
+        );
+    let excess = Expr::binary(
+        BinOp::Gt,
+        Expr::Cast(Box::new(ps.col("ps_availqty")), vw_common::DataType::F64),
+        Expr::binary(BinOp::Mul, lit_f(0.5), ps.col("sum_qty")),
+    );
+    let ps = ps.filter(excess);
+    let good_supp = {
+        let k = ps.col("ps_suppkey");
+        ps.select(vec![(k, "gs_suppkey")])
+    };
+    let j = P::scan(cat, "supplier")
+        .join_on(good_supp, JoinKind::Semi, &[("s_suppkey", "gs_suppkey")], None)
+        .join(P::scan(cat, "nation"), &[("s_nationkey", "n_nationkey")]);
+    let canada = Expr::eq(j.col("n_name"), lit_s("CANADA"));
+    let j = j.filter(canada);
+    j.select(vec![
+        (j.col("s_name"), "s_name"),
+        (j.col("s_address"), "s_address"),
+    ])
+    .sort(&[("s_name", true)])
+    .plan
+}
+
+/// Q21: suppliers who kept orders waiting (correlated EXISTS/NOT EXISTS →
+/// semi/anti joins with inequality residuals).
+pub fn q21(cat: &TpchCatalog) -> LogicalPlan {
+    // l1: the late line
+    let l1 = {
+        let li = P::scan(cat, "lineitem");
+        let late = Expr::binary(BinOp::Gt, li.col("l_receiptdate"), li.col("l_commitdate"));
+        li.filter(late)
+    };
+    let orders = {
+        let o = P::scan(cat, "orders");
+        let f = Expr::eq(o.col("o_orderstatus"), lit_s("F"));
+        o.filter(f)
+    };
+    let nation = {
+        let n = P::scan(cat, "nation");
+        let f = Expr::eq(n.col("n_name"), lit_s("SAUDI ARABIA"));
+        n.filter(f)
+    };
+    let base = l1
+        .join(orders, &[("l_orderkey", "o_orderkey")])
+        .join(P::scan(cat, "supplier"), &[("l_suppkey", "s_suppkey")])
+        .join(nation, &[("s_nationkey", "n_nationkey")]);
+
+    // exists other line of same order from a different supplier
+    let l2 = {
+        let li = P::scan(cat, "lineitem");
+        P {
+            plan: li.plan,
+            cols: li.cols.iter().map(|c| format!("l2_{}", &c[2..])).collect(),
+        }
+    };
+    let base_cols = base.cols.len();
+    let with_other = base.join_on(
+        l2,
+        JoinKind::Semi,
+        &[("l_orderkey", "l2_orderkey")],
+        Some(Box::new(move |j: &P| {
+            let _ = j;
+            // residual over combined: l2_suppkey <> l_suppkey
+            Expr::binary(
+                BinOp::Ne,
+                Expr::col(base_cols + 2), // l2_suppkey
+                Expr::col(2),             // l_suppkey
+            )
+        })),
+    );
+    // not exists another late line of same order from a different supplier
+    let l3 = {
+        let li = P::scan(cat, "lineitem");
+        let late = Expr::binary(BinOp::Gt, li.col("l_receiptdate"), li.col("l_commitdate"));
+        let f = li.filter(late);
+        P {
+            plan: f.plan,
+            cols: f.cols.iter().map(|c| format!("l3_{}", &c[2..])).collect(),
+        }
+    };
+    let with_cols = with_other.cols.len();
+    let waiting = with_other.join_on(
+        l3,
+        JoinKind::Anti,
+        &[("l_orderkey", "l3_orderkey")],
+        Some(Box::new(move |_j: &P| {
+            Expr::binary(
+                BinOp::Ne,
+                Expr::col(with_cols + 2), // l3_suppkey
+                Expr::col(2),             // l_suppkey
+            )
+        })),
+    );
+    waiting
+        .agg(&["s_name"], vec![(AggFunc::CountStar, None, "numwait")])
+        .sort(&[("numwait", false), ("s_name", true)])
+        .limit(100)
+        .plan
+}
+
+/// Q22: global sales opportunity (scalar avg subquery → constant-key join;
+/// NOT EXISTS → anti join).
+pub fn q22(cat: &TpchCatalog) -> LogicalPlan {
+    let codes: Vec<Value> = ["13", "31", "23", "29", "30", "18", "17"]
+        .iter()
+        .map(|s| Value::Str(s.to_string()))
+        .collect();
+    let cust_with_code = |name: &str| {
+        let c = P::scan(cat, "customer");
+        let code = Expr::Substr {
+            e: Box::new(c.col("c_phone")),
+            start: 1,
+            len: 2,
+        };
+        let mut items: Vec<(Expr, &str)> = vec![];
+        let cols = ["c_custkey", "c_phone", "c_acctbal"];
+        for col in cols {
+            items.push((c.col(col), col));
+        }
+        items.push((code, name));
+        let sel = c.select(items);
+        let in_list = Expr::InList {
+            e: Box::new(sel.col(name)),
+            list: codes.clone(),
+            negated: false,
+        };
+        sel.filter(in_list)
+    };
+    let avg_bal = {
+        let c = cust_with_code("cntrycode");
+        let positive = Expr::binary(BinOp::Gt, c.col("c_acctbal"), lit_f(0.0));
+        let f = c.filter(positive);
+        let b = f.col("c_acctbal");
+        f.agg(&[], vec![(AggFunc::Avg, Some(b), "avg_bal")])
+    };
+    let j = cust_with_code("cntrycode").cross_one(avg_bal);
+    let rich = Expr::binary(BinOp::Gt, j.col("c_acctbal"), j.col("avg_bal"));
+    let j = j.filter(rich);
+    // NOT EXISTS orders
+    let orders_keys = {
+        let o = P::scan(cat, "orders");
+        let k = o.col("o_custkey");
+        o.select(vec![(k, "ok_custkey")])
+    };
+    let no_orders = j.join_on(
+        orders_keys,
+        JoinKind::Anti,
+        &[("c_custkey", "ok_custkey")],
+        None,
+    );
+    let bal = no_orders.col("c_acctbal");
+    no_orders
+        .agg(
+            &["cntrycode"],
+            vec![
+                (AggFunc::CountStar, None, "numcust"),
+                (AggFunc::Sum, Some(bal), "totacctbal"),
+            ],
+        )
+        .sort(&[("cntrycode", true)])
+        .plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::tpch_schema;
+
+    fn catalog() -> TpchCatalog {
+        let mut next = 1u64;
+        let mut map = HashMap::new();
+        for t in crate::gen::TPCH_TABLES {
+            map.insert(t.to_string(), (TableId::new(next), tpch_schema(t).unwrap()));
+            next += 1;
+        }
+        TpchCatalog { tables: map }
+    }
+
+    #[test]
+    fn all_queries_build_and_typecheck() {
+        let cat = catalog();
+        let queries = all_queries(&cat);
+        assert_eq!(queries.len(), 22);
+        for (n, plan) in queries {
+            let schema = plan
+                .schema()
+                .unwrap_or_else(|e| panic!("Q{} schema error: {}", n, e));
+            assert!(!schema.is_empty(), "Q{} empty schema", n);
+            schema
+                .check_unique_names()
+                .unwrap_or_else(|e| panic!("Q{}: {}", n, e));
+        }
+    }
+
+    #[test]
+    fn known_output_schemas() {
+        let cat = catalog();
+        let q1s = q1(&cat).schema().unwrap();
+        assert_eq!(q1s.len(), 10);
+        assert_eq!(q1s.field(0).name, "l_returnflag");
+        assert_eq!(q1s.field(2).name, "sum_qty");
+        let q6s = q6(&cat).schema().unwrap();
+        assert_eq!(q6s.len(), 1);
+        assert_eq!(q6s.field(0).name, "revenue");
+        let q3s = q3(&cat).schema().unwrap();
+        assert_eq!(q3s.len(), 4);
+        let q14s = q14(&cat).schema().unwrap();
+        assert_eq!(q14s.field(0).name, "promo_revenue");
+        let q22s = q22(&cat).schema().unwrap();
+        assert_eq!(
+            q22s.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec!["cntrycode", "numcust", "totacctbal"]
+        );
+    }
+
+    #[test]
+    fn rewriting_keeps_queries_valid() {
+        let cat = catalog();
+        for (n, plan) in all_queries(&cat) {
+            let before = plan.schema().unwrap();
+            let rewritten = vw_plan::rewrite_default(plan, 1);
+            let after = rewritten
+                .schema()
+                .unwrap_or_else(|e| panic!("Q{} broken by rewrite: {}", n, e));
+            assert_eq!(before, after, "Q{} schema changed by rewrite", n);
+        }
+    }
+
+    #[test]
+    fn parallelize_keeps_queries_valid() {
+        let cat = catalog();
+        for (n, plan) in all_queries(&cat) {
+            let before = plan.schema().unwrap();
+            let rewritten = vw_plan::rewrite_default(plan, 4);
+            let after = rewritten
+                .schema()
+                .unwrap_or_else(|e| panic!("Q{} broken by parallelize: {}", n, e));
+            assert_eq!(before, after, "Q{} schema changed by parallelize", n);
+        }
+    }
+}

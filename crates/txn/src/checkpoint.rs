@@ -1,0 +1,187 @@
+//! Checkpointing: fold the master PDT into the stable columnar image.
+//!
+//! PDTs keep updates cheap, but they grow and every scan pays a merge cost.
+//! Periodically the system rewrites the stable table image with all deltas
+//! applied, resets the master PDT to empty, and truncates the WAL. The paper
+//! calls this propagating the deltas to the "stable table image" [5].
+
+use crate::manager::TxnManager;
+use vw_common::{Result, TableId, Value};
+use vw_pdt::{Loc, Pdt};
+use vw_storage::{read_all_columns, NullableColumn, TableStorage};
+
+/// Materialize the current logical image (stable + PDT) as one column chunk
+/// per schema column. Used by checkpointing and by tests that want to verify
+/// the merged image.
+pub fn materialize_image(pdt: &Pdt, storage: &TableStorage) -> Result<Vec<NullableColumn>> {
+    let schema = storage.schema().clone();
+    let stable = read_all_columns(storage)?;
+    let n_rows = pdt.current_rows();
+    // Build per-column value vectors by walking the image once.
+    let mut out_vals: Vec<Vec<Value>> = vec![Vec::with_capacity(n_rows as usize); schema.len()];
+    for rid in 0..n_rows {
+        match pdt.resolve(rid)? {
+            Loc::Inserted(e) => {
+                for (c, v) in pdt.inserted_row(e).iter().enumerate() {
+                    out_vals[c].push(v.clone());
+                }
+            }
+            Loc::Stable { sid, modify } => {
+                for c in 0..schema.len() {
+                    let mut v = stable[c].get_value(sid as usize, schema.field(c).ty);
+                    if let Some(m) = modify {
+                        if let Some(nv) = pdt.mods_of(m).get(&(c as u32)) {
+                            v = nv.clone();
+                        }
+                    }
+                    out_vals[c].push(v);
+                }
+            }
+        }
+    }
+    schema
+        .fields()
+        .iter()
+        .zip(out_vals)
+        .map(|(f, vals)| NullableColumn::from_values(f.ty, &vals))
+        .collect()
+}
+
+/// Checkpoint one table: rebuild its stable image with the master PDT merged
+/// in, reset the master, truncate the WAL. Returns the new stable row count.
+///
+/// Must not run concurrently with commits to the same table; the `Database`
+/// facade serializes checkpoints.
+pub fn checkpoint_table(
+    mgr: &TxnManager,
+    table: TableId,
+    storage: &mut TableStorage,
+) -> Result<u64> {
+    let master = mgr.master_for_checkpoint(table)?;
+    if master.is_empty() {
+        // Nothing to fold; still truncate the log for bounded recovery.
+        mgr.reset_after_checkpoint(table, storage.n_rows())?;
+        return Ok(storage.n_rows());
+    }
+    let columns = materialize_image(&master, storage)?;
+    let new_rows = columns.first().map_or(0, |c| c.len() as u64);
+    storage.rebuild_from_chunks(&[columns])?;
+    mgr.reset_after_checkpoint(table, new_rows)?;
+    Ok(new_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::temp_wal_path;
+    use std::sync::Arc;
+    use vw_common::{DataType, Field, Schema};
+    use vw_storage::{SimDisk, SimDiskConfig, TableBuilder};
+
+    const T: TableId = TableId(9);
+
+    fn build_table(n: usize) -> TableStorage {
+        let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::nullable("s", DataType::Str),
+        ]);
+        let mut b = TableBuilder::with_group_size(schema, disk, 64);
+        for i in 0..n {
+            b.push_row(vec![Value::I64(i as i64), Value::Str(format!("r{}", i))])
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn checkpoint_folds_updates_into_storage() {
+        let path = temp_wal_path("ckpt");
+        let mut storage = build_table(100);
+        let mgr = TxnManager::new(&path).unwrap();
+        mgr.register_table(T, 100);
+
+        let mut t = mgr.begin();
+        t.delete_at(T, 10).unwrap();
+        t.modify_at(T, 0, 0, Value::I64(-1)).unwrap();
+        t.append(T, vec![Value::I64(500), Value::Null]).unwrap();
+        mgr.commit(t).unwrap();
+
+        let new_rows = checkpoint_table(&mgr, T, &mut storage).unwrap();
+        assert_eq!(new_rows, 100); // -1 +1
+        assert_eq!(storage.n_rows(), 100);
+        // Master reset and WAL truncated.
+        assert!(mgr.current_pdt(T).unwrap().is_empty());
+        assert_eq!(crate::wal::Wal::replay(&path).unwrap().len(), 0);
+        // Data landed: row 0 modified, old row 10 gone, appended row present.
+        assert_eq!(storage.read_row(0).unwrap()[0], Value::I64(-1));
+        assert_eq!(storage.read_row(10).unwrap()[0], Value::I64(11)); // shifted
+        let last = storage.read_row(99).unwrap();
+        assert_eq!(last[0], Value::I64(500));
+        assert_eq!(last[1], Value::Null);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_empty_pdt_truncates_only() {
+        let path = temp_wal_path("ckpt_empty");
+        let mut storage = build_table(10);
+        let mgr = TxnManager::new(&path).unwrap();
+        mgr.register_table(T, 10);
+        let rows = checkpoint_table(&mgr, T, &mut storage).unwrap();
+        assert_eq!(rows, 10);
+        assert_eq!(storage.read_row(3).unwrap()[0], Value::I64(3));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn post_checkpoint_txns_continue() {
+        let path = temp_wal_path("ckpt_cont");
+        let mut storage = build_table(20);
+        let mgr = TxnManager::new(&path).unwrap();
+        mgr.register_table(T, 20);
+        let mut t = mgr.begin();
+        t.delete_at(T, 0).unwrap();
+        mgr.commit(t).unwrap();
+        checkpoint_table(&mgr, T, &mut storage).unwrap();
+        assert_eq!(storage.n_rows(), 19);
+        // New txn on the checkpointed table.
+        let mut t2 = mgr.begin();
+        t2.modify_at(T, 0, 0, Value::I64(1000)).unwrap();
+        mgr.commit(t2).unwrap();
+        let image = materialize_image(&mgr.current_pdt(T).unwrap(), &storage).unwrap();
+        assert_eq!(image[0].get_value(0, DataType::I64), Value::I64(1000));
+        assert_eq!(image[0].len(), 19);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn materialize_image_with_interleaved_ops() {
+        let path = temp_wal_path("ckpt_mat");
+        let storage = build_table(5);
+        let mgr = TxnManager::new(&path).unwrap();
+        mgr.register_table(T, 5);
+        let mut t = mgr.begin();
+        t.insert_at(T, 2, vec![Value::I64(77), Value::Str("ins".into())])
+            .unwrap();
+        t.delete_at(T, 0).unwrap();
+        mgr.commit(t).unwrap();
+        let image = materialize_image(&mgr.current_pdt(T).unwrap(), &storage).unwrap();
+        // original: 0,1,2,3,4 → insert 77 before rid2(=row2) → 0,1,77,2,3,4
+        // → delete rid 0 → 1,77,2,3,4
+        let ks: Vec<Value> = (0..image[0].len())
+            .map(|i| image[0].get_value(i, DataType::I64))
+            .collect();
+        assert_eq!(
+            ks,
+            vec![
+                Value::I64(1),
+                Value::I64(77),
+                Value::I64(2),
+                Value::I64(3),
+                Value::I64(4)
+            ]
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

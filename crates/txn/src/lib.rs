@@ -1,0 +1,26 @@
+//! `vw-txn` — transactions: WAL, snapshot isolation, optimistic CC,
+//! checkpointing.
+//!
+//! §I-B of the paper: "In order to provide full ACID properties, Vectorwise
+//! uses a Write Ahead Log that logs PDTs as they are committed and performs
+//! optimistic PDT-based concurrency control." This crate is that machinery:
+//!
+//! * [`wal`] — a length-prefixed, CRC-checked redo log. Only *committed*
+//!   transactions are logged (one record per commit, carrying the
+//!   transaction's translated PDT ops per table), which is the natural WAL
+//!   shape for optimistic CC.
+//! * [`manager`] — [`TxnManager`]: per-table versioned master PDTs
+//!   (immutable `Arc` snapshots = free consistent reads), transactions with
+//!   private working PDTs, commit-time positional conflict detection via
+//!   [`vw_pdt::Footprint`], and crash recovery by WAL replay.
+//! * [`checkpoint`] — folds a table's master PDT into its stable columnar
+//!   image (`vw_storage::TableStorage`) and truncates the log, bounding both
+//!   PDT memory and recovery time.
+
+pub mod checkpoint;
+pub mod manager;
+pub mod wal;
+
+pub use checkpoint::{checkpoint_table, materialize_image};
+pub use manager::{Transaction, TxnManager};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,67 @@
+//! Quickstart: the embedded SQL surface of vectorwise-rs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vectorwise::Database;
+
+fn main() -> Result<(), vectorwise::VwError> {
+    let db = Database::new()?;
+
+    println!("== create & load ==");
+    db.execute(
+        "CREATE TABLE orders_demo (
+            id        BIGINT NOT NULL,
+            customer  VARCHAR NOT NULL,
+            amount    DOUBLE NOT NULL,
+            placed    DATE NOT NULL,
+            note      VARCHAR
+        )",
+    )?;
+    db.execute(
+        "INSERT INTO orders_demo VALUES
+            (1, 'acme',  120.0, '2024-01-03', 'rush'),
+            (2, 'acme',   80.5, '2024-01-10', NULL),
+            (3, 'globex', 500.0, '2024-02-01', 'bulk'),
+            (4, 'initech', 42.0, '2024-02-14', NULL),
+            (5, 'globex', 250.0, '2024-03-01', 'bulk'),
+            (6, 'acme',   10.0, '2024-03-08', NULL)",
+    )?;
+
+    println!("== filter + projection ==");
+    let r = db.execute(
+        "SELECT id, customer, amount FROM orders_demo \
+         WHERE amount >= 50 AND placed < DATE '2024-03-01' ORDER BY amount DESC",
+    )?;
+    print!("{}", r.format_table());
+
+    println!("\n== aggregation ==");
+    let r = db.execute(
+        "SELECT customer, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) AS mean \
+         FROM orders_demo GROUP BY customer ORDER BY total DESC",
+    )?;
+    print!("{}", r.format_table());
+
+    println!("\n== updates go through Positional Delta Trees ==");
+    db.execute("UPDATE orders_demo SET amount = amount * 1.1 WHERE customer = 'acme'")?;
+    db.execute("DELETE FROM orders_demo WHERE amount < 20")?;
+    let r = db.execute("SELECT COUNT(*) AS remaining, SUM(amount) AS total FROM orders_demo")?;
+    print!("{}", r.format_table());
+
+    println!("\n== EXPLAIN shows the optimized plan (filter pushed into scan) ==");
+    let r = db.execute(
+        "EXPLAIN SELECT customer, SUM(amount) FROM orders_demo \
+         WHERE placed >= DATE '2024-02-01' GROUP BY customer",
+    )?;
+    for row in &r.rows {
+        println!("{}", row[0]);
+    }
+
+    println!("\n== crash recovery from the WAL ==");
+    db.simulate_crash_and_recover()?;
+    let r = db.execute("SELECT COUNT(*) AS rows_after_recovery FROM orders_demo")?;
+    print!("{}", r.format_table());
+
+    Ok(())
+}

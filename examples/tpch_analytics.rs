@@ -1,0 +1,111 @@
+//! TPC-H analytics session: load a scale factor, run a selection of the 22
+//! queries on the vectorized engine, and compare against the baselines —
+//! the workload of the paper's evaluation (§I-C) at laptop scale.
+//!
+//! ```sh
+//! cargo run --release --example tpch_analytics            # SF 0.01
+//! TPCH_SF=0.05 cargo run --release --example tpch_analytics
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use vectorwise::engine::operators::collect_rows;
+use vectorwise::engine::compile_plan;
+use vectorwise::sql::CatalogView;
+use vectorwise::tpch::{all_queries, tpch_schema, TpchCatalog, TpchGenerator, TPCH_TABLES};
+use vectorwise::Database;
+
+fn main() -> Result<(), vectorwise::VwError> {
+    let sf: f64 = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+
+    println!("loading TPC-H at SF {} ...", sf);
+    let t0 = Instant::now();
+    let db = Database::new()?;
+    let generator = TpchGenerator::new(sf);
+    for table in TPCH_TABLES {
+        db.create_table(table, tpch_schema(table).unwrap())?;
+        let n = db.bulk_load(table, generator.rows(table))?;
+        println!("  {:10} {:>8} rows", table, n);
+    }
+    println!("loaded in {:.2?}", t0.elapsed());
+    println!(
+        "on-disk (compressed) bytes: {}",
+        db.disk().stored_bytes()
+    );
+    for t in ["lineitem", "orders", "customer", "part"] {
+        db.analyze(t)?;
+    }
+
+    let cat = TpchCatalog::new(|name| db.resolve_table(name))?;
+
+    println!("\n== power run: all 22 queries (vectorized engine) ==");
+    let mut total = std::time::Duration::ZERO;
+    for (n, plan) in all_queries(&cat) {
+        let t = Instant::now();
+        let rows = db.run_plan(plan)?.rows;
+        let dt = t.elapsed();
+        total += dt;
+        println!("  Q{:<2} {:>10.2?}  ({} rows)", n, dt, rows.len());
+    }
+    println!("power run total: {:.2?}", total);
+
+    println!("\n== Q1 result (pricing summary) ==");
+    let q1 = vectorwise::tpch::queries::q1(&cat);
+    let r = db.run_plan(q1.clone())?;
+    print!("{}", r.format_table());
+
+    println!("\n== engine comparison on Q1 and Q6 ==");
+    let ctx = db.exec_context(None)?;
+    let row_tables: HashMap<_, _> = ctx
+        .tables
+        .iter()
+        .map(|(id, p)| (*id, Arc::clone(&p.storage)))
+        .collect();
+    for (name, plan) in [
+        ("Q1", q1),
+        ("Q6", vectorwise::tpch::queries::q6(&cat)),
+    ] {
+        // One optimized plan (pushdown + column pruning), three engines.
+        let plan = db.optimize_plan(plan);
+        let t = Instant::now();
+        let mut op = compile_plan(&plan, &ctx)?;
+        let _ = collect_rows(op.as_mut())?;
+        let vec_t = t.elapsed();
+
+        let t = Instant::now();
+        let mut op = vectorwise::baselines::compile_materialized(&plan, &ctx)?;
+        let _ = collect_rows(op.as_mut())?;
+        let mat_t = t.elapsed();
+
+        let t = Instant::now();
+        let mut op = vectorwise::baselines::compile_row(&plan, &row_tables)?;
+        let _ = vectorwise::baselines::collect_row_engine(op.as_mut())?;
+        let row_t = t.elapsed();
+
+        println!(
+            "  {}: vectorized {:>9.2?} | materialized {:>9.2?} ({:.1}x) | tuple-at-a-time {:>9.2?} ({:.1}x)",
+            name,
+            vec_t,
+            mat_t,
+            mat_t.as_secs_f64() / vec_t.as_secs_f64(),
+            row_t,
+            row_t.as_secs_f64() / vec_t.as_secs_f64(),
+        );
+    }
+
+    println!("\n== the rewriter parallelizes plans (EXPLAIN of Q6 at DOP 4) ==");
+    db.set_parallelism(4);
+    let r = db.execute(
+        "EXPLAIN SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+         WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'",
+    )?;
+    for row in &r.rows {
+        println!("{}", row[0]);
+    }
+
+    Ok(())
+}

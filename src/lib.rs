@@ -1,0 +1,55 @@
+//! **vectorwise-rs** — a vectorized analytical DBMS.
+//!
+//! A from-scratch Rust reproduction of *"Vectorwise: a Vectorized Analytical
+//! DBMS"* (Zukowski, van de Wiel, Boncz — ICDE 2012): the X100 vectorized
+//! execution engine plus every substrate the paper describes — compressed
+//! columnar storage with PAX row groups and zone maps, a cooperative-scan
+//! buffer manager, Positional Delta Trees for differential updates, a WAL
+//! with optimistic concurrency control, a rule-based rewriter with a
+//! Volcano-style multi-core parallelizer, a SQL front-end, and
+//! tuple-at-a-time / full-materialization baseline engines for the paper's
+//! comparisons.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vectorwise::Database;
+//!
+//! let db = Database::new().unwrap();
+//! db.execute("CREATE TABLE t (id BIGINT NOT NULL, price DOUBLE NOT NULL)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 10.0), (2, 20.0), (3, 30.0)").unwrap();
+//! let r = db.execute("SELECT COUNT(*), SUM(price) FROM t WHERE id >= 2").unwrap();
+//! assert_eq!(r.rows[0][0], vectorwise::Value::I64(2));
+//! ```
+//!
+//! The crate is a workspace facade: each subsystem lives in its own crate
+//! (re-exported below) and `DESIGN.md` maps every paper component to its
+//! module.
+
+pub use vw_baselines as baselines;
+pub use vw_bufman as bufman;
+pub use vw_common as common;
+pub use vw_core as engine;
+pub use vw_pdt as pdt;
+pub use vw_plan as plan;
+pub use vw_sql as sql;
+pub use vw_storage as storage;
+pub use vw_tpch as tpch;
+pub use vw_txn as txn;
+
+pub use vw_common::{DataType, Field, Schema, Value, VwError};
+pub use vw_core::{Database, QueryResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_quickstart_works() {
+        let db = Database::new().unwrap();
+        db.execute("CREATE TABLE t (id BIGINT NOT NULL)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(2));
+    }
+}

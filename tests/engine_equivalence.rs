@@ -1,0 +1,183 @@
+//! Three-engine equivalence on the full TPC-H workload.
+//!
+//! The paper's performance claims (E1/E2/E3) only mean something if the
+//! engines compute the same answers. This suite runs all 22 TPC-H queries on
+//! a small generated database through:
+//!
+//! * the vectorized engine (raw plans, optimized plans, parallel plans,
+//!   tiny vector sizes, naive-NULL mode),
+//! * the tuple-at-a-time baseline,
+//! * the full-materialization baseline,
+//!
+//! and requires identical results everywhere.
+
+mod common;
+
+use common::*;
+use vectorwise::tpch::all_queries;
+
+const SF: f64 = 0.002;
+
+#[test]
+fn all_queries_return_plausible_results() {
+    // Larger scale than the equivalence runs so selective queries find rows.
+    let (db, cat) = tpch_db(0.01);
+    let mut empty = Vec::new();
+    for (n, plan) in all_queries(&cat) {
+        let rows = run_vectorized(&db, &plan);
+        if rows.is_empty() {
+            empty.push(n);
+        }
+    }
+    // Highly selective / threshold queries may legitimately come up empty at
+    // this tiny scale; anything else empty is a bug.
+    let allowed = [17u8, 18, 20];
+    assert!(
+        empty.iter().all(|n| allowed.contains(n)),
+        "unexpectedly empty queries: {:?}",
+        empty
+    );
+}
+
+#[test]
+fn vectorized_matches_row_engine_on_all_queries() {
+    let (db, cat) = tpch_db(SF);
+    for (n, plan) in all_queries(&cat) {
+        let want = canonical(run_row_engine(&db, &plan));
+        let got = canonical(run_vectorized_raw(&db, &plan));
+        assert_rows_match(&format!("Q{} vectorized-vs-row", n), &got, &want);
+    }
+}
+
+#[test]
+fn vectorized_matches_materialized_engine_on_all_queries() {
+    let (db, cat) = tpch_db(SF);
+    for (n, plan) in all_queries(&cat) {
+        let want = canonical(run_vectorized_raw(&db, &plan));
+        let got = canonical(run_materialized(&db, &plan));
+        assert_rows_match(&format!("Q{} materialized-vs-vectorized", n), &got, &want);
+    }
+}
+
+#[test]
+fn optimizer_and_rewriter_preserve_results() {
+    let (db, cat) = tpch_db(SF);
+    db.analyze("lineitem").unwrap();
+    db.analyze("orders").unwrap();
+    db.analyze("customer").unwrap();
+    db.analyze("part").unwrap();
+    for (n, plan) in all_queries(&cat) {
+        let want = canonical(run_vectorized_raw(&db, &plan));
+        let got = canonical(run_vectorized(&db, &plan)); // optimize + rewrite
+        assert_rows_match(&format!("Q{} optimized-vs-raw", n), &got, &want);
+    }
+}
+
+#[test]
+fn parallel_plans_preserve_results() {
+    let (db, cat) = tpch_db(SF);
+    let serial: Vec<_> = all_queries(&cat)
+        .into_iter()
+        .map(|(n, p)| (n, canonical(run_vectorized(&db, &p)), p))
+        .collect();
+    db.set_parallelism(3);
+    for (n, want, plan) in serial {
+        let got = canonical(run_vectorized(&db, &plan));
+        assert_rows_match(&format!("Q{} parallel-vs-serial", n), &got, &want);
+    }
+}
+
+#[test]
+fn vector_size_is_result_invariant() {
+    let (db, cat) = tpch_db(SF);
+    // Representative queries across operator shapes.
+    let interesting = [1u8, 3, 6, 13, 16, 21];
+    let baseline: Vec<_> = all_queries(&cat)
+        .into_iter()
+        .filter(|(n, _)| interesting.contains(n))
+        .map(|(n, p)| (n, canonical(run_vectorized(&db, &p)), p))
+        .collect();
+    for vs in [1usize, 7, 64, 100_000] {
+        db.set_vector_size(vs);
+        for (n, want, plan) in &baseline {
+            let got = canonical(run_vectorized(&db, plan));
+            assert_rows_match(&format!("Q{} vs={}", n, vs), &got, want);
+        }
+    }
+}
+
+#[test]
+fn naive_null_mode_is_result_invariant() {
+    let (db, cat) = tpch_db(SF);
+    let interesting = [1u8, 6, 12, 13, 14, 22];
+    let baseline: Vec<_> = all_queries(&cat)
+        .into_iter()
+        .filter(|(n, _)| interesting.contains(n))
+        .map(|(n, p)| (n, canonical(run_vectorized(&db, &p)), p))
+        .collect();
+    db.set_rewrite_nulls(false);
+    for (n, want, plan) in &baseline {
+        let got = canonical(run_vectorized(&db, plan));
+        assert_rows_match(&format!("Q{} naive-nulls", n), &got, want);
+    }
+}
+
+#[test]
+fn q1_aggregates_are_internally_consistent() {
+    let (db, cat) = tpch_db(SF);
+    let plan = vectorwise::tpch::queries::q1(&cat);
+    let rows = run_vectorized(&db, &plan);
+    for row in &rows {
+        let sum_qty = row[2].as_f64().unwrap();
+        let avg_qty = row[6].as_f64().unwrap();
+        let count = row[9].as_i64().unwrap() as f64;
+        assert!((sum_qty / count - avg_qty).abs() < 1e-6);
+        let sum_base = row[3].as_f64().unwrap();
+        let sum_disc = row[4].as_f64().unwrap();
+        let sum_charge = row[5].as_f64().unwrap();
+        assert!(sum_disc <= sum_base);
+        assert!(sum_charge >= sum_disc);
+    }
+    // Total row count matches an independent COUNT(*).
+    let total: i64 = rows.iter().map(|r| r[9].as_i64().unwrap()).sum();
+    let r = db
+        .execute("SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'")
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_i64().unwrap(), total);
+}
+
+#[test]
+fn sql_text_matches_plan_builder_for_q6() {
+    let (db, cat) = tpch_db(SF);
+    let plan_rows = run_vectorized(&db, &vectorwise::tpch::queries::q6(&cat));
+    let sql_rows = db
+        .execute(
+            "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+             WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+             AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        )
+        .unwrap()
+        .rows;
+    assert_rows_match("Q6 sql-vs-plan", &sql_rows, &plan_rows);
+}
+
+#[test]
+fn sql_text_matches_plan_builder_for_q1() {
+    let (db, cat) = tpch_db(SF);
+    let plan_rows = run_vectorized(&db, &vectorwise::tpch::queries::q1(&cat));
+    let sql_rows = db
+        .execute(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+             SUM(l_extendedprice) AS sum_base_price, \
+             SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+             SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+             AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, \
+             AVG(l_discount) AS avg_disc, COUNT(*) AS count_order \
+             FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+             GROUP BY l_returnflag, l_linestatus \
+             ORDER BY l_returnflag, l_linestatus",
+        )
+        .unwrap()
+        .rows;
+    assert_rows_match("Q1 sql-vs-plan", &sql_rows, &plan_rows);
+}
