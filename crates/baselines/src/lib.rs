@@ -24,4 +24,4 @@ pub mod materialized;
 pub mod row;
 
 pub use materialized::compile_materialized;
-pub use row::{compile_row, collect_row_engine, RowOperator};
+pub use row::{collect_row_engine, compile_row, RowOperator};

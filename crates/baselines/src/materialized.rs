@@ -138,7 +138,11 @@ fn compile_rec(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
         }
         LogicalPlan::Sort { input, keys } => {
             let child = compile_rec(input, ctx)?;
-            barrier(Box::new(VecSort::new(child, keys.clone(), ctx.config.vector_size)))
+            barrier(Box::new(VecSort::new(
+                child,
+                keys.clone(),
+                ctx.config.vector_size,
+            )))
         }
         LogicalPlan::Limit {
             input,

@@ -140,14 +140,15 @@ struct RowScan {
 }
 
 impl RowScan {
-    fn new(storage: Arc<RwLock<TableStorage>>, projection: Vec<usize>, filter: Option<Expr>) -> RowScan {
+    fn new(
+        storage: Arc<RwLock<TableStorage>>,
+        projection: Vec<usize>,
+        filter: Option<Expr>,
+    ) -> RowScan {
         let guard = storage.read();
         let out_schema = guard.schema().project(&projection);
         // Same zone-map pruning as the vectorized scan.
-        let prune = filter
-            .as_ref()
-            .map(|f| prunable_conjuncts(f))
-            .unwrap_or_default();
+        let prune = filter.as_ref().map(prunable_conjuncts).unwrap_or_default();
         let groups: Vec<usize> = (0..guard.group_count())
             .filter(|&g| {
                 prune.iter().all(|(out_col, op, v)| {
@@ -291,8 +292,7 @@ impl RowOperator for RowProject {
     fn next(&mut self) -> Result<Option<Vec<Value>>> {
         match self.input.next()? {
             Some(row) => {
-                let out: Result<Vec<Value>> =
-                    self.exprs.iter().map(|e| e.eval_row(&row)).collect();
+                let out: Result<Vec<Value>> = self.exprs.iter().map(|e| e.eval_row(&row)).collect();
                 Ok(Some(out?))
             }
             None => Ok(None),
@@ -403,7 +403,7 @@ impl RowOperator for RowHashJoin {
                 JoinKind::Left => {
                     if survivors.is_empty() {
                         let mut out = probe.clone();
-                        out.extend(std::iter::repeat(Value::Null).take(self.right_width));
+                        out.extend(std::iter::repeat_n(Value::Null, self.right_width));
                         self.pending.push(out);
                     } else {
                         for m in survivors {
@@ -526,8 +526,7 @@ impl RowAggregate {
             }
         }
         if groups.is_empty() && self.group_by.is_empty() {
-            let states: Result<Vec<RState>> =
-                self.aggs.iter().map(|a| self.new_state(a)).collect();
+            let states: Result<Vec<RState>> = self.aggs.iter().map(|a| self.new_state(a)).collect();
             groups.insert(vec![], states?);
         }
         for (key, states) in groups {
@@ -564,7 +563,8 @@ fn update_state(st: &mut RState, func: AggFunc, v: Option<Value>) -> Result<()> 
             if let Some(x) = v {
                 if !x.is_null() {
                     *sum = sum.wrapping_add(
-                        x.as_i64().ok_or_else(|| VwError::Exec("SUM on non-int".into()))?,
+                        x.as_i64()
+                            .ok_or_else(|| VwError::Exec("SUM on non-int".into()))?,
                     );
                     *seen = true;
                 }
@@ -573,21 +573,23 @@ fn update_state(st: &mut RState, func: AggFunc, v: Option<Value>) -> Result<()> 
         RState::SumF(sum, seen) => {
             if let Some(x) = v {
                 if !x.is_null() {
-                    *sum += x.as_f64().ok_or_else(|| VwError::Exec("SUM on non-num".into()))?;
+                    *sum += x
+                        .as_f64()
+                        .ok_or_else(|| VwError::Exec("SUM on non-num".into()))?;
                     *seen = true;
                 }
             }
         }
         RState::Min(cur) => {
             if let Some(x) = v {
-                if !x.is_null() && cur.as_ref().map_or(true, |c| x.total_cmp(c).is_lt()) {
+                if !x.is_null() && cur.as_ref().is_none_or(|c| x.total_cmp(c).is_lt()) {
                     *cur = Some(x);
                 }
             }
         }
         RState::Max(cur) => {
             if let Some(x) = v {
-                if !x.is_null() && cur.as_ref().map_or(true, |c| x.total_cmp(c).is_gt()) {
+                if !x.is_null() && cur.as_ref().is_none_or(|c| x.total_cmp(c).is_gt()) {
                     *cur = Some(x);
                 }
             }
@@ -595,7 +597,9 @@ fn update_state(st: &mut RState, func: AggFunc, v: Option<Value>) -> Result<()> 
         RState::Avg(sum, count) => {
             if let Some(x) = v {
                 if !x.is_null() {
-                    *sum += x.as_f64().ok_or_else(|| VwError::Exec("AVG on non-num".into()))?;
+                    *sum += x
+                        .as_f64()
+                        .ok_or_else(|| VwError::Exec("AVG on non-num".into()))?;
                     *count += 1;
                 }
             }
@@ -619,12 +623,12 @@ fn combine_final(st: &mut RState, v: Value, hidden: Option<Value>) -> Result<()>
             *seen = true;
         }
         RState::Min(cur) => {
-            if cur.as_ref().map_or(true, |c| v.total_cmp(c).is_lt()) {
+            if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
                 *cur = Some(v);
             }
         }
         RState::Max(cur) => {
-            if cur.as_ref().map_or(true, |c| v.total_cmp(c).is_gt()) {
+            if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
                 *cur = Some(v);
             }
         }
@@ -841,20 +845,12 @@ mod tests {
     fn join_kinds() {
         let (ctx, tid, schema) = setup(20);
         // self-join on q == k (matches k in 0..5)
-        let plan = scan(tid, &schema).join(
-            scan(tid, &schema),
-            JoinKind::Semi,
-            vec![(0, 1)],
-        );
+        let plan = scan(tid, &schema).join(scan(tid, &schema), JoinKind::Semi, vec![(0, 1)]);
         let mut op = compile_row(&plan, &ctx).unwrap();
         let rows = collect_row_engine(op.as_mut()).unwrap();
         // left rows whose k appears as some q: k ∈ {0..4}
         assert_eq!(rows.len(), 5);
-        let plan = scan(tid, &schema).join(
-            scan(tid, &schema),
-            JoinKind::Anti,
-            vec![(0, 1)],
-        );
+        let plan = scan(tid, &schema).join(scan(tid, &schema), JoinKind::Anti, vec![(0, 1)]);
         let mut op = compile_row(&plan, &ctx).unwrap();
         assert_eq!(collect_row_engine(op.as_mut()).unwrap().len(), 15);
     }

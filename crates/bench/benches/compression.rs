@@ -16,7 +16,9 @@ fn columns() -> Vec<(&'static str, ColumnData)> {
     let rows = g.rows("lineitem");
     let pick = |idx: usize, ty: vw_common::DataType| {
         let vals: Vec<vw_common::Value> = rows.iter().map(|r| r[idx].clone()).collect();
-        vw_storage::NullableColumn::from_values(ty, &vals).unwrap().data
+        vw_storage::NullableColumn::from_values(ty, &vals)
+            .unwrap()
+            .data
     };
     vec![
         ("orderkey_sorted", pick(0, vw_common::DataType::I64)),
@@ -61,7 +63,10 @@ fn compression(c: &mut Criterion) {
     let raw_bytes = col.uncompressed_bytes();
     let plain = vw_storage::compress::compress_with(col, CompressionScheme::Plain);
     let (best_scheme, best) = compress_data(col);
-    eprintln!("\n[E5] scan cost model for `{}` ({} raw bytes):", name, raw_bytes);
+    eprintln!(
+        "\n[E5] scan cost model for `{}` ({} raw bytes):",
+        name, raw_bytes
+    );
     for mbps in [100.0f64, 500.0, 2000.0, 8000.0] {
         let io_plain = plain.len() as f64 / (mbps * 1e6);
         let io_comp = best.len() as f64 / (mbps * 1e6);

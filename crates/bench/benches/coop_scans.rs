@@ -65,8 +65,14 @@ fn run_abm(disk: &Arc<SimDisk>, blocks: &[vw_common::BlockId], n_scans: usize) -
 
 fn coop_scans(c: &mut Criterion) {
     // Deterministic I/O accounting for EXPERIMENTS.md.
-    eprintln!("\n[E6] disk reads for N concurrent scans of a {}-block table (buffer 25%):", N_BLOCKS);
-    eprintln!("  {:>2} scans: {:>6} (LRU) vs {:>6} (cooperative)", "N", "reads", "reads");
+    eprintln!(
+        "\n[E6] disk reads for N concurrent scans of a {}-block table (buffer 25%):",
+        N_BLOCKS
+    );
+    eprintln!(
+        "  {:>2} scans: {:>6} (LRU) vs {:>6} (cooperative)",
+        "N", "reads", "reads"
+    );
     for n in [2usize, 4, 8, 16] {
         let (disk, blocks) = setup();
         disk.reset_stats();

@@ -63,10 +63,7 @@ fn pipeline(schema: &Schema, sel_bound: i64, chain: usize) -> LogicalPlan {
     for _ in 0..chain {
         plan = plan.project(vec![
             (Expr::col(0), "k"),
-            (
-                Expr::binary(BinOp::Add, Expr::col(1), Expr::col(2)),
-                "a",
-            ),
+            (Expr::binary(BinOp::Add, Expr::col(1), Expr::col(2)), "a"),
             (
                 Expr::binary(BinOp::Mul, Expr::col(2), Expr::lit(Value::F64(1.01))),
                 "b",
@@ -92,26 +89,18 @@ fn materialization(c: &mut Criterion) {
     // selectivity sweep at pipeline depth 3 (bound of 1000 ≈ 100%).
     for sel in [100i64, 500, 1000] {
         let plan = pipeline(&schema, sel, 3);
-        g.bench_with_input(
-            BenchmarkId::new("vectorized/sel", sel),
-            &sel,
-            |b, _| {
-                b.iter(|| {
-                    let op = vw_core::compile_plan(&plan, &ctx).unwrap();
-                    std::hint::black_box(drain(op))
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("materialized/sel", sel),
-            &sel,
-            |b, _| {
-                b.iter(|| {
-                    let op = vw_baselines::compile_materialized(&plan, &ctx).unwrap();
-                    std::hint::black_box(drain(op))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("vectorized/sel", sel), &sel, |b, _| {
+            b.iter(|| {
+                let op = vw_core::compile_plan(&plan, &ctx).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("materialized/sel", sel), &sel, |b, _| {
+            b.iter(|| {
+                let op = vw_baselines::compile_materialized(&plan, &ctx).unwrap();
+                std::hint::black_box(drain(op))
+            })
+        });
     }
 
     // pipeline-depth sweep at full selectivity: each extra stage is another

@@ -87,18 +87,14 @@ fn null_rewrite(c: &mut Criterion) {
             BenchmarkId::new("rewritten_indicators", permille),
             &permille,
             |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(vw_bench::drain(pipeline(&schema, &batches, false)))
-                })
+                b.iter(|| std::hint::black_box(vw_bench::drain(pipeline(&schema, &batches, false))))
             },
         );
         g.bench_with_input(
             BenchmarkId::new("naive_branch_per_tuple", permille),
             &permille,
             |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(vw_bench::drain(pipeline(&schema, &batches, true)))
-                })
+                b.iter(|| std::hint::black_box(vw_bench::drain(pipeline(&schema, &batches, true))))
             },
         );
     }

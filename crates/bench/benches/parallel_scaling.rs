@@ -1,21 +1,24 @@
 //! E4 — Volcano-style multi-core parallelization (§I-B).
 //!
 //! The rewriter splits eligible plans into Exchange + partial/final
-//! aggregation; this bench sweeps the degree of parallelism on Q1/Q6-shaped
-//! queries. On a single-core host the wall-clock curve is flat (the
-//! interesting assertion — identical results with partitioned work — is
-//! covered by tests); on a multi-core host it shows near-linear scaling for
-//! the scan-heavy shapes.
+//! aggregation; workers pull row-group morsels from a shared work-stealing
+//! queue and share a single hash-join build. This bench sweeps the degree of
+//! parallelism on Q1/Q6 (scan + aggregate) and Q14 (hash join: the shared
+//! build keeps the build cost constant as dop grows instead of multiplying
+//! it). On a single-core host the wall-clock curve is flat (the interesting
+//! assertion — identical results with dynamically-claimed work — is covered
+//! by tests); on a multi-core host it shows near-linear scaling for the
+//! scan-heavy shapes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vw_bench::load_tpch;
-use vw_tpch::queries::{q1, q6};
+use vw_tpch::queries::{q1, q14, q6};
 
 fn parallel_scaling(c: &mut Criterion) {
     let (db, cat) = load_tpch(0.01);
     let mut g = c.benchmark_group("parallel_scaling");
     g.sample_size(10);
-    for dop in [1usize, 2, 4] {
+    for dop in [1usize, 2, 4, 8] {
         db.set_parallelism(dop);
         let q1p = q1(&cat);
         g.bench_with_input(BenchmarkId::new("q1/dop", dop), &dop, |b, _| {
@@ -24,6 +27,10 @@ fn parallel_scaling(c: &mut Criterion) {
         let q6p = q6(&cat);
         g.bench_with_input(BenchmarkId::new("q6/dop", dop), &dop, |b, _| {
             b.iter(|| std::hint::black_box(db.run_plan(q6p.clone()).unwrap().rows.len()))
+        });
+        let q14p = q14(&cat);
+        g.bench_with_input(BenchmarkId::new("q14/dop", dop), &dop, |b, _| {
+            b.iter(|| std::hint::black_box(db.run_plan(q14p.clone()).unwrap().rows.len()))
         });
     }
     db.set_parallelism(1);

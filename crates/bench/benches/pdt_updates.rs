@@ -38,23 +38,27 @@ fn pdt_updates(c: &mut Criterion) {
     // (a) update cost: PDT batch update vs full checkpoint rewrite.
     for pct in [1u64, 10] {
         let n_upd = ROWS as u64 * pct / 1000; // 0.1% / 1.0%
-        g.bench_with_input(BenchmarkId::new("update_batch_permille", pct), &pct, |b, _| {
-            let db = fresh_db();
-            let mut hi = 0i64;
-            // Cycle within the first 5% of rows so repeated iterations merge
-            // into existing PDT entries instead of growing it unboundedly.
-            let cycle = ROWS / 20;
-            b.iter(|| {
-                let lo = hi % cycle;
-                hi += n_upd as i64;
-                db.execute(&format!(
-                    "UPDATE t SET a = 0 WHERE id >= {} AND id < {}",
-                    lo,
-                    (lo + n_upd as i64).min(cycle)
-                ))
-                .unwrap();
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("update_batch_permille", pct),
+            &pct,
+            |b, _| {
+                let db = fresh_db();
+                let mut hi = 0i64;
+                // Cycle within the first 5% of rows so repeated iterations merge
+                // into existing PDT entries instead of growing it unboundedly.
+                let cycle = ROWS / 20;
+                b.iter(|| {
+                    let lo = hi % cycle;
+                    hi += n_upd as i64;
+                    db.execute(&format!(
+                        "UPDATE t SET a = 0 WHERE id >= {} AND id < {}",
+                        lo,
+                        (lo + n_upd as i64).min(cycle)
+                    ))
+                    .unwrap();
+                })
+            },
+        );
     }
     g.bench_function("full_checkpoint_rewrite", |b| {
         let db = fresh_db();
@@ -89,10 +93,8 @@ fn pdt_updates(c: &mut Criterion) {
     // (c) positional vs value-based merge: applying a batch of deltas by
     // RID (PDT) vs joining a delta table on the key column.
     let db = fresh_db();
-    db.execute(
-        "CREATE TABLE delta (id BIGINT NOT NULL, a BIGINT NOT NULL)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE delta (id BIGINT NOT NULL, a BIGINT NOT NULL)")
+        .unwrap();
     db.bulk_load(
         "delta",
         (0..ROWS / 100).map(|i| vec![Value::I64(i * 100), Value::I64(-1)]),

@@ -46,9 +46,7 @@ fn tpch_power(c: &mut Criterion) {
         g.bench_function(format!("q{}/tuple_at_a_time", qn), |b| {
             b.iter(|| {
                 let mut op = vw_baselines::compile_row(&opt, &tables).unwrap();
-                std::hint::black_box(
-                    vw_baselines::collect_row_engine(op.as_mut()).unwrap().len(),
-                )
+                std::hint::black_box(vw_baselines::collect_row_engine(op.as_mut()).unwrap().len())
             })
         });
     }

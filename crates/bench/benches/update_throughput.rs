@@ -116,24 +116,24 @@ fn update_throughput(c: &mut Criterion) {
                 }
             },
             |_| {
-            // one small refresh commit ...
-            let mut t = db.begin();
-            tick += 1;
-            t.append(
-                orders_id,
-                vec![
-                    Value::I64(20_000_000 + tick),
-                    Value::I64(1),
-                    Value::Str("O".into()),
-                    Value::F64(1.0),
-                    Value::Date(9500),
-                    Value::Str("5-LOW".into()),
-                    Value::Str("Clerk#000000002".into()),
-                    Value::I64(0),
-                    Value::Str("x".into()),
-                ],
-            )
-            .unwrap();
+                // one small refresh commit ...
+                let mut t = db.begin();
+                tick += 1;
+                t.append(
+                    orders_id,
+                    vec![
+                        Value::I64(20_000_000 + tick),
+                        Value::I64(1),
+                        Value::Str("O".into()),
+                        Value::F64(1.0),
+                        Value::Date(9500),
+                        Value::Str("5-LOW".into()),
+                        Value::Str("Clerk#000000002".into()),
+                        Value::I64(0),
+                        Value::Str("x".into()),
+                    ],
+                )
+                .unwrap();
                 db.commit(t).unwrap();
                 // ... interleaved with the analytical query
                 std::hint::black_box(db.run_plan(q6.clone()).unwrap().rows.len())

@@ -31,7 +31,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
 
-    println!("QphH-style harness — TPC-H at SF {} ({} throughput streams)", sf, streams);
+    println!(
+        "QphH-style harness — TPC-H at SF {} ({} throughput streams)",
+        sf, streams
+    );
     let (db, cat) = load_tpch(sf);
     let db = std::sync::Arc::new(db);
 
@@ -104,7 +107,10 @@ fn main() {
         }
         let elapsed = t0.elapsed().as_secs_f64();
         let qph = (streams * 22) as f64 * 3600.0 / elapsed;
-        println!("throughput run ({label}): {:.1}s → {:.0} queries/hour", elapsed, qph);
+        println!(
+            "throughput run ({label}): {:.1}s → {:.0} queries/hour",
+            elapsed, qph
+        );
         qph
     };
 
@@ -121,7 +127,10 @@ fn main() {
     let row_qph = (row_power * row_tput).sqrt();
 
     println!("\n===== QphH-style composite (SF {}) =====", sf);
-    println!("{:<24} {:>12} {:>12} {:>12}", "engine", "power", "throughput", "composite");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "engine", "power", "throughput", "composite"
+    );
     println!(
         "{:<24} {:>12.0} {:>12.0} {:>12.0}",
         "vectorized (this paper)", vec_power, vec_tput, vec_qph

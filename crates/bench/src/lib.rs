@@ -23,7 +23,9 @@ pub fn load_tpch(sf: f64) -> (Database, TpchCatalog) {
         db.create_table(table, tpch_schema(table).unwrap()).unwrap();
         db.bulk_load(table, generator.rows(table)).unwrap();
     }
-    for t in ["lineitem", "orders", "customer", "part", "partsupp", "supplier"] {
+    for t in [
+        "lineitem", "orders", "customer", "part", "partsupp", "supplier",
+    ] {
         db.analyze(t).unwrap();
     }
     use vw_sql::CatalogView;
@@ -202,11 +204,7 @@ pub fn q6_like_tuple_at_a_time(rows: &[Vec<Value>]) -> f64 {
     let mut sum = 0.0;
     for row in rows {
         if pred.eval_row(row).expect("pred") == Value::Bool(true) {
-            sum += revenue
-                .eval_row(row)
-                .expect("expr")
-                .as_f64()
-                .unwrap_or(0.0);
+            sum += revenue.eval_row(row).expect("expr").as_f64().unwrap_or(0.0);
         }
     }
     sum

@@ -21,11 +21,37 @@
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vw_common::{BlockId, Result, VwError};
 use vw_storage::SimDisk;
 
 type ScanId = u64;
+
+/// Externally-driven progress counter for one *logical* scan.
+///
+/// When an Exchange splits a table scan across P workers, the workers share
+/// one registration (cloned [`CoopScanHandle`]s) and bump this counter as
+/// they claim work (e.g. per morsel claimed from the shared morsel queue).
+/// The ABM's starvation tiebreak then sees the scan's true overall progress
+/// instead of P unrelated block counts.
+#[derive(Debug, Default)]
+pub struct ScanProgress(AtomicU64);
+
+impl ScanProgress {
+    pub fn new() -> Arc<ScanProgress> {
+        Arc::new(ScanProgress(AtomicU64::new(0)))
+    }
+
+    /// Record `n` more units of progress (blocks, morsels, ...).
+    pub fn advance(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 struct CachedBlock {
     data: Arc<Vec<u8>>,
@@ -38,6 +64,21 @@ struct ScanState {
     remaining: HashSet<BlockId>,
     /// Blocks consumed so far (for the starvation/fairness tiebreak).
     consumed: usize,
+    /// Live handles sharing this registration (workers of one logical scan).
+    handles: usize,
+    /// External progress override: when present, the starvation tiebreak
+    /// reads this instead of `consumed`.
+    progress: Option<Arc<ScanProgress>>,
+}
+
+impl ScanState {
+    /// Progress figure used by the fairness tiebreak.
+    fn progress_units(&self) -> usize {
+        match &self.progress {
+            Some(p) => p.get() as usize,
+            None => self.consumed,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -84,7 +125,23 @@ impl Abm {
     }
 
     /// Register a scan over `blocks`. Returns a handle to pull blocks from.
-    pub fn register_scan(self: &Arc<Self>, blocks: impl IntoIterator<Item = BlockId>) -> CoopScanHandle {
+    pub fn register_scan(
+        self: &Arc<Self>,
+        blocks: impl IntoIterator<Item = BlockId>,
+    ) -> CoopScanHandle {
+        self.register_scan_with_progress(blocks, None)
+    }
+
+    /// Register one *logical* scan over `blocks`, optionally tracked by an
+    /// external [`ScanProgress`]. Clone the returned handle to share the
+    /// registration among P parallel workers: the ABM's relevance policy
+    /// counts them as a single scan, and dropping the last clone
+    /// unregisters it.
+    pub fn register_scan_with_progress(
+        self: &Arc<Self>,
+        blocks: impl IntoIterator<Item = BlockId>,
+        progress: Option<Arc<ScanProgress>>,
+    ) -> CoopScanHandle {
         let mut g = self.state.lock();
         let id = g.next_scan;
         g.next_scan += 1;
@@ -100,6 +157,8 @@ impl Abm {
             ScanState {
                 remaining,
                 consumed: 0,
+                handles: 1,
+                progress,
             },
         );
         CoopScanHandle {
@@ -157,12 +216,20 @@ impl Abm {
                     .scans
                     .values()
                     .filter(|s| s.remaining.contains(&bid))
-                    .map(|s| s.consumed)
+                    .map(|s| s.progress_units())
                     .min()
                     .unwrap_or(usize::MAX);
                 // maximize relevance, minimize progress, then smallest id
-                let key = (relevance, usize::MAX - min_progress, u64::MAX - bid.as_u64(), bid);
-                if best.as_ref().map_or(true, |b| (key.0, key.1, key.2) > (b.0, b.1, b.2)) {
+                let key = (
+                    relevance,
+                    usize::MAX - min_progress,
+                    u64::MAX - bid.as_u64(),
+                    bid,
+                );
+                if best
+                    .as_ref()
+                    .is_none_or(|b| (key.0, key.1, key.2) > (b.0, b.1, b.2))
+                {
                     best = Some(key);
                 }
             }
@@ -219,26 +286,61 @@ impl Abm {
         }
     }
 
-    fn unregister(&self, id: ScanId) {
+    /// Another handle now shares registration `id`.
+    fn retain(&self, id: ScanId) {
         let mut g = self.state.lock();
-        g.scans.remove(&id);
-        for cb in g.cache.values_mut() {
-            cb.needed_by.remove(&id);
+        if let Some(s) = g.scans.get_mut(&id) {
+            s.handles += 1;
         }
-        Self::evict_consumed(&mut g, self.capacity_bytes);
+    }
+
+    /// A handle for `id` was dropped; unregister once the last one is gone.
+    fn release(&self, id: ScanId) {
+        let mut g = self.state.lock();
+        let last = match g.scans.get_mut(&id) {
+            Some(s) => {
+                s.handles -= 1;
+                s.handles == 0
+            }
+            None => false,
+        };
+        if last {
+            g.scans.remove(&id);
+            for cb in g.cache.values_mut() {
+                cb.needed_by.remove(&id);
+            }
+            Self::evict_consumed(&mut g, self.capacity_bytes);
+        }
     }
 }
 
 /// Handle for one registered cooperative scan.
+///
+/// Cloning shares the registration: all clones pull from the same remaining
+/// set (each block is delivered to exactly one of them) and count as ONE scan
+/// for the relevance policy. The registration is released when the last
+/// clone drops.
 pub struct CoopScanHandle {
     abm: Arc<Abm>,
     id: ScanId,
     done: bool,
 }
 
+impl Clone for CoopScanHandle {
+    fn clone(&self) -> Self {
+        self.abm.retain(self.id);
+        CoopScanHandle {
+            abm: self.abm.clone(),
+            id: self.id,
+            done: false,
+        }
+    }
+}
+
 impl CoopScanHandle {
     /// Next `(block, bytes)` this scan needs, in relevance order — NOT table
     /// order. `None` once every registered block was consumed.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<(BlockId, Arc<Vec<u8>>)>> {
         if self.done {
             return Ok(None);
@@ -253,7 +355,7 @@ impl CoopScanHandle {
 
 impl Drop for CoopScanHandle {
     fn drop(&mut self) {
-        self.abm.unregister(self.id);
+        self.abm.release(self.id);
     }
 }
 
@@ -356,12 +458,10 @@ mod tests {
             if a.next().unwrap().is_none() && remaining == 2 {
                 remaining -= 1;
             }
-            if b.next().unwrap().is_none() && remaining >= 1 {
-                if b.next().unwrap().is_none() {
-                    // b is done; drain a
-                    while a.next().unwrap().is_some() {}
-                    remaining = 0;
-                }
+            if b.next().unwrap().is_none() && remaining >= 1 && b.next().unwrap().is_none() {
+                // b is done; drain a
+                while a.next().unwrap().is_some() {}
+                remaining = 0;
             }
         }
         // With a 3-block cache, sharing is partial but must beat 2 full passes
@@ -409,6 +509,80 @@ mod tests {
         let g = abm.state.lock();
         assert!(g.scans.is_empty());
         assert_eq!(g.cache_bytes, 0, "cache retained after unregister");
+    }
+
+    #[test]
+    fn cloned_handles_form_one_logical_scan() {
+        let (disk, ids) = setup(24, 64);
+        let abm = Abm::new(disk.clone(), 24 * 64);
+        let progress = ScanProgress::new();
+        let scan = abm.register_scan_with_progress(ids.clone(), Some(progress.clone()));
+        // P workers share the registration.
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mut worker = scan.clone();
+            let progress = progress.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some((bid, _)) = worker.next().unwrap() {
+                    progress.advance(1);
+                    got.push(bid);
+                }
+                got
+            }));
+        }
+        drop(scan);
+        let mut all: Vec<BlockId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|b| b.as_u64());
+        all.dedup();
+        // One logical scan: every block delivered exactly once across ALL
+        // workers, one disk pass total, and the shared counter saw them all.
+        assert_eq!(all.len(), 24, "blocks lost or duplicated across workers");
+        assert_eq!(disk.stats().reads, 24);
+        assert_eq!(progress.get(), 24);
+        // Last clone gone -> registration fully released.
+        assert!(abm.state.lock().scans.is_empty());
+    }
+
+    #[test]
+    fn shared_registration_counts_once_for_relevance() {
+        let (disk, ids) = setup(6, 64);
+        let abm = Abm::new(disk.clone(), 6 * 64);
+        let shared = abm.register_scan(ids.clone());
+        let _w1 = shared.clone();
+        let _w2 = shared.clone();
+        // Three handles, one registration: the policy sees a single scan.
+        assert_eq!(abm.state.lock().scans.len(), 1);
+        drop(shared);
+        assert_eq!(abm.state.lock().scans.len(), 1, "released too early");
+    }
+
+    #[test]
+    fn external_progress_drives_starvation_tiebreak() {
+        let (disk, ids) = setup(3, 64);
+        let abm = Abm::new(disk.clone(), 6 * 64);
+        let (lag_block, ahead_block, probe_block) = (ids[0], ids[1], ids[2]);
+        let lagging = ScanProgress::new();
+        let ahead = ScanProgress::new();
+        ahead.advance(100);
+        let _s1 = abm.register_scan_with_progress(vec![lag_block], Some(lagging));
+        let _s2 = abm.register_scan_with_progress(vec![ahead_block], Some(ahead));
+        let probe_progress = ScanProgress::new();
+        probe_progress.advance(50);
+        let mut probe = abm.register_scan_with_progress(
+            vec![lag_block, ahead_block, probe_block],
+            Some(probe_progress),
+        );
+        // Both shared candidates have relevance 2; the tiebreak must pick the
+        // block needed by the least-progressed scan (the lagging one).
+        let (first, _) = probe.next().unwrap().unwrap();
+        assert_eq!(
+            first, lag_block,
+            "starvation bound ignored external progress"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ impl BitVec {
         let nwords = len.div_ceil(64);
         let mut words = vec![if value { !0u64 } else { 0 }; nwords];
         // Clear the tail bits beyond `len` so count_ones stays exact.
-        if value && len % 64 != 0 {
+        if value && !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last &= (1u64 << (len % 64)) - 1;
             }
@@ -56,7 +56,7 @@ impl BitVec {
     }
 
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

@@ -67,7 +67,7 @@ mod tests {
         assert_eq!(c.parallelism, 1);
         assert!(c.rewrite_nulls);
         assert!(VECTOR_SIZE.is_power_of_two());
-        assert!(BLOCK_VALUES % VECTOR_SIZE == 0);
+        assert!(BLOCK_VALUES.is_multiple_of(VECTOR_SIZE));
     }
 
     #[test]

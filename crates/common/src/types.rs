@@ -299,9 +299,18 @@ mod tests {
         assert!(DataType::I64.is_numeric());
         assert!(!DataType::Str.is_numeric());
         assert_eq!(DataType::Date.byte_width(), 4);
-        assert_eq!(DataType::I32.common_numeric(DataType::F64), Some(DataType::F64));
-        assert_eq!(DataType::I32.common_numeric(DataType::I64), Some(DataType::I64));
-        assert_eq!(DataType::I32.common_numeric(DataType::I32), Some(DataType::I32));
+        assert_eq!(
+            DataType::I32.common_numeric(DataType::F64),
+            Some(DataType::F64)
+        );
+        assert_eq!(
+            DataType::I32.common_numeric(DataType::I64),
+            Some(DataType::I64)
+        );
+        assert_eq!(
+            DataType::I32.common_numeric(DataType::I32),
+            Some(DataType::I32)
+        );
         assert_eq!(DataType::Str.common_numeric(DataType::I32), None);
         assert_eq!(DataType::Bool.name(), "BOOLEAN");
     }
@@ -318,16 +327,16 @@ mod tests {
 
     #[test]
     fn cross_numeric_compare() {
-        assert_eq!(
-            Value::I32(3).sql_cmp(&Value::I64(4)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::I32(3).sql_cmp(&Value::I64(4)), Some(Ordering::Less));
         assert_eq!(
             Value::F64(3.5).sql_cmp(&Value::I32(3)),
             Some(Ordering::Greater)
         );
         assert_eq!(Value::I64(5).sql_eq(&Value::I32(5)), Some(true));
-        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -349,11 +349,8 @@ mod tests {
 
     #[test]
     fn from_storage_widens_nulls() {
-        let col = NullableColumn::from_values(
-            DataType::I64,
-            &[Value::I64(1), Value::Null],
-        )
-        .unwrap();
+        let col =
+            NullableColumn::from_values(DataType::I64, &[Value::I64(1), Value::Null]).unwrap();
         let v = ExecVector::from_storage(col);
         assert_eq!(v.nulls, Some(vec![false, true]));
     }

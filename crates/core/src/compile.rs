@@ -6,6 +6,7 @@
 //! `vw-baselines`, which is what makes the engine comparisons apples-to-
 //! apples.
 
+use crate::morsel::{ExecStats, SharedExec};
 use crate::operators::{
     BoxedOperator, Exchange, HashAggregate, HashJoin, VecFilter, VecLimit, VecProject, VecScan,
     VecSort,
@@ -32,8 +33,11 @@ pub struct TableProvider {
 pub struct ExecContext {
     pub tables: Arc<HashMap<TableId, TableProvider>>,
     pub config: EngineConfig,
-    /// `(worker, total)` when compiling inside an Exchange worker.
-    pub partition: Option<(usize, usize)>,
+    /// Shared morsel queues + join build slots when compiling inside an
+    /// Exchange worker; `None` for serial compilation.
+    pub shared: Option<Arc<SharedExec>>,
+    /// Execution counters (morsels claimed, join builds executed).
+    pub stats: Arc<ExecStats>,
 }
 
 impl ExecContext {
@@ -41,7 +45,8 @@ impl ExecContext {
         ExecContext {
             tables: Arc::new(tables),
             config,
-            partition: None,
+            shared: None,
+            stats: Arc::new(ExecStats::default()),
         }
     }
 
@@ -52,8 +57,29 @@ impl ExecContext {
     }
 }
 
+/// Plan-position counters assigned during one compilation pass.
+///
+/// Every Exchange worker compiles an identical clone of the same plan in the
+/// same preorder, so "the Nth scan of table T" and "the Nth join" denote the
+/// same plan node on every thread — that makes them valid keys into the
+/// worker-shared [`SharedExec`] registry without any cross-thread plan
+/// analysis.
+#[derive(Default)]
+struct CompileState {
+    scan_occurrence: HashMap<TableId, usize>,
+    join_occurrence: usize,
+}
+
 /// Compile a logical plan into a vectorized operator tree.
 pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
+    compile_rec(plan, ctx, &mut CompileState::default())
+}
+
+fn compile_rec(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+    state: &mut CompileState,
+) -> Result<BoxedOperator> {
     let naive = !ctx.config.rewrite_nulls;
     let vs = ctx.config.vector_size;
     Ok(match plan {
@@ -69,22 +95,38 @@ pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperat
                 Some(p) => p.clone(),
                 None => (0..schema.len()).collect(),
             };
+            let morsels = match &ctx.shared {
+                Some(shared) => {
+                    let occ = state.scan_occurrence.entry(*table_id).or_insert(0);
+                    let key = *occ;
+                    *occ += 1;
+                    Some(shared.morsel_queue(*table_id, key, || {
+                        Ok(VecScan::plan_units(
+                            &provider.storage,
+                            &provider.pdt,
+                            &projection,
+                            filter.as_ref(),
+                        ))
+                    })?)
+                }
+                None => None,
+            };
             Box::new(VecScan::new(
                 provider.storage.clone(),
                 provider.pdt.clone(),
                 projection,
                 filter.clone(),
                 vs,
-                ctx.partition,
+                morsels,
                 naive,
             )?)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = compile_plan(input, ctx)?;
+            let child = compile_rec(input, ctx, state)?;
             Box::new(VecFilter::new(child, predicate.clone(), naive)?)
         }
         LogicalPlan::Project { input, exprs } => {
-            let child = compile_plan(input, ctx)?;
+            let child = compile_rec(input, ctx, state)?;
             Box::new(VecProject::new(child, exprs.clone(), naive)?)
         }
         LogicalPlan::Join {
@@ -94,13 +136,22 @@ pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperat
             on,
             residual,
         } => {
-            let l = compile_plan(left, ctx)?;
-            // The build (right) side is replicated in each Exchange worker:
-            // compile it unpartitioned so every worker sees the whole build.
+            let l = compile_rec(left, ctx, state)?;
+            // The build (right) side executes ONCE per Exchange: it compiles
+            // serial (own state, no shared queues — its scans cover the whole
+            // table) and the first worker to reach the join runs it; all
+            // other workers share the frozen result through the build slot.
             let mut build_ctx = ctx.clone();
-            build_ctx.partition = None;
-            let r = compile_plan(right, &build_ctx)?;
-            Box::new(HashJoin::new(l, r, *kind, on.clone(), residual.clone(), naive)?)
+            build_ctx.shared = None;
+            let r = compile_rec(right, &build_ctx, &mut CompileState::default())?;
+            let mut join = HashJoin::new(l, r, *kind, on.clone(), residual.clone(), naive)?;
+            if let Some(shared) = &ctx.shared {
+                let occ = state.join_occurrence;
+                state.join_occurrence += 1;
+                join.set_shared_build(shared.build_slot(occ));
+            }
+            join.set_stats(ctx.stats.clone());
+            Box::new(join)
         }
         LogicalPlan::Aggregate {
             input,
@@ -108,7 +159,7 @@ pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperat
             aggs,
             phase,
         } => {
-            let child = compile_plan(input, ctx)?;
+            let child = compile_rec(input, ctx, state)?;
             Box::new(HashAggregate::new(
                 child,
                 group_by.clone(),
@@ -119,7 +170,7 @@ pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperat
             )?)
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = compile_plan(input, ctx)?;
+            let child = compile_rec(input, ctx, state)?;
             Box::new(VecSort::new(child, keys.clone(), vs))
         }
         LogicalPlan::Limit {
@@ -127,11 +178,11 @@ pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperat
             offset,
             fetch,
         } => {
-            let child = compile_plan(input, ctx)?;
+            let child = compile_rec(input, ctx, state)?;
             Box::new(VecLimit::new(child, *offset, *fetch))
         }
         LogicalPlan::Exchange { input, partitions } => {
-            if ctx.partition.is_some() {
+            if ctx.shared.is_some() {
                 return Err(VwError::Plan("nested Exchange".into()));
             }
             Box::new(Exchange::new((**input).clone(), ctx.clone(), *partitions)?)
@@ -305,7 +356,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_join_replicates_build() {
+    fn parallel_join_shares_single_build() {
         let ctx = setup(300);
         let base = li_scan(&ctx)
             .join(part_scan(&ctx), JoinKind::Inner, vec![(0, 0)])
@@ -321,6 +372,9 @@ mod tests {
         let mut op = compile_plan(&par, &ctx).unwrap();
         let got = collect_rows(op.as_mut()).unwrap();
         assert_eq!(got, vec![vec![Value::I64(300)]]);
+        // The build side ran exactly once across both workers (shared slot),
+        // not once per worker as with build replication.
+        assert_eq!(ctx.stats.builds_executed(), 1);
         // Final/Partial markers present
         if let LogicalPlan::Aggregate { phase, .. } = &par {
             assert_eq!(*phase, AggPhase::Final);
@@ -370,7 +424,11 @@ mod tests {
         let ctx = setup(50);
         // division by zero inside the parallel pipeline
         let bad = li_scan(&ctx).project(vec![(
-            Expr::binary(BinOp::Div, Expr::lit(Value::I64(1)), Expr::lit(Value::I64(0))),
+            Expr::binary(
+                BinOp::Div,
+                Expr::lit(Value::I64(1)),
+                Expr::lit(Value::I64(0)),
+            ),
             "boom",
         )]);
         let par = LogicalPlan::Exchange {
@@ -390,5 +448,9 @@ mod tests {
             }
         }
         assert!(saw_err);
+        // The stream is poisoned: re-polling keeps returning the error, it
+        // must never turn into a clean Ok(None) end-of-stream.
+        assert!(op.next().is_err());
+        assert!(op.next().is_err());
     }
 }

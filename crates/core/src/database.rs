@@ -109,11 +109,7 @@ impl Database {
     /// system temp directory.
     pub fn new() -> Result<Database> {
         let n = DB_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let wal = std::env::temp_dir().join(format!(
-            "vectorwise_{}_{}.wal",
-            std::process::id(),
-            n
-        ));
+        let wal = std::env::temp_dir().join(format!("vectorwise_{}_{}.wal", std::process::id(), n));
         // A fresh database must not replay a stale WAL from a previous
         // process that happened to share the path.
         let _ = std::fs::remove_file(&wal);
@@ -188,11 +184,7 @@ impl Database {
     /// Bulk-load rows directly into stable storage (initial load path,
     /// bypassing the WAL — like any warehouse bulk loader). The table must
     /// be empty.
-    pub fn bulk_load(
-        &self,
-        name: &str,
-        rows: impl IntoIterator<Item = Vec<Value>>,
-    ) -> Result<u64> {
+    pub fn bulk_load(&self, name: &str, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<u64> {
         let entry_storage;
         let entry_id;
         {
@@ -382,11 +374,7 @@ impl Database {
 
     /// Rows of a table as seen by a transaction (or the committed snapshot),
     /// in RID order — the reference row view for DML.
-    fn current_rows_of(
-        &self,
-        txn: &Transaction,
-        table: TableId,
-    ) -> Result<Vec<Vec<Value>>> {
+    fn current_rows_of(&self, txn: &Transaction, table: TableId) -> Result<Vec<Vec<Value>>> {
         let (_, storage) = self.entry_by_id(table)?;
         let storage = storage.read();
         let pdt = txn.effective_pdt(table)?;
@@ -635,11 +623,10 @@ mod tests {
         // NULL tag sorts first (nulls-first ordering)
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.rows[0][0], Value::Null);
-        assert_eq!(r.rows[1], vec![
-            Value::Str("a".into()),
-            Value::I64(2),
-            Value::F64(40.0)
-        ]);
+        assert_eq!(
+            r.rows[1],
+            vec![Value::Str("a".into()), Value::I64(2), Value::F64(40.0)]
+        );
         assert_eq!(r.rows[2][2], Value::F64(70.0));
     }
 
@@ -650,10 +637,11 @@ mod tests {
             .execute("UPDATE items SET price = price * 2 WHERE tag = 'a'")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::I64(2));
-        let r = db
-            .execute("SELECT SUM(price) FROM items")
-            .unwrap();
-        assert_eq!(r.rows[0][0], Value::F64(10.0 + 20.0 + 30.0 + 40.0 + 50.0 + 40.0));
+        let r = db.execute("SELECT SUM(price) FROM items").unwrap();
+        assert_eq!(
+            r.rows[0][0],
+            Value::F64(10.0 + 20.0 + 30.0 + 40.0 + 50.0 + 40.0)
+        );
         let r = db.execute("DELETE FROM items WHERE qty < 4").unwrap();
         assert_eq!(r.rows[0][0], Value::I64(2));
         assert_eq!(db.table_rows("items").unwrap(), 3);
@@ -665,10 +653,9 @@ mod tests {
     #[test]
     fn updates_visible_through_scans_with_pdt_merge() {
         let db = sample_db();
-        db.execute("UPDATE items SET tag = 'z' WHERE id = 1").unwrap();
-        let r = db
-            .execute("SELECT tag FROM items WHERE id = 1")
+        db.execute("UPDATE items SET tag = 'z' WHERE id = 1")
             .unwrap();
+        let r = db.execute("SELECT tag FROM items WHERE id = 1").unwrap();
         assert_eq!(r.rows[0][0], Value::Str("z".into()));
     }
 
@@ -715,15 +702,15 @@ mod tests {
     #[test]
     fn crash_recovery_preserves_committed_only() {
         let db = sample_db();
-        db.execute("UPDATE items SET qty = 77 WHERE id = 3").unwrap();
+        db.execute("UPDATE items SET qty = 77 WHERE id = 3")
+            .unwrap();
         // an uncommitted transaction...
         let mut t = db.begin();
-        db.execute_in(&mut t, "DELETE FROM items WHERE id = 5").unwrap();
+        db.execute_in(&mut t, "DELETE FROM items WHERE id = 5")
+            .unwrap();
         // ...lost in the crash (never committed)
         db.simulate_crash_and_recover().unwrap();
-        let r = db
-            .execute("SELECT qty FROM items WHERE id = 3")
-            .unwrap();
+        let r = db.execute("SELECT qty FROM items WHERE id = 3").unwrap();
         assert_eq!(r.rows[0][0], Value::I64(77));
         assert_eq!(db.table_rows("items").unwrap(), 5);
         drop(t);
@@ -799,7 +786,12 @@ mod tests {
         assert!(db.execute("SELECT nosuch FROM items").is_err());
         assert!(db.execute("SELECT * FROM nosuch").is_err());
         assert!(db.execute("CREATE TABLE items (a BIGINT)").is_err());
-        assert_eq!(db.execute("SELECT 1 FROM items WHERE qty / 0 > 1").unwrap_err().kind(), "exec");
+        assert_eq!(
+            db.execute("SELECT 1 FROM items WHERE qty / 0 > 1")
+                .unwrap_err()
+                .kind(),
+            "exec"
+        );
     }
 
     #[test]
@@ -819,9 +811,7 @@ mod tests {
         let mut t = db.begin();
         db.execute_in(&mut t, "INSERT INTO items VALUES (10, 1, 1.0, 'x')")
             .unwrap();
-        let r = db
-            .execute_in(&mut t, "SELECT COUNT(*) FROM items")
-            .unwrap();
+        let r = db.execute_in(&mut t, "SELECT COUNT(*) FROM items").unwrap();
         assert_eq!(r.rows[0][0], Value::I64(6));
         db.abort(t);
         let r = db.execute("SELECT COUNT(*) FROM items").unwrap();

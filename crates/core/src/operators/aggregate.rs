@@ -34,8 +34,14 @@ impl AggState {
         match func {
             AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => match arg_ty {
-                Some(DataType::F64) => AggState::SumF { sum: 0.0, seen: false },
-                _ => AggState::SumI { sum: 0, seen: false },
+                Some(DataType::F64) => AggState::SumF {
+                    sum: 0.0,
+                    seen: false,
+                },
+                _ => AggState::SumI {
+                    sum: 0,
+                    seen: false,
+                },
             },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
@@ -72,7 +78,7 @@ impl AggState {
                 let (v, i, ty) = arg.ok_or_else(|| VwError::Exec("MIN needs arg".into()))?;
                 if !v.is_null(i) {
                     let val = v.get_value(i, ty);
-                    if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_lt()) {
+                    if cur.as_ref().is_none_or(|c| val.total_cmp(c).is_lt()) {
                         *cur = Some(val);
                     }
                 }
@@ -81,7 +87,7 @@ impl AggState {
                 let (v, i, ty) = arg.ok_or_else(|| VwError::Exec("MAX needs arg".into()))?;
                 if !v.is_null(i) {
                     let val = v.get_value(i, ty);
-                    if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_gt()) {
+                    if cur.as_ref().is_none_or(|c| val.total_cmp(c).is_gt()) {
                         *cur = Some(val);
                     }
                 }
@@ -119,13 +125,13 @@ impl AggState {
             }
             AggState::Min(cur) => {
                 let val = v.get_value(i, ty);
-                if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_lt()) {
+                if cur.as_ref().is_none_or(|c| val.total_cmp(c).is_lt()) {
                     *cur = Some(val);
                 }
             }
             AggState::Max(cur) => {
                 let val = v.get_value(i, ty);
-                if cur.as_ref().map_or(true, |c| val.total_cmp(c).is_gt()) {
+                if cur.as_ref().is_none_or(|c| val.total_cmp(c).is_gt()) {
                     *cur = Some(val);
                 }
             }
@@ -327,9 +333,11 @@ impl HashAggregate {
                 let mut gid: Option<u32> = None;
                 for &cand in bucket.iter() {
                     let keys = &group_keys[cand as usize];
-                    let ok = self.group_by.iter().enumerate().all(|(k, &g)| {
-                        value_lane_eq(&keys[k], &batch.columns[g], i)
-                    });
+                    let ok = self
+                        .group_by
+                        .iter()
+                        .enumerate()
+                        .all(|(k, &g)| value_lane_eq(&keys[k], &batch.columns[g], i));
                     if ok {
                         gid = Some(cand);
                         break;
@@ -368,10 +376,7 @@ impl HashAggregate {
                             .iter()
                             .find(|(ai, _)| *ai == k)
                             .map(|(_, col)| (&batch.columns[*col], i));
-                        st.combine(
-                            (arg, i, self.arg_types[k].unwrap_or(DataType::F64)),
-                            hidden,
-                        )?;
+                        st.combine((arg, i, self.arg_types[k].unwrap_or(DataType::F64)), hidden)?;
                     } else {
                         let arg = args[k]
                             .as_ref()
@@ -652,15 +657,8 @@ mod tests {
             })
             .collect();
         let src = Box::new(BatchSource::from_rows(pschema, &parts, 2).unwrap());
-        let mut fin = HashAggregate::new(
-            src,
-            vec![0],
-            final_aggs,
-            AggPhase::Final,
-            1024,
-            false,
-        )
-        .unwrap();
+        let mut fin =
+            HashAggregate::new(src, vec![0], final_aggs, AggPhase::Final, 1024, false).unwrap();
         let got = sorted(collect_rows(&mut fin).unwrap());
         assert_eq!(got, want);
     }

@@ -1,13 +1,23 @@
 //! The Volcano-style Exchange operator (§I-B multi-core parallelization).
 //!
 //! `P` worker threads each compile and run their own copy of the child plan
-//! with a `(worker, P)` partition spec — every `VecScan` below restricts
-//! itself to row groups `g % P == worker`. Batches stream back through a
-//! bounded channel; the consumer unions them in arrival order (exchange
-//! output is unordered, like the SQL semantics of the operators it wraps).
+//! against one shared [`SharedExec`] registry: every `VecScan` below pulls
+//! row-group morsels from a common work-stealing queue (dynamic load balance,
+//! no static `g % P` assignment), and every hash join builds its hash table
+//! exactly once — the first worker to reach the join runs the build, the
+//! rest block briefly and share the frozen result. Batches stream back
+//! through a bounded channel; the consumer unions them in arrival order
+//! (exchange output is unordered, like the SQL semantics of the operators it
+//! wraps).
+//!
+//! Failure semantics: a worker error (or panic) poisons the stream — the
+//! first `next()` to observe it joins all workers and returns `Err`; every
+//! subsequent `next()` returns the same error again rather than masquerading
+//! as a clean end-of-stream with silently truncated results.
 
 use crate::batch::Batch;
 use crate::compile::{compile_plan, ExecContext};
+use crate::morsel::SharedExec;
 use crossbeam::channel::{bounded, Receiver};
 use std::thread::JoinHandle;
 use vw_common::{Result, Schema, VwError};
@@ -23,7 +33,8 @@ pub struct Exchange {
     schema: Schema,
     rx: Option<Receiver<Result<Batch>>>,
     workers: Vec<JoinHandle<()>>,
-    failed: bool,
+    /// First error observed; re-polls keep returning it (stream poisoned).
+    poisoned: Option<VwError>,
 }
 
 impl Exchange {
@@ -38,17 +49,21 @@ impl Exchange {
             schema,
             rx: None,
             workers: Vec::new(),
-            failed: false,
+            poisoned: None,
         })
     }
 
     fn spawn(&mut self) {
         let (tx, rx) = bounded::<Result<Batch>>(self.partitions * 2);
-        for w in 0..self.partitions {
+        // One registry for the whole worker gang: morsel queues and join
+        // build slots are keyed by plan position, so identical plan clones
+        // compiled on each thread resolve to the same shared state.
+        let shared = SharedExec::new(self.partitions, self.ctx.stats.clone());
+        for _ in 0..self.partitions {
             let tx = tx.clone();
             let plan = self.plan.clone();
             let mut ctx = self.ctx.clone();
-            ctx.partition = Some((w, self.partitions));
+            ctx.shared = Some(shared.clone());
             let handle = std::thread::spawn(move || {
                 let mut op = match compile_plan(&plan, &ctx) {
                     Ok(op) => op,
@@ -81,10 +96,26 @@ impl Exchange {
         self.rx = Some(rx);
     }
 
-    fn join_workers(&mut self) {
+    /// Join all workers; report the first panic as an execution error so a
+    /// crashed worker can never pass for a clean (truncated) end-of-stream.
+    fn join_workers(&mut self) -> Option<VwError> {
+        let mut panicked = None;
         for h in self.workers.drain(..) {
-            let _ = h.join();
+            if let Err(payload) = h.join() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                panicked.get_or_insert(VwError::Exec(format!("exchange worker panicked: {}", msg)));
+            }
         }
+        panicked
+    }
+
+    fn poison(&mut self, e: VwError) -> VwError {
+        self.poisoned = Some(e.clone());
+        e
     }
 }
 
@@ -94,8 +125,8 @@ impl Operator for Exchange {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
-        if self.failed {
-            return Ok(None);
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
         }
         if self.rx.is_none() {
             self.spawn();
@@ -103,15 +134,18 @@ impl Operator for Exchange {
         match self.rx.as_ref().unwrap().recv() {
             Ok(Ok(batch)) => Ok(Some(batch)),
             Ok(Err(e)) => {
-                self.failed = true;
                 self.rx = None; // disconnect; workers stop on send failure
                 self.join_workers();
-                Err(e)
+                Err(self.poison(e))
             }
             Err(_) => {
-                // all senders dropped: end of stream
-                self.join_workers();
-                Ok(None)
+                // All senders dropped. Either every worker finished cleanly
+                // (end of stream) or one panicked before sending an error —
+                // joining distinguishes the two.
+                match self.join_workers() {
+                    Some(e) => Err(self.poison(e)),
+                    None => Ok(None),
+                }
             }
         }
     }

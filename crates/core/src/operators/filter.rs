@@ -76,7 +76,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Value::I64(i),
-                    if i % 5 == 0 { Value::Null } else { Value::I64(i * 2) },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::I64(i * 2)
+                    },
                 ]
             })
             .collect();

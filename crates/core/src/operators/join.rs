@@ -11,7 +11,9 @@
 //! (for LEFT/ANTI they surface as unmatched rows, as SQL requires).
 
 use crate::batch::{Batch, ExecVector};
+use crate::morsel::{ExecStats, SharedBuild};
 use crate::vexpr::ExprEvaluator;
+use std::sync::Arc;
 use vw_common::hash::FxHashMap;
 use vw_common::{Result, Schema, VwError};
 use vw_plan::{Expr, JoinKind};
@@ -30,13 +32,51 @@ pub struct HashJoin {
     out_schema: Schema,
     left_schema: Schema,
     right_schema: Schema,
-    build: Option<BuildSide>,
+    build: Option<Arc<BuildData>>,
+    /// When probing inside a morsel-parallel Exchange: the once-cell all
+    /// workers share. The first worker to reach the join executes the build
+    /// child; the rest drop theirs unexecuted and reuse the frozen result.
+    shared: Option<Arc<SharedBuild>>,
+    stats: Option<Arc<ExecStats>>,
 }
 
-struct BuildSide {
+/// Frozen build side of a hash join: gathered columns + hash table. Immutable
+/// once built, so probe workers can share it behind an `Arc`.
+pub struct BuildData {
     columns: Vec<ExecVector>,
     /// hash → build row indexes (collision chains resolved by verify).
     table: FxHashMap<u64, Vec<u32>>,
+}
+
+impl BuildData {
+    /// An empty build side (matches nothing). For tests and placeholders.
+    pub fn empty() -> BuildData {
+        BuildData {
+            columns: Vec::new(),
+            table: FxHashMap::default(),
+        }
+    }
+
+    /// Drain `right` and hash its rows on the `on` keys.
+    fn from_operator(right: &mut dyn Operator, on: &[(usize, usize)]) -> Result<BuildData> {
+        let batch = drain_to_single_batch(right)?;
+        let rows = batch.rows;
+        let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        'row: for i in 0..rows {
+            let mut h = 0u64;
+            for &(_, rc) in on {
+                if batch.columns[rc].is_null(i) {
+                    continue 'row; // NULL keys never match
+                }
+                h = hash_lane(&batch.columns[rc], i, h);
+            }
+            table.entry(h).or_default().push(i as u32);
+        }
+        Ok(BuildData {
+            columns: batch.columns,
+            table,
+        })
+    }
 }
 
 impl HashJoin {
@@ -82,28 +122,36 @@ impl HashJoin {
             left_schema,
             right_schema,
             build: None,
+            shared: None,
+            stats: None,
         })
+    }
+
+    /// Share the build side through `slot` with the other Exchange workers.
+    pub fn set_shared_build(&mut self, slot: Arc<SharedBuild>) {
+        self.shared = Some(slot);
+    }
+
+    /// Record build executions in `stats` (observability for tests).
+    pub fn set_stats(&mut self, stats: Arc<ExecStats>) {
+        self.stats = Some(stats);
     }
 
     fn build_side(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("build called twice");
-        let batch = drain_to_single_batch(right.as_mut())?;
-        let rows = batch.rows;
-        let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        'row: for i in 0..rows {
-            let mut h = 0u64;
-            for &(_, rc) in &self.on {
-                if batch.columns[rc].is_null(i) {
-                    continue 'row; // NULL keys never match
-                }
-                h = hash_lane(&batch.columns[rc], i, h);
+        let on = self.on.clone();
+        let stats = self.stats.clone();
+        let mut make = move || {
+            if let Some(s) = &stats {
+                s.note_build();
             }
-            table.entry(h).or_default().push(i as u32);
-        }
-        self.build = Some(BuildSide {
-            columns: batch.columns,
-            table,
-        });
+            BuildData::from_operator(right.as_mut(), &on)
+        };
+        let data = match &self.shared {
+            Some(slot) => slot.clone().get_or_build(make)?,
+            None => Arc::new(make()?),
+        };
+        self.build = Some(data);
         Ok(())
     }
 
@@ -123,12 +171,7 @@ impl HashJoin {
             if let Some(cands) = build.table.get(&h) {
                 for &bj in cands {
                     let ok = self.on.iter().all(|&(lc, rc)| {
-                        lanes_eq(
-                            &probe.columns[lc],
-                            i,
-                            &build.columns[rc],
-                            bj as usize,
-                        )
+                        lanes_eq(&probe.columns[lc], i, &build.columns[rc], bj as usize)
                     });
                     if ok {
                         probe_idx.push(i as u32);
@@ -206,18 +249,19 @@ impl Operator for HashJoin {
                         .collect();
                     let mut cols =
                         Vec::with_capacity(self.left_schema.len() + self.right_schema.len());
-                    let all_pi: Vec<u32> =
-                        pi.iter().copied().chain(unmatched.iter().copied()).collect();
+                    let all_pi: Vec<u32> = pi
+                        .iter()
+                        .copied()
+                        .chain(unmatched.iter().copied())
+                        .collect();
                     for c in &probe.columns {
                         cols.push(c.gather(&all_pi));
                     }
                     let build = self.build.as_ref().unwrap();
                     for (k, c) in build.columns.iter().enumerate() {
                         let matched_part = c.gather(&bi);
-                        let pad = ExecVector::all_null(
-                            self.right_schema.field(k).ty,
-                            unmatched.len(),
-                        );
+                        let pad =
+                            ExecVector::all_null(self.right_schema.field(k).ty, unmatched.len());
                         cols.push(super::concat_vectors(&[matched_part, pad]));
                     }
                     if all_pi.is_empty() {
@@ -296,8 +340,15 @@ mod tests {
 
     #[test]
     fn inner_join_matches() {
-        let mut j = HashJoin::new(orders(), customers(), JoinKind::Inner, vec![(1, 0)], None, false)
-            .unwrap();
+        let mut j = HashJoin::new(
+            orders(),
+            customers(),
+            JoinKind::Inner,
+            vec![(1, 0)],
+            None,
+            false,
+        )
+        .unwrap();
         assert_eq!(j.schema().len(), 4);
         let rows = sorted(collect_rows(&mut j).unwrap());
         assert_eq!(rows.len(), 3); // orders 1, 2, 3 match
@@ -314,9 +365,15 @@ mod tests {
 
     #[test]
     fn left_join_pads_unmatched() {
-        let mut j =
-            HashJoin::new(orders(), customers(), JoinKind::Left, vec![(1, 0)], None, false)
-                .unwrap();
+        let mut j = HashJoin::new(
+            orders(),
+            customers(),
+            JoinKind::Left,
+            vec![(1, 0)],
+            None,
+            false,
+        )
+        .unwrap();
         let rows = sorted(collect_rows(&mut j).unwrap());
         assert_eq!(rows.len(), 5);
         // order 4 (null key) and order 5 (no match) padded with NULLs
@@ -329,18 +386,30 @@ mod tests {
 
     #[test]
     fn semi_and_anti() {
-        let mut s =
-            HashJoin::new(orders(), customers(), JoinKind::Semi, vec![(1, 0)], None, false)
-                .unwrap();
+        let mut s = HashJoin::new(
+            orders(),
+            customers(),
+            JoinKind::Semi,
+            vec![(1, 0)],
+            None,
+            false,
+        )
+        .unwrap();
         assert_eq!(s.schema().len(), 2);
         let rows = sorted(collect_rows(&mut s).unwrap());
         assert_eq!(
             rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
             vec![Value::I64(1), Value::I64(2), Value::I64(3)]
         );
-        let mut a =
-            HashJoin::new(orders(), customers(), JoinKind::Anti, vec![(1, 0)], None, false)
-                .unwrap();
+        let mut a = HashJoin::new(
+            orders(),
+            customers(),
+            JoinKind::Anti,
+            vec![(1, 0)],
+            None,
+            false,
+        )
+        .unwrap();
         let rows = sorted(collect_rows(&mut a).unwrap());
         // NULL-key row and unmatched row both survive ANTI
         assert_eq!(
@@ -352,9 +421,8 @@ mod tests {
     #[test]
     fn duplicate_build_keys_fan_out() {
         let schema = Schema::new(vec![Field::new("k", DataType::I64)]);
-        let left = Box::new(
-            BatchSource::from_rows(schema.clone(), &[vec![Value::I64(1)]], 8).unwrap(),
-        );
+        let left =
+            Box::new(BatchSource::from_rows(schema.clone(), &[vec![Value::I64(1)]], 8).unwrap());
         let right_schema = Schema::new(vec![
             Field::new("k", DataType::I64),
             Field::new("n", DataType::I64),
@@ -428,9 +496,15 @@ mod tests {
         ];
         let left = Box::new(BatchSource::from_rows(schema.clone(), &rows_l, 8).unwrap());
         let right = Box::new(BatchSource::from_rows(schema, &rows_r, 8).unwrap());
-        let mut j =
-            HashJoin::new(left, right, JoinKind::Inner, vec![(0, 0), (1, 1)], None, false)
-                .unwrap();
+        let mut j = HashJoin::new(
+            left,
+            right,
+            JoinKind::Inner,
+            vec![(0, 0), (1, 1)],
+            None,
+            false,
+        )
+        .unwrap();
         let rows = collect_rows(&mut j).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][1], Value::Str("y".into()));
@@ -440,9 +514,7 @@ mod tests {
     fn empty_build_side() {
         let schema = Schema::new(vec![Field::new("k", DataType::I64)]);
         let right = Box::new(BatchSource::from_rows(schema.clone(), &[], 8).unwrap());
-        let left = Box::new(
-            BatchSource::from_rows(schema, &[vec![Value::I64(1)]], 8).unwrap(),
-        );
+        let left = Box::new(BatchSource::from_rows(schema, &[vec![Value::I64(1)]], 8).unwrap());
         let mut inner =
             HashJoin::new(left, right, JoinKind::Inner, vec![(0, 0)], None, false).unwrap();
         assert!(collect_rows(&mut inner).unwrap().is_empty());

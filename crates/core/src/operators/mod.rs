@@ -17,7 +17,7 @@ pub mod sort;
 pub use aggregate::HashAggregate;
 pub use exchange::Exchange;
 pub use filter::VecFilter;
-pub use join::HashJoin;
+pub use join::{BuildData, HashJoin};
 pub use limit::VecLimit;
 pub use project::VecProject;
 pub use scan::VecScan;
@@ -177,7 +177,7 @@ pub fn concat_vectors(parts: &[ExecVector]) -> ExecVector {
         for p in parts {
             match &p.nulls {
                 Some(n) => nv.extend_from_slice(n),
-                None => nv.extend(std::iter::repeat(false).take(p.len())),
+                None => nv.extend(std::iter::repeat_n(false, p.len())),
             }
         }
     }
@@ -234,7 +234,11 @@ impl BatchSource {
     }
 
     /// Source from rows, split into `vector_size` batches.
-    pub fn from_rows(schema: Schema, rows: &[Vec<Value>], vector_size: usize) -> Result<BatchSource> {
+    pub fn from_rows(
+        schema: Schema,
+        rows: &[Vec<Value>],
+        vector_size: usize,
+    ) -> Result<BatchSource> {
         let mut batches = Vec::new();
         for chunk in rows.chunks(vector_size.max(1)) {
             batches.push(Batch::from_rows(&schema, chunk)?);
@@ -260,11 +264,9 @@ mod tests {
 
     #[test]
     fn hash_and_eq_lanes() {
-        let a = ExecVector::from_values(
-            DataType::I64,
-            &[Value::I64(5), Value::Null, Value::I64(7)],
-        )
-        .unwrap();
+        let a =
+            ExecVector::from_values(DataType::I64, &[Value::I64(5), Value::Null, Value::I64(7)])
+                .unwrap();
         let b = ExecVector::from_values(DataType::I64, &[Value::I64(5)]).unwrap();
         assert_eq!(hash_lane(&a, 0, 0), hash_lane(&b, 0, 0));
         assert_ne!(hash_lane(&a, 2, 0), hash_lane(&b, 0, 0));
@@ -303,7 +305,11 @@ mod tests {
         assert_eq!(b.rows, 3);
         assert_eq!(
             b.to_rows(&schema),
-            vec![vec![Value::I64(1)], vec![Value::I64(2)], vec![Value::I64(3)]]
+            vec![
+                vec![Value::I64(1)],
+                vec![Value::I64(2)],
+                vec![Value::I64(3)]
+            ]
         );
     }
 

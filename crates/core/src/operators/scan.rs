@@ -6,12 +6,21 @@
 //! predicates, slices groups into engine-sized vectors, and evaluates the
 //! pushed-down filter producing selection vectors.
 //!
+//! Parallelism is morsel-driven: inside an Exchange, every worker's scan
+//! pulls units from one shared [`MorselQueue`] instead of owning a static
+//! `g % P == worker` slice. Which worker decodes a group is decided by
+//! runtime readiness, so a skewed group-size distribution (one giant group,
+//! many tiny ones) no longer serializes the query behind one thread, and no
+//! worker exits while unclaimed work remains.
+//!
 //! Pruning vs PDTs: a row group may only be skipped by its MinMax stats if
 //! the PDT holds **no** changes for its SID range — a modify could move a
 //! value into the predicate's range. Appended rows (inserts at
-//! `sid == stable_rows`) form a virtual tail group that is never pruned.
+//! `sid == stable_rows`) form a virtual tail group that is never pruned; in
+//! morsel mode the tail is one queue unit claimed by exactly one worker.
 
 use crate::batch::{Batch, ExecVector};
+use crate::morsel::{Morsel, MorselQueue};
 use crate::primitives::sel_from_bool;
 use crate::vexpr::ExprEvaluator;
 use parking_lot::RwLock;
@@ -22,11 +31,20 @@ use vw_plan::{BinOp, Expr};
 use vw_storage::block::PruneOp;
 use vw_storage::TableStorage;
 
-/// One unit of scan work: a real row group or the PDT append tail.
-#[derive(Debug, Clone, Copy)]
-enum ScanUnit {
-    Group(usize),
-    AppendTail,
+/// Where the scan's units come from: a private list (serial scan) or the
+/// shared work-stealing queue of the surrounding Exchange.
+enum UnitSource {
+    Local(std::vec::IntoIter<Morsel>),
+    Queue(Arc<MorselQueue>),
+}
+
+impl UnitSource {
+    fn next(&mut self) -> Option<Morsel> {
+        match self {
+            UnitSource::Local(it) => it.next(),
+            UnitSource::Queue(q) => q.claim(),
+        }
+    }
 }
 
 /// The vectorized scan operator.
@@ -38,45 +56,30 @@ pub struct VecScan {
     out_schema: Schema,
     filter: Option<ExprEvaluator>,
     vector_size: usize,
-    units: std::vec::IntoIter<ScanUnit>,
+    units: UnitSource,
     /// Current decoded group columns + remaining offset.
     current: Option<(Vec<ExecVector>, usize, usize)>, // (cols, len, offset)
 }
 
 impl VecScan {
-    /// Create a scan.
-    ///
-    /// * `projection` — storage columns to produce (output order),
-    /// * `filter` — predicate over the projected schema (optional),
-    /// * `partition` — `(worker, total)` slice for Exchange parallelism,
-    /// * `naive_nulls` — use the naive NULL interpreter (experiment E8).
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        storage: Arc<RwLock<TableStorage>>,
-        pdt: Arc<Pdt>,
-        projection: Vec<usize>,
-        filter: Option<Expr>,
-        vector_size: usize,
-        partition: Option<(usize, usize)>,
-        naive_nulls: bool,
-    ) -> Result<VecScan> {
+    /// The scan-unit list for one table snapshot: zone-map-pruned row groups
+    /// plus the PDT append tail. This is what a serial scan iterates and what
+    /// an Exchange publishes as the shared [`MorselQueue`].
+    pub fn plan_units(
+        storage: &Arc<RwLock<TableStorage>>,
+        pdt: &Pdt,
+        projection: &[usize],
+        filter: Option<&Expr>,
+    ) -> Vec<Morsel> {
         let guard = storage.read();
-        let out_schema = guard.schema().project(&projection);
         // Candidate prune predicates from the filter's conjuncts.
-        let prune = filter
-            .as_ref()
-            .map(|f| prunable_conjuncts(f))
-            .unwrap_or_default();
+        let prune = filter.map(prunable_conjuncts).unwrap_or_default();
         let n_groups = guard.group_count();
-        let mut units: Vec<ScanUnit> = Vec::new();
+        let mut units: Vec<Morsel> = Vec::new();
         for g in 0..n_groups {
-            if let Some((w, p)) = partition {
-                if g % p != w {
-                    continue;
-                }
-            }
             let grp = guard.group(g);
-            let (lo, hi) = pdt.entry_range_for_sids(grp.start_row, grp.start_row + grp.n_rows as u64);
+            let (lo, hi) =
+                pdt.entry_range_for_sids(grp.start_row, grp.start_row + grp.n_rows as u64);
             let dirty = lo != hi;
             if !dirty && !prune.is_empty() {
                 let keep = prune.iter().all(|(out_col, op, v)| {
@@ -87,15 +90,41 @@ impl VecScan {
                     continue;
                 }
             }
-            units.push(ScanUnit::Group(g));
+            units.push(Morsel::Group(g));
         }
-        // Appends: inserts at sid == stable_rows; worker 0 owns them.
+        // Appends: inserts at sid == stable_rows form one virtual tail unit.
         let stable = pdt.stable_rows();
         let (alo, ahi) = pdt.entry_range_for_sids(stable, stable + 1);
-        if ahi > alo && partition.map_or(true, |(w, _)| w == 0) {
-            units.push(ScanUnit::AppendTail);
+        if ahi > alo {
+            units.push(Morsel::AppendTail);
         }
-        drop(guard);
+        units
+    }
+
+    /// Create a scan.
+    ///
+    /// * `projection` — storage columns to produce (output order),
+    /// * `filter` — predicate over the projected schema (optional),
+    /// * `morsels` — shared work queue when running inside an Exchange
+    ///   worker; `None` for a serial scan over all units,
+    /// * `naive_nulls` — use the naive NULL interpreter (experiment E8).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        storage: Arc<RwLock<TableStorage>>,
+        pdt: Arc<Pdt>,
+        projection: Vec<usize>,
+        filter: Option<Expr>,
+        vector_size: usize,
+        morsels: Option<Arc<MorselQueue>>,
+        naive_nulls: bool,
+    ) -> Result<VecScan> {
+        let out_schema = storage.read().schema().project(&projection);
+        let units = match morsels {
+            Some(q) => UnitSource::Queue(q),
+            None => UnitSource::Local(
+                Self::plan_units(&storage, &pdt, &projection, filter.as_ref()).into_iter(),
+            ),
+        };
         let filter = filter
             .map(|f| ExprEvaluator::new(f, &out_schema, naive_nulls))
             .transpose()?;
@@ -106,15 +135,15 @@ impl VecScan {
             out_schema,
             filter,
             vector_size: vector_size.max(1),
-            units: units.into_iter(),
+            units,
             current: None,
         })
     }
 
     /// Load the columns of a scan unit, merging PDT changes.
-    fn load_unit(&self, unit: ScanUnit) -> Result<(Vec<ExecVector>, usize)> {
+    fn load_unit(&self, unit: Morsel) -> Result<(Vec<ExecVector>, usize)> {
         match unit {
-            ScanUnit::Group(g) => {
+            Morsel::Group(g) => {
                 let guard = self.storage.read();
                 let grp_start;
                 let grp_rows;
@@ -136,7 +165,7 @@ impl VecScan {
                 }
                 self.merge_group(cols, grp_start, grp_rows, lo, hi)
             }
-            ScanUnit::AppendTail => {
+            Morsel::AppendTail => {
                 let stable = self.pdt.stable_rows();
                 let (lo, hi) = self.pdt.entry_range_for_sids(stable, stable + 1);
                 let schema = self.out_schema.clone();
@@ -211,7 +240,7 @@ impl VecScan {
             }
         }
         debug_assert_eq!(e_idx, entries.len(), "unconsumed PDT entries in group");
-        debug_assert!(out.first().map_or(true, |c| c.len() == emitted));
+        debug_assert!(out.first().is_none_or(|c| c.len() == emitted));
         let n = emitted;
         let columns = schema
             .fields()
@@ -232,9 +261,7 @@ fn prunable_conjuncts(filter: &Expr) -> Vec<(usize, PruneOp, Value)> {
         if let Expr::Binary { op, l, r } = &c {
             let mapped = match (&**l, &**r) {
                 (Expr::Col(i), Expr::Lit(v)) => prune_op(*op).map(|p| (*i, p, v.clone())),
-                (Expr::Lit(v), Expr::Col(i)) => {
-                    prune_op(flip(*op)).map(|p| (*i, p, v.clone()))
-                }
+                (Expr::Lit(v), Expr::Col(i)) => prune_op(flip(*op)).map(|p| (*i, p, v.clone())),
                 _ => None,
             };
             if let Some(m) = mapped {
@@ -423,20 +450,13 @@ mod tests {
         pdt.modify_at(0, 1, Value::I64(999)).unwrap(); // modify (now k=1)'s q
         pdt.insert_at(
             50,
-            vec![
-                Value::I64(-1),
-                Value::I64(-2),
-                Value::Str("ins".into()),
-            ],
+            vec![Value::I64(-1), Value::I64(-2), Value::Str("ins".into())],
         )
         .unwrap();
         // append at end
         let end = pdt.current_rows();
-        pdt.insert_at(
-            end,
-            vec![Value::I64(1000), Value::I64(0), Value::Null],
-        )
-        .unwrap();
+        pdt.insert_at(end, vec![Value::I64(1000), Value::I64(0), Value::Null])
+            .unwrap();
         let pdt = Arc::new(pdt);
         let rows = scan_all(&t, &pdt, vec![0, 1, 2], None, 16);
         assert_eq!(rows.len(), 101); // 100 - 1 + 1 + 1
@@ -463,21 +483,27 @@ mod tests {
     }
 
     #[test]
-    fn partitioned_scans_cover_disjointly() {
+    fn morsel_scans_cover_disjointly() {
         let t = make_table(500, 50); // 10 groups
         let mut pdt = Pdt::new(500);
         pdt.insert_at(500, vec![Value::I64(9999), Value::I64(0), Value::Null])
             .unwrap();
         let pdt = Arc::new(pdt);
+        // Three scans share one morsel queue — together they must cover every
+        // row (including the append tail) exactly once, whatever the claim
+        // interleaving.
+        let units = VecScan::plan_units(&t, &pdt, &[0], None);
+        assert_eq!(units.len(), 11); // 10 groups + append tail
+        let q = MorselQueue::new(units);
         let mut all: Vec<Vec<Value>> = Vec::new();
-        for w in 0..3 {
+        for _ in 0..3 {
             let mut scan = VecScan::new(
                 t.clone(),
                 pdt.clone(),
                 vec![0],
                 None,
                 64,
-                Some((w, 3)),
+                Some(q.clone()),
                 false,
             )
             .unwrap();
@@ -494,6 +520,7 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 501); // disjoint coverage
+        assert_eq!(q.progress().get(), 11); // every unit claimed
     }
 
     #[test]

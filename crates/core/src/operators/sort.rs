@@ -104,10 +104,7 @@ mod tests {
     fn multi_key_with_nulls_first() {
         let mut s = VecSort::new(
             source(),
-            vec![
-                SortKey { col: 0, asc: true },
-                SortKey { col: 1, asc: true },
-            ],
+            vec![SortKey { col: 0, asc: true }, SortKey { col: 1, asc: true }],
             1024,
         );
         let rows = collect_rows(&mut s).unwrap();

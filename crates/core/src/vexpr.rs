@@ -143,14 +143,8 @@ fn coerce_to(v: ExecVector, ty: DataType, sel: Option<&[u32]>) -> Result<ExecVec
                 None => prim::cast_i64_i32(x, sel, &mut out)?,
                 Some(n) => {
                     let narrowed: Vec<u32> = match sel {
-                        Some(s) => s
-                            .iter()
-                            .copied()
-                            .filter(|&i| !n[i as usize])
-                            .collect(),
-                        None => (0..x.len() as u32)
-                            .filter(|&i| !n[i as usize])
-                            .collect(),
+                        Some(s) => s.iter().copied().filter(|&i| !n[i as usize]).collect(),
+                        None => (0..x.len() as u32).filter(|&i| !n[i as usize]).collect(),
                     };
                     prim::cast_i64_i32(x, Some(&narrowed), &mut out)?;
                 }
@@ -186,10 +180,7 @@ fn coerce_to(v: ExecVector, ty: DataType, sel: Option<&[u32]>) -> Result<ExecVec
             prim::cast_i64_i32(&wide, safe_sel.as_deref(), &mut out)?;
             Ok(ExecVector::new(ColumnData::I32(out), v.nulls))
         }
-        _ => Err(VwError::Exec(format!(
-            "cannot coerce {} to {}",
-            have, ty
-        ))),
+        _ => Err(VwError::Exec(format!("cannot coerce {} to {}", have, ty))),
     }
 }
 
@@ -235,7 +226,7 @@ fn as_f64_lanes<'a>(v: &'a ExecVector, sel: Option<&[u32]>) -> Result<Cow<'a, [f
     }
 }
 
-fn bool_lanes<'a>(v: &'a ExecVector) -> Result<&'a [bool]> {
+fn bool_lanes(v: &ExecVector) -> Result<&[bool]> {
     match &v.data {
         ColumnData::Bool(x) => Ok(x),
         other => Err(VwError::Exec(format!(
@@ -254,12 +245,7 @@ fn is_str(v: &ExecVector) -> bool {
 }
 
 /// Core recursive evaluation (rewritten-NULL mode).
-fn eval_rec(
-    e: &Expr,
-    schema: &Schema,
-    batch: &Batch,
-    sel: Option<&[u32]>,
-) -> Result<ExecVector> {
+fn eval_rec(e: &Expr, schema: &Schema, batch: &Batch, sel: Option<&[u32]>) -> Result<ExecVector> {
     match e {
         Expr::Col(i) => batch
             .columns
@@ -331,9 +317,7 @@ fn eval_rec(
             let v = eval_rec(e, schema, batch, sel)?;
             let col = match &v.data {
                 ColumnData::Str(s) => s,
-                other => {
-                    return Err(VwError::Exec(format!("LIKE on {}", other.type_name())))
-                }
+                other => return Err(VwError::Exec(format!("LIKE on {}", other.type_name()))),
             };
             let mut out = vec![false; col.len()];
             let pat = pattern.as_bytes();
@@ -350,12 +334,7 @@ fn eval_rec(
             let v = eval_rec(e, schema, batch, sel)?;
             let col = match &v.data {
                 ColumnData::Str(s) => s,
-                other => {
-                    return Err(VwError::Exec(format!(
-                        "SUBSTRING on {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VwError::Exec(format!("SUBSTRING on {}", other.type_name()))),
             };
             // Full-length output; unselected lanes become "".
             let mut out = StrColumn::with_capacity(col.len(), col.bytes.len());
@@ -372,12 +351,7 @@ fn eval_rec(
             let v = eval_rec(e, schema, batch, sel)?;
             let col = match &v.data {
                 ColumnData::I32(x) => x,
-                other => {
-                    return Err(VwError::Exec(format!(
-                        "EXTRACT from {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VwError::Exec(format!("EXTRACT from {}", other.type_name()))),
             };
             let mut out = vec![0i32; col.len()];
             prim::for_each_lane(sel, col.len(), |i| {
@@ -530,7 +504,9 @@ fn eval_binary_const(
                 prim::cmp_str_cv(s, cv, ord, eq_ok, ne_mode, sel, &mut out);
             }
             (ColumnData::F64(_), _) | (_, Value::F64(_)) => {
-                let Some(cf) = c.as_f64() else { return Ok(None) };
+                let Some(cf) = c.as_f64() else {
+                    return Ok(None);
+                };
                 let a = as_f64_lanes(col, sel)?;
                 match op {
                     BinOp::Eq => prim::cmp_eq_f64_cv(&a, &cf, sel, &mut out),
@@ -543,7 +519,9 @@ fn eval_binary_const(
                 }
             }
             _ => {
-                let Some(ci) = c.as_i64() else { return Ok(None) };
+                let Some(ci) = c.as_i64() else {
+                    return Ok(None);
+                };
                 let a = as_i64_lanes(col, sel)?;
                 match op {
                     BinOp::Eq => prim::cmp_eq_i64_cv(&a, &ci, sel, &mut out),
@@ -561,7 +539,9 @@ fn eval_binary_const(
     // Arithmetic.
     let float = is_float(col) || matches!(c, Value::F64(_));
     if float {
-        let Some(cf) = c.as_f64() else { return Ok(None) };
+        let Some(cf) = c.as_f64() else {
+            return Ok(None);
+        };
         let a = as_f64_lanes(col, sel)?;
         let mut out = Vec::new();
         match (op, flipped) {
@@ -581,7 +561,9 @@ fn eval_binary_const(
         }
         return Ok(Some(ExecVector::new(ColumnData::F64(out), nulls)));
     }
-    let Some(ci) = c.as_i64() else { return Ok(None) };
+    let Some(ci) = c.as_i64() else {
+        return Ok(None);
+    };
     let a = as_i64_lanes(col, sel)?;
     let mut out = Vec::new();
     match (op, flipped) {
@@ -661,11 +643,7 @@ fn eval_binary_vectors(
 
 /// Selection restricted to non-NULL lanes (always materializes when an
 /// indicator exists).
-fn non_null_sel(
-    sel: Option<&[u32]>,
-    nulls: Option<&Vec<bool>>,
-    len: usize,
-) -> Option<Vec<u32>> {
+fn non_null_sel(sel: Option<&[u32]>, nulls: Option<&Vec<bool>>, len: usize) -> Option<Vec<u32>> {
     match nulls {
         None => sel.map(|s| s.to_vec()),
         Some(n) => Some(match sel {
@@ -687,9 +665,8 @@ fn eval_comparison(
             (ColumnData::Str(a), ColumnData::Str(b)) => (a, b),
             _ => {
                 // mixed str/non-str only legal when one side is all-NULL
-                let all_null = |v: &ExecVector| {
-                    v.nulls.as_ref().is_some_and(|n| n.iter().all(|&b| b))
-                };
+                let all_null =
+                    |v: &ExecVector| v.nulls.as_ref().is_some_and(|n| n.iter().all(|&b| b));
                 if all_null(lv) || all_null(rv) {
                     out.resize(lv.len().max(rv.len()), false);
                     return Ok(out);
@@ -829,7 +806,7 @@ fn eval_in_list(
             let items: Vec<&str> = list.iter().filter_map(|x| x.as_str()).collect();
             prim::for_each_lane(sel, n, |i| {
                 let s = col.get(i);
-                let hit = items.iter().any(|&it| it == s);
+                let hit = items.contains(&s);
                 vals[i] = hit != negated;
                 if !hit && list_has_null {
                     extra_null[i] = true;
@@ -1087,10 +1064,7 @@ mod tests {
         );
         // (b > 15) OR (a = 2): NULL OR TRUE = TRUE
         check(
-            E::or(
-                b_gt.clone(),
-                E::eq(E::col(0), E::lit(Value::I64(2))),
-            ),
+            E::or(b_gt.clone(), E::eq(E::col(0), E::lit(Value::I64(2)))),
             vec![Value::Bool(false), Value::Bool(true), Value::Bool(true)],
         );
         // (b > 15) AND (a = 2): NULL AND TRUE = NULL
@@ -1180,7 +1154,10 @@ mod tests {
         );
         let e = E::Case {
             whens: vec![
-                (E::eq(E::col(0), E::lit(Value::I64(2))), E::lit(Value::I64(0))),
+                (
+                    E::eq(E::col(0), E::lit(Value::I64(2))),
+                    E::lit(Value::I64(0)),
+                ),
                 (
                     E::binary(vw_plan::BinOp::Ge, E::col(0), E::lit(Value::I64(1))),
                     div,
@@ -1190,10 +1167,7 @@ mod tests {
         };
         // a=1 → second branch 10/(1-2) = -10; a=2 → first branch 0;
         // a=3 → second branch 10/(3-2) = 10.
-        check(
-            e,
-            vec![Value::I64(-10), Value::I64(0), Value::I64(10)],
-        );
+        check(e, vec![Value::I64(-10), Value::I64(0), Value::I64(10)]);
     }
 
     #[test]
@@ -1270,6 +1244,9 @@ mod tests {
             },
             E::lit(Value::I32(1)),
         );
-        check(e, vec![Value::I32(1996), Value::I32(1997), Value::I32(1998)]);
+        check(
+            e,
+            vec![Value::I32(1996), Value::I32(1997), Value::I32(1998)],
+        );
     }
 }

@@ -52,9 +52,7 @@ impl Footprint {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.stable_sids.is_empty()
-            && self.insert_sids.is_empty()
-            && self.touched_tags.is_empty()
+        self.stable_sids.is_empty() && self.insert_sids.is_empty() && self.touched_tags.is_empty()
     }
 
     /// Positional overlap test: true when committing both transactions could

@@ -171,7 +171,11 @@ impl Pdt {
                 return None;
             }
         }
-        let delta = self.delta_before.get(j).copied().unwrap_or(self.total_delta);
+        let delta = self
+            .delta_before
+            .get(j)
+            .copied()
+            .unwrap_or(self.total_delta);
         Some((sid as i64 + delta) as u64)
     }
 
@@ -213,7 +217,11 @@ impl Pdt {
                 Change::Delete => unreachable!("deletes skipped by predicate"),
             }
         }
-        let delta = self.delta_before.get(j).copied().unwrap_or(self.total_delta);
+        let delta = self
+            .delta_before
+            .get(j)
+            .copied()
+            .unwrap_or(self.total_delta);
         let sid = (rid as i64 - delta) as u64;
         debug_assert!(sid < self.stable_rows);
         Ok(Loc::Stable { sid, modify: None })
@@ -224,7 +232,10 @@ impl Pdt {
     pub fn insert_at(&mut self, rid: u64, row: Vec<Value>) -> Result<()> {
         let len = self.current_rows();
         if rid > len {
-            return Err(VwError::Invalid(format!("insert rid {} > len {}", rid, len)));
+            return Err(VwError::Invalid(format!(
+                "insert rid {} > len {}",
+                rid, len
+            )));
         }
         let (sid, idx) = if rid == len {
             (self.stable_rows, self.entries.len())
@@ -238,7 +249,8 @@ impl Pdt {
                 }
             }
         };
-        self.entries.insert(idx, Entry::insert(sid, 0, next_tag(), row));
+        self.entries
+            .insert(idx, Entry::insert(sid, 0, next_tag(), row));
         self.renumber_inserts(sid);
         self.rebuild();
         Ok(())
@@ -302,6 +314,7 @@ impl Pdt {
     fn renumber_inserts(&mut self, sid: u64) {
         let lo = self.entries.partition_point(|e| e.key() < (sid, 0));
         let mut seq = 0u32;
+        #[allow(clippy::explicit_counter_loop)]
         for e in &mut self.entries[lo..] {
             if e.sid != sid || !e.change.is_insert() {
                 break;
@@ -314,11 +327,7 @@ impl Pdt {
     /// Read the full row at `rid`, fetching stable tuples through `fetch`.
     /// Reference implementation for tests and the row-engine; columnar scans
     /// merge in bulk instead.
-    pub fn row_at(
-        &self,
-        rid: u64,
-        fetch: &mut dyn FnMut(u64) -> Vec<Value>,
-    ) -> Result<Vec<Value>> {
+    pub fn row_at(&self, rid: u64, fetch: &mut dyn FnMut(u64) -> Vec<Value>) -> Result<Vec<Value>> {
         match self.resolve(rid)? {
             Loc::Inserted(j) => Ok(self.inserted_row(j).to_vec()),
             Loc::Stable { sid, modify } => {
@@ -409,7 +418,13 @@ mod tests {
         assert_eq!(pdt.current_rows(), 5);
         for s in 0..5 {
             assert_eq!(pdt.rid_of_sid(s), Some(s));
-            assert_eq!(pdt.resolve(s).unwrap(), Loc::Stable { sid: s, modify: None });
+            assert_eq!(
+                pdt.resolve(s).unwrap(),
+                Loc::Stable {
+                    sid: s,
+                    modify: None
+                }
+            );
         }
         assert!(pdt.resolve(5).is_err());
     }
@@ -480,7 +495,7 @@ mod tests {
         o.rows[0] = v(101);
         assert_image_matches(&pdt, &o, 3);
         assert_eq!(pdt.modify_count(), 1); // no new modify entry
-        // delete a modified stable tuple: modify collapses into delete
+                                           // delete a modified stable tuple: modify collapses into delete
         pdt.delete_at(3).unwrap();
         o.rows.remove(3);
         assert_image_matches(&pdt, &o, 3);
@@ -513,7 +528,7 @@ mod tests {
                 }
                 2 if len > 0 => {
                     let rid = r.next_below(len);
-                    let val = Value::I64(-(step as i64));
+                    let val = Value::I64(-step);
                     pdt.modify_at(rid, 0, val.clone()).unwrap();
                     o.rows[rid as usize][0] = val;
                 }

@@ -25,7 +25,10 @@ pub enum StableOp {
     /// Delete stable tuple `sid`.
     DeleteStable { sid: u64 },
     /// Overwrite columns of stable tuple `sid`.
-    ModifyStable { sid: u64, mods: BTreeMap<u32, Value> },
+    ModifyStable {
+        sid: u64,
+        mods: BTreeMap<u32, Value>,
+    },
     /// Insert a new tuple before stable tuple `sid`. `before_tag` pins the
     /// position among existing PDT inserts at this SID: insert immediately
     /// before the insert carrying that tag, or after all of them if `None`.
@@ -131,10 +134,7 @@ fn diff_sid_group(s: &[Entry], w: &[Entry], sid: u64, ops: &mut Vec<StableOp>) -
             Change::Insert { row, .. } => row,
             _ => unreachable!(),
         };
-        if let Some(se) = s_inserts
-            .iter()
-            .find(|se| se.change.tag() == Some(tag))
-        {
+        if let Some(se) = s_inserts.iter().find(|se| se.change.tag() == Some(tag)) {
             // Survived: payload may have been patched.
             let s_row = match &se.change {
                 Change::Insert { row, .. } => row,
@@ -178,9 +178,7 @@ fn diff_sid_group(s: &[Entry], w: &[Entry], sid: u64, ops: &mut Vec<StableOp>) -
             sid,
             mods: m.clone(),
         }),
-        (Some(Change::Modify(_)), Some(Change::Delete)) => {
-            ops.push(StableOp::DeleteStable { sid })
-        }
+        (Some(Change::Modify(_)), Some(Change::Delete)) => ops.push(StableOp::DeleteStable { sid }),
         (Some(Change::Modify(m1)), Some(Change::Modify(m2))) => {
             let mut mods = BTreeMap::new();
             for (c, v) in m2 {
@@ -197,8 +195,8 @@ fn diff_sid_group(s: &[Entry], w: &[Entry], sid: u64, ops: &mut Vec<StableOp>) -
             return Err(VwError::Invalid(format!(
                 "impossible tuple-entry transition at sid {}: {:?} -> {:?}",
                 sid,
-                a.map(|c| kind_name(c)),
-                b.map(|c| kind_name(c)),
+                a.map(kind_name),
+                b.map(kind_name),
             )))
         }
     }
@@ -241,12 +239,7 @@ pub fn propagate(master: &Pdt, ops: &[StableOp]) -> Result<Pdt> {
     Pdt::from_entries(master.stable_rows(), out)
 }
 
-fn merge_sid_group(
-    m: &[Entry],
-    ops: &[StableOp],
-    sid: u64,
-    out: &mut Vec<Entry>,
-) -> Result<()> {
+fn merge_sid_group(m: &[Entry], ops: &[StableOp], sid: u64, out: &mut Vec<Entry>) -> Result<()> {
     // Working list of insert entries at this SID.
     let mut inserts: Vec<Entry> = m.iter().filter(|e| e.change.is_insert()).cloned().collect();
     let mut tuple: Option<Entry> = m.iter().find(|e| e.seq == TUPLE_SEQ).cloned();
@@ -272,18 +265,14 @@ fn merge_sid_group(
                 let pos = inserts
                     .iter()
                     .position(|e| e.change.tag() == Some(*tag))
-                    .ok_or_else(|| {
-                        VwError::TxnConflict(format!("insert tag {} vanished", tag))
-                    })?;
+                    .ok_or_else(|| VwError::TxnConflict(format!("insert tag {} vanished", tag)))?;
                 inserts.remove(pos);
             }
             StableOp::ModifyInserted { tag, mods, .. } => {
                 let e = inserts
                     .iter_mut()
                     .find(|e| e.change.tag() == Some(*tag))
-                    .ok_or_else(|| {
-                        VwError::TxnConflict(format!("insert tag {} vanished", tag))
-                    })?;
+                    .ok_or_else(|| VwError::TxnConflict(format!("insert tag {} vanished", tag)))?;
                 if let Change::Insert { row, .. } = &mut e.change {
                     for (&c, v) in mods {
                         let c = c as usize;

@@ -189,7 +189,11 @@ pub fn deserialize_ops(bytes: &[u8]) -> Result<Vec<StableOp>> {
                 let sid = read_u64(bytes, &mut pos)?;
                 let itag = read_u64(bytes, &mut pos)?;
                 let mods = decode_mods(bytes, &mut pos)?;
-                StableOp::ModifyInserted { sid, tag: itag, mods }
+                StableOp::ModifyInserted {
+                    sid,
+                    tag: itag,
+                    mods,
+                }
             }
             _ => return Err(err("unknown op tag")),
         };
@@ -263,7 +267,10 @@ mod tests {
             },
             StableOp::DeleteInserted { sid: 3, tag: t1 },
             StableOp::DeleteStable { sid: 4 },
-            StableOp::ModifyStable { sid: 9, mods: mods.clone() },
+            StableOp::ModifyStable {
+                sid: 9,
+                mods: mods.clone(),
+            },
             StableOp::ModifyInserted {
                 sid: 9,
                 tag: t2,

@@ -160,6 +160,7 @@ impl Expr {
         Expr::binary(BinOp::Eq, l, r)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         Expr::Unary {
             op: UnOp::Not,
@@ -217,9 +218,7 @@ impl Expr {
                     .iter()
                     .map(|(c, t)| (c.remap_columns(map), t.remap_columns(map)))
                     .collect(),
-                otherwise: otherwise
-                    .as_ref()
-                    .map(|e| Box::new(e.remap_columns(map))),
+                otherwise: otherwise.as_ref().map(|e| Box::new(e.remap_columns(map))),
             },
             Expr::Like {
                 e,
@@ -322,7 +321,7 @@ impl Expr {
             Expr::Binary { l, r, .. } => l.nullable(input) || r.nullable(input),
             Expr::Case { whens, otherwise } => {
                 whens.iter().any(|(_, v)| v.nullable(input))
-                    || otherwise.as_ref().map_or(true, |e| e.nullable(input))
+                    || otherwise.as_ref().is_none_or(|e| e.nullable(input))
             }
             Expr::Like { e, .. }
             | Expr::InList { e, .. }
@@ -543,9 +542,7 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, row: &[Value]) -> Result<Value> {
                 _ => unreachable!(),
             };
             // Stay in the narrower type when both inputs were I32.
-            if matches!((&lv, &rv), (Value::I32(_), Value::I32(_)))
-                && i32::try_from(out).is_ok()
-            {
+            if matches!((&lv, &rv), (Value::I32(_), Value::I32(_))) && i32::try_from(out).is_ok() {
                 Ok(Value::I32(out as i32))
             } else {
                 Ok(Value::I64(out))
@@ -650,64 +647,64 @@ impl AggExpr {
 impl fmt::Display for Expr {
     // Display is only used for EXPLAIN output.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                Expr::Col(i) => write!(f, "#{}", i),
-                Expr::Lit(v) => write!(f, "{}", v),
-                Expr::Cast(e, t) => write!(f, "CAST({} AS {})", e, t),
-                Expr::Unary { op, e } => match op {
-                    UnOp::Not => write!(f, "NOT ({})", e),
-                    UnOp::Neg => write!(f, "-({})", e),
-                    UnOp::IsNull => write!(f, "({}) IS NULL", e),
-                    UnOp::IsNotNull => write!(f, "({}) IS NOT NULL", e),
+        match self {
+            Expr::Col(i) => write!(f, "#{}", i),
+            Expr::Lit(v) => write!(f, "{}", v),
+            Expr::Cast(e, t) => write!(f, "CAST({} AS {})", e, t),
+            Expr::Unary { op, e } => match op {
+                UnOp::Not => write!(f, "NOT ({})", e),
+                UnOp::Neg => write!(f, "-({})", e),
+                UnOp::IsNull => write!(f, "({}) IS NULL", e),
+                UnOp::IsNotNull => write!(f, "({}) IS NOT NULL", e),
+            },
+            Expr::Binary { op, l, r } => write!(f, "({} {} {})", l, op.name(), r),
+            Expr::Case { whens, otherwise } => {
+                write!(f, "CASE")?;
+                for (c, t) in whens {
+                    write!(f, " WHEN {} THEN {}", c, t)?;
+                }
+                if let Some(e) = otherwise {
+                    write!(f, " ELSE {}", e)?;
+                }
+                write!(f, " END")
+            }
+            Expr::Like {
+                e,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{} {}LIKE '{}'",
+                e,
+                if *negated { "NOT " } else { "" },
+                pattern
+            ),
+            Expr::InList { e, list, negated } => {
+                write!(f, "{} {}IN (", e, if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Substr { e, start, len } => {
+                write!(f, "SUBSTRING({} FROM {} FOR {})", e, start, len)
+            }
+            Expr::Extract { part, e } => write!(
+                f,
+                "EXTRACT({} FROM {})",
+                match part {
+                    DatePart::Year => "YEAR",
+                    DatePart::Month => "MONTH",
                 },
-                Expr::Binary { op, l, r } => write!(f, "({} {} {})", l, op.name(), r),
-                Expr::Case { whens, otherwise } => {
-                    write!(f, "CASE")?;
-                    for (c, t) in whens {
-                        write!(f, " WHEN {} THEN {}", c, t)?;
-                    }
-                    if let Some(e) = otherwise {
-                        write!(f, " ELSE {}", e)?;
-                    }
-                    write!(f, " END")
-                }
-                Expr::Like {
-                    e,
-                    pattern,
-                    negated,
-                } => write!(
-                    f,
-                    "{} {}LIKE '{}'",
-                    e,
-                    if *negated { "NOT " } else { "" },
-                    pattern
-                ),
-                Expr::InList { e, list, negated } => {
-                    write!(f, "{} {}IN (", e, if *negated { "NOT " } else { "" })?;
-                    for (i, v) in list.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{}", v)?;
-                    }
-                    write!(f, ")")
-                }
-                Expr::Substr { e, start, len } => {
-                    write!(f, "SUBSTRING({} FROM {} FOR {})", e, start, len)
-                }
-                Expr::Extract { part, e } => write!(
-                    f,
-                    "EXTRACT({} FROM {})",
-                    match part {
-                        DatePart::Year => "YEAR",
-                        DatePart::Month => "MONTH",
-                    },
-                    e
-                ),
-                Expr::AddMonths { e, months } => {
-                    write!(f, "({} + INTERVAL {} MONTH)", e, months)
-                }
-                Expr::Placeholder => write!(f, "?"),
+                e
+            ),
+            Expr::AddMonths { e, months } => {
+                write!(f, "({} + INTERVAL {} MONTH)", e, months)
+            }
+            Expr::Placeholder => write!(f, "?"),
         }
     }
 }
@@ -804,7 +801,11 @@ mod tests {
         let div = Expr::binary(BinOp::Div, Expr::col(0), Expr::lit(Value::I64(0)));
         assert!(div.eval_row(&r).is_err());
         // i32 arithmetic stays i32
-        let e32 = Expr::binary(BinOp::Add, Expr::lit(Value::I32(3)), Expr::lit(Value::I32(4)));
+        let e32 = Expr::binary(
+            BinOp::Add,
+            Expr::lit(Value::I32(3)),
+            Expr::lit(Value::I32(4)),
+        );
         assert_eq!(e32.eval_row(&[]).unwrap(), Value::I32(7));
     }
 
@@ -851,7 +852,10 @@ mod tests {
         assert!(like_match(b"%%", b"x"));
         assert!(like_match(b"a%b%c", b"aXXbYYc"));
         assert!(!like_match(b"a%b%c", b"aXXbYY"));
-        assert!(like_match(b"%special%requests%", b"the special deposit requests"));
+        assert!(like_match(
+            b"%special%requests%",
+            b"the special deposit requests"
+        ));
     }
 
     #[test]

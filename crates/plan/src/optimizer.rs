@@ -29,6 +29,7 @@ const DEFAULT_OTHER_SEL: f64 = 0.5;
 /// Estimate the selectivity of a predicate over a relation with `stats`.
 /// `col_map` translates expression column indexes to stats column indexes
 /// (identity for unprojected scans).
+#[allow(clippy::only_used_in_recursion)]
 pub fn selectivity(
     e: &Expr,
     schema: &Schema,
@@ -41,7 +42,11 @@ pub fn selectivity(
             l,
             r,
         } => selectivity(l, schema, stats, col_map) * selectivity(r, schema, stats, col_map),
-        Expr::Binary { op: BinOp::Or, l, r } => {
+        Expr::Binary {
+            op: BinOp::Or,
+            l,
+            r,
+        } => {
             let a = selectivity(l, schema, stats, col_map);
             let b = selectivity(r, schema, stats, col_map);
             (a + b - a * b).min(1.0)
@@ -277,9 +282,7 @@ pub fn optimize(plan: LogicalPlan, stats: &HashMap<TableId, TableStats>) -> Logi
             right: left,
             kind: JoinKind::Inner,
             on: on.iter().map(|&(l, r)| (r, l)).collect(),
-            residual: residual.map(|e| {
-                e.remap_columns(&|i| if i < ln { rn + i } else { i - ln })
-            }),
+            residual: residual.map(|e| e.remap_columns(&|i| if i < ln { rn + i } else { i - ln })),
         };
         // Output of swapped join: right ++ left; restore left ++ right.
         let mut exprs: Vec<(Expr, String)> = Vec::with_capacity(ln + rn);
@@ -424,7 +427,9 @@ mod tests {
             filter: None,
         };
         // small ⋈ big: left tiny → swap so big streams, small builds.
-        let join = small.clone().join(big.clone(), JoinKind::Inner, vec![(0, 1)]);
+        let join = small
+            .clone()
+            .join(big.clone(), JoinKind::Inner, vec![(0, 1)]);
         let opt = optimize(join.clone(), &stats);
         match &opt {
             LogicalPlan::Project { input, .. } => match &**input {

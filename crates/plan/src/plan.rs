@@ -170,14 +170,7 @@ impl LogicalPlan {
                     fields.push(in_schema.field(g).clone());
                 }
                 for a in aggs {
-                    let ty = match phase {
-                        // Partial AVG carries (sum, count) pair encoded as two
-                        // columns; handled by widening to F64 sum + I64 count
-                        // at the physical level. Logically we expose final
-                        // types only; Partial schema adds a count column per
-                        // AVG at the end.
-                        _ => a.output_type(&in_schema)?,
-                    };
+                    let ty = a.output_type(&in_schema)?;
                     fields.push(Field {
                         name: a.name.clone(),
                         ty,
@@ -327,7 +320,7 @@ impl LogicalPlan {
                 },
                 group_by,
                 aggs.iter()
-                    .map(|a| format!("{}", a.func.name()))
+                    .map(|a| a.func.name().to_string())
                     .collect::<Vec<_>>()
                     .join(", ")
             ),
@@ -391,10 +384,7 @@ impl LogicalPlan {
     pub fn project(self, exprs: Vec<(Expr, &str)>) -> LogicalPlan {
         LogicalPlan::Project {
             input: Box::new(self),
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (e, n.to_string()))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
         }
     }
 
@@ -470,10 +460,7 @@ mod tests {
     #[test]
     fn project_schema_types() {
         let p = scan().project(vec![
-            (
-                Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)),
-                "sum",
-            ),
+            (Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)), "sum"),
             (Expr::lit(Value::I64(1)), "one"),
         ]);
         let s = p.schema().unwrap();
@@ -546,7 +533,11 @@ mod tests {
     #[test]
     fn children_and_rebuild() {
         let p = scan()
-            .filter(Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(Value::I64(5))))
+            .filter(Expr::binary(
+                BinOp::Gt,
+                Expr::col(0),
+                Expr::lit(Value::I64(5)),
+            ))
             .limit(0, 10);
         assert_eq!(p.children().len(), 1);
         let rebuilt = p.with_children(vec![p.children()[0].clone()]);
@@ -556,7 +547,11 @@ mod tests {
     #[test]
     fn explain_renders_tree() {
         let p = scan()
-            .filter(Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(Value::I64(5))))
+            .filter(Expr::binary(
+                BinOp::Gt,
+                Expr::col(0),
+                Expr::lit(Value::I64(5)),
+            ))
             .aggregate(
                 vec![],
                 vec![AggExpr {

@@ -199,7 +199,11 @@ mod tests {
             Expr::col(0),
             Expr::binary(
                 BinOp::Mul,
-                Expr::binary(BinOp::Add, Expr::lit(Value::I64(2)), Expr::lit(Value::I64(3))),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::lit(Value::I64(2)),
+                    Expr::lit(Value::I64(3)),
+                ),
                 Expr::lit(Value::I64(10)),
             ),
         );
@@ -214,7 +218,11 @@ mod tests {
     fn folding_preserves_errors_unfolded() {
         // 1/0 must NOT fold into a panic or a wrong literal; it stays as-is
         // and fails at execution (matching SQL runtime error semantics).
-        let e = Expr::binary(BinOp::Div, Expr::lit(Value::I64(1)), Expr::lit(Value::I64(0)));
+        let e = Expr::binary(
+            BinOp::Div,
+            Expr::lit(Value::I64(1)),
+            Expr::lit(Value::I64(0)),
+        );
         let folded = fold_expr(e.clone());
         assert_eq!(folded, e);
     }
@@ -239,7 +247,11 @@ mod tests {
         let p = scan().filter(Expr::binary(
             BinOp::Lt,
             Expr::col(0),
-            Expr::binary(BinOp::Add, Expr::lit(Value::I64(1)), Expr::lit(Value::I64(2))),
+            Expr::binary(
+                BinOp::Add,
+                Expr::lit(Value::I64(1)),
+                Expr::lit(Value::I64(2)),
+            ),
         ));
         let folded = fold_constants(p);
         match folded {
@@ -258,12 +270,18 @@ mod tests {
         let p = scan().filter(Expr::binary(
             BinOp::Gt,
             Expr::col(1),
-            Expr::binary(BinOp::Add, Expr::lit(Value::I64(0)), Expr::lit(Value::I64(7))),
+            Expr::binary(
+                BinOp::Add,
+                Expr::lit(Value::I64(0)),
+                Expr::lit(Value::I64(7)),
+            ),
         ));
         let out = rewrite_default(p, 1);
         // filter pushed into scan, constant folded
         match out {
-            LogicalPlan::Scan { filter: Some(f), .. } => {
+            LogicalPlan::Scan {
+                filter: Some(f), ..
+            } => {
                 assert_eq!(
                     f,
                     Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(Value::I64(7)))

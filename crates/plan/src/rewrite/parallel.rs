@@ -1,11 +1,12 @@
 //! The Volcano-style parallelization rule.
 //!
 //! §I-B: "The Vectorwise rewriter was used to implement a Volcano-style query
-//! parallellizer". The rule introduces [`LogicalPlan::Exchange`] nodes: each
-//! of `P` workers executes a copy of the subtree below the Exchange with
-//! every `Scan` leaf restricted to a disjoint slice of the table's row
-//! groups (`group_index % P == worker`); the Exchange unions their output
-//! streams.
+//! parallellizer". The rule introduces [`LogicalPlan::Exchange`] nodes: `P`
+//! workers each execute a copy of the subtree below the Exchange, pulling
+//! row-group *morsels* from a shared work-stealing queue (every `Scan` leaf
+//! below one Exchange claims from the same queue, so skewed group sizes
+//! self-balance and each group is read exactly once); the Exchange unions
+//! their output streams.
 //!
 //! Aggregates are split into a *partial* phase (inside the Exchange, one hash
 //! table per worker) and a *final* phase (above it, combining partial
@@ -15,11 +16,14 @@
 //! Shapes handled:
 //! * `Aggregate(pipeline)` → `Final(Exchange(Partial(pipeline)))`
 //! * bare pipelines (Scan/Filter/Project/left-deep Join) → `Exchange(...)`
-//! * `Sort`/`Limit`/`Project` on top are preserved above the Exchange.
+//! * `Sort`/`Limit` on top are preserved above the Exchange, as are
+//!   `Project`/`Filter` whose input is not itself partitionable (the rule
+//!   recurses into them to find a parallelizable subtree underneath).
 //!
 //! Joins parallelize over their *left* (probe) input; the right (build) side
-//! is replicated into every worker — the standard broadcast strategy, fine
-//! for the dimension-table builds TPC-H plans produce.
+//! compiles serial and executes ONCE per Exchange — the first worker to
+//! reach the join runs the build, all others share the frozen hash table
+//! (not the old broadcast strategy that re-ran the build P times).
 
 use crate::expr::{AggFunc, Expr};
 use crate::plan::{AggPhase, LogicalPlan};
@@ -61,6 +65,16 @@ pub fn parallelize(plan: LogicalPlan, dop: usize) -> LogicalPlan {
             LogicalPlan::Project {
                 input: Box::new(parallelize(*input, dop)),
                 exprs,
+            }
+        }
+        // A Filter over a non-partitionable subtree (e.g. a HAVING-style
+        // filter above an aggregate) used to block parallelization of
+        // everything underneath; recurse instead, keeping the filter above
+        // whatever Exchange the subtree produces.
+        LogicalPlan::Filter { input, predicate } if !is_partitionable(&input) => {
+            LogicalPlan::Filter {
+                input: Box::new(parallelize(*input, dop)),
+                predicate,
             }
         }
         LogicalPlan::Aggregate {
@@ -114,7 +128,10 @@ pub fn parallelize(plan: LogicalPlan, dop: usize) -> LogicalPlan {
 /// For executors: positions of the hidden AVG count columns in a Partial
 /// aggregate's output, given the agg list. Returns `(avg_index_in_aggs,
 /// column_position)` pairs.
-pub fn partial_avg_count_columns(n_group: usize, aggs: &[crate::expr::AggExpr]) -> Vec<(usize, usize)> {
+pub fn partial_avg_count_columns(
+    n_group: usize,
+    aggs: &[crate::expr::AggExpr],
+) -> Vec<(usize, usize)> {
     let base = n_group + aggs.len();
     aggs.iter()
         .enumerate()
@@ -166,7 +183,11 @@ mod tests {
     #[test]
     fn aggregate_splits_into_partial_final() {
         let p = scan()
-            .filter(Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(5))))
+            .filter(Expr::binary(
+                BinOp::Lt,
+                Expr::col(0),
+                Expr::lit(Value::I64(5)),
+            ))
             .aggregate(vec![0], vec![sum_a(), avg_b()]);
         let out = parallelize(p, 4);
         match &out {
@@ -197,7 +218,11 @@ mod tests {
         }
         // Final schema equals the serial schema.
         let serial = scan()
-            .filter(Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(5))))
+            .filter(Expr::binary(
+                BinOp::Lt,
+                Expr::col(0),
+                Expr::lit(Value::I64(5)),
+            ))
             .aggregate(vec![0], vec![sum_a(), avg_b()]);
         assert_eq!(out.schema().unwrap(), serial.schema().unwrap());
     }
@@ -253,14 +278,48 @@ mod tests {
     }
 
     #[test]
+    fn filter_over_aggregate_parallelizes_underneath() {
+        // HAVING-style shape: Filter(Aggregate(...)). The filter itself is
+        // not partitionable, but the aggregate below it is — the rule must
+        // recurse and split it, keeping the filter above the Final phase.
+        let p = scan()
+            .aggregate(vec![0], vec![sum_a()])
+            .filter(Expr::binary(
+                BinOp::Gt,
+                Expr::col(1),
+                Expr::lit(Value::F64(1.0)),
+            ));
+        let out = parallelize(p, 4);
+        match out {
+            LogicalPlan::Filter { input, .. } => match *input {
+                LogicalPlan::Aggregate {
+                    phase: AggPhase::Final,
+                    input,
+                    ..
+                } => {
+                    assert!(matches!(
+                        *input,
+                        LogicalPlan::Exchange { partitions: 4, .. }
+                    ));
+                }
+                other => panic!("{}", other.explain()),
+            },
+            other => panic!("{}", other.explain()),
+        }
+    }
+
+    #[test]
     fn non_partitionable_stays_serial() {
         // aggregate over aggregate: inner one blocks partitioning of outer
         let inner = scan().aggregate(vec![0], vec![sum_a()]);
-        let p = inner.aggregate(vec![], vec![AggExpr {
-            func: AggFunc::CountStar,
-            arg: None,
-            name: "n".into(),
-        }]);
+        let p = inner.aggregate(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            }],
+        );
         let out = parallelize(p.clone(), 4);
         assert_eq!(out, p);
     }

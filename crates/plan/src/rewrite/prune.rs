@@ -65,9 +65,12 @@ fn prune_rec(plan: LogicalPlan, required: Vec<usize>) -> (LogicalPlan, ColMap) {
                 None => (0..schema.len()).collect(),
             };
             // `need` is in scan-output coordinates; translate to storage.
-            let new_projection: Vec<usize> =
-                need.iter().map(|&i| old_projection[i]).collect();
-            let map: ColMap = need.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let new_projection: Vec<usize> = need.iter().map(|&i| old_projection[i]).collect();
+            let map: ColMap = need
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             let filter = filter.map(|f| remap(&f, &map));
             (
                 LogicalPlan::Scan {
@@ -103,7 +106,11 @@ fn prune_rec(plan: LogicalPlan, required: Vec<usize>) -> (LogicalPlan, ColMap) {
                 .iter()
                 .map(|&i| (remap(&exprs[i].0, &child_map), exprs[i].1.clone()))
                 .collect();
-            let map: ColMap = keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let map: ColMap = keep
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             (
                 LogicalPlan::Project {
                     input: Box::new(child),
@@ -154,8 +161,7 @@ fn prune_rec(plan: LogicalPlan, required: Vec<usize>) -> (LogicalPlan, ColMap) {
             let (new_left, l_map) = prune_rec(*left, sorted_dedup(l_need));
             let (new_right, r_map) = prune_rec(*right, sorted_dedup(r_need));
             let new_lw = new_left.schema().map(|s| s.len()).unwrap_or(0);
-            let on: Vec<(usize, usize)> =
-                on.iter().map(|&(l, r)| (l_map[&l], r_map[&r])).collect();
+            let on: Vec<(usize, usize)> = on.iter().map(|&(l, r)| (l_map[&l], r_map[&r])).collect();
             // Combined map for parents and the residual.
             let mut map: ColMap = ColMap::new();
             for (&old, &new) in &l_map {
@@ -345,7 +351,9 @@ mod tests {
         assert_eq!(pruned.schema().unwrap(), before);
         match &pruned {
             LogicalPlan::Project { input, exprs } => match &**input {
-                LogicalPlan::Join { left, right, on, .. } => {
+                LogicalPlan::Join {
+                    left, right, on, ..
+                } => {
                     assert_eq!(scan_projection(left), vec![0, 3]);
                     assert_eq!(scan_projection(right), vec![2, 6]);
                     assert_eq!(on, &vec![(1, 1)]);
@@ -415,7 +423,12 @@ mod tests {
         assert_eq!(pruned.schema().unwrap(), before);
         match &pruned {
             LogicalPlan::Project { input, .. } => match &**input {
-                LogicalPlan::Join { left, right, residual, .. } => {
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    residual,
+                    ..
+                } => {
                     assert_eq!(scan_projection(left), vec![0, 1, 4]);
                     assert_eq!(scan_projection(right), vec![0, 5]);
                     // left width now 3; right col 5 -> 3 + 1

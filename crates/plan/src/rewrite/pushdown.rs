@@ -75,10 +75,7 @@ fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
                 filter: conjoin(all),
             }
         }
-        LogicalPlan::Filter {
-            input,
-            predicate,
-        } => {
+        LogicalPlan::Filter { input, predicate } => {
             // Merge into one filter and continue downward.
             let mut all = Vec::new();
             split_conjunction(&predicate, &mut all);
@@ -211,7 +208,9 @@ mod tests {
         let p = scan("t").filter(Expr::and(lt(0, 5), lt(1, 9)));
         let out = push_down_filters(p);
         match out {
-            LogicalPlan::Scan { filter: Some(f), .. } => {
+            LogicalPlan::Scan {
+                filter: Some(f), ..
+            } => {
                 let mut parts = Vec::new();
                 split_conjunction(&f, &mut parts);
                 assert_eq!(parts.len(), 2);
@@ -238,9 +237,17 @@ mod tests {
                 assert_eq!(parts.len(), 1);
                 match &**input {
                     LogicalPlan::Join { left, right, .. } => {
-                        assert!(matches!(&**left, LogicalPlan::Scan { filter: Some(_), .. }));
+                        assert!(matches!(
+                            &**left,
+                            LogicalPlan::Scan {
+                                filter: Some(_),
+                                ..
+                            }
+                        ));
                         match &**right {
-                            LogicalPlan::Scan { filter: Some(f), .. } => {
+                            LogicalPlan::Scan {
+                                filter: Some(f), ..
+                            } => {
                                 // remapped from #3 to #1
                                 assert_eq!(f, &lt(1, 9));
                             }
@@ -271,7 +278,9 @@ mod tests {
         let out = push_down_filters(p);
         match out {
             LogicalPlan::Project { input, .. } => match *input {
-                LogicalPlan::Scan { filter: Some(f), .. } => assert_eq!(f, lt(1, 5)),
+                LogicalPlan::Scan {
+                    filter: Some(f), ..
+                } => assert_eq!(f, lt(1, 5)),
                 other => panic!("{:?}", other.describe()),
             },
             other => panic!("got:\n{}", other.explain()),
@@ -295,7 +304,9 @@ mod tests {
         let p = scan("t").filter(lt(0, 5)).filter(lt(1, 9));
         let out = push_down_filters(p);
         match out {
-            LogicalPlan::Scan { filter: Some(f), .. } => {
+            LogicalPlan::Scan {
+                filter: Some(f), ..
+            } => {
                 let mut parts = Vec::new();
                 split_conjunction(&f, &mut parts);
                 assert_eq!(parts.len(), 2);

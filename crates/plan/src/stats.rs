@@ -36,7 +36,7 @@ impl Histogram {
             min = min.min(s);
             max = max.max(s);
         }
-        if !(max > min) {
+        if max <= min {
             return None;
         }
         let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
@@ -169,7 +169,9 @@ mod tests {
         assert_eq!(h.fraction_below(2000.0), 1.0);
         assert!((h.fraction_below(250.0) - 0.25).abs() < 0.05);
         // skewed data
-        let skew: Vec<f64> = (0..1000).map(|i| if i < 900 { 1.0 } else { 100.0 }).collect();
+        let skew: Vec<f64> = (0..1000)
+            .map(|i| if i < 900 { 1.0 } else { 100.0 })
+            .collect();
         let hs = Histogram::build(&skew).unwrap();
         assert!(hs.fraction_below(50.0) > 0.85);
     }

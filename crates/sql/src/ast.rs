@@ -55,7 +55,10 @@ pub enum SelectItem {
     /// `*`
     Wildcard,
     /// expression with optional alias
-    Expr { expr: AstExpr, alias: Option<String> },
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
 }
 
 /// One FROM item: a base table with joined tables chained onto it.

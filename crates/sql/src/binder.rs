@@ -165,7 +165,11 @@ fn bind_insert(
                 Value::Null
             } else {
                 v.cast_to(want).ok_or_else(|| {
-                    bind_err!("cannot store {} into column '{}'", v, schema.field(idx).name)
+                    bind_err!(
+                        "cannot store {} into column '{}'",
+                        v,
+                        schema.field(idx).name
+                    )
                 })?
             };
             full[idx] = coerced;
@@ -177,7 +181,10 @@ fn bind_insert(
         }
         out.push(full);
     }
-    Ok(BoundStatement::Insert { table: tid, rows: out })
+    Ok(BoundStatement::Insert {
+        table: tid,
+        rows: out,
+    })
 }
 
 // ---------------------------------------------------------------- scopes
@@ -317,7 +324,11 @@ fn bind_scalar(e: &AstExpr, scope: &Scope) -> Result<Expr> {
                 "IN (SELECT ...) is only supported as a top-level WHERE conjunct"
             ))
         }
-        AstExpr::Like { e, pattern, negated } => Expr::Like {
+        AstExpr::Like {
+            e,
+            pattern,
+            negated,
+        } => Expr::Like {
             e: Box::new(bind_scalar(e, scope)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -410,7 +421,11 @@ fn bind_table_ref(t: &TableRef, catalog: &dyn CatalogView) -> Result<FromResult>
 }
 
 /// Split a bound ON condition into equi-key pairs and a residual.
-fn split_join_condition(on: &Expr, left_width: usize) -> Result<(Vec<(usize, usize)>, Option<Expr>)> {
+#[allow(clippy::type_complexity)]
+fn split_join_condition(
+    on: &Expr,
+    left_width: usize,
+) -> Result<(Vec<(usize, usize)>, Option<Expr>)> {
     let mut conjuncts = Vec::new();
     split_conjunction(on, &mut conjuncts);
     let mut keys = Vec::new();
@@ -527,9 +542,8 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogView) -> Result<Logic
             let out_schema = plan.schema()?;
             let mut keys = Vec::new();
             for item in &stmt.order_by {
-                let col = resolve_output_order_key(&item.expr, &out_schema)?.ok_or_else(
-                    || bind_err!("ORDER BY with DISTINCT must use output columns"),
-                )?;
+                let col = resolve_output_order_key(&item.expr, &out_schema)?
+                    .ok_or_else(|| bind_err!("ORDER BY with DISTINCT must use output columns"))?;
                 keys.push(SortKey { col, asc: item.asc });
             }
             plan = plan.sort(keys);
@@ -550,10 +564,7 @@ struct SubqueryCond {
 }
 
 /// Split WHERE into plain conjuncts and IN-subquery conditions.
-fn partition_where(
-    stmt: &SelectStmt,
-    scope: &Scope,
-) -> Result<(Vec<Expr>, Vec<SubqueryCond>)> {
+fn partition_where(stmt: &SelectStmt, scope: &Scope) -> Result<(Vec<Expr>, Vec<SubqueryCond>)> {
     let mut filters = Vec::new();
     let mut subs = Vec::new();
     if let Some(w) = &stmt.selection {
@@ -641,10 +652,12 @@ fn bind_comma_joins(
             p.scope
                 .relations
                 .first()
-                .and_then(|(q, _, _)| catalog.resolve_table(q).or_else(|| {
-                    // alias: fall back to unknown
-                    None
-                }))
+                .and_then(|(q, _, _)| {
+                    catalog.resolve_table(q).or({
+                        // alias: fall back to unknown
+                        None
+                    })
+                })
                 .and_then(|(tid, _)| catalog.table_rows(tid))
                 .unwrap_or(1000) as f64
         })
@@ -729,10 +742,7 @@ fn bind_comma_joins(
         .collect();
     for (k, &(_, ca, _, cb)) in edges.iter().enumerate() {
         if !used_edges[k] {
-            rest_remapped.push(Expr::eq(
-                Expr::col(col_map[&ca]),
-                Expr::col(col_map[&cb]),
-            ));
+            rest_remapped.push(Expr::eq(Expr::col(col_map[&ca]), Expr::col(col_map[&cb])));
         }
     }
     // Remap subquery keys too.
@@ -842,9 +852,7 @@ fn bind_plain_select(
         }
     }
     if order_inside && !stmt.order_by.is_empty() {
-        return apply_order_by(&stmt.order_by, exprs, plan, &mut |e| {
-            bind_scalar(e, scope)
-        });
+        return apply_order_by(&stmt.order_by, exprs, plan, &mut |e| bind_scalar(e, scope));
     }
     // `SELECT *` with no other items and no sorting: pass through.
     if stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard) {
@@ -892,9 +900,7 @@ fn bind_aggregate_select(
 
     // Collect aggregates from SELECT items + HAVING.
     let mut aggs: Vec<(AstAggFunc, Option<Expr>)> = Vec::new();
-    let mut collect = |e: &AstExpr| -> Result<()> {
-        collect_aggs(e, scope, &mut aggs)
-    };
+    let mut collect = |e: &AstExpr| -> Result<()> { collect_aggs(e, scope, &mut aggs) };
     for item in &stmt.items {
         if let SelectItem::Expr { expr, .. } = item {
             collect(expr)?;
@@ -1014,10 +1020,7 @@ fn collect_aggs(
 ) -> Result<()> {
     match e {
         AstExpr::Agg { func, arg } => {
-            let bound = arg
-                .as_ref()
-                .map(|a| bind_scalar(a, scope))
-                .transpose()?;
+            let bound = arg.as_ref().map(|a| bind_scalar(a, scope)).transpose()?;
             if !out.iter().any(|(f, b)| f == func && b == &bound) {
                 out.push((*func, bound));
             }
@@ -1106,11 +1109,9 @@ impl PostAggCtx<'_> {
                     name
                 ))
             }
-            AstExpr::Binary { op, l, r } => Ok(Expr::binary(
-                ast_binop(*op),
-                self.bind(l)?,
-                self.bind(r)?,
-            )),
+            AstExpr::Binary { op, l, r } => {
+                Ok(Expr::binary(ast_binop(*op), self.bind(l)?, self.bind(r)?))
+            }
             AstExpr::Not(x) => Ok(Expr::not(self.bind(x)?)),
             AstExpr::Neg(x) => Ok(Expr::Unary {
                 op: UnOp::Neg,
@@ -1211,7 +1212,10 @@ mod tests {
         }
 
         fn table_rows(&self, id: TableId) -> Option<u64> {
-            self.tables.values().find(|(i, _, _)| *i == id).map(|(_, _, n)| *n)
+            self.tables
+                .values()
+                .find(|(i, _, _)| *i == id)
+                .map(|(_, _, n)| *n)
         }
     }
 
@@ -1253,10 +1257,10 @@ mod tests {
     #[test]
     fn qualified_and_ambiguous_names() {
         // both orders and customer have custkey
-        assert!(bind_sql(
-            "SELECT custkey FROM orders o JOIN customer c ON o.custkey = c.custkey"
-        )
-        .is_err());
+        assert!(
+            bind_sql("SELECT custkey FROM orders o JOIN customer c ON o.custkey = c.custkey")
+                .is_err()
+        );
         assert!(bind_sql(
             "SELECT o.custkey FROM orders o JOIN customer c ON o.custkey = c.custkey"
         )
@@ -1364,9 +1368,8 @@ mod tests {
 
     #[test]
     fn in_subquery_binds_to_semi_join() {
-        let p = plan_of(
-            "SELECT orderkey FROM orders WHERE custkey IN (SELECT custkey FROM customer)",
-        );
+        let p =
+            plan_of("SELECT orderkey FROM orders WHERE custkey IN (SELECT custkey FROM customer)");
         assert!(p.explain().contains("SEMIJoin"), "{}", p.explain());
         let p = plan_of(
             "SELECT orderkey FROM orders WHERE custkey NOT IN (SELECT custkey FROM customer)",

@@ -46,14 +46,76 @@ pub enum TokenKind {
 
 /// Reserved words of the dialect.
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS",
-    "AND", "OR", "NOT", "NULL", "IS", "IN", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN",
-    "ELSE", "END", "JOIN", "INNER", "LEFT", "OUTER", "ON", "DISTINCT", "ASC", "DESC",
-    "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "EXPLAIN",
-    "CAST", "DATE", "INTERVAL", "YEAR", "MONTH", "DAY", "EXTRACT", "SUBSTRING", "FOR",
-    "TRUE", "FALSE", "INTEGER", "INT", "BIGINT", "DOUBLE", "FLOAT", "VARCHAR", "TEXT",
-    "BOOLEAN", "DECIMAL", "COUNT", "SUM", "MIN", "MAX", "AVG", "EXISTS", "ANALYZE",
-    "CHECKPOINT", "PRIMARY", "KEY",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "IS",
+    "IN",
+    "LIKE",
+    "BETWEEN",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ON",
+    "DISTINCT",
+    "ASC",
+    "DESC",
+    "CREATE",
+    "TABLE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "EXPLAIN",
+    "CAST",
+    "DATE",
+    "INTERVAL",
+    "YEAR",
+    "MONTH",
+    "DAY",
+    "EXTRACT",
+    "SUBSTRING",
+    "FOR",
+    "TRUE",
+    "FALSE",
+    "INTEGER",
+    "INT",
+    "BIGINT",
+    "DOUBLE",
+    "FLOAT",
+    "VARCHAR",
+    "TEXT",
+    "BOOLEAN",
+    "DECIMAL",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "EXISTS",
+    "ANALYZE",
+    "CHECKPOINT",
+    "PRIMARY",
+    "KEY",
 ];
 
 /// Tokenize SQL text.
@@ -75,68 +137,116 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::LtEq, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::NotEq, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::GtEq, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::NotEq, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    pos: i,
+                });
                 i += 2;
             }
             b'\'' => {
@@ -173,7 +283,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
                     && bytes[i + 1].is_ascii_digit()
                 {
                     is_float = true;
@@ -197,22 +309,15 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 let text = &sql[start..i];
                 let kind = if is_float {
-                    TokenKind::Float(
-                        text.parse()
-                            .map_err(|_| err(start, "bad float literal"))?,
-                    )
+                    TokenKind::Float(text.parse().map_err(|_| err(start, "bad float literal"))?)
                 } else {
-                    TokenKind::Int(
-                        text.parse().map_err(|_| err(start, "bad int literal"))?,
-                    )
+                    TokenKind::Int(text.parse().map_err(|_| err(start, "bad int literal"))?)
                 };
                 tokens.push(Token { kind, pos: start });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &sql[start..i];

@@ -591,8 +591,7 @@ impl Parser {
                 // DATE 'yyyy-mm-dd'
                 match self.bump() {
                     TokenKind::Str(s) => {
-                        let d = parse_date(&s)
-                            .ok_or_else(|| self.err("invalid date literal"))?;
+                        let d = parse_date(&s).ok_or_else(|| self.err("invalid date literal"))?;
                         Ok(AstExpr::Literal(Value::Date(d)))
                     }
                     _ => Err(self.err("expected date string")),
@@ -764,11 +763,33 @@ mod tests {
         let s = sel("SELECT 1 FROM t WHERE a + b * c < 10 AND x OR y");
         let e = s.selection.unwrap();
         match e {
-            AstExpr::Binary { op: AstBinOp::Or, l, .. } => match *l {
-                AstExpr::Binary { op: AstBinOp::And, l, .. } => match *l {
-                    AstExpr::Binary { op: AstBinOp::Lt, l, .. } => match *l {
-                        AstExpr::Binary { op: AstBinOp::Add, r, .. } => {
-                            assert!(matches!(*r, AstExpr::Binary { op: AstBinOp::Mul, .. }));
+            AstExpr::Binary {
+                op: AstBinOp::Or,
+                l,
+                ..
+            } => match *l {
+                AstExpr::Binary {
+                    op: AstBinOp::And,
+                    l,
+                    ..
+                } => match *l {
+                    AstExpr::Binary {
+                        op: AstBinOp::Lt,
+                        l,
+                        ..
+                    } => match *l {
+                        AstExpr::Binary {
+                            op: AstBinOp::Add,
+                            r,
+                            ..
+                        } => {
+                            assert!(matches!(
+                                *r,
+                                AstExpr::Binary {
+                                    op: AstBinOp::Mul,
+                                    ..
+                                }
+                            ));
                         }
                         other => panic!("{:?}", other),
                     },
@@ -782,10 +803,8 @@ mod tests {
 
     #[test]
     fn predicates() {
-        let s = sel(
-            "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL \
-             AND c LIKE '%x%' AND d NOT IN (1, 2) AND e IN ('a', 'b')",
-        );
+        let s = sel("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL \
+             AND c LIKE '%x%' AND d NOT IN (1, 2) AND e IN ('a', 'b')");
         let text = format!("{:?}", s.selection.unwrap());
         assert!(text.contains("Between"));
         assert!(text.contains("IsNull"));
@@ -820,10 +839,8 @@ mod tests {
 
     #[test]
     fn aggregates_and_group() {
-        let s = sel(
-            "SELECT flag, COUNT(*), SUM(qty * price) AS rev FROM li \
-             GROUP BY flag HAVING COUNT(*) > 10 ORDER BY 2",
-        );
+        let s = sel("SELECT flag, COUNT(*), SUM(qty * price) AS rev FROM li \
+             GROUP BY flag HAVING COUNT(*) > 10 ORDER BY 2");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         match &s.items[1] {
@@ -834,11 +851,9 @@ mod tests {
 
     #[test]
     fn case_cast_substring_extract() {
-        let s = sel(
-            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END, \
+        let s = sel("SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END, \
              CAST(a AS DOUBLE), SUBSTRING(name FROM 1 FOR 2), \
-             EXTRACT(YEAR FROM d) FROM t",
-        );
+             EXTRACT(YEAR FROM d) FROM t");
         assert_eq!(s.items.len(), 4);
     }
 
@@ -863,7 +878,11 @@ mod tests {
             _ => panic!(),
         }
         match parse_statement("UPDATE t SET b = 'y', a = a + 1 WHERE a = 1").unwrap() {
-            Statement::Update { assignments, predicate, .. } => {
+            Statement::Update {
+                assignments,
+                predicate,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert!(predicate.is_some());
             }

@@ -15,9 +15,18 @@ use vw_common::{BitVec, BlockId, Result, Value, VwError};
 pub enum MinMax {
     /// No stats (all-null block, empty block, or untracked type).
     None,
-    Int { min: i64, max: i64 },
-    Float { min: f64, max: f64 },
-    Str { min: String, max: String },
+    Int {
+        min: i64,
+        max: i64,
+    },
+    Float {
+        min: f64,
+        max: f64,
+    },
+    Str {
+        min: String,
+        max: String,
+    },
 }
 
 /// Comparison operators a zone map understands.
@@ -36,9 +45,7 @@ impl MinMax {
         let n = col.len();
         let non_null = (0..n).filter(|&i| !col.is_null(i));
         match &col.data {
-            ColumnData::I32(v) => {
-                int_minmax(non_null.map(|i| v[i] as i64))
-            }
+            ColumnData::I32(v) => int_minmax(non_null.map(|i| v[i] as i64)),
             ColumnData::I64(v) => int_minmax(non_null.map(|i| v[i])),
             ColumnData::F64(v) => {
                 let mut min = f64::INFINITY;
@@ -93,10 +100,7 @@ impl MinMax {
             (MinMax::Int { min, max }, b) => match b.as_i64() {
                 Some(bv) => (min.cmp(&bv), max.cmp(&bv)),
                 None => match b.as_f64() {
-                    Some(bf) => (
-                        cmp_f(*min as f64, bf),
-                        cmp_f(*max as f64, bf),
-                    ),
+                    Some(bf) => (cmp_f(*min as f64, bf), cmp_f(*max as f64, bf)),
                     None => return true,
                 },
             },
@@ -223,11 +227,8 @@ mod tests {
         let vals = vec![Value::Null, Value::I64(5), Value::Null, Value::I64(7)];
         let col = NullableColumn::from_values(DataType::I64, &vals).unwrap();
         assert_eq!(MinMax::from_column(&col), MinMax::Int { min: 5, max: 7 });
-        let all_null = NullableColumn::from_values(
-            DataType::I64,
-            &[Value::Null, Value::Null],
-        )
-        .unwrap();
+        let all_null =
+            NullableColumn::from_values(DataType::I64, &[Value::Null, Value::Null]).unwrap();
         assert_eq!(MinMax::from_column(&all_null), MinMax::None);
         assert!(MinMax::None.may_match(PruneOp::Eq, &Value::I64(1)));
     }

@@ -69,6 +69,7 @@ impl StrColumn {
     }
 
     /// Build from an iterator of string slices.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<'a>(it: impl IntoIterator<Item = &'a str>) -> Self {
         let mut c = StrColumn::new();
         for s in it {

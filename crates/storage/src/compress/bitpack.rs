@@ -29,7 +29,7 @@ pub fn pack(values: &[u64], width: u32) -> Vec<u8> {
         let shift = (bitpos % 8) as u32;
         // Write up to 64+7 bits as a u128 across at most 9 bytes.
         let chunk = (v as u128) << shift;
-        let nbytes = ((shift + width + 7) / 8) as usize;
+        let nbytes = (shift + width).div_ceil(8) as usize;
         for i in 0..nbytes {
             out[byte + i] |= (chunk >> (8 * i)) as u8;
         }
@@ -118,7 +118,7 @@ mod tests {
         // 3-bit values crossing byte boundaries.
         let values: Vec<u64> = vec![7, 0, 5, 2, 1, 6, 3, 4, 7, 7, 0];
         let packed = pack(&values, 3);
-        assert_eq!(packed.len(), (11 * 3 + 7) / 8);
+        assert_eq!(packed.len(), (11usize * 3).div_ceil(8));
         assert_eq!(unpack(&packed, 11, 3), values);
     }
 

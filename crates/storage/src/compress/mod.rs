@@ -156,9 +156,7 @@ fn encode_ints_as(phys: u8, values: &[i64], width: usize, scheme: CompressionSch
         CompressionScheme::Plain => plain_encode_i64_like(values, width, &mut out),
         CompressionScheme::Rle => out.extend_from_slice(&rle::rle_encode_i64(values)),
         CompressionScheme::Pfor => out.extend_from_slice(&pfor::pfor_encode(values)),
-        CompressionScheme::PforDelta => {
-            out.extend_from_slice(&pfor::pfor_delta_encode(values))
-        }
+        CompressionScheme::PforDelta => out.extend_from_slice(&pfor::pfor_delta_encode(values)),
         CompressionScheme::Pdict => unreachable!(),
     }
     out
@@ -236,9 +234,7 @@ pub fn decompress_data(bytes: &[u8]) -> Result<ColumnData> {
                 CompressionScheme::Rle => {
                     rle::rle_decode_i64(body, n).ok_or_else(|| err("rle ints"))?
                 }
-                CompressionScheme::Pfor => {
-                    pfor::pfor_decode(body, n).ok_or_else(|| err("pfor"))?
-                }
+                CompressionScheme::Pfor => pfor::pfor_decode(body, n).ok_or_else(|| err("pfor"))?,
                 CompressionScheme::PforDelta => {
                     pfor::pfor_delta_decode(body, n).ok_or_else(|| err("pfor-delta"))?
                 }
@@ -359,7 +355,7 @@ mod tests {
         let mut r = Xoshiro256::seeded(4);
         let col = ColumnData::I32(
             (0..50_000)
-                .map(|i| 8000 + (i / 20) as i32 + r.range_i64(0, 3) as i32)
+                .map(|i| 8000 + (i / 20) + r.range_i64(0, 3) as i32)
                 .collect(),
         );
         let (scheme, bytes) = compress_data(&col);
@@ -367,17 +363,27 @@ mod tests {
             scheme,
             CompressionScheme::Pfor | CompressionScheme::PforDelta
         ));
-        assert!(bytes.len() * 4 < 50_000 * 4, "ratio too low: {}", bytes.len());
+        assert!(
+            bytes.len() * 4 < 50_000 * 4,
+            "ratio too low: {}",
+            bytes.len()
+        );
         assert_eq!(decompress_data(&bytes).unwrap(), col);
     }
 
     #[test]
     fn strings_low_and_high_cardinality() {
-        let flags = ColumnData::Str(crate::column::StrColumn::from_iter(
-            (0..5000).map(|i| if i % 2 == 0 { "A" } else { "R" }),
-        ));
+        let flags = ColumnData::Str(crate::column::StrColumn::from_iter((0..5000).map(|i| {
+            if i % 2 == 0 {
+                "A"
+            } else {
+                "R"
+            }
+        })));
         assert_eq!(roundtrip(&flags), CompressionScheme::Pdict);
-        let uniq: Vec<String> = (0..500).map(|i| format!("comment text {}", i * 37)).collect();
+        let uniq: Vec<String> = (0..500)
+            .map(|i| format!("comment text {}", i * 37))
+            .collect();
         let comments = ColumnData::Str(crate::column::StrColumn::from_iter(
             uniq.iter().map(|s| s.as_str()),
         ));

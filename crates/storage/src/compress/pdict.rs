@@ -34,8 +34,7 @@ pub fn pdict_encode(col: &StrColumn) -> Option<Vec<u8>> {
     }
     let width = bits_needed(dict.len().saturating_sub(1) as u64);
     let dict_bytes: usize = dict.iter().map(|s| s.len()).sum();
-    let encoded_size =
-        4 + 4 + dict_bytes + (dict.len() + 1) * 4 + 1 + packed_len(n, width);
+    let encoded_size = 4 + 4 + dict_bytes + (dict.len() + 1) * 4 + 1 + packed_len(n, width);
     let plain_size = col.bytes.len() + col.offsets.len() * 4;
     if encoded_size >= plain_size {
         return None;
@@ -72,9 +71,9 @@ pub fn pdict_decode(bytes: &[u8], n: usize) -> Option<StrColumn> {
     off += dict_bytes_len;
     let mut offsets = Vec::with_capacity(n_dict + 1);
     for i in 0..=n_dict {
-        offsets.push(u32::from_le_bytes(
-            bytes[off + i * 4..off + i * 4 + 4].try_into().ok()?,
-        ) as usize);
+        offsets.push(
+            u32::from_le_bytes(bytes[off + i * 4..off + i * 4 + 4].try_into().ok()?) as usize,
+        );
     }
     off += (n_dict + 1) * 4;
     let width = bytes[off] as u32;
@@ -113,7 +112,12 @@ mod tests {
         let col = low_card_column(5000);
         let enc = pdict_encode(&col).expect("should compress");
         let plain = col.bytes.len() + col.offsets.len() * 4;
-        assert!(enc.len() * 4 < plain, "enc {} vs plain {}", enc.len(), plain);
+        assert!(
+            enc.len() * 4 < plain,
+            "enc {} vs plain {}",
+            enc.len(),
+            plain
+        );
         let back = pdict_decode(&enc, col.len()).unwrap();
         assert_eq!(back, col);
     }
@@ -132,7 +136,7 @@ mod tests {
 
     #[test]
     fn single_distinct_value_width_zero() {
-        let col = StrColumn::from_iter(std::iter::repeat("N").take(1000));
+        let col = StrColumn::from_iter(std::iter::repeat_n("N", 1000));
         let enc = pdict_encode(&col).unwrap();
         assert!(enc.len() < 32, "enc {}", enc.len());
         assert_eq!(pdict_decode(&enc, 1000).unwrap(), col);

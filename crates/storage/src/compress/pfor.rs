@@ -159,10 +159,14 @@ fn decode_frame(bytes: &[u8], n: usize) -> Option<Vec<i64>> {
     let val_start = pos_start + n_exc * 4;
     for i in 0..n_exc {
         let p = u32::from_le_bytes(
-            bytes[pos_start + i * 4..pos_start + i * 4 + 4].try_into().ok()?,
+            bytes[pos_start + i * 4..pos_start + i * 4 + 4]
+                .try_into()
+                .ok()?,
         ) as usize;
         let v = i64::from_le_bytes(
-            bytes[val_start + i * 8..val_start + i * 8 + 8].try_into().ok()?,
+            bytes[val_start + i * 8..val_start + i * 8 + 8]
+                .try_into()
+                .ok()?,
         );
         if p >= n {
             return None;
@@ -308,7 +312,10 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert_eq!(pfor_decode(&pfor_encode(&[]), 0).unwrap(), Vec::<i64>::new());
+        assert_eq!(
+            pfor_decode(&pfor_encode(&[]), 0).unwrap(),
+            Vec::<i64>::new()
+        );
         assert_eq!(pfor_decode(&pfor_encode(&[7]), 1).unwrap(), vec![7]);
         assert_eq!(
             pfor_delta_decode(&pfor_delta_encode(&[-7]), 1).unwrap(),

@@ -44,7 +44,13 @@ const NATIONS: &[(&str, i64)] = &[
     ("UNITED STATES", 1),
 ];
 
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const INSTRUCTIONS: &[&str] = &[
@@ -59,24 +65,145 @@ const TYPE_SYL3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_SYL1: &[&str] = &["SM", "MED", "LG", "JUMBO", "WRAP"];
 const CONTAINER_SYL2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral", "cornsilk",
-    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "forest", "frosted",
-    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "indian", "ivory",
-    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
-    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive",
-    "orange", "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
-    "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna",
-    "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
-    "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 const WORDS: &[&str] = &[
-    "packages", "instructions", "accounts", "deposits", "foxes", "ideas", "theodolites",
-    "pinto", "beans", "requests", "platelets", "asymptotes", "courts", "dolphins", "multipliers",
-    "sauternes", "warthogs", "frets", "dinos", "attainments", "somas", "braids", "hockey",
-    "players", "excuses", "waters", "sheaves", "depths", "sentiments", "decoys", "realms",
-    "pains", "grouches", "escapades", "quickly", "slyly", "carefully", "furiously", "blithely",
-    "express", "regular", "final", "ironic", "even", "bold", "silent", "pending", "unusual",
+    "packages",
+    "instructions",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "requests",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
+    "attainments",
+    "somas",
+    "braids",
+    "hockey",
+    "players",
+    "excuses",
+    "waters",
+    "sheaves",
+    "depths",
+    "sentiments",
+    "decoys",
+    "realms",
+    "pains",
+    "grouches",
+    "escapades",
+    "quickly",
+    "slyly",
+    "carefully",
+    "furiously",
+    "blithely",
+    "express",
+    "regular",
+    "final",
+    "ironic",
+    "even",
+    "bold",
+    "silent",
+    "pending",
+    "unusual",
     "special",
 ];
 
@@ -217,11 +344,7 @@ impl TpchGenerator {
                 let name: Vec<&str> = (0..5)
                     .map(|_| COLORS[rng.gen_range(0..COLORS.len())])
                     .collect();
-                let brand = format!(
-                    "Brand#{}{}",
-                    rng.gen_range(1..=5),
-                    rng.gen_range(1..=5)
-                );
+                let brand = format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5));
                 let ptype = format!(
                     "{} {} {}",
                     TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
@@ -289,6 +412,7 @@ impl TpchGenerator {
     }
 
     /// Orders plus the per-order (orderdate, line count) needed by lineitem.
+    #[allow(clippy::type_complexity)]
     fn orders(&self) -> (Vec<Vec<Value>>, Vec<(i64, i32, u32)>) {
         let mut rng = self.rng("orders");
         let n = self.rows_of("orders");
@@ -461,13 +585,7 @@ mod tests {
             for row in rows.iter().take(50) {
                 assert_eq!(row.len(), schema.len(), "{}", t);
                 for (v, f) in row.iter().zip(schema.fields()) {
-                    assert_eq!(
-                        v.data_type(),
-                        Some(f.ty),
-                        "table {} column {}",
-                        t,
-                        f.name
-                    );
+                    assert_eq!(v.data_type(), Some(f.ty), "table {} column {}", t, f.name);
                 }
             }
         }
@@ -529,9 +647,15 @@ mod tests {
         let g = TpchGenerator::new(0.01);
         // Q14 needs PROMO parts, Q2 needs BRASS, Q9 needs green names.
         let parts = g.rows("part");
-        assert!(parts.iter().any(|r| r[4].as_str().unwrap().starts_with("PROMO")));
-        assert!(parts.iter().any(|r| r[4].as_str().unwrap().ends_with("BRASS")));
-        assert!(parts.iter().any(|r| r[1].as_str().unwrap().contains("green")));
+        assert!(parts
+            .iter()
+            .any(|r| r[4].as_str().unwrap().starts_with("PROMO")));
+        assert!(parts
+            .iter()
+            .any(|r| r[4].as_str().unwrap().ends_with("BRASS")));
+        assert!(parts
+            .iter()
+            .any(|r| r[1].as_str().unwrap().contains("green")));
         // Q13/Q16 comment phrases.
         let orders = g.rows("orders");
         assert!(orders

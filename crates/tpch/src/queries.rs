@@ -131,6 +131,7 @@ impl P {
 
     /// Inner/left/semi/anti join by named keys (+ optional residual built
     /// from the combined columns).
+    #[allow(clippy::type_complexity)]
     fn join_on(
         self,
         right: P,
@@ -138,10 +139,7 @@ impl P {
         keys: &[(&str, &str)],
         residual: Option<Box<dyn Fn(&P) -> Expr>>,
     ) -> P {
-        let on: Vec<(usize, usize)> = keys
-            .iter()
-            .map(|(l, r)| (self.c(l), right.c(r)))
-            .collect();
+        let on: Vec<(usize, usize)> = keys.iter().map(|(l, r)| (self.c(l), right.c(r))).collect();
         let mut combined_cols = self.cols.clone();
         combined_cols.extend(right.cols.iter().cloned());
         let combined_view = P {
@@ -175,10 +173,7 @@ impl P {
         P {
             plan: LogicalPlan::Project {
                 input: Box::new(self.plan.clone()),
-                exprs: items
-                    .into_iter()
-                    .map(|(e, n)| (e, n.to_string()))
-                    .collect(),
+                exprs: items.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
             },
             cols,
         }
@@ -316,7 +311,11 @@ pub fn q1(cat: &TpchCatalog) -> LogicalPlan {
         &["l_returnflag", "l_linestatus"],
         vec![
             (AggFunc::Sum, Some(li.col("l_quantity")), "sum_qty"),
-            (AggFunc::Sum, Some(li.col("l_extendedprice")), "sum_base_price"),
+            (
+                AggFunc::Sum,
+                Some(li.col("l_extendedprice")),
+                "sum_base_price",
+            ),
             (AggFunc::Sum, Some(dp), "sum_disc_price"),
             (AggFunc::Sum, Some(charge), "sum_charge"),
             (AggFunc::Avg, Some(li.col("l_quantity")), "avg_qty"),
@@ -325,7 +324,8 @@ pub fn q1(cat: &TpchCatalog) -> LogicalPlan {
             (AggFunc::CountStar, None, "count_order"),
         ],
     );
-    li.sort(&[("l_returnflag", true), ("l_linestatus", true)]).plan
+    li.sort(&[("l_returnflag", true), ("l_linestatus", true)])
+        .plan
 }
 
 /// Q2: minimum-cost supplier (correlated scalar subquery → min-agg + join).
@@ -357,10 +357,8 @@ pub fn q2(cat: &TpchCatalog) -> LogicalPlan {
                     {
                         let eps = europe_ps();
                         let sc = eps.col("ps_supplycost");
-                        let mc = eps.agg(
-                            &["ps_partkey"],
-                            vec![(AggFunc::Min, Some(sc), "min_cost")],
-                        );
+                        let mc =
+                            eps.agg(&["ps_partkey"], vec![(AggFunc::Min, Some(sc), "min_cost")]);
                         P {
                             plan: mc.plan,
                             cols: vec!["mc_partkey".into(), "min_cost".into()],
@@ -400,7 +398,11 @@ pub fn q3(cat: &TpchCatalog) -> LogicalPlan {
     let seg = Expr::eq(cust.col("c_mktsegment"), lit_s("BUILDING"));
     let cust = cust.filter(seg);
     let orders = P::scan(cat, "orders");
-    let od = Expr::binary(BinOp::Lt, orders.col("o_orderdate"), Expr::lit(d("1995-03-15")));
+    let od = Expr::binary(
+        BinOp::Lt,
+        orders.col("o_orderdate"),
+        Expr::lit(d("1995-03-15")),
+    );
     let orders = orders.filter(od);
     let li = P::scan(cat, "lineitem");
     let sd = Expr::binary(BinOp::Gt, li.col("l_shipdate"), Expr::lit(d("1995-03-15")));
@@ -596,10 +598,7 @@ pub fn q8(cat: &TpchCatalog) -> LogicalPlan {
     let dp = disc_price(&j);
     let yr = year(j.col("o_orderdate"));
     let brazil_volume = Expr::Case {
-        whens: vec![(
-            Expr::eq(j.col("n2_name"), lit_s("BRAZIL")),
-            dp.clone(),
-        )],
+        whens: vec![(Expr::eq(j.col("n2_name"), lit_s("BRAZIL")), dp.clone())],
         otherwise: Some(Box::new(lit_f(0.0))),
     };
     let sel = j.select(vec![
@@ -711,10 +710,7 @@ pub fn q11(cat: &TpchCatalog) -> LogicalPlan {
     };
     let base = germany_ps();
     let ve = value_expr(&base);
-    let per_part = base.agg(
-        &["ps_partkey"],
-        vec![(AggFunc::Sum, Some(ve), "value")],
-    );
+    let per_part = base.agg(&["ps_partkey"], vec![(AggFunc::Sum, Some(ve), "value")]);
     let total_base = germany_ps();
     let tve = value_expr(&total_base);
     let total = total_base.agg(&[], vec![(AggFunc::Sum, Some(tve), "total_value")]);
@@ -803,10 +799,7 @@ pub fn q13(cat: &TpchCatalog) -> LogicalPlan {
     );
     let per_cust = {
         let ok = j.col("o_orderkey");
-        j.agg(
-            &["c_custkey"],
-            vec![(AggFunc::Count, Some(ok), "c_count")],
-        )
+        j.agg(&["c_custkey"], vec![(AggFunc::Count, Some(ok), "c_count")])
     };
     per_cust
         .agg(&["c_count"], vec![(AggFunc::CountStar, None, "custdist")])
@@ -967,10 +960,7 @@ pub fn q18(cat: &TpchCatalog, threshold: f64) -> LogicalPlan {
     let big_orders = {
         let li = P::scan(cat, "lineitem");
         let q = li.col("l_quantity");
-        let a = li.agg(
-            &["l_orderkey"],
-            vec![(AggFunc::Sum, Some(q), "sum_qty_o")],
-        );
+        let a = li.agg(&["l_orderkey"], vec![(AggFunc::Sum, Some(q), "sum_qty_o")]);
         let keep = Expr::binary(BinOp::Gt, a.col("sum_qty_o"), lit_f(threshold));
         let f = a.filter(keep);
         let k = f.col("l_orderkey");
@@ -982,7 +972,13 @@ pub fn q18(cat: &TpchCatalog, threshold: f64) -> LogicalPlan {
         .join(P::scan(cat, "customer"), &[("o_custkey", "c_custkey")]);
     let q = j.col("l_quantity");
     j.agg(
-        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+        &[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+        ],
         vec![(AggFunc::Sum, Some(q), "sum_qty")],
     )
     .sort(&[("o_totalprice", false), ("o_orderdate", true)])
@@ -992,8 +988,7 @@ pub fn q18(cat: &TpchCatalog, threshold: f64) -> LogicalPlan {
 
 /// Q19: discounted revenue (disjunctive join predicates as residual filter).
 pub fn q19(cat: &TpchCatalog) -> LogicalPlan {
-    let j = P::scan(cat, "lineitem")
-        .join(P::scan(cat, "part"), &[("l_partkey", "p_partkey")]);
+    let j = P::scan(cat, "lineitem").join(P::scan(cat, "part"), &[("l_partkey", "p_partkey")]);
     let common = Expr::and(
         Expr::InList {
             e: Box::new(j.col("l_shipmode")),
@@ -1023,10 +1018,28 @@ pub fn q19(cat: &TpchCatalog) -> LogicalPlan {
     };
     let disjunct = Expr::or(
         Expr::or(
-            branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
-            branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
+            branch(
+                "Brand#12",
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1.0,
+                11.0,
+                5,
+            ),
+            branch(
+                "Brand#23",
+                &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10.0,
+                20.0,
+                10,
+            ),
         ),
-        branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+        branch(
+            "Brand#34",
+            &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        ),
     );
     let j = j.filter(Expr::and(common, disjunct));
     let dp = disc_price(&j);
@@ -1084,7 +1097,12 @@ pub fn q20(cat: &TpchCatalog) -> LogicalPlan {
         ps.select(vec![(k, "gs_suppkey")])
     };
     let j = P::scan(cat, "supplier")
-        .join_on(good_supp, JoinKind::Semi, &[("s_suppkey", "gs_suppkey")], None)
+        .join_on(
+            good_supp,
+            JoinKind::Semi,
+            &[("s_suppkey", "gs_suppkey")],
+            None,
+        )
         .join(P::scan(cat, "nation"), &[("s_nationkey", "n_nationkey")]);
     let canada = Expr::eq(j.col("n_name"), lit_s("CANADA"));
     let j = j.filter(canada);
@@ -1242,11 +1260,12 @@ mod tests {
     use crate::schema::tpch_schema;
 
     fn catalog() -> TpchCatalog {
-        let mut next = 1u64;
         let mut map = HashMap::new();
-        for t in crate::gen::TPCH_TABLES {
-            map.insert(t.to_string(), (TableId::new(next), tpch_schema(t).unwrap()));
-            next += 1;
+        for (i, t) in crate::gen::TPCH_TABLES.iter().enumerate() {
+            map.insert(
+                t.to_string(),
+                (TableId::new(i as u64 + 1), tpch_schema(t).unwrap()),
+            );
         }
         TpchCatalog { tables: map }
     }
@@ -1283,7 +1302,10 @@ mod tests {
         assert_eq!(q14s.field(0).name, "promo_revenue");
         let q22s = q22(&cat).schema().unwrap();
         assert_eq!(
-            q22s.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            q22s.fields()
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["cntrycode", "numcust", "totacctbal"]
         );
     }

@@ -22,8 +22,8 @@ use std::path::Path;
 use std::sync::Arc;
 use vw_common::{Result, TableId, TxnId, Value, VwError};
 use vw_pdt::{
-    bump_tag_floor, deserialize_ops, max_tag, propagate, serialize_ops, translate, Footprint,
-    Pdt, StableOp,
+    bump_tag_floor, deserialize_ops, max_tag, propagate, serialize_ops, translate, Footprint, Pdt,
+    StableOp,
 };
 
 use crate::wal::Wal;
@@ -487,7 +487,12 @@ mod tests {
                 committed
             }));
         }
-        let total: i32 = handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>().iter().sum();
+        let total: i32 = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         // Disjoint sids → no conflicts at all.
         assert_eq!(total, 40);
         assert_eq!(mgr.current_pdt(T).unwrap().modify_count(), 40);

@@ -36,7 +36,11 @@ fn crc_table() -> &'static [u32; 256] {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -68,10 +72,7 @@ impl Wal {
     /// Open (appending) or create the log at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Wal {
             path,
             writer: BufWriter::new(file),
@@ -90,11 +91,7 @@ impl Wal {
 
     /// Append a commit record; durable once this returns (when
     /// `sync_on_commit` is set).
-    pub fn append_commit(
-        &mut self,
-        txn_id: TxnId,
-        tables: &[(TableId, Vec<u8>)],
-    ) -> Result<()> {
+    pub fn append_commit(&mut self, txn_id: TxnId, tables: &[(TableId, Vec<u8>)]) -> Result<()> {
         let mut payload = Vec::with_capacity(64);
         payload.push(KIND_COMMIT);
         payload.extend_from_slice(&txn_id.as_u64().to_le_bytes());
@@ -201,12 +198,7 @@ pub(crate) fn temp_wal_path(tag: &str) -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static N: AtomicU64 = AtomicU64::new(0);
     let n = N.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "vw_wal_{}_{}_{}.log",
-        tag,
-        std::process::id(),
-        n
-    ))
+    std::env::temp_dir().join(format!("vw_wal_{}_{}_{}.log", tag, std::process::id(), n))
 }
 
 #[cfg(test)]
@@ -217,7 +209,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -229,10 +224,7 @@ mod tests {
                 .unwrap();
             wal.append_commit(
                 TxnId::new(2),
-                &[
-                    (TableId::new(7), vec![4]),
-                    (TableId::new(8), vec![]),
-                ],
+                &[(TableId::new(7), vec![4]), (TableId::new(8), vec![])],
             )
             .unwrap();
         }

@@ -7,9 +7,7 @@
 //! ```
 
 use std::time::Instant;
-use vectorwise::storage::{
-    compress_data, decompress_data, ColumnData, NullableColumn, StrColumn,
-};
+use vectorwise::storage::{compress_data, decompress_data, ColumnData, NullableColumn, StrColumn};
 use vectorwise::tpch::{tpch_schema, TpchGenerator};
 use vectorwise::Value;
 
@@ -77,9 +75,13 @@ fn main() {
         s.name(),
         800_000.0 / b.len() as f64
     );
-    let flags = ColumnData::Str(StrColumn::from_iter(
-        (0..100_000).map(|i| if i % 3 == 0 { "A" } else { "R" }),
-    ));
+    let flags = ColumnData::Str(StrColumn::from_iter((0..100_000).map(|i| {
+        if i % 3 == 0 {
+            "A"
+        } else {
+            "R"
+        }
+    })));
     let raw = flags.uncompressed_bytes();
     let (s, b) = compress_data(&flags);
     println!(

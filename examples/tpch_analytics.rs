@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use vectorwise::engine::operators::collect_rows;
 use vectorwise::engine::compile_plan;
+use vectorwise::engine::operators::collect_rows;
 use vectorwise::sql::CatalogView;
 use vectorwise::tpch::{all_queries, tpch_schema, TpchCatalog, TpchGenerator, TPCH_TABLES};
 use vectorwise::Database;
@@ -32,10 +32,7 @@ fn main() -> Result<(), vectorwise::VwError> {
         println!("  {:10} {:>8} rows", table, n);
     }
     println!("loaded in {:.2?}", t0.elapsed());
-    println!(
-        "on-disk (compressed) bytes: {}",
-        db.disk().stored_bytes()
-    );
+    println!("on-disk (compressed) bytes: {}", db.disk().stored_bytes());
     for t in ["lineitem", "orders", "customer", "part"] {
         db.analyze(t)?;
     }
@@ -65,10 +62,7 @@ fn main() -> Result<(), vectorwise::VwError> {
         .iter()
         .map(|(id, p)| (*id, Arc::clone(&p.storage)))
         .collect();
-    for (name, plan) in [
-        ("Q1", q1),
-        ("Q6", vectorwise::tpch::queries::q6(&cat)),
-    ] {
+    for (name, plan) in [("Q1", q1), ("Q6", vectorwise::tpch::queries::q6(&cat))] {
         // One optimized plan (pushdown + column pruning), three engines.
         let plan = db.optimize_plan(plan);
         let t = Instant::now();

@@ -26,9 +26,7 @@ fn main() -> Result<(), vectorwise::VwError> {
     db.execute("UPDATE inventory SET qty = 0 WHERE sku < 5")?;
     db.execute("DELETE FROM inventory WHERE sku = 7")?;
     db.execute("INSERT INTO inventory VALUES (999999, 55, 'hot-item')")?;
-    let r = db.execute(
-        "SELECT COUNT(*) AS rows, SUM(qty) AS total_qty FROM inventory",
-    )?;
+    let r = db.execute("SELECT COUNT(*) AS rows, SUM(qty) AS total_qty FROM inventory")?;
     print!("{}", r.format_table());
     println!("(scans merged those deltas positionally — no key columns were read)");
 
@@ -74,7 +72,10 @@ fn main() -> Result<(), vectorwise::VwError> {
     let r = db.execute("SELECT label FROM inventory WHERE sku = 42")?;
     println!("committed update survived: label = {}", r.rows[0][0]);
     let r = db.execute("SELECT COUNT(*) FROM inventory")?;
-    println!("uncommitted wipe did not: {} rows still present", r.rows[0][0]);
+    println!(
+        "uncommitted wipe did not: {} rows still present",
+        r.rows[0][0]
+    );
 
     // ---- checkpoint: fold PDTs into stable storage --------------------------
     println!("\n== checkpoint ==");

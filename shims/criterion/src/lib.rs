@@ -1,0 +1,256 @@
+//! Offline shim for `criterion`: a minimal wall-clock timing harness with
+//! the same surface API (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Bencher::iter`/`iter_batched`, `BenchmarkId`, `Throughput`).
+//!
+//! Statistics are deliberately simple — each benchmark takes `sample_size`
+//! samples (bounded by `measurement_time`) and reports min/median/mean.
+//! That is enough to fill the EXPERIMENTS.md tables on this host; it makes
+//! no attempt at criterion's outlier analysis or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(5),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {} ==", name);
+        let measurement_time = self.measurement_time;
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            measurement_time,
+            sample_size,
+        }
+    }
+}
+
+/// Benchmark throughput annotation (recorded for display only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; the shim always runs the setup
+/// once per timed invocation, which matches `PerIteration`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+    NumIterations(u64),
+}
+
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name (`&str`, `String`, `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_text(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_text(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        // One untimed warm-up pass, then timed samples.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        loop {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+            if samples.len() >= self.sample_size || Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id,
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+    }
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one invocation of `routine` per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+
+    /// Time `routine` on a fresh `setup()` input, excluding the setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+}
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); a bench
+            // filter may also be given. The shim runs everything regardless.
+            $($group();)+
+        }
+    };
+}

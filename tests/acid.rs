@@ -37,12 +37,18 @@ fn transfers_preserve_total_balance() {
         let mut t = db.begin();
         db.execute_in(
             &mut t,
-            &format!("UPDATE accounts SET balance = balance - 10 WHERE id = {}", from),
+            &format!(
+                "UPDATE accounts SET balance = balance - 10 WHERE id = {}",
+                from
+            ),
         )
         .unwrap();
         db.execute_in(
             &mut t,
-            &format!("UPDATE accounts SET balance = balance + 10 WHERE id = {}", to),
+            &format!(
+                "UPDATE accounts SET balance = balance + 10 WHERE id = {}",
+                to
+            ),
         )
         .unwrap();
         db.commit(t).unwrap();
@@ -54,11 +60,16 @@ fn transfers_preserve_total_balance() {
 fn aborted_transaction_leaves_no_trace() {
     let db = bank_db(4);
     let mut t = db.begin();
-    db.execute_in(&mut t, "UPDATE accounts SET balance = 0").unwrap();
-    db.execute_in(&mut t, "DELETE FROM accounts WHERE id = 0").unwrap();
-    db.execute_in(&mut t, "INSERT INTO accounts VALUES (99, 1)").unwrap();
+    db.execute_in(&mut t, "UPDATE accounts SET balance = 0")
+        .unwrap();
+    db.execute_in(&mut t, "DELETE FROM accounts WHERE id = 0")
+        .unwrap();
+    db.execute_in(&mut t, "INSERT INTO accounts VALUES (99, 1)")
+        .unwrap();
     // Inside: changes visible.
-    let r = db.execute_in(&mut t, "SELECT COUNT(*) FROM accounts").unwrap();
+    let r = db
+        .execute_in(&mut t, "SELECT COUNT(*) FROM accounts")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::I64(4)); // 4 - 1 + 1
     db.abort(t);
     assert_eq!(total_balance(&db), 400);
@@ -121,7 +132,10 @@ fn disjoint_writers_all_commit() {
                 let mut t = db.begin();
                 db.execute_in(
                     &mut t,
-                    &format!("UPDATE accounts SET balance = balance + 1 WHERE id = {}", id),
+                    &format!(
+                        "UPDATE accounts SET balance = balance + 1 WHERE id = {}",
+                        id
+                    ),
                 )
                 .unwrap();
                 if db.commit(t).is_ok() {
@@ -180,7 +194,8 @@ fn recovery_replays_all_committed_work() {
     db.execute("UPDATE accounts SET balance = balance + 5 WHERE id < 5")
         .unwrap();
     db.execute("DELETE FROM accounts WHERE id = 9").unwrap();
-    db.execute("INSERT INTO accounts VALUES (100, 777)").unwrap();
+    db.execute("INSERT INTO accounts VALUES (100, 777)")
+        .unwrap();
     let before: Vec<_> = db
         .execute("SELECT id, balance FROM accounts ORDER BY id")
         .unwrap()
@@ -196,9 +211,11 @@ fn recovery_replays_all_committed_work() {
 #[test]
 fn recovery_after_checkpoint_and_more_commits() {
     let db = bank_db(10);
-    db.execute("UPDATE accounts SET balance = 0 WHERE id = 0").unwrap();
+    db.execute("UPDATE accounts SET balance = 0 WHERE id = 0")
+        .unwrap();
     db.checkpoint("accounts").unwrap();
-    db.execute("UPDATE accounts SET balance = 1 WHERE id = 1").unwrap();
+    db.execute("UPDATE accounts SET balance = 1 WHERE id = 1")
+        .unwrap();
     db.execute("INSERT INTO accounts VALUES (50, 50)").unwrap();
     db.simulate_crash_and_recover().unwrap();
     let r = db
@@ -223,7 +240,8 @@ fn checkpoint_preserves_totals_and_allows_further_updates() {
     db.checkpoint("accounts").unwrap();
     assert_eq!(total_balance(&db), before);
     // further updates after checkpoint work
-    db.execute("UPDATE accounts SET balance = balance + 1").unwrap();
+    db.execute("UPDATE accounts SET balance = balance + 1")
+        .unwrap();
     assert_eq!(total_balance(&db), before + 100);
 }
 
@@ -259,7 +277,8 @@ fn snapshot_query_sees_pdt_merged_updates() {
     db.execute("UPDATE accounts SET balance = 0 WHERE id < 10")
         .unwrap();
     db.execute("DELETE FROM accounts WHERE id >= 990").unwrap();
-    db.execute("INSERT INTO accounts VALUES (5000, 123)").unwrap();
+    db.execute("INSERT INTO accounts VALUES (5000, 123)")
+        .unwrap();
     let r = db
         .execute("SELECT COUNT(*), SUM(balance) FROM accounts")
         .unwrap();

@@ -80,7 +80,14 @@ pub fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
 /// Approximate row-set equality: exact for non-floats, relative tolerance
 /// for doubles (parallel plans sum in different orders).
 pub fn assert_rows_match(tag: &str, got: &[Vec<Value>], want: &[Vec<Value>]) {
-    assert_eq!(got.len(), want.len(), "{}: row count {} vs {}", tag, got.len(), want.len());
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{}: row count {} vs {}",
+        tag,
+        got.len(),
+        want.len()
+    );
     for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
         assert_eq!(g.len(), w.len(), "{}: row {} arity", tag, i);
         for (c, (gv, wv)) in g.iter().zip(w.iter()).enumerate() {

@@ -10,7 +10,7 @@ use vectorwise::common::rng::Xoshiro256;
 use vectorwise::pdt::Pdt;
 use vectorwise::plan::{AggExpr, AggFunc, BinOp, Expr, LogicalPlan};
 use vectorwise::storage::{compress_data, decompress_data, ColumnData, StrColumn};
-use vectorwise::{Database, DataType, Field, Schema, Value};
+use vectorwise::{DataType, Database, Field, Schema, Value};
 
 // ------------------------------------------------------------- compression
 
@@ -192,9 +192,21 @@ fn random_table_db(seed: u64, rows: usize) -> (Database, LogicalPlan) {
 fn random_predicate(r: &mut Xoshiro256) -> Expr {
     let leaf = |r: &mut Xoshiro256| -> Expr {
         match r.next_below(5) {
-            0 => Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(r.range_i64(0, 200)))),
-            1 => Expr::binary(BinOp::Ge, Expr::col(1), Expr::lit(Value::I64(r.range_i64(-50, 50)))),
-            2 => Expr::binary(BinOp::Gt, Expr::col(2), Expr::lit(Value::F64(r.range_i64(-250, 250) as f64))),
+            0 => Expr::binary(
+                BinOp::Lt,
+                Expr::col(0),
+                Expr::lit(Value::I64(r.range_i64(0, 200))),
+            ),
+            1 => Expr::binary(
+                BinOp::Ge,
+                Expr::col(1),
+                Expr::lit(Value::I64(r.range_i64(-50, 50))),
+            ),
+            2 => Expr::binary(
+                BinOp::Gt,
+                Expr::col(2),
+                Expr::lit(Value::F64(r.range_i64(-250, 250) as f64)),
+            ),
             3 => Expr::eq(Expr::col(3), Expr::lit(Value::Str("aa".into()))),
             _ => Expr::Unary {
                 op: vectorwise::plan::UnOp::IsNull,
@@ -271,10 +283,10 @@ proptest! {
                 }
                 _ => {
                     let newid = n + r.range_i64(0, 500);
-                    if !oracle.contains_key(&newid) {
+                    oracle.entry(newid).or_insert_with(|| {
                         db.execute(&format!("INSERT INTO t VALUES ({}, 7)", newid)).unwrap();
-                        oracle.insert(newid, 7);
-                    }
+                        7
+                    });
                 }
             }
         }
@@ -296,7 +308,9 @@ fn coop_scans_never_lose_blocks_under_threading() {
     use vectorwise::bufman::Abm;
     use vectorwise::storage::{SimDisk, SimDiskConfig};
     let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
-    let ids: Vec<_> = (0..40).map(|i| disk.write_block(vec![i as u8; 32])).collect();
+    let ids: Vec<_> = (0..40)
+        .map(|i| disk.write_block(vec![i as u8; 32]))
+        .collect();
     for trial in 0..10 {
         let abm = Abm::new(disk.clone(), (trial % 5 + 1) * 256);
         let mut handles = Vec::new();

@@ -75,11 +75,17 @@ fn arithmetic_and_precedence() {
 fn comparison_operators_and_boolean_logic() {
     let d = db();
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE salary >= 90 AND salary <= 100"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE salary >= 90 AND salary <= 100"
+        ),
         Value::I64(3)
     );
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE dept = 'eng' OR dept = 'sales'"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE dept = 'eng' OR dept = 'sales'"
+        ),
         Value::I64(5)
     );
     assert_eq!(
@@ -95,7 +101,10 @@ fn comparison_operators_and_boolean_logic() {
 #[test]
 fn null_predicates_and_three_valued_logic() {
     let d = db();
-    assert_eq!(one(&d, "SELECT COUNT(*) FROM emp WHERE dept IS NULL"), Value::I64(1));
+    assert_eq!(
+        one(&d, "SELECT COUNT(*) FROM emp WHERE dept IS NULL"),
+        Value::I64(1)
+    );
     assert_eq!(
         one(&d, "SELECT COUNT(*) FROM emp WHERE dept IS NOT NULL"),
         Value::I64(5)
@@ -107,7 +116,10 @@ fn null_predicates_and_three_valued_logic() {
     );
     // boss > 0 OR TRUE-branch logic with NULL boss
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE boss > 0 OR salary > 110"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE boss > 0 OR salary > 110"
+        ),
         Value::I64(5)
     );
 }
@@ -116,19 +128,31 @@ fn null_predicates_and_three_valued_logic() {
 fn between_in_like() {
     let d = db();
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE salary BETWEEN 80 AND 100"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE salary BETWEEN 80 AND 100"
+        ),
         Value::I64(4)
     );
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE salary NOT BETWEEN 80 AND 100"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE salary NOT BETWEEN 80 AND 100"
+        ),
         Value::I64(2)
     );
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE name IN ('ann', 'eve', 'zzz')"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE name IN ('ann', 'eve', 'zzz')"
+        ),
         Value::I64(2)
     );
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE name NOT IN ('ann', 'eve')"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE name NOT IN ('ann', 'eve')"
+        ),
         Value::I64(4)
     );
     assert_eq!(
@@ -166,7 +190,10 @@ fn case_expressions() {
     );
     // CASE without ELSE → NULL
     assert_eq!(
-        one(&d, "SELECT CASE WHEN salary > 1000 THEN 1 END FROM emp WHERE id = 1"),
+        one(
+            &d,
+            "SELECT CASE WHEN salary > 1000 THEN 1 END FROM emp WHERE id = 1"
+        ),
         Value::Null
     );
 }
@@ -175,7 +202,10 @@ fn case_expressions() {
 fn dates_extract_and_intervals() {
     let d = db();
     assert_eq!(
-        one(&d, "SELECT COUNT(*) FROM emp WHERE hired >= DATE '2021-01-01'"),
+        one(
+            &d,
+            "SELECT COUNT(*) FROM emp WHERE hired >= DATE '2021-01-01'"
+        ),
         Value::I64(3)
     );
     assert_eq!(
@@ -185,7 +215,10 @@ fn dates_extract_and_intervals() {
         ),
         Value::I64(4) // 2018, 2019, 2020-01-15, 2021-03-01 < 2022-01-01
     );
-    let years = col(&d, "SELECT EXTRACT(YEAR FROM hired) FROM emp ORDER BY hired");
+    let years = col(
+        &d,
+        "SELECT EXTRACT(YEAR FROM hired) FROM emp ORDER BY hired",
+    );
     assert_eq!(years[0], Value::I32(2018));
     assert_eq!(years[5], Value::I32(2023));
     assert_eq!(
@@ -198,7 +231,10 @@ fn dates_extract_and_intervals() {
 fn string_functions_and_cast() {
     let d = db();
     assert_eq!(
-        one(&d, "SELECT SUBSTRING(name FROM 1 FOR 2) FROM emp WHERE id = 3"),
+        one(
+            &d,
+            "SELECT SUBSTRING(name FROM 1 FOR 2) FROM emp WHERE id = 3"
+        ),
         Value::Str("ca".into())
     );
     assert_eq!(
@@ -238,7 +274,10 @@ fn aggregates_group_having_order() {
         &d,
         "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) >= 2 AND dept IS NOT NULL ORDER BY dept",
     );
-    assert_eq!(names, vec![Value::Str("eng".into()), Value::Str("sales".into())]);
+    assert_eq!(
+        names,
+        vec![Value::Str("eng".into()), Value::Str("sales".into())]
+    );
     // expressions over aggregates in the SELECT list
     assert_eq!(
         one(&d, "SELECT MAX(salary) - MIN(salary) FROM emp"),
@@ -293,17 +332,16 @@ fn joins_inner_left_self() {
     assert_eq!(r.rows[0], vec![Value::Str("dan".into()), Value::Null]);
     // self join (boss relationship) with aliases
     let r = d
-        .execute(
-            "SELECT e.name, b.name FROM emp e JOIN emp b ON e.boss = b.id ORDER BY e.id",
-        )
+        .execute("SELECT e.name, b.name FROM emp e JOIN emp b ON e.boss = b.id ORDER BY e.id")
         .unwrap();
     assert_eq!(r.rows.len(), 4);
-    assert_eq!(r.rows[0], vec![Value::Str("bob".into()), Value::Str("ann".into())]);
+    assert_eq!(
+        r.rows[0],
+        vec![Value::Str("bob".into()), Value::Str("ann".into())]
+    );
     // comma join with WHERE condition
     let r = d
-        .execute(
-            "SELECT COUNT(*) FROM emp, dept WHERE emp.dept = dept.name",
-        )
+        .execute("SELECT COUNT(*) FROM emp, dept WHERE emp.dept = dept.name")
         .unwrap();
     assert_eq!(r.rows[0][0], Value::I64(5));
 }
@@ -361,7 +399,9 @@ fn insert_variants() {
     // column subset, remaining nullable columns default to NULL
     d.execute("INSERT INTO emp (id, name, salary, hired) VALUES (7, 'gil', 60.0, '2024-01-01')")
         .unwrap();
-    let r = d.execute("SELECT dept, boss FROM emp WHERE id = 7").unwrap();
+    let r = d
+        .execute("SELECT dept, boss FROM emp WHERE id = 7")
+        .unwrap();
     assert_eq!(r.rows[0], vec![Value::Null, Value::Null]);
     // multi-row insert
     d.execute(
@@ -432,9 +472,9 @@ fn parser_never_panics_on_garbage() {
     use vectorwise::common::rng::Xoshiro256;
     let d = db();
     let tokens = [
-        "SELECT", "FROM", "WHERE", "emp", "dept", "(", ")", ",", "*", "+", "-", "/", "=",
-        "<", ">", "'x'", "42", "3.5", "AND", "OR", "NOT", "GROUP", "BY", "ORDER", "LIMIT",
-        "JOIN", "ON", "IN", "LIKE", "BETWEEN", "CASE", "WHEN", "NULL", "AS", "name", ";",
+        "SELECT", "FROM", "WHERE", "emp", "dept", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">",
+        "'x'", "42", "3.5", "AND", "OR", "NOT", "GROUP", "BY", "ORDER", "LIMIT", "JOIN", "ON",
+        "IN", "LIKE", "BETWEEN", "CASE", "WHEN", "NULL", "AS", "name", ";",
     ];
     let mut r = Xoshiro256::seeded(99);
     for _ in 0..500 {
