@@ -342,7 +342,12 @@ impl RowHashJoin {
         let mut right = self.right.take().unwrap();
         let mut table: FxHashMap<Vec<Value>, Vec<Vec<Value>>> = FxHashMap::default();
         while let Some(row) = right.next()? {
-            let key: Vec<Value> = self.on.iter().map(|&(_, rc)| row[rc].clone()).collect();
+            // Normalized keys: -0.0 and 0.0 (SQL-equal) must hash together.
+            let key: Vec<Value> = self
+                .on
+                .iter()
+                .map(|&(_, rc)| row[rc].normalize_key())
+                .collect();
             if key.iter().any(|v| v.is_null()) {
                 continue; // NULL keys never join
             }
@@ -369,7 +374,11 @@ impl RowOperator for RowHashJoin {
             let Some(probe) = self.left.next()? else {
                 return Ok(None);
             };
-            let key: Vec<Value> = self.on.iter().map(|&(lc, _)| probe[lc].clone()).collect();
+            let key: Vec<Value> = self
+                .on
+                .iter()
+                .map(|&(lc, _)| probe[lc].normalize_key())
+                .collect();
             let matches: Vec<&Vec<Value>> = if key.iter().any(|v| v.is_null()) {
                 vec![]
             } else {
@@ -504,7 +513,13 @@ impl RowAggregate {
         let mut input = self.input.take().unwrap();
         let mut groups: HashMap<Vec<Value>, Vec<RState>> = HashMap::new();
         while let Some(row) = input.next()? {
-            let key: Vec<Value> = self.group_by.iter().map(|&g| row[g].clone()).collect();
+            // Group on normalized keys for parity with the vectorized
+            // engine: fold -0.0 into the 0.0 group, canonicalize NaN.
+            let key: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|&g| row[g].normalize_key())
+                .collect();
             if !groups.contains_key(&key) {
                 let states: Result<Vec<RState>> =
                     self.aggs.iter().map(|a| self.new_state(a)).collect();
@@ -839,6 +854,47 @@ mod tests {
         assert_eq!(rows[0][1], Value::I64(20));
         let total: i64 = rows.iter().map(|r| r[2].as_i64().unwrap()).sum();
         assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn f64_group_keys_normalized_like_vectorized_engine() {
+        // Same edge case as the vectorized HashAggregate test: ±0.0 is one
+        // group (emitted as +0.0), NaN payloads are one group.
+        let disk = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let schema = Schema::new(vec![Field::new("f", DataType::F64)]);
+        let mut b = TableBuilder::with_group_size(schema.clone(), disk, 64);
+        for v in [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_0001),
+            1.0,
+        ] {
+            b.push_row(vec![Value::F64(v)]).unwrap();
+        }
+        let storage = b.finish().unwrap();
+        let tid = TableId::new(1);
+        let mut ctx = RowCtx::new();
+        ctx.insert(tid, Arc::new(RwLock::new(storage)));
+        let plan = scan(tid, &schema).aggregate(
+            vec![0],
+            vec![AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            }],
+        );
+        let mut op = compile_row(&plan, &ctx).unwrap();
+        let mut rows = collect_row_engine(op.as_mut()).unwrap();
+        rows.sort_by(|a, b| a[1].total_cmp(&b[1]));
+        assert_eq!(rows.len(), 3, "expected 3 groups, got {:?}", rows);
+        let counts: Vec<Value> = rows.iter().map(|r| r[1].clone()).collect();
+        assert_eq!(counts, vec![Value::I64(1), Value::I64(2), Value::I64(2)]);
+        let zero = rows
+            .iter()
+            .find(|r| matches!(r[0], Value::F64(f) if f == 0.0))
+            .expect("zero group present");
+        assert_eq!(zero[0], Value::F64(0.0));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Measures profiling overhead on TPC-H Q1/Q6: runs each query with
+//! per-operator profiling off and on and reports the best-of-N ratio (the
+//! paper's claim: per-vector bookkeeping amortizes to noise).
+//!
+//! ```sh
+//! cargo run --release -p vw-bench --example profile_overhead
+//! TPCH_SF=0.1 ITERS=50 cargo run --release -p vw-bench --example profile_overhead
+//! ```
+
+use std::time::Instant;
+use vw_bench::load_tpch;
+use vw_tpch::all_queries;
+
+fn main() {
+    let sf: f64 = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let iters: usize = std::env::var("ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let (db, cat) = load_tpch(sf);
+    let queries = all_queries(&cat);
+    for (n, plan) in queries.iter().filter(|(n, _)| *n == 1 || *n == 6) {
+        let mut best = [f64::MAX; 2]; // [off, on]
+        for (i, on) in [(0usize, false), (1, true)] {
+            db.set_profiling(on);
+            for _ in 0..iters {
+                let t = Instant::now();
+                let _ = db.run_plan(plan.clone()).expect("query");
+                best[i] = best[i].min(t.elapsed().as_secs_f64());
+            }
+        }
+        println!(
+            "Q{n}: off {:.3}ms  on {:.3}ms  overhead {:+.2}%",
+            best[0] * 1e3,
+            best[1] * 1e3,
+            (best[1] / best[0] - 1.0) * 100.0
+        );
+    }
+    db.set_profiling(true);
+}

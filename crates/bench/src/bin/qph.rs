@@ -11,6 +11,8 @@
 //! ```sh
 //! cargo run --release -p vw-bench --bin qph              # SF 0.01
 //! TPCH_SF=0.05 QPH_STREAMS=2 cargo run --release -p vw-bench --bin qph
+//! QPH_PROFILE=1 cargo run --release -p vw-bench --bin qph   # per-op dumps
+//! QPH_SMOKE=1 cargo run --release -p vw-bench --bin qph     # Q1 profile only
 //! ```
 
 use std::time::Instant;
@@ -19,6 +21,20 @@ use vw_tpch::all_queries;
 
 fn geo_mean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1")
+}
+
+/// Per-operator breakdown of the last query, indented for the power listing.
+fn dump_profile(db: &vw_core::Database) {
+    let Some(prof) = db.profile_last_query() else {
+        return;
+    };
+    for line in prof.render().lines() {
+        println!("      | {}", line);
+    }
 }
 
 fn main() {
@@ -30,6 +46,29 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
+    let profile_dump = env_flag("QPH_PROFILE");
+
+    // Smoke mode (CI): run Q1 serial and at dop 4 with profiling and dump
+    // the per-operator trees — exercises the whole observability path.
+    if env_flag("QPH_SMOKE") {
+        let (db, cat) = load_tpch(sf);
+        let q1 = all_queries(&cat).remove(0).1;
+        for dop in [1usize, 4] {
+            db.set_parallelism(dop);
+            let t = Instant::now();
+            let rows = db.run_plan(q1.clone()).expect("q1").rows.len();
+            println!(
+                "Q1 smoke at dop={}: {:.1}ms, {} rows",
+                dop,
+                t.elapsed().as_secs_f64() * 1e3,
+                rows
+            );
+            let prof = db.profile_last_query().expect("profiling on by default");
+            assert_eq!(prof.root.rows_out() as usize, rows, "profile cardinality");
+            println!("{}", prof.render());
+        }
+        return;
+    }
 
     println!(
         "QphH-style harness — TPC-H at SF {} ({} throughput streams)",
@@ -48,6 +87,9 @@ fn main() {
         let dt = t.elapsed().as_secs_f64();
         vec_times.push(dt.max(1e-6));
         println!("  Q{:<2} {:>9.1}ms ({} rows)", n, dt * 1e3, rows);
+        if profile_dump {
+            dump_profile(&db);
+        }
     }
 
     // Tuple-at-a-time baseline on the same optimized plans.

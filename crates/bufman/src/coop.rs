@@ -107,6 +107,16 @@ pub struct AbmStats {
     pub shared_hits: u64,
 }
 
+impl AbmStats {
+    /// Counters accumulated since `earlier` (per-query deltas for profiling).
+    pub fn since(&self, earlier: &AbmStats) -> AbmStats {
+        AbmStats {
+            loads: self.loads.saturating_sub(earlier.loads),
+            shared_hits: self.shared_hits.saturating_sub(earlier.shared_hits),
+        }
+    }
+}
+
 impl Abm {
     pub fn new(disk: Arc<SimDisk>, capacity_bytes: usize) -> Arc<Abm> {
         Arc::new(Abm {

@@ -18,7 +18,7 @@
 pub mod coop;
 pub mod lru;
 
-pub use coop::{Abm, CoopScanHandle, ScanProgress};
+pub use coop::{Abm, AbmStats, CoopScanHandle, ScanProgress};
 pub use lru::{LruPool, PoolStats};
 
 use std::sync::Arc;

@@ -26,6 +26,12 @@ pub struct EngineConfig {
     /// Whether the null-decompose rewrite runs (kept on in production;
     /// switchable so the E8 bench can compare against naive NULL handling).
     pub rewrite_nulls: bool,
+    /// Whether queries record a per-operator profile. On by default: with
+    /// ~1K-tuple vectors the bookkeeping is one timestamp pair and a few
+    /// counter adds per `next()` call, amortized to well under 1% of query
+    /// time (the X100 argument for always-on profiling). `EXPLAIN ANALYZE`
+    /// forces it on regardless.
+    pub profiling: bool,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +40,7 @@ impl Default for EngineConfig {
             vector_size: VECTOR_SIZE,
             parallelism: 1,
             rewrite_nulls: true,
+            profiling: true,
         }
     }
 }
@@ -66,6 +73,7 @@ mod tests {
         assert_eq!(c.vector_size, VECTOR_SIZE);
         assert_eq!(c.parallelism, 1);
         assert!(c.rewrite_nulls);
+        assert!(c.profiling);
         assert!(VECTOR_SIZE.is_power_of_two());
         assert!(BLOCK_VALUES.is_multiple_of(VECTOR_SIZE));
     }

@@ -23,4 +23,4 @@ pub use config::VECTOR_SIZE;
 pub use error::{Result, VwError};
 pub use ids::{BlockId, ColId, Lsn, Rid, Sid, TableId, TxnId};
 pub use schema::{Field, Schema};
-pub use types::{DataType, Value};
+pub use types::{normalize_key_f64, DataType, Value};

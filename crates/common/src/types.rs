@@ -118,7 +118,11 @@ impl Value {
             (Value::F64(v), DataType::F64) => Some(Value::F64(*v)),
             (Value::F64(v), DataType::I64) => {
                 let r = v.round();
-                if r.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(&r) {
+                // `i64::MAX as f64` rounds up to 2^63, so an inclusive upper
+                // bound would admit 9223372036854775808.0 and let `as i64`
+                // saturate; the upper bound must be exclusive. The lower bound
+                // is fine: `i64::MIN as f64` is exactly -2^63.
+                if r.is_finite() && r >= i64::MIN as f64 && r < 9_223_372_036_854_775_808.0 {
                     Some(Value::I64(r as i64))
                 } else {
                     None
@@ -215,6 +219,33 @@ impl Value {
     /// SQL equality (NULL = anything is NULL, i.e. `None`).
     pub fn sql_eq(&self, other: &Value) -> Option<bool> {
         self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Canonical form for use as a grouping/join key. Structural
+    /// equality/hashing on `Value` is bitwise for `F64`, which is wrong for
+    /// SQL keys: `0.0` and `-0.0` are SQL-equal but have different bits, and
+    /// NaN has many payloads. Key-building code normalizes values through
+    /// this before hashing or comparing, rather than weakening the structural
+    /// semantics everywhere else.
+    pub fn normalize_key(&self) -> Value {
+        match self {
+            Value::F64(v) => Value::F64(normalize_key_f64(*v)),
+            other => other.clone(),
+        }
+    }
+}
+
+/// Fold an f64 into its canonical grouping-key representative: `-0.0`
+/// becomes `0.0` (SQL-equal values must share one group) and every NaN
+/// payload becomes the one canonical quiet NaN so NaN groups with itself.
+#[inline]
+pub fn normalize_key_f64(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NAN
+    } else if v == 0.0 {
+        0.0
+    } else {
+        v
     }
 }
 
@@ -350,6 +381,63 @@ mod tests {
         );
         assert_eq!(Value::Null.cast_to(DataType::I64), Some(Value::Null));
         assert_eq!(Value::Bool(true).cast_to(DataType::I64), None);
+    }
+
+    #[test]
+    fn f64_to_int_cast_boundaries() {
+        // 2^63 is exactly representable as f64 but NOT a valid i64.
+        let two_pow_63 = 9_223_372_036_854_775_808.0f64;
+        assert_eq!(Value::F64(two_pow_63).cast_to(DataType::I64), None);
+        // i64::MAX as f64 rounds to 2^63, so it must also be rejected.
+        assert_eq!(Value::F64(i64::MAX as f64).cast_to(DataType::I64), None);
+        // The largest f64 strictly below 2^63 is valid.
+        let below = 9_223_372_036_854_774_784.0f64;
+        assert_eq!(
+            Value::F64(below).cast_to(DataType::I64),
+            Some(Value::I64(below as i64))
+        );
+        // -2^63 is exactly i64::MIN and must be accepted.
+        assert_eq!(
+            Value::F64(i64::MIN as f64).cast_to(DataType::I64),
+            Some(Value::I64(i64::MIN))
+        );
+        assert_eq!(Value::F64(f64::NAN).cast_to(DataType::I64), None);
+        assert_eq!(Value::F64(f64::INFINITY).cast_to(DataType::I64), None);
+        // The i32 path is exact on both ends (i32 fits in f64's mantissa).
+        assert_eq!(
+            Value::F64(i32::MAX as f64).cast_to(DataType::I32),
+            Some(Value::I32(i32::MAX))
+        );
+        assert_eq!(
+            Value::F64(i32::MIN as f64).cast_to(DataType::I32),
+            Some(Value::I32(i32::MIN))
+        );
+        assert_eq!(
+            Value::F64(i32::MAX as f64 + 1.0).cast_to(DataType::I32),
+            None
+        );
+    }
+
+    #[test]
+    fn key_normalization() {
+        assert_eq!(normalize_key_f64(-0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(
+            normalize_key_f64(f64::from_bits(0x7ff8_dead_beef_0001)).to_bits(),
+            f64::NAN.to_bits()
+        );
+        assert_eq!(normalize_key_f64(1.5), 1.5);
+        // Normalized values agree under structural (bitwise) equality/hash.
+        assert_eq!(
+            Value::F64(-0.0).normalize_key(),
+            Value::F64(0.0).normalize_key()
+        );
+        assert_eq!(
+            Value::F64(f64::NAN).normalize_key(),
+            Value::F64(-f64::NAN).normalize_key()
+        );
+        // Non-float values pass through untouched.
+        assert_eq!(Value::I64(3).normalize_key(), Value::I64(3));
+        assert_eq!(Value::Null.normalize_key(), Value::Null);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::operators::{
     BoxedOperator, Exchange, HashAggregate, HashJoin, VecFilter, VecLimit, VecProject, VecScan,
     VecSort,
 };
+use crate::profile::{OpProfile, ProfiledOp};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,6 +39,11 @@ pub struct ExecContext {
     pub shared: Option<Arc<SharedExec>>,
     /// Execution counters (morsels claimed, join builds executed).
     pub stats: Arc<ExecStats>,
+    /// Profile node for the plan root being compiled in this context, when
+    /// profiling is on. Must mirror the plan's shape ([`OpProfile::from_plan`]
+    /// on the same plan). Exchange workers all carry `Arc`s to the same
+    /// subtree, which is what merges dop>1 stats per plan node.
+    pub profile: Option<Arc<OpProfile>>,
 }
 
 impl ExecContext {
@@ -47,6 +53,7 @@ impl ExecContext {
             config,
             shared: None,
             stats: Arc::new(ExecStats::default()),
+            profile: None,
         }
     }
 
@@ -71,18 +78,26 @@ struct CompileState {
 }
 
 /// Compile a logical plan into a vectorized operator tree.
+///
+/// When `ctx.profile` is set (to a profile tree built from this very plan),
+/// every operator is wrapped in a [`ProfiledOp`] recording into the profile
+/// node at its plan position.
 pub fn compile_plan(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
-    compile_rec(plan, ctx, &mut CompileState::default())
+    let prof = ctx.profile.clone();
+    compile_rec(plan, ctx, &mut CompileState::default(), prof.as_ref())
 }
 
 fn compile_rec(
     plan: &LogicalPlan,
     ctx: &ExecContext,
     state: &mut CompileState,
+    prof: Option<&Arc<OpProfile>>,
 ) -> Result<BoxedOperator> {
     let naive = !ctx.config.rewrite_nulls;
     let vs = ctx.config.vector_size;
-    Ok(match plan {
+    // Profile node for the i-th plan child (same tree shape by construction).
+    let child_prof = |i: usize| prof.map(|p| p.child(i));
+    let op: BoxedOperator = match plan {
         LogicalPlan::Scan {
             table_id,
             schema,
@@ -101,12 +116,19 @@ fn compile_rec(
                     let key = *occ;
                     *occ += 1;
                     Some(shared.morsel_queue(*table_id, key, || {
-                        Ok(VecScan::plan_units(
+                        let su = VecScan::plan_units_pruned(
                             &provider.storage,
                             &provider.pdt,
                             &projection,
                             filter.as_ref(),
-                        ))
+                        );
+                        // The shared unit list is planned exactly once per
+                        // Exchange, so the prune count is recorded here (not
+                        // by each worker's scan instance).
+                        if let (Some(p), true) = (prof, su.groups_pruned > 0) {
+                            p.add_extra("pruned", su.groups_pruned as u64);
+                        }
+                        Ok(su.units)
                     })?)
                 }
                 None => None,
@@ -122,11 +144,11 @@ fn compile_rec(
             )?)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = compile_rec(input, ctx, state)?;
+            let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(VecFilter::new(child, predicate.clone(), naive)?)
         }
         LogicalPlan::Project { input, exprs } => {
-            let child = compile_rec(input, ctx, state)?;
+            let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(VecProject::new(child, exprs.clone(), naive)?)
         }
         LogicalPlan::Join {
@@ -136,14 +158,19 @@ fn compile_rec(
             on,
             residual,
         } => {
-            let l = compile_rec(left, ctx, state)?;
+            let l = compile_rec(left, ctx, state, child_prof(0))?;
             // The build (right) side executes ONCE per Exchange: it compiles
             // serial (own state, no shared queues — its scans cover the whole
             // table) and the first worker to reach the join runs it; all
             // other workers share the frozen result through the build slot.
             let mut build_ctx = ctx.clone();
             build_ctx.shared = None;
-            let r = compile_rec(right, &build_ctx, &mut CompileState::default())?;
+            let r = compile_rec(
+                right,
+                &build_ctx,
+                &mut CompileState::default(),
+                child_prof(1),
+            )?;
             let mut join = HashJoin::new(l, r, *kind, on.clone(), residual.clone(), naive)?;
             if let Some(shared) = &ctx.shared {
                 let occ = state.join_occurrence;
@@ -159,7 +186,7 @@ fn compile_rec(
             aggs,
             phase,
         } => {
-            let child = compile_rec(input, ctx, state)?;
+            let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(HashAggregate::new(
                 child,
                 group_by.clone(),
@@ -170,7 +197,7 @@ fn compile_rec(
             )?)
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = compile_rec(input, ctx, state)?;
+            let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(VecSort::new(child, keys.clone(), vs))
         }
         LogicalPlan::Limit {
@@ -178,15 +205,24 @@ fn compile_rec(
             offset,
             fetch,
         } => {
-            let child = compile_rec(input, ctx, state)?;
+            let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(VecLimit::new(child, *offset, *fetch))
         }
         LogicalPlan::Exchange { input, partitions } => {
             if ctx.shared.is_some() {
                 return Err(VwError::Plan("nested Exchange".into()));
             }
-            Box::new(Exchange::new((**input).clone(), ctx.clone(), *partitions)?)
+            // Workers compile clones of the child plan; handing each the
+            // *same* child profile subtree is what merges their stats per
+            // plan node instead of per thread.
+            let mut ex_ctx = ctx.clone();
+            ex_ctx.profile = child_prof(0).cloned();
+            Box::new(Exchange::new((**input).clone(), ex_ctx, *partitions)?)
         }
+    };
+    Ok(match prof {
+        Some(p) => Box::new(ProfiledOp::new(op, p.clone())),
+        None => op,
     })
 }
 

@@ -12,6 +12,7 @@
 
 use crate::compile::{compile_plan, ExecContext, TableProvider};
 use crate::operators::collect_rows;
+use crate::profile::{OpProfile, QueryProfile};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -100,6 +101,12 @@ pub struct Database {
     config: RwLock<EngineConfig>,
     wal_path: PathBuf,
     next_table_id: AtomicU64,
+    /// Profile of the most recently executed query (when profiling was on).
+    last_profile: RwLock<Option<Arc<QueryProfile>>>,
+    /// Optional cooperative-scan buffer manager whose hit/miss counters are
+    /// included in query profiles (attached by benches that drive an ABM
+    /// against this database's disk).
+    buffer: RwLock<Option<Arc<vw_bufman::Abm>>>,
 }
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -126,6 +133,8 @@ impl Database {
             config: RwLock::new(EngineConfig::default()),
             wal_path,
             next_table_id: AtomicU64::new(1),
+            last_profile: RwLock::new(None),
+            buffer: RwLock::new(None),
         })
     }
 
@@ -157,6 +166,25 @@ impl Database {
     /// Toggle the NULL-rewrite (experiment E8; on by default).
     pub fn set_rewrite_nulls(&self, on: bool) {
         self.config.write().rewrite_nulls = on;
+    }
+
+    /// Toggle per-operator profiling (on by default; the per-vector
+    /// bookkeeping is amortized to noise). `EXPLAIN ANALYZE` profiles
+    /// regardless of this setting.
+    pub fn set_profiling(&self, on: bool) {
+        self.config.write().profiling = on;
+    }
+
+    /// Attach a cooperative-scan buffer manager so its counters show up in
+    /// query profiles (`EXPLAIN ANALYZE` "Buffer:" line).
+    pub fn attach_buffer_manager(&self, abm: Arc<vw_bufman::Abm>) {
+        *self.buffer.write() = Some(abm);
+    }
+
+    /// The per-operator profile of the most recently executed query, if
+    /// profiling was enabled for it.
+    pub fn profile_last_query(&self) -> Option<Arc<QueryProfile>> {
+        self.last_profile.read().clone()
     }
 
     // ------------------------------------------------------------- catalog
@@ -287,12 +315,49 @@ impl Database {
 
     /// Execute a logical plan, optionally inside a transaction's view.
     pub fn run_plan_in(&self, plan: LogicalPlan, txn: Option<&Transaction>) -> Result<QueryResult> {
+        self.run_plan_profiled(plan, txn, false).map(|(r, _)| r)
+    }
+
+    /// Execute a plan, recording a per-operator [`QueryProfile`] when
+    /// profiling is on in the config (or `force` is set, as for
+    /// `EXPLAIN ANALYZE`). The profile is also stored for
+    /// [`Database::profile_last_query`].
+    fn run_plan_profiled(
+        &self,
+        plan: LogicalPlan,
+        txn: Option<&Transaction>,
+        force: bool,
+    ) -> Result<(QueryResult, Option<Arc<QueryProfile>>)> {
         let plan = self.optimize_plan(plan);
         let schema = plan.schema()?;
-        let ctx = self.exec_context(txn)?;
+        let mut ctx = self.exec_context(txn)?;
+        let profiling = force || ctx.config.profiling;
+        let root = profiling.then(|| OpProfile::from_plan(&plan));
+        ctx.profile = root.clone();
+        let disk_before = self.disk.stats();
+        let buf_before = self.buffer.read().as_ref().map(|a| a.stats());
+        let started = std::time::Instant::now();
         let mut op = compile_plan(&plan, &ctx)?;
         let rows = collect_rows(op.as_mut())?;
-        Ok(QueryResult { schema, rows })
+        drop(op); // flush profile extras from operators cut short by LIMIT
+        let profile = root.map(|root| {
+            Arc::new(QueryProfile {
+                root,
+                wall: started.elapsed(),
+                dop: ctx.config.parallelism,
+                morsels_claimed: ctx.stats.morsels_claimed(),
+                builds_executed: ctx.stats.builds_executed(),
+                disk: self.disk.stats().since(&disk_before),
+                buffer: match (self.buffer.read().as_ref().map(|a| a.stats()), buf_before) {
+                    (Some(now), Some(before)) => Some(now.since(&before)),
+                    _ => None,
+                },
+            })
+        });
+        if let Some(p) = &profile {
+            *self.last_profile.write() = Some(p.clone());
+        }
+        Ok((QueryResult { schema, rows }, profile))
     }
 
     /// Execute one SQL statement (autocommit).
@@ -305,6 +370,19 @@ impl Database {
                 let text = optimized.explain();
                 let schema = Schema::new(vec![vw_common::Field::new("plan", DataType::Str)]);
                 let rows = text
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(QueryResult { schema, rows })
+            }
+            BoundStatement::ExplainAnalyze(plan) => {
+                // Execute for real (profiling forced on) and return the
+                // annotated plan tree instead of the result rows.
+                let (_result, profile) = self.run_plan_profiled(plan, None, true)?;
+                let profile = profile.expect("forced profiling always yields a profile");
+                let schema = Schema::new(vec![vw_common::Field::new("plan", DataType::Str)]);
+                let rows = profile
+                    .render()
                     .lines()
                     .map(|l| vec![Value::Str(l.to_string())])
                     .collect();
@@ -732,6 +810,101 @@ mod tests {
         assert!(joined.contains("Scan items"), "{}", joined);
         // filter was pushed into the scan
         assert!(joined.contains("filter="), "{}", joined);
+    }
+
+    /// A table big enough to produce several vectors and morsels.
+    fn wide_db(n: i64) -> Database {
+        let db = Database::new().unwrap();
+        db.execute("CREATE TABLE t (k BIGINT NOT NULL, v BIGINT NOT NULL)")
+            .unwrap();
+        db.bulk_load("t", (0..n).map(|i| vec![Value::I64(i % 10), Value::I64(i)]))
+            .unwrap();
+        db
+    }
+
+    fn find_node<'a>(
+        node: &'a Arc<crate::profile::OpProfile>,
+        op: &str,
+    ) -> Option<&'a Arc<crate::profile::OpProfile>> {
+        if node.op_name() == op {
+            return Some(node);
+        }
+        node.children().iter().find_map(|c| find_node(c, op))
+    }
+
+    #[test]
+    fn explain_analyze_serial_reports_true_cardinalities() {
+        let db = wide_db(600);
+        let r = db
+            .execute("EXPLAIN ANALYZE SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+            .unwrap();
+        let text: String = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_str().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("Query:"), "{}", text);
+        assert!(text.contains("Scan t"), "{}", text);
+        assert!(text.contains("rows"), "{}", text);
+        let prof = db.profile_last_query().unwrap();
+        assert_eq!(prof.dop, 1);
+        // Root emits one row per group; the scan emits the whole table.
+        assert_eq!(prof.root.rows_out(), 10);
+        let scan = find_node(&prof.root, "Scan").unwrap();
+        assert_eq!(scan.rows_out(), 600);
+        assert!(scan.extras().iter().any(|&(k, _)| k == "morsels"));
+    }
+
+    #[test]
+    fn explain_analyze_dop4_merges_worker_stats_per_node() {
+        let db = wide_db(600);
+        db.set_parallelism(4);
+        let result = db
+            .execute("SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+            .unwrap();
+        assert_eq!(result.rows.len(), 10);
+        db.execute("EXPLAIN ANALYZE SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+            .unwrap();
+        let prof = db.profile_last_query().unwrap();
+        assert_eq!(prof.dop, 4);
+        // Per-node merge: the profile must report the query's true
+        // cardinalities once, NOT dop × them (per-thread duplication).
+        assert_eq!(prof.root.rows_out(), result.rows.len() as u64);
+        let scan = find_node(&prof.root, "Scan").unwrap();
+        assert_eq!(scan.rows_out(), 600, "scan rows duplicated across workers");
+        let exchange = find_node(&prof.root, "Exchange").unwrap();
+        assert_eq!(exchange.rows_out(), prof.root.rows_in());
+        assert!(
+            exchange.extras().contains(&("workers", 4)),
+            "{:?}",
+            exchange.extras()
+        );
+        // The exchange's child (partial agg) feeds exactly what it produced.
+        assert!(prof.morsels_claimed > 0);
+    }
+
+    #[test]
+    fn profiling_can_be_disabled() {
+        let db = sample_db();
+        db.set_profiling(false);
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert!(db.profile_last_query().is_none());
+        // EXPLAIN ANALYZE forces profiling regardless.
+        db.execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM items")
+            .unwrap();
+        assert!(db.profile_last_query().is_some());
+    }
+
+    #[test]
+    fn plain_queries_record_profile_by_default() {
+        let db = sample_db();
+        let r = db.execute("SELECT id FROM items WHERE qty >= 5").unwrap();
+        let prof = db.profile_last_query().unwrap();
+        assert_eq!(prof.root.rows_out(), r.rows.len() as u64);
+        // The scan saw all 5 rows; the pushed-down filter selected 3 of them.
+        let scan = find_node(&prof.root, "Scan").unwrap();
+        assert_eq!(scan.rows_out(), 3);
     }
 
     #[test]

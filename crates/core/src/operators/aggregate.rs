@@ -352,7 +352,10 @@ impl HashAggregate {
                             self.group_by
                                 .iter()
                                 .zip(&key_types)
-                                .map(|(&g, &ty)| batch.columns[g].get_value(i, ty))
+                                // Store the canonical key (folds -0.0 to 0.0,
+                                // canonicalizes NaN) so the emitted group key
+                                // matches the row-engine's normalized keys.
+                                .map(|(&g, &ty)| batch.columns[g].get_value(i, ty).normalize_key())
                                 .collect(),
                         );
                         states.push(
@@ -447,7 +450,11 @@ fn value_lane_eq(key: &Value, col: &ExecVector, i: usize) -> bool {
         (Value::I32(k), ColumnData::I32(v)) => *k == v[i],
         (Value::Date(k), ColumnData::I32(v)) => *k == v[i],
         (Value::I64(k), ColumnData::I64(v)) => *k == v[i],
-        (Value::F64(k), ColumnData::F64(v)) => k.to_bits() == v[i].to_bits(),
+        // Stored keys are already normalized; normalize the probe side so
+        // -0.0 matches the 0.0 group and NaN matches the NaN group.
+        (Value::F64(k), ColumnData::F64(v)) => {
+            k.to_bits() == vw_common::normalize_key_f64(v[i]).to_bits()
+        }
         (Value::Str(k), ColumnData::Str(v)) => k.as_bytes() == v.get_bytes(i),
         _ => false,
     }
@@ -549,6 +556,46 @@ mod tests {
                 Value::F64(2.5),
             ]
         );
+    }
+
+    #[test]
+    fn f64_group_keys_fold_signed_zero_and_nan() {
+        // Group by the f64 column: 0.0 and -0.0 are SQL-equal and must form
+        // one group; the two distinct NaN payloads must form one group too.
+        let payload_nan = f64::from_bits(0x7ff8_0000_0000_0001);
+        let rows = vec![
+            vec![Value::Str("a".into()), Value::I64(1), Value::F64(0.0)],
+            vec![Value::Str("a".into()), Value::I64(2), Value::F64(-0.0)],
+            vec![Value::Str("a".into()), Value::I64(3), Value::F64(f64::NAN)],
+            vec![
+                Value::Str("a".into()),
+                Value::I64(4),
+                Value::F64(payload_nan),
+            ],
+            vec![Value::Str("a".into()), Value::I64(5), Value::F64(1.0)],
+        ];
+        let mut op = HashAggregate::new(
+            source(rows),
+            vec![2],
+            vec![agg(AggFunc::CountStar, None, "n")],
+            AggPhase::Single,
+            1024,
+            false,
+        )
+        .unwrap();
+        let mut out = collect_rows(&mut op).unwrap();
+        out.sort_by(|a, b| a[1].total_cmp(&b[1]));
+        assert_eq!(out.len(), 3, "expected 3 groups, got {:?}", out);
+        // counts sorted: 1 (1.0), 2 (zero group), 2 (NaN group)
+        let counts: Vec<Value> = out.iter().map(|r| r[1].clone()).collect();
+        assert_eq!(counts, vec![Value::I64(1), Value::I64(2), Value::I64(2)]);
+        // The zero group's emitted key is canonical +0.0.
+        let zero = out
+            .iter()
+            .find(|r| matches!(r[0], Value::F64(f) if f == 0.0))
+            .expect("zero group present");
+        assert_eq!(zero[0], Value::F64(0.0), "key must be normalized to +0.0");
+        assert_eq!(zero[1], Value::I64(2));
     }
 
     #[test]

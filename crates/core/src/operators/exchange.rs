@@ -124,6 +124,10 @@ impl Operator for Exchange {
         &self.schema
     }
 
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        vec![("workers", self.partitions as u64)]
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());

@@ -38,6 +38,9 @@ pub struct HashJoin {
     /// child; the rest drop theirs unexecuted and reuse the frozen result.
     shared: Option<Arc<SharedBuild>>,
     stats: Option<Arc<ExecStats>>,
+    /// Whether *this* worker's instance executed the build (vs reusing a
+    /// sibling worker's shared build) — surfaced by `EXPLAIN ANALYZE`.
+    build_executed: bool,
 }
 
 /// Frozen build side of a hash join: gathered columns + hash table. Immutable
@@ -124,6 +127,7 @@ impl HashJoin {
             build: None,
             shared: None,
             stats: None,
+            build_executed: false,
         })
     }
 
@@ -141,7 +145,10 @@ impl HashJoin {
         let mut right = self.right.take().expect("build called twice");
         let on = self.on.clone();
         let stats = self.stats.clone();
+        let executed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let executed_in = executed.clone();
         let mut make = move || {
+            executed_in.store(true, std::sync::atomic::Ordering::Relaxed);
             if let Some(s) = &stats {
                 s.note_build();
             }
@@ -151,6 +158,7 @@ impl HashJoin {
             Some(slot) => slot.clone().get_or_build(make)?,
             None => Arc::new(make()?),
         };
+        self.build_executed = executed.load(std::sync::atomic::Ordering::Relaxed);
         self.build = Some(data);
         Ok(())
     }
@@ -200,6 +208,22 @@ impl HashJoin {
 impl Operator for HashJoin {
     fn schema(&self) -> &Schema {
         &self.out_schema
+    }
+
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        match &self.build {
+            // Summed per plan node across workers: at dop=N with a shared
+            // build, the profile shows builds=1, build_reused=N-1.
+            Some(b) if self.build_executed => vec![
+                ("builds", 1),
+                (
+                    "build_rows",
+                    b.columns.first().map_or(0, |c| c.len()) as u64,
+                ),
+            ],
+            Some(_) => vec![("build_reused", 1)],
+            None => Vec::new(),
+        }
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {

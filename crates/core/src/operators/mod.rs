@@ -25,7 +25,7 @@ pub use sort::VecSort;
 
 use crate::batch::{Batch, ExecVector};
 use vw_common::hash::{hash_bytes, hash_combine, hash_u64};
-use vw_common::{Result, Schema, Value};
+use vw_common::{normalize_key_f64, Result, Schema, Value};
 use vw_storage::{ColumnData, StrColumn};
 
 /// A vectorized operator: the unit of query-plan composition.
@@ -34,6 +34,13 @@ pub trait Operator: Send {
     fn schema(&self) -> &Schema;
     /// Produce the next batch, or `None` at end of stream.
     fn next(&mut self) -> Result<Option<Batch>>;
+    /// Operator-specific profile counters (e.g. morsels claimed, groups
+    /// pruned, build reuse). Collected once by the profiling wrapper when the
+    /// operator reaches end-of-stream; summed per plan node across Exchange
+    /// workers.
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Boxed operator trees.
@@ -61,7 +68,9 @@ pub fn hash_lane(col: &ExecVector, i: usize, acc: u64) -> u64 {
         ColumnData::Bool(v) => hash_u64(v[i] as u64),
         ColumnData::I32(v) => hash_u64(v[i] as i64 as u64),
         ColumnData::I64(v) => hash_u64(v[i] as u64),
-        ColumnData::F64(v) => hash_u64(v[i].to_bits()),
+        // Normalize before hashing so 0.0/-0.0 and all NaN payloads land in
+        // the same bucket (SQL key equality, not bit equality).
+        ColumnData::F64(v) => hash_u64(normalize_key_f64(v[i]).to_bits()),
         ColumnData::Str(v) => hash_bytes(v.get_bytes(i)),
     };
     hash_combine(acc, h)
@@ -83,7 +92,10 @@ pub fn lanes_eq(a: &ExecVector, i: usize, b: &ExecVector, j: usize) -> bool {
         (ColumnData::I64(x), ColumnData::I64(y)) => x[i] == y[j],
         (ColumnData::I32(x), ColumnData::I64(y)) => x[i] as i64 == y[j],
         (ColumnData::I64(x), ColumnData::I32(y)) => x[i] == y[j] as i64,
-        (ColumnData::F64(x), ColumnData::F64(y)) => x[i].to_bits() == y[j].to_bits(),
+        (ColumnData::F64(x), ColumnData::F64(y)) => {
+            // Key equality on normalized bits: 0.0 == -0.0, NaN == NaN.
+            normalize_key_f64(x[i]).to_bits() == normalize_key_f64(y[j]).to_bits()
+        }
         (ColumnData::Str(x), ColumnData::Str(y)) => x.get_bytes(i) == y.get_bytes(j),
         _ => false,
     }

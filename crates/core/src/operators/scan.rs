@@ -59,6 +59,20 @@ pub struct VecScan {
     units: UnitSource,
     /// Current decoded group columns + remaining offset.
     current: Option<(Vec<ExecVector>, usize, usize)>, // (cols, len, offset)
+    /// Units this operator instance actually claimed (profiling).
+    units_claimed: u64,
+    /// Row groups skipped by zone-map pruning. Set for serial scans; for
+    /// queue scans the count is recorded once at queue creation (the prune
+    /// decision happens when the shared unit list is planned, not per
+    /// worker).
+    groups_pruned: u64,
+}
+
+/// A planned scan-unit list plus the zone-map pruning outcome.
+pub struct ScanUnits {
+    pub units: Vec<Morsel>,
+    /// Row groups skipped entirely thanks to MinMax stats.
+    pub groups_pruned: usize,
 }
 
 impl VecScan {
@@ -71,11 +85,23 @@ impl VecScan {
         projection: &[usize],
         filter: Option<&Expr>,
     ) -> Vec<Morsel> {
+        Self::plan_units_pruned(storage, pdt, projection, filter).units
+    }
+
+    /// Like [`VecScan::plan_units`], but also reports how many row groups
+    /// zone-map pruning eliminated (surfaced by `EXPLAIN ANALYZE`).
+    pub fn plan_units_pruned(
+        storage: &Arc<RwLock<TableStorage>>,
+        pdt: &Pdt,
+        projection: &[usize],
+        filter: Option<&Expr>,
+    ) -> ScanUnits {
         let guard = storage.read();
         // Candidate prune predicates from the filter's conjuncts.
         let prune = filter.map(prunable_conjuncts).unwrap_or_default();
         let n_groups = guard.group_count();
         let mut units: Vec<Morsel> = Vec::new();
+        let mut groups_pruned = 0usize;
         for g in 0..n_groups {
             let grp = guard.group(g);
             let (lo, hi) =
@@ -87,6 +113,7 @@ impl VecScan {
                     grp.columns[storage_col].minmax.may_match(*op, v)
                 });
                 if !keep {
+                    groups_pruned += 1;
                     continue;
                 }
             }
@@ -98,7 +125,10 @@ impl VecScan {
         if ahi > alo {
             units.push(Morsel::AppendTail);
         }
-        units
+        ScanUnits {
+            units,
+            groups_pruned,
+        }
     }
 
     /// Create a scan.
@@ -119,11 +149,14 @@ impl VecScan {
         naive_nulls: bool,
     ) -> Result<VecScan> {
         let out_schema = storage.read().schema().project(&projection);
+        let mut groups_pruned = 0u64;
         let units = match morsels {
             Some(q) => UnitSource::Queue(q),
-            None => UnitSource::Local(
-                Self::plan_units(&storage, &pdt, &projection, filter.as_ref()).into_iter(),
-            ),
+            None => {
+                let su = Self::plan_units_pruned(&storage, &pdt, &projection, filter.as_ref());
+                groups_pruned = su.groups_pruned as u64;
+                UnitSource::Local(su.units.into_iter())
+            }
         };
         let filter = filter
             .map(|f| ExprEvaluator::new(f, &out_schema, naive_nulls))
@@ -137,6 +170,8 @@ impl VecScan {
             vector_size: vector_size.max(1),
             units,
             current: None,
+            units_claimed: 0,
+            groups_pruned,
         })
     }
 
@@ -298,11 +333,20 @@ impl super::Operator for VecScan {
         &self.out_schema
     }
 
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        let mut v = vec![("morsels", self.units_claimed)];
+        if self.groups_pruned > 0 {
+            v.push(("pruned", self.groups_pruned));
+        }
+        v
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         loop {
             if self.current.is_none() {
                 match self.units.next() {
                     Some(unit) => {
+                        self.units_claimed += 1;
                         let (cols, len) = self.load_unit(unit)?;
                         if len == 0 {
                             continue;

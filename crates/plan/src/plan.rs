@@ -263,6 +263,20 @@ impl LogicalPlan {
         }
     }
 
+    /// Short operator name (no arguments), for compact profile tables.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Limit { .. } => "Limit",
+            LogicalPlan::Exchange { .. } => "Exchange",
+        }
+    }
+
     /// One-line description of this node (no children).
     pub fn describe(&self) -> String {
         match self {

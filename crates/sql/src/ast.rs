@@ -25,6 +25,8 @@ pub enum Statement {
         predicate: Option<AstExpr>,
     },
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <query>`: execute and render the profiled plan.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// Column definition in CREATE TABLE.

@@ -23,6 +23,9 @@ pub trait CatalogView {
 pub enum BoundStatement {
     Query(LogicalPlan),
     Explain(LogicalPlan),
+    /// `EXPLAIN ANALYZE`: execute the plan with profiling forced on and
+    /// return the annotated tree.
+    ExplainAnalyze(LogicalPlan),
     CreateTable {
         name: String,
         schema: Schema,
@@ -49,6 +52,10 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
         Statement::Explain(inner) => match bind(inner, catalog)? {
             BoundStatement::Query(p) => Ok(BoundStatement::Explain(p)),
             _ => Err(bind_err!("EXPLAIN supports only queries")),
+        },
+        Statement::ExplainAnalyze(inner) => match bind(inner, catalog)? {
+            BoundStatement::Query(p) => Ok(BoundStatement::ExplainAnalyze(p)),
+            _ => Err(bind_err!("EXPLAIN ANALYZE supports only queries")),
         },
         Statement::CreateTable { name, columns } => {
             let schema: Schema = columns
@@ -1434,6 +1441,12 @@ mod tests {
             bind_sql("EXPLAIN SELECT * FROM orders").unwrap(),
             BoundStatement::Explain(_)
         ));
+        assert!(matches!(
+            bind_sql("EXPLAIN ANALYZE SELECT * FROM orders").unwrap(),
+            BoundStatement::ExplainAnalyze(_)
+        ));
+        // Only queries can be analyzed.
+        assert!(bind_sql("EXPLAIN ANALYZE CREATE TABLE z (a BIGINT)").is_err());
     }
 
     #[test]

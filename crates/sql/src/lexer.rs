@@ -86,6 +86,7 @@ pub const KEYWORDS: &[&str] = &[
     "SET",
     "DELETE",
     "EXPLAIN",
+    "ANALYZE",
     "CAST",
     "DATE",
     "INTERVAL",

@@ -104,6 +104,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.is_kw("SELECT") {
@@ -895,6 +898,10 @@ mod tests {
         assert!(matches!(
             parse_statement("EXPLAIN SELECT 1 FROM t").unwrap(),
             Statement::Explain(_)
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT 1 FROM t").unwrap(),
+            Statement::ExplainAnalyze(_)
         ));
     }
 

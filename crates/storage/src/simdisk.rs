@@ -61,6 +61,20 @@ pub struct DiskStats {
     pub virtual_read_ns: u64,
 }
 
+impl DiskStats {
+    /// Counters accumulated since `earlier` (per-query deltas for profiling).
+    /// Saturating, so a reset between snapshots yields zeros, not a panic.
+    pub fn since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            virtual_read_ns: self.virtual_read_ns.saturating_sub(earlier.virtual_read_ns),
+        }
+    }
+}
+
 /// The simulated block device.
 pub struct SimDisk {
     config: SimDiskConfig,
