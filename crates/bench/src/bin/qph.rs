@@ -27,7 +27,8 @@ fn env_flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| v == "1")
 }
 
-/// Per-operator breakdown of the last query, indented for the power listing.
+/// Per-operator breakdown of the last query, indented for the power listing,
+/// followed by a one-line I/O + decode-cache summary.
 fn dump_profile(db: &vw_core::Database) {
     let Some(prof) = db.profile_last_query() else {
         return;
@@ -35,6 +36,96 @@ fn dump_profile(db: &vw_core::Database) {
     for line in prof.render().lines() {
         println!("      | {}", line);
     }
+    let mut io = format!(
+        "      | io: {} KiB read, {} KiB skipped",
+        prof.disk.bytes_read / 1024,
+        prof.disk.bytes_skipped / 1024
+    );
+    if let Some(rate) = prof.decode.as_ref().and_then(|d| d.hit_rate()) {
+        io.push_str(&format!(", decode-cache {:.0}% hit", rate * 100.0));
+    }
+    println!("{}", io);
+}
+
+/// On-disk footprint of the loaded tables (compressed execution context for
+/// the per-query bytes-read numbers).
+fn compression_summary(db: &vw_core::Database) {
+    let ctx = db.exec_context(None).expect("exec context");
+    let (mut enc, mut raw) = (0usize, 0usize);
+    for provider in ctx.tables.values() {
+        let storage = provider.storage.read();
+        enc += storage.encoded_bytes();
+        raw += storage.raw_bytes();
+    }
+    if enc > 0 {
+        println!(
+            "storage: {} KiB encoded / {} KiB raw ({:.2}x compression)",
+            enc / 1024,
+            raw / 1024,
+            raw as f64 / enc as f64
+        );
+    }
+}
+
+/// A Q6-shaped selective scan: `l_orderkey` ascends in load order, so a tight
+/// range predicate lets the lazy scan reject whole vectors in encoded form.
+/// Asserts (for CI) that the scan decoded fewer vectors than it covered.
+fn smoke_selective(db: &vw_core::Database, sf: f64) {
+    use vw_plan::{AggExpr, AggFunc, BinOp, Expr, LogicalPlan};
+    use vw_sql::CatalogView;
+    let (tid, schema) = db.resolve_table("lineitem").expect("lineitem");
+    let key = schema.index_of("l_orderkey").expect("l_orderkey");
+    let price = schema.index_of("l_extendedprice").expect("l_extendedprice");
+    // ~1% of the orderkey domain (orderkeys are dense 1..=1.5M*sf).
+    let cutoff = ((sf * 1_500_000.0) / 100.0).ceil().max(1.0) as i64;
+    let plan = LogicalPlan::scan("lineitem", tid, schema)
+        .filter(Expr::binary(
+            BinOp::Lt,
+            Expr::col(key),
+            Expr::lit(vw_common::Value::I64(cutoff)),
+        ))
+        .aggregate(
+            vec![],
+            vec![
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    name: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col(price)),
+                    name: "revenue".into(),
+                },
+            ],
+        );
+    db.set_parallelism(1);
+    let rows = db.run_plan(plan).expect("selective scan").rows.len();
+    let prof = db.profile_last_query().expect("profiling on by default");
+    println!("selective smoke (l_orderkey < {}): {} rows", cutoff, rows);
+    println!("{}", prof.render());
+    let scan = prof
+        .nodes()
+        .into_iter()
+        .find(|n| n.op_name() == "Scan")
+        .expect("scan node in profile");
+    let extras: std::collections::BTreeMap<_, _> = scan.extras().into_iter().collect();
+    let decoded = extras.get("vec_decoded").copied().unwrap_or(0);
+    let skipped = extras.get("vec_skipped").copied().unwrap_or(0);
+    assert!(
+        skipped > 0,
+        "selective scan should skip decoding some vectors (decoded={}, skipped={})",
+        decoded,
+        skipped
+    );
+    assert!(
+        decoded < decoded + skipped,
+        "scan must decode fewer vectors than it covers"
+    );
+    println!(
+        "selective smoke: {} column-vectors decoded, {} skipped undecoded",
+        decoded, skipped
+    );
 }
 
 fn main() {
@@ -52,6 +143,7 @@ fn main() {
     // the per-operator trees — exercises the whole observability path.
     if env_flag("QPH_SMOKE") {
         let (db, cat) = load_tpch(sf);
+        compression_summary(&db);
         let q1 = all_queries(&cat).remove(0).1;
         for dop in [1usize, 4] {
             db.set_parallelism(dop);
@@ -67,6 +159,7 @@ fn main() {
             assert_eq!(prof.root.rows_out() as usize, rows, "profile cardinality");
             println!("{}", prof.render());
         }
+        smoke_selective(&db, sf);
         return;
     }
 
@@ -75,6 +168,9 @@ fn main() {
         sf, streams
     );
     let (db, cat) = load_tpch(sf);
+    if profile_dump {
+        compression_summary(&db);
+    }
     let db = std::sync::Arc::new(db);
 
     // ---------------------------------------------------------- power runs

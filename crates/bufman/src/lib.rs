@@ -16,9 +16,11 @@
 //! * [`BlockReader`] — the trait the execution engine's scans read through.
 
 pub mod coop;
+pub mod decode;
 pub mod lru;
 
 pub use coop::{Abm, AbmStats, CoopScanHandle, ScanProgress};
+pub use decode::{DecodeCache, DecodeCacheStats};
 pub use lru::{LruPool, PoolStats};
 
 use std::sync::Arc;

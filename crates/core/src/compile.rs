@@ -15,6 +15,7 @@ use crate::profile::{OpProfile, ProfiledOp};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use vw_bufman::DecodeCache;
 use vw_common::config::EngineConfig;
 use vw_common::{Result, TableId, VwError};
 use vw_pdt::Pdt;
@@ -44,6 +45,9 @@ pub struct ExecContext {
     /// on the same plan). Exchange workers all carry `Arc`s to the same
     /// subtree, which is what merges dop>1 stats per plan node.
     pub profile: Option<Arc<OpProfile>>,
+    /// Shared cache of decoded vector slices for compressed execution;
+    /// `None` disables slice caching (scans still run lazily).
+    pub decode_cache: Option<Arc<DecodeCache>>,
 }
 
 impl ExecContext {
@@ -54,6 +58,7 @@ impl ExecContext {
             shared: None,
             stats: Arc::new(ExecStats::default()),
             profile: None,
+            decode_cache: None,
         }
     }
 
@@ -140,6 +145,7 @@ fn compile_rec(
                 filter.clone(),
                 vs,
                 morsels,
+                ctx.decode_cache.clone(),
                 naive,
             )?)
         }

@@ -107,7 +107,13 @@ pub struct Database {
     /// included in query profiles (attached by benches that drive an ABM
     /// against this database's disk).
     buffer: RwLock<Option<Arc<vw_bufman::Abm>>>,
+    /// Shared cache of decoded vector slices for compressed execution.
+    decode_cache: Arc<vw_bufman::DecodeCache>,
 }
+
+/// Decode-cache capacity: a few thousand ~1K-value vector slices — enough to
+/// keep repeated scans of hot columns decoded, small next to the buffer pool.
+const DECODE_CACHE_BYTES: usize = 32 << 20;
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -135,7 +141,13 @@ impl Database {
             next_table_id: AtomicU64::new(1),
             last_profile: RwLock::new(None),
             buffer: RwLock::new(None),
+            decode_cache: Arc::new(vw_bufman::DecodeCache::new(DECODE_CACHE_BYTES)),
         })
+    }
+
+    /// The session-wide cache of decoded vector slices.
+    pub fn decode_cache(&self) -> &Arc<vw_bufman::DecodeCache> {
+        &self.decode_cache
     }
 
     pub fn disk(&self) -> &Arc<SimDisk> {
@@ -197,7 +209,8 @@ impl Database {
             return Err(VwError::Catalog(format!("table '{}' already exists", name)));
         }
         let id = TableId::new(self.next_table_id.fetch_add(1, Ordering::Relaxed));
-        let storage = TableStorage::new(schema, self.disk.clone());
+        let mut storage = TableStorage::new(schema, self.disk.clone());
+        storage.set_name(name);
         self.txn.read().register_table(id, 0);
         tables.insert(
             name.to_string(),
@@ -238,6 +251,7 @@ impl Database {
             n += 1;
         }
         *storage = builder.finish()?;
+        storage.set_name(name);
         self.txn.read().register_table(entry_id, n);
         Ok(n)
     }
@@ -298,7 +312,9 @@ impl Database {
                 },
             );
         }
-        Ok(ExecContext::new(providers, self.config.read().clone()))
+        let mut ctx = ExecContext::new(providers, self.config.read().clone());
+        ctx.decode_cache = Some(self.decode_cache.clone());
+        Ok(ctx)
     }
 
     /// Optimize + rewrite a logical plan per current config and stats.
@@ -336,6 +352,7 @@ impl Database {
         ctx.profile = root.clone();
         let disk_before = self.disk.stats();
         let buf_before = self.buffer.read().as_ref().map(|a| a.stats());
+        let decode_before = self.decode_cache.stats();
         let started = std::time::Instant::now();
         let mut op = compile_plan(&plan, &ctx)?;
         let rows = collect_rows(op.as_mut())?;
@@ -352,6 +369,7 @@ impl Database {
                     (Some(now), Some(before)) => Some(now.since(&before)),
                     _ => None,
                 },
+                decode: Some(self.decode_cache.stats().since(&decode_before)),
             })
         });
         if let Some(p) = &profile {

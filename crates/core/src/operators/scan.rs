@@ -25,11 +25,12 @@ use crate::primitives::sel_from_bool;
 use crate::vexpr::ExprEvaluator;
 use parking_lot::RwLock;
 use std::sync::Arc;
-use vw_common::{Result, Schema, Value, VwError};
+use vw_bufman::DecodeCache;
+use vw_common::{BlockId, DataType, Result, Schema, Value, VwError};
 use vw_pdt::{Change, Pdt};
 use vw_plan::{BinOp, Expr};
 use vw_storage::block::PruneOp;
-use vw_storage::TableStorage;
+use vw_storage::{BlockCursor, Pred, PredOp, TableStorage};
 
 /// Where the scan's units come from: a private list (serial scan) or the
 /// shared work-stealing queue of the surrounding Exchange.
@@ -47,6 +48,50 @@ impl UnitSource {
     }
 }
 
+/// The unit the scan is currently draining, vector by vector.
+enum Unit {
+    /// Fully decoded columns (dirty groups, the append tail, naive mode, and
+    /// scans without pushable predicates).
+    Eager {
+        cols: Vec<ExecVector>,
+        len: usize,
+        off: usize,
+    },
+    /// Compressed execution: columns stay encoded; predicates run on the
+    /// codec cursors and only surviving vectors are materialized.
+    Lazy(LazyGroup),
+}
+
+/// Per-group state of the lazy (compressed-execution) path.
+struct LazyGroup {
+    group: usize,
+    len: usize,
+    off: usize,
+    /// One cursor per projected column, opened on first touch. A column
+    /// whose cursor is never opened had its block skipped entirely.
+    cursors: Vec<Option<BlockCursor>>,
+    /// Block coordinates per projected column (decode-cache keys).
+    block_ids: Vec<BlockId>,
+    /// Encoded size per projected column (skipped-bytes accounting).
+    enc_bytes: Vec<u64>,
+    /// Pushed predicates still live for this group after zone-map `decide`
+    /// dropped the always-true ones: `(output column, predicate)`.
+    preds: Vec<(usize, Pred)>,
+}
+
+/// Compressed-execution counters surfaced by `EXPLAIN ANALYZE`.
+#[derive(Default)]
+struct LazyCounters {
+    /// Column-vector slices actually decoded.
+    vec_decoded: u64,
+    /// Column-vector slices never materialized (whole vector filtered out).
+    vec_skipped: u64,
+    /// Predicate evaluations performed on encoded data.
+    enc_evals: u64,
+    /// Decoded slices served from the shared decode cache.
+    cache_hits: u64,
+}
+
 /// The vectorized scan operator.
 pub struct VecScan {
     storage: Arc<RwLock<TableStorage>>,
@@ -54,11 +99,18 @@ pub struct VecScan {
     /// Storage column indexes produced, in output order.
     projection: Vec<usize>,
     out_schema: Schema,
+    /// The full filter, for units that must decode eagerly.
     filter: Option<ExprEvaluator>,
+    /// Filter conjuncts evaluable inside codec cursors (lazy path).
+    enc_preds: Vec<(usize, Pred)>,
+    /// What remains of the filter after pushdown (lazy path).
+    residual: Option<ExprEvaluator>,
+    /// Shared cache of decoded vector slices, when the session has one.
+    decode_cache: Option<Arc<DecodeCache>>,
     vector_size: usize,
     units: UnitSource,
-    /// Current decoded group columns + remaining offset.
-    current: Option<(Vec<ExecVector>, usize, usize)>, // (cols, len, offset)
+    current: Option<Unit>,
+    counters: LazyCounters,
     /// Units this operator instance actually claimed (profiling).
     units_claimed: u64,
     /// Row groups skipped by zone-map pruning. Set for serial scans; for
@@ -114,6 +166,13 @@ impl VecScan {
                 });
                 if !keep {
                     groups_pruned += 1;
+                    // The scan will never touch this group's blocks: account
+                    // their encoded bytes as skipped I/O.
+                    for &c in projection {
+                        guard
+                            .disk()
+                            .note_skipped(grp.columns[c].encoded_bytes as u64);
+                    }
                     continue;
                 }
             }
@@ -137,6 +196,7 @@ impl VecScan {
     /// * `filter` — predicate over the projected schema (optional),
     /// * `morsels` — shared work queue when running inside an Exchange
     ///   worker; `None` for a serial scan over all units,
+    /// * `decode_cache` — shared cache of decoded vector slices (lazy path),
     /// * `naive_nulls` — use the naive NULL interpreter (experiment E8).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -146,6 +206,7 @@ impl VecScan {
         filter: Option<Expr>,
         vector_size: usize,
         morsels: Option<Arc<MorselQueue>>,
+        decode_cache: Option<Arc<DecodeCache>>,
         naive_nulls: bool,
     ) -> Result<VecScan> {
         let out_schema = storage.read().schema().project(&projection);
@@ -158,6 +219,22 @@ impl VecScan {
                 UnitSource::Local(su.units.into_iter())
             }
         };
+        // Split the filter into codec-evaluable conjuncts and a residual.
+        // The naive mode (experiment E8) deliberately bypasses compressed
+        // execution: it models an engine without these optimizations.
+        let mut enc_preds = Vec::new();
+        let mut residual = None;
+        if !naive_nulls {
+            if let Some(f) = &filter {
+                let (pushed, rest) = classify_pushdown(f, &out_schema);
+                if !pushed.is_empty() {
+                    enc_preds = pushed;
+                    residual = rest
+                        .map(|e| ExprEvaluator::new(e, &out_schema, naive_nulls))
+                        .transpose()?;
+                }
+            }
+        }
         let filter = filter
             .map(|f| ExprEvaluator::new(f, &out_schema, naive_nulls))
             .transpose()?;
@@ -167,9 +244,13 @@ impl VecScan {
             projection,
             out_schema,
             filter,
+            enc_preds,
+            residual,
+            decode_cache,
             vector_size: vector_size.max(1),
             units,
             current: None,
+            counters: LazyCounters::default(),
             units_claimed: 0,
             groups_pruned,
         })
@@ -285,6 +366,347 @@ impl VecScan {
             .collect::<Result<Vec<_>>>()?;
         Ok((columns, n))
     }
+
+    /// Turn a claimed unit into drainable state. `None` means the unit
+    /// produced nothing (empty, or skipped whole by predicate `decide`).
+    fn open_unit(&mut self, unit: Morsel) -> Result<Option<Unit>> {
+        if let Morsel::Group(g) = unit {
+            if !self.enc_preds.is_empty() {
+                let (grp_start, grp_rows) = {
+                    let guard = self.storage.read();
+                    let grp = guard.group(g);
+                    (grp.start_row, grp.n_rows)
+                };
+                let (lo, hi) = self
+                    .pdt
+                    .entry_range_for_sids(grp_start, grp_start + grp_rows as u64);
+                // Only clean groups can stay encoded: PDT deltas are merged
+                // value-wise over decoded columns.
+                if lo == hi {
+                    return self.open_lazy_group(g);
+                }
+            }
+        }
+        let (cols, len) = self.load_unit(unit)?;
+        if len == 0 {
+            return Ok(None);
+        }
+        Ok(Some(Unit::Eager { cols, len, off: 0 }))
+    }
+
+    /// Open a clean group for compressed execution. Zone maps decide each
+    /// pushed predicate where possible: an impossible predicate skips the
+    /// group without reading any block, an always-true one is dropped.
+    fn open_lazy_group(&mut self, g: usize) -> Result<Option<Unit>> {
+        let guard = self.storage.read();
+        let grp = guard.group(g);
+        if grp.n_rows == 0 {
+            return Ok(None);
+        }
+        let mut preds = Vec::new();
+        for (k, pred) in &self.enc_preds {
+            let cb = &grp.columns[self.projection[*k]];
+            match pred.decide(&cb.minmax, cb.has_nulls) {
+                Some(false) => {
+                    for &c in &self.projection {
+                        guard
+                            .disk()
+                            .note_skipped(grp.columns[c].encoded_bytes as u64);
+                    }
+                    drop(guard);
+                    self.groups_pruned += 1;
+                    return Ok(None);
+                }
+                Some(true) => {}
+                None => preds.push((*k, pred.clone())),
+            }
+        }
+        let block_ids = self
+            .projection
+            .iter()
+            .map(|&c| grp.columns[c].block_id)
+            .collect();
+        let enc_bytes = self
+            .projection
+            .iter()
+            .map(|&c| grp.columns[c].encoded_bytes as u64)
+            .collect();
+        let cursors = self.projection.iter().map(|_| None).collect();
+        Ok(Some(Unit::Lazy(LazyGroup {
+            group: g,
+            len: grp.n_rows,
+            off: 0,
+            cursors,
+            block_ids,
+            enc_bytes,
+            preds,
+        })))
+    }
+
+    /// One vector step over the current eager unit. `Ok(None)` means the
+    /// vector was filtered out entirely (the caller keeps looping).
+    fn eager_step(&mut self) -> Result<Option<Batch>> {
+        let Some(Unit::Eager { cols, len, off }) = self.current.as_mut() else {
+            unreachable!("eager_step without an eager unit")
+        };
+        let from = *off;
+        let to = (from + self.vector_size).min(*len);
+        let slice: Vec<ExecVector> = cols.iter().map(|c| c.slice(from, to)).collect();
+        *off = to;
+        let n = to - from;
+        if *off >= *len {
+            self.current = None;
+        }
+        if n == 0 {
+            return Ok(None);
+        }
+        let mut batch = Batch::new(slice);
+        batch.rows = n;
+        if let Some(f) = &self.filter {
+            let v = f.eval(&batch)?;
+            let vals = match &v.data {
+                vw_storage::ColumnData::Bool(b) => b,
+                _ => return Err(VwError::Exec("filter must produce booleans".into())),
+            };
+            let mut sel = Vec::new();
+            sel_from_bool(vals, v.nulls.as_deref(), None, &mut sel);
+            if sel.is_empty() {
+                return Ok(None);
+            }
+            if sel.len() < batch.rows {
+                batch.sel = Some(sel);
+            }
+        }
+        Ok(Some(batch))
+    }
+
+    /// One vector step over the current lazy group: evaluate the pushed
+    /// predicates on the encoded data, and only materialize the vector's
+    /// columns when rows survive. `Ok(None)` means nothing survived.
+    fn lazy_step(&mut self) -> Result<Option<Batch>> {
+        let cache = self.decode_cache.clone();
+        let vs = self.vector_size;
+        let Some(Unit::Lazy(lg)) = self.current.as_mut() else {
+            unreachable!("lazy_step without a lazy unit")
+        };
+        let from = lg.off;
+        let to = (from + vs).min(lg.len);
+        lg.off = to;
+        let done = lg.off >= lg.len;
+        let n = to - from;
+        let ctr = &mut self.counters;
+        let mut sel: Option<Vec<u32>> = None;
+        for (k, pred) in &lg.preds {
+            let cur = cursor_at(
+                &self.storage,
+                &self.projection,
+                lg.group,
+                &mut lg.cursors,
+                *k,
+            )?;
+            ctr.enc_evals += 1;
+            let s = cur.eval_pred(pred, from, to)?;
+            sel = Some(match sel {
+                None => s,
+                Some(prev) => intersect_sorted(&prev, &s),
+            });
+            if sel.as_ref().unwrap().is_empty() {
+                break;
+            }
+        }
+        if sel.as_ref().is_some_and(|s| s.is_empty()) {
+            ctr.vec_skipped += self.projection.len() as u64;
+            if done {
+                self.finish_lazy_group();
+            }
+            return Ok(None);
+        }
+        let mut columns = Vec::with_capacity(self.projection.len());
+        for k in 0..self.projection.len() {
+            let key = (lg.block_ids[k], from as u32, to as u32);
+            let col = match cache.as_deref().and_then(|c| c.get(&key)) {
+                Some(hit) => {
+                    ctr.cache_hits += 1;
+                    (*hit).clone()
+                }
+                None => {
+                    let cur = cursor_at(
+                        &self.storage,
+                        &self.projection,
+                        lg.group,
+                        &mut lg.cursors,
+                        k,
+                    )?;
+                    let col = cur.decode_slice(from, to)?;
+                    ctr.vec_decoded += 1;
+                    if let Some(c) = cache.as_deref() {
+                        c.insert(key, Arc::new(col.clone()));
+                    }
+                    col
+                }
+            };
+            columns.push(ExecVector::from_storage(col));
+        }
+        if done {
+            self.finish_lazy_group();
+        }
+        let mut batch = Batch::new(columns);
+        batch.rows = n;
+        if let Some(s) = sel {
+            if s.len() < n {
+                batch.sel = Some(s);
+            }
+        }
+        if let Some(r) = &self.residual {
+            let v = r.eval(&batch)?;
+            let vals = match &v.data {
+                vw_storage::ColumnData::Bool(b) => b,
+                _ => return Err(VwError::Exec("filter must produce booleans".into())),
+            };
+            let mut out = Vec::new();
+            sel_from_bool(vals, v.nulls.as_deref(), batch.sel.as_deref(), &mut out);
+            if out.is_empty() {
+                return Ok(None);
+            }
+            batch.sel = (out.len() < batch.rows).then_some(out);
+        }
+        Ok(Some(batch))
+    }
+
+    /// Account the blocks a finished lazy group never opened as skipped I/O.
+    fn finish_lazy_group(&mut self) {
+        if let Some(Unit::Lazy(lg)) = self.current.take() {
+            let guard = self.storage.read();
+            for (k, c) in lg.cursors.iter().enumerate() {
+                if c.is_none() {
+                    guard.disk().note_skipped(lg.enc_bytes[k]);
+                }
+            }
+        }
+    }
+}
+
+/// Open (once) and return the cursor of projected column `k`.
+fn cursor_at<'a>(
+    storage: &Arc<RwLock<TableStorage>>,
+    projection: &[usize],
+    group: usize,
+    cursors: &'a mut [Option<BlockCursor>],
+    k: usize,
+) -> Result<&'a mut BlockCursor> {
+    if cursors[k].is_none() {
+        cursors[k] = Some(storage.read().read_column_cursor(group, projection[k])?);
+    }
+    Ok(cursors[k].as_mut().unwrap())
+}
+
+/// Intersect two ascending position lists (conjunction of pushed predicates).
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Split a filter into codec-evaluable conjuncts (`(output column, Pred)`)
+/// and the residual expression the vectorized evaluator keeps.
+fn classify_pushdown(filter: &Expr, schema: &Schema) -> (Vec<(usize, Pred)>, Option<Expr>) {
+    let mut conjuncts = Vec::new();
+    vw_plan::rewrite::pushdown::split_conjunction(filter, &mut conjuncts);
+    let mut pushed = Vec::new();
+    let mut rest = Vec::new();
+    for c in conjuncts {
+        match pushable_pred(&c, schema) {
+            Some(p) => pushed.push(p),
+            None => rest.push(c),
+        }
+    }
+    (pushed, vw_plan::rewrite::pushdown::conjoin(rest))
+}
+
+/// A conjunct the codec cursors evaluate with the exact semantics of the
+/// vectorized comparison kernels: `col <op> literal` over a compatible type
+/// pair, or a NULL-free string IN-list.
+fn pushable_pred(e: &Expr, schema: &Schema) -> Option<(usize, Pred)> {
+    match e {
+        Expr::Binary { op, l, r } => {
+            let (col, v, op) = match (&**l, &**r) {
+                (Expr::Col(i), Expr::Lit(v)) => (*i, v, *op),
+                (Expr::Lit(v), Expr::Col(i)) => (*i, v, flip(*op)),
+                _ => return None,
+            };
+            let op = pred_cmp_op(op)?;
+            // NaN literals defeat zone-map `decide` (every ordering
+            // comparison against NaN is false); leave them to the residual.
+            if matches!(v, Value::F64(f) if f.is_nan()) {
+                return None;
+            }
+            let ok = match schema.field(col).ty {
+                // Int columns compare as i64 against int literals and as f64
+                // against float literals — exactly what the kernels do.
+                DataType::I32 | DataType::I64 | DataType::Date => {
+                    v.as_i64().is_some() || matches!(v, Value::F64(_))
+                }
+                DataType::F64 => v.as_f64().is_some(),
+                DataType::Str => matches!(v, Value::Str(_)),
+                DataType::Bool => false,
+            };
+            ok.then(|| {
+                (
+                    col,
+                    Pred::Cmp {
+                        op,
+                        value: v.clone(),
+                    },
+                )
+            })
+        }
+        Expr::InList { e, list, negated } => {
+            let Expr::Col(i) = &**e else { return None };
+            if schema.field(*i).ty != DataType::Str {
+                return None;
+            }
+            // A NULL in the list changes the result of non-matches to NULL;
+            // only NULL-free string lists keep set-membership semantics.
+            let mut values = Vec::with_capacity(list.len());
+            for v in list {
+                match v {
+                    Value::Str(s) => values.push(s.clone()),
+                    _ => return None,
+                }
+            }
+            Some((
+                *i,
+                Pred::InStr {
+                    values,
+                    negated: *negated,
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn pred_cmp_op(op: BinOp) -> Option<PredOp> {
+    Some(match op {
+        BinOp::Eq => PredOp::Eq,
+        BinOp::Ne => PredOp::Ne,
+        BinOp::Lt => PredOp::Lt,
+        BinOp::Le => PredOp::Le,
+        BinOp::Gt => PredOp::Gt,
+        BinOp::Ge => PredOp::Ge,
+        _ => return None,
+    })
 }
 
 /// Extract `col <op> literal` conjuncts usable for zone-map pruning.
@@ -338,6 +760,19 @@ impl super::Operator for VecScan {
         if self.groups_pruned > 0 {
             v.push(("pruned", self.groups_pruned));
         }
+        let c = &self.counters;
+        if c.vec_decoded > 0 {
+            v.push(("vec_decoded", c.vec_decoded));
+        }
+        if c.vec_skipped > 0 {
+            v.push(("vec_skipped", c.vec_skipped));
+        }
+        if c.enc_evals > 0 {
+            v.push(("enc_evals", c.enc_evals));
+        }
+        if c.cache_hits > 0 {
+            v.push(("cache_hits", c.cache_hits));
+        }
         v
     }
 
@@ -347,46 +782,21 @@ impl super::Operator for VecScan {
                 match self.units.next() {
                     Some(unit) => {
                         self.units_claimed += 1;
-                        let (cols, len) = self.load_unit(unit)?;
-                        if len == 0 {
-                            continue;
-                        }
-                        self.current = Some((cols, len, 0));
+                        self.current = self.open_unit(unit)?;
+                        continue;
                     }
                     None => return Ok(None),
                 }
             }
-            let (cols, len, off) = self.current.as_mut().unwrap();
-            let from = *off;
-            let to = (from + self.vector_size).min(*len);
-            let slice: Vec<ExecVector> = cols.iter().map(|c| c.slice(from, to)).collect();
-            *off = to;
-            let exhausted = *off >= *len;
-            let n = to - from;
-            if exhausted {
-                self.current = None;
+            let lazy = matches!(self.current, Some(Unit::Lazy(_)));
+            let step = if lazy {
+                self.lazy_step()?
+            } else {
+                self.eager_step()?
+            };
+            if let Some(batch) = step {
+                return Ok(Some(batch));
             }
-            if n == 0 {
-                continue;
-            }
-            let mut batch = Batch::new(slice);
-            batch.rows = n;
-            if let Some(f) = &self.filter {
-                let v = f.eval(&batch)?;
-                let vals = match &v.data {
-                    vw_storage::ColumnData::Bool(b) => b,
-                    _ => return Err(VwError::Exec("filter must produce booleans".into())),
-                };
-                let mut sel = Vec::new();
-                sel_from_bool(vals, v.nulls.as_deref(), None, &mut sel);
-                if sel.is_empty() {
-                    continue;
-                }
-                if sel.len() < batch.rows {
-                    batch.sel = Some(sel);
-                }
-            }
-            return Ok(Some(batch));
         }
     }
 }
@@ -435,6 +845,7 @@ mod tests {
             filter,
             vs,
             None,
+            None,
             false,
         )
         .unwrap();
@@ -458,7 +869,7 @@ mod tests {
         let pdt = Arc::new(Pdt::new(10));
         let rows = scan_all(&t, &pdt, vec![1, 0], None, 4);
         assert_eq!(rows[3], vec![Value::I64(3), Value::I64(3)]);
-        let s = VecScan::new(t, pdt, vec![1, 0], None, 4, None, false).unwrap();
+        let s = VecScan::new(t, pdt, vec![1, 0], None, 4, None, None, false).unwrap();
         assert_eq!(s.schema().field(0).name, "q");
         assert_eq!(s.schema().field(1).name, "k");
     }
@@ -548,6 +959,7 @@ mod tests {
                 None,
                 64,
                 Some(q.clone()),
+                None,
                 false,
             )
             .unwrap();

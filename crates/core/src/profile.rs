@@ -235,6 +235,9 @@ pub struct QueryProfile {
     /// Buffer-manager counters for this query, when an ABM is attached to
     /// the database (cooperative-scan workloads).
     pub buffer: Option<vw_bufman::AbmStats>,
+    /// Decode-cache counters for this query (compressed execution), when the
+    /// session shares a decoded-slice cache.
+    pub decode: Option<vw_bufman::DecodeCacheStats>,
 }
 
 impl QueryProfile {
@@ -253,20 +256,35 @@ impl QueryProfile {
             ));
         }
         s.push('\n');
-        if self.disk.reads > 0 || self.disk.writes > 0 {
+        if self.disk.reads > 0 || self.disk.writes > 0 || self.disk.bytes_skipped > 0 {
             s.push_str(&format!(
-                "I/O: {} reads ({} KiB), {} writes, {:.3} ms virtual read time\n",
+                "I/O: {} reads ({} KiB), {} writes, {:.3} ms virtual read time",
                 self.disk.reads,
                 self.disk.bytes_read / 1024,
                 self.disk.writes,
                 self.disk.virtual_read_ns as f64 / 1e6
             ));
+            if self.disk.bytes_skipped > 0 {
+                s.push_str(&format!(", {} KiB skipped", self.disk.bytes_skipped / 1024));
+            }
+            s.push('\n');
         }
         if let Some(b) = &self.buffer {
             s.push_str(&format!(
                 "Buffer: {} loads, {} shared hits\n",
                 b.loads, b.shared_hits
             ));
+        }
+        if let Some(d) = &self.decode {
+            if d.hits + d.misses > 0 {
+                s.push_str(&format!(
+                    "Decode-cache: {} hits, {} misses ({:.1}% hit rate), {} KiB resident\n",
+                    d.hits,
+                    d.misses,
+                    d.hit_rate().unwrap_or(0.0) * 100.0,
+                    d.resident_bytes / 1024
+                ));
+            }
         }
         self.root.render_into(0, &mut s);
         s

@@ -158,6 +158,8 @@ pub struct ColumnBlock {
     pub has_nulls: bool,
     /// Encoded size in bytes (compression-ratio accounting).
     pub encoded_bytes: usize,
+    /// Uncompressed size of the values (compression-ratio accounting).
+    pub raw_bytes: usize,
 }
 
 /// Encode a column chunk (values + indicator) into a self-describing payload.

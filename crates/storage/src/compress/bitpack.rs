@@ -82,6 +82,60 @@ pub fn unpack(bytes: &[u8], n: usize, width: u32) -> Vec<u64> {
     out
 }
 
+/// Unpack values `from..to` of `width` bits from `bytes` without touching
+/// the preceding packed data: the lazy-scan cursors use this to decode one
+/// ~1K-value vector slice out of a 64K-value block.
+pub fn unpack_range(bytes: &[u8], from: usize, to: usize, width: u32) -> Vec<u64> {
+    assert!(width <= 64);
+    assert!(from <= to);
+    let n = to - from;
+    if width == 0 {
+        return vec![0; n];
+    }
+    assert!(
+        bytes.len() >= packed_len(to, width),
+        "truncated packed data"
+    );
+    let start_bit = from * width as usize;
+    let mut pos = start_bit / 8;
+    let skip = (start_bit % 8) as u32;
+    let mask: u128 = if width == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << width) - 1
+    };
+    let mut out = Vec::with_capacity(n);
+    // Prime the residue with the partial leading byte, pre-shifted so the
+    // first value's low bit sits at bit 0.
+    let mut buf: u128 = 0;
+    let mut bits: u32 = 0;
+    if skip > 0 {
+        buf = (bytes[pos] >> skip) as u128;
+        bits = 8 - skip;
+        pos += 1;
+    }
+    for _ in 0..n {
+        while bits < width {
+            if pos + 8 <= bytes.len() {
+                let w = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+                buf |= (w as u128) << bits;
+                bits += 64;
+                pos += 8;
+            } else if pos < bytes.len() {
+                buf |= (bytes[pos] as u128) << bits;
+                bits += 8;
+                pos += 1;
+            } else {
+                bits = width;
+            }
+        }
+        out.push((buf & mask) as u64);
+        buf >>= width;
+        bits -= width;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +189,50 @@ mod tests {
     fn empty_input() {
         assert!(pack(&[], 13).is_empty());
         assert!(unpack(&[], 0, 13).is_empty());
+    }
+
+    #[test]
+    fn unpack_range_matches_unpack_at_all_widths() {
+        for width in 0..=64u32 {
+            let max = if width == 64 {
+                u64::MAX
+            } else if width == 0 {
+                0
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..137u64)
+                .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(11)) & max)
+                .collect();
+            let packed = pack(&values, width);
+            // Odd offsets exercise every partial-leading-byte skip.
+            for (from, to) in [(0, 137), (1, 137), (7, 100), (63, 64), (99, 99), (136, 137)] {
+                assert_eq!(
+                    unpack_range(&packed, from, to, width),
+                    &values[from..to],
+                    "width {} range {}..{}",
+                    width,
+                    from,
+                    to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_range_every_offset_width_3() {
+        let values: Vec<u64> = (0..50).map(|i| i % 8).collect();
+        let packed = pack(&values, 3);
+        for from in 0..values.len() {
+            for to in from..=values.len() {
+                assert_eq!(
+                    unpack_range(&packed, from, to, 3),
+                    &values[from..to],
+                    "{}..{}",
+                    from,
+                    to
+                );
+            }
+        }
     }
 }

@@ -41,7 +41,7 @@ impl CompressionScheme {
         }
     }
 
-    fn from_u8(v: u8) -> Option<Self> {
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
         Some(match v {
             0 => CompressionScheme::Plain,
             1 => CompressionScheme::Rle,
@@ -63,12 +63,12 @@ impl CompressionScheme {
     }
 }
 
-// Physical type tags in the block header.
-const PHYS_BOOL: u8 = 0;
-const PHYS_I32: u8 = 1;
-const PHYS_I64: u8 = 2;
-const PHYS_F64: u8 = 3;
-const PHYS_STR: u8 = 4;
+// Physical type tags in the block header (shared with the lazy cursor).
+pub(crate) const PHYS_BOOL: u8 = 0;
+pub(crate) const PHYS_I32: u8 = 1;
+pub(crate) const PHYS_I64: u8 = 2;
+pub(crate) const PHYS_F64: u8 = 3;
+pub(crate) const PHYS_STR: u8 = 4;
 
 fn header(phys: u8, scheme: CompressionScheme, n: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(6);

@@ -1,0 +1,1263 @@
+//! Lazy block cursors: vector-granular decode and predicate evaluation on
+//! encoded data.
+//!
+//! The eager path (`decode_block`) decompresses a whole 64K-value block
+//! before the first predicate runs. A [`BlockCursor`] instead parses the
+//! block header once and then decodes one ~1K-row vector slice at a time
+//! (`decode_slice`), so a selective scan never materializes vectors it is
+//! about to discard. [`BlockCursor::eval_pred`] goes further and evaluates
+//! simple predicates directly on the encoded form:
+//!
+//! - **PFOR**: the literal is translated into delta space once
+//!   (`lit - base`); packed deltas are compared as unsigned ints without
+//!   reconstructing values, and the rare exceptions are patched afterwards.
+//! - **RLE**: one comparison per run, emitting selection ranges in O(runs).
+//! - **PDICT**: string equality/IN/range predicates are rewritten into
+//!   dictionary-code space once per block (a bitmap over codes); each value
+//!   then costs a bit-packed code load and one bitmap probe.
+//!
+//! [`Pred::decide`] additionally lets callers skip a block (or drop a
+//! predicate) when the catalog MinMax already decides it.
+
+use crate::block::{MinMax, PruneOp};
+use crate::column::{ColumnData, NullableColumn, StrColumn};
+use crate::compress::bitpack::{packed_len, unpack_range};
+use crate::compress::{CompressionScheme, PHYS_BOOL, PHYS_F64, PHYS_I32, PHYS_I64, PHYS_STR};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use vw_common::{BitVec, Result, Value, VwError};
+
+fn err(msg: &str) -> VwError {
+    VwError::Storage(format!("corrupt block: {}", msg))
+}
+
+fn type_err(col: &str) -> VwError {
+    VwError::Storage(format!("predicate value type mismatch on {} column", col))
+}
+
+/// Comparison operator of a pushed-down predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl PredOp {
+    /// Does `ord = value.cmp(literal)` satisfy this operator?
+    #[inline]
+    fn matches_ord(self, ord: Ordering) -> bool {
+        match self {
+            PredOp::Eq => ord == Ordering::Equal,
+            PredOp::Ne => ord != Ordering::Equal,
+            PredOp::Lt => ord == Ordering::Less,
+            PredOp::Le => ord != Ordering::Greater,
+            PredOp::Gt => ord == Ordering::Greater,
+            PredOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// IEEE float comparison (NaN never matches except through `Ne`),
+    /// mirroring the vectorized comparison kernels.
+    #[inline]
+    fn matches_f64(self, a: f64, b: f64) -> bool {
+        match self {
+            PredOp::Eq => a == b,
+            PredOp::Ne => a != b,
+            PredOp::Lt => a < b,
+            PredOp::Le => a <= b,
+            PredOp::Gt => a > b,
+            PredOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A predicate simple enough to push into the scan and evaluate inside the
+/// codec cursor: `col <op> literal`, or a string IN-list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    Cmp { op: PredOp, value: Value },
+    InStr { values: Vec<String>, negated: bool },
+}
+
+impl Pred {
+    /// Decide the predicate for a whole block from its zone map, if possible.
+    ///
+    /// `Some(false)`: no row can match — skip the block without reading it.
+    /// `Some(true)`: every row matches (only claimed when the block has no
+    /// NULLs, since NULL rows never match) — the predicate can be dropped.
+    /// `None`: must be evaluated row by row.
+    pub fn decide(&self, mm: &MinMax, has_nulls: bool) -> Option<bool> {
+        match self {
+            Pred::Cmp { op, value } => {
+                let may = |p: PruneOp| mm.may_match(p, value);
+                let all_false = match op {
+                    PredOp::Eq => !may(PruneOp::Eq),
+                    PredOp::Lt => !may(PruneOp::Lt),
+                    PredOp::Le => !may(PruneOp::Le),
+                    PredOp::Gt => !may(PruneOp::Gt),
+                    PredOp::Ge => !may(PruneOp::Ge),
+                    // all values equal the literal <=> none below and none above
+                    PredOp::Ne => !may(PruneOp::Lt) && !may(PruneOp::Gt),
+                };
+                if all_false {
+                    return Some(false);
+                }
+                if !has_nulls {
+                    let all_true = match op {
+                        PredOp::Eq => !may(PruneOp::Lt) && !may(PruneOp::Gt),
+                        PredOp::Ne => !may(PruneOp::Eq),
+                        PredOp::Lt => !may(PruneOp::Ge),
+                        PredOp::Le => !may(PruneOp::Gt),
+                        PredOp::Gt => !may(PruneOp::Le),
+                        PredOp::Ge => !may(PruneOp::Lt),
+                    };
+                    if all_true {
+                        return Some(true);
+                    }
+                }
+                None
+            }
+            Pred::InStr { values, negated } => {
+                if !*negated
+                    && values
+                        .iter()
+                        .all(|s| !mm.may_match(PruneOp::Eq, &Value::Str(s.clone())))
+                {
+                    return Some(false);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Parsed PFOR frame: everything needed to decode any sub-range.
+struct Frame {
+    base: i64,
+    width: u32,
+    /// Absolute `[start, end)` of the packed section within the block bytes.
+    packed: (usize, usize),
+    exc_pos: Vec<u32>,
+    exc_val: Vec<i64>,
+}
+
+struct DictState {
+    dict: StrColumn,
+    /// Absolute offset of the packed codes within the block bytes.
+    codes_start: usize,
+    width: u32,
+    /// Per-predicate bitmap over dictionary codes, built once per block.
+    pred_sets: Vec<(Pred, Vec<bool>)>,
+}
+
+enum State {
+    Bool(BitVec),
+    PlainInt {
+        width: usize,
+    },
+    PlainF64,
+    PlainStr {
+        /// Absolute offset of the string bytes / the offsets array.
+        str_start: usize,
+        offs_start: usize,
+    },
+    Rle {
+        vals: Vec<[u8; 8]>,
+        /// Cumulative run starts; `starts.len() == vals.len() + 1`.
+        starts: Vec<usize>,
+    },
+    Pfor(Frame),
+    PforDelta {
+        frame: Frame,
+        /// Prefix-sum resume point: `acc` is the running value through
+        /// delta `pos - 1`. `ck` checkpoints the start of the last slice so
+        /// an `eval_pred` immediately followed by `decode_slice` of the same
+        /// vector does not re-walk the prefix.
+        pos: usize,
+        acc: i64,
+        ck: Option<(usize, i64)>,
+    },
+    Pdict(DictState),
+}
+
+/// A positioned decoder over one encoded column block.
+pub struct BlockCursor {
+    bytes: Arc<Vec<u8>>,
+    n: usize,
+    phys: u8,
+    scheme: CompressionScheme,
+    body: usize,
+    nulls: Option<BitVec>,
+    state: State,
+}
+
+impl std::fmt::Debug for BlockCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCursor")
+            .field("n", &self.n)
+            .field("scheme", &self.scheme)
+            .field("phys", &self.phys)
+            .field("has_nulls", &self.nulls.is_some())
+            .finish()
+    }
+}
+
+impl BlockCursor {
+    /// Parse the block framing and codec header without decoding values.
+    /// Accepts exactly the payloads produced by `encode_block`.
+    pub fn new(bytes: Arc<Vec<u8>>) -> Result<BlockCursor> {
+        if bytes.is_empty() {
+            return Err(VwError::Storage("empty block".into()));
+        }
+        let (nulls, off) = if bytes[0] == 1 {
+            let (bits, used) = BitVec::from_bytes(&bytes[1..])
+                .ok_or_else(|| VwError::Storage("corrupt null indicator".into()))?;
+            (Some(bits), 1 + used)
+        } else {
+            (None, 1)
+        };
+        if bytes.len() < off + 6 {
+            return Err(err("short header"));
+        }
+        let phys = bytes[off];
+        let scheme = CompressionScheme::from_u8(bytes[off + 1]).ok_or_else(|| err("bad scheme"))?;
+        let n = u32::from_le_bytes(bytes[off + 2..off + 6].try_into().unwrap()) as usize;
+        if let Some(b) = &nulls {
+            if b.len() != n {
+                return Err(VwError::Storage("indicator/data length mismatch".into()));
+            }
+        }
+        let body = off + 6;
+        let state = parse_state(&bytes, body, phys, scheme, n)?;
+        Ok(BlockCursor {
+            bytes,
+            n,
+            phys,
+            scheme,
+            body,
+            nulls,
+            state,
+        })
+    }
+
+    /// Values in the block.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn scheme(&self) -> CompressionScheme {
+        self.scheme
+    }
+
+    pub fn has_nulls(&self) -> bool {
+        self.nulls.is_some()
+    }
+
+    /// Decode values `[from, to)` into a column chunk with its indicator.
+    pub fn decode_slice(&mut self, from: usize, to: usize) -> Result<NullableColumn> {
+        if from > to || to > self.n {
+            return Err(err("slice out of range"));
+        }
+        let bytes: &[u8] = &self.bytes;
+        let phys = self.phys;
+        let data = match &mut self.state {
+            State::Bool(bits) => ColumnData::Bool((from..to).map(|i| bits.get(i)).collect()),
+            State::PlainInt { width } => {
+                let w = *width;
+                let start = self.body + from * w;
+                let mut wide = Vec::with_capacity(to - from);
+                for i in 0..(to - from) {
+                    let mut buf = [0u8; 8];
+                    buf[..w].copy_from_slice(&bytes[start + i * w..start + (i + 1) * w]);
+                    let mut v = i64::from_le_bytes(buf);
+                    if w == 4 {
+                        // sign-extend 4-byte values
+                        v = (v as i32) as i64;
+                    }
+                    wide.push(v);
+                }
+                int_data(phys, wide)?
+            }
+            State::PlainF64 => {
+                let start = self.body + from * 8;
+                ColumnData::F64(
+                    (0..to - from)
+                        .map(|i| {
+                            f64::from_le_bytes(
+                                bytes[start + i * 8..start + i * 8 + 8].try_into().unwrap(),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+            State::PlainStr {
+                str_start,
+                offs_start,
+            } => {
+                let (ss, os) = (*str_start, *offs_start);
+                let off_at = |i: usize| {
+                    u32::from_le_bytes(bytes[os + i * 4..os + i * 4 + 4].try_into().unwrap())
+                        as usize
+                };
+                let base = off_at(from);
+                let mut offsets = Vec::with_capacity(to - from + 1);
+                for i in from..=to {
+                    offsets.push((off_at(i) - base) as u32);
+                }
+                let end = off_at(to);
+                ColumnData::Str(StrColumn {
+                    offsets,
+                    bytes: bytes[ss + base..ss + end].to_vec(),
+                })
+            }
+            State::Rle { vals, starts } => {
+                let raw = rle_slice(vals, starts, from, to);
+                match phys {
+                    PHYS_F64 => {
+                        ColumnData::F64(raw.iter().map(|b| f64::from_le_bytes(*b)).collect())
+                    }
+                    _ => int_data(phys, raw.iter().map(|b| i64::from_le_bytes(*b)).collect())?,
+                }
+            }
+            State::Pfor(f) => int_data(phys, frame_values(f, bytes, from, to))?,
+            State::PforDelta {
+                frame,
+                pos,
+                acc,
+                ck,
+            } => int_data(phys, delta_values(frame, bytes, pos, acc, ck, from, to))?,
+            State::Pdict(d) => {
+                let codes = unpack_range(
+                    &bytes[d.codes_start..d.codes_start + packed_len(self.n, d.width)],
+                    from,
+                    to,
+                    d.width,
+                );
+                let mut out = StrColumn::with_capacity(to - from, 0);
+                for c in codes {
+                    let c = c as usize;
+                    if c >= d.dict.len() {
+                        return Err(err("pdict code"));
+                    }
+                    out.push(d.dict.get(c));
+                }
+                ColumnData::Str(out)
+            }
+        };
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|b| (from..to).map(|i| b.get(i)).collect::<BitVec>());
+        Ok(NullableColumn::new(data, nulls).normalize())
+    }
+
+    /// Evaluate a predicate over values `[from, to)` directly on the encoded
+    /// data where the codec allows it, decoding internally otherwise.
+    /// Returns matching positions relative to `from`, ascending, with NULL
+    /// positions excluded (SQL: NULL never satisfies a comparison).
+    pub fn eval_pred(&mut self, pred: &Pred, from: usize, to: usize) -> Result<Vec<u32>> {
+        if from > to || to > self.n {
+            return Err(err("slice out of range"));
+        }
+        let phys = self.phys;
+        enum Fast {
+            Pfor,
+            Rle,
+            Pdict,
+            No,
+        }
+        let fast = match (&self.state, pred) {
+            (State::Pfor(_), Pred::Cmp { value, .. })
+                if (phys == PHYS_I32 || phys == PHYS_I64) && value.as_i64().is_some() =>
+            {
+                Fast::Pfor
+            }
+            (State::Rle { .. }, Pred::Cmp { .. }) => Fast::Rle,
+            (State::Pdict(_), _) => Fast::Pdict,
+            _ => Fast::No,
+        };
+        let raw = match fast {
+            Fast::Pfor => {
+                let State::Pfor(f) = &self.state else {
+                    unreachable!()
+                };
+                let Pred::Cmp { op, value } = pred else {
+                    unreachable!()
+                };
+                pfor_eval(f, &self.bytes, *op, value.as_i64().unwrap(), from, to)
+            }
+            Fast::Rle => {
+                let State::Rle { vals, starts } = &self.state else {
+                    unreachable!()
+                };
+                let Pred::Cmp { op, value } = pred else {
+                    unreachable!()
+                };
+                rle_eval(vals, starts, phys, *op, value, from, to)?
+            }
+            Fast::Pdict => {
+                let bytes = Arc::clone(&self.bytes);
+                let n = self.n;
+                let State::Pdict(d) = &mut self.state else {
+                    unreachable!()
+                };
+                pdict_eval(d, &bytes, n, pred, from, to)?
+            }
+            Fast::No => self.eval_generic(pred, from, to)?,
+        };
+        Ok(filter_nulls(&self.nulls, from, raw))
+    }
+
+    /// Fallback: decode the slice and compare value by value. Still
+    /// vector-granular — PFOR-DELTA keeps its resume checkpoint so the
+    /// materializing `decode_slice` that usually follows is cheap.
+    fn eval_generic(&mut self, pred: &Pred, from: usize, to: usize) -> Result<Vec<u32>> {
+        let col = self.decode_slice(from, to)?;
+        let mut sel = Vec::new();
+        for i in 0..col.len() {
+            if col.is_null(i) {
+                continue;
+            }
+            if value_matches(&col.data, i, pred)? {
+                sel.push(i as u32);
+            }
+        }
+        Ok(sel)
+    }
+}
+
+fn parse_state(
+    bytes: &[u8],
+    body: usize,
+    phys: u8,
+    scheme: CompressionScheme,
+    n: usize,
+) -> Result<State> {
+    use CompressionScheme as S;
+    let b = &bytes[body..];
+    match (phys, scheme) {
+        (PHYS_BOOL, S::Plain) => {
+            let (bits, _) = BitVec::from_bytes(b).ok_or_else(|| err("bitmap"))?;
+            if bits.len() != n {
+                return Err(err("bitmap length"));
+            }
+            Ok(State::Bool(bits))
+        }
+        (PHYS_I32 | PHYS_I64, S::Plain) => {
+            let width = if phys == PHYS_I32 { 4 } else { 8 };
+            if b.len() < n * width {
+                return Err(err("plain ints"));
+            }
+            Ok(State::PlainInt { width })
+        }
+        (PHYS_I32 | PHYS_I64 | PHYS_F64, S::Rle) => parse_rle(b, n),
+        (PHYS_I32 | PHYS_I64, S::Pfor) => Ok(State::Pfor(parse_frame(b, body, n)?)),
+        (PHYS_I32 | PHYS_I64, S::PforDelta) => Ok(State::PforDelta {
+            frame: parse_frame(b, body, n)?,
+            pos: 0,
+            acc: 0,
+            ck: None,
+        }),
+        (PHYS_F64, S::Plain) => {
+            if b.len() < n * 8 {
+                return Err(err("plain f64"));
+            }
+            Ok(State::PlainF64)
+        }
+        (PHYS_STR, S::Pdict) => parse_dict(b, body, n),
+        (PHYS_STR, S::Plain) => parse_plain_str(b, body, n),
+        _ => Err(err("bad scheme for physical type")),
+    }
+}
+
+fn parse_frame(b: &[u8], body: usize, n: usize) -> Result<Frame> {
+    if b.len() < 13 {
+        return Err(err("pfor header"));
+    }
+    let base = i64::from_le_bytes(b[0..8].try_into().unwrap());
+    let width = b[8] as u32;
+    if width > 64 {
+        return Err(err("pfor width"));
+    }
+    let n_exc = u32::from_le_bytes(b[9..13].try_into().unwrap()) as usize;
+    let plen = packed_len(n, width);
+    if b.len() < 13 + plen + n_exc * 12 {
+        return Err(err("pfor body"));
+    }
+    let pos_start = 13 + plen;
+    let val_start = pos_start + n_exc * 4;
+    let mut exc_pos = Vec::with_capacity(n_exc);
+    let mut exc_val = Vec::with_capacity(n_exc);
+    let mut prev: Option<u32> = None;
+    for i in 0..n_exc {
+        let p = u32::from_le_bytes(
+            b[pos_start + i * 4..pos_start + i * 4 + 4]
+                .try_into()
+                .unwrap(),
+        );
+        // The encoder emits positions strictly ascending; range slicing
+        // relies on it, so reject anything else as corrupt.
+        if p as usize >= n || prev.is_some_and(|q| q >= p) {
+            return Err(err("pfor exceptions"));
+        }
+        prev = Some(p);
+        exc_pos.push(p);
+        exc_val.push(i64::from_le_bytes(
+            b[val_start + i * 8..val_start + i * 8 + 8]
+                .try_into()
+                .unwrap(),
+        ));
+    }
+    Ok(Frame {
+        base,
+        width,
+        packed: (body + 13, body + 13 + plen),
+        exc_pos,
+        exc_val,
+    })
+}
+
+fn parse_rle(b: &[u8], n: usize) -> Result<State> {
+    if b.len() < 4 {
+        return Err(err("rle header"));
+    }
+    let n_runs = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+    if b.len() < 4 + n_runs * 12 {
+        return Err(err("rle body"));
+    }
+    let mut vals = Vec::with_capacity(n_runs);
+    let mut starts = Vec::with_capacity(n_runs + 1);
+    starts.push(0usize);
+    let mut total = 0usize;
+    for i in 0..n_runs {
+        let s = 4 + i * 12;
+        vals.push(b[s..s + 8].try_into().unwrap());
+        total += u32::from_le_bytes(b[s + 8..s + 12].try_into().unwrap()) as usize;
+        starts.push(total);
+    }
+    if total != n {
+        return Err(err("rle length"));
+    }
+    Ok(State::Rle { vals, starts })
+}
+
+fn parse_dict(b: &[u8], body: usize, n: usize) -> Result<State> {
+    if b.len() < 8 {
+        return Err(err("pdict header"));
+    }
+    let n_dict = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+    let dict_bytes_len = u32::from_le_bytes(b[4..8].try_into().unwrap()) as usize;
+    let mut off = 8;
+    if b.len() < off + dict_bytes_len + (n_dict + 1) * 4 + 1 {
+        return Err(err("pdict body"));
+    }
+    let dict_bytes = &b[off..off + dict_bytes_len];
+    off += dict_bytes_len;
+    let mut offsets = Vec::with_capacity(n_dict + 1);
+    for i in 0..=n_dict {
+        offsets
+            .push(u32::from_le_bytes(b[off + i * 4..off + i * 4 + 4].try_into().unwrap()) as usize);
+    }
+    off += (n_dict + 1) * 4;
+    let width = b[off] as u32;
+    off += 1;
+    if width > 32 || b.len() < off + packed_len(n, width) {
+        return Err(err("pdict codes"));
+    }
+    let mut dict = StrColumn::with_capacity(n_dict, dict_bytes_len);
+    for c in 0..n_dict {
+        if offsets[c] > offsets[c + 1] || offsets[c + 1] > dict_bytes.len() {
+            return Err(err("pdict offsets"));
+        }
+        dict.push(
+            std::str::from_utf8(&dict_bytes[offsets[c]..offsets[c + 1]])
+                .map_err(|_| err("pdict utf8"))?,
+        );
+    }
+    Ok(State::Pdict(DictState {
+        dict,
+        codes_start: body + off,
+        width,
+        pred_sets: Vec::new(),
+    }))
+}
+
+fn parse_plain_str(b: &[u8], body: usize, n: usize) -> Result<State> {
+    if b.len() < 4 {
+        return Err(err("plain str header"));
+    }
+    let nbytes = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+    let need = 4 + nbytes + (n + 1) * 4;
+    if b.len() < need {
+        return Err(err("plain str body"));
+    }
+    let obase = 4 + nbytes;
+    let mut prev = 0u32;
+    for i in 0..=n {
+        let o = u32::from_le_bytes(b[obase + i * 4..obase + i * 4 + 4].try_into().unwrap());
+        if o < prev || o as usize > nbytes {
+            return Err(err("str offsets"));
+        }
+        prev = o;
+    }
+    std::str::from_utf8(&b[4..4 + nbytes]).map_err(|_| err("utf8"))?;
+    Ok(State::PlainStr {
+        str_start: body + 4,
+        offs_start: body + 4 + nbytes,
+    })
+}
+
+/// Widened i64 values back to their physical column type.
+fn int_data(phys: u8, wide: Vec<i64>) -> Result<ColumnData> {
+    if phys == PHYS_I32 {
+        let narrow: Option<Vec<i32>> = wide.iter().map(|&v| i32::try_from(v).ok()).collect();
+        Ok(ColumnData::I32(narrow.ok_or_else(|| err("i32 overflow"))?))
+    } else {
+        Ok(ColumnData::I64(wide))
+    }
+}
+
+fn rle_slice(vals: &[[u8; 8]], starts: &[usize], from: usize, to: usize) -> Vec<[u8; 8]> {
+    let mut out = Vec::with_capacity(to - from);
+    if from == to {
+        return out;
+    }
+    let mut r = starts.partition_point(|&s| s <= from) - 1;
+    while r < vals.len() && starts[r] < to {
+        let lo = starts[r].max(from);
+        let hi = starts[r + 1].min(to);
+        for _ in lo..hi {
+            out.push(vals[r]);
+        }
+        r += 1;
+    }
+    out
+}
+
+/// Decode frame values `[from, to)`: unpack the delta range, add the base,
+/// patch exceptions.
+fn frame_values(f: &Frame, bytes: &[u8], from: usize, to: usize) -> Vec<i64> {
+    let deltas = unpack_range(&bytes[f.packed.0..f.packed.1], from, to, f.width);
+    let mut vals: Vec<i64> = deltas
+        .iter()
+        .map(|&d| (f.base as i128 + d as i128) as i64)
+        .collect();
+    let lo = f.exc_pos.partition_point(|&p| (p as usize) < from);
+    let hi = f.exc_pos.partition_point(|&p| (p as usize) < to);
+    for k in lo..hi {
+        vals[f.exc_pos[k] as usize - from] = f.exc_val[k];
+    }
+    vals
+}
+
+/// Decode PFOR-DELTA values `[from, to)`, resuming the prefix sum from the
+/// cursor position (or its checkpoint) when possible.
+fn delta_values(
+    frame: &Frame,
+    bytes: &[u8],
+    pos: &mut usize,
+    acc: &mut i64,
+    ck: &mut Option<(usize, i64)>,
+    from: usize,
+    to: usize,
+) -> Vec<i64> {
+    if from == to {
+        return Vec::new();
+    }
+    if from < *pos {
+        match *ck {
+            Some((ci, ca)) if ci <= from => {
+                *pos = ci;
+                *acc = ca;
+            }
+            _ => {
+                *pos = 0;
+                *acc = 0;
+            }
+        }
+    }
+    let deltas = frame_values(frame, bytes, *pos, to);
+    let mut out = Vec::with_capacity(to - from);
+    for (k, &d) in deltas.iter().enumerate() {
+        let i = *pos + k;
+        if i == from {
+            *ck = Some((from, *acc));
+        }
+        *acc = acc.wrapping_add(d);
+        if i >= from {
+            out.push(*acc);
+        }
+    }
+    *pos = to;
+    out
+}
+
+/// PFOR predicate in delta space: translate the literal once, compare packed
+/// deltas as unsigned ints, patch exceptions with a real i64 compare.
+fn pfor_eval(f: &Frame, bytes: &[u8], op: PredOp, lit: i64, from: usize, to: usize) -> Vec<u32> {
+    let n = to - from;
+    let t = lit as i128 - f.base as i128;
+    let limit: i128 = if f.width == 64 {
+        u64::MAX as i128
+    } else {
+        (1i128 << f.width) - 1
+    };
+    let mut mask: Vec<bool>;
+    if !(0..=limit).contains(&t) {
+        // The literal is outside the packed domain, so every non-exception
+        // value compares the same way — no unpack needed at all.
+        let all = match op {
+            PredOp::Eq => false,
+            PredOp::Ne => true,
+            PredOp::Lt | PredOp::Le => t > limit,
+            PredOp::Gt | PredOp::Ge => t < 0,
+        };
+        mask = vec![all; n];
+    } else {
+        let tu = t as u64;
+        let deltas = unpack_range(&bytes[f.packed.0..f.packed.1], from, to, f.width);
+        mask = deltas.iter().map(|&d| op.matches_ord(d.cmp(&tu))).collect();
+    }
+    let lo = f.exc_pos.partition_point(|&p| (p as usize) < from);
+    let hi = f.exc_pos.partition_point(|&p| (p as usize) < to);
+    for k in lo..hi {
+        mask[f.exc_pos[k] as usize - from] = op.matches_ord(f.exc_val[k].cmp(&lit));
+    }
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then_some(i as u32))
+        .collect()
+}
+
+/// RLE predicate: one comparison per run, O(runs) selection output.
+fn rle_eval(
+    vals: &[[u8; 8]],
+    starts: &[usize],
+    phys: u8,
+    op: PredOp,
+    value: &Value,
+    from: usize,
+    to: usize,
+) -> Result<Vec<u32>> {
+    let mut sel = Vec::new();
+    if from == to {
+        return Ok(sel);
+    }
+    let mut r = starts.partition_point(|&s| s <= from) - 1;
+    while r < vals.len() && starts[r] < to {
+        let lo = starts[r].max(from);
+        let hi = starts[r + 1].min(to);
+        if lo < hi {
+            let m = match phys {
+                PHYS_F64 => {
+                    let b = value.as_f64().ok_or_else(|| type_err("f64"))?;
+                    op.matches_f64(f64::from_le_bytes(vals[r]), b)
+                }
+                PHYS_I32 | PHYS_I64 => {
+                    let v = i64::from_le_bytes(vals[r]);
+                    match value.as_i64() {
+                        Some(l) => op.matches_ord(v.cmp(&l)),
+                        None => {
+                            let b = value.as_f64().ok_or_else(|| type_err("int"))?;
+                            op.matches_f64(v as f64, b)
+                        }
+                    }
+                }
+                _ => return Err(err("rle physical type")),
+            };
+            if m {
+                sel.extend((lo - from) as u32..(hi - from) as u32);
+            }
+        }
+        r += 1;
+    }
+    Ok(sel)
+}
+
+/// PDICT predicate: rewrite into code space once per (block, predicate),
+/// then probe the bitmap per bit-packed code.
+fn pdict_eval(
+    d: &mut DictState,
+    bytes: &[u8],
+    n: usize,
+    pred: &Pred,
+    from: usize,
+    to: usize,
+) -> Result<Vec<u32>> {
+    if !d.pred_sets.iter().any(|(p, _)| p == pred) {
+        let set = build_code_set(&d.dict, pred)?;
+        d.pred_sets.push((pred.clone(), set));
+    }
+    let set = &d.pred_sets.iter().find(|(p, _)| p == pred).unwrap().1;
+    let codes = unpack_range(
+        &bytes[d.codes_start..d.codes_start + packed_len(n, d.width)],
+        from,
+        to,
+        d.width,
+    );
+    let mut sel = Vec::new();
+    for (k, &c) in codes.iter().enumerate() {
+        match set.get(c as usize).copied() {
+            Some(true) => sel.push(k as u32),
+            Some(false) => {}
+            None => return Err(err("pdict code")),
+        }
+    }
+    Ok(sel)
+}
+
+fn build_code_set(dict: &StrColumn, pred: &Pred) -> Result<Vec<bool>> {
+    let mut set = Vec::with_capacity(dict.len());
+    for i in 0..dict.len() {
+        let s = dict.get(i);
+        set.push(match pred {
+            Pred::Cmp { op, value } => {
+                let l = value.as_str().ok_or_else(|| type_err("str"))?;
+                op.matches_ord(s.cmp(l))
+            }
+            Pred::InStr { values, negated } => values.iter().any(|x| x == s) != *negated,
+        });
+    }
+    Ok(set)
+}
+
+fn value_matches(data: &ColumnData, i: usize, pred: &Pred) -> Result<bool> {
+    match (data, pred) {
+        (ColumnData::I32(v), p) => int_matches(v[i] as i64, p),
+        (ColumnData::I64(v), p) => int_matches(v[i], p),
+        (ColumnData::F64(v), Pred::Cmp { op, value }) => {
+            let b = value.as_f64().ok_or_else(|| type_err("f64"))?;
+            Ok(op.matches_f64(v[i], b))
+        }
+        (ColumnData::Str(s), Pred::Cmp { op, value }) => {
+            let l = value.as_str().ok_or_else(|| type_err("str"))?;
+            Ok(op.matches_ord(s.get(i).cmp(l)))
+        }
+        (ColumnData::Str(s), Pred::InStr { values, negated }) => {
+            let x = s.get(i);
+            Ok(values.iter().any(|v| v == x) != *negated)
+        }
+        _ => Err(type_err(data.type_name())),
+    }
+}
+
+fn int_matches(v: i64, pred: &Pred) -> Result<bool> {
+    let Pred::Cmp { op, value } = pred else {
+        return Err(type_err("int"));
+    };
+    match value.as_i64() {
+        Some(l) => Ok(op.matches_ord(v.cmp(&l))),
+        None => {
+            let b = value.as_f64().ok_or_else(|| type_err("int"))?;
+            Ok(op.matches_f64(v as f64, b))
+        }
+    }
+}
+
+fn filter_nulls(nulls: &Option<BitVec>, from: usize, sel: Vec<u32>) -> Vec<u32> {
+    match nulls {
+        None => sel,
+        Some(b) => sel
+            .into_iter()
+            .filter(|&i| !b.get(from + i as usize))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{decode_block, encode_block};
+    use crate::compress::compress_with;
+    use vw_common::rng::Xoshiro256;
+    use vw_common::DataType;
+
+    fn cursor_of(col: &NullableColumn) -> (BlockCursor, CompressionScheme) {
+        let (bytes, scheme) = encode_block(col);
+        (BlockCursor::new(Arc::new(bytes)).unwrap(), scheme)
+    }
+
+    /// Wrap a forced-scheme payload in the no-nulls block framing.
+    fn forced_block(col: &ColumnData, scheme: CompressionScheme) -> Vec<u8> {
+        let mut out = vec![0u8];
+        out.extend_from_slice(&compress_with(col, scheme));
+        out
+    }
+
+    fn expected_slice(col: &NullableColumn, from: usize, to: usize) -> NullableColumn {
+        let data = col.data.slice(from, to);
+        let nulls = col
+            .nulls
+            .as_ref()
+            .map(|b| (from..to).map(|i| b.get(i)).collect::<BitVec>());
+        NullableColumn::new(data, nulls).normalize()
+    }
+
+    fn check_slices(col: &NullableColumn, cur: &mut BlockCursor) {
+        let n = col.len();
+        let step = (n / 7).max(1);
+        let mut from = 0;
+        while from < n {
+            let to = (from + step).min(n);
+            assert_eq!(
+                cur.decode_slice(from, to).unwrap(),
+                expected_slice(col, from, to)
+            );
+            from = to;
+        }
+        // out-of-order and overlapping accesses
+        for (a, b) in [(0, n), (n / 2, n), (0, n / 2), (n / 3, 2 * n / 3), (n, n)] {
+            assert_eq!(cur.decode_slice(a, b).unwrap(), expected_slice(col, a, b));
+        }
+    }
+
+    fn naive_sel(col: &NullableColumn, pred: &Pred, from: usize, to: usize) -> Vec<u32> {
+        (from..to)
+            .filter(|&i| !col.is_null(i) && value_matches(&col.data, i, pred).unwrap())
+            .map(|i| (i - from) as u32)
+            .collect()
+    }
+
+    fn check_preds(col: &NullableColumn, cur: &mut BlockCursor, preds: &[Pred]) {
+        let n = col.len();
+        for pred in preds {
+            for (a, b) in [(0, n), (n / 3, 2 * n / 3), (n / 2, n / 2 + 1), (0, 1)] {
+                let (a, b) = (a.min(n), b.min(n).max(a.min(n)));
+                assert_eq!(
+                    cur.eval_pred(pred, a, b).unwrap(),
+                    naive_sel(col, pred, a, b),
+                    "pred {:?} range {}..{}",
+                    pred,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    fn int_preds(lit: i64) -> Vec<Pred> {
+        [
+            PredOp::Eq,
+            PredOp::Ne,
+            PredOp::Lt,
+            PredOp::Le,
+            PredOp::Gt,
+            PredOp::Ge,
+        ]
+        .iter()
+        .map(|&op| Pred::Cmp {
+            op,
+            value: Value::I64(lit),
+        })
+        .collect()
+    }
+
+    #[test]
+    fn pfor_delta_slices_and_preds() {
+        let col =
+            NullableColumn::not_null(ColumnData::I64((0..4000).map(|i| 100 + i * 3).collect()));
+        let (mut cur, scheme) = cursor_of(&col);
+        assert_eq!(scheme, CompressionScheme::PforDelta);
+        check_slices(&col, &mut cur);
+        check_preds(&col, &mut cur, &int_preds(100 + 1999 * 3));
+        // checkpoint path: eval then decode of the same vector, repeatedly
+        for from in [1024usize, 0, 2048, 2048, 512] {
+            let to = (from + 1024).min(col.len());
+            let sel = cur.eval_pred(&int_preds(6000)[2], from, to).unwrap();
+            let naive = naive_sel(&col, &int_preds(6000)[2], from, to);
+            assert_eq!(sel, naive);
+            assert_eq!(
+                cur.decode_slice(from, to).unwrap(),
+                expected_slice(&col, from, to)
+            );
+        }
+    }
+
+    #[test]
+    fn pfor_slices_and_code_space_preds() {
+        let mut r = Xoshiro256::seeded(11);
+        let values: Vec<i64> = (0..3000)
+            .map(|_| {
+                if r.chance(0.02) {
+                    r.range_i64(i64::MIN / 2, i64::MAX / 2)
+                } else {
+                    r.range_i64(500, 900)
+                }
+            })
+            .collect();
+        let col = NullableColumn::not_null(ColumnData::I64(values));
+        let bytes = forced_block(&col.data, CompressionScheme::Pfor);
+        assert_eq!(decode_block(&bytes).unwrap(), col);
+        let mut cur = BlockCursor::new(Arc::new(bytes)).unwrap();
+        assert_eq!(cur.scheme(), CompressionScheme::Pfor);
+        check_slices(&col, &mut cur);
+        // literals inside, below, and above the packed domain
+        for lit in [700, 499, 901, i64::MIN, i64::MAX, 500, 900] {
+            check_preds(&col, &mut cur, &int_preds(lit));
+        }
+    }
+
+    #[test]
+    fn pfor_all_exception_block() {
+        // Hand-built frame: width 0, every value an exception — the extreme
+        // end of the patching path.
+        let n = 200usize;
+        let vals: Vec<i64> = (0..n as i64).map(|i| i * 1_000_003 - 7).collect();
+        let mut blk = vec![0u8, PHYS_I64, 2]; // no nulls, i64, scheme=Pfor
+        blk.extend_from_slice(&(n as u32).to_le_bytes());
+        blk.extend_from_slice(&0i64.to_le_bytes()); // base
+        blk.push(0); // width
+        blk.extend_from_slice(&(n as u32).to_le_bytes()); // n_exc
+        for i in 0..n as u32 {
+            blk.extend_from_slice(&i.to_le_bytes());
+        }
+        for v in &vals {
+            blk.extend_from_slice(&v.to_le_bytes());
+        }
+        let col = NullableColumn::not_null(ColumnData::I64(vals));
+        assert_eq!(decode_block(&blk).unwrap(), col);
+        let mut cur = BlockCursor::new(Arc::new(blk)).unwrap();
+        check_slices(&col, &mut cur);
+        check_preds(&col, &mut cur, &int_preds(100 * 1_000_003 - 7));
+    }
+
+    #[test]
+    fn rle_single_run_and_run_length_one() {
+        // single run covering the whole block
+        let col = NullableColumn::not_null(ColumnData::I64(vec![42; 513]));
+        let bytes = forced_block(&col.data, CompressionScheme::Rle);
+        let mut cur = BlockCursor::new(Arc::new(bytes)).unwrap();
+        assert_eq!(cur.scheme(), CompressionScheme::Rle);
+        check_slices(&col, &mut cur);
+        check_preds(&col, &mut cur, &int_preds(42));
+        check_preds(&col, &mut cur, &int_preds(41));
+        // every run has length 1
+        let col = NullableColumn::not_null(ColumnData::I64((0..97).map(|i| i * 11).collect()));
+        let bytes = forced_block(&col.data, CompressionScheme::Rle);
+        let mut cur = BlockCursor::new(Arc::new(bytes)).unwrap();
+        check_slices(&col, &mut cur);
+        check_preds(&col, &mut cur, &int_preds(44));
+    }
+
+    #[test]
+    fn rle_f64_preds() {
+        let vals: Vec<f64> = (0..900).map(|i| (i / 100) as f64 * 0.05).collect();
+        let col = NullableColumn::not_null(ColumnData::F64(vals));
+        let (mut cur, scheme) = cursor_of(&col);
+        assert_eq!(scheme, CompressionScheme::Rle);
+        check_slices(&col, &mut cur);
+        let preds: Vec<Pred> = [PredOp::Eq, PredOp::Lt, PredOp::Ge]
+            .iter()
+            .map(|&op| Pred::Cmp {
+                op,
+                value: Value::F64(0.15),
+            })
+            .collect();
+        check_preds(&col, &mut cur, &preds);
+    }
+
+    #[test]
+    fn pdict_code_space_preds() {
+        let domain = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"];
+        let col = NullableColumn::not_null(ColumnData::Str(StrColumn::from_iter(
+            (0..2000).map(|i| domain[(i * 7) % domain.len()]),
+        )));
+        let (mut cur, scheme) = cursor_of(&col);
+        assert_eq!(scheme, CompressionScheme::Pdict);
+        check_slices(&col, &mut cur);
+        let mut preds: Vec<Pred> = [PredOp::Eq, PredOp::Ne, PredOp::Lt, PredOp::Ge]
+            .iter()
+            .map(|&op| Pred::Cmp {
+                op,
+                value: Value::Str("RAIL".into()),
+            })
+            .collect();
+        preds.push(Pred::InStr {
+            values: vec!["AIR".into(), "MAIL".into()],
+            negated: false,
+        });
+        preds.push(Pred::InStr {
+            values: vec!["AIR".into(), "NOPE".into()],
+            negated: true,
+        });
+        check_preds(&col, &mut cur, &preds);
+        // code-set cache: one entry per distinct predicate
+        let State::Pdict(d) = &cur.state else {
+            panic!()
+        };
+        assert_eq!(d.pred_sets.len(), preds.len());
+    }
+
+    #[test]
+    fn pdict_code_width_at_dict_size_boundaries() {
+        for (n_dict, expect_width) in [(1usize, 0u32), (255, 8), (256, 8), (65536, 16)] {
+            let reps = if n_dict >= 65536 { 2 } else { 40 };
+            let strings: Vec<String> = (0..n_dict)
+                .flat_map(|d| std::iter::repeat_n(format!("val{:05}", d), reps))
+                .collect();
+            let col = StrColumn::from_iter(strings.iter().map(|s| s.as_str()));
+            let ncol = NullableColumn::not_null(ColumnData::Str(col));
+            let (mut cur, scheme) = cursor_of(&ncol);
+            assert_eq!(scheme, CompressionScheme::Pdict, "dict size {}", n_dict);
+            let State::Pdict(d) = &cur.state else {
+                panic!()
+            };
+            assert_eq!(d.width, expect_width, "dict size {}", n_dict);
+            assert_eq!(d.dict.len(), n_dict);
+            let n = ncol.len();
+            assert_eq!(
+                cur.decode_slice(n - 3, n).unwrap(),
+                expected_slice(&ncol, n - 3, n)
+            );
+            let pred = Pred::Cmp {
+                op: PredOp::Eq,
+                value: Value::Str("val00000".into()),
+            };
+            let hi = (reps + 1).min(n);
+            assert_eq!(
+                cur.eval_pred(&pred, 0, hi).unwrap(),
+                naive_sel(&ncol, &pred, 0, hi)
+            );
+        }
+    }
+
+    #[test]
+    fn plain_str_and_bool_and_i32() {
+        let uniq: Vec<String> = (0..300)
+            .map(|i| format!("unique-{}-{}", i, i * 31))
+            .collect();
+        let col = NullableColumn::not_null(ColumnData::Str(StrColumn::from_iter(
+            uniq.iter().map(|s| s.as_str()),
+        )));
+        let (mut cur, scheme) = cursor_of(&col);
+        assert_eq!(scheme, CompressionScheme::Plain);
+        check_slices(&col, &mut cur);
+        let pred = Pred::Cmp {
+            op: PredOp::Gt,
+            value: Value::Str("unique-2".into()),
+        };
+        check_preds(&col, &mut cur, &[pred]);
+
+        let col = NullableColumn::not_null(ColumnData::Bool((0..77).map(|i| i % 3 == 0).collect()));
+        let (mut cur, _) = cursor_of(&col);
+        check_slices(&col, &mut cur);
+
+        let col = NullableColumn::not_null(ColumnData::I32(vec![-5, 0, 7, i32::MIN, i32::MAX]));
+        let bytes = forced_block(&col.data, CompressionScheme::Plain);
+        let mut cur = BlockCursor::new(Arc::new(bytes)).unwrap();
+        check_slices(&col, &mut cur);
+        check_preds(&col, &mut cur, &int_preds(0));
+    }
+
+    #[test]
+    fn nulls_are_excluded_and_sliced() {
+        let vals: Vec<Value> = (0..500)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::I64((i % 13) as i64)
+                }
+            })
+            .collect();
+        let col = NullableColumn::from_values(DataType::I64, &vals).unwrap();
+        let (mut cur, _) = cursor_of(&col);
+        assert!(cur.has_nulls());
+        check_slices(&col, &mut cur);
+        check_preds(&col, &mut cur, &int_preds(6));
+    }
+
+    #[test]
+    fn f64_plain_preds_including_int_literal() {
+        let col = NullableColumn::not_null(ColumnData::F64(
+            (0..400).map(|i| i as f64 * 0.25 - 20.0).collect(),
+        ));
+        let (mut cur, scheme) = cursor_of(&col);
+        assert_eq!(scheme, CompressionScheme::Plain);
+        check_slices(&col, &mut cur);
+        let preds: Vec<Pred> = vec![
+            Pred::Cmp {
+                op: PredOp::Lt,
+                value: Value::F64(5.25),
+            },
+            Pred::Cmp {
+                op: PredOp::Ge,
+                value: Value::I64(3),
+            },
+        ];
+        check_preds(&col, &mut cur, &preds);
+    }
+
+    #[test]
+    fn empty_block_and_bad_ranges() {
+        let col = NullableColumn::not_null(ColumnData::I64(vec![]));
+        let (mut cur, _) = cursor_of(&col);
+        assert_eq!(cur.n(), 0);
+        assert_eq!(cur.decode_slice(0, 0).unwrap().len(), 0);
+        assert!(cur.decode_slice(0, 1).is_err());
+        let col = NullableColumn::not_null(ColumnData::I64(vec![1, 2, 3]));
+        let (mut cur, _) = cursor_of(&col);
+        assert!(cur.decode_slice(2, 1).is_err());
+        assert!(cur.eval_pred(&int_preds(1)[0], 0, 4).is_err());
+    }
+
+    #[test]
+    fn corrupt_blocks_error_not_panic() {
+        let col = NullableColumn::not_null(ColumnData::I64((0..100).collect()));
+        let (bytes, _) = encode_block(&col);
+        assert!(BlockCursor::new(Arc::new(bytes[..bytes.len() - 1].to_vec())).is_err());
+        assert!(BlockCursor::new(Arc::new(vec![])).is_err());
+        let mut bad = bytes.clone();
+        bad[2] = 99; // scheme byte (after the 1-byte null flag)
+        assert!(BlockCursor::new(Arc::new(bad)).is_err());
+    }
+
+    #[test]
+    fn decide_from_zone_maps() {
+        let mm = MinMax::Int { min: 10, max: 30 };
+        let eq = |v: i64| Pred::Cmp {
+            op: PredOp::Eq,
+            value: Value::I64(v),
+        };
+        assert_eq!(eq(5).decide(&mm, false), Some(false));
+        assert_eq!(eq(20).decide(&mm, false), None);
+        let ge10 = Pred::Cmp {
+            op: PredOp::Ge,
+            value: Value::I64(10),
+        };
+        assert_eq!(ge10.decide(&mm, false), Some(true));
+        assert_eq!(ge10.decide(&mm, true), None); // nulls block the all-true claim
+        let lt10 = Pred::Cmp {
+            op: PredOp::Lt,
+            value: Value::I64(10),
+        };
+        assert_eq!(lt10.decide(&mm, false), Some(false));
+        let constant = MinMax::Int { min: 7, max: 7 };
+        assert_eq!(eq(7).decide(&constant, false), Some(true));
+        assert_eq!(eq(7).decide(&constant, true), None);
+        let ne7 = Pred::Cmp {
+            op: PredOp::Ne,
+            value: Value::I64(7),
+        };
+        assert_eq!(ne7.decide(&constant, false), Some(false));
+        let smm = MinMax::Str {
+            min: "b".into(),
+            max: "d".into(),
+        };
+        let instr = Pred::InStr {
+            values: vec!["x".into(), "a".into()],
+            negated: false,
+        };
+        assert_eq!(instr.decide(&smm, false), Some(false));
+        let instr_hit = Pred::InStr {
+            values: vec!["c".into()],
+            negated: false,
+        };
+        assert_eq!(instr_hit.decide(&smm, false), None);
+        assert_eq!(eq(1).decide(&MinMax::None, false), None);
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`compress`] — PFOR, PFOR-DELTA, PDICT, RLE and plain codecs with a
 //!   cost-based per-block scheme chooser,
 //! * [`block`] — self-describing serialized column blocks with MinMax stats,
+//! * [`cursor`] — lazy per-block cursors: vector-granular decode and
+//!   predicate evaluation directly on the encoded data,
 //! * [`simdisk`] — a deterministic simulated disk that charges virtual I/O
 //!   time (substitute for the paper's real disk arrays; see DESIGN.md),
 //! * [`table`] — PAX-grouped table storage: row groups of column blocks,
@@ -18,11 +20,13 @@
 pub mod block;
 pub mod column;
 pub mod compress;
+pub mod cursor;
 pub mod simdisk;
 pub mod table;
 
 pub use block::{ColumnBlock, MinMax, PruneOp};
 pub use column::{ColumnData, NullableColumn, StrColumn};
 pub use compress::{compress_data, decompress_data, CompressionScheme};
+pub use cursor::{BlockCursor, Pred, PredOp};
 pub use simdisk::{DiskStats, SimDisk, SimDiskConfig};
 pub use table::{concat_columns, read_all_columns, RowGroup, TableBuilder, TableStorage};

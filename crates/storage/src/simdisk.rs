@@ -58,6 +58,9 @@ pub struct DiskStats {
     pub writes: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    /// Encoded bytes a scan *avoided* reading (zone-map pruned groups and
+    /// blocks whose predicates were decided without ever opening them).
+    pub bytes_skipped: u64,
     pub virtual_read_ns: u64,
 }
 
@@ -70,6 +73,7 @@ impl DiskStats {
             writes: self.writes.saturating_sub(earlier.writes),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_skipped: self.bytes_skipped.saturating_sub(earlier.bytes_skipped),
             virtual_read_ns: self.virtual_read_ns.saturating_sub(earlier.virtual_read_ns),
         }
     }
@@ -84,6 +88,7 @@ pub struct SimDisk {
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    bytes_skipped: AtomicU64,
     virtual_read_ns: AtomicU64,
 }
 
@@ -97,6 +102,7 @@ impl SimDisk {
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            bytes_skipped: AtomicU64::new(0),
             virtual_read_ns: AtomicU64::new(0),
         }
     }
@@ -152,6 +158,12 @@ impl SimDisk {
         Ok(block)
     }
 
+    /// Record that `bytes` of stored data were *not* read thanks to pruning
+    /// or encoded-predicate short-circuits (visibility into scan savings).
+    pub fn note_skipped(&self, bytes: u64) {
+        self.bytes_skipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Drop a block (table drop / checkpoint garbage collection).
     pub fn free_block(&self, id: BlockId) {
         self.blocks.write().unwrap().remove(&id);
@@ -163,6 +175,7 @@ impl SimDisk {
             writes: self.writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_skipped: self.bytes_skipped.load(Ordering::Relaxed),
             virtual_read_ns: self.virtual_read_ns.load(Ordering::Relaxed),
         }
     }
@@ -173,6 +186,7 @@ impl SimDisk {
         self.writes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.bytes_skipped.store(0, Ordering::Relaxed);
         self.virtual_read_ns.store(0, Ordering::Relaxed);
     }
 
@@ -227,6 +241,20 @@ mod tests {
         disk.reset_stats();
         assert_eq!(disk.stats(), DiskStats::default());
         assert_eq!(disk.block_count(), 1);
+    }
+
+    #[test]
+    fn skipped_bytes_are_tracked_and_reset() {
+        let disk = SimDisk::new(SimDiskConfig::default());
+        disk.note_skipped(1000);
+        disk.note_skipped(24);
+        assert_eq!(disk.stats().bytes_skipped, 1024);
+        assert_eq!(disk.stats().reads, 0);
+        let earlier = disk.stats();
+        disk.note_skipped(6);
+        assert_eq!(disk.stats().since(&earlier).bytes_skipped, 6);
+        disk.reset_stats();
+        assert_eq!(disk.stats().bytes_skipped, 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::block::{decode_block, encode_block, ColumnBlock, MinMax, PruneOp};
 use crate::column::{ColumnData, NullableColumn};
+use crate::cursor::BlockCursor;
 use crate::simdisk::SimDisk;
 use std::sync::Arc;
 use vw_common::config::BLOCK_VALUES;
@@ -32,6 +33,8 @@ pub struct RowGroup {
 /// The immutable stable image of one table.
 pub struct TableStorage {
     schema: Schema,
+    /// Table name, used only to contextualize error messages.
+    name: String,
     disk: Arc<SimDisk>,
     rows_per_group: usize,
     row_groups: Vec<RowGroup>,
@@ -49,6 +52,7 @@ impl TableStorage {
         assert!(rows_per_group > 0);
         TableStorage {
             schema,
+            name: String::new(),
             disk,
             rows_per_group,
             row_groups: Vec::new(),
@@ -58,6 +62,15 @@ impl TableStorage {
 
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Set the table name used in error context (survives rebuilds).
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     pub fn disk(&self) -> &Arc<SimDisk> {
@@ -93,6 +106,29 @@ impl TableStorage {
             .sum()
     }
 
+    /// Total uncompressed bytes the stored values would occupy.
+    pub fn raw_bytes(&self) -> usize {
+        self.row_groups
+            .iter()
+            .flat_map(|g| g.columns.iter())
+            .map(|c| c.raw_bytes)
+            .sum()
+    }
+
+    /// Attach (table, column, row-group) coordinates to a codec error.
+    fn block_context(&self, group: usize, col: usize, e: VwError) -> VwError {
+        let col_name = self
+            .schema
+            .fields()
+            .get(col)
+            .map(|f| f.name.as_str())
+            .unwrap_or("?");
+        VwError::Storage(format!(
+            "table '{}', column '{}', row-group {}: {}",
+            self.name, col_name, group, e
+        ))
+    }
+
     /// Append one chunk of columns as row groups, splitting at the group
     /// size. All columns must have identical, non-zero length.
     pub fn append_chunk(&mut self, columns: &[NullableColumn]) -> Result<()> {
@@ -120,6 +156,7 @@ impl TableStorage {
                 )
                 .normalize();
                 let minmax = MinMax::from_column(&piece);
+                let raw_bytes = piece.data.uncompressed_bytes();
                 let (bytes, scheme) = encode_block(&piece);
                 let encoded_bytes = bytes.len();
                 let block_id = self.disk.write_block(bytes);
@@ -130,6 +167,7 @@ impl TableStorage {
                     minmax,
                     has_nulls: piece.nulls.is_some(),
                     encoded_bytes,
+                    raw_bytes,
                 });
             }
             self.row_groups.push(RowGroup {
@@ -154,11 +192,40 @@ impl TableStorage {
             .get(col)
             .ok_or_else(|| VwError::Storage(format!("no column {}", col)))?;
         let bytes = self.disk.read_block(blk.block_id)?;
-        let decoded = decode_block(&bytes)?;
+        let decoded = decode_block(&bytes).map_err(|e| self.block_context(group, col, e))?;
         if decoded.len() != g.n_rows {
-            return Err(VwError::Storage("block row-count mismatch".into()));
+            return Err(self.block_context(
+                group,
+                col,
+                VwError::Storage("block row-count mismatch".into()),
+            ));
         }
         Ok(decoded)
+    }
+
+    /// Read one column block and open a lazy [`BlockCursor`] over it instead
+    /// of decoding eagerly. The compressed-execution scan path uses this to
+    /// decode vector slices on demand and evaluate predicates on the encoded
+    /// form.
+    pub fn read_column_cursor(&self, group: usize, col: usize) -> Result<BlockCursor> {
+        let g = self
+            .row_groups
+            .get(group)
+            .ok_or_else(|| VwError::Storage(format!("no row group {}", group)))?;
+        let blk = g
+            .columns
+            .get(col)
+            .ok_or_else(|| VwError::Storage(format!("no column {}", col)))?;
+        let bytes = self.disk.read_block(blk.block_id)?;
+        let cursor = BlockCursor::new(bytes).map_err(|e| self.block_context(group, col, e))?;
+        if cursor.n() != g.n_rows {
+            return Err(self.block_context(
+                group,
+                col,
+                VwError::Storage("block row-count mismatch".into()),
+            ));
+        }
+        Ok(cursor)
     }
 
     /// Row groups whose zone map may satisfy `col <op> bound`.
@@ -475,6 +542,69 @@ mod tests {
             t.encoded_bytes(),
             naive
         );
+    }
+
+    #[test]
+    fn lazy_cursor_matches_eager_read() {
+        let mut b = TableBuilder::with_group_size(lineitem_like_schema(), disk(), 100);
+        for r in build_rows(250) {
+            b.push_row(r).unwrap();
+        }
+        let t = b.finish().unwrap();
+        for g in 0..t.group_count() {
+            for c in 0..t.schema().len() {
+                let eager = t.read_column(g, c).unwrap();
+                let mut cur = t.read_column_cursor(g, c).unwrap();
+                assert_eq!(cur.n(), eager.len());
+                let mid = eager.len() / 2;
+                let sliced = cur.decode_slice(0, mid).unwrap();
+                for i in 0..mid {
+                    assert_eq!(
+                        sliced.get_value(i, t.schema().field(c).ty),
+                        eager.get_value(i, t.schema().field(c).ty),
+                        "group {} col {} row {}",
+                        g,
+                        c,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_errors_carry_block_coordinates() {
+        let d = disk();
+        let mut b = TableBuilder::with_group_size(lineitem_like_schema(), d.clone(), 100);
+        for r in build_rows(100) {
+            b.push_row(r).unwrap();
+        }
+        let mut t = b.finish().unwrap();
+        t.set_name("lineitem");
+        // Corrupt the quantity block of group 0 on disk.
+        let blk = t.group(0).columns[1].block_id;
+        let bytes = d.read_block(blk).unwrap();
+        d.overwrite_block(blk, bytes[..2].to_vec()).unwrap();
+        let msg = t.read_column(0, 1).unwrap_err().to_string();
+        assert!(msg.contains("'lineitem'"), "msg: {}", msg);
+        assert!(msg.contains("'quantity'"), "msg: {}", msg);
+        assert!(msg.contains("row-group 0"), "msg: {}", msg);
+        let msg = t.read_column_cursor(0, 1).unwrap_err().to_string();
+        assert!(msg.contains("'quantity'"), "msg: {}", msg);
+    }
+
+    #[test]
+    fn raw_bytes_accounts_uncompressed_size() {
+        let mut b = TableBuilder::with_group_size(lineitem_like_schema(), disk(), 100);
+        for r in build_rows(200) {
+            b.push_row(r).unwrap();
+        }
+        let t = b.finish().unwrap();
+        // 200 rows: two i64 cols (8B), one date (4B), strings ("c0".. = 2B
+        // each, +4B offsets, +4B for the extra offset per block).
+        assert!(t.raw_bytes() > 200 * (8 + 8 + 4 + 2));
+        assert!(t.raw_bytes() < 200 * 40);
+        assert!(t.encoded_bytes() < t.raw_bytes());
     }
 
     #[test]
