@@ -14,6 +14,7 @@
 use vw_common::{Result, Schema, VwError};
 use vw_core::batch::Batch;
 use vw_core::compile::ExecContext;
+use vw_core::mem::MemTracker;
 use vw_core::operators::{
     drain_to_single_batch, BatchSource, BoxedOperator, HashAggregate, HashJoin, Operator,
     VecFilter, VecLimit, VecProject, VecScan, VecSort,
@@ -112,14 +113,12 @@ fn compile_rec(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
         } => {
             let l = compile_rec(left, ctx)?;
             let r = compile_rec(right, ctx)?;
-            barrier(Box::new(HashJoin::new(
-                l,
-                r,
-                *kind,
-                on.clone(),
-                residual.clone(),
-                naive,
-            )?))
+            let mut join = HashJoin::new(l, r, *kind, on.clone(), residual.clone(), naive)?;
+            join.set_mem_tracker(MemTracker::new(ctx.mem.clone()));
+            if let Some(d) = &ctx.spill_disk {
+                join.set_spill_disk(d.clone());
+            }
+            barrier(Box::new(join))
         }
         LogicalPlan::Aggregate {
             input,
@@ -128,22 +127,28 @@ fn compile_rec(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
             phase,
         } => {
             let child = compile_rec(input, ctx)?;
-            barrier(Box::new(HashAggregate::new(
+            let mut agg = HashAggregate::new(
                 child,
                 group_by.clone(),
                 aggs.clone(),
                 *phase,
                 ctx.config.vector_size,
                 naive,
-            )?))
+            )?;
+            agg.set_mem_tracker(MemTracker::new(ctx.mem.clone()));
+            if let Some(d) = &ctx.spill_disk {
+                agg.set_spill_disk(d.clone());
+            }
+            barrier(Box::new(agg))
         }
         LogicalPlan::Sort { input, keys } => {
             let child = compile_rec(input, ctx)?;
-            barrier(Box::new(VecSort::new(
-                child,
-                keys.clone(),
-                ctx.config.vector_size,
-            )))
+            let mut sort = VecSort::new(child, keys.clone(), ctx.config.vector_size);
+            sort.set_mem_tracker(MemTracker::new(ctx.mem.clone()));
+            if let Some(d) = &ctx.spill_disk {
+                sort.set_spill_disk(d.clone());
+            }
+            barrier(Box::new(sort))
         }
         LogicalPlan::Limit {
             input,

@@ -45,6 +45,15 @@ fn dump_profile(db: &vw_core::Database) {
         io.push_str(&format!(", decode-cache {:.0}% hit", rate * 100.0));
     }
     println!("{}", io);
+    let mut mem = format!("      | mem: {} KiB peak reserved", prof.mem.peak / 1024);
+    if prof.mem.spill_events > 0 {
+        mem.push_str(&format!(
+            ", spilled {} KiB in {} partitions/runs",
+            prof.mem.spill_bytes / 1024,
+            prof.mem.spill_events
+        ));
+    }
+    println!("{}", mem);
 }
 
 /// On-disk footprint of the loaded tables (compressed execution context for
@@ -158,6 +167,15 @@ fn main() {
             let prof = db.profile_last_query().expect("profiling on by default");
             assert_eq!(prof.root.rows_out() as usize, rows, "profile cardinality");
             println!("{}", prof.render());
+            // Unbounded runs must not spill; budgeted runs (VW_MEM_BUDGET set,
+            // e.g. the low-memory CI job) are allowed to — the profile line
+            // above shows how much.
+            if prof.mem.limit.is_none() {
+                assert_eq!(
+                    prof.mem.spill_bytes, 0,
+                    "Q1 must not spill without a memory budget"
+                );
+            }
         }
         smoke_selective(&db, sf);
         return;

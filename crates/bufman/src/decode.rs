@@ -13,7 +13,7 @@
 //! and free old ids), so entries never go stale.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use vw_common::BlockId;
 use vw_storage::NullableColumn;
@@ -66,7 +66,7 @@ impl DecodeCacheStats {
 /// A shared, memory-bounded cache of decoded vector slices.
 pub struct DecodeCache {
     inner: Mutex<Inner>,
-    capacity_bytes: usize,
+    capacity_bytes: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -80,7 +80,7 @@ impl DecodeCache {
                 bytes: 0,
                 clock: 0,
             }),
-            capacity_bytes,
+            capacity_bytes: AtomicUsize::new(capacity_bytes),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -88,7 +88,31 @@ impl DecodeCache {
     }
 
     pub fn capacity_bytes(&self) -> usize {
-        self.capacity_bytes
+        self.capacity_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resize the cache at runtime (`SET decode_cache = ...`), evicting LRU
+    /// entries down to the new capacity.
+    pub fn set_capacity(&self, capacity_bytes: usize) {
+        self.capacity_bytes.store(capacity_bytes, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        self.evict_past_capacity(&mut inner, capacity_bytes);
+    }
+
+    fn evict_past_capacity(&self, inner: &mut Inner, capacity: usize) {
+        while inner.bytes > capacity {
+            // O(n) victim scan; the cache holds at most a few thousand
+            // vector slices, and eviction only runs once the pool is full.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(k, _)| *k)
+                .expect("bytes > 0 implies non-empty");
+            let slot = inner.map.remove(&victim).unwrap();
+            inner.bytes -= slot.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Look up a decoded slice, refreshing its recency on hit.
@@ -113,7 +137,8 @@ impl DecodeCache {
     /// Slices larger than the whole capacity are not cached.
     pub fn insert(&self, key: SliceKey, col: Arc<NullableColumn>) {
         let bytes = slice_bytes(&col);
-        if bytes > self.capacity_bytes {
+        let capacity = self.capacity_bytes();
+        if bytes > capacity {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
@@ -130,19 +155,7 @@ impl DecodeCache {
             inner.bytes -= old.bytes;
         }
         inner.bytes += bytes;
-        while inner.bytes > self.capacity_bytes {
-            // O(n) victim scan; the cache holds at most a few thousand
-            // vector slices, and eviction only runs once the pool is full.
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, s)| s.last_use)
-                .map(|(k, _)| *k)
-                .expect("bytes > 0 implies non-empty");
-            let slot = inner.map.remove(&victim).unwrap();
-            inner.bytes -= slot.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.evict_past_capacity(&mut inner, capacity);
     }
 
     pub fn stats(&self) -> DecodeCacheStats {
@@ -232,6 +245,21 @@ mod tests {
         cache.clear();
         assert!(cache.get(&key(1, 0)).is_none());
         assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let cache = DecodeCache::new(128);
+        for b in 0..4 {
+            cache.insert(key(b, 0), col(vec![1, 2, 3, 4]));
+        }
+        assert_eq!(cache.stats().resident_bytes, 128);
+        cache.get(&key(3, 0)).unwrap(); // most recent survives
+        cache.set_capacity(32);
+        assert_eq!(cache.capacity_bytes(), 32);
+        assert_eq!(cache.stats().resident_bytes, 32);
+        assert!(cache.get(&key(3, 0)).is_some());
+        assert!(cache.get(&key(0, 0)).is_none());
     }
 
     #[test]

@@ -16,6 +16,51 @@ pub const BLOCK_VALUES: usize = 64 * 1024;
 /// Default size in bytes we model for a physical disk block (compressed).
 pub const BLOCK_BYTES: usize = 512 * 1024;
 
+/// Default DecodeCache capacity (decoded-slice cache in `vw-bufman`).
+pub const DECODE_CACHE_BYTES: usize = 32 << 20;
+
+/// Parse a human-friendly byte size: a plain integer (bytes) or an integer
+/// with a `K`/`M`/`G` suffix, optionally followed by `B` or `iB`
+/// (case-insensitive). All suffixes are binary (powers of 1024): `16MiB`,
+/// `16MB`, and `16m` all mean `16 * 1024 * 1024`.
+pub fn parse_byte_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let digits_end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(s.len(), |(i, _)| i);
+    let n: usize = s[..digits_end].parse().ok()?;
+    let unit = s[digits_end..].trim().to_ascii_lowercase();
+    let shift = match unit.as_str() {
+        "" | "b" => 0,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        _ => return None,
+    };
+    n.checked_shl(shift)
+}
+
+/// Environment variable consulted by `EngineConfig::default()` for the
+/// execution-memory budget (e.g. `VW_MEM_BUDGET=16MiB`). Lets the whole
+/// test suite and the qph harness run memory-governed without code changes
+/// (used by the low-memory CI job). `0` or `unbounded` mean no limit.
+pub const MEM_BUDGET_ENV: &str = "VW_MEM_BUDGET";
+
+/// Environment variable consulted for the DecodeCache capacity.
+pub const DECODE_CACHE_ENV: &str = "VW_DECODE_CACHE";
+
+fn env_byte_size(var: &str) -> Option<usize> {
+    let v = std::env::var(var).ok()?;
+    if v.eq_ignore_ascii_case("unbounded") || v.eq_ignore_ascii_case("none") {
+        return None;
+    }
+    match parse_byte_size(&v) {
+        Some(0) | None => None,
+        some => some,
+    }
+}
+
 /// Runtime-configurable engine options, threaded through executors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
@@ -32,6 +77,14 @@ pub struct EngineConfig {
     /// time (the X100 argument for always-on profiling). `EXPLAIN ANALYZE`
     /// forces it on regardless.
     pub profiling: bool,
+    /// Query-wide execution-memory budget in bytes; `None` = unbounded.
+    /// Shared by all workers of one query: stateful operators (hash join
+    /// build, aggregation table, sort buffer) reserve against it and spill
+    /// to disk under pressure. Defaults from `VW_MEM_BUDGET` if set.
+    pub mem_budget_bytes: Option<usize>,
+    /// DecodeCache capacity in bytes (decoded-slice cache, per Database).
+    /// Defaults to [`DECODE_CACHE_BYTES`], overridable via `VW_DECODE_CACHE`.
+    pub decode_cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +94,8 @@ impl Default for EngineConfig {
             parallelism: 1,
             rewrite_nulls: true,
             profiling: true,
+            mem_budget_bytes: env_byte_size(MEM_BUDGET_ENV),
+            decode_cache_bytes: env_byte_size(DECODE_CACHE_ENV).unwrap_or(DECODE_CACHE_BYTES),
         }
     }
 }
@@ -58,6 +113,14 @@ impl EngineConfig {
     pub fn with_parallelism(parallelism: usize) -> Self {
         EngineConfig {
             parallelism,
+            ..Default::default()
+        }
+    }
+
+    /// Config with a specific execution-memory budget (`None` = unbounded).
+    pub fn with_mem_budget(mem_budget_bytes: Option<usize>) -> Self {
+        EngineConfig {
+            mem_budget_bytes,
             ..Default::default()
         }
     }
@@ -82,5 +145,36 @@ mod tests {
     fn builders() {
         assert_eq!(EngineConfig::with_vector_size(16).vector_size, 16);
         assert_eq!(EngineConfig::with_parallelism(4).parallelism, 4);
+        assert_eq!(
+            EngineConfig::with_mem_budget(Some(1 << 20)).mem_budget_bytes,
+            Some(1 << 20)
+        );
+    }
+
+    #[test]
+    fn byte_size_parsing() {
+        assert_eq!(parse_byte_size("0"), Some(0));
+        assert_eq!(parse_byte_size("4096"), Some(4096));
+        assert_eq!(parse_byte_size("16MiB"), Some(16 << 20));
+        assert_eq!(parse_byte_size("16mb"), Some(16 << 20));
+        assert_eq!(parse_byte_size(" 2 GiB "), Some(2 << 30));
+        assert_eq!(parse_byte_size("512k"), Some(512 << 10));
+        assert_eq!(parse_byte_size("1B"), Some(1));
+        assert_eq!(parse_byte_size("x"), None);
+        assert_eq!(parse_byte_size("16XB"), None);
+        assert_eq!(parse_byte_size(""), None);
+    }
+
+    #[test]
+    fn mem_budget_tracks_env() {
+        // The low-memory CI job runs the whole suite with VW_MEM_BUDGET set,
+        // so assert consistency with the environment rather than a fixed
+        // value.
+        let expected = std::env::var(MEM_BUDGET_ENV)
+            .ok()
+            .filter(|v| !v.eq_ignore_ascii_case("unbounded") && !v.eq_ignore_ascii_case("none"))
+            .and_then(|v| parse_byte_size(&v))
+            .filter(|&n| n > 0);
+        assert_eq!(EngineConfig::default().mem_budget_bytes, expected);
     }
 }

@@ -6,6 +6,7 @@
 //! `vw-baselines`, which is what makes the engine comparisons apples-to-
 //! apples.
 
+use crate::mem::{MemBudget, MemTracker};
 use crate::morsel::{ExecStats, SharedExec};
 use crate::operators::{
     BoxedOperator, Exchange, HashAggregate, HashJoin, VecFilter, VecLimit, VecProject, VecScan,
@@ -20,7 +21,7 @@ use vw_common::config::EngineConfig;
 use vw_common::{Result, TableId, VwError};
 use vw_pdt::Pdt;
 use vw_plan::LogicalPlan;
-use vw_storage::TableStorage;
+use vw_storage::{SimDisk, TableStorage};
 
 /// Everything the engine needs to scan one table: the stable columnar image
 /// and the PDT snapshot to merge over it.
@@ -48,10 +49,18 @@ pub struct ExecContext {
     /// Shared cache of decoded vector slices for compressed execution;
     /// `None` disables slice caching (scans still run lazily).
     pub decode_cache: Option<Arc<DecodeCache>>,
+    /// Query-wide execution-memory budget. One instance per query, shared by
+    /// every operator tracker and every Exchange worker (the context is
+    /// cloned per worker, the `Arc` keeps the ledger global).
+    pub mem: Arc<MemBudget>,
+    /// Where spilling operators write their runs/partitions; `None` means
+    /// each operator opens a private scratch SimDisk on first spill.
+    pub spill_disk: Option<Arc<SimDisk>>,
 }
 
 impl ExecContext {
     pub fn new(tables: HashMap<TableId, TableProvider>, config: EngineConfig) -> ExecContext {
+        let mem = Arc::new(MemBudget::from_config(&config));
         ExecContext {
             tables: Arc::new(tables),
             config,
@@ -59,7 +68,14 @@ impl ExecContext {
             stats: Arc::new(ExecStats::default()),
             profile: None,
             decode_cache: None,
+            mem,
+            spill_disk: None,
         }
+    }
+
+    /// A fresh per-operator tracker charging this query's budget.
+    fn tracker(&self) -> MemTracker {
+        MemTracker::new(self.mem.clone())
     }
 
     fn provider(&self, id: TableId) -> Result<&TableProvider> {
@@ -184,6 +200,10 @@ fn compile_rec(
                 join.set_shared_build(shared.build_slot(occ));
             }
             join.set_stats(ctx.stats.clone());
+            join.set_mem_tracker(ctx.tracker());
+            if let Some(d) = &ctx.spill_disk {
+                join.set_spill_disk(d.clone());
+            }
             Box::new(join)
         }
         LogicalPlan::Aggregate {
@@ -193,18 +213,22 @@ fn compile_rec(
             phase,
         } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
-            Box::new(HashAggregate::new(
-                child,
-                group_by.clone(),
-                aggs.clone(),
-                *phase,
-                vs,
-                naive,
-            )?)
+            let mut agg =
+                HashAggregate::new(child, group_by.clone(), aggs.clone(), *phase, vs, naive)?;
+            agg.set_mem_tracker(ctx.tracker());
+            if let Some(d) = &ctx.spill_disk {
+                agg.set_spill_disk(d.clone());
+            }
+            Box::new(agg)
         }
         LogicalPlan::Sort { input, keys } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
-            Box::new(VecSort::new(child, keys.clone(), vs))
+            let mut sort = VecSort::new(child, keys.clone(), vs);
+            sort.set_mem_tracker(ctx.tracker());
+            if let Some(d) = &ctx.spill_disk {
+                sort.set_spill_disk(d.clone());
+            }
+            Box::new(sort)
         }
         LogicalPlan::Limit {
             input,
@@ -443,6 +467,57 @@ mod tests {
         got.sort_by_key(key);
         assert_eq!(got.len(), want.len());
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_matches_unbounded() {
+        let ctx = setup(5000);
+        // part ⋈ lineitem puts the 5000-row side on the build, so the join
+        // itself outgrows a 48 KiB budget; grouping on (quantity, price)
+        // yields ~700 groups so the aggregation table outgrows it too.
+        // Price values are multiples of 0.5, so f64 sums are exact under any
+        // re-association (spill drains, dop>1 partials).
+        let base = part_scan(&ctx)
+            .join(li_scan(&ctx), JoinKind::Inner, vec![(0, 0)])
+            .aggregate(
+                vec![3, 4], // quantity, price
+                vec![
+                    AggExpr {
+                        func: AggFunc::Sum,
+                        arg: Some(Expr::col(4)),
+                        name: "rev".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                        name: "n".into(),
+                    },
+                ],
+            )
+            .sort(vec![
+                SortKey { col: 0, asc: true },
+                SortKey { col: 1, asc: false },
+            ]);
+        let mut unbounded = compile_plan(&base, &ctx).unwrap();
+        let want = collect_rows(unbounded.as_mut()).unwrap();
+        assert!(want.len() > 100);
+
+        for dop in [1usize, 3] {
+            let plan = if dop > 1 {
+                parallelize(base.clone(), dop)
+            } else {
+                base.clone()
+            };
+            let mut tight = ctx.clone();
+            tight.config.mem_budget_bytes = Some(48 << 10);
+            tight.mem = Arc::new(MemBudget::from_config(&tight.config));
+            let mut op = compile_plan(&plan, &tight).unwrap();
+            let got = collect_rows(op.as_mut()).unwrap();
+            assert_eq!(got, want, "dop {dop} diverged under 48 KiB budget");
+            let stats = tight.mem.stats();
+            assert!(stats.spill_bytes > 0, "dop {dop}: expected spilling");
+            assert!(stats.peak > 0);
+        }
     }
 
     #[test]

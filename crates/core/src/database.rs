@@ -111,10 +111,6 @@ pub struct Database {
     decode_cache: Arc<vw_bufman::DecodeCache>,
 }
 
-/// Decode-cache capacity: a few thousand ~1K-value vector slices — enough to
-/// keep repeated scans of hot columns decoded, small next to the buffer pool.
-const DECODE_CACHE_BYTES: usize = 32 << 20;
-
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl Database {
@@ -131,17 +127,19 @@ impl Database {
 
     /// Full control over WAL location and simulated-disk profile.
     pub fn with_wal_and_disk(wal_path: PathBuf, disk: SimDiskConfig) -> Result<Database> {
+        let config = EngineConfig::default();
+        let decode_cache = Arc::new(vw_bufman::DecodeCache::new(config.decode_cache_bytes));
         Ok(Database {
             disk: Arc::new(SimDisk::new(disk)),
             tables: RwLock::new(HashMap::new()),
             txn: RwLock::new(TxnManager::new(&wal_path)?),
             stats: RwLock::new(HashMap::new()),
-            config: RwLock::new(EngineConfig::default()),
+            config: RwLock::new(config),
             wal_path,
             next_table_id: AtomicU64::new(1),
             last_profile: RwLock::new(None),
             buffer: RwLock::new(None),
-            decode_cache: Arc::new(vw_bufman::DecodeCache::new(DECODE_CACHE_BYTES)),
+            decode_cache,
         })
     }
 
@@ -178,6 +176,20 @@ impl Database {
     /// Toggle the NULL-rewrite (experiment E8; on by default).
     pub fn set_rewrite_nulls(&self, on: bool) {
         self.config.write().rewrite_nulls = on;
+    }
+
+    /// Query-wide execution-memory budget for subsequent queries; `None`
+    /// means unbounded (no spilling). Also reachable from SQL via
+    /// `SET memory_budget = '16MiB'`.
+    pub fn set_mem_budget(&self, bytes: Option<usize>) {
+        self.config.write().mem_budget_bytes = bytes;
+    }
+
+    /// Resize the decoded-slice cache (`SET decode_cache = '8MiB'`). Evicts
+    /// down to the new capacity immediately.
+    pub fn set_decode_cache_bytes(&self, bytes: usize) {
+        self.config.write().decode_cache_bytes = bytes;
+        self.decode_cache.set_capacity(bytes);
     }
 
     /// Toggle per-operator profiling (on by default; the per-vector
@@ -314,6 +326,9 @@ impl Database {
         }
         let mut ctx = ExecContext::new(providers, self.config.read().clone());
         ctx.decode_cache = Some(self.decode_cache.clone());
+        // Spilled runs/partitions share the database's disk, so spill I/O
+        // shows up in the same `DiskStats` the profile already reports.
+        ctx.spill_disk = Some(self.disk.clone());
         Ok(ctx)
     }
 
@@ -370,6 +385,7 @@ impl Database {
                     _ => None,
                 },
                 decode: Some(self.decode_cache.stats().since(&decode_before)),
+                mem: ctx.mem.stats(),
             })
         });
         if let Some(p) = &profile {
@@ -435,7 +451,73 @@ impl Database {
                 self.commit(txn)?;
                 Ok(count_result("deleted", n))
             }
+            BoundStatement::Set { name, value } => {
+                self.apply_set(&name, &value)?;
+                Ok(empty_result("set"))
+            }
         }
+    }
+
+    /// Apply a `SET <name> = <value>` session option.
+    fn apply_set(&self, name: &str, value: &Value) -> Result<()> {
+        // Byte-size options accept integers (bytes) or strings ('16MiB');
+        // 0, NULL, 'unbounded' and 'none' lift the memory budget.
+        let byte_size = |v: &Value| -> Result<Option<usize>> {
+            match v {
+                Value::Null => Ok(None),
+                Value::I64(0) | Value::I32(0) => Ok(None),
+                Value::I64(n) if *n > 0 => Ok(Some(*n as usize)),
+                Value::I32(n) if *n > 0 => Ok(Some(*n as usize)),
+                Value::Str(s) if s.eq_ignore_ascii_case("unbounded") => Ok(None),
+                Value::Str(s) if s.eq_ignore_ascii_case("none") => Ok(None),
+                Value::Str(s) => vw_common::config::parse_byte_size(s)
+                    .map(Some)
+                    .ok_or_else(|| {
+                        VwError::Invalid(format!("cannot parse '{}' as a byte size", s))
+                    }),
+                other => Err(VwError::Invalid(format!(
+                    "expected a byte size, got {}",
+                    other
+                ))),
+            }
+        };
+        let as_usize = |v: &Value| -> Result<usize> {
+            match v {
+                Value::I64(n) if *n > 0 => Ok(*n as usize),
+                Value::I32(n) if *n > 0 => Ok(*n as usize),
+                other => Err(VwError::Invalid(format!(
+                    "expected a positive integer, got {}",
+                    other
+                ))),
+            }
+        };
+        let as_bool = |v: &Value| -> Result<bool> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                Value::Str(s) if s.eq_ignore_ascii_case("on") => Ok(true),
+                Value::Str(s) if s.eq_ignore_ascii_case("off") => Ok(false),
+                Value::I64(n) => Ok(*n != 0),
+                other => Err(VwError::Invalid(format!(
+                    "expected a boolean, got {}",
+                    other
+                ))),
+            }
+        };
+        match name {
+            "memory_budget" | "mem_budget" => self.set_mem_budget(byte_size(value)?),
+            "decode_cache" | "decode_cache_bytes" => {
+                let bytes = byte_size(value)?.unwrap_or(0);
+                self.set_decode_cache_bytes(bytes);
+            }
+            "parallelism" | "dop" => self.set_parallelism(as_usize(value)?),
+            "vector_size" => self.set_vector_size(as_usize(value)?),
+            "profiling" => self.set_profiling(as_bool(value)?),
+            "rewrite_nulls" => self.set_rewrite_nulls(as_bool(value)?),
+            other => {
+                return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
+            }
+        }
+        Ok(())
     }
 
     /// Execute a SQL statement inside an open transaction (DML + queries).
@@ -994,6 +1076,53 @@ mod tests {
         let text = r.format_table();
         assert!(text.contains("| id | tag |"), "{}", text);
         assert!(text.contains("| 1  | a   |"), "{}", text);
+    }
+
+    #[test]
+    fn set_statement_governs_memory_budget() {
+        let db = wide_db(4000);
+        let q = "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k ORDER BY s DESC";
+        let unbounded = db.execute(q).unwrap();
+        db.execute("SET memory_budget = '32KiB'").unwrap();
+        assert_eq!(db.config().mem_budget_bytes, Some(32 << 10));
+        let tight = db.execute(q).unwrap();
+        assert_eq!(tight.rows, unbounded.rows);
+        let prof = db.profile_last_query().unwrap();
+        assert_eq!(prof.mem.limit, Some(32 << 10));
+        assert!(prof.mem.peak > 0);
+        // EXPLAIN ANALYZE renders the memory line.
+        let r = db.execute(&format!("EXPLAIN ANALYZE {}", q)).unwrap();
+        let text: String = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_str().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("Memory:"), "{}", text);
+        assert!(text.contains("KiB budget"), "{}", text);
+        // Lift the budget again (bare word works unquoted).
+        db.execute("SET memory_budget = unbounded").unwrap();
+        assert_eq!(db.config().mem_budget_bytes, None);
+    }
+
+    #[test]
+    fn set_statement_other_options() {
+        let db = sample_db();
+        db.execute("SET parallelism = 3").unwrap();
+        assert_eq!(db.config().parallelism, 3);
+        db.execute("SET vector_size = 512").unwrap();
+        assert_eq!(db.config().vector_size, 512);
+        db.execute("SET profiling = off").unwrap();
+        assert!(!db.config().profiling);
+        db.execute("SET profiling = on").unwrap();
+        db.execute("SET decode_cache = '1MiB'").unwrap();
+        assert_eq!(db.decode_cache().capacity_bytes(), 1 << 20);
+        assert!(db.execute("SET nosuch_option = 1").is_err());
+        assert!(db.execute("SET memory_budget = 'garbage'").is_err());
+        // SET is session-level: rejected inside a transaction.
+        let mut t = db.begin();
+        assert!(db.execute_in(&mut t, "SET parallelism = 2").is_err());
+        db.abort(t);
     }
 
     #[test]

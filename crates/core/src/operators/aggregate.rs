@@ -3,20 +3,42 @@
 //!
 //! Group lookup is allocation-free on the hot path: hash lanes directly from
 //! the key columns, verify candidates by lane comparison, and only when a
-//! *new* group is born are its key values materialized. Aggregate arguments
-//! are evaluated vector-at-a-time with the batch's selection vector, so the
-//! classic `Scan → Filter → Aggregate` pipeline never materializes survivors.
+//! *new* group is born are its key values materialized — into a flat
+//! interned key buffer ([`KeyStore`]: one `Vec<Value>` with a fixed stride,
+//! not one allocation per group).
+//! Aggregate arguments are evaluated vector-at-a-time with the batch's
+//! selection vector, so the classic `Scan → Filter → Aggregate` pipeline
+//! never materializes survivors.
+//!
+//! Under a [`MemTracker`] budget the table **spills**: when reserving more
+//! group state fails, every resident group is serialized as a
+//! partial-aggregate row (group keys, per-aggregate partial value, hidden
+//! AVG counts) into one of [`SPILL_PARTITIONS`] spill files chosen by the
+//! top bits of the group hash, and the table restarts empty. A group's hash
+//! is deterministic in its (normalized) key values, so every fragment of
+//! one group lands in the same partition. At end of input the partitions
+//! drain one at a time: fragments re-aggregate with the same `combine`
+//! semantics the Final phase uses, then finish for the operator's own phase
+//! — correct for Single, Partial and Final alike.
+
+use std::sync::Arc;
 
 use crate::batch::{Batch, ExecVector};
+use crate::mem::MemTracker;
+use crate::spill::{read_batch, spill_disk, write_batch};
 use crate::vexpr::ExprEvaluator;
 use vw_common::hash::FxHashMap;
 use vw_common::{DataType, Field, Result, Schema, Value, VwError};
 use vw_plan::plan::AggPhase;
 use vw_plan::rewrite::parallel::partial_avg_count_columns;
 use vw_plan::{AggExpr, AggFunc};
-use vw_storage::ColumnData;
+use vw_storage::{ColumnData, SimDisk, SpillFile};
 
 use super::{hash_lane, BoxedOperator, Operator};
+
+/// Spill fan-out: partitions are selected by the top 3 bits of the group
+/// hash, so re-spilled fragments of one group always meet again.
+const SPILL_PARTITIONS: usize = 8;
 
 /// One aggregate's running state.
 #[derive(Debug, Clone)]
@@ -211,6 +233,77 @@ fn lane_f64(v: &ExecVector, i: usize) -> Result<f64> {
     }
 }
 
+/// Interned group keys: one flat buffer with a fixed stride of
+/// `width = group_by.len()` values per group (the keys of group `g` live at
+/// `flat[g*width..(g+1)*width]`), instead of a `Vec<Value>` per group.
+struct KeyStore {
+    flat: Vec<Value>,
+    width: usize,
+    groups: usize,
+}
+
+impl KeyStore {
+    fn new(width: usize) -> KeyStore {
+        KeyStore {
+            flat: Vec::new(),
+            width,
+            groups: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.groups
+    }
+
+    fn is_empty(&self) -> bool {
+        self.groups == 0
+    }
+
+    fn keys(&self, g: usize) -> &[Value] {
+        &self.flat[g * self.width..(g + 1) * self.width]
+    }
+
+    /// Intern one group's keys; returns its id.
+    fn push(&mut self, keys: impl Iterator<Item = Value>) -> usize {
+        self.flat.extend(keys);
+        debug_assert_eq!(self.flat.len(), (self.groups + 1) * self.width);
+        self.groups += 1;
+        self.groups - 1
+    }
+
+    fn clear(&mut self) {
+        self.flat.clear();
+        self.groups = 0;
+    }
+}
+
+/// The resident aggregation state: hash table, interned keys, group hashes
+/// (kept for spill partitioning) and per-group aggregate states.
+struct GroupTable {
+    buckets: FxHashMap<u64, Vec<u32>>,
+    keys: KeyStore,
+    hashes: Vec<u64>,
+    states: Vec<Vec<AggState>>,
+}
+
+impl GroupTable {
+    fn new(width: usize) -> GroupTable {
+        GroupTable {
+            buckets: FxHashMap::default(),
+            keys: KeyStore::new(width),
+            hashes: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buckets.clear();
+        self.keys.clear();
+        self.hashes.clear();
+        self.states.clear();
+    }
+}
+
 /// Hash aggregation operator.
 pub struct HashAggregate {
     input: BoxedOperator,
@@ -225,6 +318,17 @@ pub struct HashAggregate {
     /// Columns in the (partial) input carrying hidden AVG counts:
     /// `(agg index, input column)`.
     hidden_in: Vec<(usize, usize)>,
+    /// Layout of spilled group rows: keys, partial aggregate values, hidden
+    /// AVG counts (the Partial-phase output layout, whatever `phase` is).
+    spill_schema: Schema,
+    /// Indices (into `aggs`) of the AVG aggregates, in order.
+    avg_idxs: Vec<usize>,
+    mem: MemTracker,
+    disk: Option<Arc<SimDisk>>,
+    /// Spill partitions, created on first pressure.
+    partitions: Option<Vec<SpillFile>>,
+    /// Partitions still to drain (popped from the back).
+    drain: Vec<SpillFile>,
     done: bool,
     output: Vec<Batch>,
 }
@@ -280,6 +384,38 @@ impl HashAggregate {
         } else {
             Vec::new()
         };
+        // Spill rows use the Partial output layout regardless of phase.
+        let mut spill_fields: Vec<Field> = group_by
+            .iter()
+            .map(|&g| {
+                let f = in_schema.field(g);
+                Field {
+                    name: f.name.clone(),
+                    ty: f.ty,
+                    nullable: true,
+                }
+            })
+            .collect();
+        for (a, ty) in aggs.iter().zip(&arg_types) {
+            spill_fields.push(Field {
+                name: a.name.clone(),
+                ty: output_type(a.func, *ty, AggPhase::Partial),
+                nullable: true,
+            });
+        }
+        let avg_idxs: Vec<usize> = aggs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.func == AggFunc::Avg)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &avg_idxs {
+            spill_fields.push(Field {
+                name: format!("__{}_count", aggs[i].name),
+                ty: DataType::I64,
+                nullable: true,
+            });
+        }
         Ok(HashAggregate {
             input,
             group_by,
@@ -291,16 +427,31 @@ impl HashAggregate {
             in_schema,
             vector_size: vector_size.max(1),
             hidden_in,
+            spill_schema: Schema::new(spill_fields),
+            avg_idxs,
+            mem: MemTracker::detached(),
+            disk: None,
+            partitions: None,
+            drain: Vec::new(),
             done: false,
             output: Vec::new(),
         })
     }
 
+    /// Attach a tracker onto the query's shared memory budget.
+    pub fn set_mem_tracker(&mut self, mem: MemTracker) {
+        self.mem = mem;
+    }
+
+    /// Spill to this disk (the database's SimDisk, so spill I/O is counted).
+    pub fn set_spill_disk(&mut self, disk: Arc<SimDisk>) {
+        self.disk = Some(disk);
+    }
+
     fn run(&mut self) -> Result<()> {
-        // group hash table: hash -> group ids; group id -> (keys, states)
-        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        let mut group_keys: Vec<Vec<Value>> = Vec::new();
-        let mut states: Vec<Vec<AggState>> = Vec::new();
+        let mut table = GroupTable::new(self.group_by.len());
+        // Bytes currently reserved against the budget for `table`.
+        let mut table_bytes = 0usize;
         let key_types: Vec<DataType> = self
             .group_by
             .iter()
@@ -322,6 +473,9 @@ impl HashAggregate {
                     &sel_owned
                 }
             };
+            // Memory cost of groups born in this batch (accounted per batch,
+            // not per row, to keep the fast path cheap).
+            let mut new_bytes = 0usize;
             for &lane in lanes {
                 let i = lane as usize;
                 // group lookup
@@ -329,10 +483,10 @@ impl HashAggregate {
                 for &g in &self.group_by {
                     h = hash_lane(&batch.columns[g], i, h);
                 }
-                let bucket = buckets.entry(h).or_default();
+                let bucket = table.buckets.entry(h).or_default();
                 let mut gid: Option<u32> = None;
                 for &cand in bucket.iter() {
-                    let keys = &group_keys[cand as usize];
+                    let keys = table.keys.keys(cand as usize);
                     let ok = self
                         .group_by
                         .iter()
@@ -346,19 +500,19 @@ impl HashAggregate {
                 let gid = match gid {
                     Some(g) => g as usize,
                     None => {
-                        let id = group_keys.len();
-                        bucket.push(id as u32);
-                        group_keys.push(
+                        let id = table.keys.push(
                             self.group_by
                                 .iter()
                                 .zip(&key_types)
                                 // Store the canonical key (folds -0.0 to 0.0,
                                 // canonicalizes NaN) so the emitted group key
                                 // matches the row-engine's normalized keys.
-                                .map(|(&g, &ty)| batch.columns[g].get_value(i, ty).normalize_key())
-                                .collect(),
+                                .map(|(&g, &ty)| batch.columns[g].get_value(i, ty).normalize_key()),
                         );
-                        states.push(
+                        bucket.push(id as u32);
+                        new_bytes += group_cost(table.keys.keys(id), self.aggs.len());
+                        table.hashes.push(h);
+                        table.states.push(
                             self.aggs
                                 .iter()
                                 .zip(&self.arg_types)
@@ -369,7 +523,7 @@ impl HashAggregate {
                     }
                 };
                 // update states
-                for (k, st) in states[gid].iter_mut().enumerate() {
+                for (k, st) in table.states[gid].iter_mut().enumerate() {
                     if self.phase == AggPhase::Final {
                         let arg = args[k]
                             .as_ref()
@@ -388,12 +542,34 @@ impl HashAggregate {
                     }
                 }
             }
+            if new_bytes > 0 {
+                if self.mem.try_grow(new_bytes) {
+                    table_bytes += new_bytes;
+                } else {
+                    // Pressure: spill every resident group (including this
+                    // batch's) as partial rows and restart the table empty.
+                    self.spill_table(&mut table, &mut table_bytes)?;
+                }
+            }
+        }
+
+        if self.partitions.is_some() {
+            // Spilled at least once: flush the remainder and drain
+            // partition-at-a-time from `next()`.
+            if !table.keys.is_empty() {
+                self.spill_table(&mut table, &mut table_bytes)?;
+            }
+            let parts = self.partitions.take().unwrap();
+            self.drain = parts.into_iter().filter(|f| !f.is_empty()).collect();
+            self.drain.reverse(); // popped from the back in order
+            return Ok(());
         }
 
         // Scalar aggregate over empty input still yields one row.
-        if group_keys.is_empty() && self.group_by.is_empty() {
-            group_keys.push(vec![]);
-            states.push(
+        if table.keys.is_empty() && self.group_by.is_empty() {
+            table.keys.push(std::iter::empty());
+            table.hashes.push(0);
+            table.states.push(
                 self.aggs
                     .iter()
                     .zip(&self.arg_types)
@@ -403,28 +579,161 @@ impl HashAggregate {
         }
 
         // Emit result rows chunked at vector size.
-        let schema = self.out_schema.clone();
-        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(group_keys.len());
-        for (keys, sts) in group_keys.into_iter().zip(&states) {
-            let mut row = keys;
-            for st in sts {
-                row.push(st.finish(self.phase));
-            }
-            if self.phase == AggPhase::Partial {
-                for (k, a) in self.aggs.iter().enumerate() {
-                    if a.func == AggFunc::Avg {
-                        row.push(sts[k].hidden_count());
-                    }
-                }
-            }
-            rows.push(row);
-        }
+        let rows = self.result_rows(&table);
         for chunk in rows.chunks(self.vector_size) {
-            self.output.push(Batch::from_rows(&schema, chunk)?);
+            self.output.push(Batch::from_rows(&self.out_schema, chunk)?);
         }
         self.output.reverse(); // pop() from the back in order
         Ok(())
     }
+
+    /// Output rows for the operator's own phase (group keys, finished
+    /// aggregates, hidden AVG counts when emitting partials).
+    fn result_rows(&self, table: &GroupTable) -> Vec<Vec<Value>> {
+        let mut rows = Vec::with_capacity(table.keys.len());
+        for g in 0..table.keys.len() {
+            let mut row: Vec<Value> = table.keys.keys(g).to_vec();
+            let sts = &table.states[g];
+            for st in sts {
+                row.push(st.finish(self.phase));
+            }
+            if self.phase == AggPhase::Partial {
+                for &k in &self.avg_idxs {
+                    row.push(sts[k].hidden_count());
+                }
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Serialize every resident group as a partial row into its hash
+    /// partition, then restart the table empty and release its reservation.
+    fn spill_table(&mut self, table: &mut GroupTable, table_bytes: &mut usize) -> Result<()> {
+        if self.partitions.is_none() {
+            let disk = spill_disk(&self.disk);
+            self.partitions = Some(
+                (0..SPILL_PARTITIONS)
+                    .map(|_| SpillFile::new(disk.clone()))
+                    .collect(),
+            );
+        }
+        let mut part_rows: Vec<Vec<Vec<Value>>> = vec![Vec::new(); SPILL_PARTITIONS];
+        for g in 0..table.keys.len() {
+            let p = (table.hashes[g] >> 61) as usize;
+            let mut row: Vec<Value> = table.keys.keys(g).to_vec();
+            let sts = &table.states[g];
+            for st in sts {
+                row.push(st.finish(AggPhase::Partial));
+            }
+            for &k in &self.avg_idxs {
+                row.push(sts[k].hidden_count());
+            }
+            part_rows[p].push(row);
+        }
+        let parts = self.partitions.as_mut().unwrap();
+        for (p, rows) in part_rows.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let b = Batch::from_rows(&self.spill_schema, &rows)?;
+            let bytes = write_batch(&mut parts[p], &b)?;
+            self.mem.note_spill(bytes);
+        }
+        table.clear();
+        self.mem.shrink(*table_bytes);
+        *table_bytes = 0;
+        Ok(())
+    }
+
+    /// Re-aggregate one spilled partition and queue its output batches.
+    /// Only this partition is resident (the drain's minimal working unit).
+    fn drain_partition(&mut self, file: SpillFile) -> Result<()> {
+        let resident = file.bytes() as usize;
+        self.mem.force_grow(resident);
+        let width = self.group_by.len();
+        let naggs = self.aggs.len();
+        let key_types: Vec<DataType> = self.spill_schema.fields()[..width]
+            .iter()
+            .map(|f| f.ty)
+            .collect();
+        // Hidden-count column per aggregate in the spill layout.
+        let hidden_col: Vec<Option<usize>> = (0..naggs)
+            .map(|k| {
+                self.avg_idxs
+                    .iter()
+                    .position(|&a| a == k)
+                    .map(|pos| width + naggs + pos)
+            })
+            .collect();
+        let mut table = GroupTable::new(width);
+        for c in 0..file.chunk_count() {
+            let batch = read_batch(&file, c)?;
+            for i in 0..batch.rows {
+                let mut h = 0u64;
+                for col in &batch.columns[..width] {
+                    h = hash_lane(col, i, h);
+                }
+                let bucket = table.buckets.entry(h).or_default();
+                let mut gid: Option<u32> = None;
+                for &cand in bucket.iter() {
+                    let keys = table.keys.keys(cand as usize);
+                    let ok = (0..width).all(|k| value_lane_eq(&keys[k], &batch.columns[k], i));
+                    if ok {
+                        gid = Some(cand);
+                        break;
+                    }
+                }
+                let gid = match gid {
+                    Some(g) => g as usize,
+                    None => {
+                        let id = table.keys.push(
+                            key_types
+                                .iter()
+                                .enumerate()
+                                .map(|(k, &ty)| batch.columns[k].get_value(i, ty).normalize_key()),
+                        );
+                        bucket.push(id as u32);
+                        table.hashes.push(h);
+                        table.states.push(
+                            self.aggs
+                                .iter()
+                                .zip(&self.arg_types)
+                                .map(|(a, ty)| AggState::new(a.func, *ty))
+                                .collect(),
+                        );
+                        id
+                    }
+                };
+                // Spilled rows are partials: merge with combine(), exactly
+                // like the Final phase merges worker partials.
+                for (k, st) in table.states[gid].iter_mut().enumerate() {
+                    let ty = self.spill_schema.field(width + k).ty;
+                    let hidden = hidden_col[k].map(|c| (&batch.columns[c], i));
+                    st.combine((&batch.columns[width + k], i, ty), hidden)?;
+                }
+            }
+        }
+        let rows = self.result_rows(&table);
+        for chunk in rows.chunks(self.vector_size).rev() {
+            self.output.push(Batch::from_rows(&self.out_schema, chunk)?);
+        }
+        self.mem.shrink(resident);
+        Ok(())
+    }
+}
+
+/// Estimated resident cost of one group: interned keys + aggregate states +
+/// bucket bookkeeping.
+fn group_cost(keys: &[Value], naggs: usize) -> usize {
+    let key_bytes: usize = keys
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => 24 + s.len(),
+            _ => 16,
+        })
+        .sum();
+    key_bytes + naggs * 48 + 32
 }
 
 fn output_type(func: AggFunc, arg_ty: Option<DataType>, _phase: AggPhase) -> DataType {
@@ -470,7 +779,24 @@ impl Operator for HashAggregate {
             self.run()?;
             self.done = true;
         }
-        Ok(self.output.pop())
+        loop {
+            if let Some(b) = self.output.pop() {
+                return Ok(Some(b));
+            }
+            let Some(file) = self.drain.pop() else {
+                return Ok(None);
+            };
+            self.drain_partition(file)?;
+        }
+    }
+
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        let mut ex = vec![("peak_bytes", self.mem.peak())];
+        if self.mem.spill_events() > 0 {
+            ex.push(("spill_parts", self.mem.spill_events()));
+            ex.push(("spill_bytes", self.mem.spill_bytes()));
+        }
+        ex
     }
 }
 
@@ -758,6 +1084,108 @@ mod tests {
         .unwrap();
         let out = collect_rows(&mut op).unwrap();
         assert_eq!(out, vec![vec![Value::I64(4)]]);
+    }
+
+    /// Spilling aggregation under a tiny budget produces exactly the same
+    /// groups as the unbounded run, for every phase, AVG and NULLs included.
+    #[test]
+    fn spilled_aggregate_matches_unbounded_all_phases() {
+        use crate::mem::{MemBudget, MemTracker};
+        let schema = Schema::new(vec![
+            Field::nullable("g", DataType::Str),
+            Field::nullable("x", DataType::I64),
+            Field::new("f", DataType::F64),
+        ]);
+        let data: Vec<Vec<Value>> = (0..800)
+            .map(|i| {
+                let g = if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("g{}", i % 37))
+                };
+                let x = if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::I64(i as i64)
+                };
+                vec![g, x, Value::F64((i % 13) as f64 * 0.25)]
+            })
+            .collect();
+        let aggs = vec![
+            agg(AggFunc::CountStar, None, "n"),
+            agg(AggFunc::Count, Some(Expr::col(1)), "nx"),
+            agg(AggFunc::Sum, Some(Expr::col(1)), "sx"),
+            agg(AggFunc::Avg, Some(Expr::col(2)), "af"),
+            agg(AggFunc::Min, Some(Expr::col(2)), "mn"),
+            agg(AggFunc::Max, Some(Expr::col(1)), "mx"),
+        ];
+        for phase in [AggPhase::Single, AggPhase::Partial] {
+            let src = Box::new(BatchSource::from_rows(schema.clone(), &data, 64).unwrap());
+            let mut unbounded =
+                HashAggregate::new(src, vec![0], aggs.clone(), phase, 32, false).unwrap();
+            let want = sorted(collect_rows(&mut unbounded).unwrap());
+
+            let src = Box::new(BatchSource::from_rows(schema.clone(), &data, 64).unwrap());
+            let mut tiny =
+                HashAggregate::new(src, vec![0], aggs.clone(), phase, 32, false).unwrap();
+            tiny.set_mem_tracker(MemTracker::new(std::sync::Arc::new(MemBudget::new(Some(
+                2048,
+            )))));
+            let got = sorted(collect_rows(&mut tiny).unwrap());
+            assert_eq!(got, want, "phase {:?}", phase);
+            let extras: std::collections::BTreeMap<_, _> =
+                tiny.profile_extras().into_iter().collect();
+            assert!(extras["spill_parts"] > 0, "tiny budget must spill");
+            assert!(extras["spill_bytes"] > 0);
+        }
+    }
+
+    /// The Final phase also spills correctly: feed partials in, compare the
+    /// finished output against the in-memory Final run.
+    #[test]
+    fn spilled_final_phase_matches() {
+        use crate::mem::{MemBudget, MemTracker};
+        let aggs = vec![
+            agg(AggFunc::CountStar, None, "n"),
+            agg(AggFunc::Avg, Some(Expr::col(1)), "a"),
+        ];
+        // Produce partial rows for many groups.
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::I64),
+            Field::nullable("x", DataType::I64),
+        ]);
+        let data: Vec<Vec<Value>> = (0..600)
+            .map(|i| vec![Value::I64((i % 97) as i64), Value::I64(i as i64)])
+            .collect();
+        let src = Box::new(BatchSource::from_rows(schema, &data, 50).unwrap());
+        let mut partial =
+            HashAggregate::new(src, vec![0], aggs.clone(), AggPhase::Partial, 1024, false).unwrap();
+        let pschema = partial.schema().clone();
+        let partials = collect_rows(&mut partial).unwrap();
+        let final_aggs: Vec<AggExpr> = aggs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| AggExpr {
+                func: a.func,
+                arg: Some(Expr::col(1 + i)),
+                name: a.name.clone(),
+            })
+            .collect();
+
+        let src = Box::new(BatchSource::from_rows(pschema.clone(), &partials, 64).unwrap());
+        let mut unbounded =
+            HashAggregate::new(src, vec![0], final_aggs.clone(), AggPhase::Final, 32, false)
+                .unwrap();
+        let want = sorted(collect_rows(&mut unbounded).unwrap());
+
+        let src = Box::new(BatchSource::from_rows(pschema, &partials, 64).unwrap());
+        let mut tiny =
+            HashAggregate::new(src, vec![0], final_aggs, AggPhase::Final, 32, false).unwrap();
+        tiny.set_mem_tracker(MemTracker::new(std::sync::Arc::new(MemBudget::new(Some(
+            1024,
+        )))));
+        let got = sorted(collect_rows(&mut tiny).unwrap());
+        assert_eq!(got, want);
     }
 
     #[test]

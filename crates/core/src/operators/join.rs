@@ -9,17 +9,34 @@
 //! SQL NULL key semantics: a NULL key never matches anything — NULL-keyed
 //! build rows are not inserted, NULL-keyed probe rows never find matches
 //! (for LEFT/ANTI they surface as unmatched rows, as SQL requires).
+//!
+//! Under a [`MemTracker`] budget the join goes **grace-style**: if the build
+//! side outgrows its reservation, build rows are partitioned by the top bits
+//! of their key hash into [`SPILL_PARTITIONS`] spill files (NULL-keyed build
+//! rows are dropped — they can never match, and build rows only surface
+//! through matches). The probe input is then drained and partitioned the
+//! same way (NULL-keyed probe rows go to partition 0: they match nothing,
+//! which is exactly what LEFT/ANTI need). Probing proceeds
+//! partition-at-a-time: load one build partition's hash table (the minimal
+//! working unit, force-reserved), stream its probe partition through the
+//! ordinary match/residual/kind pipeline, release, move on. Equal keys hash
+//! equal, so matches can only occur within a partition.
 
 use crate::batch::{Batch, ExecVector};
+use crate::mem::MemTracker;
 use crate::morsel::{ExecStats, SharedBuild};
+use crate::spill::{batch_bytes, read_batch, spill_disk, write_batch};
 use crate::vexpr::ExprEvaluator;
 use std::sync::Arc;
 use vw_common::hash::FxHashMap;
 use vw_common::{Result, Schema, VwError};
 use vw_plan::{Expr, JoinKind};
-use vw_storage::ColumnData;
+use vw_storage::{ColumnData, SimDisk, SpillFile};
 
-use super::{drain_to_single_batch, hash_lane, lanes_eq, BoxedOperator, Operator};
+use super::{concat_batches, hash_lane, lanes_eq, BoxedOperator, Operator};
+
+/// Spill fan-out; partitions are chosen by the top 3 bits of the key hash.
+const SPILL_PARTITIONS: usize = 8;
 
 /// Hash join operator.
 pub struct HashJoin {
@@ -41,45 +58,191 @@ pub struct HashJoin {
     /// Whether *this* worker's instance executed the build (vs reusing a
     /// sibling worker's shared build) — surfaced by `EXPLAIN ANALYZE`.
     build_executed: bool,
+    /// Probe-side memory ledger (probe partitioning + loaded partitions).
+    mem: MemTracker,
+    disk: Option<Arc<SimDisk>>,
+    /// Probe progress against a spilled build (None until needed).
+    grace: Option<GraceProbe>,
 }
 
-/// Frozen build side of a hash join: gathered columns + hash table. Immutable
-/// once built, so probe workers can share it behind an `Arc`.
-pub struct BuildData {
+/// An in-memory build table: gathered columns + hash → row-index chains.
+struct MemTable {
     columns: Vec<ExecVector>,
     /// hash → build row indexes (collision chains resolved by verify).
     table: FxHashMap<u64, Vec<u32>>,
+}
+
+impl MemTable {
+    fn empty() -> MemTable {
+        MemTable {
+            columns: Vec::new(),
+            table: FxHashMap::default(),
+        }
+    }
+
+    /// Hash dense `columns` on the right-side `on` keys.
+    fn build(columns: Vec<ExecVector>, rows: usize, on: &[(usize, usize)]) -> MemTable {
+        let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        'row: for i in 0..rows {
+            let mut h = 0u64;
+            for &(_, rc) in on {
+                if columns[rc].is_null(i) {
+                    continue 'row; // NULL keys never match
+                }
+                h = hash_lane(&columns[rc], i, h);
+            }
+            table.entry(h).or_default().push(i as u32);
+        }
+        MemTable { columns, table }
+    }
+}
+
+enum BuildRepr {
+    /// Fits in budget: one resident hash table (the fast path).
+    Mem(MemTable),
+    /// Spilled: build rows partitioned by key hash, NULL keys dropped.
+    Spilled(Vec<SpillFile>),
+}
+
+/// Frozen build side of a hash join. Immutable once built, so probe workers
+/// can share it behind an `Arc`; spilled partitions are read through `&self`.
+/// Holds its memory reservation (`mem`) for as long as it lives.
+pub struct BuildData {
+    repr: BuildRepr,
+    rows: u64,
+    mem: MemTracker,
 }
 
 impl BuildData {
     /// An empty build side (matches nothing). For tests and placeholders.
     pub fn empty() -> BuildData {
         BuildData {
-            columns: Vec::new(),
-            table: FxHashMap::default(),
+            repr: BuildRepr::Mem(MemTable::empty()),
+            rows: 0,
+            mem: MemTracker::detached(),
         }
     }
 
-    /// Drain `right` and hash its rows on the `on` keys.
-    fn from_operator(right: &mut dyn Operator, on: &[(usize, usize)]) -> Result<BuildData> {
-        let batch = drain_to_single_batch(right)?;
-        let rows = batch.rows;
-        let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        'row: for i in 0..rows {
-            let mut h = 0u64;
-            for &(_, rc) in on {
-                if batch.columns[rc].is_null(i) {
-                    continue 'row; // NULL keys never match
-                }
-                h = hash_lane(&batch.columns[rc], i, h);
+    /// Drain `right` and hash its rows on the `on` keys, reserving against
+    /// `mem` and switching to hash-partitioned spill files under pressure.
+    fn from_operator(
+        right: &mut dyn Operator,
+        on: &[(usize, usize)],
+        mut mem: MemTracker,
+        disk: &Option<Arc<SimDisk>>,
+    ) -> Result<BuildData> {
+        let ncols = right.schema().len();
+        let mut pending: Vec<Batch> = Vec::new();
+        let mut pending_bytes = 0usize;
+        let mut parts: Option<Vec<SpillFile>> = None;
+        let mut rows_total = 0u64;
+        while let Some(b) = right.next()? {
+            let b = b.compact();
+            if b.rows == 0 {
+                continue;
             }
-            table.entry(h).or_default().push(i as u32);
+            rows_total += b.rows as u64;
+            if let Some(files) = &mut parts {
+                partition_build_batch(&b, on, files, &mut mem)?;
+                continue;
+            }
+            // Reserve batch bytes plus the hash-table share (~16B/row) up
+            // front, so the later table build is already paid for.
+            let cost = batch_bytes(&b) + b.rows * 16;
+            if mem.try_grow(cost) {
+                pending_bytes += cost;
+                pending.push(b);
+                continue;
+            }
+            // Pressure: go grace — partition everything accumulated so far
+            // plus this batch, release the in-memory reservation.
+            let d = spill_disk(disk);
+            let mut files: Vec<SpillFile> = (0..SPILL_PARTITIONS)
+                .map(|_| SpillFile::new(d.clone()))
+                .collect();
+            for pb in pending.drain(..) {
+                partition_build_batch(&pb, on, &mut files, &mut mem)?;
+            }
+            mem.shrink(pending_bytes);
+            pending_bytes = 0;
+            partition_build_batch(&b, on, &mut files, &mut mem)?;
+            parts = Some(files);
         }
+        let repr = match parts {
+            Some(files) => BuildRepr::Spilled(files),
+            None if pending.is_empty() => BuildRepr::Mem(MemTable {
+                columns: empty_columns(right.schema()),
+                table: FxHashMap::default(),
+            }),
+            None => {
+                let batch = concat_batches(pending, ncols);
+                let rows = batch.rows;
+                BuildRepr::Mem(MemTable::build(batch.columns, rows, on))
+            }
+        };
         Ok(BuildData {
-            columns: batch.columns,
-            table,
+            repr,
+            rows: rows_total,
+            mem,
         })
     }
+
+    /// True if this build spilled to partition files.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, BuildRepr::Spilled(_))
+    }
+}
+
+/// Typed zero-row columns: downstream code indexes columns even when the
+/// build side produced no rows (or an empty spill partition).
+fn empty_columns(schema: &Schema) -> Vec<ExecVector> {
+    schema
+        .fields()
+        .iter()
+        .map(|f| ExecVector::not_null(ColumnData::empty(f.ty)))
+        .collect()
+}
+
+/// Route one dense build batch into the hash partitions (NULL keys dropped).
+fn partition_build_batch(
+    b: &Batch,
+    on: &[(usize, usize)],
+    files: &mut [SpillFile],
+    mem: &mut MemTracker,
+) -> Result<()> {
+    let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); SPILL_PARTITIONS];
+    'row: for i in 0..b.rows {
+        let mut h = 0u64;
+        for &(_, rc) in on {
+            if b.columns[rc].is_null(i) {
+                continue 'row;
+            }
+            h = hash_lane(&b.columns[rc], i, h);
+        }
+        part_rows[(h >> 61) as usize].push(i as u32);
+    }
+    for (p, idx) in part_rows.into_iter().enumerate() {
+        if idx.is_empty() {
+            continue;
+        }
+        let sub = Batch::new(b.columns.iter().map(|c| c.gather(&idx)).collect());
+        let bytes = write_batch(&mut files[p], &sub)?;
+        mem.note_spill(bytes);
+    }
+    Ok(())
+}
+
+/// Progress of a partition-at-a-time probe against a spilled build.
+struct GraceProbe {
+    /// Probe rows partitioned by their own key hash (NULL keys → part 0).
+    probe_parts: Vec<SpillFile>,
+    /// Current partition (0..SPILL_PARTITIONS; == len means done).
+    part: usize,
+    /// Next probe chunk within the current partition.
+    chunk: usize,
+    /// The current partition's build table (force-reserved working unit).
+    loaded: Option<MemTable>,
+    loaded_bytes: usize,
 }
 
 impl HashJoin {
@@ -128,6 +291,9 @@ impl HashJoin {
             shared: None,
             stats: None,
             build_executed: false,
+            mem: MemTracker::detached(),
+            disk: None,
+            grace: None,
         })
     }
 
@@ -141,18 +307,32 @@ impl HashJoin {
         self.stats = Some(stats);
     }
 
+    /// Charge this operator's memory against a query budget. The build side
+    /// gets its own tracker against the same budget (it may outlive this
+    /// worker's instance when shared across an Exchange).
+    pub fn set_mem_tracker(&mut self, mem: MemTracker) {
+        self.mem = mem;
+    }
+
+    /// Spill target; defaults to a private scratch SimDisk when unset.
+    pub fn set_spill_disk(&mut self, disk: Arc<SimDisk>) {
+        self.disk = Some(disk);
+    }
+
     fn build_side(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("build called twice");
         let on = self.on.clone();
         let stats = self.stats.clone();
+        let mem = MemTracker::new(self.mem.budget().clone());
+        let disk = self.disk.clone();
         let executed = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let executed_in = executed.clone();
-        let mut make = move || {
+        let make = move || {
             executed_in.store(true, std::sync::atomic::Ordering::Relaxed);
             if let Some(s) = &stats {
                 s.note_build();
             }
-            BuildData::from_operator(right.as_mut(), &on)
+            BuildData::from_operator(right.as_mut(), &on, mem, &disk)
         };
         let data = match &self.shared {
             Some(slot) => slot.clone().get_or_build(make)?,
@@ -164,8 +344,7 @@ impl HashJoin {
     }
 
     /// Candidate (probe, build) pairs for one dense probe batch.
-    fn match_pairs(&self, probe: &Batch) -> (Vec<u32>, Vec<u32>) {
-        let build = self.build.as_ref().unwrap();
+    fn match_pairs(&self, probe: &Batch, mt: &MemTable) -> (Vec<u32>, Vec<u32>) {
         let mut probe_idx = Vec::new();
         let mut build_idx = Vec::new();
         'row: for i in 0..probe.rows {
@@ -176,10 +355,10 @@ impl HashJoin {
                 }
                 h = hash_lane(&probe.columns[lc], i, h);
             }
-            if let Some(cands) = build.table.get(&h) {
+            if let Some(cands) = mt.table.get(&h) {
                 for &bj in cands {
                     let ok = self.on.iter().all(|&(lc, rc)| {
-                        lanes_eq(&probe.columns[lc], i, &build.columns[rc], bj as usize)
+                        lanes_eq(&probe.columns[lc], i, &mt.columns[rc], bj as usize)
                     });
                     if ok {
                         probe_idx.push(i as u32);
@@ -192,16 +371,193 @@ impl HashJoin {
     }
 
     /// Assemble the combined (left ++ right) batch for matched pairs.
-    fn combined_batch(&self, probe: &Batch, pi: &[u32], bi: &[u32]) -> Batch {
-        let build = self.build.as_ref().unwrap();
+    fn combined_batch(&self, probe: &Batch, mt: &MemTable, pi: &[u32], bi: &[u32]) -> Batch {
         let mut cols = Vec::with_capacity(self.left_schema.len() + self.right_schema.len());
         for c in &probe.columns {
             cols.push(c.gather(pi));
         }
-        for c in &build.columns {
+        for c in &mt.columns {
             cols.push(c.gather(bi));
         }
         Batch::new(cols)
+    }
+
+    /// Run one dense probe batch through match → residual → kind assembly.
+    /// `Ok(None)` means this batch produced no output rows.
+    fn emit_for_probe(&self, probe: &Batch, mt: &MemTable) -> Result<Option<Batch>> {
+        let (mut pi, mut bi) = self.match_pairs(probe, mt);
+        // Residual predicate filters candidate pairs.
+        if let Some(res) = &self.residual {
+            if !pi.is_empty() {
+                let combined = self.combined_batch(probe, mt, &pi, &bi);
+                let v = res.eval(&combined)?;
+                let vals = match &v.data {
+                    ColumnData::Bool(b) => b,
+                    _ => return Err(VwError::Exec("residual must be boolean".into())),
+                };
+                let keep: Vec<usize> = (0..pi.len())
+                    .filter(|&k| vals[k] && !v.is_null(k))
+                    .collect();
+                pi = keep.iter().map(|&k| pi[k]).collect();
+                bi = keep.iter().map(|&k| bi[k]).collect();
+            }
+        }
+        let out = match self.kind {
+            JoinKind::Inner => {
+                if pi.is_empty() {
+                    return Ok(None);
+                }
+                self.combined_batch(probe, mt, &pi, &bi)
+            }
+            JoinKind::Left => {
+                // matched pairs + null-padded unmatched probe rows
+                let mut matched = vec![false; probe.rows];
+                for &p in &pi {
+                    matched[p as usize] = true;
+                }
+                let unmatched: Vec<u32> = (0..probe.rows as u32)
+                    .filter(|&i| !matched[i as usize])
+                    .collect();
+                let mut cols = Vec::with_capacity(self.left_schema.len() + self.right_schema.len());
+                let all_pi: Vec<u32> = pi
+                    .iter()
+                    .copied()
+                    .chain(unmatched.iter().copied())
+                    .collect();
+                if all_pi.is_empty() {
+                    return Ok(None);
+                }
+                for c in &probe.columns {
+                    cols.push(c.gather(&all_pi));
+                }
+                for (k, c) in mt.columns.iter().enumerate() {
+                    let matched_part = c.gather(&bi);
+                    let pad = ExecVector::all_null(self.right_schema.field(k).ty, unmatched.len());
+                    cols.push(super::concat_vectors(&[matched_part, pad]));
+                }
+                Batch::new(cols)
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let mut matched = vec![false; probe.rows];
+                for &p in &pi {
+                    matched[p as usize] = true;
+                }
+                let want = self.kind == JoinKind::Semi;
+                let keep: Vec<u32> = (0..probe.rows as u32)
+                    .filter(|&i| matched[i as usize] == want)
+                    .collect();
+                if keep.is_empty() {
+                    return Ok(None);
+                }
+                let cols = probe.columns.iter().map(|c| c.gather(&keep)).collect();
+                Batch::new(cols)
+            }
+        };
+        Ok(Some(out))
+    }
+
+    /// Drain the probe input into hash partitions aligned with the spilled
+    /// build. NULL-keyed probe rows match nothing; LEFT/ANTI still need to
+    /// surface them, so they ride along in partition 0.
+    fn init_grace(&mut self) -> Result<GraceProbe> {
+        let d = spill_disk(&self.disk);
+        let mut files: Vec<SpillFile> = (0..SPILL_PARTITIONS)
+            .map(|_| SpillFile::new(d.clone()))
+            .collect();
+        let keep_null = matches!(self.kind, JoinKind::Left | JoinKind::Anti);
+        while let Some(b) = self.left.next()? {
+            let b = b.compact();
+            if b.rows == 0 {
+                continue;
+            }
+            let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); SPILL_PARTITIONS];
+            'row: for i in 0..b.rows {
+                let mut h = 0u64;
+                for &(lc, _) in &self.on {
+                    if b.columns[lc].is_null(i) {
+                        if keep_null {
+                            part_rows[0].push(i as u32);
+                        }
+                        continue 'row;
+                    }
+                    h = hash_lane(&b.columns[lc], i, h);
+                }
+                part_rows[(h >> 61) as usize].push(i as u32);
+            }
+            for (p, idx) in part_rows.into_iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                let sub = Batch::new(b.columns.iter().map(|c| c.gather(&idx)).collect());
+                let bytes = write_batch(&mut files[p], &sub)?;
+                self.mem.note_spill(bytes);
+            }
+        }
+        Ok(GraceProbe {
+            probe_parts: files,
+            part: 0,
+            chunk: 0,
+            loaded: None,
+            loaded_bytes: 0,
+        })
+    }
+
+    /// Advance the partition-at-a-time probe: load build partition, stream
+    /// its probe chunks, release, move to the next partition.
+    fn grace_step(
+        &mut self,
+        g: &mut GraceProbe,
+        build_files: &[SpillFile],
+    ) -> Result<Option<Batch>> {
+        loop {
+            if g.part >= SPILL_PARTITIONS {
+                return Ok(None);
+            }
+            if g.loaded.is_none() {
+                // One resident build partition is the join's minimal working
+                // unit — reserve it unconditionally so every plan completes.
+                let f = &build_files[g.part];
+                let mut chunks: Vec<Batch> = Vec::new();
+                let mut bytes = 0usize;
+                for ci in 0..f.chunk_count() {
+                    let b = read_batch(f, ci)?;
+                    bytes += batch_bytes(&b) + b.rows * 16;
+                    chunks.push(b);
+                }
+                self.mem.force_grow(bytes);
+                g.loaded_bytes = bytes;
+                let mt = if chunks.is_empty() {
+                    // Empty build partition: LEFT/ANTI probes still surface
+                    // their unmatched rows against it.
+                    MemTable {
+                        columns: empty_columns(&self.right_schema),
+                        table: FxHashMap::default(),
+                    }
+                } else {
+                    let batch = concat_batches(chunks, self.right_schema.len());
+                    let rows = batch.rows;
+                    MemTable::build(batch.columns, rows, &self.on)
+                };
+                g.loaded = Some(mt);
+                g.chunk = 0;
+            }
+            if g.chunk >= g.probe_parts[g.part].chunk_count() {
+                g.loaded = None;
+                self.mem.shrink(g.loaded_bytes);
+                g.loaded_bytes = 0;
+                g.part += 1;
+                continue;
+            }
+            let probe = read_batch(&g.probe_parts[g.part], g.chunk)?;
+            g.chunk += 1;
+            if probe.rows == 0 {
+                continue;
+            }
+            let mt = g.loaded.as_ref().unwrap();
+            if let Some(out) = self.emit_for_probe(&probe, mt)? {
+                return Ok(Some(out));
+            }
+        }
     }
 }
 
@@ -211,105 +567,61 @@ impl Operator for HashJoin {
     }
 
     fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        let mut ex = Vec::new();
+        let mut peak = self.mem.peak();
+        let mut spill_bytes = self.mem.spill_bytes();
+        let mut spill_parts = 0u64;
         match &self.build {
             // Summed per plan node across workers: at dop=N with a shared
-            // build, the profile shows builds=1, build_reused=N-1.
-            Some(b) if self.build_executed => vec![
-                ("builds", 1),
-                (
-                    "build_rows",
-                    b.columns.first().map_or(0, |c| c.len()) as u64,
-                ),
-            ],
-            Some(_) => vec![("build_reused", 1)],
-            None => Vec::new(),
+            // build, the profile shows builds=1, build_reused=N-1; the build
+            // tracker's numbers are reported only by the executing worker.
+            Some(b) if self.build_executed => {
+                ex.push(("builds", 1));
+                ex.push(("build_rows", b.rows));
+                peak += b.mem.peak();
+                spill_bytes += b.mem.spill_bytes();
+                if let BuildRepr::Spilled(files) = &b.repr {
+                    spill_parts = files.iter().filter(|f| !f.is_empty()).count() as u64;
+                }
+            }
+            Some(_) => ex.push(("build_reused", 1)),
+            None => {}
         }
+        ex.push(("peak_bytes", peak));
+        if spill_bytes > 0 {
+            ex.push(("spill_parts", spill_parts));
+            ex.push(("spill_bytes", spill_bytes));
+        }
+        ex
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
         if self.build.is_none() {
             self.build_side()?;
         }
-        loop {
-            let Some(batch) = self.left.next()? else {
-                return Ok(None);
-            };
-            let probe = batch.compact();
-            if probe.rows == 0 {
-                continue;
+        let build = self.build.clone().unwrap();
+        match &build.repr {
+            BuildRepr::Mem(mt) => loop {
+                let Some(batch) = self.left.next()? else {
+                    return Ok(None);
+                };
+                let probe = batch.compact();
+                if probe.rows == 0 {
+                    continue;
+                }
+                if let Some(out) = self.emit_for_probe(&probe, mt)? {
+                    return Ok(Some(out));
+                }
+            },
+            BuildRepr::Spilled(files) => {
+                if self.grace.is_none() {
+                    self.grace = Some(self.init_grace()?);
+                }
+                let mut g = self.grace.take().unwrap();
+                let out = self.grace_step(&mut g, files);
+                self.grace = Some(g);
+                out
             }
-            let (mut pi, mut bi) = self.match_pairs(&probe);
-            // Residual predicate filters candidate pairs.
-            if let Some(res) = &self.residual {
-                if !pi.is_empty() {
-                    let combined = self.combined_batch(&probe, &pi, &bi);
-                    let v = res.eval(&combined)?;
-                    let vals = match &v.data {
-                        ColumnData::Bool(b) => b,
-                        _ => return Err(VwError::Exec("residual must be boolean".into())),
-                    };
-                    let keep: Vec<usize> = (0..pi.len())
-                        .filter(|&k| vals[k] && !v.is_null(k))
-                        .collect();
-                    pi = keep.iter().map(|&k| pi[k]).collect();
-                    bi = keep.iter().map(|&k| bi[k]).collect();
-                }
-            }
-            let out = match self.kind {
-                JoinKind::Inner => {
-                    if pi.is_empty() {
-                        continue;
-                    }
-                    self.combined_batch(&probe, &pi, &bi)
-                }
-                JoinKind::Left => {
-                    // matched pairs + null-padded unmatched probe rows
-                    let mut matched = vec![false; probe.rows];
-                    for &p in &pi {
-                        matched[p as usize] = true;
-                    }
-                    let unmatched: Vec<u32> = (0..probe.rows as u32)
-                        .filter(|&i| !matched[i as usize])
-                        .collect();
-                    let mut cols =
-                        Vec::with_capacity(self.left_schema.len() + self.right_schema.len());
-                    let all_pi: Vec<u32> = pi
-                        .iter()
-                        .copied()
-                        .chain(unmatched.iter().copied())
-                        .collect();
-                    for c in &probe.columns {
-                        cols.push(c.gather(&all_pi));
-                    }
-                    let build = self.build.as_ref().unwrap();
-                    for (k, c) in build.columns.iter().enumerate() {
-                        let matched_part = c.gather(&bi);
-                        let pad =
-                            ExecVector::all_null(self.right_schema.field(k).ty, unmatched.len());
-                        cols.push(super::concat_vectors(&[matched_part, pad]));
-                    }
-                    if all_pi.is_empty() {
-                        continue;
-                    }
-                    Batch::new(cols)
-                }
-                JoinKind::Semi | JoinKind::Anti => {
-                    let mut matched = vec![false; probe.rows];
-                    for &p in &pi {
-                        matched[p as usize] = true;
-                    }
-                    let want = self.kind == JoinKind::Semi;
-                    let keep: Vec<u32> = (0..probe.rows as u32)
-                        .filter(|&i| matched[i as usize] == want)
-                        .collect();
-                    if keep.is_empty() {
-                        continue;
-                    }
-                    let cols = probe.columns.iter().map(|c| c.gather(&keep)).collect();
-                    Batch::new(cols)
-                }
-            };
-            return Ok(Some(out));
         }
     }
 }
@@ -542,5 +854,104 @@ mod tests {
         let mut inner =
             HashJoin::new(left, right, JoinKind::Inner, vec![(0, 0)], None, false).unwrap();
         assert!(collect_rows(&mut inner).unwrap().is_empty());
+    }
+
+    // --- grace spill -----------------------------------------------------
+
+    use crate::mem::MemBudget;
+
+    /// Probe side: 300 rows, keys 0..150 twice (so every key matches twice
+    /// when present on the build side), a NULL key row, and keys ≥ 1000 that
+    /// never match. ~One third of build keys have duplicates.
+    fn spill_inputs() -> (BoxedOperator, BoxedOperator) {
+        let lschema = Schema::new(vec![
+            Field::new("lid", DataType::I64),
+            Field::nullable("lkey", DataType::I64),
+        ]);
+        let rschema = Schema::new(vec![
+            Field::nullable("rkey", DataType::I64),
+            Field::new("tag", DataType::Str),
+        ]);
+        let mut lrows = Vec::new();
+        for i in 0..300i64 {
+            let key = match i % 30 {
+                0 => Value::Null,
+                1 => Value::I64(1000 + i), // unmatched
+                _ => Value::I64(i % 150),
+            };
+            lrows.push(vec![Value::I64(i), key]);
+        }
+        let mut rrows = Vec::new();
+        for k in 0..200i64 {
+            let key = if k % 40 == 7 {
+                Value::Null
+            } else {
+                Value::I64(k)
+            };
+            rrows.push(vec![key, Value::Str(format!("tag-{k:04}-padding-padding"))]);
+            if k % 3 == 0 {
+                rrows.push(vec![
+                    Value::I64(k),
+                    Value::Str(format!("dup-{k:04}-padding-padding")),
+                ]);
+            }
+        }
+        let left = Box::new(BatchSource::from_rows(lschema, &lrows, 32).unwrap());
+        let right = Box::new(BatchSource::from_rows(rschema, &rrows, 32).unwrap());
+        (left, right)
+    }
+
+    fn run_join(kind: JoinKind, residual: Option<Expr>, budget: Option<usize>) -> Vec<Vec<Value>> {
+        let (left, right) = spill_inputs();
+        let mut j = HashJoin::new(left, right, kind, vec![(1, 0)], residual, false).unwrap();
+        if let Some(b) = budget {
+            j.set_mem_tracker(MemTracker::new(Arc::new(MemBudget::new(Some(b)))));
+        }
+        let rows = sorted(collect_rows(&mut j).unwrap());
+        if budget.is_some() {
+            assert!(
+                j.build.as_ref().unwrap().spilled(),
+                "tiny budget should force a grace build"
+            );
+        }
+        rows
+    }
+
+    #[test]
+    fn grace_join_matches_unbounded_all_kinds() {
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::Left,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let unbounded = run_join(kind, None, None);
+            let spilled = run_join(kind, None, Some(2048));
+            assert_eq!(spilled, unbounded, "kind {kind:?} diverged under spill");
+            assert!(!unbounded.is_empty());
+        }
+    }
+
+    #[test]
+    fn grace_join_with_residual() {
+        let residual = || Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(Value::I64(40)));
+        let unbounded = run_join(JoinKind::Inner, Some(residual()), None);
+        let spilled = run_join(JoinKind::Inner, Some(residual()), Some(2048));
+        assert_eq!(spilled, unbounded);
+        let semi_u = run_join(JoinKind::Semi, Some(residual()), None);
+        let semi_s = run_join(JoinKind::Semi, Some(residual()), Some(2048));
+        assert_eq!(semi_s, semi_u);
+    }
+
+    #[test]
+    fn grace_join_reports_spill_in_profile() {
+        let (left, right) = spill_inputs();
+        let mut j = HashJoin::new(left, right, JoinKind::Inner, vec![(1, 0)], None, false).unwrap();
+        j.set_mem_tracker(MemTracker::new(Arc::new(MemBudget::new(Some(2048)))));
+        let _ = collect_rows(&mut j).unwrap();
+        let extras: std::collections::HashMap<_, _> = j.profile_extras().into_iter().collect();
+        assert!(extras["spill_bytes"] > 0);
+        assert!(extras["spill_parts"] > 0);
+        assert!(extras["peak_bytes"] > 0);
     }
 }

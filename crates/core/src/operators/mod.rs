@@ -196,6 +196,24 @@ pub fn concat_vectors(parts: &[ExecVector]) -> ExecVector {
     ExecVector::new(data, nulls)
 }
 
+/// Concatenate dense batches column-wise into one batch. `ncols` lets a
+/// zero-column batch list (COUNT(*)-only shapes) keep its row count.
+pub fn concat_batches(parts: Vec<Batch>, ncols: usize) -> Batch {
+    let mut cols: Vec<Vec<ExecVector>> = vec![Vec::with_capacity(parts.len()); ncols];
+    let mut rows = 0usize;
+    for b in parts {
+        debug_assert!(b.sel.is_none(), "concat_batches needs dense batches");
+        rows += b.rows;
+        for (c, v) in b.columns.into_iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    let columns: Vec<ExecVector> = cols.into_iter().map(|p| concat_vectors(&p)).collect();
+    let mut out = Batch::new(columns);
+    out.rows = rows;
+    out
+}
+
 /// Drain and concatenate an operator's whole output into one dense batch
 /// (build sides, sort input).
 pub fn drain_to_single_batch(op: &mut dyn Operator) -> Result<Batch> {

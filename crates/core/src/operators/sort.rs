@@ -1,12 +1,26 @@
 //! Vectorized sort: drain, order indexes by key columns, emit gathered
 //! batches. NULLs order first on ascending keys (consistent with
 //! `Value::total_cmp`, which all engines share).
+//!
+//! Under a [`MemTracker`] budget this becomes an **external merge sort**:
+//! input batches accumulate until the budget pressures, at which point the
+//! buffered rows are sorted into a *run* and spilled (run = a spill file of
+//! sorted chunks). At end of input, zero runs means the classic in-memory
+//! path ran unchanged; otherwise the runs are k-way merged with one resident
+//! chunk per run (the minimal working unit, force-reserved). Runs partition
+//! the input sequentially and ties prefer the lower run index, so the merge
+//! reproduces the in-memory sort's stable input-order tiebreak exactly.
+
+use std::sync::Arc;
 
 use crate::batch::Batch;
+use crate::mem::MemTracker;
+use crate::spill::{batch_bytes, read_batch, spill_disk, write_batch};
 use vw_common::{Result, Schema};
 use vw_plan::SortKey;
+use vw_storage::{SimDisk, SpillFile};
 
-use super::{drain_to_single_batch, lanes_cmp, BoxedOperator, Operator};
+use super::{concat_batches, BoxedOperator, Operator};
 
 /// Sort operator.
 pub struct VecSort {
@@ -14,7 +28,15 @@ pub struct VecSort {
     keys: Vec<SortKey>,
     schema: Schema,
     vector_size: usize,
-    output: Option<Vec<Batch>>,
+    mem: MemTracker,
+    disk: Option<Arc<SimDisk>>,
+    state: State,
+}
+
+enum State {
+    Pending,
+    InMem(Vec<Batch>),
+    Merge(MergeState),
 }
 
 impl VecSort {
@@ -25,19 +47,31 @@ impl VecSort {
             keys,
             schema,
             vector_size: vector_size.max(1),
-            output: None,
+            mem: MemTracker::detached(),
+            disk: None,
+            state: State::Pending,
         }
     }
 
-    fn run(&mut self) -> Result<Vec<Batch>> {
-        let batch = drain_to_single_batch(self.input.as_mut())?;
+    /// Attach a tracker onto the query's shared memory budget.
+    pub fn set_mem_tracker(&mut self, mem: MemTracker) {
+        self.mem = mem;
+    }
+
+    /// Spill to this disk (the database's SimDisk, so spill I/O is counted).
+    pub fn set_spill_disk(&mut self, disk: Arc<SimDisk>) {
+        self.disk = Some(disk);
+    }
+
+    /// Sort `batch`'s rows, returning the gathered output chunks in emission
+    /// order (the shared kernel of both the in-memory and the spill path).
+    fn sorted_chunks(&self, batch: &Batch) -> Vec<Batch> {
         let mut idx: Vec<u32> = (0..batch.rows as u32).collect();
-        let keys = self.keys.clone();
         let cols = &batch.columns;
         idx.sort_by(|&a, &b| {
-            for k in &keys {
+            for k in &self.keys {
                 let c = &cols[k.col];
-                let ord = lanes_cmp(c, a as usize, c, b as usize);
+                let ord = super::lanes_cmp(c, a as usize, c, b as usize);
                 let ord = if k.asc { ord } else { ord.reverse() };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -46,14 +80,188 @@ impl VecSort {
             // stable tiebreak on input order for determinism
             a.cmp(&b)
         });
-        let mut out = Vec::new();
-        for chunk in idx.chunks(self.vector_size) {
-            let columns = batch.columns.iter().map(|c| c.gather(chunk)).collect();
-            out.push(Batch::new(columns));
-        }
-        out.reverse();
-        Ok(out)
+        idx.chunks(self.vector_size)
+            .map(|chunk| Batch::new(batch.columns.iter().map(|c| c.gather(chunk)).collect()))
+            .collect()
     }
+
+    /// Sort the buffered batches into one run and spill it.
+    fn flush_run(
+        &mut self,
+        pending: &mut Vec<Batch>,
+        pending_bytes: &mut usize,
+        runs: &mut Vec<SpillFile>,
+    ) -> Result<()> {
+        let batch = concat_batches(std::mem::take(pending), self.schema.len());
+        let mut file = SpillFile::new(spill_disk(&self.disk));
+        for chunk in self.sorted_chunks(&batch) {
+            write_batch(&mut file, &chunk)?;
+        }
+        self.mem.note_spill(file.bytes());
+        self.mem.shrink(*pending_bytes);
+        *pending_bytes = 0;
+        runs.push(file);
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<State> {
+        let mut pending: Vec<Batch> = Vec::new();
+        let mut pending_bytes = 0usize;
+        let mut runs: Vec<SpillFile> = Vec::new();
+        while let Some(b) = self.input.next()? {
+            let b = b.compact();
+            if b.rows == 0 {
+                continue;
+            }
+            let bytes = batch_bytes(&b);
+            if !self.mem.try_grow(bytes) {
+                if !pending.is_empty() {
+                    self.flush_run(&mut pending, &mut pending_bytes, &mut runs)?;
+                }
+                if !self.mem.try_grow(bytes) {
+                    // A single input batch larger than the whole budget is
+                    // the minimal working unit — take it anyway.
+                    self.mem.force_grow(bytes);
+                }
+            }
+            pending_bytes += bytes;
+            pending.push(b);
+        }
+        if runs.is_empty() {
+            if pending.is_empty() {
+                return Ok(State::InMem(Vec::new()));
+            }
+            // Never pressured: the classic in-memory sort.
+            let batch = concat_batches(pending, self.schema.len());
+            let mut out = self.sorted_chunks(&batch);
+            out.reverse();
+            return Ok(State::InMem(out));
+        }
+        if !pending.is_empty() {
+            self.flush_run(&mut pending, &mut pending_bytes, &mut runs)?;
+        }
+        let cursors = runs
+            .into_iter()
+            .map(|file| RunCursor::open(file, &mut self.mem))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(State::Merge(MergeState { cursors }))
+    }
+}
+
+/// One sorted run being merged: the resident chunk plus a read position.
+struct RunCursor {
+    file: SpillFile,
+    next_chunk: usize,
+    batch: Option<Batch>,
+    pos: usize,
+    resident_bytes: usize,
+}
+
+impl RunCursor {
+    fn open(file: SpillFile, mem: &mut MemTracker) -> Result<RunCursor> {
+        let mut c = RunCursor {
+            file,
+            next_chunk: 0,
+            batch: None,
+            pos: 0,
+            resident_bytes: 0,
+        };
+        c.load_next(mem)?;
+        Ok(c)
+    }
+
+    fn load_next(&mut self, mem: &mut MemTracker) -> Result<()> {
+        mem.shrink(self.resident_bytes);
+        self.resident_bytes = 0;
+        self.batch = None;
+        if self.next_chunk < self.file.chunk_count() {
+            let b = read_batch(&self.file, self.next_chunk)?;
+            self.next_chunk += 1;
+            self.resident_bytes = batch_bytes(&b);
+            // One chunk per run is the merge's minimal working unit.
+            mem.force_grow(self.resident_bytes);
+            self.pos = 0;
+            self.batch = Some(b);
+        }
+        Ok(())
+    }
+
+    fn current(&self) -> Option<(&Batch, usize)> {
+        self.batch.as_ref().map(|b| (b, self.pos))
+    }
+
+    fn advance(&mut self, mem: &mut MemTracker) -> Result<()> {
+        self.pos += 1;
+        if self.batch.as_ref().is_some_and(|b| self.pos >= b.rows) {
+            self.load_next(mem)?;
+        }
+        Ok(())
+    }
+}
+
+struct MergeState {
+    cursors: Vec<RunCursor>,
+}
+
+impl MergeState {
+    /// Emit the next merged output batch (row-assembled; this path only runs
+    /// after a spill, where I/O dominates).
+    fn next_batch(
+        &mut self,
+        keys: &[SortKey],
+        schema: &Schema,
+        vector_size: usize,
+        mem: &mut MemTracker,
+    ) -> Result<Option<Batch>> {
+        let mut rows: Vec<Vec<vw_common::Value>> = Vec::new();
+        while rows.len() < vector_size {
+            let mut best: Option<usize> = None;
+            for (ci, cur) in self.cursors.iter().enumerate() {
+                let Some((b, i)) = cur.current() else {
+                    continue;
+                };
+                let better = match best {
+                    None => true,
+                    Some(bi) => {
+                        let (bb, bj) = self.cursors[bi].current().unwrap();
+                        // Lower run index wins ties: runs hold sequential
+                        // input segments, so this preserves stability.
+                        cmp_rows(keys, b, i, bb, bj).is_lt()
+                    }
+                };
+                if better {
+                    best = Some(ci);
+                }
+            }
+            let Some(bi) = best else {
+                break;
+            };
+            let (b, i) = self.cursors[bi].current().unwrap();
+            rows.push(
+                b.columns
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(c, f)| c.get_value(i, f.ty))
+                    .collect(),
+            );
+            self.cursors[bi].advance(mem)?;
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::from_rows(schema, &rows)?))
+    }
+}
+
+fn cmp_rows(keys: &[SortKey], a: &Batch, i: usize, b: &Batch, j: usize) -> std::cmp::Ordering {
+    for k in keys {
+        let ord = super::lanes_cmp(&a.columns[k.col], i, &b.columns[k.col], j);
+        let ord = if k.asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 impl Operator for VecSort {
@@ -62,16 +270,35 @@ impl Operator for VecSort {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
-        if self.output.is_none() {
-            self.output = Some(self.run()?);
+        if matches!(self.state, State::Pending) {
+            self.state = self.run()?;
         }
-        Ok(self.output.as_mut().unwrap().pop())
+        match &mut self.state {
+            State::Pending => unreachable!(),
+            State::InMem(out) => Ok(out.pop()),
+            State::Merge(m) => {
+                let keys = std::mem::take(&mut self.keys);
+                let r = m.next_batch(&keys, &self.schema, self.vector_size, &mut self.mem);
+                self.keys = keys;
+                r
+            }
+        }
+    }
+
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        let mut ex = vec![("peak_bytes", self.mem.peak())];
+        if self.mem.spill_events() > 0 {
+            ex.push(("spill_runs", self.mem.spill_events()));
+            ex.push(("spill_bytes", self.mem.spill_bytes()));
+        }
+        ex
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mem::MemBudget;
     use crate::operators::{collect_rows, BatchSource};
     use vw_common::{DataType, Field, Value};
 
@@ -144,5 +371,73 @@ mod tests {
         let src = Box::new(BatchSource::from_rows(schema, &[], 8).unwrap());
         let mut s = VecSort::new(src, vec![SortKey { col: 0, asc: true }], 8);
         assert!(s.next().unwrap().is_none());
+    }
+
+    /// External sort under a tiny budget matches the in-memory sort exactly,
+    /// including the stable input-order tiebreak on duplicate keys.
+    #[test]
+    fn external_sort_matches_in_memory() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::nullable("v", DataType::Str),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                let k = (i * 37) % 11;
+                let v = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("v{}", i))
+                };
+                vec![Value::I64(k), v]
+            })
+            .collect();
+        let keys = vec![SortKey { col: 0, asc: true }];
+
+        let src = Box::new(BatchSource::from_rows(schema.clone(), &rows, 32).unwrap());
+        let mut unbounded = VecSort::new(src, keys.clone(), 64);
+        let want = collect_rows(&mut unbounded).unwrap();
+
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 32).unwrap());
+        let mut tiny = VecSort::new(src, keys, 64);
+        tiny.set_mem_tracker(MemTracker::new(Arc::new(MemBudget::new(Some(2048)))));
+        let got = collect_rows(&mut tiny).unwrap();
+
+        assert_eq!(got, want, "spilled sort must match in-memory sort exactly");
+        let extras: std::collections::BTreeMap<_, _> = tiny.profile_extras().into_iter().collect();
+        assert!(extras["spill_runs"] >= 2, "tiny budget must produce runs");
+        assert!(extras["spill_bytes"] > 0);
+    }
+
+    /// Descending + multi-key external merge also matches.
+    #[test]
+    fn external_sort_multi_key_desc() {
+        let schema = Schema::new(vec![
+            Field::nullable("a", DataType::I64),
+            Field::new("b", DataType::F64),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|i| {
+                let a = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::I64((i % 5) as i64)
+                };
+                vec![a, Value::F64((i % 17) as f64 * 0.25)]
+            })
+            .collect();
+        let keys = vec![
+            SortKey { col: 0, asc: false },
+            SortKey { col: 1, asc: true },
+        ];
+        let src = Box::new(BatchSource::from_rows(schema.clone(), &rows, 16).unwrap());
+        let mut unbounded = VecSort::new(src, keys.clone(), 50);
+        let want = collect_rows(&mut unbounded).unwrap();
+
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 16).unwrap());
+        let mut tiny = VecSort::new(src, keys, 50);
+        tiny.set_mem_tracker(MemTracker::new(Arc::new(MemBudget::new(Some(1024)))));
+        let got = collect_rows(&mut tiny).unwrap();
+        assert_eq!(got, want);
     }
 }

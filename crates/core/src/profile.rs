@@ -238,6 +238,9 @@ pub struct QueryProfile {
     /// Decode-cache counters for this query (compressed execution), when the
     /// session shares a decoded-slice cache.
     pub decode: Option<vw_bufman::DecodeCacheStats>,
+    /// Execution-memory accounting: budget, high-water mark and spill volume
+    /// for this query (all operators, all workers).
+    pub mem: crate::mem::MemStats,
 }
 
 impl QueryProfile {
@@ -285,6 +288,25 @@ impl QueryProfile {
                     d.resident_bytes / 1024
                 ));
             }
+        }
+        if self.mem.peak > 0 || self.mem.limit.is_some() {
+            let budget = match self.mem.limit {
+                Some(l) => format!("{} KiB budget", l / 1024),
+                None => "unbounded".to_string(),
+            };
+            s.push_str(&format!(
+                "Memory: {} KiB peak ({})",
+                self.mem.peak / 1024,
+                budget
+            ));
+            if self.mem.spill_events > 0 {
+                s.push_str(&format!(
+                    ", spilled {} KiB in {} partitions/runs",
+                    self.mem.spill_bytes / 1024,
+                    self.mem.spill_events
+                ));
+            }
+            s.push('\n');
         }
         self.root.render_into(0, &mut s);
         s

@@ -27,6 +27,13 @@ pub enum Statement {
     Explain(Box<Statement>),
     /// `EXPLAIN ANALYZE <query>`: execute and render the profiled plan.
     ExplainAnalyze(Box<Statement>),
+    /// `SET <name> = <constant>`: session configuration (memory budget,
+    /// parallelism, …). Bare words on the right parse as strings, so
+    /// `SET memory_budget = unbounded` works unquoted.
+    Set {
+        name: String,
+        value: AstExpr,
+    },
 }
 
 /// Column definition in CREATE TABLE.

@@ -43,6 +43,11 @@ pub enum BoundStatement {
         table: TableId,
         predicate: Option<Expr>,
     },
+    /// Session configuration: `SET <name> = <constant>`.
+    Set {
+        name: String,
+        value: Value,
+    },
 }
 
 /// Bind a parsed statement.
@@ -125,6 +130,16 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
             Ok(BoundStatement::Delete {
                 table: tid,
                 predicate,
+            })
+        }
+        Statement::Set { name, value } => {
+            let bound = bind_scalar(value, &Scope::default())?;
+            let value = bound
+                .eval_row(&[])
+                .map_err(|_| bind_err!("SET value must be a constant"))?;
+            Ok(BoundStatement::Set {
+                name: name.to_ascii_lowercase(),
+                value,
             })
         }
     }

@@ -124,7 +124,27 @@ impl Parser {
         if self.eat_kw("DELETE") {
             return self.delete();
         }
+        if self.eat_kw("SET") {
+            return self.set_stmt();
+        }
         Err(self.err("expected a statement"))
+    }
+
+    fn set_stmt(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kind(&TokenKind::Eq, "=")?;
+        // A bare word (`unbounded`, `on`) is sugar for the string literal —
+        // including keywords like ON, so `SET profiling = on` parses.
+        let value = match self.peek() {
+            TokenKind::Ident(_) => AstExpr::Literal(Value::Str(self.ident()?)),
+            TokenKind::Keyword(k) if !matches!(k.as_str(), "TRUE" | "FALSE" | "NULL") => {
+                let word = k.to_ascii_lowercase();
+                self.bump();
+                AstExpr::Literal(Value::Str(word))
+            }
+            _ => self.expr(0)?,
+        };
+        Ok(Statement::Set { name, value })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -931,5 +951,40 @@ mod tests {
     fn semicolon_optional() {
         assert!(parse_statement("SELECT 1 FROM t;").is_ok());
         assert!(parse_statement("SELECT 1 FROM t").is_ok());
+    }
+
+    #[test]
+    fn set_statement_forms() {
+        assert_eq!(
+            parse_statement("SET memory_budget = '16MiB'").unwrap(),
+            Statement::Set {
+                name: "memory_budget".into(),
+                value: AstExpr::Literal(Value::Str("16MiB".into())),
+            }
+        );
+        assert_eq!(
+            parse_statement("SET parallelism = 4").unwrap(),
+            Statement::Set {
+                name: "parallelism".into(),
+                value: AstExpr::Literal(Value::I64(4)),
+            }
+        );
+        // bare words — identifiers and keywords alike — become strings
+        assert_eq!(
+            parse_statement("SET memory_budget = unbounded").unwrap(),
+            Statement::Set {
+                name: "memory_budget".into(),
+                value: AstExpr::Literal(Value::Str("unbounded".into())),
+            }
+        );
+        assert_eq!(
+            parse_statement("SET profiling = on").unwrap(),
+            Statement::Set {
+                name: "profiling".into(),
+                value: AstExpr::Literal(Value::Str("on".into())),
+            }
+        );
+        assert!(parse_statement("SET = 3").is_err());
+        assert!(parse_statement("SET x 3").is_err());
     }
 }

@@ -22,6 +22,7 @@ pub mod column;
 pub mod compress;
 pub mod cursor;
 pub mod simdisk;
+pub mod spill;
 pub mod table;
 
 pub use block::{ColumnBlock, MinMax, PruneOp};
@@ -29,4 +30,5 @@ pub use column::{ColumnData, NullableColumn, StrColumn};
 pub use compress::{compress_data, decompress_data, CompressionScheme};
 pub use cursor::{BlockCursor, Pred, PredOp};
 pub use simdisk::{DiskStats, SimDisk, SimDiskConfig};
+pub use spill::{SpillCol, SpillFile, SpilledCol};
 pub use table::{concat_columns, read_all_columns, RowGroup, TableBuilder, TableStorage};
