@@ -27,6 +27,85 @@ fn env_flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| v == "1")
 }
 
+/// One machine-readable benchmark record for `BENCH_qph.json`.
+struct BenchRecord {
+    query: String,
+    dop: usize,
+    wall_ms: f64,
+    rows: usize,
+    peak_mem_bytes: u64,
+    spill_bytes: u64,
+    decode_hit_rate: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Build from the database's last-query profile (falls back to zeros when
+    /// profiling was off).
+    fn from_last_profile(db: &vw_core::Database, query: &str, wall_ms: f64, rows: usize) -> Self {
+        let prof = db.profile_last_query();
+        BenchRecord {
+            query: query.to_string(),
+            dop: prof.as_ref().map_or(1, |p| p.dop),
+            wall_ms,
+            rows,
+            peak_mem_bytes: prof.as_ref().map_or(0, |p| p.mem.peak),
+            spill_bytes: prof.as_ref().map_or(0, |p| p.mem.spill_bytes),
+            decode_hit_rate: prof
+                .as_ref()
+                .and_then(|p| p.decode.as_ref())
+                .and_then(|d| d.hit_rate()),
+        }
+    }
+}
+
+/// A JSON number that is always valid JSON (NaN/inf → null).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{:.6}", x)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Emit `BENCH_qph.json` (path overridable via `QPH_JSON`): the per-query
+/// machine-readable results CI uploads as an artifact. Hand-rolled writer —
+/// flat structure, no dependency needed.
+fn write_bench_json(mode: &str, sf: f64, records: &[BenchRecord], scores: &[(&str, f64)]) {
+    let path = std::env::var("QPH_JSON").unwrap_or_else(|_| "BENCH_qph.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", mode));
+    out.push_str(&format!("  \"sf\": {},\n", json_num(sf)));
+    out.push_str("  \"queries\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"dop\": {}, \"wall_ms\": {}, \"rows\": {}, \
+             \"peak_mem_bytes\": {}, \"spill_bytes\": {}, \"decode_cache_hit_rate\": {}}}{}\n",
+            r.query,
+            r.dop,
+            json_num(r.wall_ms),
+            r.rows,
+            r.peak_mem_bytes,
+            r.spill_bytes,
+            r.decode_hit_rate.map_or("null".to_string(), json_num),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"scores\": {");
+    for (i, (name, v)) in scores.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {}",
+            if i > 0 { ", " } else { "" },
+            name,
+            json_num(*v)
+        ));
+    }
+    out.push_str("}\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {}", path),
+        Err(e) => eprintln!("could not write {}: {}", path, e),
+    }
+}
+
 /// Per-operator breakdown of the last query, indented for the power listing,
 /// followed by a one-line I/O + decode-cache summary.
 fn dump_profile(db: &vw_core::Database) {
@@ -154,16 +233,19 @@ fn main() {
         let (db, cat) = load_tpch(sf);
         compression_summary(&db);
         let q1 = all_queries(&cat).remove(0).1;
+        let mut records = Vec::new();
         for dop in [1usize, 4] {
             db.set_parallelism(dop);
             let t = Instant::now();
             let rows = db.run_plan(q1.clone()).expect("q1").rows.len();
-            println!(
-                "Q1 smoke at dop={}: {:.1}ms, {} rows",
-                dop,
-                t.elapsed().as_secs_f64() * 1e3,
-                rows
-            );
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            println!("Q1 smoke at dop={}: {:.1}ms, {} rows", dop, wall_ms, rows);
+            records.push(BenchRecord::from_last_profile(
+                &db,
+                &format!("Q1@dop{}", dop),
+                wall_ms,
+                rows,
+            ));
             let prof = db.profile_last_query().expect("profiling on by default");
             assert_eq!(prof.root.rows_out() as usize, rows, "profile cardinality");
             println!("{}", prof.render());
@@ -178,6 +260,7 @@ fn main() {
             }
         }
         smoke_selective(&db, sf);
+        write_bench_json("smoke", sf, &records, &[]);
         return;
     }
 
@@ -194,6 +277,7 @@ fn main() {
     // ---------------------------------------------------------- power runs
     // Vectorized engine: optimized plans, serial.
     let mut vec_times = Vec::new();
+    let mut records = Vec::new();
     println!("\npower run (vectorized):");
     for (n, plan) in all_queries(&cat) {
         let t = Instant::now();
@@ -201,6 +285,12 @@ fn main() {
         let dt = t.elapsed().as_secs_f64();
         vec_times.push(dt.max(1e-6));
         println!("  Q{:<2} {:>9.1}ms ({} rows)", n, dt * 1e3, rows);
+        records.push(BenchRecord::from_last_profile(
+            &db,
+            &format!("Q{}", n),
+            dt * 1e3,
+            rows,
+        ));
         if profile_dump {
             dump_profile(&db);
         }
@@ -298,6 +388,20 @@ fn main() {
     println!(
         "{:<24} {:>12.0} {:>12}  {:>11}",
         "full-materialization", mat_power, "-", "-"
+    );
+    write_bench_json(
+        "power",
+        sf,
+        &records,
+        &[
+            ("vectorized_power", vec_power),
+            ("vectorized_throughput", vec_tput),
+            ("vectorized_composite", vec_qph),
+            ("row_power", row_power),
+            ("row_throughput", row_tput),
+            ("row_composite", row_qph),
+            ("materialized_power", mat_power),
+        ],
     );
     println!(
         "\nvectorized / tuple composite ratio: {:.2}x  (paper §I-C: 251K vs 74K ≈ 3.4x)",

@@ -134,6 +134,16 @@ impl Abm {
         }
     }
 
+    /// Expose the ABM's counters in a metrics registry as polled gauges.
+    pub fn register_metrics(self: &Arc<Self>, registry: &vw_common::MetricsRegistry) {
+        let abm = Arc::clone(self);
+        registry.register_polled("abm_loads", "", move || abm.stats().loads as f64);
+        let abm = Arc::clone(self);
+        registry.register_polled("abm_shared_hits", "", move || {
+            abm.stats().shared_hits as f64
+        });
+    }
+
     /// Register a scan over `blocks`. Returns a handle to pull blocks from.
     pub fn register_scan(
         self: &Arc<Self>,

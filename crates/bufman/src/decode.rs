@@ -168,6 +168,26 @@ impl DecodeCache {
         }
     }
 
+    /// Expose this cache's counters in a metrics registry as polled gauges
+    /// (read at snapshot time; the get/insert hot paths are untouched).
+    pub fn register_metrics(self: &Arc<Self>, registry: &vw_common::MetricsRegistry) {
+        type PolledStat = (&'static str, fn(&DecodeCacheStats) -> u64);
+        let polled: [PolledStat; 4] = [
+            ("decode_cache_hits", |s| s.hits),
+            ("decode_cache_misses", |s| s.misses),
+            ("decode_cache_evictions", |s| s.evictions),
+            ("decode_cache_resident_bytes", |s| s.resident_bytes),
+        ];
+        for (name, get) in polled {
+            let cache = Arc::clone(self);
+            registry.register_polled(name, "", move || get(&cache.stats()) as f64);
+        }
+        let cache = Arc::clone(self);
+        registry.register_polled("decode_cache_capacity_bytes", "", move || {
+            cache.capacity_bytes() as f64
+        });
+    }
+
     /// Drop all entries (tests, benchmark phase boundaries).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();

@@ -1,0 +1,449 @@
+//! Engine-wide metrics registry.
+//!
+//! Every layer of the engine (storage, buffer manager, execution core)
+//! registers its telemetry here so that one snapshot answers "what has this
+//! database been doing?" across queries and workers. Three direct instrument
+//! kinds cover the hot paths:
+//!
+//! * [`Counter`] — monotonically increasing `u64`, one relaxed atomic add.
+//! * [`Gauge`] — last-write-wins signed value (resident bytes, budgets).
+//! * [`Histogram`] — fixed-bucket latency/size distribution. Buckets, sum and
+//!   count are plain atomics shared by every thread recording into the
+//!   instrument, so "merging across Exchange workers" is not a separate step:
+//!   at any dop the workers add into the same cells and a snapshot taken
+//!   afterwards is exactly the single-threaded recording of the same events.
+//!
+//! Subsystems that already keep their own atomic stats structs (SimDisk,
+//! decode cache, ABM) do not pay a second store per event; they register a
+//! *polled* gauge — a closure evaluated at snapshot time — so exposing them
+//! here costs nothing on the hot path.
+//!
+//! Instruments live in labeled families: `(name, label)` identifies one
+//! instrument; the registry hands out `Arc`s so callers cache the pointer and
+//! never touch the registry lock while executing. Snapshots are sorted by
+//! `(name, label)` which keeps `vw_metrics` output deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter. Cheap enough for per-query (not per-tuple) paths.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (peak tracking).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default bucket upper bounds for latency histograms, in nanoseconds:
+/// 1µs .. 10s, roughly 4 buckets per decade, plus the implicit +inf bucket.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Fixed-bucket histogram. All cells are atomics, so any number of threads
+/// record concurrently and the result is identical to a serial recording of
+/// the same events (addition commutes); there is no per-worker shard to merge.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing. Values above the last
+    /// bound land in the overflow bucket `counts[bounds.len()]`.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// `counts[i]` pairs with `bounds[i]`; the final entry is the overflow
+    /// bucket for values above every bound.
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One row of a registry snapshot; histograms expand into `_count`, `_sum`
+/// and per-bucket samples so the whole registry flattens into a relation.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    pub name: String,
+    pub label: String,
+    pub kind: &'static str,
+    pub value: f64,
+}
+
+type PolledFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+struct Polled {
+    name: String,
+    label: String,
+    f: PolledFn,
+}
+
+/// Process-wide (per-`Database`) metrics registry.
+///
+/// Lookup takes a lock; recording does not. Callers resolve instruments once
+/// (at construction / compile time) and hold the `Arc`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<(String, String), Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<(String, String), Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<(String, String), Arc<Histogram>>>,
+    polled: Mutex<Vec<Polled>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `(name, label)`. Use `label = ""` for
+    /// unlabeled instruments.
+    pub fn counter(&self, name: &str, label: &str) -> Arc<Counter> {
+        lock(&self.counters)
+            .entry((name.to_string(), label.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str, label: &str) -> Arc<Gauge> {
+        lock(&self.gauges)
+            .entry((name.to_string(), label.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a histogram. The bucket bounds of the first registration
+    /// win; later callers share the same instrument.
+    pub fn histogram(&self, name: &str, label: &str, bounds: &[u64]) -> Arc<Histogram> {
+        lock(&self.histograms)
+            .entry((name.to_string(), label.to_string()))
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Register a gauge whose value is computed at snapshot time. This is how
+    /// subsystems with their own atomic stats (SimDisk, caches) are exposed
+    /// without a second store on their hot paths.
+    pub fn register_polled(
+        &self,
+        name: &str,
+        label: &str,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        lock(&self.polled).push(Polled {
+            name: name.to_string(),
+            label: label.to_string(),
+            f: Box::new(f),
+        });
+    }
+
+    /// Flatten every instrument into samples, sorted by `(name, label, kind)`
+    /// so output is deterministic across runs.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let mut out = Vec::new();
+        for ((name, label), c) in lock(&self.counters).iter() {
+            out.push(MetricSample {
+                name: name.clone(),
+                label: label.clone(),
+                kind: "counter",
+                value: c.get() as f64,
+            });
+        }
+        for ((name, label), g) in lock(&self.gauges).iter() {
+            out.push(MetricSample {
+                name: name.clone(),
+                label: label.clone(),
+                kind: "gauge",
+                value: g.get() as f64,
+            });
+        }
+        for ((name, label), h) in lock(&self.histograms).iter() {
+            let snap = h.snapshot();
+            out.push(MetricSample {
+                name: format!("{name}_count"),
+                label: label.clone(),
+                kind: "histogram",
+                value: snap.count as f64,
+            });
+            out.push(MetricSample {
+                name: format!("{name}_sum"),
+                label: label.clone(),
+                kind: "histogram",
+                value: snap.sum as f64,
+            });
+            for (i, &n) in snap.counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let le = snap
+                    .bounds
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "inf".to_string());
+                let bucket_label = if label.is_empty() {
+                    format!("le={le}")
+                } else {
+                    format!("{label},le={le}")
+                };
+                out.push(MetricSample {
+                    name: format!("{name}_bucket"),
+                    label: bucket_label,
+                    kind: "histogram",
+                    value: n as f64,
+                });
+            }
+        }
+        for p in lock(&self.polled).iter() {
+            out.push(MetricSample {
+                name: p.name.clone(),
+                label: p.label.clone(),
+                kind: "gauge",
+                value: (p.f)(),
+            });
+        }
+        out.sort_by(|a, b| (&a.name, &a.label, a.kind).cmp(&(&b.name, &b.label, b.kind)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("queries_total", "");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same (name, label) resolves to the same instrument.
+        assert_eq!(reg.counter("queries_total", "").get(), 5);
+
+        let g = reg.gauge("mem_peak_bytes", "");
+        g.set(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+        g.set_max(20);
+        assert_eq!(g.get(), 20);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.record(5); // bucket 0 (<=10)
+        h.record(10); // bucket 0 (inclusive bound)
+        h.record(11); // bucket 1
+        h.record(1000); // bucket 2
+        h.record(5000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5 + 10 + 11 + 1000 + 5000);
+    }
+
+    /// The ISSUE acceptance test: recording the same event set from dop 1, 4
+    /// and 8 worker threads must produce identical bucket counts and sums to
+    /// a single-threaded recording — merging is inherent in the shared cells.
+    #[test]
+    fn histogram_merges_identically_across_dop_1_4_8() {
+        let events: Vec<u64> = (0..10_000u64).map(|i| (i * 7919) % 3_000_000).collect();
+
+        let serial = Histogram::new(LATENCY_BUCKETS_NS);
+        for &e in &events {
+            serial.record(e);
+        }
+        let expect = serial.snapshot();
+
+        for dop in [1usize, 4, 8] {
+            let h = Arc::new(Histogram::new(LATENCY_BUCKETS_NS));
+            thread::scope(|s| {
+                for w in 0..dop {
+                    let h = Arc::clone(&h);
+                    let chunk: Vec<u64> = events.iter().copied().skip(w).step_by(dop).collect();
+                    s.spawn(move || {
+                        for e in chunk {
+                            h.record(e);
+                        }
+                    });
+                }
+            });
+            let got = h.snapshot();
+            assert_eq!(
+                got.counts, expect.counts,
+                "bucket counts differ at dop {dop}"
+            );
+            assert_eq!(got.sum, expect.sum, "sum differs at dop {dop}");
+            assert_eq!(got.count, expect.count, "count differs at dop {dop}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_includes_polled() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_last", "").inc();
+        reg.counter("a_first", "b").add(2);
+        reg.counter("a_first", "a").add(1);
+        reg.register_polled("m_polled", "", || 42.0);
+        let h = reg.histogram("op_ns", "Scan", &[100]);
+        h.record(50);
+        h.record(500);
+
+        let snap = reg.snapshot();
+        let keys: Vec<(String, String)> = snap
+            .iter()
+            .map(|s| (s.name.clone(), s.label.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "snapshot must be deterministically ordered");
+
+        let find = |n: &str, l: &str| {
+            snap.iter()
+                .find(|s| s.name == n && s.label == l)
+                .unwrap_or_else(|| panic!("missing {n}/{l}"))
+                .value
+        };
+        assert_eq!(find("a_first", "a"), 1.0);
+        assert_eq!(find("m_polled", ""), 42.0);
+        assert_eq!(find("op_ns_count", "Scan"), 2.0);
+        assert_eq!(find("op_ns_bucket", "Scan,le=100"), 1.0);
+        assert_eq!(find("op_ns_bucket", "Scan,le=inf"), 1.0);
+    }
+
+    #[test]
+    fn snapshot_twice_is_stable_when_idle() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", "").add(3);
+        reg.histogram("h", "", &[10]).record(4);
+        let a: Vec<_> = reg
+            .snapshot()
+            .into_iter()
+            .map(|s| (s.name, s.label, s.value.to_bits()))
+            .collect();
+        let b: Vec<_> = reg
+            .snapshot()
+            .into_iter()
+            .map(|s| (s.name, s.label, s.value.to_bits()))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -13,11 +13,13 @@ use crate::operators::{
     VecSort,
 };
 use crate::profile::{OpProfile, ProfiledOp};
+use crate::trace::TraceHandle;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vw_bufman::DecodeCache;
 use vw_common::config::EngineConfig;
+use vw_common::metrics::{MetricsRegistry, LATENCY_BUCKETS_NS};
 use vw_common::{Result, TableId, VwError};
 use vw_pdt::Pdt;
 use vw_plan::LogicalPlan;
@@ -56,6 +58,14 @@ pub struct ExecContext {
     /// Where spilling operators write their runs/partitions; `None` means
     /// each operator opens a private scratch SimDisk on first spill.
     pub spill_disk: Option<Arc<SimDisk>>,
+    /// Per-worker trace timeline for this query, when profiling is on. The
+    /// handle carries the recording thread's worker id (0 = coordinator);
+    /// Exchange re-tags the clone it hands each worker thread.
+    pub trace: Option<TraceHandle>,
+    /// The database-wide metrics registry, when one is attached. Operators
+    /// resolve their instruments once at compile time and never touch the
+    /// registry lock while executing.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ExecContext {
@@ -70,6 +80,8 @@ impl ExecContext {
             decode_cache: None,
             mem,
             spill_disk: None,
+            trace: None,
+            metrics: None,
         }
     }
 
@@ -154,7 +166,7 @@ fn compile_rec(
                 }
                 None => None,
             };
-            Box::new(VecScan::new(
+            let mut scan = VecScan::new(
                 provider.storage.clone(),
                 provider.pdt.clone(),
                 projection,
@@ -163,7 +175,11 @@ fn compile_rec(
                 morsels,
                 ctx.decode_cache.clone(),
                 naive,
-            )?)
+            )?;
+            if let Some(t) = &ctx.trace {
+                scan.set_trace(t.clone());
+            }
+            Box::new(scan)
         }
         LogicalPlan::Filter { input, predicate } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
@@ -204,6 +220,9 @@ fn compile_rec(
             if let Some(d) = &ctx.spill_disk {
                 join.set_spill_disk(d.clone());
             }
+            if let Some(t) = &ctx.trace {
+                join.set_trace(t.clone());
+            }
             Box::new(join)
         }
         LogicalPlan::Aggregate {
@@ -219,6 +238,9 @@ fn compile_rec(
             if let Some(d) = &ctx.spill_disk {
                 agg.set_spill_disk(d.clone());
             }
+            if let Some(t) = &ctx.trace {
+                agg.set_trace(t.clone());
+            }
             Box::new(agg)
         }
         LogicalPlan::Sort { input, keys } => {
@@ -227,6 +249,9 @@ fn compile_rec(
             sort.set_mem_tracker(ctx.tracker());
             if let Some(d) = &ctx.spill_disk {
                 sort.set_spill_disk(d.clone());
+            }
+            if let Some(t) = &ctx.trace {
+                sort.set_trace(t.clone());
             }
             Box::new(sort)
         }
@@ -251,7 +276,20 @@ fn compile_rec(
         }
     };
     Ok(match prof {
-        Some(p) => Box::new(ProfiledOp::new(op, p.clone())),
+        Some(p) => {
+            let mut wrapped = ProfiledOp::new(op, p.clone());
+            if let Some(t) = &ctx.trace {
+                wrapped.set_trace(t.clone());
+            }
+            if let Some(m) = &ctx.metrics {
+                wrapped.set_histogram(m.histogram(
+                    "operator_next_ns",
+                    p.op_name(),
+                    LATENCY_BUCKETS_NS,
+                ));
+            }
+            Box::new(wrapped)
+        }
         None => op,
     })
 }

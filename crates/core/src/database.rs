@@ -13,17 +13,25 @@
 use crate::compile::{compile_plan, ExecContext, TableProvider};
 use crate::operators::collect_rows;
 use crate::profile::{OpProfile, QueryProfile};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::systab;
+use crate::trace::{TraceCollector, TraceHandle};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use vw_common::config::EngineConfig;
+use vw_common::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
 use vw_common::{DataType, Result, Schema, TableId, Value, VwError};
+use vw_pdt::Pdt;
 use vw_plan::{optimize, rewrite_default, LogicalPlan, TableStats};
 use vw_sql::{compile_sql, BoundStatement, CatalogView};
 use vw_storage::{SimDisk, SimDiskConfig, TableBuilder, TableStorage};
 use vw_txn::{checkpoint_table, materialize_image, Transaction, TxnManager};
+
+/// How many recent queries the history ring buffer (`vw_queries`) retains.
+const QUERY_HISTORY_CAP: usize = 128;
 
 /// A query result: schema + row values.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +100,53 @@ struct TableEntry {
     storage: Arc<RwLock<TableStorage>>,
 }
 
+/// One entry in the query-history ring buffer. Queryable through the
+/// `vw_queries` system table; the attached profile (when profiling was on)
+/// feeds `vw_operator_stats`.
+#[derive(Clone)]
+pub struct QueryRecord {
+    /// Monotonic per-database query sequence number.
+    pub id: u64,
+    /// The SQL text, when the query arrived as SQL (plan-API runs have none).
+    pub sql: Option<String>,
+    /// End-to-end wall time (compile + execute + drain).
+    pub wall: Duration,
+    /// Rows returned to the client.
+    pub rows: u64,
+    /// Degree of parallelism the query ran at.
+    pub dop: usize,
+    /// Execution-memory high-water mark.
+    pub peak_mem_bytes: u64,
+    /// Bytes spilled by memory-governed operators.
+    pub spill_bytes: u64,
+    /// Per-operator profile, when profiling was on for this query.
+    pub profile: Option<Arc<QueryProfile>>,
+}
+
+/// Registry instruments the database folds per query. Resolved once at
+/// construction so the per-query path never takes the registry lock.
+struct CoreMetrics {
+    queries: Arc<Counter>,
+    rows_returned: Arc<Counter>,
+    spill_bytes: Arc<Counter>,
+    morsels_claimed: Arc<Counter>,
+    join_builds: Arc<Counter>,
+    query_wall: Arc<Histogram>,
+}
+
+impl CoreMetrics {
+    fn new(registry: &MetricsRegistry) -> CoreMetrics {
+        CoreMetrics {
+            queries: registry.counter("queries_total", ""),
+            rows_returned: registry.counter("rows_returned_total", ""),
+            spill_bytes: registry.counter("spill_bytes_total", ""),
+            morsels_claimed: registry.counter("morsels_claimed_total", ""),
+            join_builds: registry.counter("join_builds_total", ""),
+            query_wall: registry.histogram("query_wall_ns", "", LATENCY_BUCKETS_NS),
+        }
+    }
+}
+
 /// The embedded analytical DBMS.
 pub struct Database {
     disk: Arc<SimDisk>,
@@ -109,6 +164,17 @@ pub struct Database {
     buffer: RwLock<Option<Arc<vw_bufman::Abm>>>,
     /// Shared cache of decoded vector slices for compressed execution.
     decode_cache: Arc<vw_bufman::DecodeCache>,
+    /// Database-wide metrics registry: counters/gauges/histograms from every
+    /// layer (operators, scheduler, caches, disk). Queryable via `vw_metrics`.
+    metrics: Arc<MetricsRegistry>,
+    /// Instruments folded per query, resolved once from `metrics`.
+    core_metrics: CoreMetrics,
+    /// Ring buffer of the most recent queries (`vw_queries`).
+    history: Mutex<VecDeque<QueryRecord>>,
+    next_query_id: AtomicU64,
+    /// Trace timeline of the most recently profiled query
+    /// ([`Database::export_trace`], the `TRACE` statement).
+    last_trace: RwLock<Option<Arc<TraceCollector>>>,
 }
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -129,8 +195,13 @@ impl Database {
     pub fn with_wal_and_disk(wal_path: PathBuf, disk: SimDiskConfig) -> Result<Database> {
         let config = EngineConfig::default();
         let decode_cache = Arc::new(vw_bufman::DecodeCache::new(config.decode_cache_bytes));
+        let disk = Arc::new(SimDisk::new(disk));
+        let metrics = Arc::new(MetricsRegistry::new());
+        disk.register_metrics(&metrics);
+        decode_cache.register_metrics(&metrics);
+        let core_metrics = CoreMetrics::new(&metrics);
         Ok(Database {
-            disk: Arc::new(SimDisk::new(disk)),
+            disk,
             tables: RwLock::new(HashMap::new()),
             txn: RwLock::new(TxnManager::new(&wal_path)?),
             stats: RwLock::new(HashMap::new()),
@@ -140,6 +211,11 @@ impl Database {
             last_profile: RwLock::new(None),
             buffer: RwLock::new(None),
             decode_cache,
+            metrics,
+            core_metrics,
+            history: Mutex::new(VecDeque::new()),
+            next_query_id: AtomicU64::new(1),
+            last_trace: RwLock::new(None),
         })
     }
 
@@ -200,8 +276,10 @@ impl Database {
     }
 
     /// Attach a cooperative-scan buffer manager so its counters show up in
-    /// query profiles (`EXPLAIN ANALYZE` "Buffer:" line).
+    /// query profiles (`EXPLAIN ANALYZE` "Buffer:" line) and in
+    /// `vw_metrics`/`vw_cache`.
     pub fn attach_buffer_manager(&self, abm: Arc<vw_bufman::Abm>) {
+        abm.register_metrics(&self.metrics);
         *self.buffer.write() = Some(abm);
     }
 
@@ -211,11 +289,41 @@ impl Database {
         self.last_profile.read().clone()
     }
 
+    /// The database-wide metrics registry (also queryable as `vw_metrics`).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The retained query history, oldest first (also queryable as
+    /// `vw_queries`).
+    pub fn query_history(&self) -> Vec<QueryRecord> {
+        self.history.lock().iter().cloned().collect()
+    }
+
+    /// The chrome://tracing JSON of the most recently profiled query, if any.
+    /// Load it in `chrome://tracing` or Perfetto; also reachable from SQL as
+    /// `TRACE <query>`.
+    pub fn export_trace(&self) -> Option<String> {
+        self.last_trace.read().as_ref().map(|c| c.to_chrome_json())
+    }
+
+    /// The trace collector of the most recently profiled query (tests,
+    /// programmatic inspection).
+    pub fn last_trace(&self) -> Option<Arc<TraceCollector>> {
+        self.last_trace.read().clone()
+    }
+
     // ------------------------------------------------------------- catalog
 
     /// Create an empty table.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableId> {
         schema.check_unique_names()?;
+        if name.starts_with("vw_") {
+            return Err(VwError::Catalog(format!(
+                "the 'vw_' prefix is reserved for system tables (cannot create '{}')",
+                name
+            )));
+        }
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             return Err(VwError::Catalog(format!("table '{}' already exists", name)));
@@ -346,25 +454,37 @@ impl Database {
 
     /// Execute a logical plan, optionally inside a transaction's view.
     pub fn run_plan_in(&self, plan: LogicalPlan, txn: Option<&Transaction>) -> Result<QueryResult> {
-        self.run_plan_profiled(plan, txn, false).map(|(r, _)| r)
+        self.run_plan_profiled(plan, txn, false, None)
+            .map(|(r, _)| r)
     }
 
     /// Execute a plan, recording a per-operator [`QueryProfile`] when
     /// profiling is on in the config (or `force` is set, as for
-    /// `EXPLAIN ANALYZE`). The profile is also stored for
-    /// [`Database::profile_last_query`].
+    /// `EXPLAIN ANALYZE` and `TRACE`). The profile is also stored for
+    /// [`Database::profile_last_query`], the trace timeline for
+    /// [`Database::export_trace`], and a [`QueryRecord`] is appended to the
+    /// history ring buffer.
     fn run_plan_profiled(
         &self,
         plan: LogicalPlan,
         txn: Option<&Transaction>,
         force: bool,
+        sql: Option<&str>,
     ) -> Result<(QueryResult, Option<Arc<QueryProfile>>)> {
         let plan = self.optimize_plan(plan);
         let schema = plan.schema()?;
         let mut ctx = self.exec_context(txn)?;
+        self.provide_system_tables(&plan, &mut ctx)?;
         let profiling = force || ctx.config.profiling;
         let root = profiling.then(|| OpProfile::from_plan(&plan));
         ctx.profile = root.clone();
+        ctx.metrics = Some(self.metrics.clone());
+        // The trace rides the profiling switch: same amortization argument,
+        // and `TRACE`/`EXPLAIN ANALYZE` force both on together.
+        let collector = profiling.then(|| Arc::new(TraceCollector::new()));
+        if let Some(c) = &collector {
+            ctx.trace = Some(TraceHandle::new(c.clone(), 0));
+        }
         let disk_before = self.disk.stats();
         let buf_before = self.buffer.read().as_ref().map(|a| a.stats());
         let decode_before = self.decode_cache.stats();
@@ -372,10 +492,11 @@ impl Database {
         let mut op = compile_plan(&plan, &ctx)?;
         let rows = collect_rows(op.as_mut())?;
         drop(op); // flush profile extras from operators cut short by LIMIT
+        let wall = started.elapsed();
         let profile = root.map(|root| {
             Arc::new(QueryProfile {
                 root,
-                wall: started.elapsed(),
+                wall,
                 dop: ctx.config.parallelism,
                 morsels_claimed: ctx.stats.morsels_claimed(),
                 builds_executed: ctx.stats.builds_executed(),
@@ -391,14 +512,206 @@ impl Database {
         if let Some(p) = &profile {
             *self.last_profile.write() = Some(p.clone());
         }
+        if let Some(c) = collector {
+            *self.last_trace.write() = Some(c);
+        }
+        let mem = ctx.mem.stats();
+        let m = &self.core_metrics;
+        m.queries.inc();
+        m.rows_returned.add(rows.len() as u64);
+        m.spill_bytes.add(mem.spill_bytes);
+        m.morsels_claimed.add(ctx.stats.morsels_claimed() as u64);
+        m.join_builds.add(ctx.stats.builds_executed() as u64);
+        m.query_wall.record(wall.as_nanos() as u64);
+        let record = QueryRecord {
+            id: self.next_query_id.fetch_add(1, Ordering::Relaxed),
+            sql: sql.map(str::to_string),
+            wall,
+            rows: rows.len() as u64,
+            dop: ctx.config.parallelism,
+            peak_mem_bytes: mem.peak,
+            spill_bytes: mem.spill_bytes,
+            profile: profile.clone(),
+        };
+        let mut history = self.history.lock();
+        if history.len() >= QUERY_HISTORY_CAP {
+            history.pop_front();
+        }
+        history.push_back(record);
+        drop(history);
         Ok((QueryResult { schema, rows }, profile))
+    }
+
+    // -------------------------------------------------------- system tables
+
+    /// Inject point-in-time providers for any `vw_` system tables the plan
+    /// scans. Runs after optimization, before compilation, so both the
+    /// serial and the Exchange-parallel paths (and the baseline engines, via
+    /// [`Database::plan_exec_context`]) resolve them like ordinary tables.
+    fn provide_system_tables(&self, plan: &LogicalPlan, ctx: &mut ExecContext) -> Result<()> {
+        fn collect(plan: &LogicalPlan, out: &mut Vec<TableId>) {
+            if let LogicalPlan::Scan { table_id, .. } = plan {
+                if systab::is_system_table(*table_id) && !out.contains(table_id) {
+                    out.push(*table_id);
+                }
+            }
+            for c in plan.children() {
+                collect(c, out);
+            }
+        }
+        let mut ids = Vec::new();
+        collect(plan, &mut ids);
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let mut tables = (*ctx.tables).clone();
+        for id in ids {
+            let name = systab::system_table_name(id)
+                .ok_or_else(|| VwError::Catalog(format!("unknown system table {}", id)))?;
+            tables.insert(id, self.materialize_system_table(name)?);
+        }
+        ctx.tables = Arc::new(tables);
+        Ok(())
+    }
+
+    /// A fully-compiled execution context for `plan` against the committed
+    /// snapshot, system tables included — the entry point for running plans
+    /// through the baseline engines (`compile_row`/`compile_materialized`)
+    /// with the same table resolution as the vectorized engine.
+    pub fn plan_exec_context(&self, plan: &LogicalPlan) -> Result<ExecContext> {
+        let mut ctx = self.exec_context(None)?;
+        self.provide_system_tables(plan, &mut ctx)?;
+        Ok(ctx)
+    }
+
+    /// Materialize one system table as a point-in-time snapshot. Built on a
+    /// private scratch disk so reading `vw_io` does not perturb the I/O
+    /// counters it reports.
+    fn materialize_system_table(&self, name: &str) -> Result<TableProvider> {
+        let schema = systab::system_schema(name);
+        let rows = match name {
+            "vw_queries" => self.vw_queries_rows(),
+            "vw_operator_stats" => self.vw_operator_stats_rows(),
+            "vw_metrics" => self.vw_metrics_rows(),
+            "vw_io" => self.vw_io_rows(),
+            "vw_cache" => self.vw_cache_rows(),
+            other => {
+                return Err(VwError::Catalog(format!(
+                    "unknown system table '{}'",
+                    other
+                )))
+            }
+        };
+        let scratch = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let storage = if rows.is_empty() {
+            TableStorage::new(schema, scratch)
+        } else {
+            let mut builder = TableBuilder::new(schema, scratch);
+            for row in rows {
+                builder.push_row(row)?;
+            }
+            builder.finish()?
+        };
+        let n = storage.n_rows();
+        Ok(TableProvider {
+            storage: Arc::new(RwLock::new(storage)),
+            pdt: Arc::new(Pdt::new(n)),
+        })
+    }
+
+    fn vw_queries_rows(&self) -> Vec<Vec<Value>> {
+        self.history
+            .lock()
+            .iter()
+            .map(|q| {
+                vec![
+                    Value::I64(q.id as i64),
+                    q.sql.clone().map(Value::Str).unwrap_or(Value::Null),
+                    Value::F64(q.wall.as_secs_f64() * 1e3),
+                    Value::I64(q.rows as i64),
+                    Value::I64(q.dop as i64),
+                    Value::I64(q.peak_mem_bytes as i64),
+                    Value::I64(q.spill_bytes as i64),
+                ]
+            })
+            .collect()
+    }
+
+    fn vw_operator_stats_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for q in self.history.lock().iter() {
+            let Some(profile) = &q.profile else { continue };
+            for node in profile.nodes() {
+                rows.push(vec![
+                    Value::I64(q.id as i64),
+                    Value::Str(node.op_name().to_string()),
+                    Value::Str(node.label().to_string()),
+                    Value::F64(node.time().as_secs_f64() * 1e3),
+                    Value::I64(node.next_calls() as i64),
+                    Value::I64(node.vectors() as i64),
+                    Value::I64(node.rows_out() as i64),
+                ]);
+            }
+        }
+        rows
+    }
+
+    fn vw_metrics_rows(&self) -> Vec<Vec<Value>> {
+        self.metrics
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    Value::Str(s.name),
+                    Value::Str(s.label),
+                    Value::Str(s.kind.to_string()),
+                    Value::F64(s.value),
+                ]
+            })
+            .collect()
+    }
+
+    fn vw_io_rows(&self) -> Vec<Vec<Value>> {
+        let d = self.disk.stats();
+        vec![vec![
+            Value::I64(d.reads as i64),
+            Value::I64(d.writes as i64),
+            Value::I64(d.bytes_read as i64),
+            Value::I64(d.bytes_written as i64),
+            Value::I64(d.bytes_skipped as i64),
+            Value::F64(d.virtual_read_ns as f64 / 1e6),
+        ]]
+    }
+
+    fn vw_cache_rows(&self) -> Vec<Vec<Value>> {
+        let d = self.decode_cache.stats();
+        let mut rows = vec![vec![
+            Value::Str("decode".to_string()),
+            Value::I64(d.hits as i64),
+            Value::I64(d.misses as i64),
+            Value::I64(d.evictions as i64),
+            Value::I64(d.resident_bytes as i64),
+        ]];
+        if let Some(abm) = self.buffer.read().as_ref() {
+            let s = abm.stats();
+            rows.push(vec![
+                Value::Str("abm".to_string()),
+                Value::I64(s.shared_hits as i64),
+                Value::I64(s.loads as i64),
+                Value::I64(0),
+                Value::I64(0),
+            ]);
+        }
+        rows
     }
 
     /// Execute one SQL statement (autocommit).
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let bound = compile_sql(sql, self)?;
         match bound {
-            BoundStatement::Query(plan) => self.run_plan(plan),
+            BoundStatement::Query(plan) => self
+                .run_plan_profiled(plan, None, false, Some(sql))
+                .map(|(r, _)| r),
             BoundStatement::Explain(plan) => {
                 let optimized = self.optimize_plan(plan);
                 let text = optimized.explain();
@@ -412,11 +725,26 @@ impl Database {
             BoundStatement::ExplainAnalyze(plan) => {
                 // Execute for real (profiling forced on) and return the
                 // annotated plan tree instead of the result rows.
-                let (_result, profile) = self.run_plan_profiled(plan, None, true)?;
+                let (_result, profile) = self.run_plan_profiled(plan, None, true, Some(sql))?;
                 let profile = profile.expect("forced profiling always yields a profile");
                 let schema = Schema::new(vec![vw_common::Field::new("plan", DataType::Str)]);
                 let rows = profile
                     .render()
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(QueryResult { schema, rows })
+            }
+            BoundStatement::Trace(plan) => {
+                // Execute for real with profiling (and thus tracing) forced
+                // on; return the chrome://tracing JSON, one line per row, so
+                // concatenating the rows reassembles the document.
+                let (_result, _profile) = self.run_plan_profiled(plan, None, true, Some(sql))?;
+                let json = self
+                    .export_trace()
+                    .expect("forced profiling always records a trace");
+                let schema = Schema::new(vec![vw_common::Field::new("trace", DataType::Str)]);
+                let rows = json
                     .lines()
                     .map(|l| vec![Value::Str(l.to_string())])
                     .collect();
@@ -427,6 +755,7 @@ impl Database {
                 Ok(empty_result("created"))
             }
             BoundStatement::Insert { table, rows } => {
+                check_writable(table)?;
                 let mut txn = self.begin();
                 let n = rows.len();
                 for row in rows {
@@ -440,12 +769,14 @@ impl Database {
                 assignments,
                 predicate,
             } => {
+                check_writable(table)?;
                 let mut txn = self.begin();
                 let n = self.apply_update(&mut txn, table, &assignments, predicate.as_ref())?;
                 self.commit(txn)?;
                 Ok(count_result("updated", n))
             }
             BoundStatement::Delete { table, predicate } => {
+                check_writable(table)?;
                 let mut txn = self.begin();
                 let n = self.apply_delete(&mut txn, table, predicate.as_ref())?;
                 self.commit(txn)?;
@@ -524,8 +855,11 @@ impl Database {
     pub fn execute_in(&self, txn: &mut Transaction, sql: &str) -> Result<QueryResult> {
         let bound = compile_sql(sql, self)?;
         match bound {
-            BoundStatement::Query(plan) => self.run_plan_in(plan, Some(txn)),
+            BoundStatement::Query(plan) => self
+                .run_plan_profiled(plan, Some(txn), false, Some(sql))
+                .map(|(r, _)| r),
             BoundStatement::Insert { table, rows } => {
+                check_writable(table)?;
                 let n = rows.len();
                 for row in rows {
                     txn.append(table, row)?;
@@ -537,10 +871,12 @@ impl Database {
                 assignments,
                 predicate,
             } => {
+                check_writable(table)?;
                 let n = self.apply_update(txn, table, &assignments, predicate.as_ref())?;
                 Ok(count_result("updated", n))
             }
             BoundStatement::Delete { table, predicate } => {
+                check_writable(table)?;
                 let n = self.apply_delete(txn, table, predicate.as_ref())?;
                 Ok(count_result("deleted", n))
             }
@@ -720,6 +1056,18 @@ impl Database {
     }
 }
 
+/// DML targets must be user tables: the `vw_` system tables are read-only
+/// point-in-time views.
+fn check_writable(table: TableId) -> Result<()> {
+    if systab::is_system_table(table) {
+        return Err(VwError::Invalid(format!(
+            "system table '{}' is read-only",
+            systab::system_table_name(table).unwrap_or("vw_?")
+        )));
+    }
+    Ok(())
+}
+
 fn empty_result(tag: &str) -> QueryResult {
     QueryResult {
         schema: Schema::new(vec![vw_common::Field::new(tag, DataType::I64)]),
@@ -740,9 +1088,14 @@ impl CatalogView for Database {
         tables
             .get(name)
             .map(|e| (e.id, e.storage.read().schema().clone()))
+            .or_else(|| systab::system_table(name))
     }
 
     fn table_rows(&self, id: TableId) -> Option<u64> {
+        if systab::is_system_table(id) {
+            // Materialized fresh per query; no stable cardinality to report.
+            return None;
+        }
         self.txn
             .read()
             .current_pdt(id)
@@ -1123,6 +1476,156 @@ mod tests {
         let mut t = db.begin();
         assert!(db.execute_in(&mut t, "SET parallelism = 2").is_err());
         db.abort(t);
+    }
+
+    #[test]
+    fn vw_queries_counts_session_queries() {
+        let db = sample_db();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        db.execute("SELECT id FROM items WHERE qty >= 5").unwrap();
+        // CREATE/INSERT are not queries; only the two SELECTs are in history.
+        let r = db.execute("SELECT COUNT(*) FROM vw_queries").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(2));
+        // The count query recorded itself after running, so it shows up now.
+        let r = db
+            .execute("SELECT query_id, sql, rows FROM vw_queries ORDER BY query_id")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(
+            r.rows[0][1],
+            Value::Str("SELECT COUNT(*) FROM items".into())
+        );
+        assert_eq!(r.rows[0][2], Value::I64(1));
+        assert_eq!(db.query_history().len(), 4);
+    }
+
+    #[test]
+    fn system_tables_are_schema_correct_and_populated() {
+        let db = sample_db();
+        db.execute("SELECT tag, SUM(price) FROM items GROUP BY tag")
+            .unwrap();
+        for &name in crate::systab::SYSTEM_TABLE_NAMES {
+            let r = db.execute(&format!("SELECT * FROM {}", name)).unwrap();
+            assert_eq!(
+                r.schema,
+                crate::systab::system_schema(name),
+                "schema mismatch for {}",
+                name
+            );
+        }
+        let ops = db.execute("SELECT * FROM vw_operator_stats").unwrap();
+        assert!(!ops.rows.is_empty());
+        let metrics = db
+            .execute("SELECT value FROM vw_metrics WHERE name = 'queries_total'")
+            .unwrap();
+        assert_eq!(metrics.rows.len(), 1);
+        assert!(matches!(metrics.rows[0][0], Value::F64(v) if v >= 2.0));
+        let io = db.execute("SELECT * FROM vw_io").unwrap();
+        assert_eq!(io.rows.len(), 1);
+        let cache = db.execute("SELECT cache FROM vw_cache").unwrap();
+        assert_eq!(cache.rows[0][0], Value::Str("decode".into()));
+    }
+
+    #[test]
+    fn system_tables_are_read_only_and_names_reserved() {
+        let db = sample_db();
+        let err = db
+            .execute("INSERT INTO vw_queries VALUES (1, 'x', 0.0, 0, 1, 0, 0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{}", err);
+        let err = db.execute("DELETE FROM vw_io").unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{}", err);
+        let err = db.execute("CREATE TABLE vw_custom (a BIGINT)").unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{}", err);
+    }
+
+    #[test]
+    fn trace_statement_returns_valid_chrome_json() {
+        let db = sample_db();
+        let r = db
+            .execute("TRACE SELECT tag, COUNT(*) FROM items GROUP BY tag")
+            .unwrap();
+        assert_eq!(r.schema.field(0).name, "trace");
+        let json: String = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_str().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let n = crate::trace::validate_chrome_json(&json).expect("valid trace JSON");
+        assert!(n > 0, "trace has no events");
+        // export_trace returns the same timeline.
+        assert_eq!(db.export_trace().unwrap(), json);
+    }
+
+    #[test]
+    fn dop4_trace_has_spans_from_all_workers() {
+        let db = wide_db(2000);
+        db.set_parallelism(4);
+        db.execute("SELECT k, SUM(v) FROM t GROUP BY k").unwrap();
+        let trace = db.last_trace().unwrap();
+        let workers = trace.worker_ids();
+        for w in 1..=4 {
+            assert!(
+                workers.contains(&w),
+                "no events from worker {w}: {workers:?}"
+            );
+        }
+        let json = trace.to_chrome_json();
+        crate::trace::validate_chrome_json(&json).expect("valid dop-4 trace");
+        // Per-worker events carry spans (operator next() calls), not just
+        // instants.
+        for w in 1..=4 {
+            assert!(
+                trace
+                    .events()
+                    .iter()
+                    .any(|e| e.worker == w && e.dur_ns.is_some()),
+                "worker {w} recorded no spans"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_extras_key_order_is_deterministic_across_runs() {
+        let db = wide_db(2000);
+        db.set_parallelism(4);
+        let q = "SELECT k, SUM(v) FROM t GROUP BY k";
+        // Warm the decode cache so conditional extras (cache hits) appear in
+        // both runs rather than only the second.
+        db.execute(q).unwrap();
+        let keys_of = |p: &Arc<QueryProfile>| -> Vec<Vec<&'static str>> {
+            p.nodes()
+                .iter()
+                .map(|n| n.extras().iter().map(|&(k, _)| k).collect())
+                .collect()
+        };
+        db.execute(q).unwrap();
+        let first = keys_of(&db.profile_last_query().unwrap());
+        db.execute(q).unwrap();
+        let second = keys_of(&db.profile_last_query().unwrap());
+        assert_eq!(first, second, "extras key order changed between runs");
+        for keys in &first {
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(*keys, sorted, "extras keys not rendered in sorted order");
+        }
+    }
+
+    #[test]
+    fn query_history_is_a_ring_buffer() {
+        let db = wide_db(50);
+        for _ in 0..(QUERY_HISTORY_CAP + 10) {
+            db.execute("SELECT COUNT(*) FROM t").unwrap();
+        }
+        let history = db.query_history();
+        assert_eq!(history.len(), QUERY_HISTORY_CAP);
+        // Oldest entries were evicted: ids are contiguous and end at the
+        // latest query.
+        let first = history.first().unwrap().id;
+        let last = history.last().unwrap().id;
+        assert_eq!(last - first + 1, QUERY_HISTORY_CAP as u64);
+        assert_eq!(last, (QUERY_HISTORY_CAP + 10) as u64);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use crate::batch::{Batch, ExecVector};
 use crate::mem::MemTracker;
 use crate::spill::{read_batch, spill_disk, write_batch};
+use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use vw_common::hash::FxHashMap;
 use vw_common::{DataType, Field, Result, Schema, Value, VwError};
@@ -331,6 +332,8 @@ pub struct HashAggregate {
     drain: Vec<SpillFile>,
     done: bool,
     output: Vec<Batch>,
+    /// Query trace: table spills become timeline events.
+    trace: Option<TraceHandle>,
 }
 
 impl HashAggregate {
@@ -435,6 +438,7 @@ impl HashAggregate {
             drain: Vec::new(),
             done: false,
             output: Vec::new(),
+            trace: None,
         })
     }
 
@@ -446,6 +450,11 @@ impl HashAggregate {
     /// Spill to this disk (the database's SimDisk, so spill I/O is counted).
     pub fn set_spill_disk(&mut self, disk: Arc<SimDisk>) {
         self.disk = Some(disk);
+    }
+
+    /// Record table spills into the query trace timeline.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     fn run(&mut self) -> Result<()> {
@@ -632,6 +641,8 @@ impl HashAggregate {
             part_rows[p].push(row);
         }
         let parts = self.partitions.as_mut().unwrap();
+        let span = self.trace.as_ref().map(|t| t.start());
+        let mut spilled = 0u64;
         for (p, rows) in part_rows.into_iter().enumerate() {
             if rows.is_empty() {
                 continue;
@@ -639,6 +650,10 @@ impl HashAggregate {
             let b = Batch::from_rows(&self.spill_schema, &rows)?;
             let bytes = write_batch(&mut parts[p], &b)?;
             self.mem.note_spill(bytes);
+            spilled += bytes as u64;
+        }
+        if let (Some(t), Some(start)) = (&self.trace, span) {
+            t.span_arg("spill write", "spill", start, Some(("bytes", spilled)));
         }
         table.clear();
         self.mem.shrink(*table_bytes);

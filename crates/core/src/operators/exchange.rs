@@ -59,11 +59,16 @@ impl Exchange {
         // build slots are keyed by plan position, so identical plan clones
         // compiled on each thread resolve to the same shared state.
         let shared = SharedExec::new(self.partitions, self.ctx.stats.clone());
-        for _ in 0..self.partitions {
+        for worker in 0..self.partitions {
             let tx = tx.clone();
             let plan = self.plan.clone();
             let mut ctx = self.ctx.clone();
             ctx.shared = Some(shared.clone());
+            // Trace events carry the recording thread: worker ids 1..=P
+            // (0 stays the coordinating thread above the Exchange).
+            if let Some(t) = &ctx.trace {
+                ctx.trace = Some(t.with_worker(worker + 1));
+            }
             let handle = std::thread::spawn(move || {
                 let mut op = match compile_plan(&plan, &ctx) {
                     Ok(op) => op,

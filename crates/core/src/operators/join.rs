@@ -26,6 +26,7 @@ use crate::batch::{Batch, ExecVector};
 use crate::mem::MemTracker;
 use crate::morsel::{ExecStats, SharedBuild};
 use crate::spill::{batch_bytes, read_batch, spill_disk, write_batch};
+use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use std::sync::Arc;
 use vw_common::hash::FxHashMap;
@@ -63,6 +64,8 @@ pub struct HashJoin {
     disk: Option<Arc<SimDisk>>,
     /// Probe progress against a spilled build (None until needed).
     grace: Option<GraceProbe>,
+    /// Query trace: build/build-wait spans and spill writes.
+    trace: Option<TraceHandle>,
 }
 
 /// An in-memory build table: gathered columns + hash → row-index chains.
@@ -294,6 +297,7 @@ impl HashJoin {
             mem: MemTracker::detached(),
             disk: None,
             grace: None,
+            trace: None,
         })
     }
 
@@ -319,6 +323,11 @@ impl HashJoin {
         self.disk = Some(disk);
     }
 
+    /// Record build(-wait) spans and spill writes into the query trace.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
     fn build_side(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("build called twice");
         let on = self.on.clone();
@@ -334,11 +343,29 @@ impl HashJoin {
             }
             BuildData::from_operator(right.as_mut(), &on, mem, &disk)
         };
+        let span = self.trace.as_ref().map(|t| t.start());
         let data = match &self.shared {
             Some(slot) => slot.clone().get_or_build(make)?,
             None => Arc::new(make()?),
         };
         self.build_executed = executed.load(std::sync::atomic::Ordering::Relaxed);
+        if let (Some(t), Some(start)) = (&self.trace, span) {
+            // The same call site is a build on the executing worker and a
+            // blocked wait on every worker that arrived while it ran.
+            let name = if self.build_executed {
+                "join build"
+            } else {
+                "build wait"
+            };
+            t.span_arg(name, "sched", start, Some(("rows", data.rows)));
+            if self.build_executed && data.spilled() {
+                t.instant(
+                    "spill write",
+                    "spill",
+                    Some(("bytes", data.mem.spill_bytes())),
+                );
+            }
+        }
         self.build = Some(data);
         Ok(())
     }
@@ -491,6 +518,9 @@ impl HashJoin {
                 let sub = Batch::new(b.columns.iter().map(|c| c.gather(&idx)).collect());
                 let bytes = write_batch(&mut files[p], &sub)?;
                 self.mem.note_spill(bytes);
+                if let Some(t) = &self.trace {
+                    t.instant("spill write", "spill", Some(("bytes", bytes as u64)));
+                }
             }
         }
         Ok(GraceProbe {

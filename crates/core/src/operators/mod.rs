@@ -38,6 +38,11 @@ pub trait Operator: Send {
     /// pruned, build reuse). Collected once by the profiling wrapper when the
     /// operator reaches end-of-stream; summed per plan node across Exchange
     /// workers.
+    ///
+    /// Determinism contract: keys must be `'static` literals drawn from a
+    /// fixed per-operator set. The profile node merges them into a sorted
+    /// map, so `EXPLAIN ANALYZE` renders extras in the same key order on
+    /// every run at every dop — worker arrival order can never reorder them.
     fn profile_extras(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }

@@ -22,6 +22,7 @@
 use crate::batch::{Batch, ExecVector};
 use crate::morsel::{Morsel, MorselQueue};
 use crate::primitives::sel_from_bool;
+use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -118,6 +119,8 @@ pub struct VecScan {
     /// decision happens when the shared unit list is planned, not per
     /// worker).
     groups_pruned: u64,
+    /// Query trace: morsel claims become per-worker instant events.
+    trace: Option<TraceHandle>,
 }
 
 /// A planned scan-unit list plus the zone-map pruning outcome.
@@ -253,7 +256,13 @@ impl VecScan {
             counters: LazyCounters::default(),
             units_claimed: 0,
             groups_pruned,
+            trace: None,
         })
+    }
+
+    /// Record morsel claims into the query trace timeline.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Load the columns of a scan unit, merging PDT changes.
@@ -782,6 +791,13 @@ impl super::Operator for VecScan {
                 match self.units.next() {
                     Some(unit) => {
                         self.units_claimed += 1;
+                        if let Some(t) = &self.trace {
+                            let arg = match &unit {
+                                Morsel::Group(g) => Some(("group", *g as u64)),
+                                Morsel::AppendTail => None,
+                            };
+                            t.instant("morsel claim", "sched", arg);
+                        }
                         self.current = self.open_unit(unit)?;
                         continue;
                     }

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use crate::batch::Batch;
 use crate::mem::MemTracker;
 use crate::spill::{batch_bytes, read_batch, spill_disk, write_batch};
+use crate::trace::TraceHandle;
 use vw_common::{Result, Schema};
 use vw_plan::SortKey;
 use vw_storage::{SimDisk, SpillFile};
@@ -31,6 +32,7 @@ pub struct VecSort {
     mem: MemTracker,
     disk: Option<Arc<SimDisk>>,
     state: State,
+    trace: Option<TraceHandle>,
 }
 
 enum State {
@@ -50,7 +52,13 @@ impl VecSort {
             mem: MemTracker::detached(),
             disk: None,
             state: State::Pending,
+            trace: None,
         }
+    }
+
+    /// Record run spills into the query trace timeline.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Attach a tracker onto the query's shared memory budget.
@@ -92,12 +100,16 @@ impl VecSort {
         pending_bytes: &mut usize,
         runs: &mut Vec<SpillFile>,
     ) -> Result<()> {
+        let span = self.trace.as_ref().map(|t| t.start());
         let batch = concat_batches(std::mem::take(pending), self.schema.len());
         let mut file = SpillFile::new(spill_disk(&self.disk));
         for chunk in self.sorted_chunks(&batch) {
             write_batch(&mut file, &chunk)?;
         }
         self.mem.note_spill(file.bytes());
+        if let (Some(t), Some(start)) = (&self.trace, span) {
+            t.span_arg("spill write", "spill", start, Some(("bytes", file.bytes())));
+        }
         self.mem.shrink(*pending_bytes);
         *pending_bytes = 0;
         runs.push(file);

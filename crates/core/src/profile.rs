@@ -164,10 +164,16 @@ impl OpProfile {
 /// into the [`OpProfile`] node for this operator's plan position. At
 /// end-of-stream (or on error) it flushes the wrapped operator's
 /// [`Operator::profile_extras`] exactly once.
+///
+/// When a trace handle or a latency histogram is attached, each `next()`
+/// additionally records a per-worker timeline span / a histogram sample —
+/// both amortized over the vector like the timing itself.
 pub struct ProfiledOp {
     inner: BoxedOperator,
     node: Arc<OpProfile>,
     flushed: bool,
+    trace: Option<crate::trace::TraceHandle>,
+    hist: Option<Arc<vw_common::Histogram>>,
 }
 
 impl ProfiledOp {
@@ -176,7 +182,19 @@ impl ProfiledOp {
             inner,
             node,
             flushed: false,
+            trace: None,
+            hist: None,
         }
+    }
+
+    /// Record a timeline span per `next()` call into the query trace.
+    pub fn set_trace(&mut self, trace: crate::trace::TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Record each `next()` duration into a registry latency histogram.
+    pub fn set_histogram(&mut self, hist: Arc<vw_common::Histogram>) {
+        self.hist = Some(hist);
     }
 }
 
@@ -186,13 +204,26 @@ impl Operator for ProfiledOp {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
+        let span = self.trace.as_ref().map(|t| t.start());
         let t0 = Instant::now();
         let r = self.inner.next();
+        let elapsed = t0.elapsed();
         let produced = match &r {
             Ok(Some(b)) => Some(b.len()),
             _ => None,
         };
-        self.node.record_next(t0.elapsed(), produced);
+        self.node.record_next(elapsed, produced);
+        if let Some(h) = &self.hist {
+            h.record(elapsed.as_nanos() as u64);
+        }
+        if let (Some(t), Some(start)) = (&self.trace, span) {
+            t.span_arg(
+                self.node.op_name(),
+                "op",
+                start,
+                produced.map(|rows| ("rows", rows as u64)),
+            );
+        }
         if !self.flushed && !matches!(r, Ok(Some(_))) {
             self.flushed = true;
             for (k, v) in self.inner.profile_extras() {

@@ -27,6 +27,9 @@ pub enum Statement {
     Explain(Box<Statement>),
     /// `EXPLAIN ANALYZE <query>`: execute and render the profiled plan.
     ExplainAnalyze(Box<Statement>),
+    /// `TRACE <query>`: execute with tracing forced on and return the
+    /// per-worker timeline as chrome://tracing JSON.
+    Trace(Box<Statement>),
     /// `SET <name> = <constant>`: session configuration (memory budget,
     /// parallelism, …). Bare words on the right parse as strings, so
     /// `SET memory_budget = unbounded` works unquoted.

@@ -26,6 +26,9 @@ pub enum BoundStatement {
     /// `EXPLAIN ANALYZE`: execute the plan with profiling forced on and
     /// return the annotated tree.
     ExplainAnalyze(LogicalPlan),
+    /// `TRACE`: execute the plan with tracing forced on and return the
+    /// chrome://tracing JSON timeline.
+    Trace(LogicalPlan),
     CreateTable {
         name: String,
         schema: Schema,
@@ -61,6 +64,10 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
         Statement::ExplainAnalyze(inner) => match bind(inner, catalog)? {
             BoundStatement::Query(p) => Ok(BoundStatement::ExplainAnalyze(p)),
             _ => Err(bind_err!("EXPLAIN ANALYZE supports only queries")),
+        },
+        Statement::Trace(inner) => match bind(inner, catalog)? {
+            BoundStatement::Query(p) => Ok(BoundStatement::Trace(p)),
+            _ => Err(bind_err!("TRACE supports only queries")),
         },
         Statement::CreateTable { name, columns } => {
             let schema: Schema = columns

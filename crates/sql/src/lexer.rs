@@ -87,6 +87,7 @@ pub const KEYWORDS: &[&str] = &[
     "DELETE",
     "EXPLAIN",
     "ANALYZE",
+    "TRACE",
     "CAST",
     "DATE",
     "INTERVAL",

@@ -109,6 +109,9 @@ impl Parser {
             }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
+        if self.eat_kw("TRACE") {
+            return Ok(Statement::Trace(Box::new(self.statement()?)));
+        }
         if self.is_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));
         }

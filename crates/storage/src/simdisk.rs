@@ -199,6 +199,27 @@ impl SimDisk {
     pub fn stored_bytes(&self) -> usize {
         self.blocks.read().unwrap().values().map(|b| b.len()).sum()
     }
+
+    /// Expose this disk's counters in a metrics registry as polled gauges:
+    /// the existing atomics are read at snapshot time, so the I/O hot path
+    /// pays nothing for being observable.
+    pub fn register_metrics(self: &Arc<Self>, registry: &vw_common::MetricsRegistry) {
+        type PolledStat = (&'static str, fn(&DiskStats) -> u64);
+        let polled: [PolledStat; 6] = [
+            ("disk_reads", |s: &DiskStats| s.reads),
+            ("disk_writes", |s: &DiskStats| s.writes),
+            ("disk_bytes_read", |s: &DiskStats| s.bytes_read),
+            ("disk_bytes_written", |s: &DiskStats| s.bytes_written),
+            ("disk_bytes_skipped", |s: &DiskStats| s.bytes_skipped),
+            ("disk_virtual_read_ns", |s: &DiskStats| s.virtual_read_ns),
+        ];
+        for (name, get) in polled {
+            let disk = Arc::clone(self);
+            registry.register_polled(name, "", move || get(&disk.stats()) as f64);
+        }
+        let disk = Arc::clone(self);
+        registry.register_polled("disk_stored_bytes", "", move || disk.stored_bytes() as f64);
+    }
 }
 
 #[cfg(test)]

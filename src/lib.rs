@@ -38,7 +38,7 @@ pub use vw_tpch as tpch;
 pub use vw_txn as txn;
 
 pub use vw_common::{DataType, Field, Schema, Value, VwError};
-pub use vw_core::{Database, QueryResult};
+pub use vw_core::{Database, QueryRecord, QueryResult};
 
 #[cfg(test)]
 mod tests {
