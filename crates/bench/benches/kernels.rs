@@ -1,0 +1,173 @@
+//! E9 — primitive-kernel microbenchmarks (§I-A "micro-adaptivity" context).
+//!
+//! The paper's execution layer lives or dies by per-primitive throughput:
+//! comparisons, arithmetic maps, and selection-vector construction are the
+//! inner loops every operator is built from, and the aggregation inner loop
+//! is one hash probe (or, after this PR, one array index) per lane.
+//!
+//! Measured here, on 1M-value columns at vector granularity:
+//! * comparison kernels (`cmp_lt_f64_cv`, `cmp_le_i64_cv`), dense and under
+//!   a 50% selection vector;
+//! * arithmetic maps (`map_mul_f64_cc`, the Q1/Q6 `price * discount` shape);
+//! * `sel_from_bool` (filter → selection vector), at several selectivities;
+//! * the aggregation inner loop: FxHashMap probe per lane vs the
+//!   perfect-hash direct-array accumulator (`acc[code] += x`), the tentpole
+//!   of this PR.
+//!
+//! Entirely offline and deterministic (seeded xoshiro data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use vw_common::hash::FxHashMap;
+use vw_common::rng::Xoshiro256;
+use vw_core::primitives::{cmp_le_i64_cv, cmp_lt_f64_cv, map_mul_f64_cc, sel_from_bool};
+
+const ROWS: usize = 1 << 20;
+const VEC: usize = 1024;
+
+fn f64_data(seed: u64) -> Vec<f64> {
+    let mut r = Xoshiro256::seeded(seed);
+    (0..ROWS)
+        .map(|_| (r.next_u64() % 10_000) as f64 / 100.0)
+        .collect()
+}
+
+fn i64_data(seed: u64) -> Vec<i64> {
+    let mut r = Xoshiro256::seeded(seed);
+    (0..ROWS).map(|_| (r.next_u64() % 50) as i64).collect()
+}
+
+/// Every other lane selected — the worst case for branch prediction.
+fn half_sel() -> Vec<u32> {
+    (0..VEC as u32).step_by(2).collect()
+}
+
+fn bench_cmp(c: &mut Criterion) {
+    let xs = f64_data(1);
+    let qty = i64_data(2);
+    let sel = half_sel();
+    let mut g = c.benchmark_group("cmp");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("lt_f64_cv/dense", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for chunk in xs.chunks(VEC) {
+                cmp_lt_f64_cv(chunk, &50.0, None, &mut out);
+            }
+        })
+    });
+    g.bench_function("lt_f64_cv/sel50", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for chunk in xs.chunks(VEC) {
+                cmp_lt_f64_cv(
+                    chunk,
+                    &50.0,
+                    Some(&sel[..sel.len().min(chunk.len() / 2)]),
+                    &mut out,
+                );
+            }
+        })
+    });
+    g.bench_function("le_i64_cv/dense", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for chunk in qty.chunks(VEC) {
+                cmp_le_i64_cv(chunk, &24, None, &mut out);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_arith(c: &mut Criterion) {
+    let price = f64_data(3);
+    let disc = f64_data(4);
+    let sel = half_sel();
+    let mut g = c.benchmark_group("arith");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("mul_f64_cc/dense", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for (p, d) in price.chunks(VEC).zip(disc.chunks(VEC)) {
+                map_mul_f64_cc(p, d, None, &mut out);
+            }
+        })
+    });
+    g.bench_function("mul_f64_cc/sel50", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for (p, d) in price.chunks(VEC).zip(disc.chunks(VEC)) {
+                map_mul_f64_cc(p, d, Some(&sel[..sel.len().min(p.len() / 2)]), &mut out);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sel_from_bool(c: &mut Criterion) {
+    let mut r = Xoshiro256::seeded(5);
+    let mut g = c.benchmark_group("sel_from_bool");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for pct in [2u64, 50, 98] {
+        let bools: Vec<bool> = (0..ROWS).map(|_| r.next_u64() % 100 < pct).collect();
+        g.bench_with_input(BenchmarkId::new("pass", pct), &bools, |b, bools| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for chunk in bools.chunks(VEC) {
+                    sel_from_bool(chunk, None, None, &mut out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The aggregation inner loop, isolated: 4 groups (the Q1 shape), one
+/// accumulator update per value. The generic path pays a hash + probe per
+/// lane; the perfect-hash path is a bounds-checked array index.
+fn bench_agg_inner(c: &mut Criterion) {
+    let codes = i64_data(6); // 0..50 — fits a direct array
+    let vals = f64_data(7);
+    let mut g = c.benchmark_group("agg_inner");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("hash_probe", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<i64, f64> = FxHashMap::default();
+            for (k, v) in codes.iter().zip(&vals) {
+                *map.entry(*k).or_insert(0.0) += v;
+            }
+            map.len()
+        })
+    });
+    g.bench_function("direct_array", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f64; 64];
+            for (k, v) in codes.iter().zip(&vals) {
+                acc[*k as usize] += v;
+            }
+            acc.len()
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_cmp(c);
+    bench_arith(c);
+    bench_sel_from_bool(c);
+    bench_agg_inner(c);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = benches
+}
+criterion_main!(kernels);

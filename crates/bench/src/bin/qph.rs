@@ -249,6 +249,26 @@ fn main() {
             let prof = db.profile_last_query().expect("profiling on by default");
             assert_eq!(prof.root.rows_out() as usize, rows, "profile cardinality");
             println!("{}", prof.render());
+            // Q1's group keys (returnflag × linestatus) fit the direct-array
+            // aggregation domain, so the perfect path must engage — unless
+            // the generic path was forced via VW_AGG_PATH.
+            let generic_forced =
+                std::env::var("VW_AGG_PATH").is_ok_and(|v| v.eq_ignore_ascii_case("generic"));
+            if !generic_forced {
+                let perfect: u64 = prof
+                    .nodes()
+                    .into_iter()
+                    .filter(|n| n.op_name() == "Aggregate")
+                    .flat_map(|n| n.extras())
+                    .filter(|(k, _)| *k == "agg_path_perfect")
+                    .map(|(_, v)| v)
+                    .sum();
+                assert!(
+                    perfect >= 1,
+                    "Q1 at dop={} should take the perfect-hash aggregation path",
+                    dop
+                );
+            }
             // Unbounded runs must not spill; budgeted runs (VW_MEM_BUDGET set,
             // e.g. the low-memory CI job) are allowed to — the profile line
             // above shows how much.

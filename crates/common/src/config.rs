@@ -50,6 +50,30 @@ pub const MEM_BUDGET_ENV: &str = "VW_MEM_BUDGET";
 /// Environment variable consulted for the DecodeCache capacity.
 pub const DECODE_CACHE_ENV: &str = "VW_DECODE_CACHE";
 
+/// Environment variable selecting the aggregation path
+/// (`VW_AGG_PATH=generic` forces the generic hash table everywhere; the
+/// generic-path CI leg uses this to keep both paths covered by the full
+/// suite). Anything else — including unset — means automatic selection.
+pub const AGG_PATH_ENV: &str = "VW_AGG_PATH";
+
+/// Which aggregation implementation `compile` may pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggPath {
+    /// Use the perfect-hash (direct-array) path when the key domain allows
+    /// it, falling back to the generic hash table at runtime otherwise.
+    #[default]
+    Auto,
+    /// Always use the generic hash table.
+    Generic,
+}
+
+fn env_agg_path(var: &str) -> AggPath {
+    match std::env::var(var) {
+        Ok(v) if v.eq_ignore_ascii_case("generic") => AggPath::Generic,
+        _ => AggPath::Auto,
+    }
+}
+
 fn env_byte_size(var: &str) -> Option<usize> {
     let v = std::env::var(var).ok()?;
     if v.eq_ignore_ascii_case("unbounded") || v.eq_ignore_ascii_case("none") {
@@ -85,6 +109,8 @@ pub struct EngineConfig {
     /// DecodeCache capacity in bytes (decoded-slice cache, per Database).
     /// Defaults to [`DECODE_CACHE_BYTES`], overridable via `VW_DECODE_CACHE`.
     pub decode_cache_bytes: usize,
+    /// Aggregation path selection; defaults from `VW_AGG_PATH` if set.
+    pub agg_path: AggPath,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +122,7 @@ impl Default for EngineConfig {
             profiling: true,
             mem_budget_bytes: env_byte_size(MEM_BUDGET_ENV),
             decode_cache_bytes: env_byte_size(DECODE_CACHE_ENV).unwrap_or(DECODE_CACHE_BYTES),
+            agg_path: env_agg_path(AGG_PATH_ENV),
         }
     }
 }

@@ -8,9 +8,10 @@
 
 use crate::mem::{MemBudget, MemTracker};
 use crate::morsel::{ExecStats, SharedExec};
+use crate::operators::perfect;
 use crate::operators::{
-    BoxedOperator, Exchange, HashAggregate, HashJoin, VecFilter, VecLimit, VecProject, VecScan,
-    VecSort,
+    BoxedOperator, Exchange, HashAggregate, HashJoin, Operator, VecFilter, VecLimit, VecProject,
+    VecScan, VecSort,
 };
 use crate::profile::{OpProfile, ProfiledOp};
 use crate::trace::TraceHandle;
@@ -18,11 +19,12 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vw_bufman::DecodeCache;
-use vw_common::config::EngineConfig;
+use vw_common::config::{AggPath, EngineConfig};
 use vw_common::metrics::{MetricsRegistry, LATENCY_BUCKETS_NS};
-use vw_common::{Result, TableId, VwError};
+use vw_common::{DataType, Result, Schema, TableId, VwError};
 use vw_pdt::Pdt;
-use vw_plan::LogicalPlan;
+use vw_plan::{AggExpr, Expr, LogicalPlan};
+use vw_storage::block::MinMax;
 use vw_storage::{SimDisk, TableStorage};
 
 /// Everything the engine needs to scan one table: the stable columnar image
@@ -137,50 +139,9 @@ fn compile_rec(
             projection,
             filter,
             ..
-        } => {
-            let provider = ctx.provider(*table_id)?;
-            let projection = match projection {
-                Some(p) => p.clone(),
-                None => (0..schema.len()).collect(),
-            };
-            let morsels = match &ctx.shared {
-                Some(shared) => {
-                    let occ = state.scan_occurrence.entry(*table_id).or_insert(0);
-                    let key = *occ;
-                    *occ += 1;
-                    Some(shared.morsel_queue(*table_id, key, || {
-                        let su = VecScan::plan_units_pruned(
-                            &provider.storage,
-                            &provider.pdt,
-                            &projection,
-                            filter.as_ref(),
-                        );
-                        // The shared unit list is planned exactly once per
-                        // Exchange, so the prune count is recorded here (not
-                        // by each worker's scan instance).
-                        if let (Some(p), true) = (prof, su.groups_pruned > 0) {
-                            p.add_extra("pruned", su.groups_pruned as u64);
-                        }
-                        Ok(su.units)
-                    })?)
-                }
-                None => None,
-            };
-            let mut scan = VecScan::new(
-                provider.storage.clone(),
-                provider.pdt.clone(),
-                projection,
-                filter.clone(),
-                vs,
-                morsels,
-                ctx.decode_cache.clone(),
-                naive,
-            )?;
-            if let Some(t) = &ctx.trace {
-                scan.set_trace(t.clone());
-            }
-            Box::new(scan)
-        }
+        } => Box::new(compile_scan(
+            ctx, state, *table_id, schema, projection, filter, prof,
+        )?),
         LogicalPlan::Filter { input, predicate } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(VecFilter::new(child, predicate.clone(), naive)?)
@@ -231,17 +192,97 @@ fn compile_rec(
             aggs,
             phase,
         } => {
-            let child = compile_rec(input, ctx, state, child_prof(0))?;
-            let mut agg =
-                HashAggregate::new(child, group_by.clone(), aggs.clone(), *phase, vs, naive)?;
-            agg.set_mem_tracker(ctx.tracker());
-            if let Some(d) = &ctx.spill_disk {
-                agg.set_spill_disk(d.clone());
+            // Scan→aggregate fusion: when the aggregate reads straight off a
+            // scan (the post-rewrite shape of Q1/Q6-style queries), the
+            // aggregate drives the scan itself. The scan's plan-profile node
+            // is handed to the fused driver so EXPLAIN ANALYZE and the
+            // operator_next_ns histogram still see the scan.
+            let fuse = ctx.config.agg_path == AggPath::Auto
+                && matches!(&**input, LogicalPlan::Scan { .. });
+            if let (
+                true,
+                LogicalPlan::Scan {
+                    table_id,
+                    schema,
+                    projection,
+                    filter,
+                    ..
+                },
+            ) = (fuse, &**input)
+            {
+                let scan_prof = child_prof(0);
+                let mut scan =
+                    compile_scan(ctx, state, *table_id, schema, projection, filter, scan_prof)?;
+                let key_types: Vec<DataType> = group_by
+                    .iter()
+                    .map(|&g| scan.schema().field(g).ty)
+                    .collect();
+                let proj: Vec<usize> = match projection {
+                    Some(p) => p.clone(),
+                    None => (0..schema.len()).collect(),
+                };
+                let provider = ctx.provider(*table_id)?;
+                let hints = int_key_hints(&provider.storage, &proj, group_by);
+                if perfect::plan_specs(&key_types, &hints).is_some() {
+                    // Dictionary-coded string keys can skip decoding entirely
+                    // — unless an aggregate argument also reads the column,
+                    // in which case the decoded values are still needed.
+                    let arg_cols = agg_arg_cols(aggs);
+                    let capture: Vec<Option<usize>> = group_by
+                        .iter()
+                        .map(|&g| {
+                            (scan.schema().field(g).ty == DataType::Str && !arg_cols.contains(&g))
+                                .then_some(g)
+                        })
+                        .collect();
+                    if capture.iter().any(|c| c.is_some()) {
+                        scan.set_key_cols(capture);
+                    }
+                }
+                let hist = match (&ctx.metrics, scan_prof) {
+                    (Some(m), Some(p)) => {
+                        Some(m.histogram("operator_next_ns", p.op_name(), LATENCY_BUCKETS_NS))
+                    }
+                    _ => None,
+                };
+                let mut agg = HashAggregate::new_fused(
+                    scan,
+                    scan_prof.cloned(),
+                    hist,
+                    group_by.clone(),
+                    aggs.clone(),
+                    *phase,
+                    vs,
+                    naive,
+                )?;
+                agg.set_mem_tracker(ctx.tracker());
+                if let Some(d) = &ctx.spill_disk {
+                    agg.set_spill_disk(d.clone());
+                }
+                if let Some(t) = &ctx.trace {
+                    agg.set_trace(t.clone());
+                }
+                agg.enable_perfect(&hints);
+                Box::new(agg)
+            } else {
+                let child = compile_rec(input, ctx, state, child_prof(0))?;
+                let mut agg =
+                    HashAggregate::new(child, group_by.clone(), aggs.clone(), *phase, vs, naive)?;
+                agg.set_mem_tracker(ctx.tracker());
+                if let Some(d) = &ctx.spill_disk {
+                    agg.set_spill_disk(d.clone());
+                }
+                if let Some(t) = &ctx.trace {
+                    agg.set_trace(t.clone());
+                }
+                if ctx.config.agg_path == AggPath::Auto {
+                    // Non-fused inputs have no storage-level MinMax hints, but
+                    // bool/low-cardinality-string keys can still take the
+                    // direct-array path.
+                    agg.enable_perfect(&vec![None; group_by.len()]);
+                }
+                Box::new(agg)
             }
-            if let Some(t) = &ctx.trace {
-                agg.set_trace(t.clone());
-            }
-            Box::new(agg)
         }
         LogicalPlan::Sort { input, keys } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
@@ -292,6 +333,138 @@ fn compile_rec(
         }
         None => op,
     })
+}
+
+/// Compile one `LogicalPlan::Scan` node into a [`VecScan`]. Shared between
+/// the plain Scan arm (which boxes it) and the fused aggregate arm (which
+/// hands it to [`HashAggregate::new_fused`] unboxed).
+fn compile_scan(
+    ctx: &ExecContext,
+    state: &mut CompileState,
+    table_id: TableId,
+    schema: &Schema,
+    projection: &Option<Vec<usize>>,
+    filter: &Option<Expr>,
+    prof: Option<&Arc<OpProfile>>,
+) -> Result<VecScan> {
+    let provider = ctx.provider(table_id)?;
+    let projection = match projection {
+        Some(p) => p.clone(),
+        None => (0..schema.len()).collect(),
+    };
+    let morsels = match &ctx.shared {
+        Some(shared) => {
+            let occ = state.scan_occurrence.entry(table_id).or_insert(0);
+            let key = *occ;
+            *occ += 1;
+            Some(shared.morsel_queue(table_id, key, || {
+                let su = VecScan::plan_units_pruned(
+                    &provider.storage,
+                    &provider.pdt,
+                    &projection,
+                    filter.as_ref(),
+                );
+                // The shared unit list is planned exactly once per
+                // Exchange, so the prune count is recorded here (not
+                // by each worker's scan instance).
+                if let (Some(p), true) = (prof, su.groups_pruned > 0) {
+                    p.add_extra("pruned", su.groups_pruned as u64);
+                }
+                Ok(su.units)
+            })?)
+        }
+        None => None,
+    };
+    let mut scan = VecScan::new(
+        provider.storage.clone(),
+        provider.pdt.clone(),
+        projection,
+        filter.clone(),
+        ctx.config.vector_size,
+        morsels,
+        ctx.decode_cache.clone(),
+        !ctx.config.rewrite_nulls,
+    )?;
+    if let Some(t) = &ctx.trace {
+        scan.set_trace(t.clone());
+    }
+    Ok(scan)
+}
+
+/// Per-group-key `(min, max)` hints for integer-typed keys, folded from the
+/// storage blocks' zone maps across every row group. A key whose column has
+/// any non-integer or absent MinMax gets `None` (not perfect-hash eligible on
+/// the value-range basis; PDT-resident rows outside the hinted range are
+/// handled by the aggregate's runtime fallback).
+fn int_key_hints(
+    storage: &Arc<RwLock<TableStorage>>,
+    projection: &[usize],
+    group_by: &[usize],
+) -> Vec<Option<(i64, i64)>> {
+    let st = storage.read();
+    group_by
+        .iter()
+        .map(|&g| {
+            let col = *projection.get(g)?;
+            let mut acc: Option<(i64, i64)> = None;
+            for gi in 0..st.group_count() {
+                let block = st.group(gi).columns.get(col)?;
+                match block.minmax {
+                    MinMax::Int { min, max } => {
+                        acc = Some(match acc {
+                            Some((lo, hi)) => (lo.min(min), hi.max(max)),
+                            None => (min, max),
+                        });
+                    }
+                    // An all-NULL block reports no bounds but adds no values
+                    // outside whatever the other blocks report.
+                    MinMax::None => {}
+                    _ => return None,
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Every input-column ordinal referenced by any aggregate argument
+/// expression. Group-key columns in this set must still be decoded by the
+/// scan even when their key codes are captured.
+fn agg_arg_cols(aggs: &[AggExpr]) -> Vec<usize> {
+    let mut cols = Vec::new();
+    for a in aggs {
+        if let Some(e) = &a.arg {
+            expr_cols(e, &mut cols);
+        }
+    }
+    cols
+}
+
+fn expr_cols(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::Col(i) => out.push(*i),
+        Expr::Lit(_) | Expr::Placeholder => {}
+        Expr::Cast(e, _) => expr_cols(e, out),
+        Expr::Binary { l, r, .. } => {
+            expr_cols(l, out);
+            expr_cols(r, out);
+        }
+        Expr::Unary { e, .. } => expr_cols(e, out),
+        Expr::Case { whens, otherwise } => {
+            for (w, t) in whens {
+                expr_cols(w, out);
+                expr_cols(t, out);
+            }
+            if let Some(el) = otherwise {
+                expr_cols(el, out);
+            }
+        }
+        Expr::Like { e, .. }
+        | Expr::InList { e, .. }
+        | Expr::Substr { e, .. }
+        | Expr::Extract { e, .. }
+        | Expr::AddMonths { e, .. } => expr_cols(e, out),
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use vw_common::config::EngineConfig;
+use vw_common::config::{AggPath, EngineConfig};
 use vw_common::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
 use vw_common::{DataType, Result, Schema, TableId, Value, VwError};
 use vw_pdt::Pdt;
@@ -642,6 +642,18 @@ impl Database {
         for q in self.history.lock().iter() {
             let Some(profile) = &q.profile else { continue };
             for node in profile.nodes() {
+                let extras = node.extras();
+                let extras = if extras.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Str(
+                        extras
+                            .iter()
+                            .map(|(k, v)| format!("{}={}", k, v))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    )
+                };
                 rows.push(vec![
                     Value::I64(q.id as i64),
                     Value::Str(node.op_name().to_string()),
@@ -650,6 +662,7 @@ impl Database {
                     Value::I64(node.next_calls() as i64),
                     Value::I64(node.vectors() as i64),
                     Value::I64(node.rows_out() as i64),
+                    extras,
                 ]);
             }
         }
@@ -844,6 +857,19 @@ impl Database {
             "vector_size" => self.set_vector_size(as_usize(value)?),
             "profiling" => self.set_profiling(as_bool(value)?),
             "rewrite_nulls" => self.set_rewrite_nulls(as_bool(value)?),
+            "agg_path" => {
+                let path = match value {
+                    Value::Str(s) if s.eq_ignore_ascii_case("auto") => AggPath::Auto,
+                    Value::Str(s) if s.eq_ignore_ascii_case("generic") => AggPath::Generic,
+                    other => {
+                        return Err(VwError::Invalid(format!(
+                            "agg_path must be 'auto' or 'generic', got {}",
+                            other
+                        )));
+                    }
+                };
+                self.config.write().agg_path = path;
+            }
             other => {
                 return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
             }
@@ -1470,6 +1496,11 @@ mod tests {
         db.execute("SET profiling = on").unwrap();
         db.execute("SET decode_cache = '1MiB'").unwrap();
         assert_eq!(db.decode_cache().capacity_bytes(), 1 << 20);
+        db.execute("SET agg_path = generic").unwrap();
+        assert_eq!(db.config().agg_path, AggPath::Generic);
+        db.execute("SET agg_path = 'auto'").unwrap();
+        assert_eq!(db.config().agg_path, AggPath::Auto);
+        assert!(db.execute("SET agg_path = 'fast'").is_err());
         assert!(db.execute("SET nosuch_option = 1").is_err());
         assert!(db.execute("SET memory_budget = 'garbage'").is_err());
         // SET is session-level: rejected inside a transaction.
@@ -1515,6 +1546,18 @@ mod tests {
         }
         let ops = db.execute("SELECT * FROM vw_operator_stats").unwrap();
         assert!(!ops.rows.is_empty());
+        // The extras column renders operator counters; the GROUP BY above
+        // must report which aggregation path it took.
+        let agg = db
+            .execute("SELECT extras FROM vw_operator_stats WHERE op = 'Aggregate'")
+            .unwrap();
+        assert!(
+            agg.rows.iter().any(|r| r[0]
+                .as_str()
+                .is_some_and(|s| s.contains("agg_path_perfect") || s.contains("agg_path_generic"))),
+            "aggregate extras should name the chosen path: {:?}",
+            agg.rows
+        );
         let metrics = db
             .execute("SELECT value FROM vw_metrics WHERE name = 'queries_total'")
             .unwrap();

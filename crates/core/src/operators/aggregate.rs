@@ -22,20 +22,24 @@
 //! — correct for Single, Partial and Final alike.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::batch::{Batch, ExecVector};
 use crate::mem::MemTracker;
+use crate::profile::OpProfile;
 use crate::spill::{read_batch, spill_disk, write_batch};
 use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use vw_common::hash::FxHashMap;
-use vw_common::{DataType, Field, Result, Schema, Value, VwError};
+use vw_common::{DataType, Field, Histogram, Result, Schema, Value, VwError};
 use vw_plan::plan::AggPhase;
 use vw_plan::rewrite::parallel::partial_avg_count_columns;
 use vw_plan::{AggExpr, AggFunc};
-use vw_storage::{ColumnData, SimDisk, SpillFile};
+use vw_storage::{ColumnData, SimDisk, SpillFile, StrColumn};
 
-use super::{hash_lane, BoxedOperator, Operator};
+use super::perfect::{self, BatchKey, KeyCoderSpec, PerfectTable};
+use super::scan::KeyCodes;
+use super::{hash_lane, BoxedOperator, Operator, VecScan};
 
 /// Spill fan-out: partitions are selected by the top 3 bits of the group
 /// hash, so re-spilled fragments of one group always meet again.
@@ -209,7 +213,7 @@ impl AggState {
 }
 
 #[inline]
-fn lane_i64(v: &ExecVector, i: usize) -> Result<i64> {
+pub(crate) fn lane_i64(v: &ExecVector, i: usize) -> Result<i64> {
     match &v.data {
         ColumnData::I64(x) => Ok(x[i]),
         ColumnData::I32(x) => Ok(x[i] as i64),
@@ -222,7 +226,7 @@ fn lane_i64(v: &ExecVector, i: usize) -> Result<i64> {
 }
 
 #[inline]
-fn lane_f64(v: &ExecVector, i: usize) -> Result<f64> {
+pub(crate) fn lane_f64(v: &ExecVector, i: usize) -> Result<f64> {
     match &v.data {
         ColumnData::F64(x) => Ok(x[i]),
         ColumnData::I64(x) => Ok(x[i] as f64),
@@ -305,9 +309,104 @@ impl GroupTable {
     }
 }
 
+/// A scan fused directly under the aggregate: the aggregate pulls from the
+/// scan with a plain method call instead of a boxed-operator hop, and the
+/// scan's PDICT key codes ride along uncopied. The scan's profile node and
+/// latency histogram are still fed — fusing an operator out of the tree must
+/// not fuse it out of `EXPLAIN ANALYZE`.
+pub struct FusedScan {
+    scan: VecScan,
+    /// The scan's node in the plan profile tree, when profiling is on.
+    node: Option<Arc<OpProfile>>,
+    /// The scan's `operator_next_ns` histogram, when metrics are wired.
+    hist: Option<Arc<Histogram>>,
+    /// Scan extras are flushed into the node once, at first end-of-stream
+    /// (mirrors the profiling wrapper the fusion replaced).
+    flushed: bool,
+}
+
+impl FusedScan {
+    pub fn new(
+        scan: VecScan,
+        node: Option<Arc<OpProfile>>,
+        hist: Option<Arc<Histogram>>,
+    ) -> FusedScan {
+        FusedScan {
+            scan,
+            node,
+            hist,
+            flushed: false,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(Batch, Vec<Option<KeyCodes>>)>> {
+        let t0 = Instant::now();
+        let r = self.scan.next();
+        let elapsed = t0.elapsed();
+        let produced = match &r {
+            Ok(Some(b)) => Some(b.len()),
+            _ => None,
+        };
+        if let Some(n) = &self.node {
+            n.record_next(elapsed, produced);
+        }
+        if let Some(h) = &self.hist {
+            h.record(elapsed.as_nanos() as u64);
+        }
+        if !matches!(&r, Ok(Some(_))) && !self.flushed {
+            self.flushed = true;
+            if let Some(n) = &self.node {
+                for (k, v) in self.scan.profile_extras() {
+                    n.add_extra(k, v);
+                }
+            }
+        }
+        match r? {
+            Some(b) => {
+                let codes = self.scan.take_key_codes();
+                Ok(Some((b, codes)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Where the aggregate's input comes from: a boxed child operator (the
+/// general case) or a fused scan.
+pub enum AggInput {
+    Op(BoxedOperator),
+    Fused(Box<FusedScan>),
+}
+
+impl AggInput {
+    fn schema(&self) -> &Schema {
+        match self {
+            AggInput::Op(op) => op.schema(),
+            AggInput::Fused(f) => f.scan.schema(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(Batch, Vec<Option<KeyCodes>>)>> {
+        match self {
+            AggInput::Op(op) => Ok(op.next()?.map(|b| (b, Vec::new()))),
+            AggInput::Fused(f) => f.next(),
+        }
+    }
+
+    fn disable_capture(&mut self) {
+        if let AggInput::Fused(f) = self {
+            f.scan.disable_capture();
+        }
+    }
+
+    fn is_fused(&self) -> bool {
+        matches!(self, AggInput::Fused(_))
+    }
+}
+
 /// Hash aggregation operator.
 pub struct HashAggregate {
-    input: BoxedOperator,
+    input: AggInput,
     group_by: Vec<usize>,
     aggs: Vec<AggExpr>,
     arg_evals: Vec<Option<ExprEvaluator>>,
@@ -334,11 +433,59 @@ pub struct HashAggregate {
     output: Vec<Batch>,
     /// Query trace: table spills become timeline events.
     trace: Option<TraceHandle>,
+    /// Perfect-hash coder plan, when `enable_perfect` accepted the key set.
+    perfect_specs: Option<Vec<KeyCoderSpec>>,
+    /// The run completed entirely on the perfect-hash path.
+    ran_perfect: bool,
+    /// The perfect-hash path started but fell back to the generic table.
+    perfect_fallback: bool,
 }
 
 impl HashAggregate {
     pub fn new(
         input: BoxedOperator,
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        phase: AggPhase,
+        vector_size: usize,
+        naive_nulls: bool,
+    ) -> Result<HashAggregate> {
+        Self::build(
+            AggInput::Op(input),
+            group_by,
+            aggs,
+            phase,
+            vector_size,
+            naive_nulls,
+        )
+    }
+
+    /// Build an aggregate fused directly over a scan (no boxed hop, PDICT
+    /// key codes ride along). `node`/`hist` keep the scan visible to the
+    /// profile tree and the `operator_next_ns` metrics despite the fusion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_fused(
+        scan: VecScan,
+        node: Option<Arc<OpProfile>>,
+        hist: Option<Arc<Histogram>>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        phase: AggPhase,
+        vector_size: usize,
+        naive_nulls: bool,
+    ) -> Result<HashAggregate> {
+        Self::build(
+            AggInput::Fused(Box::new(FusedScan::new(scan, node, hist))),
+            group_by,
+            aggs,
+            phase,
+            vector_size,
+            naive_nulls,
+        )
+    }
+
+    fn build(
+        input: AggInput,
         group_by: Vec<usize>,
         aggs: Vec<AggExpr>,
         phase: AggPhase,
@@ -439,12 +586,36 @@ impl HashAggregate {
             done: false,
             output: Vec::new(),
             trace: None,
+            perfect_specs: None,
+            ran_perfect: false,
+            perfect_fallback: false,
         })
     }
 
     /// Attach a tracker onto the query's shared memory budget.
     pub fn set_mem_tracker(&mut self, mem: MemTracker) {
         self.mem = mem;
+    }
+
+    /// Allow the perfect-hash (direct-array) path when the group-key domain
+    /// admits one. `hints[k]` is the folded MinMax range of group key `k`
+    /// when it is a stored integer column with stats. Returns whether the
+    /// path was armed; the run still falls back to the generic table if the
+    /// observed data escapes the planned domain or the budget refuses the
+    /// table.
+    pub fn enable_perfect(&mut self, hints: &[Option<(i64, i64)>]) -> bool {
+        let key_types: Vec<DataType> = self
+            .group_by
+            .iter()
+            .map(|&g| self.in_schema.field(g).ty)
+            .collect();
+        match perfect::plan_specs(&key_types, hints) {
+            Some(specs) => {
+                self.perfect_specs = Some(specs);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Spill to this disk (the database's SimDisk, so spill I/O is counted).
@@ -467,13 +638,96 @@ impl HashAggregate {
             .map(|&g| self.in_schema.field(g).ty)
             .collect();
 
-        while let Some(batch) = self.input.next()? {
+        // Arm the direct-array table. A refused reservation means the
+        // generic path from batch one — and no key-code capture either,
+        // since only the perfect table can consume codes.
+        let mut pt: Option<PerfectTable> = self.perfect_specs.as_ref().and_then(|specs| {
+            PerfectTable::try_new(
+                specs,
+                &key_types,
+                &self.aggs,
+                &self.arg_types,
+                &mut self.mem,
+            )
+        });
+        if pt.is_none() {
+            self.input.disable_capture();
+        }
+
+        while let Some((mut batch, key_codes)) = self.input.next()? {
             // Evaluate aggregate argument expressions with the selection.
             let args: Vec<Option<ExecVector>> = self
                 .arg_evals
                 .iter()
                 .map(|ev| ev.as_ref().map(|e| e.eval(&batch)).transpose())
                 .collect::<Result<_>>()?;
+
+            // Direct-array fast path: compose slots, accumulate, next batch.
+            if let Some(t) = pt.as_mut() {
+                let sel_owned: Vec<u32>;
+                let lanes: &[u32] = match &batch.sel {
+                    Some(s) => s,
+                    None => {
+                        sel_owned = (0..batch.rows as u32).collect();
+                        &sel_owned
+                    }
+                };
+                let keys: Vec<BatchKey<'_>> = self
+                    .group_by
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &g)| match key_codes.get(k).and_then(|c| c.as_ref()) {
+                        Some(kc) => BatchKey::Dict {
+                            block: kc.block,
+                            codes: &kc.codes,
+                            nulls: kc.nulls.as_deref(),
+                            dict: &kc.dict,
+                        },
+                        None => BatchKey::Column(&batch.columns[g]),
+                    })
+                    .collect();
+                let hidden: Vec<Option<&ExecVector>> = (0..self.aggs.len())
+                    .map(|k| {
+                        self.hidden_in
+                            .iter()
+                            .find(|(ai, _)| *ai == k)
+                            .map(|(_, col)| &batch.columns[*col])
+                    })
+                    .collect();
+                if t.absorb(&keys, lanes, &args, self.phase, &hidden)? {
+                    continue;
+                }
+            }
+
+            // Captured-but-undecoded key columns must be materialized before
+            // the generic path (or a falling-back perfect table) touches the
+            // batch.
+            patch_key_columns(&mut batch, &key_codes, &self.group_by);
+
+            if let Some(t) = pt.take() {
+                // Out-of-domain key: graceful fallback. Re-emit the resident
+                // direct-array state as partial rows and merge them into the
+                // generic table with combine() semantics, then continue
+                // generically (capture off).
+                self.perfect_fallback = true;
+                self.input.disable_capture();
+                let rows = t.rows(AggPhase::Partial, &self.avg_idxs);
+                let reserved = t.reserved_bytes;
+                drop(t);
+                self.mem.shrink(reserved);
+                if !rows.is_empty() {
+                    let pb = Batch::from_rows(&self.spill_schema, &rows)?;
+                    let nb = self.merge_partial_batch(&mut table, &pb)?;
+                    if nb > 0 {
+                        if self.mem.try_grow(nb) {
+                            table_bytes += nb;
+                        } else {
+                            self.spill_table(&mut table, &mut table_bytes)?;
+                        }
+                    }
+                }
+            }
+
             let sel_owned: Vec<u32>;
             let lanes: &[u32] = match &batch.sel {
                 Some(s) => s,
@@ -560,6 +814,21 @@ impl HashAggregate {
                     self.spill_table(&mut table, &mut table_bytes)?;
                 }
             }
+        }
+
+        // The whole input fit the direct-array domain: finish straight from
+        // the flat accumulators (spilling can never have happened).
+        if let Some(t) = pt.take() {
+            self.ran_perfect = true;
+            let rows = t.rows(self.phase, &self.avg_idxs);
+            let reserved = t.reserved_bytes;
+            drop(t);
+            self.mem.shrink(reserved);
+            for chunk in rows.chunks(self.vector_size) {
+                self.output.push(Batch::from_rows(&self.out_schema, chunk)?);
+            }
+            self.output.reverse(); // pop() from the back in order
+            return Ok(());
         }
 
         if self.partitions.is_some() {
@@ -661,11 +930,12 @@ impl HashAggregate {
         Ok(())
     }
 
-    /// Re-aggregate one spilled partition and queue its output batches.
-    /// Only this partition is resident (the drain's minimal working unit).
-    fn drain_partition(&mut self, file: SpillFile) -> Result<()> {
-        let resident = file.bytes() as usize;
-        self.mem.force_grow(resident);
+    /// Merge one batch of partial-aggregate rows (the [`Self::spill_schema`]
+    /// layout: keys, partial values, hidden AVG counts) into `table` with
+    /// combine() semantics — exactly like the Final phase merges worker
+    /// partials. Returns the estimated resident cost of the groups born
+    /// here, so callers can account against the budget.
+    fn merge_partial_batch(&self, table: &mut GroupTable, batch: &Batch) -> Result<usize> {
         let width = self.group_by.len();
         let naggs = self.aggs.len();
         let key_types: Vec<DataType> = self.spill_schema.fields()[..width]
@@ -681,53 +951,62 @@ impl HashAggregate {
                     .map(|pos| width + naggs + pos)
             })
             .collect();
-        let mut table = GroupTable::new(width);
-        for c in 0..file.chunk_count() {
-            let batch = read_batch(&file, c)?;
-            for i in 0..batch.rows {
-                let mut h = 0u64;
-                for col in &batch.columns[..width] {
-                    h = hash_lane(col, i, h);
-                }
-                let bucket = table.buckets.entry(h).or_default();
-                let mut gid: Option<u32> = None;
-                for &cand in bucket.iter() {
-                    let keys = table.keys.keys(cand as usize);
-                    let ok = (0..width).all(|k| value_lane_eq(&keys[k], &batch.columns[k], i));
-                    if ok {
-                        gid = Some(cand);
-                        break;
-                    }
-                }
-                let gid = match gid {
-                    Some(g) => g as usize,
-                    None => {
-                        let id = table.keys.push(
-                            key_types
-                                .iter()
-                                .enumerate()
-                                .map(|(k, &ty)| batch.columns[k].get_value(i, ty).normalize_key()),
-                        );
-                        bucket.push(id as u32);
-                        table.hashes.push(h);
-                        table.states.push(
-                            self.aggs
-                                .iter()
-                                .zip(&self.arg_types)
-                                .map(|(a, ty)| AggState::new(a.func, *ty))
-                                .collect(),
-                        );
-                        id
-                    }
-                };
-                // Spilled rows are partials: merge with combine(), exactly
-                // like the Final phase merges worker partials.
-                for (k, st) in table.states[gid].iter_mut().enumerate() {
-                    let ty = self.spill_schema.field(width + k).ty;
-                    let hidden = hidden_col[k].map(|c| (&batch.columns[c], i));
-                    st.combine((&batch.columns[width + k], i, ty), hidden)?;
+        let mut new_bytes = 0usize;
+        for i in 0..batch.rows {
+            let mut h = 0u64;
+            for col in &batch.columns[..width] {
+                h = hash_lane(col, i, h);
+            }
+            let bucket = table.buckets.entry(h).or_default();
+            let mut gid: Option<u32> = None;
+            for &cand in bucket.iter() {
+                let keys = table.keys.keys(cand as usize);
+                let ok = (0..width).all(|k| value_lane_eq(&keys[k], &batch.columns[k], i));
+                if ok {
+                    gid = Some(cand);
+                    break;
                 }
             }
+            let gid = match gid {
+                Some(g) => g as usize,
+                None => {
+                    let id = table.keys.push(
+                        key_types
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &ty)| batch.columns[k].get_value(i, ty).normalize_key()),
+                    );
+                    bucket.push(id as u32);
+                    new_bytes += group_cost(table.keys.keys(id), naggs);
+                    table.hashes.push(h);
+                    table.states.push(
+                        self.aggs
+                            .iter()
+                            .zip(&self.arg_types)
+                            .map(|(a, ty)| AggState::new(a.func, *ty))
+                            .collect(),
+                    );
+                    id
+                }
+            };
+            for (k, st) in table.states[gid].iter_mut().enumerate() {
+                let ty = self.spill_schema.field(width + k).ty;
+                let hidden = hidden_col[k].map(|c| (&batch.columns[c], i));
+                st.combine((&batch.columns[width + k], i, ty), hidden)?;
+            }
+        }
+        Ok(new_bytes)
+    }
+
+    /// Re-aggregate one spilled partition and queue its output batches.
+    /// Only this partition is resident (the drain's minimal working unit).
+    fn drain_partition(&mut self, file: SpillFile) -> Result<()> {
+        let resident = file.bytes() as usize;
+        self.mem.force_grow(resident);
+        let mut table = GroupTable::new(self.group_by.len());
+        for c in 0..file.chunk_count() {
+            let batch = read_batch(&file, c)?;
+            self.merge_partial_batch(&mut table, &batch)?;
         }
         let rows = self.result_rows(&table);
         for chunk in rows.chunks(self.vector_size).rev() {
@@ -735,6 +1014,20 @@ impl HashAggregate {
         }
         self.mem.shrink(resident);
         Ok(())
+    }
+}
+
+/// Rebuild captured-but-undecoded key columns from their PDICT codes (the
+/// placeholder the scan shipped must never reach a generic consumer).
+fn patch_key_columns(batch: &mut Batch, key_codes: &[Option<KeyCodes>], group_by: &[usize]) {
+    for (k, kc) in key_codes.iter().enumerate() {
+        let Some(kc) = kc else { continue };
+        let g = group_by[k];
+        let mut col = StrColumn::with_capacity(kc.codes.len(), kc.codes.len() * 8);
+        for &code in &kc.codes {
+            col.push(kc.dict.get(code as usize));
+        }
+        batch.columns[g] = ExecVector::new(ColumnData::Str(col), kc.nulls.clone());
     }
 }
 
@@ -807,6 +1100,19 @@ impl Operator for HashAggregate {
 
     fn profile_extras(&self) -> Vec<(&'static str, u64)> {
         let mut ex = vec![("peak_bytes", self.mem.peak())];
+        if self.done {
+            if self.ran_perfect {
+                ex.push(("agg_path_perfect", 1));
+            } else {
+                ex.push(("agg_path_generic", 1));
+            }
+            if self.perfect_fallback {
+                ex.push(("agg_fallback", 1));
+            }
+        }
+        if self.input.is_fused() {
+            ex.push(("fused_scan", 1));
+        }
         if self.mem.spill_events() > 0 {
             ex.push(("spill_parts", self.mem.spill_events()));
             ex.push(("spill_bytes", self.mem.spill_bytes()));

@@ -10,6 +10,7 @@ pub mod exchange;
 pub mod filter;
 pub mod join;
 pub mod limit;
+pub mod perfect;
 pub mod project;
 pub mod scan;
 pub mod sort;

@@ -1,0 +1,926 @@
+//! Perfect-hash (direct-array) aggregation.
+//!
+//! When every GROUP BY key has a provably small domain — a PDICT-coded
+//! string column, a boolean, or a narrow integer whose MinMax range is known
+//! from the row-group zone maps — the group of a tuple can be *computed*
+//! instead of *probed*: compose the per-key codes into one flat slot index
+//! and address a struct-of-arrays accumulator directly. No hashing, no
+//! bucket chains, no key comparisons on the hot path. This is the
+//! fixed-slot aggregation array the "Fine-Tuning Data Structures" line of
+//! work recommends whenever the observed key domain fits, and it is what
+//! makes Q1-shaped aggregations (few groups, many tuples) cheap.
+//!
+//! The table is speculative: `absorb` computes the slots of a whole vector
+//! *before* touching any accumulator, so the moment one value falls outside
+//! its coder's domain the caller can fall back to the generic hash table by
+//! re-emitting every occupied slot as a partial-aggregate row (the same
+//! layout the spill machinery uses) and merging those rows with `combine`
+//! semantics. Correctness never depends on the hints being right.
+
+use std::sync::Arc;
+
+use vw_common::{BlockId, DataType, Result, Value, VwError};
+use vw_plan::plan::AggPhase;
+use vw_plan::{AggExpr, AggFunc};
+use vw_storage::{ColumnData, StrColumn};
+
+use super::aggregate::{lane_f64, lane_i64};
+use crate::batch::ExecVector;
+use crate::mem::MemTracker;
+
+/// Hard cap on the flat accumulator array (slots, not bytes): beyond this
+/// the generic hash table's cache behavior wins anyway.
+pub const MAX_SLOTS: usize = 4096;
+
+/// Distinct strings a tiny-string coder may assign (code 0 is NULL).
+const STR_MAX_DISTINCT: usize = 32;
+
+/// Compile-time plan for one key column's code domain. Every coder reserves
+/// code 0 for NULL, so `cap` counts NULL plus the value domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyCoderSpec {
+    /// String key expected to have few distinct values (PDICT-style); codes
+    /// are assigned on first sight, capped at [`STR_MAX_DISTINCT`].
+    TinyStr,
+    /// Integer key with a known value range `[lo, lo + cap - 2]`.
+    IntRange { lo: i64, cap: u16 },
+    /// Boolean key: NULL / false / true.
+    Bool,
+}
+
+impl KeyCoderSpec {
+    fn cap(&self) -> u32 {
+        match self {
+            KeyCoderSpec::TinyStr => STR_MAX_DISTINCT as u32 + 1,
+            KeyCoderSpec::IntRange { cap, .. } => *cap as u32,
+            KeyCoderSpec::Bool => 3,
+        }
+    }
+}
+
+/// Decide whether a key set is perfect-hash eligible. `hints[k]` is the
+/// folded MinMax range of key `k` when it is a stored integer column with
+/// stats (`None` otherwise). Returns the coder plan, or `None` when any key
+/// type is unsuitable or the composed slot count exceeds [`MAX_SLOTS`].
+pub fn plan_specs(
+    key_types: &[DataType],
+    hints: &[Option<(i64, i64)>],
+) -> Option<Vec<KeyCoderSpec>> {
+    let mut specs = Vec::with_capacity(key_types.len());
+    let mut slots: u64 = 1;
+    for (k, &ty) in key_types.iter().enumerate() {
+        let spec = match ty {
+            DataType::Str => KeyCoderSpec::TinyStr,
+            DataType::Bool => KeyCoderSpec::Bool,
+            DataType::I32 | DataType::I64 | DataType::Date => {
+                let (lo, hi) = hints.get(k).copied().flatten()?;
+                let range = hi.checked_sub(lo)?;
+                if !(0..=254).contains(&range) {
+                    return None;
+                }
+                KeyCoderSpec::IntRange {
+                    lo,
+                    cap: range as u16 + 2,
+                }
+            }
+            DataType::F64 => return None,
+        };
+        slots = slots.checked_mul(spec.cap() as u64)?;
+        if slots > MAX_SLOTS as u64 {
+            return None;
+        }
+        specs.push(spec);
+    }
+    Some(specs)
+}
+
+/// Runtime key→code mapper for one key column.
+enum KeyCoder {
+    TinyStr {
+        /// Fast path for single-byte strings: code by leading byte
+        /// (0 = unassigned).
+        by_byte: Box<[u16; 256]>,
+        /// Assigned strings; the code of `seen[i]` is `i + 1`.
+        seen: Vec<Box<[u8]>>,
+    },
+    IntRange {
+        lo: i64,
+        cap: u16,
+    },
+    Bool,
+}
+
+impl KeyCoder {
+    fn new(spec: KeyCoderSpec) -> KeyCoder {
+        match spec {
+            KeyCoderSpec::TinyStr => KeyCoder::TinyStr {
+                by_byte: Box::new([0u16; 256]),
+                seen: Vec::new(),
+            },
+            KeyCoderSpec::IntRange { lo, cap } => KeyCoder::IntRange { lo, cap },
+            KeyCoderSpec::Bool => KeyCoder::Bool,
+        }
+    }
+
+    /// Code for a non-null string, assigning a fresh code on first sight.
+    /// `None` = distinct-value cap exceeded.
+    fn code_str(&mut self, bytes: &[u8]) -> Option<u16> {
+        let KeyCoder::TinyStr { by_byte, seen } = self else {
+            return None;
+        };
+        if bytes.len() == 1 {
+            let c = by_byte[bytes[0] as usize];
+            if c != 0 {
+                return Some(c);
+            }
+        } else {
+            for (i, s) in seen.iter().enumerate() {
+                if s.as_ref() == bytes {
+                    return Some(i as u16 + 1);
+                }
+            }
+        }
+        if seen.len() >= STR_MAX_DISTINCT {
+            return None;
+        }
+        seen.push(bytes.into());
+        let code = seen.len() as u16;
+        if bytes.len() == 1 {
+            by_byte[bytes[0] as usize] = code;
+        }
+        Some(code)
+    }
+
+    /// Code for a non-null integer. `None` = outside the hinted range.
+    fn code_int(&self, v: i64) -> Option<u16> {
+        let KeyCoder::IntRange { lo, cap } = self else {
+            return None;
+        };
+        let off = v.checked_sub(*lo)?;
+        if off < 0 || off + 1 >= *cap as i64 {
+            return None;
+        }
+        Some(off as u16 + 1)
+    }
+
+    /// Reconstruct the key `Value` a code stands for (code 0 = NULL).
+    fn key_value(&self, code: u16, ty: DataType) -> Value {
+        if code == 0 {
+            return Value::Null;
+        }
+        match self {
+            KeyCoder::TinyStr { seen, .. } => {
+                let bytes = &seen[code as usize - 1];
+                Value::Str(String::from_utf8_lossy(bytes).into_owned())
+            }
+            KeyCoder::IntRange { lo, .. } => {
+                let v = lo + code as i64 - 1;
+                match ty {
+                    DataType::I32 => Value::I32(v as i32),
+                    DataType::Date => Value::Date(v as i32),
+                    _ => Value::I64(v),
+                }
+            }
+            KeyCoder::Bool => Value::Bool(code == 2),
+        }
+    }
+}
+
+/// One key column of a batch, as presented to [`PerfectTable::absorb`].
+pub enum BatchKey<'a> {
+    /// A materialized column (generic shape).
+    Column(&'a ExecVector),
+    /// A PDICT-coded column that was never decoded: per-row dictionary
+    /// codes plus the block's dictionary (the fused-scan side channel).
+    Dict {
+        block: BlockId,
+        codes: &'a [u32],
+        nulls: Option<&'a [bool]>,
+        dict: &'a StrColumn,
+    },
+}
+
+/// One aggregate's accumulators, struct-of-arrays over slots. Semantics
+/// mirror the generic path's `AggState` exactly (including NULL handling,
+/// wrapping integer sums and `total_cmp` for MIN/MAX).
+enum AccCol {
+    Count(Vec<i64>),
+    SumI { sum: Vec<i64>, seen: Vec<bool> },
+    SumF { sum: Vec<f64>, seen: Vec<bool> },
+    Min(Vec<Option<Value>>),
+    Max(Vec<Option<Value>>),
+    Avg { sum: Vec<f64>, count: Vec<i64> },
+}
+
+impl AccCol {
+    fn new(func: AggFunc, arg_ty: Option<DataType>, slots: usize) -> AccCol {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AccCol::Count(vec![0; slots]),
+            AggFunc::Sum => match arg_ty {
+                Some(DataType::F64) => AccCol::SumF {
+                    sum: vec![0.0; slots],
+                    seen: vec![false; slots],
+                },
+                _ => AccCol::SumI {
+                    sum: vec![0; slots],
+                    seen: vec![false; slots],
+                },
+            },
+            AggFunc::Min => AccCol::Min(vec![None; slots]),
+            AggFunc::Max => AccCol::Max(vec![None; slots]),
+            AggFunc::Avg => AccCol::Avg {
+                sum: vec![0.0; slots],
+                count: vec![0; slots],
+            },
+        }
+    }
+
+    /// Estimated bytes per slot (budget accounting).
+    fn bytes_per_slot(func: AggFunc, arg_ty: Option<DataType>) -> usize {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => 8,
+            AggFunc::Sum => 9,
+            AggFunc::Avg => 16,
+            AggFunc::Min | AggFunc::Max => {
+                let _ = arg_ty;
+                std::mem::size_of::<Option<Value>>()
+            }
+        }
+    }
+
+    /// Single/Partial-phase update of one vector. `slots[j]` is the slot of
+    /// lane `lanes[j]`. Dense fast arms cover the NULL-free numeric shapes
+    /// the Q1/Q6 hot loops hit; everything else goes lane-at-a-time.
+    fn update_batch(
+        &mut self,
+        slots: &[u32],
+        lanes: &[u32],
+        arg: Option<&ExecVector>,
+    ) -> Result<()> {
+        match self {
+            AccCol::Count(n) => match arg {
+                None => {
+                    for &s in slots {
+                        n[s as usize] += 1;
+                    }
+                }
+                Some(v) => match &v.nulls {
+                    None => {
+                        for &s in slots {
+                            n[s as usize] += 1;
+                        }
+                    }
+                    Some(nulls) => {
+                        for (j, &s) in slots.iter().enumerate() {
+                            if !nulls[lanes[j] as usize] {
+                                n[s as usize] += 1;
+                            }
+                        }
+                    }
+                },
+            },
+            AccCol::SumI { sum, seen } => {
+                let v = arg.ok_or_else(|| VwError::Exec("SUM needs arg".into()))?;
+                if let (ColumnData::I64(x), None) = (&v.data, &v.nulls) {
+                    for (j, &s) in slots.iter().enumerate() {
+                        let s = s as usize;
+                        sum[s] = sum[s].wrapping_add(x[lanes[j] as usize]);
+                        seen[s] = true;
+                    }
+                } else {
+                    for (j, &s) in slots.iter().enumerate() {
+                        let i = lanes[j] as usize;
+                        if !v.is_null(i) {
+                            let s = s as usize;
+                            sum[s] = sum[s].wrapping_add(lane_i64(v, i)?);
+                            seen[s] = true;
+                        }
+                    }
+                }
+            }
+            AccCol::SumF { sum, seen } => {
+                let v = arg.ok_or_else(|| VwError::Exec("SUM needs arg".into()))?;
+                if let (ColumnData::F64(x), None) = (&v.data, &v.nulls) {
+                    for (j, &s) in slots.iter().enumerate() {
+                        let s = s as usize;
+                        sum[s] += x[lanes[j] as usize];
+                        seen[s] = true;
+                    }
+                } else {
+                    for (j, &s) in slots.iter().enumerate() {
+                        let i = lanes[j] as usize;
+                        if !v.is_null(i) {
+                            let s = s as usize;
+                            sum[s] += lane_f64(v, i)?;
+                            seen[s] = true;
+                        }
+                    }
+                }
+            }
+            AccCol::Min(cur) => {
+                let v = arg.ok_or_else(|| VwError::Exec("MIN needs arg".into()))?;
+                min_max_batch(cur, slots, lanes, v, true);
+            }
+            AccCol::Max(cur) => {
+                let v = arg.ok_or_else(|| VwError::Exec("MAX needs arg".into()))?;
+                min_max_batch(cur, slots, lanes, v, false);
+            }
+            AccCol::Avg { sum, count } => {
+                let v = arg.ok_or_else(|| VwError::Exec("AVG needs arg".into()))?;
+                if let (ColumnData::F64(x), None) = (&v.data, &v.nulls) {
+                    for (j, &s) in slots.iter().enumerate() {
+                        let s = s as usize;
+                        sum[s] += x[lanes[j] as usize];
+                        count[s] += 1;
+                    }
+                } else {
+                    for (j, &s) in slots.iter().enumerate() {
+                        let i = lanes[j] as usize;
+                        if !v.is_null(i) {
+                            let s = s as usize;
+                            sum[s] += lane_f64(v, i)?;
+                            count[s] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final-phase update: combine partial values (and hidden AVG counts).
+    fn combine_batch(
+        &mut self,
+        slots: &[u32],
+        lanes: &[u32],
+        arg: &ExecVector,
+        hidden: Option<&ExecVector>,
+    ) -> Result<()> {
+        match self {
+            AccCol::Count(n) => {
+                for (j, &s) in slots.iter().enumerate() {
+                    let i = lanes[j] as usize;
+                    if !arg.is_null(i) {
+                        n[s as usize] += lane_i64(arg, i)?;
+                    }
+                }
+            }
+            AccCol::SumI { sum, seen } => {
+                for (j, &s) in slots.iter().enumerate() {
+                    let i = lanes[j] as usize;
+                    if !arg.is_null(i) {
+                        let s = s as usize;
+                        sum[s] = sum[s].wrapping_add(lane_i64(arg, i)?);
+                        seen[s] = true;
+                    }
+                }
+            }
+            AccCol::SumF { sum, seen } => {
+                for (j, &s) in slots.iter().enumerate() {
+                    let i = lanes[j] as usize;
+                    if !arg.is_null(i) {
+                        let s = s as usize;
+                        sum[s] += lane_f64(arg, i)?;
+                        seen[s] = true;
+                    }
+                }
+            }
+            AccCol::Min(cur) => min_max_batch(cur, slots, lanes, arg, true),
+            AccCol::Max(cur) => min_max_batch(cur, slots, lanes, arg, false),
+            AccCol::Avg { sum, count } => {
+                let (hc, _) = (
+                    hidden.ok_or_else(|| VwError::Exec("AVG final needs count".into()))?,
+                    0,
+                );
+                for (j, &s) in slots.iter().enumerate() {
+                    let i = lanes[j] as usize;
+                    if !arg.is_null(i) {
+                        let s = s as usize;
+                        sum[s] += lane_f64(arg, i)?;
+                        count[s] += lane_i64(hc, i)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finished output value of one slot, mirroring `AggState::finish`.
+    fn finish(&self, slot: usize, phase: AggPhase) -> Value {
+        match self {
+            AccCol::Count(n) => Value::I64(n[slot]),
+            AccCol::SumI { sum, seen } => {
+                if seen[slot] {
+                    Value::I64(sum[slot])
+                } else {
+                    Value::Null
+                }
+            }
+            AccCol::SumF { sum, seen } => {
+                if seen[slot] {
+                    Value::F64(sum[slot])
+                } else {
+                    Value::Null
+                }
+            }
+            AccCol::Min(v) | AccCol::Max(v) => v[slot].clone().unwrap_or(Value::Null),
+            AccCol::Avg { sum, count } => {
+                if count[slot] == 0 {
+                    Value::Null
+                } else if phase == AggPhase::Partial {
+                    Value::F64(sum[slot])
+                } else {
+                    Value::F64(sum[slot] / count[slot] as f64)
+                }
+            }
+        }
+    }
+
+    /// Hidden AVG count of one slot (partial output layout).
+    fn hidden_count(&self, slot: usize) -> Value {
+        match self {
+            AccCol::Avg { count, .. } => Value::I64(count[slot]),
+            _ => Value::Null,
+        }
+    }
+}
+
+/// Shared MIN/MAX loop (update and combine treat non-null lanes the same).
+fn min_max_batch(
+    cur: &mut [Option<Value>],
+    slots: &[u32],
+    lanes: &[u32],
+    v: &ExecVector,
+    is_min: bool,
+) {
+    let ty = match &v.data {
+        ColumnData::Bool(_) => DataType::Bool,
+        ColumnData::I32(_) => DataType::I32,
+        ColumnData::I64(_) => DataType::I64,
+        ColumnData::F64(_) => DataType::F64,
+        ColumnData::Str(_) => DataType::Str,
+    };
+    for (j, &s) in slots.iter().enumerate() {
+        let i = lanes[j] as usize;
+        if v.is_null(i) {
+            continue;
+        }
+        let val = v.get_value(i, ty);
+        let slot = &mut cur[s as usize];
+        let better = slot.as_ref().is_none_or(|c| {
+            let ord = val.total_cmp(c);
+            if is_min {
+                ord.is_lt()
+            } else {
+                ord.is_gt()
+            }
+        });
+        if better {
+            *slot = Some(val);
+        }
+    }
+}
+
+/// The direct-array aggregation table.
+pub struct PerfectTable {
+    coders: Vec<KeyCoder>,
+    key_types: Vec<DataType>,
+    caps: Vec<u32>,
+    /// `strides[k] = Π caps[..k]`; a tuple's slot is `Σ code_k · strides[k]`.
+    strides: Vec<u32>,
+    slots: usize,
+    occupied: Vec<bool>,
+    accs: Vec<AccCol>,
+    /// Scratch: slot per lane of the batch being absorbed.
+    slot_buf: Vec<u32>,
+    /// Per key column: cached dict-code → key-code remap for one block.
+    /// `u16::MAX` marks a dictionary entry outside the coder's domain.
+    remaps: Vec<Option<(BlockId, Vec<u16>)>>,
+    /// Bytes reserved against the memory budget at construction; the owner
+    /// shrinks its tracker by this amount when the table is dropped.
+    pub reserved_bytes: usize,
+}
+
+impl PerfectTable {
+    /// Build a table for the planned specs, reserving its (fixed) footprint
+    /// against the budget. `None` = the reservation failed; use the generic
+    /// path. With no group keys the single slot 0 is pre-occupied, which
+    /// reproduces the scalar-aggregate-over-empty-input row.
+    pub fn try_new(
+        specs: &[KeyCoderSpec],
+        key_types: &[DataType],
+        aggs: &[AggExpr],
+        arg_types: &[Option<DataType>],
+        mem: &mut MemTracker,
+    ) -> Option<PerfectTable> {
+        debug_assert_eq!(specs.len(), key_types.len());
+        let caps: Vec<u32> = specs.iter().map(|s| s.cap()).collect();
+        let mut strides = Vec::with_capacity(caps.len());
+        let mut slots: usize = 1;
+        for &c in &caps {
+            strides.push(slots as u32);
+            slots = slots.checked_mul(c as usize)?;
+        }
+        if slots > MAX_SLOTS {
+            return None;
+        }
+        let per_slot: usize = 1 + aggs
+            .iter()
+            .zip(arg_types)
+            .map(|(a, ty)| AccCol::bytes_per_slot(a.func, *ty))
+            .sum::<usize>();
+        let reserved = slots * per_slot + 256;
+        if !mem.try_grow(reserved) {
+            return None;
+        }
+        let mut occupied = vec![false; slots];
+        if key_types.is_empty() {
+            occupied[0] = true;
+        }
+        Some(PerfectTable {
+            coders: specs.iter().map(|&s| KeyCoder::new(s)).collect(),
+            key_types: key_types.to_vec(),
+            caps,
+            strides,
+            slots,
+            occupied,
+            accs: aggs
+                .iter()
+                .zip(arg_types)
+                .map(|(a, ty)| AccCol::new(a.func, *ty, slots))
+                .collect(),
+            slot_buf: Vec::new(),
+            remaps: key_types.iter().map(|_| None).collect(),
+            reserved_bytes: reserved,
+        })
+    }
+
+    /// Absorb one batch. `keys[k]` presents group key `k`, `lanes` are the
+    /// selected physical rows, `args[k]`/`hidden[k]` the evaluated argument
+    /// (and hidden AVG count column, Final phase) of aggregate `k`.
+    ///
+    /// Returns `Ok(false)` — with **no accumulator or occupancy mutated for
+    /// this batch** — when any lane's key falls outside the planned domain;
+    /// the caller then falls back to the generic table.
+    pub fn absorb(
+        &mut self,
+        keys: &[BatchKey<'_>],
+        lanes: &[u32],
+        args: &[Option<ExecVector>],
+        phase: AggPhase,
+        hidden: &[Option<&ExecVector>],
+    ) -> Result<bool> {
+        // Pass 1: compose every lane's slot before touching any state.
+        let mut slot_buf = std::mem::take(&mut self.slot_buf);
+        slot_buf.clear();
+        slot_buf.resize(lanes.len(), 0);
+        for (k, key) in keys.iter().enumerate() {
+            let stride = self.strides[k];
+            let in_domain = match key {
+                BatchKey::Column(v) => self.code_column(k, v, lanes, stride, &mut slot_buf)?,
+                BatchKey::Dict {
+                    block,
+                    codes,
+                    nulls,
+                    dict,
+                } => self.code_dict(k, *block, codes, *nulls, dict, lanes, stride, &mut slot_buf),
+            };
+            if !in_domain {
+                self.slot_buf = slot_buf;
+                return Ok(false);
+            }
+        }
+        // Pass 2: commit occupancy and accumulate.
+        for &s in &slot_buf {
+            self.occupied[s as usize] = true;
+        }
+        for (k, acc) in self.accs.iter_mut().enumerate() {
+            if phase == AggPhase::Final {
+                let arg = args[k]
+                    .as_ref()
+                    .ok_or_else(|| VwError::Exec("final agg needs arg".into()))?;
+                acc.combine_batch(&slot_buf, lanes, arg, hidden[k])?;
+            } else {
+                acc.update_batch(&slot_buf, lanes, args[k].as_ref())?;
+            }
+        }
+        self.slot_buf = slot_buf;
+        Ok(true)
+    }
+
+    /// Add key `k`'s contribution from a materialized column. Returns
+    /// `false` when some lane is out of domain (fallback).
+    fn code_column(
+        &mut self,
+        k: usize,
+        v: &ExecVector,
+        lanes: &[u32],
+        stride: u32,
+        slot_buf: &mut [u32],
+    ) -> Result<bool> {
+        let coder = &mut self.coders[k];
+        match &v.data {
+            ColumnData::Str(col) => {
+                for (j, &lane) in lanes.iter().enumerate() {
+                    let i = lane as usize;
+                    let code = if v.nulls.as_ref().is_some_and(|n| n[i]) {
+                        0
+                    } else {
+                        match coder.code_str(col.get_bytes(i)) {
+                            Some(c) => c,
+                            None => return Ok(false),
+                        }
+                    };
+                    slot_buf[j] += code as u32 * stride;
+                }
+            }
+            ColumnData::Bool(col) => {
+                if !matches!(coder, KeyCoder::Bool) {
+                    return Ok(false);
+                }
+                for (j, &lane) in lanes.iter().enumerate() {
+                    let i = lane as usize;
+                    let code = if v.nulls.as_ref().is_some_and(|n| n[i]) {
+                        0
+                    } else {
+                        1 + col[i] as u32
+                    };
+                    slot_buf[j] += code * stride;
+                }
+            }
+            ColumnData::I64(col) => {
+                for (j, &lane) in lanes.iter().enumerate() {
+                    let i = lane as usize;
+                    let code = if v.nulls.as_ref().is_some_and(|n| n[i]) {
+                        0
+                    } else {
+                        match coder.code_int(col[i]) {
+                            Some(c) => c,
+                            None => return Ok(false),
+                        }
+                    };
+                    slot_buf[j] += code as u32 * stride;
+                }
+            }
+            ColumnData::I32(col) => {
+                for (j, &lane) in lanes.iter().enumerate() {
+                    let i = lane as usize;
+                    let code = if v.nulls.as_ref().is_some_and(|n| n[i]) {
+                        0
+                    } else {
+                        match coder.code_int(col[i] as i64) {
+                            Some(c) => c,
+                            None => return Ok(false),
+                        }
+                    };
+                    slot_buf[j] += code as u32 * stride;
+                }
+            }
+            ColumnData::F64(_) => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Add key `k`'s contribution from undecoded dictionary codes, remapping
+    /// dict codes to key codes once per block and caching the remap.
+    #[allow(clippy::too_many_arguments)]
+    fn code_dict(
+        &mut self,
+        k: usize,
+        block: BlockId,
+        codes: &[u32],
+        nulls: Option<&[bool]>,
+        dict: &StrColumn,
+        lanes: &[u32],
+        stride: u32,
+        slot_buf: &mut [u32],
+    ) -> bool {
+        let cached = matches!(&self.remaps[k], Some((b, _)) if *b == block);
+        if !cached {
+            let coder = &mut self.coders[k];
+            let remap: Vec<u16> = (0..dict.len())
+                .map(|e| coder.code_str(dict.get_bytes(e)).unwrap_or(u16::MAX))
+                .collect();
+            self.remaps[k] = Some((block, remap));
+        }
+        let remap = &self.remaps[k].as_ref().unwrap().1;
+        for (j, &lane) in lanes.iter().enumerate() {
+            let i = lane as usize;
+            let code = if nulls.is_some_and(|n| n[i]) {
+                0
+            } else {
+                let c = remap[codes[i] as usize];
+                if c == u16::MAX {
+                    return false;
+                }
+                c as u32
+            };
+            slot_buf[j] += code * stride;
+        }
+        true
+    }
+
+    /// Number of occupied slots (groups).
+    pub fn n_groups(&self) -> usize {
+        self.occupied.iter().filter(|&&b| b).count()
+    }
+
+    /// Emit every occupied slot as an output row for `phase`: decoded group
+    /// keys, finished aggregates, hidden AVG counts when emitting partials.
+    /// With `phase == Partial` the rows are layout-compatible with the
+    /// generic path's spill rows, which is how fallback hands resident state
+    /// to the hash table.
+    pub fn rows(&self, phase: AggPhase, avg_idxs: &[usize]) -> Vec<Vec<Value>> {
+        let width = self.coders.len();
+        let mut out = Vec::with_capacity(self.n_groups());
+        for slot in 0..self.slots {
+            if !self.occupied[slot] {
+                continue;
+            }
+            let mut row = Vec::with_capacity(width + self.accs.len() + avg_idxs.len());
+            for k in 0..width {
+                let code = (slot as u32 / self.strides[k]) % self.caps[k];
+                row.push(self.coders[k].key_value(code as u16, self.key_types[k]));
+            }
+            for acc in &self.accs {
+                row.push(acc.finish(slot, phase));
+            }
+            if phase == AggPhase::Partial {
+                for &k in avg_idxs {
+                    row.push(self.accs[k].hidden_count(slot));
+                }
+            }
+            out.push(row);
+        }
+        out
+    }
+}
+
+/// Group keys never materialize `Arc`s, but the side channel hands the dict
+/// over as one; re-export the alias the scan uses so callers share a name.
+pub type DictRef = Arc<StrColumn>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{MemBudget, MemTracker};
+    use vw_plan::Expr;
+
+    fn aggs() -> Vec<AggExpr> {
+        vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::col(1)),
+                name: "s".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_planning_caps_domain() {
+        // One tiny string key: 33 slots.
+        let s = plan_specs(&[DataType::Str], &[None]).unwrap();
+        assert_eq!(s, vec![KeyCoderSpec::TinyStr]);
+        // Int key needs a hint.
+        assert!(plan_specs(&[DataType::I64], &[None]).is_none());
+        let s = plan_specs(&[DataType::I64], &[Some((5, 10))]).unwrap();
+        assert_eq!(s, vec![KeyCoderSpec::IntRange { lo: 5, cap: 7 }]);
+        // Too-wide range is rejected.
+        assert!(plan_specs(&[DataType::I64], &[Some((0, 1000))]).is_none());
+        // Composed domain beyond MAX_SLOTS is rejected: 33 * 33 * 33 > 4096.
+        assert!(plan_specs(
+            &[DataType::Str, DataType::Str, DataType::Str],
+            &[None, None, None]
+        )
+        .is_none());
+        // F64 keys never qualify.
+        assert!(plan_specs(&[DataType::F64], &[None]).is_none());
+        // No keys at all (scalar aggregate) → one-slot table.
+        assert_eq!(plan_specs(&[], &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn absorb_and_rows_roundtrip() {
+        let specs = plan_specs(&[DataType::Str], &[None]).unwrap();
+        let aggs = aggs();
+        let arg_types = vec![None, Some(DataType::I64)];
+        let mut mem = MemTracker::new(Arc::new(MemBudget::new(None)));
+        let mut t =
+            PerfectTable::try_new(&specs, &[DataType::Str], &aggs, &arg_types, &mut mem).unwrap();
+        let keys = ExecVector::not_null(ColumnData::Str(StrColumn::from_iter([
+            "a", "b", "a", "a", "b",
+        ])));
+        let vals = ExecVector::not_null(ColumnData::I64(vec![1, 2, 3, 4, 5]));
+        let lanes: Vec<u32> = (0..5).collect();
+        let ok = t
+            .absorb(
+                &[BatchKey::Column(&keys)],
+                &lanes,
+                &[None, Some(vals)],
+                AggPhase::Single,
+                &[None, None],
+            )
+            .unwrap();
+        assert!(ok);
+        assert_eq!(t.n_groups(), 2);
+        let mut rows = t.rows(AggPhase::Single, &[]);
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Str("a".into()), Value::I64(3), Value::I64(8)],
+                vec![Value::Str("b".into()), Value::I64(2), Value::I64(7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_domain_leaves_state_untouched() {
+        let specs = plan_specs(&[DataType::I64], &[Some((0, 3))]).unwrap();
+        let aggs = aggs();
+        let arg_types = vec![None, Some(DataType::I64)];
+        let mut mem = MemTracker::new(Arc::new(MemBudget::new(None)));
+        let mut t =
+            PerfectTable::try_new(&specs, &[DataType::I64], &aggs, &arg_types, &mut mem).unwrap();
+        let good = ExecVector::not_null(ColumnData::I64(vec![0, 1, 2]));
+        let vals = ExecVector::not_null(ColumnData::I64(vec![10, 20, 30]));
+        let lanes: Vec<u32> = (0..3).collect();
+        assert!(t
+            .absorb(
+                &[BatchKey::Column(&good)],
+                &lanes,
+                &[None, Some(vals.clone())],
+                AggPhase::Single,
+                &[None, None],
+            )
+            .unwrap());
+        assert_eq!(t.n_groups(), 3);
+        // A batch with one out-of-range key must not perturb anything.
+        let bad = ExecVector::not_null(ColumnData::I64(vec![1, 99, 2]));
+        assert!(!t
+            .absorb(
+                &[BatchKey::Column(&bad)],
+                &lanes,
+                &[None, Some(vals)],
+                AggPhase::Single,
+                &[None, None],
+            )
+            .unwrap());
+        assert_eq!(t.n_groups(), 3);
+        let rows = t.rows(AggPhase::Single, &[]);
+        let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 3, "counts unchanged after rejected batch");
+    }
+
+    #[test]
+    fn tiny_budget_rejects_table() {
+        let specs = plan_specs(&[DataType::Str], &[None]).unwrap();
+        let aggs = aggs();
+        let arg_types = vec![None, Some(DataType::I64)];
+        let mut mem = MemTracker::new(Arc::new(MemBudget::new(Some(64))));
+        assert!(
+            PerfectTable::try_new(&specs, &[DataType::Str], &aggs, &arg_types, &mut mem).is_none()
+        );
+    }
+
+    #[test]
+    fn null_keys_get_code_zero() {
+        let specs = plan_specs(&[DataType::Str], &[None]).unwrap();
+        let aggs = vec![AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+            name: "n".into(),
+        }];
+        let mut mem = MemTracker::new(Arc::new(MemBudget::new(None)));
+        let mut t =
+            PerfectTable::try_new(&specs, &[DataType::Str], &aggs, &[None], &mut mem).unwrap();
+        let keys = ExecVector::new(
+            ColumnData::Str(StrColumn::from_iter(["", "x", ""])),
+            Some(vec![true, false, true]),
+        );
+        let lanes: Vec<u32> = (0..3).collect();
+        assert!(t
+            .absorb(
+                &[BatchKey::Column(&keys)],
+                &lanes,
+                &[None],
+                AggPhase::Single,
+                &[None],
+            )
+            .unwrap());
+        let mut rows = t.rows(AggPhase::Single, &[]);
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Null, Value::I64(2)],
+                vec![Value::Str("x".into()), Value::I64(1)],
+            ]
+        );
+    }
+}

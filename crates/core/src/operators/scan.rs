@@ -31,7 +31,19 @@ use vw_common::{BlockId, DataType, Result, Schema, Value, VwError};
 use vw_pdt::{Change, Pdt};
 use vw_plan::{BinOp, Expr};
 use vw_storage::block::PruneOp;
-use vw_storage::{BlockCursor, Pred, PredOp, TableStorage};
+use vw_storage::{BlockCursor, ColumnData, Pred, PredOp, StrColumn, TableStorage};
+
+/// Undecoded group-key payload for one batch: the PDICT codes of a key
+/// column plus the block's dictionary, handed to a fused aggregate instead
+/// of the decoded strings (see [`VecScan::set_key_cols`]). `codes[i]` is the
+/// dictionary code of physical row `i` of the batch; NULL rows still carry a
+/// valid code and are masked by `nulls`.
+pub struct KeyCodes {
+    pub codes: Vec<u32>,
+    pub nulls: Option<Vec<bool>>,
+    pub dict: Arc<StrColumn>,
+    pub block: BlockId,
+}
 
 /// Where the scan's units come from: a private list (serial scan) or the
 /// shared work-stealing queue of the surrounding Exchange.
@@ -91,6 +103,9 @@ struct LazyCounters {
     enc_evals: u64,
     /// Decoded slices served from the shared decode cache.
     cache_hits: u64,
+    /// Key-column slices whose decode was skipped: raw dictionary codes were
+    /// handed to a fused aggregate instead.
+    key_coded: u64,
 }
 
 /// The vectorized scan operator.
@@ -119,6 +134,13 @@ pub struct VecScan {
     /// decision happens when the shared unit list is planned, not per
     /// worker).
     groups_pruned: u64,
+    /// Per group key of a fused aggregate: the output position whose decode
+    /// should be skipped when the block is PDICT-coded, or `None` for keys
+    /// that must decode normally. Empty = no capture.
+    key_cols: Vec<Option<usize>>,
+    /// Per key column (in `key_cols` order): the codes of the batch just
+    /// produced, when its decode was skipped.
+    key_stash: Vec<Option<KeyCodes>>,
     /// Query trace: morsel claims become per-worker instant events.
     trace: Option<TraceHandle>,
 }
@@ -256,6 +278,8 @@ impl VecScan {
             counters: LazyCounters::default(),
             units_claimed: 0,
             groups_pruned,
+            key_cols: Vec::new(),
+            key_stash: Vec::new(),
             trace: None,
         })
     }
@@ -263,6 +287,35 @@ impl VecScan {
     /// Record morsel claims into the query trace timeline.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Ask the scan to skip decoding these output columns when a block is
+    /// PDICT-coded, stashing the raw codes for [`VecScan::take_key_codes`]
+    /// instead (the batch then carries a placeholder column there). The list
+    /// is indexed by the fused aggregate's group-key position; `None` keys
+    /// always decode. Only a fused aggregate may request this, and only for
+    /// key columns no other expression reads. Refused when a residual filter
+    /// must evaluate over the batch — it could reference any column.
+    pub fn set_key_cols(&mut self, cols: Vec<Option<usize>>) {
+        if self.residual.is_some() {
+            return;
+        }
+        self.key_stash = cols.iter().map(|_| None).collect();
+        self.key_cols = cols;
+    }
+
+    /// Stop key-code capture (perfect-hash fallback): subsequent batches
+    /// decode every column normally.
+    pub fn disable_capture(&mut self) {
+        self.key_cols.clear();
+        self.key_stash.clear();
+    }
+
+    /// Key codes of the batch just returned by `next()`, indexed like the
+    /// `set_key_cols` list. `None` entries were decoded normally.
+    pub fn take_key_codes(&mut self) -> Vec<Option<KeyCodes>> {
+        let fresh = self.key_cols.iter().map(|_| None).collect();
+        std::mem::replace(&mut self.key_stash, fresh)
     }
 
     /// Load the columns of a scan unit, merging PDT changes.
@@ -495,6 +548,10 @@ impl VecScan {
     fn lazy_step(&mut self) -> Result<Option<Batch>> {
         let cache = self.decode_cache.clone();
         let vs = self.vector_size;
+        // A stash entry must only describe the batch this step returns.
+        for s in &mut self.key_stash {
+            *s = None;
+        }
         let Some(Unit::Lazy(lg)) = self.current.as_mut() else {
             unreachable!("lazy_step without a lazy unit")
         };
@@ -532,6 +589,35 @@ impl VecScan {
         }
         let mut columns = Vec::with_capacity(self.projection.len());
         for k in 0..self.projection.len() {
+            // Fused-aggregate key capture: when the block is PDICT-coded,
+            // skip the decode and stash the raw codes; the batch carries a
+            // placeholder column that MUST NOT enter the decode cache. On
+            // fallback the aggregate rebuilds the real column from the codes.
+            if let Some(kpos) = self.key_cols.iter().position(|c| *c == Some(k)) {
+                let cur = cursor_at(
+                    &self.storage,
+                    &self.projection,
+                    lg.group,
+                    &mut lg.cursors,
+                    k,
+                )?;
+                if let Some((codes, dict)) = cur.dict_codes(from, to) {
+                    let nulls = cur.nulls_slice(from, to);
+                    ctr.key_coded += 1;
+                    let mut ph = StrColumn::with_capacity(n, 0);
+                    for _ in 0..n {
+                        ph.push("");
+                    }
+                    columns.push(ExecVector::new(ColumnData::Str(ph), nulls.clone()));
+                    self.key_stash[kpos] = Some(KeyCodes {
+                        codes,
+                        nulls,
+                        dict,
+                        block: lg.block_ids[k],
+                    });
+                    continue;
+                }
+            }
             let key = (lg.block_ids[k], from as u32, to as u32);
             let col = match cache.as_deref().and_then(|c| c.get(&key)) {
                 Some(hit) => {
@@ -781,6 +867,9 @@ impl super::Operator for VecScan {
         }
         if c.cache_hits > 0 {
             v.push(("cache_hits", c.cache_hits));
+        }
+        if c.key_coded > 0 {
+            v.push(("key_coded", c.key_coded));
         }
         v
     }

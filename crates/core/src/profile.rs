@@ -123,7 +123,7 @@ impl OpProfile {
         self.extras.lock().iter().map(|(k, v)| (*k, *v)).collect()
     }
 
-    fn record_next(&self, elapsed: Duration, produced: Option<usize>) {
+    pub(crate) fn record_next(&self, elapsed: Duration, produced: Option<usize>) {
         self.time_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.next_calls.fetch_add(1, Ordering::Relaxed);

@@ -68,6 +68,9 @@ pub fn system_schema(name: &str) -> Schema {
             Field::new("next_calls", DataType::I64),
             Field::new("vectors", DataType::I64),
             Field::new("rows", DataType::I64),
+            // Operator-specific counters ("agg_path_perfect=1, fused_scan=1"),
+            // NULL when the operator reported none.
+            Field::nullable("extras", DataType::Str),
         ]),
         // The flattened metrics registry (counters, gauges, polled gauges,
         // histogram count/sum/buckets), sorted by (name, label, kind).

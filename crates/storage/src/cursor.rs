@@ -146,7 +146,7 @@ struct Frame {
 }
 
 struct DictState {
-    dict: StrColumn,
+    dict: Arc<StrColumn>,
     /// Absolute offset of the packed codes within the block bytes.
     codes_start: usize,
     width: u32,
@@ -364,10 +364,34 @@ impl BlockCursor {
             return Err(err("slice out of range"));
         }
         let phys = self.phys;
+        // An integer column compared against a float literal (`quantity <
+        // 24.0`) is rewritten into integer space, so the encoded fast paths
+        // below apply and the fallback compares ints instead of converting
+        // every value to f64.
+        let norm;
+        let pred = match (phys, pred) {
+            (PHYS_I32 | PHYS_I64, Pred::Cmp { op, value }) => match value {
+                Value::F64(l) => match int_space_pred(*op, *l) {
+                    IntSpace::Pred(p) => {
+                        norm = p;
+                        &norm
+                    }
+                    IntSpace::Empty => return Ok(Vec::new()),
+                    IntSpace::All => {
+                        let all = (0..(to - from) as u32).collect();
+                        return Ok(filter_nulls(&self.nulls, from, all));
+                    }
+                    IntSpace::Keep => pred,
+                },
+                _ => pred,
+            },
+            _ => pred,
+        };
         enum Fast {
             Pfor,
             Rle,
             Pdict,
+            PlainF64,
             No,
         }
         let fast = match (&self.state, pred) {
@@ -378,6 +402,9 @@ impl BlockCursor {
             }
             (State::Rle { .. }, Pred::Cmp { .. }) => Fast::Rle,
             (State::Pdict(_), _) => Fast::Pdict,
+            (State::PlainF64, Pred::Cmp { value, .. }) if value.as_f64().is_some() => {
+                Fast::PlainF64
+            }
             _ => Fast::No,
         };
         let raw = match fast {
@@ -407,9 +434,55 @@ impl BlockCursor {
                 };
                 pdict_eval(d, &bytes, n, pred, from, to)?
             }
+            Fast::PlainF64 => {
+                let Pred::Cmp { op, value } = pred else {
+                    unreachable!()
+                };
+                plain_f64_eval(
+                    &self.bytes,
+                    self.body,
+                    *op,
+                    value.as_f64().unwrap(),
+                    from,
+                    to,
+                )
+            }
             Fast::No => self.eval_generic(pred, from, to)?,
         };
         Ok(filter_nulls(&self.nulls, from, raw))
+    }
+
+    /// For PDICT blocks: the per-block dictionary plus the unpacked codes for
+    /// values `[from, to)` — the raw material for dictionary-aware consumers
+    /// (the fused aggregation path groups by code without materializing
+    /// strings). Returns `None` for any other encoding, or if a code is out
+    /// of the dictionary's range (the caller then decodes normally and gets
+    /// a proper corruption error).
+    pub fn dict_codes(&self, from: usize, to: usize) -> Option<(Vec<u32>, Arc<StrColumn>)> {
+        if from > to || to > self.n {
+            return None;
+        }
+        let State::Pdict(d) = &self.state else {
+            return None;
+        };
+        let raw = unpack_range(
+            &self.bytes[d.codes_start..d.codes_start + packed_len(self.n, d.width)],
+            from,
+            to,
+            d.width,
+        );
+        if raw.iter().any(|&c| c as usize >= d.dict.len()) {
+            return None;
+        }
+        Some((raw.iter().map(|&c| c as u32).collect(), Arc::clone(&d.dict)))
+    }
+
+    /// NULL indicator for values `[from, to)`, widened to byte-per-value;
+    /// `None` when the block has no NULLs.
+    pub fn nulls_slice(&self, from: usize, to: usize) -> Option<Vec<bool>> {
+        self.nulls
+            .as_ref()
+            .map(|b| (from..to).map(|i| b.get(i)).collect())
     }
 
     /// Fallback: decode the slice and compare value by value. Still
@@ -579,7 +652,7 @@ fn parse_dict(b: &[u8], body: usize, n: usize) -> Result<State> {
         );
     }
     Ok(State::Pdict(DictState {
-        dict,
+        dict: Arc::new(dict),
         codes_start: body + off,
         width,
         pred_sets: Vec::new(),
@@ -823,6 +896,68 @@ fn build_code_set(dict: &StrColumn, pred: &Pred) -> Result<Vec<bool>> {
         });
     }
     Ok(set)
+}
+
+/// Result of rewriting an int-column-vs-float-literal comparison into pure
+/// integer space.
+enum IntSpace {
+    /// Equivalent integer predicate.
+    Pred(Pred),
+    /// No integer can match (e.g. `x = 24.5`).
+    Empty,
+    /// Every non-NULL integer matches (e.g. `x != 24.5`).
+    All,
+    /// Literal out of exact-i64 territory — keep the float comparison.
+    Keep,
+}
+
+fn int_space_pred(op: PredOp, l: f64) -> IntSpace {
+    // Outside ±2^53 the floor/±1 arithmetic below loses exactness; those
+    // literals are vanishingly rare in predicates, so just fall back.
+    if !l.is_finite() || l.abs() >= 9.0e15 {
+        return IntSpace::Keep;
+    }
+    let fl = l.floor();
+    let integral = fl == l;
+    let ip = |op, k: f64| {
+        IntSpace::Pred(Pred::Cmp {
+            op,
+            value: Value::I64(k as i64),
+        })
+    };
+    match op {
+        PredOp::Lt => ip(PredOp::Le, if integral { l - 1.0 } else { fl }),
+        PredOp::Le => ip(PredOp::Le, fl),
+        PredOp::Gt => ip(PredOp::Ge, if integral { l + 1.0 } else { l.ceil() }),
+        PredOp::Ge => ip(PredOp::Ge, l.ceil()),
+        PredOp::Eq if integral => ip(PredOp::Eq, l),
+        PredOp::Eq => IntSpace::Empty,
+        PredOp::Ne if integral => ip(PredOp::Ne, l),
+        PredOp::Ne => IntSpace::All,
+    }
+}
+
+/// Compare a plain (uncompressed) f64 body against a literal without
+/// materializing the slice: branchless cursor-advance over the raw bytes.
+fn plain_f64_eval(
+    bytes: &[u8],
+    body: usize,
+    op: PredOp,
+    lit: f64,
+    from: usize,
+    to: usize,
+) -> Vec<u32> {
+    let n = to - from;
+    let start = body + from * 8;
+    let mut out = vec![0u32; n];
+    let mut k = 0usize;
+    for i in 0..n {
+        let v = f64::from_le_bytes(bytes[start + i * 8..start + i * 8 + 8].try_into().unwrap());
+        out[k] = i as u32;
+        k += op.matches_f64(v, lit) as usize;
+    }
+    out.truncate(k);
+    out
 }
 
 fn value_matches(data: &ColumnData, i: usize, pred: &Pred) -> Result<bool> {
