@@ -13,7 +13,16 @@
 //! TPCH_SF=0.05 QPH_STREAMS=2 cargo run --release -p vw-bench --bin qph
 //! QPH_PROFILE=1 cargo run --release -p vw-bench --bin qph   # per-op dumps
 //! QPH_SMOKE=1 cargo run --release -p vw-bench --bin qph     # Q1 profile only
+//! QPH_MODE=qthr QPH_STREAMS=4 cargo run --release -p vw-bench --bin qph
 //! ```
+//!
+//! Qthr mode exercises the concurrent-serving stack end to end: each stream
+//! is a [`Session`](vw_core::Session) replaying all 22 queries at dop 1
+//! (floats sum in a fixed order, so every per-query result must be
+//! byte-identical to a serial reference), admission control is asserted to
+//! gate every start within the global memory ledger, and overlapping
+//! `lineitem` scans must share at least one block through the cooperative
+//! buffer manager.
 
 use std::time::Instant;
 use vw_bench::{load_tpch, row_tables};
@@ -216,6 +225,200 @@ fn smoke_selective(db: &vw_core::Database, sf: f64) {
     );
 }
 
+/// Multi-stream session throughput (Qthr) mode: N concurrent sessions over
+/// one `Database`, byte-identical results, admission + ABM assertions.
+fn run_qthr(sf: f64, streams: usize) {
+    use std::sync::{Arc, Barrier};
+
+    println!(
+        "Qthr throughput harness — TPC-H at SF {} ({} session streams)",
+        sf, streams
+    );
+    let (db, cat) = load_tpch(sf);
+    let db = Arc::new(db);
+    let abm = db.enable_cooperative_scans(256 << 20);
+    // dop 1 everywhere: within one query floats sum in a fixed order, so
+    // concurrency across streams is the only parallelism — and per-query
+    // results must be byte-identical (Value::F64 compares by to_bits) to the
+    // serial reference below.
+    db.set_parallelism(1);
+
+    let queries = all_queries(&cat);
+    let n_queries = queries.len();
+    println!("\nserial reference ({} queries, dop 1):", n_queries);
+    let t_ref = Instant::now();
+    let expected: Arc<Vec<Vec<Vec<vw_common::Value>>>> = Arc::new(
+        queries
+            .iter()
+            .map(|(_, plan)| db.run_plan(plan.clone()).expect("reference").rows)
+            .collect(),
+    );
+    let serial_s = t_ref.elapsed().as_secs_f64();
+    println!("  {:.1}s total", serial_s);
+
+    let limit = db.ledger().limit();
+    let adm_before = db.admission_stats();
+    let abm_before = abm.stats();
+    let barrier = Arc::new(Barrier::new(streams));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for s in 0..streams {
+        let session = db.session();
+        session.set_parallelism(1);
+        let cat = cat.clone();
+        let expected = expected.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            let queries = all_queries(&cat);
+            barrier.wait();
+            let mut records = Vec::new();
+            for i in 0..queries.len() {
+                // Offset start order so streams hit different queries at once
+                // while still overlapping on the hot tables.
+                let idx = (i + s * 7) % queries.len();
+                let (n, plan) = &queries[idx];
+                let t = Instant::now();
+                let rows = session.run_plan(plan.clone()).expect("stream query").rows;
+                let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    rows, expected[idx],
+                    "stream {} Q{} diverged from the serial reference",
+                    s, n
+                );
+                let prof = session.profile_last_query();
+                records.push(BenchRecord {
+                    query: format!("S{}-Q{}", s, n),
+                    dop: prof.as_ref().map_or(1, |p| p.dop),
+                    wall_ms,
+                    rows: rows.len(),
+                    peak_mem_bytes: prof.as_ref().map_or(0, |p| p.mem.peak),
+                    spill_bytes: prof.as_ref().map_or(0, |p| p.mem.spill_bytes),
+                    decode_hit_rate: prof
+                        .as_ref()
+                        .and_then(|p| p.decode.as_ref())
+                        .and_then(|d| d.hit_rate()),
+                });
+            }
+            records
+        }));
+    }
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let qthr = (streams * n_queries) as f64 * 3600.0 / elapsed;
+    println!(
+        "\nthroughput run: {} streams × {} queries in {:.1}s → {:.0} queries/hour \
+         ({:.2}x vs serial)",
+        streams,
+        n_queries,
+        elapsed,
+        qthr,
+        serial_s * streams as f64 / elapsed
+    );
+
+    // Admission: every stream query passed through the scheduler, and grants
+    // never exceeded the ledger. (Timing-independent asserts only — whether
+    // anyone actually *waited* depends on scheduling luck.)
+    let adm = db.admission_stats();
+    assert_eq!(
+        adm.admitted - adm_before.admitted,
+        (streams * n_queries) as u64,
+        "every stream query passes admission exactly once"
+    );
+    assert_eq!(adm.violations, 0, "grants exceeded the global ledger");
+    match limit {
+        Some(limit) => {
+            assert!(adm.peak_granted > 0, "bounded ledger but no grant charged");
+            assert!(
+                adm.peak_granted <= limit,
+                "peak granted {} > ledger {}",
+                adm.peak_granted,
+                limit
+            );
+            println!(
+                "admission: {} admitted, {} waited, {} bypassed, peak {} KiB of {} KiB",
+                adm.admitted - adm_before.admitted,
+                adm.waited - adm_before.waited,
+                adm.bypassed - adm_before.bypassed,
+                adm.peak_granted / 1024,
+                limit / 1024
+            );
+        }
+        None => println!(
+            "admission: {} admitted (unbounded ledger — set VW_MEM_BUDGET to constrain)",
+            adm.admitted - adm_before.admitted
+        ),
+    }
+
+    // ABM bandwidth sharing between overlapping lineitem scans. The main run
+    // usually produces shared hits; if the interleaving happened to never
+    // overlap two scans of the same table, force the issue with a bounded
+    // two-session overlap probe on Q1 (a pure lineitem scan-aggregate).
+    let mut shared = abm.stats().shared_hits - abm_before.shared_hits;
+    let mut probe_rounds = 0;
+    while shared == 0 && probe_rounds < 30 {
+        probe_rounds += 1;
+        let before = abm.stats();
+        let barrier = Arc::new(Barrier::new(2));
+        let probes: Vec<_> = (0..2)
+            .map(|_| {
+                let session = db.session();
+                session.set_parallelism(1);
+                let cat = cat.clone();
+                let expected = expected.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let (_, plan) = all_queries(&cat).swap_remove(0);
+                    barrier.wait();
+                    let rows = session.run_plan(plan).expect("probe").rows;
+                    assert_eq!(rows, expected[0], "probe Q1 diverged");
+                })
+            })
+            .collect();
+        for p in probes {
+            p.join().unwrap();
+        }
+        shared = abm.stats().shared_hits - before.shared_hits;
+    }
+    assert!(
+        shared > 0,
+        "overlapping scans never shared a block through the ABM"
+    );
+    println!(
+        "abm: {} shared block hits, {} loads{}",
+        shared,
+        abm.stats().loads,
+        if probe_rounds > 0 {
+            format!(" (after {} overlap probe rounds)", probe_rounds)
+        } else {
+            String::new()
+        }
+    );
+
+    write_bench_json(
+        "qthr",
+        sf,
+        &records,
+        &[
+            ("streams", streams as f64),
+            ("qthr_queries_per_hour", qthr),
+            ("elapsed_s", elapsed),
+            ("serial_reference_s", serial_s),
+            ("abm_shared_hits", shared as f64),
+            (
+                "admission_admitted",
+                (adm.admitted - adm_before.admitted) as f64,
+            ),
+            ("admission_waited", (adm.waited - adm_before.waited) as f64),
+            ("admission_peak_granted", adm.peak_granted as f64),
+            ("admission_violations", adm.violations as f64),
+        ],
+    );
+    println!("Qthr OK: {} byte-identical stream results", records.len());
+}
+
 fn main() {
     let sf: f64 = std::env::var("TPCH_SF")
         .ok()
@@ -226,6 +429,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
     let profile_dump = env_flag("QPH_PROFILE");
+
+    // Qthr mode (CI throughput smoke): concurrent session streams with
+    // byte-identity, admission, and cooperative-scan assertions.
+    if std::env::var("QPH_MODE").is_ok_and(|v| v == "qthr") {
+        run_qthr(sf, streams.max(2));
+        return;
+    }
 
     // Smoke mode (CI): run Q1 serial and at dop 4 with profiling and dump
     // the per-operator trees — exercises the whole observability path.

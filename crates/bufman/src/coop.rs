@@ -281,6 +281,62 @@ impl Abm {
         Ok(Some((chosen, data)))
     }
 
+    /// Serve a *specific* block for scan `id` (demand fetch — the table-order
+    /// access path of executor scans, as opposed to the relevance-order
+    /// [`next_for`](Self::next_for) pull loop). A cache hit left behind by
+    /// another overlapping scan counts as a shared hit: that is the
+    /// bandwidth sharing cooperative scans exist for. Blocks outside the
+    /// scan's registered set are served too (graceful degradation), they
+    /// just don't participate in relevance accounting.
+    fn fetch_for(&self, id: ScanId, block: BlockId) -> Result<Arc<Vec<u8>>> {
+        {
+            let mut g = self.state.lock();
+            if let Some(cb) = g.cache.get_mut(&block) {
+                cb.needed_by.remove(&id);
+                let data = cb.data.clone();
+                g.shared_hits += 1;
+                if let Some(scan) = g.scans.get_mut(&id) {
+                    if scan.remaining.remove(&block) {
+                        scan.consumed += 1;
+                    }
+                }
+                Self::evict_consumed(&mut g, self.capacity_bytes);
+                return Ok(data);
+            }
+        }
+        // Miss: load outside the lock (charges virtual I/O time).
+        let data = self.disk.read_block(block)?;
+        let mut g = self.state.lock();
+        g.loads += 1;
+        if let Some(scan) = g.scans.get_mut(&id) {
+            if scan.remaining.remove(&block) {
+                scan.consumed += 1;
+            }
+        }
+        // Retain for the other scans that still need this block; if none do
+        // it is evicted right away by the dead-block sweep below.
+        let needed_by: HashSet<ScanId> = g
+            .scans
+            .iter()
+            .filter(|(sid, s)| **sid != id && s.remaining.contains(&block))
+            .map(|(sid, _)| *sid)
+            .collect();
+        if let Some(old) = g.cache.insert(
+            block,
+            CachedBlock {
+                data: data.clone(),
+                needed_by,
+            },
+        ) {
+            // Concurrent double-load of the same block: don't double-count
+            // the replaced entry's bytes.
+            g.cache_bytes -= old.data.len();
+        }
+        g.cache_bytes += data.len();
+        Self::evict_consumed(&mut g, self.capacity_bytes);
+        Ok(data)
+    }
+
     /// Evict blocks no scan needs; if still over capacity, evict the blocks
     /// with the fewest remaining consumers.
     fn evict_consumed(g: &mut AbmState, capacity: usize) {
@@ -371,6 +427,13 @@ impl CoopScanHandle {
         }
         Ok(r)
     }
+
+    /// Fetch a specific block through the ABM (demand fetch, table order).
+    /// Overlapping scans of the same blocks share loads: whoever reads a
+    /// block first leaves it cached for the others ("shared hits").
+    pub fn fetch(&self, block: BlockId) -> Result<Arc<Vec<u8>>> {
+        self.abm.fetch_for(self.id, block)
+    }
 }
 
 impl Drop for CoopScanHandle {
@@ -405,6 +468,52 @@ mod tests {
         assert_eq!(seen.len(), 10);
         assert_eq!(disk.stats().reads, 10);
         assert!(scan.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn demand_fetch_shares_blocks_between_overlapping_scans() {
+        let (disk, ids) = setup(10, 100);
+        let abm = Abm::new(disk.clone(), 10 * 100);
+        let a = abm.register_scan(ids.clone());
+        let b = abm.register_scan(ids.clone());
+        // a fetches everything in table order, paying the loads; b then
+        // fetches the same blocks and is served from cache.
+        for &bid in &ids {
+            a.fetch(bid).unwrap();
+        }
+        for &bid in &ids {
+            b.fetch(bid).unwrap();
+        }
+        let s = abm.stats();
+        assert_eq!(s.loads, 10, "one disk pass for two scans");
+        assert_eq!(s.shared_hits, 10, "second scan rode the first's loads");
+        assert_eq!(disk.stats().reads, 10);
+    }
+
+    #[test]
+    fn demand_fetch_evicts_blocks_nobody_else_needs() {
+        let (disk, ids) = setup(8, 100);
+        let abm = Abm::new(disk.clone(), 8 * 100);
+        let a = abm.register_scan(ids.clone());
+        for &bid in &ids {
+            a.fetch(bid).unwrap();
+        }
+        // No other scan needs these blocks: cache must be empty, not pinned.
+        assert_eq!(abm.state.lock().cache_bytes, 0);
+        // Re-fetching after consumption still works (graceful re-load).
+        a.fetch(ids[0]).unwrap();
+        assert_eq!(abm.stats().loads, 9);
+    }
+
+    #[test]
+    fn demand_fetch_of_unregistered_block_is_served() {
+        let (disk, ids) = setup(4, 64);
+        let abm = Abm::new(disk.clone(), 1024);
+        let a = abm.register_scan(ids[..2].iter().copied());
+        let data = a.fetch(ids[3]).unwrap();
+        assert_eq!(data.len(), 64);
+        // The out-of-set fetch didn't corrupt the scan's remaining set.
+        assert_eq!(abm.state.lock().scans[&a.id].remaining.len(), 2);
     }
 
     #[test]

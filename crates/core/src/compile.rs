@@ -7,7 +7,7 @@
 //! apples.
 
 use crate::mem::{MemBudget, MemTracker};
-use crate::morsel::{ExecStats, SharedExec};
+use crate::morsel::{ExecStats, Morsel, MorselQueue, SharedExec};
 use crate::operators::perfect;
 use crate::operators::{
     BoxedOperator, Exchange, HashAggregate, HashJoin, Operator, VecFilter, VecLimit, VecProject,
@@ -18,7 +18,7 @@ use crate::trace::TraceHandle;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use vw_bufman::DecodeCache;
+use vw_bufman::{Abm, CoopScanHandle, DecodeCache};
 use vw_common::config::{AggPath, EngineConfig};
 use vw_common::metrics::{MetricsRegistry, LATENCY_BUCKETS_NS};
 use vw_common::{DataType, Result, Schema, TableId, VwError};
@@ -53,6 +53,11 @@ pub struct ExecContext {
     /// Shared cache of decoded vector slices for compressed execution;
     /// `None` disables slice caching (scans still run lazily).
     pub decode_cache: Option<Arc<DecodeCache>>,
+    /// Cooperative-scan buffer manager: when attached, table scans register
+    /// their block sets and fetch through it, so concurrent queries scanning
+    /// the same table share disk bandwidth (system tables are exempt — they
+    /// live on private scratch disks).
+    pub buffer: Option<Arc<Abm>>,
     /// Query-wide execution-memory budget. One instance per query, shared by
     /// every operator tracker and every Exchange worker (the context is
     /// cloned per worker, the `Arc` keeps the ledger global).
@@ -80,6 +85,7 @@ impl ExecContext {
             stats: Arc::new(ExecStats::default()),
             profile: None,
             decode_cache: None,
+            buffer: None,
             mem,
             spill_disk: None,
             trace: None,
@@ -352,12 +358,20 @@ fn compile_scan(
         Some(p) => p.clone(),
         None => (0..schema.len()).collect(),
     };
+    // Cooperative scans: user tables register with the ABM when one is
+    // attached; system tables are exempt (they live on scratch SimDisks the
+    // ABM's disk handle knows nothing about).
+    let abm = ctx
+        .buffer
+        .as_ref()
+        .filter(|_| !crate::systab::is_system_table(table_id));
+    let mut coop: Option<CoopScanHandle> = None;
     let morsels = match &ctx.shared {
         Some(shared) => {
             let occ = state.scan_occurrence.entry(table_id).or_insert(0);
             let key = *occ;
             *occ += 1;
-            Some(shared.morsel_queue(table_id, key, || {
+            let q = shared.morsel_queue(table_id, key, || {
                 let su = VecScan::plan_units_pruned(
                     &provider.storage,
                     &provider.pdt,
@@ -371,9 +385,40 @@ fn compile_scan(
                     p.add_extra("pruned", su.groups_pruned as u64);
                 }
                 Ok(su.units)
-            })?)
+            })?;
+            if let Some(abm) = abm {
+                // ONE registration per queue: every worker gets a clone, so
+                // the ABM's relevance policy sees P threads as one scan whose
+                // progress is the queue's claim counter.
+                coop = Some(q.coop_or_register(|| {
+                    abm.register_scan_with_progress(
+                        coop_blocks(&provider.storage, q.units(), &projection),
+                        Some(q.progress()),
+                    )
+                }));
+            }
+            Some(q)
         }
-        None => None,
+        None => match abm {
+            Some(abm) => {
+                // Serial coop scan: plan the pruned unit list up front so the
+                // registration covers exactly the blocks the scan will touch.
+                let su = VecScan::plan_units_pruned(
+                    &provider.storage,
+                    &provider.pdt,
+                    &projection,
+                    filter.as_ref(),
+                );
+                if let (Some(p), true) = (prof, su.groups_pruned > 0) {
+                    p.add_extra("pruned", su.groups_pruned as u64);
+                }
+                let q = MorselQueue::new(su.units);
+                coop =
+                    Some(abm.register_scan(coop_blocks(&provider.storage, q.units(), &projection)));
+                Some(q)
+            }
+            None => None,
+        },
     };
     let mut scan = VecScan::new(
         provider.storage.clone(),
@@ -385,10 +430,35 @@ fn compile_scan(
         ctx.decode_cache.clone(),
         !ctx.config.rewrite_nulls,
     )?;
+    if let Some(c) = coop {
+        scan.set_coop(c);
+    }
     if let Some(t) = &ctx.trace {
         scan.set_trace(t.clone());
     }
     Ok(scan)
+}
+
+/// Block ids of every `(scan unit × projected column)` — the registration
+/// set for a cooperative scan. The PDT append tail is memory-resident and
+/// contributes no blocks.
+fn coop_blocks(
+    storage: &Arc<RwLock<TableStorage>>,
+    units: &[Morsel],
+    projection: &[usize],
+) -> Vec<vw_common::BlockId> {
+    let st = storage.read();
+    let mut out = Vec::with_capacity(units.len() * projection.len());
+    for u in units {
+        if let Morsel::Group(g) = u {
+            for &c in projection {
+                if let Ok(b) = st.column_block_id(*g, c) {
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Per-group-key `(min, max)` hints for integer-typed keys, folded from the

@@ -11,8 +11,11 @@
 //! stable storage between checkpoints), so readers never block writers.
 
 use crate::compile::{compile_plan, ExecContext, TableProvider};
+use crate::mem::MemBudget;
 use crate::operators::collect_rows;
 use crate::profile::{OpProfile, QueryProfile};
+use crate::sched::{AdmissionStats, Scheduler};
+use crate::session::Session;
 use crate::systab;
 use crate::trace::{TraceCollector, TraceHandle};
 use parking_lot::{Mutex, RwLock};
@@ -26,7 +29,7 @@ use vw_common::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS
 use vw_common::{DataType, Result, Schema, TableId, Value, VwError};
 use vw_pdt::Pdt;
 use vw_plan::{optimize, rewrite_default, LogicalPlan, TableStats};
-use vw_sql::{compile_sql, BoundStatement, CatalogView};
+use vw_sql::{compile_sql, BoundStatement, CatalogView, SetScope};
 use vw_storage::{SimDisk, SimDiskConfig, TableBuilder, TableStorage};
 use vw_txn::{checkpoint_table, materialize_image, Transaction, TxnManager};
 
@@ -119,8 +122,19 @@ pub struct QueryRecord {
     pub peak_mem_bytes: u64,
     /// Bytes spilled by memory-governed operators.
     pub spill_bytes: u64,
+    /// Id of the [`Session`] that ran the query (0 = no session; the
+    /// database-level convenience API).
+    pub session: u64,
     /// Per-operator profile, when profiling was on for this query.
     pub profile: Option<Arc<QueryProfile>>,
+}
+
+/// Everything one query execution produced: result rows plus the profile and
+/// trace collected for *this* query (never another session's).
+pub(crate) struct QueryOutcome {
+    pub result: QueryResult,
+    pub profile: Option<Arc<QueryProfile>>,
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 /// Registry instruments the database folds per query. Resolved once at
@@ -175,6 +189,14 @@ pub struct Database {
     /// Trace timeline of the most recently profiled query
     /// ([`Database::export_trace`], the `TRACE` statement).
     last_trace: RwLock<Option<Arc<TraceCollector>>>,
+    /// Database-wide memory ledger all concurrent queries reserve against
+    /// (their per-query budgets chain onto it). Rebuilt when the global
+    /// memory budget changes; in-flight queries keep the ledger they
+    /// admitted under.
+    ledger: RwLock<Arc<MemBudget>>,
+    /// Admission scheduler gating query start on ledger headroom.
+    sched: Arc<Scheduler>,
+    next_session_id: AtomicU64,
 }
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -200,6 +222,23 @@ impl Database {
         disk.register_metrics(&metrics);
         decode_cache.register_metrics(&metrics);
         let core_metrics = CoreMetrics::new(&metrics);
+        let sched = Arc::new(Scheduler::new());
+        for (name, f) in [
+            (
+                "admission_admitted",
+                (|s: &AdmissionStats| s.admitted) as fn(&AdmissionStats) -> u64,
+            ),
+            ("admission_waited", |s: &AdmissionStats| s.waited),
+            ("admission_bypassed", |s: &AdmissionStats| s.bypassed),
+            ("admission_peak_granted_bytes", |s: &AdmissionStats| {
+                s.peak_granted
+            }),
+            ("admission_violations", |s: &AdmissionStats| s.violations),
+        ] {
+            let sched = sched.clone();
+            metrics.register_polled(name, "", move || f(&sched.stats()) as f64);
+        }
+        let ledger = Arc::new(MemBudget::new(config.mem_budget_bytes));
         Ok(Database {
             disk,
             tables: RwLock::new(HashMap::new()),
@@ -216,7 +255,36 @@ impl Database {
             history: Mutex::new(VecDeque::new()),
             next_query_id: AtomicU64::new(1),
             last_trace: RwLock::new(None),
+            ledger: RwLock::new(ledger),
+            sched,
+            next_session_id: AtomicU64::new(1),
         })
+    }
+
+    /// Open a client [`Session`]: per-session config and observability over
+    /// this shared database. Sessions from any number of threads execute
+    /// concurrently under admission control.
+    pub fn session(self: &Arc<Self>) -> Arc<Session> {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        Session::new(self.clone(), id)
+    }
+
+    /// Snapshot of the admission scheduler's counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.sched.stats()
+    }
+
+    /// The database-wide admission ledger (tests, gauges).
+    pub fn ledger(&self) -> Arc<MemBudget> {
+        self.ledger.read().clone()
+    }
+
+    /// Swap the admission ledger to match the current global memory budget.
+    /// In-flight queries keep reserving against the ledger they were
+    /// admitted under; only new queries see the new one.
+    fn rebuild_ledger(&self) {
+        let bytes = self.config.read().mem_budget_bytes;
+        *self.ledger.write() = Arc::new(MemBudget::new(bytes));
     }
 
     /// The session-wide cache of decoded vector slices.
@@ -238,6 +306,7 @@ impl Database {
 
     pub fn set_config(&self, config: EngineConfig) {
         *self.config.write() = config;
+        self.rebuild_ledger();
     }
 
     /// Degree of parallelism used by the parallelize rewrite.
@@ -259,6 +328,7 @@ impl Database {
     /// `SET memory_budget = '16MiB'`.
     pub fn set_mem_budget(&self, bytes: Option<usize>) {
         self.config.write().mem_budget_bytes = bytes;
+        self.rebuild_ledger();
     }
 
     /// Resize the decoded-slice cache (`SET decode_cache = '8MiB'`). Evicts
@@ -281,6 +351,16 @@ impl Database {
     pub fn attach_buffer_manager(&self, abm: Arc<vw_bufman::Abm>) {
         abm.register_metrics(&self.metrics);
         *self.buffer.write() = Some(abm);
+    }
+
+    /// Route table scans through an ABM cooperative buffer manager over this
+    /// database's disk, so overlapping scans of the same table share one
+    /// disk pass (bandwidth sharing — PAPER.md §cooperative scans). Returns
+    /// the ABM for stats inspection.
+    pub fn enable_cooperative_scans(&self, capacity_bytes: usize) -> Arc<vw_bufman::Abm> {
+        let abm = vw_bufman::Abm::new(self.disk.clone(), capacity_bytes);
+        self.attach_buffer_manager(abm.clone());
+        abm
     }
 
     /// The per-operator profile of the most recently executed query, if
@@ -414,8 +494,19 @@ impl Database {
     // ------------------------------------------------------------ execution
 
     /// Build an execution context from the current committed snapshot (or a
-    /// transaction's view).
+    /// transaction's view), with the database's current config.
     pub fn exec_context(&self, txn: Option<&Transaction>) -> Result<ExecContext> {
+        self.exec_context_with(txn, self.config())
+    }
+
+    /// Build an execution context with an explicit config snapshot — the
+    /// per-query path: the snapshot is taken once at admission, so a
+    /// concurrent `SET` can never change dop/vector-size mid-plan.
+    pub fn exec_context_with(
+        &self,
+        txn: Option<&Transaction>,
+        config: EngineConfig,
+    ) -> Result<ExecContext> {
         let tables = self.tables.read();
         let mgr = self.txn.read();
         let mut providers = HashMap::new();
@@ -432,19 +523,25 @@ impl Database {
                 },
             );
         }
-        let mut ctx = ExecContext::new(providers, self.config.read().clone());
+        let mut ctx = ExecContext::new(providers, config);
         ctx.decode_cache = Some(self.decode_cache.clone());
         // Spilled runs/partitions share the database's disk, so spill I/O
         // shows up in the same `DiskStats` the profile already reports.
         ctx.spill_disk = Some(self.disk.clone());
+        ctx.buffer = self.buffer.read().clone();
         Ok(ctx)
     }
 
     /// Optimize + rewrite a logical plan per current config and stats.
     pub fn optimize_plan(&self, plan: LogicalPlan) -> LogicalPlan {
+        self.optimize_plan_with(plan, &self.config())
+    }
+
+    /// Optimize + rewrite with an explicit config snapshot.
+    fn optimize_plan_with(&self, plan: LogicalPlan, config: &EngineConfig) -> LogicalPlan {
         let stats = self.stats.read().clone();
         let plan = optimize(plan, &stats);
-        rewrite_default(plan, self.config.read().parallelism)
+        rewrite_default(plan, config.parallelism)
     }
 
     /// Execute a logical plan against the committed snapshot.
@@ -454,26 +551,45 @@ impl Database {
 
     /// Execute a logical plan, optionally inside a transaction's view.
     pub fn run_plan_in(&self, plan: LogicalPlan, txn: Option<&Transaction>) -> Result<QueryResult> {
-        self.run_plan_profiled(plan, txn, false, None)
-            .map(|(r, _)| r)
+        self.run_query(plan, txn, false, None, self.config(), 0)
+            .map(|o| o.result)
     }
 
-    /// Execute a plan, recording a per-operator [`QueryProfile`] when
-    /// profiling is on in the config (or `force` is set, as for
-    /// `EXPLAIN ANALYZE` and `TRACE`). The profile is also stored for
-    /// [`Database::profile_last_query`], the trace timeline for
-    /// [`Database::export_trace`], and a [`QueryRecord`] is appended to the
-    /// history ring buffer.
-    fn run_plan_profiled(
+    /// Execute a plan under admission control, recording a per-operator
+    /// [`QueryProfile`] when profiling is on in the config snapshot (or
+    /// `force` is set, as for `EXPLAIN ANALYZE` and `TRACE`).
+    ///
+    /// `config` is the one snapshot this query runs with end to end — a
+    /// concurrent `SET` cannot change dop/vector-size mid-plan. `session`
+    /// attributes the query in the history ring (0 = none). The profile and
+    /// trace are returned in the [`QueryOutcome`] (per-session slots are the
+    /// caller's job); the database-global `last_profile`/`last_trace` slots
+    /// are still written as a deprecated single-session convenience.
+    pub(crate) fn run_query(
         &self,
         plan: LogicalPlan,
         txn: Option<&Transaction>,
         force: bool,
         sql: Option<&str>,
-    ) -> Result<(QueryResult, Option<Arc<QueryProfile>>)> {
-        let plan = self.optimize_plan(plan);
+        config: EngineConfig,
+        session: u64,
+    ) -> Result<QueryOutcome> {
+        let plan = self.optimize_plan_with(plan, &config);
         let schema = plan.schema()?;
-        let mut ctx = self.exec_context(txn)?;
+        // Admission: block until the global ledger has headroom for this
+        // plan's estimate. The grant (scheduler bookkeeping, not a ledger
+        // reservation) is declared before the context so it drops *after*
+        // the operators have released their memory.
+        let ledger = self.ledger.read().clone();
+        let _grant = self
+            .sched
+            .admit(ledger.limit(), admission_want(&plan, ledger.limit()));
+        let mut ctx = self.exec_context_with(txn, config)?;
+        if ledger.limit().is_some() {
+            // Chain the per-query budget onto the shared ledger so
+            // concurrent queries see each other's memory pressure.
+            ctx.mem = Arc::new(MemBudget::chained(ctx.config.mem_budget_bytes, ledger));
+        }
         self.provide_system_tables(&plan, &mut ctx)?;
         let profiling = force || ctx.config.profiling;
         let root = profiling.then(|| OpProfile::from_plan(&plan));
@@ -483,6 +599,7 @@ impl Database {
         // and `TRACE`/`EXPLAIN ANALYZE` force both on together.
         let collector = profiling.then(|| Arc::new(TraceCollector::new()));
         if let Some(c) = &collector {
+            c.set_meta(self.next_query_id.load(Ordering::Relaxed), session);
             ctx.trace = Some(TraceHandle::new(c.clone(), 0));
         }
         let disk_before = self.disk.stats();
@@ -493,11 +610,17 @@ impl Database {
         let rows = collect_rows(op.as_mut())?;
         drop(op); // flush profile extras from operators cut short by LIMIT
         let wall = started.elapsed();
+        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &collector {
+            c.set_meta(query_id, session);
+        }
         let profile = root.map(|root| {
             Arc::new(QueryProfile {
                 root,
                 wall,
                 dop: ctx.config.parallelism,
+                query_id,
+                session,
                 morsels_claimed: ctx.stats.morsels_claimed(),
                 builds_executed: ctx.stats.builds_executed(),
                 disk: self.disk.stats().since(&disk_before),
@@ -512,8 +635,8 @@ impl Database {
         if let Some(p) = &profile {
             *self.last_profile.write() = Some(p.clone());
         }
-        if let Some(c) = collector {
-            *self.last_trace.write() = Some(c);
+        if let Some(c) = &collector {
+            *self.last_trace.write() = Some(c.clone());
         }
         let mem = ctx.mem.stats();
         let m = &self.core_metrics;
@@ -524,13 +647,14 @@ impl Database {
         m.join_builds.add(ctx.stats.builds_executed() as u64);
         m.query_wall.record(wall.as_nanos() as u64);
         let record = QueryRecord {
-            id: self.next_query_id.fetch_add(1, Ordering::Relaxed),
+            id: query_id,
             sql: sql.map(str::to_string),
             wall,
             rows: rows.len() as u64,
             dop: ctx.config.parallelism,
             peak_mem_bytes: mem.peak,
             spill_bytes: mem.spill_bytes,
+            session,
             profile: profile.clone(),
         };
         let mut history = self.history.lock();
@@ -539,7 +663,11 @@ impl Database {
         }
         history.push_back(record);
         drop(history);
-        Ok((QueryResult { schema, rows }, profile))
+        Ok(QueryOutcome {
+            result: QueryResult { schema, rows },
+            profile,
+            trace: collector,
+        })
     }
 
     // -------------------------------------------------------- system tables
@@ -632,6 +760,7 @@ impl Database {
                     Value::I64(q.dop as i64),
                     Value::I64(q.peak_mem_bytes as i64),
                     Value::I64(q.spill_bytes as i64),
+                    Value::I64(q.session as i64),
                 ]
             })
             .collect()
@@ -718,15 +847,31 @@ impl Database {
         rows
     }
 
-    /// Execute one SQL statement (autocommit).
+    /// Execute one SQL statement (autocommit, no session).
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_opts(sql, None)
+    }
+
+    /// Execute one SQL statement, optionally on behalf of a [`Session`]
+    /// (which scopes config snapshots, `SET`, and profile/trace slots).
+    pub(crate) fn execute_opts(&self, sql: &str, session: Option<&Session>) -> Result<QueryResult> {
         let bound = compile_sql(sql, self)?;
+        // One config snapshot per statement, taken at admission.
+        let config = session.map_or_else(|| self.config(), |s| s.config());
+        let sid = session.map_or(0, |s| s.id());
+        let store = |outcome: &QueryOutcome| {
+            if let Some(s) = session {
+                s.store_outcome(outcome.profile.clone(), outcome.trace.clone());
+            }
+        };
         match bound {
-            BoundStatement::Query(plan) => self
-                .run_plan_profiled(plan, None, false, Some(sql))
-                .map(|(r, _)| r),
+            BoundStatement::Query(plan) => {
+                let outcome = self.run_query(plan, None, false, Some(sql), config, sid)?;
+                store(&outcome);
+                Ok(outcome.result)
+            }
             BoundStatement::Explain(plan) => {
-                let optimized = self.optimize_plan(plan);
+                let optimized = self.optimize_plan_with(plan, &config);
                 let text = optimized.explain();
                 let schema = Schema::new(vec![vw_common::Field::new("plan", DataType::Str)]);
                 let rows = text
@@ -738,8 +883,11 @@ impl Database {
             BoundStatement::ExplainAnalyze(plan) => {
                 // Execute for real (profiling forced on) and return the
                 // annotated plan tree instead of the result rows.
-                let (_result, profile) = self.run_plan_profiled(plan, None, true, Some(sql))?;
-                let profile = profile.expect("forced profiling always yields a profile");
+                let outcome = self.run_query(plan, None, true, Some(sql), config, sid)?;
+                store(&outcome);
+                let profile = outcome
+                    .profile
+                    .expect("forced profiling always yields a profile");
                 let schema = Schema::new(vec![vw_common::Field::new("plan", DataType::Str)]);
                 let rows = profile
                     .render()
@@ -751,11 +899,16 @@ impl Database {
             BoundStatement::Trace(plan) => {
                 // Execute for real with profiling (and thus tracing) forced
                 // on; return the chrome://tracing JSON, one line per row, so
-                // concatenating the rows reassembles the document.
-                let (_result, _profile) = self.run_plan_profiled(plan, None, true, Some(sql))?;
-                let json = self
-                    .export_trace()
-                    .expect("forced profiling always records a trace");
+                // concatenating the rows reassembles the document. The JSON
+                // comes from *this* query's collector — never a concurrent
+                // session's.
+                let outcome = self.run_query(plan, None, true, Some(sql), config, sid)?;
+                store(&outcome);
+                let json = outcome
+                    .trace
+                    .as_ref()
+                    .expect("forced profiling always records a trace")
+                    .to_chrome_json();
                 let schema = Schema::new(vec![vw_common::Field::new("trace", DataType::Str)]);
                 let rows = json
                     .lines()
@@ -795,80 +948,78 @@ impl Database {
                 self.commit(txn)?;
                 Ok(count_result("deleted", n))
             }
-            BoundStatement::Set { name, value } => {
-                self.apply_set(&name, &value)?;
+            BoundStatement::Set { name, value, scope } => {
+                match (scope, session) {
+                    // No session: plain SET has always been global here.
+                    (SetScope::Global, _) | (SetScope::Default, None) => {
+                        self.apply_set(&name, &value)?
+                    }
+                    (SetScope::Local, None) => {
+                        return Err(VwError::Invalid(
+                            "SET LOCAL requires a session (use Database::session())".into(),
+                        ))
+                    }
+                    // With a session, plain SET scopes to the session.
+                    (SetScope::Default | SetScope::Local, Some(s)) => {
+                        self.apply_set_session(s, &name, &value)?
+                    }
+                }
                 Ok(empty_result("set"))
             }
         }
     }
 
-    /// Apply a `SET <name> = <value>` session option.
+    /// Apply a `SET <name> = <value>` option globally (database scope).
     fn apply_set(&self, name: &str, value: &Value) -> Result<()> {
-        // Byte-size options accept integers (bytes) or strings ('16MiB');
-        // 0, NULL, 'unbounded' and 'none' lift the memory budget.
-        let byte_size = |v: &Value| -> Result<Option<usize>> {
-            match v {
-                Value::Null => Ok(None),
-                Value::I64(0) | Value::I32(0) => Ok(None),
-                Value::I64(n) if *n > 0 => Ok(Some(*n as usize)),
-                Value::I32(n) if *n > 0 => Ok(Some(*n as usize)),
-                Value::Str(s) if s.eq_ignore_ascii_case("unbounded") => Ok(None),
-                Value::Str(s) if s.eq_ignore_ascii_case("none") => Ok(None),
-                Value::Str(s) => vw_common::config::parse_byte_size(s)
-                    .map(Some)
-                    .ok_or_else(|| {
-                        VwError::Invalid(format!("cannot parse '{}' as a byte size", s))
-                    }),
-                other => Err(VwError::Invalid(format!(
-                    "expected a byte size, got {}",
-                    other
-                ))),
-            }
-        };
-        let as_usize = |v: &Value| -> Result<usize> {
-            match v {
-                Value::I64(n) if *n > 0 => Ok(*n as usize),
-                Value::I32(n) if *n > 0 => Ok(*n as usize),
-                other => Err(VwError::Invalid(format!(
-                    "expected a positive integer, got {}",
-                    other
-                ))),
-            }
-        };
-        let as_bool = |v: &Value| -> Result<bool> {
-            match v {
-                Value::Bool(b) => Ok(*b),
-                Value::Str(s) if s.eq_ignore_ascii_case("on") => Ok(true),
-                Value::Str(s) if s.eq_ignore_ascii_case("off") => Ok(false),
-                Value::I64(n) => Ok(*n != 0),
-                other => Err(VwError::Invalid(format!(
-                    "expected a boolean, got {}",
-                    other
-                ))),
-            }
-        };
         match name {
-            "memory_budget" | "mem_budget" => self.set_mem_budget(byte_size(value)?),
+            "memory_budget" | "mem_budget" => self.set_mem_budget(set_byte_size(value)?),
             "decode_cache" | "decode_cache_bytes" => {
-                let bytes = byte_size(value)?.unwrap_or(0);
+                let bytes = set_byte_size(value)?.unwrap_or(0);
                 self.set_decode_cache_bytes(bytes);
             }
-            "parallelism" | "dop" => self.set_parallelism(as_usize(value)?),
-            "vector_size" => self.set_vector_size(as_usize(value)?),
-            "profiling" => self.set_profiling(as_bool(value)?),
-            "rewrite_nulls" => self.set_rewrite_nulls(as_bool(value)?),
+            "parallelism" | "dop" => self.set_parallelism(set_usize(value)?),
+            "vector_size" => self.set_vector_size(set_usize(value)?),
+            "profiling" => self.set_profiling(set_bool(value)?),
+            "rewrite_nulls" => self.set_rewrite_nulls(set_bool(value)?),
+            "agg_path" => self.config.write().agg_path = set_agg_path(value)?,
+            other => {
+                return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a `SET` option to one session's config. The decode cache is a
+    /// shared object, so resizing it stays global even from a session.
+    fn apply_set_session(&self, session: &Session, name: &str, value: &Value) -> Result<()> {
+        match name {
+            "memory_budget" | "mem_budget" => {
+                let bytes = set_byte_size(value)?;
+                session.update_config(|c| c.mem_budget_bytes = bytes);
+            }
+            "decode_cache" | "decode_cache_bytes" => {
+                let bytes = set_byte_size(value)?.unwrap_or(0);
+                self.set_decode_cache_bytes(bytes);
+            }
+            "parallelism" | "dop" => {
+                let dop = set_usize(value)?;
+                session.update_config(|c| c.parallelism = dop.max(1));
+            }
+            "vector_size" => {
+                let vs = set_usize(value)?;
+                session.update_config(|c| c.vector_size = vs.max(1));
+            }
+            "profiling" => {
+                let on = set_bool(value)?;
+                session.update_config(|c| c.profiling = on);
+            }
+            "rewrite_nulls" => {
+                let on = set_bool(value)?;
+                session.update_config(|c| c.rewrite_nulls = on);
+            }
             "agg_path" => {
-                let path = match value {
-                    Value::Str(s) if s.eq_ignore_ascii_case("auto") => AggPath::Auto,
-                    Value::Str(s) if s.eq_ignore_ascii_case("generic") => AggPath::Generic,
-                    other => {
-                        return Err(VwError::Invalid(format!(
-                            "agg_path must be 'auto' or 'generic', got {}",
-                            other
-                        )));
-                    }
-                };
-                self.config.write().agg_path = path;
+                let path = set_agg_path(value)?;
+                session.update_config(|c| c.agg_path = path);
             }
             other => {
                 return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
@@ -882,8 +1033,8 @@ impl Database {
         let bound = compile_sql(sql, self)?;
         match bound {
             BoundStatement::Query(plan) => self
-                .run_plan_profiled(plan, Some(txn), false, Some(sql))
-                .map(|(r, _)| r),
+                .run_query(plan, Some(txn), false, Some(sql), self.config(), 0)
+                .map(|o| o.result),
             BoundStatement::Insert { table, rows } => {
                 check_writable(table)?;
                 let n = rows.len();
@@ -1080,6 +1231,96 @@ impl Database {
         *self.txn.write() = recovered;
         Ok(())
     }
+}
+
+// ------------------------------------------------------ SET value parsing
+// (shared by the global and the session-scoped apply paths)
+
+/// Byte-size options accept integers (bytes) or strings ('16MiB');
+/// 0, NULL, 'unbounded' and 'none' lift the memory budget.
+fn set_byte_size(v: &Value) -> Result<Option<usize>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::I64(0) | Value::I32(0) => Ok(None),
+        Value::I64(n) if *n > 0 => Ok(Some(*n as usize)),
+        Value::I32(n) if *n > 0 => Ok(Some(*n as usize)),
+        Value::Str(s) if s.eq_ignore_ascii_case("unbounded") => Ok(None),
+        Value::Str(s) if s.eq_ignore_ascii_case("none") => Ok(None),
+        Value::Str(s) => vw_common::config::parse_byte_size(s)
+            .map(Some)
+            .ok_or_else(|| VwError::Invalid(format!("cannot parse '{}' as a byte size", s))),
+        other => Err(VwError::Invalid(format!(
+            "expected a byte size, got {}",
+            other
+        ))),
+    }
+}
+
+fn set_usize(v: &Value) -> Result<usize> {
+    match v {
+        Value::I64(n) if *n > 0 => Ok(*n as usize),
+        Value::I32(n) if *n > 0 => Ok(*n as usize),
+        other => Err(VwError::Invalid(format!(
+            "expected a positive integer, got {}",
+            other
+        ))),
+    }
+}
+
+fn set_bool(v: &Value) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        Value::Str(s) if s.eq_ignore_ascii_case("on") => Ok(true),
+        Value::Str(s) if s.eq_ignore_ascii_case("off") => Ok(false),
+        Value::I64(n) => Ok(*n != 0),
+        other => Err(VwError::Invalid(format!(
+            "expected a boolean, got {}",
+            other
+        ))),
+    }
+}
+
+fn set_agg_path(v: &Value) -> Result<AggPath> {
+    match v {
+        Value::Str(s) if s.eq_ignore_ascii_case("auto") => Ok(AggPath::Auto),
+        Value::Str(s) if s.eq_ignore_ascii_case("generic") => Ok(AggPath::Generic),
+        other => Err(VwError::Invalid(format!(
+            "agg_path must be 'auto' or 'generic', got {}",
+            other
+        ))),
+    }
+}
+
+// --------------------------------------------------- admission estimation
+
+/// True if the plan holds materialized state (hash tables, sort buffers).
+fn plan_is_stateful(plan: &LogicalPlan) -> bool {
+    if matches!(
+        plan,
+        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } | LogicalPlan::Sort { .. }
+    ) {
+        return true;
+    }
+    for c in plan.children() {
+        if plan_is_stateful(c) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Admission estimate for a plan under a bounded ledger: stateful plans
+/// declare half the ledger, scan-only plans a sliver — coarse on purpose.
+/// The force-reserve protocol means an underestimate degrades to spilling,
+/// never to a failed query; the estimate only shapes *queueing*.
+fn admission_want(plan: &LogicalPlan, limit: Option<u64>) -> u64 {
+    let Some(limit) = limit else { return 0 };
+    let share = if plan_is_stateful(plan) {
+        limit / 2
+    } else {
+        limit / 16
+    };
+    share.max((64 << 10u64).min(limit)).clamp(1, limit)
 }
 
 /// DML targets must be user tables: the `vw_` system tables are read-only
@@ -1573,7 +1814,7 @@ mod tests {
     fn system_tables_are_read_only_and_names_reserved() {
         let db = sample_db();
         let err = db
-            .execute("INSERT INTO vw_queries VALUES (1, 'x', 0.0, 0, 1, 0, 0)")
+            .execute("INSERT INTO vw_queries VALUES (1, 'x', 0.0, 0, 1, 0, 0, 0)")
             .unwrap_err();
         assert!(err.to_string().contains("read-only"), "{}", err);
         let err = db.execute("DELETE FROM vw_io").unwrap_err();
@@ -1682,5 +1923,108 @@ mod tests {
         db.abort(t);
         let r = db.execute("SELECT COUNT(*) FROM items").unwrap();
         assert_eq!(r.rows[0][0], Value::I64(5));
+    }
+
+    #[test]
+    fn session_set_scopes_config_per_session() {
+        let db = Arc::new(sample_db());
+        let s1 = db.session();
+        let s2 = db.session();
+        assert_ne!(s1.id(), s2.id());
+        assert!(s1.id() > 0, "session ids start above the no-session 0");
+        // Plain SET in a session is session-local.
+        s1.execute("SET parallelism = 3").unwrap();
+        assert_eq!(s1.config().parallelism, 3);
+        assert_eq!(s2.config().parallelism, db.config().parallelism);
+        assert_ne!(db.config().parallelism, 3);
+        // SET LOCAL is explicit about the same thing.
+        s2.execute("SET LOCAL vector_size = 512").unwrap();
+        assert_eq!(s2.config().vector_size, 512);
+        assert_ne!(s1.config().vector_size, 512);
+        // SET GLOBAL from inside a session hits the database config but not
+        // the other sessions' snapshots.
+        s1.execute("SET GLOBAL profiling = off").unwrap();
+        assert!(!db.config().profiling);
+        assert!(s2.config().profiling);
+        // Without a session, SET LOCAL has nothing to scope to.
+        let err = db.execute("SET LOCAL parallelism = 2").unwrap_err();
+        assert!(err.to_string().contains("requires a session"), "{}", err);
+        // Session results match database results.
+        let r = s1.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(5));
+    }
+
+    #[test]
+    fn session_memory_budget_stays_local_but_global_resizes_ledger() {
+        let db = Arc::new(sample_db());
+        // The ledger starts at the process default (VW_MEM_BUDGET-sensitive).
+        let initial = EngineConfig::default().mem_budget_bytes.map(|b| b as u64);
+        let s = db.session();
+        s.execute("SET memory_budget = '64KiB'").unwrap();
+        assert_eq!(s.config().mem_budget_bytes, Some(64 << 10));
+        // The shared admission ledger follows the GLOBAL config only.
+        assert_eq!(db.ledger().limit(), initial);
+        s.execute("SET GLOBAL memory_budget = '128KiB'").unwrap();
+        assert_eq!(db.ledger().limit(), Some(128 << 10));
+        assert_eq!(db.config().mem_budget_bytes, Some(128 << 10));
+        // Session snapshot still holds its own value.
+        assert_eq!(s.config().mem_budget_bytes, Some(64 << 10));
+        db.execute("SET memory_budget = unbounded").unwrap();
+        assert_eq!(db.ledger().limit(), None);
+    }
+
+    #[test]
+    fn sessions_isolate_profiles_and_traces() {
+        let db = Arc::new(sample_db());
+        let s1 = db.session();
+        let s2 = db.session();
+        s1.execute("SELECT COUNT(*) FROM items").unwrap();
+        s2.execute("SELECT id FROM items WHERE qty >= 5").unwrap();
+        let p1 = s1.profile_last_query().unwrap();
+        let p2 = s2.profile_last_query().unwrap();
+        assert_eq!(p1.session, s1.id());
+        assert_eq!(p2.session, s2.id());
+        assert_ne!(p1.query_id, p2.query_id);
+        // Each session's trace is tagged with its own (query, session) pair.
+        let t1 = s1.last_trace().unwrap();
+        assert_eq!(t1.meta(), Some((p1.query_id, s1.id())));
+        let json = s2.export_trace().unwrap();
+        assert!(
+            json.contains(&format!("\"session\":{}", s2.id())),
+            "{}",
+            &json[..json.len().min(200)]
+        );
+        assert_eq!(s1.queries_run(), 1);
+        assert_eq!(s2.queries_run(), 1);
+    }
+
+    #[test]
+    fn vw_queries_attributes_sessions() {
+        let db = Arc::new(sample_db());
+        let s = db.session();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        s.execute("SELECT COUNT(*) FROM items").unwrap();
+        let r = db
+            .execute("SELECT session_id FROM vw_queries ORDER BY query_id")
+            .unwrap();
+        // First query ran sessionless (0), second under the session's id.
+        assert_eq!(r.rows[0][0], Value::I64(0));
+        assert_eq!(r.rows[1][0], Value::I64(s.id() as i64));
+    }
+
+    #[test]
+    fn bounded_budget_queries_pass_admission() {
+        let db = wide_db(2000);
+        db.execute("SET memory_budget = '256KiB'").unwrap();
+        let before = db.admission_stats();
+        db.execute("SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY s")
+            .unwrap();
+        let st = db.admission_stats();
+        assert_eq!(st.admitted, before.admitted + 1);
+        assert_eq!(st.violations, 0);
+        assert!(st.peak_granted > 0, "bounded ledger grants real bytes");
+        assert!(st.peak_granted <= 256 << 10);
+        // All grants returned once the query finished.
+        assert_eq!(db.sched.granted_now(), 0);
     }
 }

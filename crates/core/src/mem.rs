@@ -33,6 +33,12 @@ const UNBOUNDED: u64 = u64::MAX;
 
 /// Query-wide execution-memory budget. Thread-safe; shared via `Arc` across
 /// all Exchange workers of one query.
+///
+/// A budget may be *chained* onto a parent ledger (the database-wide
+/// admission ledger): every reservation is then forwarded 1:1 to the parent,
+/// so concurrent queries see each other's pressure while each query's own
+/// `limit`/`peak`/spill counters stay per-query. Spill accounting is **not**
+/// forwarded — spills are a per-query event.
 #[derive(Debug)]
 pub struct MemBudget {
     /// Byte limit (`UNBOUNDED` = no limit).
@@ -45,6 +51,8 @@ pub struct MemBudget {
     spill_bytes: AtomicU64,
     /// Number of spill events (partitions flushed / sorted runs written).
     spill_events: AtomicU64,
+    /// Optional parent ledger every reservation is forwarded to.
+    parent: Option<Arc<MemBudget>>,
 }
 
 impl MemBudget {
@@ -56,7 +64,16 @@ impl MemBudget {
             peak: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             spill_events: AtomicU64::new(0),
+            parent: None,
         }
+    }
+
+    /// A per-query budget chained onto a shared parent ledger. Reservations
+    /// count against *both* limits; either can signal pressure.
+    pub fn chained(limit: Option<usize>, parent: Arc<MemBudget>) -> Self {
+        let mut b = MemBudget::new(limit);
+        b.parent = Some(parent);
+        b
     }
 
     /// An unbounded budget (accounting still runs; nothing ever spills).
@@ -75,8 +92,23 @@ impl MemBudget {
     }
 
     /// Try to reserve `bytes`; fails (reserving nothing) if that would
-    /// exceed the limit.
+    /// exceed the limit — either this budget's own limit or the parent
+    /// ledger's.
     pub fn try_reserve(&self, bytes: u64) -> bool {
+        if !self.try_reserve_local(bytes) {
+            return false;
+        }
+        if let Some(parent) = &self.parent {
+            if !parent.try_reserve(bytes) {
+                // Roll back the local reservation exactly; nothing leaked.
+                self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn try_reserve_local(&self, bytes: u64) -> bool {
         let mut cur = self.reserved.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_add(bytes);
@@ -103,11 +135,32 @@ impl MemBudget {
     pub fn force_reserve(&self, bytes: u64) {
         let next = self.reserved.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.note_peak(next);
+        if let Some(parent) = &self.parent {
+            parent.force_reserve(bytes);
+        }
     }
 
-    /// Release a prior reservation.
+    /// Release a prior reservation. Saturating: an over-release clamps to
+    /// zero instead of wrapping the ledger to ~`u64::MAX` (which would
+    /// permanently block every subsequent `try_reserve`).
     pub fn release(&self, bytes: u64) {
-        self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+        let prev = self
+            .reserved
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            })
+            .expect("fetch_update closure always returns Some");
+        debug_assert!(
+            prev >= bytes,
+            "MemBudget over-release: releasing {} with only {} reserved",
+            bytes,
+            prev
+        );
+        if let Some(parent) = &self.parent {
+            // Forward only what was actually subtracted locally, so an
+            // over-release here can't drain someone else's parent bytes.
+            parent.release(bytes.min(prev));
+        }
     }
 
     fn note_peak(&self, candidate: u64) {
@@ -322,6 +375,63 @@ mod tests {
         assert_eq!(s.spill_bytes, 175);
         assert_eq!(s.spill_events, 3);
         assert_eq!(s.limit, Some(64));
+    }
+
+    /// Regression: `release` used a raw `fetch_sub`, so an over-release
+    /// wrapped `reserved` to ~u64::MAX and permanently blocked every
+    /// subsequent `try_reserve`. It must saturate at zero instead.
+    #[test]
+    fn over_release_saturates_instead_of_wrapping() {
+        let b = Arc::new(MemBudget::new(Some(1000)));
+        assert!(b.try_reserve(100));
+        // A buggy caller releases more than it holds. Debug builds trip the
+        // debug_assert (caught here); either way the ledger must clamp to
+        // zero, not wrap.
+        let b2 = b.clone();
+        let _ = std::panic::catch_unwind(move || b2.release(400));
+        assert_eq!(b.reserved(), 0, "ledger clamps to zero");
+        assert!(b.try_reserve(500), "budget still usable after over-release");
+        assert_eq!(b.reserved(), 500);
+    }
+
+    #[test]
+    fn chained_budget_forwards_to_parent() {
+        let parent = Arc::new(MemBudget::new(Some(1000)));
+        let child = MemBudget::chained(Some(1000), parent.clone());
+        assert!(child.try_reserve(600));
+        assert_eq!(parent.reserved(), 600);
+        child.release(200);
+        assert_eq!(child.reserved(), 400);
+        assert_eq!(parent.reserved(), 400);
+        child.force_reserve(700);
+        assert_eq!(child.reserved(), 1100, "force overshoots both");
+        assert_eq!(parent.reserved(), 1100);
+        child.release(1100);
+        assert_eq!(parent.reserved(), 0);
+    }
+
+    #[test]
+    fn parent_pressure_fails_child_reserve_exactly() {
+        let parent = Arc::new(MemBudget::new(Some(1000)));
+        let sibling = MemBudget::chained(Some(1000), parent.clone());
+        let child = MemBudget::chained(Some(1000), parent.clone());
+        assert!(sibling.try_reserve(800));
+        // Child's own limit allows 500, but the parent only has 200 left:
+        // the reservation must fail and roll back the child's own ledger.
+        assert!(!child.try_reserve(500));
+        assert_eq!(child.reserved(), 0, "failed reserve rolled back locally");
+        assert_eq!(parent.reserved(), 800, "parent untouched by the failure");
+        assert!(child.try_reserve(200));
+        assert_eq!(parent.reserved(), 1000);
+    }
+
+    #[test]
+    fn chained_spills_stay_per_query() {
+        let parent = Arc::new(MemBudget::new(Some(1000)));
+        let child = MemBudget::chained(Some(1000), parent.clone());
+        child.note_spill(64);
+        assert_eq!(child.stats().spill_events, 1);
+        assert_eq!(parent.stats().spill_events, 0, "spills are per-query");
     }
 
     #[test]

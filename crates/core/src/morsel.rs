@@ -32,7 +32,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use vw_bufman::ScanProgress;
+use vw_bufman::{CoopScanHandle, ScanProgress};
 use vw_common::{Result, TableId, VwError};
 
 use crate::operators::BuildData;
@@ -81,6 +81,10 @@ pub struct MorselQueue {
     cursor: AtomicUsize,
     progress: Arc<ScanProgress>,
     stats: Option<Arc<ExecStats>>,
+    /// The ONE cooperative-scan registration shared by every worker of this
+    /// queue's scan; each worker clones the handle, so the ABM sees P threads
+    /// as a single logical scan.
+    coop: Mutex<Option<CoopScanHandle>>,
 }
 
 impl MorselQueue {
@@ -98,6 +102,7 @@ impl MorselQueue {
             cursor: AtomicUsize::new(0),
             progress,
             stats,
+            coop: Mutex::new(None),
         })
     }
 
@@ -119,6 +124,11 @@ impl MorselQueue {
         self.units.len()
     }
 
+    /// The fixed unit list this queue hands out (claimed or not).
+    pub fn units(&self) -> &[Morsel] {
+        &self.units
+    }
+
     pub fn is_empty(&self) -> bool {
         self.units.is_empty()
     }
@@ -128,6 +138,14 @@ impl MorselQueue {
     /// as one cooperative scan.
     pub fn progress(&self) -> Arc<ScanProgress> {
         self.progress.clone()
+    }
+
+    /// Clone this queue's shared cooperative-scan handle, registering it via
+    /// `register` on first touch. All workers compiling against the same
+    /// queue end up with clones of ONE registration.
+    pub fn coop_or_register(&self, register: impl FnOnce() -> CoopScanHandle) -> CoopScanHandle {
+        let mut g = self.coop.lock();
+        g.get_or_insert_with(register).clone()
     }
 }
 

@@ -26,7 +26,7 @@ use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use parking_lot::RwLock;
 use std::sync::Arc;
-use vw_bufman::DecodeCache;
+use vw_bufman::{CoopScanHandle, DecodeCache};
 use vw_common::{BlockId, DataType, Result, Schema, Value, VwError};
 use vw_pdt::{Change, Pdt};
 use vw_plan::{BinOp, Expr};
@@ -143,6 +143,9 @@ pub struct VecScan {
     key_stash: Vec<Option<KeyCodes>>,
     /// Query trace: morsel claims become per-worker instant events.
     trace: Option<TraceHandle>,
+    /// Cooperative-scan registration: when set, block reads go through the
+    /// ABM so overlapping scans of the same table share disk loads.
+    coop: Option<CoopScanHandle>,
 }
 
 /// A planned scan-unit list plus the zone-map pruning outcome.
@@ -281,12 +284,19 @@ impl VecScan {
             key_cols: Vec::new(),
             key_stash: Vec::new(),
             trace: None,
+            coop: None,
         })
     }
 
     /// Record morsel claims into the query trace timeline.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Route block reads through a cooperative-scan registration. Workers of
+    /// one Exchange must pass clones of the SAME handle (one logical scan).
+    pub fn set_coop(&mut self, coop: CoopScanHandle) {
+        self.coop = Some(coop);
     }
 
     /// Ask the scan to skip decoding these output columns when a block is
@@ -335,7 +345,14 @@ impl VecScan {
                     .entry_range_for_sids(grp_start, grp_start + grp_rows as u64);
                 let mut cols = Vec::with_capacity(self.projection.len());
                 for &c in &self.projection {
-                    cols.push(ExecVector::from_storage(guard.read_column(g, c)?));
+                    let col = match &self.coop {
+                        Some(h) => {
+                            let bytes = h.fetch(guard.column_block_id(g, c)?)?;
+                            guard.decode_column_from(g, c, &bytes)?
+                        }
+                        None => guard.read_column(g, c)?,
+                    };
+                    cols.push(ExecVector::from_storage(col));
                 }
                 drop(guard);
                 if lo == hi {
@@ -565,6 +582,7 @@ impl VecScan {
         for (k, pred) in &lg.preds {
             let cur = cursor_at(
                 &self.storage,
+                self.coop.as_ref(),
                 &self.projection,
                 lg.group,
                 &mut lg.cursors,
@@ -596,6 +614,7 @@ impl VecScan {
             if let Some(kpos) = self.key_cols.iter().position(|c| *c == Some(k)) {
                 let cur = cursor_at(
                     &self.storage,
+                    self.coop.as_ref(),
                     &self.projection,
                     lg.group,
                     &mut lg.cursors,
@@ -627,6 +646,7 @@ impl VecScan {
                 None => {
                     let cur = cursor_at(
                         &self.storage,
+                        self.coop.as_ref(),
                         &self.projection,
                         lg.group,
                         &mut lg.cursors,
@@ -684,13 +704,22 @@ impl VecScan {
 /// Open (once) and return the cursor of projected column `k`.
 fn cursor_at<'a>(
     storage: &Arc<RwLock<TableStorage>>,
+    coop: Option<&CoopScanHandle>,
     projection: &[usize],
     group: usize,
     cursors: &'a mut [Option<BlockCursor>],
     k: usize,
 ) -> Result<&'a mut BlockCursor> {
     if cursors[k].is_none() {
-        cursors[k] = Some(storage.read().read_column_cursor(group, projection[k])?);
+        let guard = storage.read();
+        let cursor = match coop {
+            Some(h) => {
+                let bytes = h.fetch(guard.column_block_id(group, projection[k])?)?;
+                guard.column_cursor_from(group, projection[k], bytes)?
+            }
+            None => guard.read_column_cursor(group, projection[k])?,
+        };
+        cursors[k] = Some(cursor);
     }
     Ok(cursors[k].as_mut().unwrap())
 }

@@ -257,6 +257,10 @@ pub struct QueryProfile {
     pub wall: Duration,
     /// Degree of parallelism the query ran at.
     pub dop: usize,
+    /// The query's id in the history ring (`vw_queries.query_id`).
+    pub query_id: u64,
+    /// Id of the session that ran the query (0 = no session).
+    pub session: u64,
     /// Morsels claimed from shared scan queues (0 for serial plans).
     pub morsels_claimed: usize,
     /// Hash-join builds actually executed (shared builds count once).
@@ -278,11 +282,15 @@ impl QueryProfile {
     /// Render the annotated plan tree, `EXPLAIN ANALYZE` style.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "Query: {:.3} ms, dop={}, {} rows",
+            "Query: {:.3} ms, dop={}, {} rows, id={}",
             self.wall.as_secs_f64() * 1e3,
             self.dop,
-            self.root.rows_out()
+            self.root.rows_out(),
+            self.query_id
         );
+        if self.session != 0 {
+            s.push_str(&format!(", session={}", self.session));
+        }
         if self.morsels_claimed > 0 || self.builds_executed > 0 {
             s.push_str(&format!(
                 ", morsels={}, builds={}",

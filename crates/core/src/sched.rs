@@ -1,0 +1,325 @@
+//! Admission control for concurrent query serving.
+//!
+//! The [`Scheduler`] gates query *start* against the database-wide memory
+//! ledger: each query declares an admission estimate (`want` bytes, derived
+//! from its plan shape) and blocks until that many bytes of headroom exist.
+//! Grants are pure scheduler bookkeeping — they never reserve on the ledger
+//! itself; actual operator memory flows through the per-query
+//! [`MemBudget`](crate::mem::MemBudget) chained onto the ledger. This split
+//! keeps the invariant exact: the sum of outstanding grants never exceeds
+//! the limit, so "no query start exceeds the global ledger" holds by
+//! construction (tracked in [`AdmissionStats::violations`], which must stay
+//! zero).
+//!
+//! Fairness: waiters queue FIFO, with two escapes so short queries aren't
+//! starved behind a long one:
+//!
+//! 1. **Gap fill** — a non-head waiter may start if enough headroom remains
+//!    to admit both it *and* the head (the head loses nothing).
+//! 2. **Small-query bypass** — if the head cannot start right now, a waiter
+//!    wanting ≤ 1/4 of the head's estimate may jump it, at most
+//!    [`MAX_HEAD_BYPASS`] times per head (so the head's wait is bounded).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// How many times small queries may bypass one blocked head-of-queue waiter
+/// before strict FIFO resumes for it.
+const MAX_HEAD_BYPASS: u64 = 8;
+
+/// Waiters re-check admission at least this often even without a wakeup
+/// (ledger headroom can also appear via per-query budget releases, which
+/// don't signal the scheduler's condvar).
+const ADMISSION_RECHECK: Duration = Duration::from_millis(100);
+
+/// Cumulative admission counters, snapshot via [`Scheduler::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted (every query is eventually admitted).
+    pub admitted: u64,
+    /// Queries that had to wait for headroom before starting.
+    pub waited: u64,
+    /// Small-query bypasses of a blocked head-of-queue waiter.
+    pub bypassed: u64,
+    /// High-water mark of simultaneously granted bytes.
+    pub peak_granted: u64,
+    /// Admissions that would have pushed grants past the limit (must be 0).
+    pub violations: u64,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    /// FIFO of waiting queries: (ticket, want-bytes).
+    queue: VecDeque<(u64, u64)>,
+    next_ticket: u64,
+    /// Bypasses charged against the current head; resets when the head
+    /// changes.
+    head_bypassed: u64,
+    head_ticket: Option<u64>,
+    /// Sum of outstanding grant bytes.
+    granted_now: u64,
+    stats: AdmissionStats,
+}
+
+/// Concurrency-aware admission scheduler. One per [`Database`]; queries call
+/// [`admit`](Scheduler::admit) before execution and hold the returned grant
+/// until their operators have released all memory.
+///
+/// [`Database`]: crate::Database
+#[derive(Default)]
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Block until `want` bytes of admission headroom exist under `limit`,
+    /// then return an RAII grant. `limit = None` (unbounded ledger) admits
+    /// immediately with an empty grant.
+    pub fn admit(self: &Arc<Self>, limit: Option<u64>, want: u64) -> AdmissionGrant {
+        let Some(limit) = limit else {
+            self.state.lock().stats.admitted += 1;
+            return AdmissionGrant {
+                sched: self.clone(),
+                bytes: 0,
+            };
+        };
+        // An estimate above the limit could never start; clamp so every
+        // query is admissible on an idle system.
+        let want = want.clamp(1, limit);
+        let mut st = self.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back((ticket, want));
+        let mut waited = false;
+        loop {
+            if let Some(pos) = self.eligible(&st, ticket, want, limit) {
+                let head_changed = pos == 0;
+                if !head_changed {
+                    // Only a true bypass (head blocked, small query jumps)
+                    // counts; gap fills take nothing from the head.
+                    let (head_ticket, head_want) = st.queue[0];
+                    if st.head_ticket != Some(head_ticket) {
+                        // First charge against this head: start its budget.
+                        st.head_ticket = Some(head_ticket);
+                        st.head_bypassed = 0;
+                    }
+                    if st.granted_now + head_want > limit {
+                        st.head_bypassed += 1;
+                        st.stats.bypassed += 1;
+                    }
+                }
+                st.queue.retain(|&(t, _)| t != ticket);
+                if head_changed {
+                    st.head_bypassed = 0;
+                    st.head_ticket = st.queue.front().map(|&(t, _)| t);
+                }
+                st.granted_now += want;
+                if st.granted_now > limit {
+                    st.stats.violations += 1;
+                }
+                st.stats.peak_granted = st.stats.peak_granted.max(st.granted_now);
+                st.stats.admitted += 1;
+                if waited {
+                    st.stats.waited += 1;
+                }
+                drop(st);
+                // Another waiter may now be gap-fill eligible.
+                self.cv.notify_all();
+                return AdmissionGrant {
+                    sched: self.clone(),
+                    bytes: want,
+                };
+            }
+            waited = true;
+            self.cv.wait_for(&mut st, ADMISSION_RECHECK);
+        }
+    }
+
+    /// Position in the queue if `ticket` may start now, else `None`.
+    fn eligible(&self, st: &SchedState, ticket: u64, want: u64, limit: u64) -> Option<usize> {
+        if st.granted_now + want > limit {
+            return None;
+        }
+        let pos = st.queue.iter().position(|&(t, _)| t == ticket)?;
+        if pos == 0 {
+            return Some(0);
+        }
+        let (head_ticket, head_want) = st.queue[0];
+        // Gap fill: room for both me and the head.
+        if limit - st.granted_now >= want + head_want {
+            return Some(pos);
+        }
+        // Small-query bypass of a blocked head, bounded per head.
+        let head_blocked = st.granted_now + head_want > limit;
+        let charged = if st.head_ticket == Some(head_ticket) {
+            st.head_bypassed
+        } else {
+            0
+        };
+        if head_blocked && want.saturating_mul(4) <= head_want && charged < MAX_HEAD_BYPASS {
+            return Some(pos);
+        }
+        None
+    }
+
+    fn release(&self, bytes: u64) {
+        if bytes > 0 {
+            let mut st = self.state.lock();
+            st.granted_now = st.granted_now.saturating_sub(bytes);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Snapshot of the cumulative admission counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Bytes currently granted (for tests and gauges).
+    pub fn granted_now(&self) -> u64 {
+        self.state.lock().granted_now
+    }
+}
+
+/// RAII admission grant: holds `bytes` of scheduler headroom until dropped.
+/// Drop it only after the query's operators have released their memory.
+pub struct AdmissionGrant {
+    sched: Arc<Scheduler>,
+    bytes: u64,
+}
+
+impl AdmissionGrant {
+    /// Bytes this grant holds (0 on an unbounded ledger).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for AdmissionGrant {
+    fn drop(&mut self) {
+        self.sched.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn unbounded_admits_immediately() {
+        let s = Arc::new(Scheduler::new());
+        let g = s.admit(None, 1 << 30);
+        assert_eq!(g.bytes(), 0);
+        assert_eq!(s.stats().admitted, 1);
+        assert_eq!(s.stats().waited, 0);
+    }
+
+    #[test]
+    fn grants_never_exceed_limit() {
+        let s = Arc::new(Scheduler::new());
+        let limit = Some(1000);
+        let g1 = s.admit(limit, 600);
+        let peak = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            let peak = peak.clone();
+            handles.push(thread::spawn(move || {
+                let g = s.admit(Some(1000), 300);
+                peak.fetch_max(s.granted_now(), Ordering::Relaxed);
+                drop(g);
+            }));
+        }
+        drop(g1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.admitted, 9);
+        assert_eq!(st.violations, 0);
+        assert!(st.peak_granted <= 1000, "peak {} > limit", st.peak_granted);
+        assert_eq!(s.granted_now(), 0, "all grants returned");
+    }
+
+    #[test]
+    fn oversized_want_is_clamped_to_limit() {
+        let s = Arc::new(Scheduler::new());
+        let g = s.admit(Some(100), 10_000);
+        assert_eq!(g.bytes(), 100, "estimate clamps so the query can run");
+    }
+
+    #[test]
+    fn small_query_bypasses_blocked_head() {
+        let s = Arc::new(Scheduler::new());
+        // 1000-byte ledger, 400 in use: a 700-byte head blocks, and a
+        // 100-byte waiter (≤ 700/4) may jump it.
+        let _g0 = s.admit(Some(1000), 400);
+        let s2 = s.clone();
+        let blocker = thread::spawn(move || {
+            let g = s2.admit(Some(1000), 700); // blocked: 400+700 > 1000
+            drop(g);
+        });
+        // Wait until the 700-byte query is queued as head.
+        while s.state.lock().queue.is_empty() {
+            thread::yield_now();
+        }
+        let g_small = s.admit(Some(1000), 100);
+        assert_eq!(g_small.bytes(), 100);
+        let st = s.stats();
+        assert!(st.bypassed >= 1, "blocked-head jump recorded as bypass");
+        drop(_g0);
+        drop(g_small);
+        blocker.join().unwrap();
+        assert_eq!(s.stats().violations, 0);
+    }
+
+    #[test]
+    fn head_bypass_is_bounded() {
+        let s = Arc::new(Scheduler::new());
+        let big = s.admit(Some(1000), 900);
+        let s2 = s.clone();
+        let head = thread::spawn(move || {
+            // Head needs 800; blocked while `big` holds 900.
+            let g = s2.admit(Some(1000), 800);
+            drop(g);
+        });
+        while s.state.lock().queue.is_empty() {
+            thread::yield_now();
+        }
+        // Small queries (100 ≤ 800/4 = 200) may bypass the blocked head,
+        // but only MAX_HEAD_BYPASS times.
+        for _ in 0..MAX_HEAD_BYPASS {
+            let g = s.admit(Some(1000), 100);
+            drop(g);
+        }
+        assert_eq!(s.stats().bypassed, MAX_HEAD_BYPASS);
+        // The next small query must now wait behind the head.
+        let s3 = s.clone();
+        let waiter = thread::spawn(move || {
+            let g = s3.admit(Some(1000), 100);
+            drop(g);
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            s.stats().bypassed,
+            MAX_HEAD_BYPASS,
+            "bypass budget for this head is spent"
+        );
+        drop(big); // unblocks the head, then the waiter
+        head.join().unwrap();
+        waiter.join().unwrap();
+        let st = s.stats();
+        assert_eq!(st.violations, 0);
+        assert_eq!(s.granted_now(), 0);
+    }
+}

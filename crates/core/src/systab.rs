@@ -58,6 +58,7 @@ pub fn system_schema(name: &str) -> Schema {
             Field::new("dop", DataType::I64),
             Field::new("peak_mem_bytes", DataType::I64),
             Field::new("spill_bytes", DataType::I64),
+            Field::new("session_id", DataType::I64),
         ]),
         // One row per operator of each profiled query in the history ring.
         "vw_operator_stats" => Schema::new(vec![

@@ -48,6 +48,8 @@ pub struct TraceCollector {
     events: Mutex<Vec<TraceEvent>>,
     dropped: AtomicU64,
     cap: usize,
+    /// (query_id, session) attribution, rendered as chrome `otherData`.
+    meta: Mutex<Option<(u64, u64)>>,
 }
 
 impl Default for TraceCollector {
@@ -63,7 +65,20 @@ impl TraceCollector {
             events: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             cap: DEFAULT_EVENT_CAP,
+            meta: Mutex::new(None),
         }
+    }
+
+    /// Attribute this trace to a query (and session, 0 = none). Rendered
+    /// into the chrome JSON header so a timeline opened in Perfetto says
+    /// which query of which session it belongs to.
+    pub fn set_meta(&self, query_id: u64, session: u64) {
+        *self.meta.lock() = Some((query_id, session));
+    }
+
+    /// The (query_id, session) attribution, if set.
+    pub fn meta(&self) -> Option<(u64, u64)> {
+        *self.meta.lock()
     }
 
     /// Nanoseconds since the collector was created (query start).
@@ -106,7 +121,15 @@ impl TraceCollector {
     pub fn to_chrome_json(&self) -> String {
         let events = self.events.lock();
         let mut out = String::with_capacity(events.len() * 96 + 64);
-        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str("{\"displayTimeUnit\":\"ms\",");
+        if let Some((qid, session)) = self.meta() {
+            let _ = write!(
+                out,
+                "\"otherData\":{{\"query_id\":{},\"session\":{}}},",
+                qid, session
+            );
+        }
+        out.push_str("\"traceEvents\":[\n");
         for (i, e) in events.iter().enumerate() {
             let ts = e.ts_ns as f64 / 1e3;
             match e.dur_ns {
@@ -480,6 +503,7 @@ mod tests {
             events: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             cap: 2,
+            meta: Mutex::new(None),
         };
         let c = Arc::new(c);
         let h = TraceHandle::new(c.clone(), 0);

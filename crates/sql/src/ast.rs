@@ -30,13 +30,28 @@ pub enum Statement {
     /// `TRACE <query>`: execute with tracing forced on and return the
     /// per-worker timeline as chrome://tracing JSON.
     Trace(Box<Statement>),
-    /// `SET <name> = <constant>`: session configuration (memory budget,
-    /// parallelism, …). Bare words on the right parse as strings, so
-    /// `SET memory_budget = unbounded` works unquoted.
+    /// `SET [GLOBAL | LOCAL] <name> = <constant>`: configuration (memory
+    /// budget, parallelism, …). Bare words on the right parse as strings, so
+    /// `SET memory_budget = unbounded` works unquoted. Without a scope
+    /// keyword the statement applies to the current session when one exists,
+    /// else to the database.
     Set {
         name: String,
         value: AstExpr,
+        scope: SetScope,
     },
+}
+
+/// Scope of a `SET` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetScope {
+    /// No scope keyword: session if present, else global.
+    #[default]
+    Default,
+    /// `SET GLOBAL …`: the shared database config.
+    Global,
+    /// `SET LOCAL …`: this session only (errors without a session).
+    Local,
 }
 
 /// Column definition in CREATE TABLE.

@@ -46,10 +46,11 @@ pub enum BoundStatement {
         table: TableId,
         predicate: Option<Expr>,
     },
-    /// Session configuration: `SET <name> = <constant>`.
+    /// Configuration: `SET [GLOBAL | LOCAL] <name> = <constant>`.
     Set {
         name: String,
         value: Value,
+        scope: SetScope,
     },
 }
 
@@ -139,7 +140,7 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
                 predicate,
             })
         }
-        Statement::Set { name, value } => {
+        Statement::Set { name, value, scope } => {
             let bound = bind_scalar(value, &Scope::default())?;
             let value = bound
                 .eval_row(&[])
@@ -147,6 +148,7 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
             Ok(BoundStatement::Set {
                 name: name.to_ascii_lowercase(),
                 value,
+                scope: *scope,
             })
         }
     }

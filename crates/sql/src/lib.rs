@@ -26,7 +26,7 @@ pub mod binder;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AstExpr, SelectStmt, Statement};
+pub use ast::{AstExpr, SelectStmt, SetScope, Statement};
 pub use binder::{bind, BoundStatement, CatalogView};
 pub use parser::parse_statement;
 

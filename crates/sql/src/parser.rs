@@ -134,7 +134,20 @@ impl Parser {
     }
 
     fn set_stmt(&mut self) -> Result<Statement> {
-        let name = self.ident()?;
+        // GLOBAL/LOCAL are not reserved words: `SET global = 1` must still
+        // parse as an option named "global". A scope keyword is only
+        // recognized when another identifier (the option name) follows
+        // before the `=`.
+        let mut name = self.ident()?;
+        let mut scope = SetScope::Default;
+        if !matches!(self.peek(), TokenKind::Eq) {
+            scope = match name.to_ascii_lowercase().as_str() {
+                "global" => SetScope::Global,
+                "local" => SetScope::Local,
+                _ => return Err(self.err("expected = (or a GLOBAL/LOCAL scope)")),
+            };
+            name = self.ident()?;
+        }
         self.expect_kind(&TokenKind::Eq, "=")?;
         // A bare word (`unbounded`, `on`) is sugar for the string literal —
         // including keywords like ON, so `SET profiling = on` parses.
@@ -147,7 +160,7 @@ impl Parser {
             }
             _ => self.expr(0)?,
         };
-        Ok(Statement::Set { name, value })
+        Ok(Statement::Set { name, value, scope })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -963,6 +976,7 @@ mod tests {
             Statement::Set {
                 name: "memory_budget".into(),
                 value: AstExpr::Literal(Value::Str("16MiB".into())),
+                scope: SetScope::Default,
             }
         );
         assert_eq!(
@@ -970,6 +984,7 @@ mod tests {
             Statement::Set {
                 name: "parallelism".into(),
                 value: AstExpr::Literal(Value::I64(4)),
+                scope: SetScope::Default,
             }
         );
         // bare words — identifiers and keywords alike — become strings
@@ -978,6 +993,7 @@ mod tests {
             Statement::Set {
                 name: "memory_budget".into(),
                 value: AstExpr::Literal(Value::Str("unbounded".into())),
+                scope: SetScope::Default,
             }
         );
         assert_eq!(
@@ -985,9 +1001,41 @@ mod tests {
             Statement::Set {
                 name: "profiling".into(),
                 value: AstExpr::Literal(Value::Str("on".into())),
+                scope: SetScope::Default,
             }
         );
         assert!(parse_statement("SET = 3").is_err());
         assert!(parse_statement("SET x 3").is_err());
+    }
+
+    #[test]
+    fn set_statement_scopes() {
+        assert_eq!(
+            parse_statement("SET GLOBAL parallelism = 4").unwrap(),
+            Statement::Set {
+                name: "parallelism".into(),
+                value: AstExpr::Literal(Value::I64(4)),
+                scope: SetScope::Global,
+            }
+        );
+        assert_eq!(
+            parse_statement("SET local vector_size = 512").unwrap(),
+            Statement::Set {
+                name: "vector_size".into(),
+                value: AstExpr::Literal(Value::I64(512)),
+                scope: SetScope::Local,
+            }
+        );
+        // "global"/"local" stay usable as plain option names.
+        assert_eq!(
+            parse_statement("SET global = 1").unwrap(),
+            Statement::Set {
+                name: "global".into(),
+                value: AstExpr::Literal(Value::I64(1)),
+                scope: SetScope::Default,
+            }
+        );
+        assert!(parse_statement("SET GLOBAL LOCAL x = 1").is_err());
+        assert!(parse_statement("SET sideways parallelism = 4").is_err());
     }
 }

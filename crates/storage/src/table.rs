@@ -17,7 +17,7 @@ use crate::cursor::BlockCursor;
 use crate::simdisk::SimDisk;
 use std::sync::Arc;
 use vw_common::config::BLOCK_VALUES;
-use vw_common::{Result, Schema, Value, VwError};
+use vw_common::{BlockId, Result, Schema, Value, VwError};
 
 /// One row group: per-column blocks covering the same row range.
 #[derive(Debug, Clone)]
@@ -181,19 +181,40 @@ impl TableStorage {
         Ok(())
     }
 
-    /// Read and decode one column of one row group from disk.
-    pub fn read_column(&self, group: usize, col: usize) -> Result<NullableColumn> {
+    /// The column block metadata at `(group, col)`, bounds-checked.
+    fn block_at(&self, group: usize, col: usize) -> Result<&ColumnBlock> {
         let g = self
             .row_groups
             .get(group)
             .ok_or_else(|| VwError::Storage(format!("no row group {}", group)))?;
-        let blk = g
-            .columns
+        g.columns
             .get(col)
-            .ok_or_else(|| VwError::Storage(format!("no column {}", col)))?;
-        let bytes = self.disk.read_block(blk.block_id)?;
-        let decoded = decode_block(&bytes).map_err(|e| self.block_context(group, col, e))?;
-        if decoded.len() != g.n_rows {
+            .ok_or_else(|| VwError::Storage(format!("no column {}", col)))
+    }
+
+    /// Block id of one column of one row group. Cooperative scans use this
+    /// to register a scan's block set with the buffer manager and to fetch
+    /// blocks through it instead of straight off the disk.
+    pub fn column_block_id(&self, group: usize, col: usize) -> Result<BlockId> {
+        Ok(self.block_at(group, col)?.block_id)
+    }
+
+    /// Read and decode one column of one row group from disk.
+    pub fn read_column(&self, group: usize, col: usize) -> Result<NullableColumn> {
+        let bytes = self.disk.read_block(self.block_at(group, col)?.block_id)?;
+        self.decode_column_from(group, col, &bytes)
+    }
+
+    /// Decode a column block whose encoded bytes were fetched externally
+    /// (e.g. through the buffer manager's demand-fetch path).
+    pub fn decode_column_from(
+        &self,
+        group: usize,
+        col: usize,
+        bytes: &[u8],
+    ) -> Result<NullableColumn> {
+        let decoded = decode_block(bytes).map_err(|e| self.block_context(group, col, e))?;
+        if decoded.len() != self.row_groups[group].n_rows {
             return Err(self.block_context(
                 group,
                 col,
@@ -208,17 +229,19 @@ impl TableStorage {
     /// decode vector slices on demand and evaluate predicates on the encoded
     /// form.
     pub fn read_column_cursor(&self, group: usize, col: usize) -> Result<BlockCursor> {
-        let g = self
-            .row_groups
-            .get(group)
-            .ok_or_else(|| VwError::Storage(format!("no row group {}", group)))?;
-        let blk = g
-            .columns
-            .get(col)
-            .ok_or_else(|| VwError::Storage(format!("no column {}", col)))?;
-        let bytes = self.disk.read_block(blk.block_id)?;
+        let bytes = self.disk.read_block(self.block_at(group, col)?.block_id)?;
+        self.column_cursor_from(group, col, bytes)
+    }
+
+    /// Open a lazy [`BlockCursor`] over externally-fetched block bytes.
+    pub fn column_cursor_from(
+        &self,
+        group: usize,
+        col: usize,
+        bytes: Arc<Vec<u8>>,
+    ) -> Result<BlockCursor> {
         let cursor = BlockCursor::new(bytes).map_err(|e| self.block_context(group, col, e))?;
-        if cursor.n() != g.n_rows {
+        if cursor.n() != self.row_groups[group].n_rows {
             return Err(self.block_context(
                 group,
                 col,
