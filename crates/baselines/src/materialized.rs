@@ -94,6 +94,7 @@ fn compile_rec(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
                 None,
                 None,
                 naive,
+                false,
             )?))
         }
         LogicalPlan::Filter { input, predicate } => {

@@ -490,7 +490,47 @@ fn main() {
             }
         }
         smoke_selective(&db, sf);
-        write_bench_json("smoke", sf, &records, &[]);
+        // Power composite on every CI run: all 22 queries serial, with
+        // adaptivity on and then off, so BENCH_qph.json tracks the
+        // adaptive-execution delta build over build.
+        db.set_parallelism(1);
+        let mut power = [0.0f64; 2];
+        for (i, adapt) in ["on", "off"].iter().enumerate() {
+            db.execute(&format!("SET adaptivity = '{}'", adapt))
+                .expect("set adaptivity");
+            let mut times = Vec::new();
+            for (n, plan) in all_queries(&cat) {
+                let t = Instant::now();
+                let rows = db.run_plan(plan).expect("power query").rows.len();
+                let dt = t.elapsed().as_secs_f64().max(1e-6);
+                times.push(dt);
+                if i == 0 {
+                    records.push(BenchRecord::from_last_profile(
+                        &db,
+                        &format!("Q{}", n),
+                        dt * 1e3,
+                        rows,
+                    ));
+                }
+            }
+            power[i] = 3600.0 / geo_mean(&times);
+        }
+        println!(
+            "power (adaptivity on): {:.0}, power (adaptivity off): {:.0} ({:+.1}% delta)",
+            power[0],
+            power[1],
+            (power[0] / power[1] - 1.0) * 100.0
+        );
+        write_bench_json(
+            "smoke",
+            sf,
+            &records,
+            &[
+                ("power", power[0]),
+                ("power_adapt_off", power[1]),
+                ("power_adapt_ratio", power[0] / power[1]),
+            ],
+        );
         return;
     }
 

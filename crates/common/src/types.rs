@@ -207,8 +207,13 @@ impl Value {
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
             (false, false) => self.sql_cmp(other).unwrap_or_else(|| {
-                // Incomparable non-null values (type mismatch): order by type tag
-                // so sorting is still total and deterministic.
+                // SQL comparison is partial: NaN is incomparable to every
+                // double (including itself), and mismatched types have no
+                // order. Fall back to IEEE total order for float pairs and to
+                // type tags otherwise, so sorting stays total.
+                if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+                    return a.total_cmp(&b);
+                }
                 let ta = self.data_type().map(|t| t.name()).unwrap_or("");
                 let tb = other.data_type().map(|t| t.name()).unwrap_or("");
                 ta.cmp(tb)
@@ -474,14 +479,35 @@ mod tests {
             Value::I32(1),
             Value::Str("x".into()),
             Value::F64(0.5),
+            Value::F64(f64::NAN),
+            Value::F64(f64::NEG_INFINITY),
+            Value::F64(-0.0),
         ];
         // antisymmetry sanity: a<=b and b<=a implies a==b ordering-wise
         for a in &vals {
             for b in &vals {
                 let ab = a.total_cmp(b);
                 let ba = b.total_cmp(a);
-                assert_eq!(ab, ba.reverse());
+                assert_eq!(ab, ba.reverse(), "{:?} vs {:?}", a, b);
             }
         }
+        // transitivity: sorting must never see an ordering violation (NaN
+        // used to compare Equal to every double via the type-tag fallback).
+        let mut sorted = vals.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for w in sorted.windows(3) {
+            if w[0].total_cmp(&w[1]) == Ordering::Equal && w[1].total_cmp(&w[2]) == Ordering::Equal
+            {
+                assert_eq!(w[0].total_cmp(&w[2]), Ordering::Equal);
+            }
+        }
+        assert_eq!(
+            Value::F64(f64::NAN).total_cmp(&Value::F64(f64::NAN)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::F64(1.0).total_cmp(&Value::F64(f64::NAN)),
+            Ordering::Less
+        );
     }
 }

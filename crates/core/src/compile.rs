@@ -6,6 +6,7 @@
 //! `vw-baselines`, which is what makes the engine comparisons apples-to-
 //! apples.
 
+use crate::adapt::AggFeedback;
 use crate::mem::{MemBudget, MemTracker};
 use crate::morsel::{ExecStats, Morsel, MorselQueue, SharedExec};
 use crate::operators::perfect;
@@ -73,6 +74,10 @@ pub struct ExecContext {
     /// resolve their instruments once at compile time and never touch the
     /// registry lock while executing.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cross-query aggregation-path feedback (observed group counts,
+    /// perfect-hash refusals). Attached by the database when adaptivity is
+    /// on; `None` keeps the static path choice.
+    pub agg_feedback: Option<Arc<AggFeedback>>,
 }
 
 impl ExecContext {
@@ -90,6 +95,7 @@ impl ExecContext {
             spill_disk: None,
             trace: None,
             metrics: None,
+            agg_feedback: None,
         }
     }
 
@@ -150,7 +156,12 @@ fn compile_rec(
         )?),
         LogicalPlan::Filter { input, predicate } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
-            Box::new(VecFilter::new(child, predicate.clone(), naive)?)
+            Box::new(VecFilter::with_adaptivity(
+                child,
+                predicate.clone(),
+                naive,
+                ctx.config.adaptivity,
+            )?)
         }
         LogicalPlan::Project { input, exprs } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
@@ -229,7 +240,24 @@ fn compile_rec(
                 };
                 let provider = ctx.provider(*table_id)?;
                 let hints = int_key_hints(&provider.storage, &proj, group_by);
-                if perfect::plan_specs(&key_types, &hints).is_some() {
+                // Shape key in storage-column space: stable across queries
+                // whatever projection the rewriter picked.
+                let shape_keys: Vec<usize> = group_by
+                    .iter()
+                    .map(|&g| proj.get(g).copied().unwrap_or(g))
+                    .collect();
+                // History veto: if this (table, key-set) has already refused
+                // the perfect-hash path (budget) or blown past its domain,
+                // skip the speculative attempt and go generic from batch one.
+                let veto = ctx.config.adaptivity
+                    && ctx.agg_feedback.as_ref().is_some_and(|fb| {
+                        fb.veto_perfect(
+                            table_id.as_u64(),
+                            shape_keys.clone(),
+                            perfect::MAX_SLOTS as u64,
+                        )
+                    });
+                if !veto && perfect::plan_specs(&key_types, &hints).is_some() {
                     // Dictionary-coded string keys can skip decoding entirely
                     // — unless an aggregate argument also reads the column,
                     // in which case the decoded values are still needed.
@@ -268,7 +296,19 @@ fn compile_rec(
                 if let Some(t) = &ctx.trace {
                     agg.set_trace(t.clone());
                 }
-                agg.enable_perfect(&hints);
+                if let (true, Some(fb)) = (ctx.config.adaptivity, &ctx.agg_feedback) {
+                    agg.set_agg_feedback(fb.clone(), table_id.as_u64(), shape_keys);
+                }
+                if veto {
+                    // The adaptive path overrode the static choice; surface
+                    // it in the profile so EXPLAIN ANALYZE (and the
+                    // agg_path_switches_total counter) can say why.
+                    if let Some(p) = prof {
+                        p.add_extra("agg_adapt_veto", 1);
+                    }
+                } else {
+                    agg.enable_perfect(&hints);
+                }
                 Box::new(agg)
             } else {
                 let child = compile_rec(input, ctx, state, child_prof(0))?;
@@ -429,6 +469,7 @@ fn compile_scan(
         morsels,
         ctx.decode_cache.clone(),
         !ctx.config.rewrite_nulls,
+        ctx.config.adaptivity,
     )?;
     if let Some(c) = coop {
         scan.set_coop(c);

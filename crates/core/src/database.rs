@@ -28,7 +28,10 @@ use vw_common::config::{AggPath, EngineConfig};
 use vw_common::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
 use vw_common::{DataType, Result, Schema, TableId, Value, VwError};
 use vw_pdt::Pdt;
-use vw_plan::{optimize, rewrite_default, LogicalPlan, TableStats};
+use vw_plan::{
+    estimate_rows, fingerprint, fold_constants, optimize_with_feedback, parallelize, prune_columns,
+    push_down_filters, recordable, CardFeedback, LogicalPlan, TableStats,
+};
 use vw_sql::{compile_sql, BoundStatement, CatalogView, SetScope};
 use vw_storage::{SimDisk, SimDiskConfig, TableBuilder, TableStorage};
 use vw_txn::{checkpoint_table, materialize_image, Transaction, TxnManager};
@@ -146,6 +149,12 @@ struct CoreMetrics {
     morsels_claimed: Arc<Counter>,
     join_builds: Arc<Counter>,
     query_wall: Arc<Histogram>,
+    /// Conjunct-order changes made by micro-adaptive scans/filters.
+    adapt_reorders: Arc<Counter>,
+    /// Plan nodes whose cardinality estimate history corrected.
+    plan_corrections: Arc<Counter>,
+    /// Aggregation-path choices the feedback store overrode.
+    agg_path_switches: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -157,6 +166,9 @@ impl CoreMetrics {
             morsels_claimed: registry.counter("morsels_claimed_total", ""),
             join_builds: registry.counter("join_builds_total", ""),
             query_wall: registry.histogram("query_wall_ns", "", LATENCY_BUCKETS_NS),
+            adapt_reorders: registry.counter("adapt_reorders_total", ""),
+            plan_corrections: registry.counter("plan_corrections_total", ""),
+            agg_path_switches: registry.counter("agg_path_switches_total", ""),
         }
     }
 }
@@ -197,6 +209,13 @@ pub struct Database {
     /// Admission scheduler gating query start on ledger headroom.
     sched: Arc<Scheduler>,
     next_session_id: AtomicU64,
+    /// History-learned cardinality corrections keyed by normalized plan
+    /// shape. Consulted at optimize time, fed after every profiled query
+    /// (adaptivity on).
+    card_feedback: Mutex<CardFeedback>,
+    /// Cross-query aggregation-path feedback (group counts, perfect-hash
+    /// refusals), shared into running aggregates.
+    agg_feedback: Arc<crate::adapt::AggFeedback>,
 }
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -258,6 +277,8 @@ impl Database {
             ledger: RwLock::new(ledger),
             sched,
             next_session_id: AtomicU64::new(1),
+            card_feedback: Mutex::new(CardFeedback::new()),
+            agg_feedback: Arc::new(crate::adapt::AggFeedback::new()),
         })
     }
 
@@ -538,10 +559,29 @@ impl Database {
     }
 
     /// Optimize + rewrite with an explicit config snapshot.
+    ///
+    /// Rewrites run *before* the optimizer: after constant folding and
+    /// predicate pushdown the optimizer costs the same node shapes that
+    /// execute, which is what lets history fingerprints recorded from
+    /// executed plans match the shapes being costed here. With adaptivity on,
+    /// the cost model multiplies in any history-learned correction factors —
+    /// this is where a repeat query's join build side can flip.
     fn optimize_plan_with(&self, plan: LogicalPlan, config: &EngineConfig) -> LogicalPlan {
         let stats = self.stats.read().clone();
-        let plan = optimize(plan, &stats);
-        rewrite_default(plan, config.parallelism)
+        let plan = fold_constants(plan);
+        let plan = push_down_filters(plan);
+        let plan = if config.adaptivity {
+            let fb = self.card_feedback.lock();
+            optimize_with_feedback(plan, &stats, Some(&fb))
+        } else {
+            optimize_with_feedback(plan, &stats, None)
+        };
+        let plan = prune_columns(plan);
+        if config.parallelism > 1 {
+            parallelize(plan, config.parallelism)
+        } else {
+            plan
+        }
     }
 
     /// Execute a logical plan against the committed snapshot.
@@ -575,6 +615,13 @@ impl Database {
         session: u64,
     ) -> Result<QueryOutcome> {
         let plan = self.optimize_plan_with(plan, &config);
+        // The corrections the feedback store actually applied to this plan
+        // (for the metrics counter and the EXPLAIN ANALYZE feedback line).
+        let corrections = if config.adaptivity {
+            self.card_feedback.lock().applicable(&plan)
+        } else {
+            Vec::new()
+        };
         let schema = plan.schema()?;
         // Admission: block until the global ledger has headroom for this
         // plan's estimate. The grant (scheduler bookkeeping, not a ledger
@@ -591,6 +638,9 @@ impl Database {
             ctx.mem = Arc::new(MemBudget::chained(ctx.config.mem_budget_bytes, ledger));
         }
         self.provide_system_tables(&plan, &mut ctx)?;
+        if ctx.config.adaptivity {
+            ctx.agg_feedback = Some(self.agg_feedback.clone());
+        }
         let profiling = force || ctx.config.profiling;
         let root = profiling.then(|| OpProfile::from_plan(&plan));
         ctx.profile = root.clone();
@@ -630,10 +680,48 @@ impl Database {
                 },
                 decode: Some(self.decode_cache.stats().since(&decode_before)),
                 mem: ctx.mem.stats(),
+                plan_feedback: (!corrections.is_empty()).then(|| {
+                    corrections
+                        .iter()
+                        .map(|c| {
+                            format!("{} x{:.2} (shape {:016x})", c.node, c.factor, c.fingerprint)
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }),
             })
         });
         if let Some(p) = &profile {
+            // Feed the history stores and fold adaptive counters into the
+            // registry; profiled queries are the feedback loop's sensors.
+            if ctx.config.adaptivity {
+                let stats = self.stats.read().clone();
+                let mut fb = self.card_feedback.lock();
+                record_actuals(&plan, &p.root, &stats, &mut fb);
+            }
+            let mut reorders = 0u64;
+            let mut switches = 0u64;
+            for n in p.nodes() {
+                for (k, v) in n.extras() {
+                    match k {
+                        "adapt_reorders" => reorders += v,
+                        "agg_adapt_veto" => switches += v,
+                        _ => {}
+                    }
+                }
+            }
+            if reorders > 0 {
+                self.core_metrics.adapt_reorders.add(reorders);
+            }
+            if switches > 0 {
+                self.core_metrics.agg_path_switches.add(switches);
+            }
             *self.last_profile.write() = Some(p.clone());
+        }
+        if !corrections.is_empty() {
+            self.core_metrics
+                .plan_corrections
+                .add(corrections.len() as u64);
         }
         if let Some(c) = &collector {
             *self.last_trace.write() = Some(c.clone());
@@ -982,6 +1070,7 @@ impl Database {
             "profiling" => self.set_profiling(set_bool(value)?),
             "rewrite_nulls" => self.set_rewrite_nulls(set_bool(value)?),
             "agg_path" => self.config.write().agg_path = set_agg_path(value)?,
+            "adaptivity" => self.config.write().adaptivity = set_bool(value)?,
             other => {
                 return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
             }
@@ -1020,6 +1109,10 @@ impl Database {
             "agg_path" => {
                 let path = set_agg_path(value)?;
                 session.update_config(|c| c.agg_path = path);
+            }
+            "adaptivity" => {
+                let on = set_bool(value)?;
+                session.update_config(|c| c.adaptivity = on);
             }
             other => {
                 return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
@@ -1288,6 +1381,33 @@ fn set_agg_path(v: &Value) -> Result<AggPath> {
             "agg_path must be 'auto' or 'generic', got {}",
             other
         ))),
+    }
+}
+
+/// Record observed cardinalities into the feedback store. The profile tree
+/// is built from this very plan ([`OpProfile::from_plan`]), so the two trees
+/// are walked in lockstep: each recordable node that actually ran pairs its
+/// static estimate with the observed row count. Limit subtrees are skipped —
+/// an early cut-off makes every downstream "actual" an artifact of the fetch
+/// count, not of the data.
+fn record_actuals(
+    plan: &LogicalPlan,
+    prof: &Arc<OpProfile>,
+    stats: &HashMap<TableId, TableStats>,
+    fb: &mut CardFeedback,
+) {
+    if matches!(plan, LogicalPlan::Limit { .. }) {
+        return;
+    }
+    if recordable(plan) && prof.next_calls() > 0 {
+        fb.record(
+            fingerprint(plan),
+            estimate_rows(plan, stats),
+            prof.rows_out() as f64,
+        );
+    }
+    for (i, c) in plan.children().into_iter().enumerate() {
+        record_actuals(c, prof.child(i), stats, fb);
     }
 }
 

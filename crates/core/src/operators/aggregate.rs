@@ -24,6 +24,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::adapt::{AggFeedback, AggShapeKey};
 use crate::batch::{Batch, ExecVector};
 use crate::mem::MemTracker;
 use crate::profile::OpProfile;
@@ -439,6 +440,9 @@ pub struct HashAggregate {
     ran_perfect: bool,
     /// The perfect-hash path started but fell back to the generic table.
     perfect_fallback: bool,
+    /// Cross-query aggregation-path feedback store and this aggregate's
+    /// shape key, when the database attached one (adaptivity on).
+    feedback: Option<(Arc<AggFeedback>, AggShapeKey)>,
 }
 
 impl HashAggregate {
@@ -589,6 +593,7 @@ impl HashAggregate {
             perfect_specs: None,
             ran_perfect: false,
             perfect_fallback: false,
+            feedback: None,
         })
     }
 
@@ -615,6 +620,31 @@ impl HashAggregate {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Report this aggregate's outcomes (path refusals/successes, observed
+    /// group counts) into the cross-query feedback store under the given
+    /// `(table, key columns)` shape key.
+    pub fn set_agg_feedback(&mut self, fb: Arc<AggFeedback>, table: u64, keys: Vec<usize>) {
+        self.feedback = Some((fb, (table, keys)));
+    }
+
+    fn feedback_refusal(&self) {
+        if let Some((fb, (t, k))) = &self.feedback {
+            fb.record_refusal(*t, k.clone());
+        }
+    }
+
+    fn feedback_success(&self) {
+        if let Some((fb, (t, k))) = &self.feedback {
+            fb.record_success(*t, k.clone());
+        }
+    }
+
+    fn feedback_groups(&self, groups: u64) {
+        if let Some((fb, (t, k))) = &self.feedback {
+            fb.record_groups(*t, k.clone(), groups);
         }
     }
 
@@ -652,6 +682,11 @@ impl HashAggregate {
         });
         if pt.is_none() {
             self.input.disable_capture();
+            // A planned-but-refused table (budget said no) is a refusal the
+            // feedback store should remember; never having planned one isn't.
+            if self.perfect_specs.is_some() {
+                self.feedback_refusal();
+            }
         }
 
         while let Some((mut batch, key_codes)) = self.input.next()? {
@@ -710,6 +745,7 @@ impl HashAggregate {
                 // generic table with combine() semantics, then continue
                 // generically (capture off).
                 self.perfect_fallback = true;
+                self.feedback_refusal();
                 self.input.disable_capture();
                 let rows = t.rows(AggPhase::Partial, &self.avg_idxs);
                 let reserved = t.reserved_bytes;
@@ -820,7 +856,9 @@ impl HashAggregate {
         // the flat accumulators (spilling can never have happened).
         if let Some(t) = pt.take() {
             self.ran_perfect = true;
+            self.feedback_success();
             let rows = t.rows(self.phase, &self.avg_idxs);
+            self.feedback_groups(rows.len() as u64);
             let reserved = t.reserved_bytes;
             drop(t);
             self.mem.shrink(reserved);
@@ -858,6 +896,7 @@ impl HashAggregate {
 
         // Emit result rows chunked at vector size.
         let rows = self.result_rows(&table);
+        self.feedback_groups(rows.len() as u64);
         for chunk in rows.chunks(self.vector_size) {
             self.output.push(Batch::from_rows(&self.out_schema, chunk)?);
         }

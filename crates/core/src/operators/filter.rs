@@ -1,6 +1,18 @@
 //! The vectorized filter: evaluates a boolean expression per batch and emits
 //! a *selection vector* — no survivor copying (the X100 selection idiom).
+//!
+//! With adaptivity enabled the predicate's top-level conjuncts are compiled
+//! separately and evaluated in an observed-cost/selectivity order (see
+//! [`crate::adapt`]): each conjunct refines the batch's selection vector,
+//! and an empty selection short-circuits the rest. Chained selection
+//! refinement drops exactly the rows where any conjunct is false or NULL —
+//! the same set a single three-valued `AND` evaluation drops — so results
+//! are identical in any order; only the work spent differs.
 
+use crate::adapt::{
+    encode_order, AdaptiveOrder, FILTER_RERANK_BATCHES, MAX_REPORTED_CONJUNCTS, PRED_EVAL_KEYS,
+    PRED_PASS_KEYS,
+};
 use crate::batch::Batch;
 use crate::primitives::sel_from_bool;
 use crate::vexpr::ExprEvaluator;
@@ -13,19 +25,65 @@ use super::{BoxedOperator, Operator};
 /// Filter operator.
 pub struct VecFilter {
     input: BoxedOperator,
-    predicate: ExprEvaluator,
+    /// Whole-predicate evaluator (static path; also the naive-NULL mode).
+    predicate: Option<ExprEvaluator>,
+    /// Per-conjunct evaluators in static (plan) order (adaptive path).
+    conjuncts: Vec<ExprEvaluator>,
+    adapt: AdaptiveOrder,
     schema: Schema,
 }
 
 impl VecFilter {
     pub fn new(input: BoxedOperator, predicate: Expr, naive_nulls: bool) -> Result<VecFilter> {
+        Self::with_adaptivity(input, predicate, naive_nulls, false)
+    }
+
+    /// Like [`VecFilter::new`]; when `adaptive` is set and the predicate has
+    /// more than one conjunct, enables micro-adaptive conjunct ordering.
+    /// The naive-NULL mode (experiment E8) always takes the static path —
+    /// it exists to model an engine *without* these optimizations.
+    pub fn with_adaptivity(
+        input: BoxedOperator,
+        predicate: Expr,
+        naive_nulls: bool,
+        adaptive: bool,
+    ) -> Result<VecFilter> {
         let schema = input.schema().clone();
-        let predicate = ExprEvaluator::new(predicate, &schema, naive_nulls)?;
-        Ok(VecFilter {
-            input,
-            predicate,
-            schema,
-        })
+        let mut parts = Vec::new();
+        vw_plan::rewrite::pushdown::split_conjunction(&predicate, &mut parts);
+        if adaptive && !naive_nulls && parts.len() > 1 {
+            let conjuncts = parts
+                .into_iter()
+                .map(|e| ExprEvaluator::new(e, &schema, false))
+                .collect::<Result<Vec<_>>>()?;
+            let adapt = AdaptiveOrder::new(conjuncts.len(), FILTER_RERANK_BATCHES, true);
+            Ok(VecFilter {
+                input,
+                predicate: None,
+                conjuncts,
+                adapt,
+                schema,
+            })
+        } else {
+            let predicate = ExprEvaluator::new(predicate, &schema, naive_nulls)?;
+            Ok(VecFilter {
+                input,
+                predicate: Some(predicate),
+                conjuncts: Vec::new(),
+                adapt: AdaptiveOrder::new(0, FILTER_RERANK_BATCHES, false),
+                schema,
+            })
+        }
+    }
+
+    fn bool_vals(v: &crate::batch::ExecVector) -> Result<&[bool]> {
+        match &v.data {
+            ColumnData::Bool(b) => Ok(b),
+            other => Err(VwError::Exec(format!(
+                "filter produced {}, expected booleans",
+                other.type_name()
+            ))),
+        }
     }
 }
 
@@ -34,27 +92,69 @@ impl Operator for VecFilter {
         &self.schema
     }
 
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        let mut v = Vec::new();
+        if self.adapt.enabled() {
+            v.push(("adapt_order", encode_order(self.adapt.order())));
+            if self.adapt.reorders() > 0 {
+                v.push(("adapt_reorders", self.adapt.reorders()));
+            }
+            for (i, s) in self
+                .adapt
+                .stats()
+                .iter()
+                .enumerate()
+                .take(MAX_REPORTED_CONJUNCTS)
+            {
+                if s.evals > 0 {
+                    v.push((PRED_PASS_KEYS[i], (s.pass_rate() * 100.0).round() as u64));
+                    v.push((PRED_EVAL_KEYS[i], s.evals));
+                }
+            }
+        }
+        v
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         loop {
             let Some(mut batch) = self.input.next()? else {
                 return Ok(None);
             };
-            let v = self.predicate.eval(&batch)?;
-            let vals = match &v.data {
-                ColumnData::Bool(b) => b,
-                other => {
-                    return Err(VwError::Exec(format!(
-                        "filter produced {}, expected booleans",
-                        other.type_name()
-                    )))
+            if let Some(predicate) = &self.predicate {
+                // Static path: one three-valued evaluation of the whole tree.
+                let v = predicate.eval(&batch)?;
+                let vals = Self::bool_vals(&v)?;
+                let mut sel = Vec::new();
+                sel_from_bool(vals, v.nulls.as_deref(), batch.sel.as_deref(), &mut sel);
+                if sel.is_empty() {
+                    continue;
                 }
-            };
-            let mut sel = Vec::new();
-            sel_from_bool(vals, v.nulls.as_deref(), batch.sel.as_deref(), &mut sel);
-            if sel.is_empty() {
+                batch.sel = Some(sel);
+                return Ok(Some(batch));
+            }
+            // Adaptive path: conjuncts refine the selection in learned order.
+            self.adapt.tick();
+            let order: Vec<usize> = self.adapt.order().to_vec();
+            let mut alive = true;
+            for &cid in &order {
+                let rows_in = batch.sel.as_ref().map_or(batch.rows, |s| s.len());
+                let t0 = std::time::Instant::now();
+                let v = self.conjuncts[cid].eval(&batch)?;
+                let vals = Self::bool_vals(&v)?;
+                let mut sel = Vec::new();
+                sel_from_bool(vals, v.nulls.as_deref(), batch.sel.as_deref(), &mut sel);
+                self.adapt
+                    .observe(cid, rows_in, sel.len(), t0.elapsed().as_nanos() as u64);
+                let empty = sel.is_empty();
+                batch.sel = Some(sel);
+                if empty {
+                    alive = false;
+                    break;
+                }
+            }
+            if !alive {
                 continue;
             }
-            batch.sel = Some(sel);
             return Ok(Some(batch));
         }
     }
@@ -150,5 +250,35 @@ mod tests {
     fn non_boolean_predicate_errors() {
         let mut f = VecFilter::new(source(), Expr::col(0), false).unwrap();
         assert!(f.next().is_err());
+    }
+
+    /// Adaptive conjunct mode must drop exactly the rows the single-pass
+    /// evaluation drops — including rows where a conjunct is NULL.
+    #[test]
+    fn adaptive_conjuncts_match_static_results() {
+        let pred = Expr::and(
+            // NULL where v is NULL → row dropped either way.
+            Expr::binary(BinOp::Ge, Expr::col(1), Expr::lit(Value::I64(0))),
+            Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(17))),
+        );
+        let mut stat = VecFilter::new(source(), pred.clone(), false).unwrap();
+        let want = collect_rows(&mut stat).unwrap();
+        let mut adpt = VecFilter::with_adaptivity(source(), pred, false, true).unwrap();
+        let got = collect_rows(&mut adpt).unwrap();
+        assert_eq!(want, got);
+        assert!(!want.is_empty());
+        // Per-conjunct stats were observed and surfaced.
+        let extras = adpt.profile_extras();
+        assert!(extras.iter().any(|(k, _)| *k == "adapt_order"));
+        assert!(extras.iter().any(|(k, _)| *k == "pred0_pass_pct"));
+    }
+
+    /// A single-conjunct predicate silently takes the static path.
+    #[test]
+    fn single_conjunct_stays_static() {
+        let pred = Expr::binary(BinOp::Ge, Expr::col(0), Expr::lit(Value::I64(3)));
+        let f = VecFilter::with_adaptivity(source(), pred, false, true).unwrap();
+        assert!(f.predicate.is_some());
+        assert!(f.profile_extras().is_empty());
     }
 }

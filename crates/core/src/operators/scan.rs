@@ -19,6 +19,10 @@
 //! `sid == stable_rows`) form a virtual tail group that is never pruned; in
 //! morsel mode the tail is one queue unit claimed by exactly one worker.
 
+use crate::adapt::{
+    encode_order, AdaptiveOrder, MAX_REPORTED_CONJUNCTS, PRED_EVAL_KEYS, PRED_PASS_KEYS,
+    SCAN_RERANK_VECTORS,
+};
 use crate::batch::{Batch, ExecVector};
 use crate::morsel::{Morsel, MorselQueue};
 use crate::primitives::sel_from_bool;
@@ -88,8 +92,10 @@ struct LazyGroup {
     /// Encoded size per projected column (skipped-bytes accounting).
     enc_bytes: Vec<u64>,
     /// Pushed predicates still live for this group after zone-map `decide`
-    /// dropped the always-true ones: `(output column, predicate)`.
-    preds: Vec<(usize, Pred)>,
+    /// dropped the always-true ones: `(conjunct id, output column,
+    /// predicate)`. The conjunct id indexes the scan-wide adaptive-order
+    /// stats; evaluation order is decided per vector, not here.
+    preds: Vec<(usize, usize, Pred)>,
 }
 
 /// Compressed-execution counters surfaced by `EXPLAIN ANALYZE`.
@@ -141,6 +147,11 @@ pub struct VecScan {
     /// Per key column (in `key_cols` order): the codes of the batch just
     /// produced, when its decode was skipped.
     key_stash: Vec<Option<KeyCodes>>,
+    /// Micro-adaptive ordering of the pushed conjuncts: observed per-vector
+    /// selectivity and cost re-rank `enc_preds` every few vectors so the
+    /// cheapest/most-selective predicate empties the selection first (and
+    /// the rest are never evaluated on that vector).
+    adapt: AdaptiveOrder,
     /// Query trace: morsel claims become per-worker instant events.
     trace: Option<TraceHandle>,
     /// Cooperative-scan registration: when set, block reads go through the
@@ -225,7 +236,8 @@ impl VecScan {
     /// * `morsels` — shared work queue when running inside an Exchange
     ///   worker; `None` for a serial scan over all units,
     /// * `decode_cache` — shared cache of decoded vector slices (lazy path),
-    /// * `naive_nulls` — use the naive NULL interpreter (experiment E8).
+    /// * `naive_nulls` — use the naive NULL interpreter (experiment E8),
+    /// * `adaptive` — enable micro-adaptive ordering of pushed conjuncts.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         storage: Arc<RwLock<TableStorage>>,
@@ -236,6 +248,7 @@ impl VecScan {
         morsels: Option<Arc<MorselQueue>>,
         decode_cache: Option<Arc<DecodeCache>>,
         naive_nulls: bool,
+        adaptive: bool,
     ) -> Result<VecScan> {
         let out_schema = storage.read().schema().project(&projection);
         let mut groups_pruned = 0u64;
@@ -266,6 +279,12 @@ impl VecScan {
         let filter = filter
             .map(|f| ExprEvaluator::new(f, &out_schema, naive_nulls))
             .transpose()?;
+        // One conjunct can't be reordered; keep the machinery off entirely.
+        let adapt = AdaptiveOrder::new(
+            enc_preds.len(),
+            SCAN_RERANK_VECTORS,
+            adaptive && enc_preds.len() > 1,
+        );
         Ok(VecScan {
             storage,
             pdt,
@@ -283,6 +302,7 @@ impl VecScan {
             groups_pruned,
             key_cols: Vec::new(),
             key_stash: Vec::new(),
+            adapt,
             trace: None,
             coop: None,
         })
@@ -483,7 +503,7 @@ impl VecScan {
             return Ok(None);
         }
         let mut preds = Vec::new();
-        for (k, pred) in &self.enc_preds {
+        for (cid, (k, pred)) in self.enc_preds.iter().enumerate() {
             let cb = &grp.columns[self.projection[*k]];
             match pred.decide(&cb.minmax, cb.has_nulls) {
                 Some(false) => {
@@ -497,7 +517,7 @@ impl VecScan {
                     return Ok(None);
                 }
                 Some(true) => {}
-                None => preds.push((*k, pred.clone())),
+                None => preds.push((cid, *k, pred.clone())),
             }
         }
         let block_ids = self
@@ -569,6 +589,11 @@ impl VecScan {
         for s in &mut self.key_stash {
             *s = None;
         }
+        // Re-rank window advances per vector so even single-group tables
+        // adapt; the order just decided applies to this vector.
+        self.adapt.tick();
+        let adaptive = self.adapt.enabled();
+        let order: Vec<usize> = self.adapt.order().to_vec();
         let Some(Unit::Lazy(lg)) = self.current.as_mut() else {
             unreachable!("lazy_step without a lazy unit")
         };
@@ -579,7 +604,14 @@ impl VecScan {
         let n = to - from;
         let ctr = &mut self.counters;
         let mut sel: Option<Vec<u32>> = None;
-        for (k, pred) in &lg.preds {
+        // Conjunction by sorted-position intersection is commutative, so any
+        // evaluation order yields bit-identical selections; the adaptive
+        // order only changes how soon an empty intersection short-circuits
+        // the remaining (never-evaluated) conjuncts.
+        for &cid in &order {
+            let Some((_, k, pred)) = lg.preds.iter().find(|(c, _, _)| *c == cid) else {
+                continue; // dropped by zone-map `decide` for this group
+            };
             let cur = cursor_at(
                 &self.storage,
                 self.coop.as_ref(),
@@ -589,7 +621,12 @@ impl VecScan {
                 *k,
             )?;
             ctr.enc_evals += 1;
+            let t0 = adaptive.then(std::time::Instant::now);
             let s = cur.eval_pred(pred, from, to)?;
+            if let Some(t0) = t0 {
+                self.adapt
+                    .observe(cid, n, s.len(), t0.elapsed().as_nanos() as u64);
+            }
             sel = Some(match sel {
                 None => s,
                 Some(prev) => intersect_sorted(&prev, &s),
@@ -900,6 +937,24 @@ impl super::Operator for VecScan {
         if c.key_coded > 0 {
             v.push(("key_coded", c.key_coded));
         }
+        if self.adapt.enabled() {
+            v.push(("adapt_order", encode_order(self.adapt.order())));
+            if self.adapt.reorders() > 0 {
+                v.push(("adapt_reorders", self.adapt.reorders()));
+            }
+            for (i, s) in self
+                .adapt
+                .stats()
+                .iter()
+                .enumerate()
+                .take(MAX_REPORTED_CONJUNCTS)
+            {
+                if s.evals > 0 {
+                    v.push((PRED_PASS_KEYS[i], (s.pass_rate() * 100.0).round() as u64));
+                    v.push((PRED_EVAL_KEYS[i], s.evals));
+                }
+            }
+        }
         v
     }
 
@@ -981,6 +1036,7 @@ mod tests {
             None,
             None,
             false,
+            true,
         )
         .unwrap();
         collect_rows(&mut scan).unwrap()
@@ -1003,7 +1059,7 @@ mod tests {
         let pdt = Arc::new(Pdt::new(10));
         let rows = scan_all(&t, &pdt, vec![1, 0], None, 4);
         assert_eq!(rows[3], vec![Value::I64(3), Value::I64(3)]);
-        let s = VecScan::new(t, pdt, vec![1, 0], None, 4, None, None, false).unwrap();
+        let s = VecScan::new(t, pdt, vec![1, 0], None, 4, None, None, false, true).unwrap();
         assert_eq!(s.schema().field(0).name, "q");
         assert_eq!(s.schema().field(1).name, "k");
     }
@@ -1095,6 +1151,7 @@ mod tests {
                 Some(q.clone()),
                 None,
                 false,
+                true,
             )
             .unwrap();
             all.extend(collect_rows(&mut scan).unwrap());
@@ -1119,5 +1176,50 @@ mod tests {
         let pdt = Arc::new(Pdt::new(5));
         let rows = scan_all(&t, &pdt, vec![0], None, 1);
         assert_eq!(rows.len(), 5);
+    }
+
+    /// The acceptance shape for adaptivity: the selective conjunct is LAST
+    /// in the written predicate order, so the static order always evaluates
+    /// the pass-everything conjunct first. Adaptive ordering must converge
+    /// on the selective conjunct, cut encoded-predicate evaluations, and
+    /// return exactly the same rows.
+    #[test]
+    fn adaptive_order_cuts_enc_evals_and_preserves_results() {
+        fn run(adaptive: bool) -> (Vec<Vec<Value>>, u64, u64) {
+            let t = make_table(4000, 4000);
+            let pdt = Arc::new(Pdt::new(4000));
+            // q <= 8 passes 90% (zone maps can't decide: q ranges 0..9);
+            // k < 40 passes 1% and is written last.
+            let f = Expr::and(
+                Expr::binary(BinOp::Le, Expr::col(1), Expr::lit(Value::I64(8))),
+                Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(40))),
+            );
+            let mut scan =
+                VecScan::new(t, pdt, vec![0, 1], Some(f), 64, None, None, false, adaptive).unwrap();
+            let rows = collect_rows(&mut scan).unwrap();
+            let extras = scan.profile_extras();
+            let get = |key: &str| {
+                extras
+                    .iter()
+                    .find(|(n, _)| *n == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0)
+            };
+            (rows, get("enc_evals"), get("adapt_reorders"))
+        }
+        let (static_rows, static_evals, static_reorders) = run(false);
+        let (adapt_rows, adapt_evals, adapt_reorders) = run(true);
+        assert_eq!(static_rows, adapt_rows, "adaptivity changed results");
+        assert_eq!(static_rows.len(), 36); // k<40 minus q==9 rows
+        assert_eq!(static_reorders, 0);
+        assert!(adapt_reorders >= 1, "order never adapted");
+        let speedup = static_evals as f64 / adapt_evals.max(1) as f64;
+        assert!(
+            speedup >= 1.3,
+            "enc_evals {} -> {} (speedup {:.2}, want >= 1.3)",
+            static_evals,
+            adapt_evals,
+            speedup
+        );
     }
 }

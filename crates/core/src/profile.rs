@@ -276,6 +276,9 @@ pub struct QueryProfile {
     /// Execution-memory accounting: budget, high-water mark and spill volume
     /// for this query (all operators, all workers).
     pub mem: crate::mem::MemStats,
+    /// History-learned cardinality corrections the optimizer applied to this
+    /// plan, one human-readable entry per corrected node (adaptivity on).
+    pub plan_feedback: Option<String>,
 }
 
 impl QueryProfile {
@@ -346,6 +349,9 @@ impl QueryProfile {
                 ));
             }
             s.push('\n');
+        }
+        if let Some(f) = &self.plan_feedback {
+            s.push_str(&format!("vw_plan_feedback: {}\n", f));
         }
         self.root.render_into(0, &mut s);
         s

@@ -1,0 +1,477 @@
+//! Plan-shape fingerprinting and history-corrected cardinality estimates.
+//!
+//! The optimizer's static estimates (equi-width histograms, FK-join and
+//! square-root rules) are wrong in predictable ways, and a served system sees
+//! the same query shapes again and again. This module closes that loop:
+//! every executed Scan/Filter/Join node is fingerprinted by its *normalized
+//! shape* (table set + join edges + predicate skeleton with literals
+//! abstracted), the observed `(estimated, actual)` pair is folded into a
+//! damped per-shape correction factor, and [`crate::optimizer`] multiplies
+//! repeat estimates by that factor — flipping e.g. a join build-side choice
+//! once history proves the static guess wrong.
+//!
+//! Design constraints:
+//!
+//! * **Rewrite-invariant fingerprints.** The shape recorded after execution
+//!   (filters pushed into scans, Exchange inserted, aggregates split into
+//!   partial/final, build sides possibly swapped behind a restoring Project)
+//!   must hash identically to the shape the optimizer sees. Hence Project /
+//!   Sort / Exchange / partial-Aggregate nodes are transparent, inner-join
+//!   children combine commutatively, equivalence-column indexes and literal
+//!   values are ignored, and a Filter directly over a (transparently wrapped)
+//!   Scan hashes as if the predicate were pushed into the scan.
+//! * **Damped, banded corrections.** A single unlucky literal must not whip
+//!   the planner around: corrections move halfway toward each new
+//!   observation, are clamped to `[1/32, 32]`, and only *apply* once at least
+//!   [`MIN_SAMPLES`] observations agree on a factor outside the dead band
+//!   `[2/3, 3/2]` (inside the band the static estimate is already good
+//!   enough to not re-decide anything).
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::plan::{AggPhase, JoinKind, LogicalPlan};
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Observations required before a correction factor is trusted.
+pub const MIN_SAMPLES: u32 = 2;
+/// Correction factors are clamped to `[1/MAX_FACTOR, MAX_FACTOR]`.
+pub const MAX_FACTOR: f64 = 32.0;
+/// Factors inside `[1/APPLY_BAND, APPLY_BAND]` are not worth applying.
+pub const APPLY_BAND: f64 = 1.5;
+/// Bounded shape memory; arbitrary eviction past this (the workload of one
+/// process rarely has more than a few dozen distinct shapes).
+const MAX_SHAPES: usize = 1024;
+
+fn mix(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+// Node tags. Distinct constants so e.g. an unfiltered scan and a LIMIT 0
+// can't collide structurally.
+const TAG_SCAN: u64 = 0x5343;
+const TAG_JOIN: u64 = 0x4a4f;
+const TAG_AGG: u64 = 0x4147;
+const TAG_LIMIT: u64 = 0x4c49;
+
+// Expression-skeleton tags: operator *classes*, not exact ops, and literal
+// *presence*, not values — `x < 10` and `x <= 20` are the same shape.
+const SK_COL: u64 = 1;
+const SK_LIT: u64 = 2;
+const SK_EQ: u64 = 3;
+const SK_RANGE: u64 = 4;
+const SK_ARITH: u64 = 5;
+const SK_NOT: u64 = 6;
+const SK_NULLTEST: u64 = 7;
+const SK_LIKE: u64 = 8;
+const SK_INLIST: u64 = 9;
+const SK_OR: u64 = 10;
+const SK_OTHER: u64 = 11;
+
+/// Structural hash of one predicate conjunct. Column indexes are *not*
+/// included: column pruning and projection pushdown renumber them between
+/// the plan the optimizer sees and the plan that executes.
+fn skeleton(e: &Expr) -> u64 {
+    let h = FNV_OFFSET;
+    match e {
+        Expr::Col(_) => mix(h, SK_COL),
+        Expr::Lit(_) => mix(h, SK_LIT),
+        Expr::Cast(inner, _) => skeleton(inner),
+        Expr::Binary { op, l, r } => {
+            let tag = match op {
+                BinOp::Eq | BinOp::Ne => SK_EQ,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => SK_RANGE,
+                BinOp::Or => SK_OR,
+                BinOp::And => SK_OTHER, // conjuncts are split before hashing
+                _ => SK_ARITH,
+            };
+            // Comparisons hash their operand shapes commutatively so
+            // `lit < col` and `col > lit` (the same predicate) collide.
+            mix(mix(h, tag), skeleton(l).wrapping_add(skeleton(r)))
+        }
+        Expr::Unary { op, e } => {
+            let tag = match op {
+                UnOp::Not => SK_NOT,
+                UnOp::IsNull | UnOp::IsNotNull => SK_NULLTEST,
+                _ => SK_OTHER,
+            };
+            mix(mix(h, tag), skeleton(e))
+        }
+        Expr::Like { e, .. } => mix(mix(h, SK_LIKE), skeleton(e)),
+        Expr::InList { e, .. } => mix(mix(h, SK_INLIST), skeleton(e)),
+        Expr::Substr { e, .. } | Expr::Extract { e, .. } | Expr::AddMonths { e, .. } => {
+            mix(mix(h, SK_OTHER), skeleton(e))
+        }
+        _ => mix(h, SK_OTHER),
+    }
+}
+
+/// Order-insensitive skeleton of a whole predicate: the conjuncts of the
+/// top-level AND combine by wrapping addition, so pushdown splitting or
+/// adaptive reordering of conjuncts never changes the hash.
+fn pred_skeleton(e: &Expr) -> u64 {
+    let mut parts = Vec::new();
+    crate::rewrite::pushdown::split_conjunction(e, &mut parts);
+    parts
+        .iter()
+        .fold(0u64, |acc, p| acc.wrapping_add(skeleton(p)))
+}
+
+/// Strip nodes that don't change the logical shape: Project (including the
+/// build-side-swap restoring projection), Sort, Exchange, and the *partial*
+/// half of a split aggregate.
+fn strip_transparent(plan: &LogicalPlan) -> &LogicalPlan {
+    match plan {
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Exchange { input, .. } => strip_transparent(input),
+        LogicalPlan::Aggregate {
+            input,
+            phase: AggPhase::Partial,
+            ..
+        } => strip_transparent(input),
+        other => other,
+    }
+}
+
+/// Fingerprint of a plan node's normalized shape. Stable across the
+/// rewriter (constant folding, predicate pushdown, column pruning,
+/// parallelization) and the optimizer's build-side swap.
+pub fn fingerprint(plan: &LogicalPlan) -> u64 {
+    fp(strip_transparent(plan), 0)
+}
+
+/// `pending` carries the skeleton of enclosing Filter predicates downward,
+/// mirroring what `push_down_filters` does to the plan itself, so
+/// `Filter(Scan)` before pushdown equals `Scan{filter}` after.
+fn fp(plan: &LogicalPlan, pending: u64) -> u64 {
+    match plan {
+        LogicalPlan::Scan {
+            table_id, filter, ..
+        } => {
+            let ps = filter
+                .as_ref()
+                .map(pred_skeleton)
+                .unwrap_or(0)
+                .wrapping_add(pending);
+            mix(mix(mix(FNV_OFFSET, TAG_SCAN), table_id.as_u64()), ps)
+        }
+        LogicalPlan::Filter { input, predicate } => fp(
+            strip_transparent(input),
+            pending.wrapping_add(pred_skeleton(predicate)),
+        ),
+        LogicalPlan::Join {
+            left, right, kind, ..
+        } => {
+            let l = fingerprint(left);
+            let r = fingerprint(right);
+            let kids = match kind {
+                // Build-side swaps must not change the hash.
+                JoinKind::Inner => l.wrapping_add(r),
+                _ => mix(l, r),
+            };
+            let h = mix(mix(mix(FNV_OFFSET, TAG_JOIN), *kind as u64), kids);
+            mix(h, pending)
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            // Partial phases were stripped by the caller; Single and Final
+            // hash identically so the parallel split is invisible.
+            let h = mix(
+                mix(mix(FNV_OFFSET, TAG_AGG), group_by.len() as u64),
+                fingerprint(input),
+            );
+            mix(h, pending)
+        }
+        LogicalPlan::Limit {
+            input,
+            offset,
+            fetch,
+        } => {
+            let h = mix(
+                mix(mix(FNV_OFFSET, TAG_LIMIT), *offset),
+                fetch.wrapping_add(fingerprint(input)),
+            );
+            mix(h, pending)
+        }
+        // Transparent nodes reached directly (not via strip): delegate.
+        other => {
+            let stripped = strip_transparent(other);
+            if std::ptr::eq(stripped, other) {
+                mix(FNV_OFFSET, pending) // unreachable today; safe default
+            } else {
+                fp(stripped, pending)
+            }
+        }
+    }
+}
+
+/// Should history record/correct this node kind? Aggregates are excluded on
+/// purpose: correcting the square-root group-count rule would perturb join
+/// build sides *above* aggregates and change floating-point summation
+/// order between runs — the history loop must never make repeat executions
+/// of the same query non-deterministic. Scan/Filter/Join actuals are exact
+/// row counts with no such feedback hazard.
+pub fn recordable(plan: &LogicalPlan) -> bool {
+    matches!(
+        plan,
+        LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. } | LogicalPlan::Join { .. }
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Correction {
+    factor: f64,
+    samples: u32,
+}
+
+/// One applied (or applicable) correction, for observability.
+#[derive(Debug, Clone)]
+pub struct AppliedCorrection {
+    pub fingerprint: u64,
+    pub factor: f64,
+    pub node: &'static str,
+}
+
+/// Short node-kind label for observability lines.
+pub fn node_name(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Scan { .. } => "Scan",
+        LogicalPlan::Filter { .. } => "Filter",
+        LogicalPlan::Project { .. } => "Project",
+        LogicalPlan::Join { .. } => "Join",
+        LogicalPlan::Aggregate { .. } => "Aggregate",
+        LogicalPlan::Sort { .. } => "Sort",
+        LogicalPlan::Limit { .. } => "Limit",
+        LogicalPlan::Exchange { .. } => "Exchange",
+    }
+}
+
+/// Damped per-shape cardinality corrections learned from executed queries.
+#[derive(Debug, Default)]
+pub struct CardFeedback {
+    shapes: HashMap<u64, Correction>,
+}
+
+impl CardFeedback {
+    pub fn new() -> CardFeedback {
+        CardFeedback::default()
+    }
+
+    /// Fold one `(estimated, actual)` observation into the shape's factor.
+    pub fn record(&mut self, fp: u64, estimated: f64, actual: f64) {
+        if !estimated.is_finite() || !actual.is_finite() {
+            return;
+        }
+        let ratio = (actual.max(1.0) / estimated.max(1.0)).clamp(1.0 / MAX_FACTOR, MAX_FACTOR);
+        match self.shapes.get_mut(&fp) {
+            Some(c) => {
+                // Damped: move halfway toward the new observation.
+                c.factor += 0.5 * (ratio - c.factor);
+                c.factor = c.factor.clamp(1.0 / MAX_FACTOR, MAX_FACTOR);
+                c.samples = c.samples.saturating_add(1);
+            }
+            None => {
+                if self.shapes.len() >= MAX_SHAPES {
+                    if let Some(&k) = self.shapes.keys().next() {
+                        self.shapes.remove(&k);
+                    }
+                }
+                self.shapes.insert(
+                    fp,
+                    Correction {
+                        factor: ratio,
+                        samples: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The correction factor to apply for a shape, if it has enough samples
+    /// and is far enough from 1.0 to be worth acting on.
+    pub fn factor(&self, fp: u64) -> Option<f64> {
+        let c = self.shapes.get(&fp)?;
+        if c.samples >= MIN_SAMPLES && !(1.0 / APPLY_BAND..=APPLY_BAND).contains(&c.factor) {
+            Some(c.factor)
+        } else {
+            None
+        }
+    }
+
+    /// Raw factor regardless of gating (for introspection/tests).
+    pub fn raw_factor(&self, fp: u64) -> Option<(f64, u32)> {
+        self.shapes.get(&fp).map(|c| (c.factor, c.samples))
+    }
+
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Walk a plan and list every node whose estimate this feedback would
+    /// correct — the `vw_plan_feedback` line in EXPLAIN ANALYZE.
+    pub fn applicable(&self, plan: &LogicalPlan) -> Vec<AppliedCorrection> {
+        let mut out = Vec::new();
+        self.collect(plan, &mut out);
+        out
+    }
+
+    fn collect(&self, plan: &LogicalPlan, out: &mut Vec<AppliedCorrection>) {
+        if recordable(plan) {
+            if let Some(f) = self.factor(fingerprint(plan)) {
+                out.push(AppliedCorrection {
+                    fingerprint: fingerprint(plan),
+                    factor: f,
+                    node: node_name(plan),
+                });
+            }
+        }
+        for c in plan.children() {
+            self.collect(c, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite;
+    use vw_common::{DataType, Field, Schema, TableId, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::I64),
+            Field::new("b", DataType::I64),
+        ])
+    }
+
+    fn scan(id: u64) -> LogicalPlan {
+        LogicalPlan::scan(&format!("t{id}"), TableId::new(id), schema())
+    }
+
+    fn pred(lit: i64) -> Expr {
+        Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(Value::I64(lit)))
+    }
+
+    #[test]
+    fn fingerprint_survives_pushdown_and_pruning() {
+        let plan = scan(1).filter(pred(10));
+        let before = fingerprint(&plan);
+        let rewritten = rewrite::rewrite_default(plan, 1);
+        assert!(matches!(
+            rewritten,
+            LogicalPlan::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
+        assert_eq!(before, fingerprint(&rewritten));
+    }
+
+    #[test]
+    fn fingerprint_abstracts_literals_but_not_tables() {
+        assert_eq!(
+            fingerprint(&scan(1).filter(pred(10))),
+            fingerprint(&scan(1).filter(pred(99)))
+        );
+        assert_ne!(
+            fingerprint(&scan(1).filter(pred(10))),
+            fingerprint(&scan(2).filter(pred(10)))
+        );
+        // op class matters: range vs equality
+        let eq = Expr::eq(Expr::col(0), Expr::lit(Value::I64(10)));
+        assert_ne!(
+            fingerprint(&scan(1).filter(pred(10))),
+            fingerprint(&scan(1).filter(eq))
+        );
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_build_side_swap() {
+        let join = scan(1).join(scan(2), JoinKind::Inner, vec![(0, 1)]);
+        let before = fingerprint(&join);
+        // Simulate the optimizer's swap: Project over reversed join.
+        let swapped = scan(2).join(scan(1), JoinKind::Inner, vec![(1, 0)]);
+        let wrapped = LogicalPlan::Project {
+            input: Box::new(swapped),
+            exprs: vec![(Expr::col(2), "a".into()), (Expr::col(3), "b".into())],
+        };
+        assert_eq!(before, fingerprint(&wrapped));
+        // ...but a Semi join of the same children is a different shape.
+        let semi = scan(1).join(scan(2), JoinKind::Semi, vec![(0, 1)]);
+        assert_ne!(before, fingerprint(&semi));
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_parallel_agg_split() {
+        let agg = scan(1).filter(pred(5)).aggregate(vec![0], vec![]);
+        let serial = fingerprint(&agg);
+        let par = rewrite::rewrite_default(agg, 4);
+        assert_eq!(serial, fingerprint(&par));
+    }
+
+    #[test]
+    fn damping_and_gating() {
+        let mut fb = CardFeedback::new();
+        let fp = 42u64;
+        // One sample: never applied, however extreme.
+        fb.record(fp, 100.0, 1600.0);
+        assert_eq!(fb.factor(fp), None);
+        assert_eq!(fb.raw_factor(fp).unwrap().0, 16.0);
+        // Second agreeing sample: applied, damped toward the observation.
+        fb.record(fp, 100.0, 1600.0);
+        let f = fb.factor(fp).expect("two samples outside band apply");
+        assert!((f - 16.0).abs() < 1e-9);
+        // Contradicting samples pull it back toward 1 and out of use.
+        for _ in 0..8 {
+            fb.record(fp, 100.0, 100.0);
+        }
+        assert_eq!(fb.factor(fp), None);
+    }
+
+    #[test]
+    fn in_band_factors_do_not_apply() {
+        let mut fb = CardFeedback::new();
+        fb.record(7, 100.0, 120.0);
+        fb.record(7, 100.0, 120.0);
+        assert_eq!(fb.factor(7), None); // 1.2 is inside the dead band
+        fb.record(8, 100.0, 6.0);
+        fb.record(8, 100.0, 6.0);
+        assert!(fb.factor(8).unwrap() < 0.1); // far under-estimate applies
+    }
+
+    #[test]
+    fn extreme_ratios_are_clamped() {
+        let mut fb = CardFeedback::new();
+        fb.record(9, 1.0, 1.0e12);
+        fb.record(9, 1.0, 1.0e12);
+        assert_eq!(fb.factor(9), Some(MAX_FACTOR));
+        fb.record(10, 1.0e12, 1.0);
+        fb.record(10, 1.0e12, 1.0);
+        assert_eq!(fb.factor(10), Some(1.0 / MAX_FACTOR));
+    }
+
+    #[test]
+    fn applicable_walk_finds_corrected_nodes() {
+        let plan = scan(1).filter(pred(10));
+        let fp = fingerprint(&plan);
+        let mut fb = CardFeedback::new();
+        fb.record(fp, 10.0, 1000.0);
+        fb.record(fp, 10.0, 1000.0);
+        let hits = fb.applicable(&plan);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].fingerprint, fp);
+        assert_eq!(hits[0].node, "Filter");
+    }
+}

@@ -19,13 +19,15 @@
 //!   optimizer).
 
 pub mod expr;
+pub mod feedback;
 pub mod optimizer;
 pub mod plan;
 pub mod rewrite;
 pub mod stats;
 
 pub use expr::{AggExpr, AggFunc, BinOp, DatePart, Expr, UnOp};
-pub use optimizer::optimize;
+pub use feedback::{fingerprint, recordable, AppliedCorrection, CardFeedback};
+pub use optimizer::{estimate_rows, optimize, optimize_with_feedback};
 pub use plan::{JoinKind, LogicalPlan, SortKey};
 pub use rewrite::{fold_constants, parallelize, prune_columns, push_down_filters, rewrite_default};
 pub use stats::{ColStats, Histogram, TableStats};

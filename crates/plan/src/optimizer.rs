@@ -16,6 +16,7 @@
 //!   column order with a projection).
 
 use crate::expr::{BinOp, Expr, UnOp};
+use crate::feedback::{self, CardFeedback};
 use crate::plan::{JoinKind, LogicalPlan};
 use crate::stats::TableStats;
 use std::collections::HashMap;
@@ -121,14 +122,28 @@ fn estimate_cmp(
     let Some(sc) = col_map(col).and_then(|i| ts.cols.get(i)) else {
         return DEFAULT_RANGE_SEL;
     };
-    let x = match lit.as_f64().or_else(|| lit.as_i64().map(|v| v as f64)) {
+    let x = match lit
+        .as_f64()
+        .or_else(|| lit.as_i64().map(|v| v as f64))
+        // Date-shaped string literals (`col < '1995-01-01'` without an
+        // explicit DATE cast) still get the histogram path: Date columns
+        // build histograms over their day numbers.
+        .or_else(|| {
+            lit.as_str()
+                .and_then(vw_common::date::parse_date)
+                .map(|d| d as f64)
+        }) {
         Some(x) => x,
         None => {
-            // Non-numeric literal: distinct-based equality estimate only.
+            // Plain string literal: equality can use the distinct count,
+            // but ranges (`name < 'M'`) have no histogram to consult —
+            // use the default range selectivity, never an equality guess.
+            let nd = sc.n_distinct.max(1) as f64;
             return match op {
-                BinOp::Eq => 1.0 / sc.n_distinct as f64,
-                BinOp::Ne => 1.0 - 1.0 / sc.n_distinct as f64,
-                _ => DEFAULT_RANGE_SEL,
+                BinOp::Eq => 1.0 / nd,
+                BinOp::Ne => 1.0 - 1.0 / nd,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => DEFAULT_RANGE_SEL,
+                _ => DEFAULT_OTHER_SEL,
             };
         }
     };
@@ -148,6 +163,33 @@ fn estimate_cmp(
 
 /// Estimate output cardinality of a plan.
 pub fn estimate_rows(plan: &LogicalPlan, stats: &HashMap<TableId, TableStats>) -> f64 {
+    estimate_rows_with(plan, stats, None)
+}
+
+/// Estimate output cardinality, multiplying in any history-learned
+/// correction factor for this node's normalized shape (see
+/// [`crate::feedback`]). `fb = None` reproduces the static estimate.
+pub fn estimate_rows_with(
+    plan: &LogicalPlan,
+    stats: &HashMap<TableId, TableStats>,
+    fb: Option<&CardFeedback>,
+) -> f64 {
+    let base = estimate_rows_static(plan, stats, fb);
+    if let Some(fb) = fb {
+        if feedback::recordable(plan) {
+            if let Some(f) = fb.factor(feedback::fingerprint(plan)) {
+                return (base * f).max(1.0);
+            }
+        }
+    }
+    base
+}
+
+fn estimate_rows_static(
+    plan: &LogicalPlan,
+    stats: &HashMap<TableId, TableStats>,
+    fb: Option<&CardFeedback>,
+) -> f64 {
     match plan {
         LogicalPlan::Scan {
             table_id,
@@ -171,16 +213,16 @@ pub fn estimate_rows(plan: &LogicalPlan, stats: &HashMap<TableId, TableStats>) -
             }
         }
         LogicalPlan::Filter { input, predicate } => {
-            let in_rows = estimate_rows(input, stats);
+            let in_rows = estimate_rows_with(input, stats, fb);
             let schema = input.schema().unwrap_or_default();
             in_rows * selectivity(predicate, &schema, None, &|i| Some(i))
         }
-        LogicalPlan::Project { input, .. } => estimate_rows(input, stats),
+        LogicalPlan::Project { input, .. } => estimate_rows_with(input, stats, fb),
         LogicalPlan::Join {
             left, right, kind, ..
         } => {
-            let l = estimate_rows(left, stats);
-            let r = estimate_rows(right, stats);
+            let l = estimate_rows_with(left, stats, fb);
+            let r = estimate_rows_with(right, stats, fb);
             match kind {
                 // Classic FK-join guess: |L ⋈ R| ≈ max input size.
                 JoinKind::Inner | JoinKind::Left => (l * r / l.max(r).max(1.0)).max(1.0),
@@ -191,7 +233,7 @@ pub fn estimate_rows(plan: &LogicalPlan, stats: &HashMap<TableId, TableStats>) -
         LogicalPlan::Aggregate {
             input, group_by, ..
         } => {
-            let in_rows = estimate_rows(input, stats);
+            let in_rows = estimate_rows_with(input, stats, fb);
             if group_by.is_empty() {
                 1.0
             } else {
@@ -200,9 +242,11 @@ pub fn estimate_rows(plan: &LogicalPlan, stats: &HashMap<TableId, TableStats>) -
             }
         }
         LogicalPlan::Sort { input, .. } | LogicalPlan::Exchange { input, .. } => {
-            estimate_rows(input, stats)
+            estimate_rows_with(input, stats, fb)
         }
-        LogicalPlan::Limit { input, fetch, .. } => estimate_rows(input, stats).min(*fetch as f64),
+        LogicalPlan::Limit { input, fetch, .. } => {
+            estimate_rows_with(input, stats, fb).min(*fetch as f64)
+        }
     }
 }
 
@@ -252,10 +296,21 @@ pub fn order_relations(sizes: &[f64], edges: &[(usize, usize)]) -> Vec<usize> {
 
 /// Cost-based plan tweaks: currently build-side selection for inner joins.
 pub fn optimize(plan: LogicalPlan, stats: &HashMap<TableId, TableStats>) -> LogicalPlan {
+    optimize_with_feedback(plan, stats, None)
+}
+
+/// [`optimize`], with cardinality estimates corrected by execution history.
+/// A learned factor that pushes a child estimate across the swap threshold
+/// flips the join build side that static stats chose.
+pub fn optimize_with_feedback(
+    plan: LogicalPlan,
+    stats: &HashMap<TableId, TableStats>,
+    fb: Option<&CardFeedback>,
+) -> LogicalPlan {
     let children: Vec<LogicalPlan> = plan
         .children()
         .into_iter()
-        .map(|c| optimize(c.clone(), stats))
+        .map(|c| optimize_with_feedback(c.clone(), stats, fb))
         .collect();
     let node = plan.with_children(children);
     let LogicalPlan::Join {
@@ -268,8 +323,8 @@ pub fn optimize(plan: LogicalPlan, stats: &HashMap<TableId, TableStats>) -> Logi
     else {
         return node;
     };
-    let l_rows = estimate_rows(&left, stats);
-    let r_rows = estimate_rows(&right, stats);
+    let l_rows = estimate_rows_with(&left, stats, fb);
+    let r_rows = estimate_rows_with(&right, stats, fb);
     // Build happens on the right; if the left is (much) smaller, swap and
     // restore output column order with a projection.
     if l_rows * 1.5 < r_rows {
@@ -447,5 +502,95 @@ mod tests {
         let join2 = big.join(small, JoinKind::Inner, vec![(0, 1)]);
         let opt2 = optimize(join2.clone(), &stats);
         assert_eq!(opt2, join2);
+    }
+
+    #[test]
+    fn string_range_predicates_use_range_default() {
+        // `name < 'M'` on a string column: no histogram exists, so the
+        // estimate must be the default range selectivity — not the
+        // distinct-based equality guess (1/n_distinct would call a half-open
+        // alphabet range as selective as an exact match).
+        let s = stats_uniform_0_100();
+        let sch = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::I64),
+        ]);
+        for op in [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge] {
+            let e = Expr::binary(op, Expr::col(0), Expr::lit(Value::Str("M".into())));
+            let sel = selectivity(&e, &sch, Some(&s), &|i| Some(i));
+            assert_eq!(sel, DEFAULT_RANGE_SEL, "{:?}", op);
+        }
+        // Equality still uses the distinct count (col 0 has 101 distinct).
+        let eq = Expr::eq(Expr::col(0), Expr::lit(Value::Str("M".into())));
+        let sel = selectivity(&eq, &sch, Some(&s), &|i| Some(i));
+        assert!((sel - 1.0 / 101.0).abs() < 1e-9, "sel {}", sel);
+    }
+
+    #[test]
+    fn date_string_literals_hit_the_histogram() {
+        // A Date column's histogram is over day numbers; a date-shaped
+        // string literal should parse into that domain instead of falling
+        // back to the flat default.
+        let base = vw_common::date::parse_date("1995-01-01").unwrap();
+        let samples: Vec<f64> = (0..1000).map(|i| (base + i) as f64).collect();
+        let s = TableStats {
+            n_rows: 1000,
+            cols: vec![ColStats {
+                n_distinct: 1000,
+                null_fraction: 0.0,
+                histogram: Histogram::build(&samples),
+            }],
+        };
+        let e = Expr::binary(
+            BinOp::Lt,
+            Expr::col(0),
+            Expr::lit(Value::Str("1995-04-11".into())), // day 100 of 1000
+        );
+        let sel = selectivity(&e, &schema(), Some(&s), &|i| Some(i));
+        assert!((sel - 0.1).abs() < 0.03, "sel {}", sel);
+    }
+
+    #[test]
+    fn zero_distinct_does_not_divide_by_zero() {
+        let s = TableStats {
+            n_rows: 10,
+            cols: vec![ColStats {
+                n_distinct: 0,
+                null_fraction: 1.0,
+                histogram: None,
+            }],
+        };
+        let e = Expr::eq(Expr::col(0), Expr::lit(Value::Str("x".into())));
+        let sel = selectivity(&e, &schema(), Some(&s), &|i| Some(i));
+        assert!(sel.is_finite() && (0.0..=1.0).contains(&sel));
+    }
+
+    #[test]
+    fn feedback_flips_build_side() {
+        use crate::feedback::CardFeedback;
+        // Statically both sides look equal → no swap.
+        let mut stats = HashMap::new();
+        stats.insert(TableId::new(1), TableStats::unknown(1000, 2));
+        stats.insert(TableId::new(2), TableStats::unknown(1000, 2));
+        let l = LogicalPlan::scan("l", TableId::new(1), schema());
+        let r = LogicalPlan::scan("r", TableId::new(2), schema());
+        let join = l.clone().join(r.clone(), JoinKind::Inner, vec![(0, 1)]);
+        assert_eq!(optimize(join.clone(), &stats), join);
+        // History says the left side actually produces ~30x fewer rows than
+        // estimated; with the correction the optimizer now swaps.
+        let mut fb = CardFeedback::new();
+        let l_fp = crate::feedback::fingerprint(&l);
+        fb.record(l_fp, 1000.0, 40.0);
+        fb.record(l_fp, 1000.0, 40.0);
+        let opt = optimize_with_feedback(join.clone(), &stats, Some(&fb));
+        assert!(
+            matches!(&opt, LogicalPlan::Project { input, .. }
+                if matches!(&**input, LogicalPlan::Join { left, .. }
+                    if matches!(&**left, LogicalPlan::Scan { table, .. } if table == "r"))),
+            "expected history-corrected swap, got:\n{}",
+            opt.explain()
+        );
+        // Kill switch: without feedback the plan is untouched.
+        assert_eq!(optimize_with_feedback(join.clone(), &stats, None), join);
     }
 }
