@@ -19,7 +19,7 @@ use vw_core::operators::{
     drain_to_single_batch, BatchSource, BoxedOperator, HashAggregate, HashJoin, Operator,
     VecFilter, VecLimit, VecProject, VecScan, VecSort,
 };
-use vw_plan::LogicalPlan;
+use vw_plan::{JoinKind, LogicalPlan};
 
 /// Drains its child completely into one dense batch, then emits it once —
 /// the materialization barrier.
@@ -115,6 +115,19 @@ fn compile_rec(plan: &LogicalPlan, ctx: &ExecContext) -> Result<BoxedOperator> {
             let l = compile_rec(left, ctx)?;
             let r = compile_rec(right, ctx)?;
             let mut join = HashJoin::new(l, r, *kind, on.clone(), residual.clone(), naive)?;
+            join.set_mem_tracker(MemTracker::new(ctx.mem.clone()));
+            if let Some(d) = &ctx.spill_disk {
+                join.set_spill_disk(d.clone());
+            }
+            barrier(Box::new(join))
+        }
+        // The materialized baseline has no streaming merge join; an inner
+        // hash join produces the same rows (order is irrelevant behind full
+        // materialization barriers).
+        LogicalPlan::MergeJoin { left, right, on } => {
+            let l = compile_rec(left, ctx)?;
+            let r = compile_rec(right, ctx)?;
+            let mut join = HashJoin::new(l, r, JoinKind::Inner, on.clone(), None, naive)?;
             join.set_mem_tracker(MemTracker::new(ctx.mem.clone()));
             if let Some(d) = &ctx.spill_disk {
                 join.set_spill_disk(d.clone());

@@ -90,6 +90,16 @@ pub fn compile_row(plan: &LogicalPlan, ctx: &RowCtx) -> Result<BoxedRowOperator>
             residual.clone(),
             plan.schema()?,
         )),
+        // Tuple-at-a-time engine: an inner hash join stands in for the
+        // streaming merge join (same rows, order-insensitive baseline).
+        LogicalPlan::MergeJoin { left, right, on } => Box::new(RowHashJoin::new(
+            compile_row(left, ctx)?,
+            compile_row(right, ctx)?,
+            JoinKind::Inner,
+            on.clone(),
+            None,
+            plan.schema()?,
+        )),
         LogicalPlan::Aggregate {
             input,
             group_by,
@@ -724,8 +734,23 @@ impl RowOperator for RowSort {
             let keys = self.keys.clone();
             rows.sort_by(|a, b| {
                 for k in &keys {
-                    let ord = a[k.col].total_cmp(&b[k.col]);
-                    let ord = if k.asc { ord } else { ord.reverse() };
+                    // NULL placement is absolute (NULLS FIRST/LAST), not
+                    // flipped by DESC — only non-NULL values reverse.
+                    let ord = match (a[k.col].is_null(), b[k.col].is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) if k.nulls_first => std::cmp::Ordering::Less,
+                        (true, false) => std::cmp::Ordering::Greater,
+                        (false, true) if k.nulls_first => std::cmp::Ordering::Greater,
+                        (false, true) => std::cmp::Ordering::Less,
+                        (false, false) => {
+                            let o = a[k.col].total_cmp(&b[k.col]);
+                            if k.asc {
+                                o
+                            } else {
+                                o.reverse()
+                            }
+                        }
+                    };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
                     }
@@ -914,9 +939,7 @@ mod tests {
     #[test]
     fn sort_and_limit() {
         let (ctx, tid, schema) = setup(30);
-        let plan = scan(tid, &schema)
-            .sort(vec![SortKey { col: 0, asc: false }])
-            .limit(2, 3);
+        let plan = scan(tid, &schema).sort(vec![SortKey::desc(0)]).limit(2, 3);
         let mut op = compile_row(&plan, &ctx).unwrap();
         let rows = collect_row_engine(op.as_mut()).unwrap();
         assert_eq!(

@@ -223,6 +223,22 @@ fn smoke_selective(db: &vw_core::Database, sf: f64) {
         "selective smoke: {} column-vectors decoded, {} skipped undecoded",
         decoded, skipped
     );
+    // Under VW_PARTITIONS the whole schema loads range-partitioned on each
+    // table's first column — l_orderkey here — so this range predicate must
+    // rule out whole partitions before any zone map is consulted.
+    if vw_common::config::env_default_partitions().is_some() {
+        let parts = extras.get("partitions").copied().unwrap_or(0);
+        let pruned = extras.get("partitions_pruned").copied().unwrap_or(0);
+        assert!(
+            pruned > 0,
+            "partitioned layout should prune partitions for l_orderkey < {} \
+             (partitions={}, pruned={})",
+            cutoff,
+            parts,
+            pruned
+        );
+        println!("selective smoke: {} of {} partitions pruned", pruned, parts);
+    }
 }
 
 /// Multi-stream session throughput (Qthr) mode: N concurrent sessions over

@@ -74,6 +74,23 @@ fn env_agg_path(var: &str) -> AggPath {
     }
 }
 
+/// Environment variable giving tables created without an explicit
+/// `PARTITION BY` clause a default range-partitioned layout with this many
+/// partitions (`VW_PARTITIONS=4`; the partition column defaults to the
+/// leading declared sort column, else column 0). The `partitioned` CI leg
+/// uses this to exercise the multi-disk path on the whole suite. Unset,
+/// `0`, or `1` mean no default partitioning.
+pub const PARTITIONS_ENV: &str = "VW_PARTITIONS";
+
+/// Default partition count from [`PARTITIONS_ENV`]; `None` when unset or ≤ 1.
+pub fn env_default_partitions() -> Option<usize> {
+    let v = std::env::var(PARTITIONS_ENV).ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 1 => Some(n),
+        _ => None,
+    }
+}
+
 /// Environment variable acting as the global adaptivity kill switch
 /// (`VW_ADAPT=off` disables micro-adaptive predicate ordering,
 /// history-corrected cardinalities, and the self-tuning aggregation-path

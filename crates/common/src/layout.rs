@@ -1,0 +1,152 @@
+//! Declared physical table layout: sort order and range partitioning.
+//!
+//! Vertica's "C-Store 7 Years Later" retrospective credits most of its speed
+//! to physical design — sorted, segmented projections. This module is the
+//! declarative half of that idea for vectorwise-rs: a table may declare a
+//! sort order (`CREATE TABLE … ORDER BY (cols)`) and a range partitioning
+//! (`PARTITION BY RANGE(col) PARTITIONS n`). The storage layer keeps row
+//! groups physically sorted on the declared key and places each range
+//! partition on its own simulated disk; the planner consumes the declared
+//! order to elide sorts and plan streaming merge joins, and prunes whole
+//! partitions from range predicates.
+//!
+//! These types live in `vw-common` because sql (binder), storage, and core
+//! all need them and the dependency graph is strictly bottom-up.
+
+/// One column of a declared sort order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortSpec {
+    /// Column index into the table schema.
+    pub col: usize,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+    /// Whether NULLs sort before non-NULLs. The SQL default matches the
+    /// engine's historical behaviour: NULLS FIRST when ascending, NULLS LAST
+    /// when descending (i.e. NULLs are the smallest value).
+    pub nulls_first: bool,
+}
+
+impl SortSpec {
+    /// A sort spec with the default NULL placement for its direction.
+    pub fn new(col: usize, asc: bool) -> SortSpec {
+        SortSpec {
+            col,
+            asc,
+            nulls_first: asc,
+        }
+    }
+}
+
+/// Range partitioning declaration: split on one column into `partitions`
+/// buckets. Bounds are computed from the data at load/checkpoint time
+/// (equal-count quantile split), not declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangePartitionSpec {
+    /// Column index into the table schema.
+    pub col: usize,
+    /// Number of partitions (≥ 1; 1 behaves like an unpartitioned table).
+    pub partitions: usize,
+}
+
+/// The declared physical layout of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableLayout {
+    /// Declared sort order (empty = insertion order).
+    pub order: Vec<SortSpec>,
+    /// Declared range partitioning (None = single storage extent).
+    pub partition: Option<RangePartitionSpec>,
+}
+
+impl TableLayout {
+    /// A sort-only layout (no partitioning).
+    pub fn ordered(order: Vec<SortSpec>) -> TableLayout {
+        TableLayout {
+            order,
+            partition: None,
+        }
+    }
+
+    /// True if this layout requires no physical reorganization at all.
+    pub fn is_trivial(&self) -> bool {
+        self.order.is_empty() && self.partition_count() <= 1
+    }
+
+    /// Number of partitions (1 when unpartitioned).
+    pub fn partition_count(&self) -> usize {
+        self.partition.map_or(1, |p| p.partitions.max(1))
+    }
+
+    /// Does a scan of this table in physical group order deliver the full
+    /// declared sort order globally? True when unpartitioned, or when the
+    /// partition column is the leading ascending sort column (partitions are
+    /// stored in ascending range order, so the global sequence stays sorted;
+    /// NULLs land in partition 0, matching the NULLS FIRST default).
+    pub fn delivers_declared_order(&self) -> bool {
+        if self.order.is_empty() {
+            return false;
+        }
+        match self.partition {
+            None => true,
+            Some(_) if self.partition_count() <= 1 => true, // single extent
+            Some(p) => {
+                let lead = self.order[0];
+                p.col == lead.col && lead.asc && lead.nulls_first
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let l = TableLayout::default();
+        assert!(l.is_trivial());
+        assert_eq!(l.partition_count(), 1);
+        assert!(!l.delivers_declared_order());
+    }
+
+    #[test]
+    fn sort_spec_null_default_tracks_direction() {
+        assert!(SortSpec::new(0, true).nulls_first);
+        assert!(!SortSpec::new(0, false).nulls_first);
+    }
+
+    #[test]
+    fn delivered_order_rules() {
+        let ordered = TableLayout {
+            order: vec![SortSpec::new(2, true)],
+            partition: None,
+        };
+        assert!(ordered.delivers_declared_order());
+
+        let aligned = TableLayout {
+            order: vec![SortSpec::new(2, true)],
+            partition: Some(RangePartitionSpec {
+                col: 2,
+                partitions: 4,
+            }),
+        };
+        assert!(aligned.delivers_declared_order());
+
+        let misaligned = TableLayout {
+            order: vec![SortSpec::new(2, true)],
+            partition: Some(RangePartitionSpec {
+                col: 1,
+                partitions: 4,
+            }),
+        };
+        assert!(!misaligned.delivers_declared_order());
+
+        let desc = TableLayout {
+            order: vec![SortSpec::new(2, false)],
+            partition: Some(RangePartitionSpec {
+                col: 2,
+                partitions: 4,
+            }),
+        };
+        assert!(!desc.delivers_declared_order());
+    }
+}

@@ -14,6 +14,7 @@ pub mod date;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod layout;
 pub mod metrics;
 pub mod rng;
 pub mod schema;
@@ -23,6 +24,7 @@ pub use bitvec::BitVec;
 pub use config::VECTOR_SIZE;
 pub use error::{Result, VwError};
 pub use ids::{BlockId, ColId, Lsn, Rid, Sid, TableId, TxnId};
+pub use layout::{RangePartitionSpec, SortSpec, TableLayout};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricsRegistry};
 pub use schema::{Field, Schema};
 pub use types::{normalize_key_f64, DataType, Value};

@@ -11,8 +11,8 @@ use crate::mem::{MemBudget, MemTracker};
 use crate::morsel::{ExecStats, Morsel, MorselQueue, SharedExec};
 use crate::operators::perfect;
 use crate::operators::{
-    BoxedOperator, Exchange, HashAggregate, HashJoin, Operator, VecFilter, VecLimit, VecProject,
-    VecScan, VecSort,
+    BoxedOperator, Exchange, HashAggregate, HashJoin, MergeJoin, Operator, TopN, VecFilter,
+    VecLimit, VecProject, VecScan, VecSort,
 };
 use crate::profile::{OpProfile, ProfiledOp};
 use crate::trace::TraceHandle;
@@ -78,6 +78,10 @@ pub struct ExecContext {
     /// perfect-hash refusals). Attached by the database when adaptivity is
     /// on; `None` keeps the static path choice.
     pub agg_feedback: Option<Arc<AggFeedback>>,
+    /// This context's Exchange worker index (0 for the coordinator / serial
+    /// execution). Scans use it as their home lane in a partition-aware
+    /// morsel queue.
+    pub worker: usize,
 }
 
 impl ExecContext {
@@ -96,6 +100,7 @@ impl ExecContext {
             trace: None,
             metrics: None,
             agg_feedback: None,
+            worker: 0,
         }
     }
 
@@ -330,6 +335,11 @@ fn compile_rec(
                 Box::new(agg)
             }
         }
+        LogicalPlan::MergeJoin { left, right, on } => {
+            let l = compile_rec(left, ctx, state, child_prof(0))?;
+            let r = compile_rec(right, ctx, state, child_prof(1))?;
+            Box::new(MergeJoin::new(l, r, on.clone(), vs)?)
+        }
         LogicalPlan::Sort { input, keys } => {
             let child = compile_rec(input, ctx, state, child_prof(0))?;
             let mut sort = VecSort::new(child, keys.clone(), vs);
@@ -347,6 +357,30 @@ fn compile_rec(
             offset,
             fetch,
         } => {
+            // Top-N fusion: a small Limit directly over a Sort keeps only the
+            // best offset+fetch rows instead of sorting the whole input. The
+            // fused operator compiles at the Limit's plan position (its
+            // `topn=1` extra surfaces there); the Sort node stays in the plan
+            // but executes as part of the fusion.
+            if let LogicalPlan::Sort {
+                input: sort_input,
+                keys,
+            } = &**input
+            {
+                if !keys.is_empty() && offset.saturating_add(*fetch) <= TopN::MAX_N {
+                    let grandchild_prof = child_prof(0).map(|p| p.child(0));
+                    let child = compile_rec(sort_input, ctx, state, grandchild_prof)?;
+                    let mut topn = TopN::new(child, keys.clone(), *offset, *fetch, vs);
+                    topn.set_mem_tracker(ctx.tracker());
+                    if let Some(d) = &ctx.spill_disk {
+                        topn.set_spill_disk(d.clone());
+                    }
+                    if let Some(t) = &ctx.trace {
+                        topn.set_trace(t.clone());
+                    }
+                    return Ok(finish_op(Box::new(topn), ctx, prof));
+                }
+            }
             let child = compile_rec(input, ctx, state, child_prof(0))?;
             Box::new(VecLimit::new(child, *offset, *fetch))
         }
@@ -362,7 +396,12 @@ fn compile_rec(
             Box::new(Exchange::new((**input).clone(), ex_ctx, *partitions)?)
         }
     };
-    Ok(match prof {
+    Ok(finish_op(op, ctx, prof))
+}
+
+/// Wrap a compiled operator in its profiling shim when profiling is on.
+fn finish_op(op: BoxedOperator, ctx: &ExecContext, prof: Option<&Arc<OpProfile>>) -> BoxedOperator {
+    match prof {
         Some(p) => {
             let mut wrapped = ProfiledOp::new(op, p.clone());
             if let Some(t) = &ctx.trace {
@@ -378,7 +417,7 @@ fn compile_rec(
             Box::new(wrapped)
         }
         None => op,
-    })
+    }
 }
 
 /// Compile one `LogicalPlan::Scan` node into a [`VecScan`]. Shared between
@@ -424,7 +463,11 @@ fn compile_scan(
                 if let (Some(p), true) = (prof, su.groups_pruned > 0) {
                     p.add_extra("pruned", su.groups_pruned as u64);
                 }
-                Ok(su.units)
+                if let (Some(p), true) = (prof, su.partitions_pruned > 0) {
+                    p.add_extra("partitions", su.partitions as u64);
+                    p.add_extra("partitions_pruned", su.partitions_pruned as u64);
+                }
+                Ok((su.units, su.lanes))
             })?;
             if let Some(abm) = abm {
                 // ONE registration per queue: every worker gets a clone, so
@@ -452,6 +495,10 @@ fn compile_scan(
                 if let (Some(p), true) = (prof, su.groups_pruned > 0) {
                     p.add_extra("pruned", su.groups_pruned as u64);
                 }
+                if let (Some(p), true) = (prof, su.partitions_pruned > 0) {
+                    p.add_extra("partitions", su.partitions as u64);
+                    p.add_extra("partitions_pruned", su.partitions_pruned as u64);
+                }
                 let q = MorselQueue::new(su.units);
                 coop =
                     Some(abm.register_scan(coop_blocks(&provider.storage, q.units(), &projection)));
@@ -477,6 +524,7 @@ fn compile_scan(
     if let Some(t) = &ctx.trace {
         scan.set_trace(t.clone());
     }
+    scan.set_worker(ctx.worker);
     Ok(scan)
 }
 
@@ -670,7 +718,7 @@ mod tests {
                     "dbl",
                 ),
             ])
-            .sort(vec![SortKey { col: 1, asc: false }])
+            .sort(vec![SortKey::desc(1)])
             .limit(0, 5);
         let mut op = compile_plan(&plan, &ctx).unwrap();
         let rows = collect_rows(op.as_mut()).unwrap();
@@ -731,7 +779,7 @@ mod tests {
                     },
                 ],
             )
-            .sort(vec![SortKey { col: 0, asc: true }]);
+            .sort(vec![SortKey::asc(0)]);
         let mut serial = compile_plan(&base, &ctx).unwrap();
         let want = collect_rows(serial.as_mut()).unwrap();
 
@@ -816,10 +864,7 @@ mod tests {
                     },
                 ],
             )
-            .sort(vec![
-                SortKey { col: 0, asc: true },
-                SortKey { col: 1, asc: false },
-            ]);
+            .sort(vec![SortKey::asc(0), SortKey::desc(1)]);
         let mut unbounded = compile_plan(&base, &ctx).unwrap();
         let want = collect_rows(unbounded.as_mut()).unwrap();
         assert!(want.len() > 100);

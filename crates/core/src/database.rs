@@ -26,11 +26,12 @@ use std::sync::Arc;
 use std::time::Duration;
 use vw_common::config::{AggPath, EngineConfig};
 use vw_common::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
-use vw_common::{DataType, Result, Schema, TableId, Value, VwError};
+use vw_common::{DataType, Result, Schema, TableId, TableLayout, Value, VwError};
 use vw_pdt::Pdt;
 use vw_plan::{
-    estimate_rows, fingerprint, fold_constants, optimize_with_feedback, parallelize, prune_columns,
-    push_down_filters, recordable, CardFeedback, LogicalPlan, TableStats,
+    apply_interesting_orders, estimate_rows, fingerprint, fold_constants, optimize_with_feedback,
+    parallelize, prune_columns, push_down_filters, recordable, CardFeedback, LogicalPlan,
+    TableStats,
 };
 use vw_sql::{compile_sql, BoundStatement, CatalogView, SetScope};
 use vw_storage::{SimDisk, SimDiskConfig, TableBuilder, TableStorage};
@@ -416,14 +417,37 @@ impl Database {
 
     // ------------------------------------------------------------- catalog
 
-    /// Create an empty table.
+    /// Create an empty table with the trivial physical layout (insertion
+    /// order, single device).
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableId> {
+        self.create_table_with_layout(name, schema, TableLayout::default())
+    }
+
+    /// Create an empty table with a declared physical design: sort order
+    /// and/or range partitioning (`CREATE TABLE … ORDER BY … PARTITION BY
+    /// RANGE …`). When the layout declares no partitioning, the
+    /// `VW_PARTITIONS` environment default (if set) range-partitions the
+    /// table on its leading sort column — or column 0 for unordered tables —
+    /// so a whole workload can be flipped to partitioned storage without
+    /// touching its DDL.
+    pub fn create_table_with_layout(
+        &self,
+        name: &str,
+        schema: Schema,
+        mut layout: TableLayout,
+    ) -> Result<TableId> {
         schema.check_unique_names()?;
         if name.starts_with("vw_") {
             return Err(VwError::Catalog(format!(
                 "the 'vw_' prefix is reserved for system tables (cannot create '{}')",
                 name
             )));
+        }
+        if layout.partition.is_none() {
+            if let Some(n) = vw_common::config::env_default_partitions() {
+                let col = layout.order.first().map_or(0, |s| s.col);
+                layout.partition = Some(vw_common::RangePartitionSpec { col, partitions: n });
+            }
         }
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
@@ -432,6 +456,9 @@ impl Database {
         let id = TableId::new(self.next_table_id.fetch_add(1, Ordering::Relaxed));
         let mut storage = TableStorage::new(schema, self.disk.clone());
         storage.set_name(name);
+        if !layout.is_trivial() {
+            storage.set_layout(layout)?;
+        }
         self.txn.read().register_table(id, 0);
         tables.insert(
             name.to_string(),
@@ -464,8 +491,9 @@ impl Database {
                 name
             )));
         }
-        let schema = storage.schema().clone();
-        let mut builder = TableBuilder::new(schema, self.disk.clone());
+        // `for_table` carries the declared layout (and partition shards)
+        // into the rebuilt storage, so the load lands sorted/partitioned.
+        let mut builder = TableBuilder::for_table(storage.fresh_like());
         let mut n = 0u64;
         for row in rows {
             builder.push_row(row)?;
@@ -577,11 +605,43 @@ impl Database {
             optimize_with_feedback(plan, &stats, None)
         };
         let plan = prune_columns(plan);
+        // Ordering-properties pass: serial plans only — at dop>1 the
+        // Exchange re-partitions row order anyway, and keeping the plan
+        // identical to the unordered layout's is what makes the two layouts
+        // byte-compatible at any parallelism.
+        let plan = if config.parallelism <= 1 {
+            let delivered = self.delivered_orders();
+            apply_interesting_orders(plan, &delivered, true)
+        } else {
+            plan
+        };
         if config.parallelism > 1 {
             parallelize(plan, config.parallelism)
         } else {
             plan
         }
+    }
+
+    /// Declared sort orders that table scans actually deliver right now:
+    /// tables whose layout survives partitioning (partitioned tables stay
+    /// globally ordered only when partitioned on the leading sort column)
+    /// and whose PDT holds no deltas (uncheckpointed churn breaks the
+    /// invariant until the next checkpoint re-sorts).
+    fn delivered_orders(&self) -> vw_plan::DeliveredOrders {
+        let mut delivered = vw_plan::DeliveredOrders::new();
+        let txn = self.txn.read();
+        for entry in self.tables.read().values() {
+            let storage = entry.storage.read();
+            let layout = storage.layout();
+            if !layout.delivers_declared_order() {
+                continue;
+            }
+            let clean = txn.current_pdt(entry.id).is_ok_and(|p| p.is_empty());
+            if clean {
+                delivered.insert(entry.id, layout.order.clone());
+            }
+        }
+        delivered
     }
 
     /// Execute a logical plan against the committed snapshot.
@@ -901,16 +961,31 @@ impl Database {
             .collect()
     }
 
+    /// One `vw_io` row per device: the main disk first, then every table
+    /// partition shard (each shard has independent counters even though the
+    /// family shares one block space).
     fn vw_io_rows(&self) -> Vec<Vec<Value>> {
-        let d = self.disk.stats();
-        vec![vec![
-            Value::I64(d.reads as i64),
-            Value::I64(d.writes as i64),
-            Value::I64(d.bytes_read as i64),
-            Value::I64(d.bytes_written as i64),
-            Value::I64(d.bytes_skipped as i64),
-            Value::F64(d.virtual_read_ns as f64 / 1e6),
-        ]]
+        let mut disks: Vec<Arc<SimDisk>> = vec![self.disk.clone()];
+        for entry in self.tables.read().values() {
+            for d in entry.storage.read().partition_disks() {
+                disks.push(d.clone());
+            }
+        }
+        disks
+            .iter()
+            .map(|disk| {
+                let d = disk.stats();
+                vec![
+                    Value::Str(disk.label().to_string()),
+                    Value::I64(d.reads as i64),
+                    Value::I64(d.writes as i64),
+                    Value::I64(d.bytes_read as i64),
+                    Value::I64(d.bytes_written as i64),
+                    Value::I64(d.bytes_skipped as i64),
+                    Value::F64(d.virtual_read_ns as f64 / 1e6),
+                ]
+            })
+            .collect()
     }
 
     fn vw_cache_rows(&self) -> Vec<Vec<Value>> {
@@ -1004,8 +1079,12 @@ impl Database {
                     .collect();
                 Ok(QueryResult { schema, rows })
             }
-            BoundStatement::CreateTable { name, schema } => {
-                self.create_table(&name, schema)?;
+            BoundStatement::CreateTable {
+                name,
+                schema,
+                layout,
+            } => {
+                self.create_table_with_layout(&name, schema, layout)?;
                 Ok(empty_result("created"))
             }
             BoundStatement::Insert { table, rows } => {
@@ -1924,8 +2003,15 @@ mod tests {
             .unwrap();
         assert_eq!(metrics.rows.len(), 1);
         assert!(matches!(metrics.rows[0][0], Value::F64(v) if v >= 2.0));
-        let io = db.execute("SELECT * FROM vw_io").unwrap();
-        assert_eq!(io.rows.len(), 1);
+        // One row per device: always the main disk, plus one per table range
+        // partition when a partitioned layout is in force (VW_PARTITIONS).
+        let io = db.execute("SELECT disk FROM vw_io").unwrap();
+        assert!(!io.rows.is_empty());
+        assert!(
+            io.rows.iter().any(|r| r[0] == Value::Str("main".into())),
+            "main disk missing from vw_io: {:?}",
+            io.rows
+        );
         let cache = db.execute("SELECT cache FROM vw_cache").unwrap();
         assert_eq!(cache.rows[0][0], Value::Str("decode".into()));
     }

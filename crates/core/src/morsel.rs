@@ -70,15 +70,29 @@ impl ExecStats {
     }
 }
 
+/// One partition lane of a [`MorselQueue`]: a contiguous index range of the
+/// unit list with its own claim cursor.
+struct Lane {
+    start: usize,
+    end: usize,
+    cursor: AtomicUsize,
+}
+
 /// Work-stealing queue over one table scan's units.
 ///
 /// The unit list is fixed at creation (pruned row groups + append tail); an
 /// atomic cursor hands each unit to exactly one claimant. Claim order is the
 /// list order; *which worker* gets a unit is decided entirely by runtime
 /// readiness, which is what balances skew.
+///
+/// For range-partitioned tables the units are split into per-partition
+/// **lanes**. [`MorselQueue::claim_for`] keeps each worker inside its home
+/// lane (`worker % lanes`) while it has work — so a worker streams one
+/// device sequentially instead of ping-ponging across disks — and steals
+/// from the next non-drained lane only once its own runs dry.
 pub struct MorselQueue {
     units: Vec<Morsel>,
-    cursor: AtomicUsize,
+    lanes: Vec<Lane>,
     progress: Arc<ScanProgress>,
     stats: Option<Arc<ExecStats>>,
     /// The ONE cooperative-scan registration shared by every worker of this
@@ -97,9 +111,34 @@ impl MorselQueue {
         progress: Arc<ScanProgress>,
         stats: Option<Arc<ExecStats>>,
     ) -> Arc<MorselQueue> {
+        let len = units.len();
+        Self::with_lanes(units, vec![(0, len)], progress, stats)
+    }
+
+    /// A queue whose units are pre-split into partition lanes. `lanes` are
+    /// `(start, end)` index ranges into `units`, in order; an empty or
+    /// single-range list degenerates to the unpartitioned queue.
+    pub fn with_lanes(
+        units: Vec<Morsel>,
+        lanes: Vec<(usize, usize)>,
+        progress: Arc<ScanProgress>,
+        stats: Option<Arc<ExecStats>>,
+    ) -> Arc<MorselQueue> {
+        let mut lanes = lanes;
+        if lanes.is_empty() {
+            lanes.push((0, units.len()));
+        }
+        let lanes = lanes
+            .into_iter()
+            .map(|(start, end)| Lane {
+                start,
+                end: end.min(units.len()),
+                cursor: AtomicUsize::new(0),
+            })
+            .collect();
         Arc::new(MorselQueue {
             units,
-            cursor: AtomicUsize::new(0),
+            lanes,
             progress,
             stats,
             coop: Mutex::new(None),
@@ -108,15 +147,36 @@ impl MorselQueue {
 
     /// Claim the next unclaimed unit; `None` once the queue is drained.
     pub fn claim(&self) -> Option<Morsel> {
-        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let m = self.units.get(i).copied();
-        if m.is_some() {
-            self.progress.advance(1);
-            if let Some(s) = &self.stats {
-                s.note_morsel();
+        self.claim_for(0)
+    }
+
+    /// Claim for a specific worker: its home partition lane first, stealing
+    /// from the next non-drained lane only when the home lane is empty.
+    pub fn claim_for(&self, worker: usize) -> Option<Morsel> {
+        let n = self.lanes.len();
+        let home = worker % n;
+        for k in 0..n {
+            let lane = &self.lanes[(home + k) % n];
+            let i = lane.cursor.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = lane
+                .start
+                .checked_add(i)
+                .filter(|&u| u < lane.end)
+                .map(|u| self.units[u])
+            {
+                self.progress.advance(1);
+                if let Some(s) = &self.stats {
+                    s.note_morsel();
+                }
+                return Some(m);
             }
         }
-        m
+        None
+    }
+
+    /// Number of partition lanes (1 = unpartitioned).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Total units in the queue (claimed or not).
@@ -250,13 +310,15 @@ impl SharedExec {
         &self,
         table: TableId,
         occurrence: usize,
-        units: impl FnOnce() -> Result<Vec<Morsel>>,
+        units: impl FnOnce() -> Result<(Vec<Morsel>, Vec<(usize, usize)>)>,
     ) -> Result<Arc<MorselQueue>> {
         let mut g = self.morsels.lock();
         if let Some(q) = g.get(&(table, occurrence)) {
             return Ok(q.clone());
         }
-        let q = MorselQueue::with_progress(units()?, ScanProgress::new(), Some(self.stats.clone()));
+        let (units, lanes) = units()?;
+        let q =
+            MorselQueue::with_lanes(units, lanes, ScanProgress::new(), Some(self.stats.clone()));
         g.insert((table, occurrence), q.clone());
         Ok(q)
     }
@@ -300,6 +362,46 @@ mod tests {
         assert_eq!(all.len(), 100, "a unit was claimed twice");
         assert_eq!(q.progress().get(), 100);
         assert!(q.claim().is_none());
+    }
+
+    #[test]
+    fn lanes_keep_workers_home_until_drained() {
+        // 3 lanes of 4 units each.
+        let units: Vec<Morsel> = (0..12).map(Morsel::Group).collect();
+        let q = MorselQueue::with_lanes(
+            units,
+            vec![(0, 4), (4, 8), (8, 12)],
+            ScanProgress::new(),
+            None,
+        );
+        assert_eq!(q.lane_count(), 3);
+        // Worker 1 drains its home lane (units 4..8) first.
+        let mut w1 = Vec::new();
+        for _ in 0..4 {
+            w1.push(q.claim_for(1).unwrap());
+        }
+        assert_eq!(w1, (4..8).map(Morsel::Group).collect::<Vec<_>>());
+        // Home drained: worker 1 steals from the next lane (8..12).
+        assert_eq!(q.claim_for(1), Some(Morsel::Group(8)));
+        // Worker 0 still finds its own lane untouched.
+        assert_eq!(q.claim_for(0), Some(Morsel::Group(0)));
+        // Drain everything; each unit is handed out exactly once.
+        let mut rest = Vec::new();
+        while let Some(m) = q.claim_for(2) {
+            rest.push(m);
+        }
+        assert!(q.claim_for(0).is_none());
+        let mut all: Vec<_> = w1
+            .into_iter()
+            .chain([Morsel::Group(8), Morsel::Group(0)])
+            .chain(rest)
+            .collect();
+        all.sort_by_key(|m| match m {
+            Morsel::Group(g) => *g,
+            Morsel::AppendTail => usize::MAX,
+        });
+        assert_eq!(all, (0..12).map(Morsel::Group).collect::<Vec<_>>());
+        assert_eq!(q.progress().get(), 12);
     }
 
     #[test]
@@ -401,14 +503,16 @@ mod tests {
         let shared = SharedExec::new(4, Arc::new(ExecStats::default()));
         let t = TableId::new(7);
         let q1 = shared
-            .morsel_queue(t, 0, || Ok(vec![Morsel::Group(0)]))
+            .morsel_queue(t, 0, || Ok((vec![Morsel::Group(0)], vec![])))
             .unwrap();
         let q2 = shared
             .morsel_queue(t, 0, || panic!("must reuse existing queue"))
             .unwrap();
         assert!(Arc::ptr_eq(&q1, &q2));
         let other = shared
-            .morsel_queue(t, 1, || Ok(vec![Morsel::Group(0), Morsel::Group(1)]))
+            .morsel_queue(t, 1, || {
+                Ok((vec![Morsel::Group(0), Morsel::Group(1)], vec![]))
+            })
             .unwrap();
         assert!(!Arc::ptr_eq(&q1, &other));
         let b1 = shared.build_slot(0);

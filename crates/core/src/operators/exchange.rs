@@ -64,6 +64,7 @@ impl Exchange {
             let plan = self.plan.clone();
             let mut ctx = self.ctx.clone();
             ctx.shared = Some(shared.clone());
+            ctx.worker = worker;
             // Trace events carry the recording thread: worker ids 1..=P
             // (0 stays the coordinating thread above the Exchange).
             if let Some(t) = &ctx.trace {

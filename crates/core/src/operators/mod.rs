@@ -10,6 +10,7 @@ pub mod exchange;
 pub mod filter;
 pub mod join;
 pub mod limit;
+pub mod merge_join;
 pub mod perfect;
 pub mod project;
 pub mod scan;
@@ -20,9 +21,10 @@ pub use exchange::Exchange;
 pub use filter::VecFilter;
 pub use join::{BuildData, HashJoin};
 pub use limit::VecLimit;
+pub use merge_join::MergeJoin;
 pub use project::VecProject;
 pub use scan::VecScan;
-pub use sort::VecSort;
+pub use sort::{TopN, VecSort};
 
 use crate::batch::{Batch, ExecVector};
 use vw_common::hash::{hash_bytes, hash_combine, hash_u64};
@@ -127,6 +129,46 @@ pub fn lanes_cmp(a: &ExecVector, i: usize, b: &ExecVector, j: usize) -> std::cmp
         }
         (ColumnData::Str(x), ColumnData::Str(y)) => x.get_bytes(i).cmp(y.get_bytes(j)),
         _ => Ordering::Equal,
+    }
+}
+
+/// Ordering of two lanes under one sort key: the direction applies to
+/// values, while NULL placement (`nulls_first`) is absolute — `DESC NULLS
+/// FIRST` still puts NULLs first. For default keys (`nulls_first == asc`)
+/// this equals the engine's historical `lanes_cmp`-then-reverse behaviour.
+#[inline]
+pub fn sort_key_cmp(
+    k: &vw_plan::SortKey,
+    a: &ExecVector,
+    i: usize,
+    b: &ExecVector,
+    j: usize,
+) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_null(i), b.is_null(j)) {
+        (true, true) => Ordering::Equal,
+        (true, false) => {
+            if k.nulls_first {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (false, true) => {
+            if k.nulls_first {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        }
+        (false, false) => {
+            let o = lanes_cmp(a, i, b, j);
+            if k.asc {
+                o
+            } else {
+                o.reverse()
+            }
+        }
     }
 }
 

@@ -53,14 +53,15 @@ pub struct KeyCodes {
 /// shared work-stealing queue of the surrounding Exchange.
 enum UnitSource {
     Local(std::vec::IntoIter<Morsel>),
-    Queue(Arc<MorselQueue>),
+    /// Shared queue + this worker's index (its home partition lane).
+    Queue(Arc<MorselQueue>, usize),
 }
 
 impl UnitSource {
     fn next(&mut self) -> Option<Morsel> {
         match self {
             UnitSource::Local(it) => it.next(),
-            UnitSource::Queue(q) => q.claim(),
+            UnitSource::Queue(q, worker) => q.claim_for(*worker),
         }
     }
 }
@@ -140,6 +141,10 @@ pub struct VecScan {
     /// decision happens when the shared unit list is planned, not per
     /// worker).
     groups_pruned: u64,
+    /// Range partitions of the table / partitions ruled out wholesale by
+    /// range predicates. Same recording rule as `groups_pruned`.
+    partitions: u64,
+    partitions_pruned: u64,
     /// Per group key of a fused aggregate: the output position whose decode
     /// should be skipped when the block is PDICT-coded, or `None` for keys
     /// that must decode normally. Empty = no capture.
@@ -162,8 +167,17 @@ pub struct VecScan {
 /// A planned scan-unit list plus the zone-map pruning outcome.
 pub struct ScanUnits {
     pub units: Vec<Morsel>,
-    /// Row groups skipped entirely thanks to MinMax stats.
+    /// Row groups skipped entirely thanks to MinMax stats (includes the
+    /// groups of range-pruned partitions).
     pub groups_pruned: usize,
+    /// Range partitions of the table (1 = unpartitioned).
+    pub partitions: usize,
+    /// Partitions eliminated wholesale by range predicates on the
+    /// partitioning column, before any per-group zone-map check.
+    pub partitions_pruned: usize,
+    /// Per-partition `(start, end)` index ranges into `units` — the lanes of
+    /// a partition-aware [`MorselQueue`]. One range when unpartitioned.
+    pub lanes: Vec<(usize, usize)>,
 }
 
 impl VecScan {
@@ -193,11 +207,48 @@ impl VecScan {
         let n_groups = guard.group_count();
         let mut units: Vec<Morsel> = Vec::new();
         let mut groups_pruned = 0usize;
+        // Partition-level pruning: a range predicate on the partitioning
+        // column can rule out whole partitions against the declared bounds,
+        // before any row-group zone map is consulted.
+        let nparts = guard.partition_count();
+        let mut part_pruned = vec![false; nparts];
+        let mut partitions_pruned = 0usize;
+        // Lanes: contiguous runs of units belonging to one partition. Group
+        // ids iterate in storage order and partition extents are contiguous,
+        // so a lane closes exactly when the partition id changes.
+        let mut lanes: Vec<(usize, usize)> = Vec::new();
+        let mut lane_part: Option<usize> = None;
+        if nparts > 1 && !prune.is_empty() {
+            if let Some(pcol) = guard.partition_col() {
+                for (p, pruned) in part_pruned.iter_mut().enumerate() {
+                    *pruned = prune.iter().any(|(out_col, op, v)| {
+                        projection[*out_col] == pcol && !guard.partition_may_match(p, *op, v)
+                    });
+                    if *pruned {
+                        partitions_pruned += 1;
+                    }
+                }
+            }
+        }
         for g in 0..n_groups {
             let grp = guard.group(g);
             let (lo, hi) =
                 pdt.entry_range_for_sids(grp.start_row, grp.start_row + grp.n_rows as u64);
             let dirty = lo != hi;
+            if !dirty && partitions_pruned > 0 {
+                let p = guard.partition_of_group(g);
+                if part_pruned[p] {
+                    groups_pruned += 1;
+                    // Skipped blocks are charged against the partition's own
+                    // device, so `vw_io` shows which disks the query avoided.
+                    for &c in projection {
+                        guard
+                            .partition_disk(p)
+                            .note_skipped(grp.columns[c].encoded_bytes as u64);
+                    }
+                    continue;
+                }
+            }
             if !dirty && !prune.is_empty() {
                 let keep = prune.iter().all(|(out_col, op, v)| {
                     let storage_col = projection[*out_col];
@@ -206,26 +257,46 @@ impl VecScan {
                 if !keep {
                     groups_pruned += 1;
                     // The scan will never touch this group's blocks: account
-                    // their encoded bytes as skipped I/O.
+                    // their encoded bytes as skipped I/O on the device that
+                    // holds them.
+                    let d = guard.partition_disk(guard.partition_of_group(g));
                     for &c in projection {
-                        guard
-                            .disk()
-                            .note_skipped(grp.columns[c].encoded_bytes as u64);
+                        d.note_skipped(grp.columns[c].encoded_bytes as u64);
                     }
                     continue;
                 }
             }
+            if nparts > 1 {
+                let p = guard.partition_of_group(g);
+                if lane_part != Some(p) {
+                    lanes.push((units.len(), units.len()));
+                    lane_part = Some(p);
+                }
+            }
             units.push(Morsel::Group(g));
+            if let Some(l) = lanes.last_mut() {
+                l.1 = units.len();
+            }
         }
         // Appends: inserts at sid == stable_rows form one virtual tail unit.
         let stable = pdt.stable_rows();
         let (alo, ahi) = pdt.entry_range_for_sids(stable, stable + 1);
         if ahi > alo {
             units.push(Morsel::AppendTail);
+            // The tail belongs to no partition; fold it into the last lane.
+            if let Some(l) = lanes.last_mut() {
+                l.1 = units.len();
+            }
+        }
+        if lanes.is_empty() {
+            lanes.push((0, units.len()));
         }
         ScanUnits {
             units,
             groups_pruned,
+            partitions: nparts,
+            partitions_pruned,
+            lanes,
         }
     }
 
@@ -252,11 +323,15 @@ impl VecScan {
     ) -> Result<VecScan> {
         let out_schema = storage.read().schema().project(&projection);
         let mut groups_pruned = 0u64;
+        let mut partitions = 0u64;
+        let mut partitions_pruned = 0u64;
         let units = match morsels {
-            Some(q) => UnitSource::Queue(q),
+            Some(q) => UnitSource::Queue(q, 0),
             None => {
                 let su = Self::plan_units_pruned(&storage, &pdt, &projection, filter.as_ref());
                 groups_pruned = su.groups_pruned as u64;
+                partitions = su.partitions as u64;
+                partitions_pruned = su.partitions_pruned as u64;
                 UnitSource::Local(su.units.into_iter())
             }
         };
@@ -300,6 +375,8 @@ impl VecScan {
             counters: LazyCounters::default(),
             units_claimed: 0,
             groups_pruned,
+            partitions,
+            partitions_pruned,
             key_cols: Vec::new(),
             key_stash: Vec::new(),
             adapt,
@@ -311,6 +388,14 @@ impl VecScan {
     /// Record morsel claims into the query trace timeline.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Tell a queue-fed scan which Exchange worker it runs on, so claims
+    /// start from that worker's home partition lane. No-op for serial scans.
+    pub fn set_worker(&mut self, worker: usize) {
+        if let UnitSource::Queue(_, w) = &mut self.units {
+            *w = worker;
+        }
     }
 
     /// Route block reads through a cooperative-scan registration. Workers of
@@ -920,6 +1005,10 @@ impl super::Operator for VecScan {
         let mut v = vec![("morsels", self.units_claimed)];
         if self.groups_pruned > 0 {
             v.push(("pruned", self.groups_pruned));
+        }
+        if self.partitions_pruned > 0 {
+            v.push(("partitions", self.partitions));
+            v.push(("partitions_pruned", self.partitions_pruned));
         }
         let c = &self.counters;
         if c.vec_decoded > 0 {

@@ -21,7 +21,7 @@ use vw_common::{Result, Schema};
 use vw_plan::SortKey;
 use vw_storage::{SimDisk, SpillFile};
 
-use super::{concat_batches, BoxedOperator, Operator};
+use super::{concat_batches, BoxedOperator, Operator, VecLimit};
 
 /// Sort operator.
 pub struct VecSort {
@@ -79,8 +79,7 @@ impl VecSort {
         idx.sort_by(|&a, &b| {
             for k in &self.keys {
                 let c = &cols[k.col];
-                let ord = super::lanes_cmp(c, a as usize, c, b as usize);
-                let ord = if k.asc { ord } else { ord.reverse() };
+                let ord = super::sort_key_cmp(k, c, a as usize, c, b as usize);
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
                 }
@@ -267,8 +266,7 @@ impl MergeState {
 
 fn cmp_rows(keys: &[SortKey], a: &Batch, i: usize, b: &Batch, j: usize) -> std::cmp::Ordering {
     for k in keys {
-        let ord = super::lanes_cmp(&a.columns[k.col], i, &b.columns[k.col], j);
-        let ord = if k.asc { ord } else { ord.reverse() };
+        let ord = super::sort_key_cmp(k, &a.columns[k.col], i, &b.columns[k.col], j);
         if ord != std::cmp::Ordering::Equal {
             return ord;
         }
@@ -307,6 +305,256 @@ impl Operator for VecSort {
     }
 }
 
+/// Bounded Top-N: the fused form of `Limit(offset, fetch)` over
+/// `Sort(keys)`. Instead of materializing and sorting the whole input it
+/// keeps only the best `offset + fetch` rows, periodically compacting a
+/// 2N-row buffer with the same stable comparator as [`VecSort`] — entries
+/// carry their input sequence number, so ties keep the first arrivals and
+/// the kept prefix is exactly what a full stable sort would emit first.
+///
+/// Memory-safe: the buffer is charged to the query's [`MemTracker`]; if the
+/// reservation fails the operator falls back to a full external [`VecSort`]
+/// (fed the buffered rows plus the rest of the input) under [`VecLimit`],
+/// preserving exact output equivalence.
+pub struct TopN {
+    input: Option<BoxedOperator>,
+    keys: Vec<SortKey>,
+    schema: Schema,
+    vector_size: usize,
+    offset: usize,
+    n: usize,
+    mem: MemTracker,
+    disk: Option<Arc<SimDisk>>,
+    trace: Option<TraceHandle>,
+    state: TopNState,
+    fell_back: bool,
+}
+
+enum TopNState {
+    Pending,
+    InMem(Vec<Batch>),
+    Fallback(BoxedOperator),
+}
+
+impl TopN {
+    /// Largest `offset + fetch` the planner fuses into a heap Top-N; above
+    /// this a full sort pipes into a plain limit.
+    pub const MAX_N: u64 = 8192;
+
+    pub fn new(
+        input: BoxedOperator,
+        keys: Vec<SortKey>,
+        offset: u64,
+        fetch: u64,
+        vector_size: usize,
+    ) -> TopN {
+        let schema = input.schema().clone();
+        let n = offset.saturating_add(fetch) as usize;
+        TopN {
+            input: Some(input),
+            keys,
+            schema,
+            vector_size: vector_size.max(1),
+            offset: offset as usize,
+            n,
+            mem: MemTracker::detached(),
+            disk: None,
+            trace: None,
+            state: TopNState::Pending,
+            fell_back: false,
+        }
+    }
+
+    pub fn set_mem_tracker(&mut self, mem: MemTracker) {
+        self.mem = mem;
+    }
+
+    pub fn set_spill_disk(&mut self, disk: Arc<SimDisk>) {
+        self.disk = Some(disk);
+    }
+
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    fn cmp_entries(
+        keys: &[SortKey],
+        a: &(Vec<vw_common::Value>, u64),
+        b: &(Vec<vw_common::Value>, u64),
+    ) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        for k in keys {
+            let (x, y) = (&a.0[k.col], &b.0[k.col]);
+            let ord = match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => {
+                    if k.nulls_first {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    }
+                }
+                (false, true) => {
+                    if k.nulls_first {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Less
+                    }
+                }
+                (false, false) => {
+                    let o = x.total_cmp(y);
+                    if k.asc {
+                        o
+                    } else {
+                        o.reverse()
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.1.cmp(&b.1) // stable: earlier input wins ties
+    }
+
+    fn run(&mut self) -> Result<TopNState> {
+        let mut input = self.input.take().expect("TopN input consumed twice");
+        let cap = (2 * self.n).max(1024);
+        let mut buf: Vec<(Vec<vw_common::Value>, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut reserved = 0usize;
+        let est_bytes = |buf: &Vec<(Vec<vw_common::Value>, u64)>| -> usize {
+            // Rough accounting: per-row overhead + values (strings by length).
+            buf.iter()
+                .map(|(r, _)| {
+                    32 + r
+                        .iter()
+                        .map(|v| match v {
+                            vw_common::Value::Str(s) => 32 + s.len(),
+                            _ => 16,
+                        })
+                        .sum::<usize>()
+                })
+                .sum()
+        };
+        while let Some(b) = input.next()? {
+            let b = b.compact();
+            for i in 0..b.rows {
+                let row: Vec<vw_common::Value> = b
+                    .columns
+                    .iter()
+                    .zip(self.schema.fields())
+                    .map(|(c, f)| c.get_value(i, f.ty))
+                    .collect();
+                buf.push((row, seq));
+                seq += 1;
+            }
+            if buf.len() >= cap {
+                buf.sort_by(|a, b| Self::cmp_entries(&self.keys, a, b));
+                buf.truncate(self.n);
+            }
+            let want = est_bytes(&buf);
+            if want > reserved {
+                if !self.mem.try_grow(want - reserved) {
+                    // Budget pressure: hand everything to an external sort.
+                    self.mem.shrink(reserved);
+                    self.fell_back = true;
+                    buf.sort_by_key(|x| x.1); // restore arrival order
+                    let rows: Vec<Vec<vw_common::Value>> =
+                        buf.into_iter().map(|(r, _)| r).collect();
+                    let buffered = Box::new(super::BatchSource::from_rows(
+                        self.schema.clone(),
+                        &rows,
+                        self.vector_size,
+                    )?);
+                    let chained: BoxedOperator = Box::new(ChainOp {
+                        schema: self.schema.clone(),
+                        first: Some(buffered),
+                        rest: input,
+                    });
+                    let mut sort = VecSort::new(chained, self.keys.clone(), self.vector_size);
+                    sort.set_mem_tracker(std::mem::replace(&mut self.mem, MemTracker::detached()));
+                    if let Some(d) = &self.disk {
+                        sort.set_spill_disk(d.clone());
+                    }
+                    if let Some(t) = &self.trace {
+                        sort.set_trace(t.clone());
+                    }
+                    let limited = VecLimit::new(
+                        Box::new(sort),
+                        self.offset as u64,
+                        (self.n - self.offset) as u64,
+                    );
+                    return Ok(TopNState::Fallback(Box::new(limited)));
+                }
+                reserved = want;
+            }
+        }
+        buf.sort_by(|a, b| Self::cmp_entries(&self.keys, a, b));
+        buf.truncate(self.n);
+        let rows: Vec<Vec<vw_common::Value>> =
+            buf.into_iter().skip(self.offset).map(|(r, _)| r).collect();
+        let mut out = Vec::new();
+        for chunk in rows.chunks(self.vector_size) {
+            out.push(Batch::from_rows(&self.schema, chunk)?);
+        }
+        out.reverse();
+        Ok(TopNState::InMem(out))
+    }
+}
+
+/// Emit a buffered prefix, then drain an inner operator (TopN's fallback
+/// feed: the rows it had already absorbed, followed by the rest of the
+/// input stream).
+struct ChainOp {
+    schema: Schema,
+    first: Option<BoxedOperator>,
+    rest: BoxedOperator,
+}
+
+impl Operator for ChainOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if let Some(f) = &mut self.first {
+            if let Some(b) = f.next()? {
+                return Ok(Some(b));
+            }
+            self.first = None;
+        }
+        self.rest.next()
+    }
+}
+
+impl Operator for TopN {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if matches!(self.state, TopNState::Pending) {
+            self.state = self.run()?;
+        }
+        match &mut self.state {
+            TopNState::Pending => unreachable!(),
+            TopNState::InMem(out) => Ok(out.pop()),
+            TopNState::Fallback(op) => op.next(),
+        }
+    }
+
+    fn profile_extras(&self) -> Vec<(&'static str, u64)> {
+        let mut ex = vec![("topn", 1u64)];
+        if self.fell_back {
+            ex.push(("topn_fallback", 1));
+        } else {
+            ex.push(("peak_bytes", self.mem.peak()));
+        }
+        ex
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,7 +578,7 @@ mod tests {
 
     #[test]
     fn single_key_ascending() {
-        let mut s = VecSort::new(source(), vec![SortKey { col: 0, asc: true }], 1024);
+        let mut s = VecSort::new(source(), vec![SortKey::asc(0)], 1024);
         let rows = collect_rows(&mut s).unwrap();
         let keys: Vec<Value> = rows.iter().map(|r| r[0].clone()).collect();
         assert_eq!(
@@ -341,11 +589,7 @@ mod tests {
 
     #[test]
     fn multi_key_with_nulls_first() {
-        let mut s = VecSort::new(
-            source(),
-            vec![SortKey { col: 0, asc: true }, SortKey { col: 1, asc: true }],
-            1024,
-        );
+        let mut s = VecSort::new(source(), vec![SortKey::asc(0), SortKey::asc(1)], 1024);
         let rows = collect_rows(&mut s).unwrap();
         // a=1 group: NULL sorts before "b"
         assert_eq!(rows[0], vec![Value::I64(1), Value::Null]);
@@ -354,7 +598,7 @@ mod tests {
 
     #[test]
     fn descending() {
-        let mut s = VecSort::new(source(), vec![SortKey { col: 0, asc: false }], 1024);
+        let mut s = VecSort::new(source(), vec![SortKey::desc(0)], 1024);
         let rows = collect_rows(&mut s).unwrap();
         assert_eq!(rows[0][0], Value::I64(3));
         assert_eq!(rows[3][0], Value::I64(1));
@@ -365,7 +609,7 @@ mod tests {
         let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
         let rows: Vec<Vec<Value>> = (0..50).rev().map(|i| vec![Value::I64(i)]).collect();
         let src = Box::new(BatchSource::from_rows(schema, &rows, 8).unwrap());
-        let mut s = VecSort::new(src, vec![SortKey { col: 0, asc: true }], 7);
+        let mut s = VecSort::new(src, vec![SortKey::asc(0)], 7);
         let out = collect_rows(&mut s).unwrap();
         let keys: Vec<i64> = out
             .iter()
@@ -381,7 +625,7 @@ mod tests {
     fn empty_input() {
         let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
         let src = Box::new(BatchSource::from_rows(schema, &[], 8).unwrap());
-        let mut s = VecSort::new(src, vec![SortKey { col: 0, asc: true }], 8);
+        let mut s = VecSort::new(src, vec![SortKey::asc(0)], 8);
         assert!(s.next().unwrap().is_none());
     }
 
@@ -404,7 +648,7 @@ mod tests {
                 vec![Value::I64(k), v]
             })
             .collect();
-        let keys = vec![SortKey { col: 0, asc: true }];
+        let keys = vec![SortKey::asc(0)];
 
         let src = Box::new(BatchSource::from_rows(schema.clone(), &rows, 32).unwrap());
         let mut unbounded = VecSort::new(src, keys.clone(), 64);
@@ -438,10 +682,7 @@ mod tests {
                 vec![a, Value::F64((i % 17) as f64 * 0.25)]
             })
             .collect();
-        let keys = vec![
-            SortKey { col: 0, asc: false },
-            SortKey { col: 1, asc: true },
-        ];
+        let keys = vec![SortKey::desc(0), SortKey::asc(1)];
         let src = Box::new(BatchSource::from_rows(schema.clone(), &rows, 16).unwrap());
         let mut unbounded = VecSort::new(src, keys.clone(), 50);
         let want = collect_rows(&mut unbounded).unwrap();
@@ -451,5 +692,109 @@ mod tests {
         tiny.set_mem_tracker(MemTracker::new(Arc::new(MemBudget::new(Some(1024)))));
         let got = collect_rows(&mut tiny).unwrap();
         assert_eq!(got, want);
+    }
+
+    fn topn_rows() -> (Schema, Vec<Vec<Value>>) {
+        let schema = Schema::new(vec![
+            Field::nullable("k", DataType::I64),
+            Field::new("v", DataType::Str),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..400)
+            .map(|i| {
+                let k = if i % 19 == 0 {
+                    Value::Null
+                } else {
+                    Value::I64((i * 31) % 13)
+                };
+                vec![k, Value::Str(format!("r{}", i))]
+            })
+            .collect();
+        (schema, rows)
+    }
+
+    fn sort_then_limit(
+        schema: Schema,
+        rows: &[Vec<Value>],
+        keys: Vec<SortKey>,
+        offset: u64,
+        fetch: u64,
+    ) -> Vec<Vec<Value>> {
+        let src = Box::new(BatchSource::from_rows(schema, rows, 32).unwrap());
+        let sort = VecSort::new(src, keys, 64);
+        let mut lim = VecLimit::new(Box::new(sort), offset, fetch);
+        collect_rows(&mut lim).unwrap()
+    }
+
+    /// TopN matches Sort+Limit exactly, including the stable tiebreak on
+    /// duplicate keys and offset handling.
+    #[test]
+    fn topn_matches_sort_plus_limit() {
+        let (schema, rows) = topn_rows();
+        for (keys, offset, fetch) in [
+            (vec![SortKey::asc(0)], 0u64, 25u64),
+            (vec![SortKey::desc(0)], 7, 40),
+            (vec![SortKey::asc(0)], 390, 50), // offset past most of the input
+        ] {
+            let want = sort_then_limit(schema.clone(), &rows, keys.clone(), offset, fetch);
+            let src = Box::new(BatchSource::from_rows(schema.clone(), &rows, 32).unwrap());
+            let mut topn = TopN::new(src, keys.clone(), offset, fetch, 64);
+            let got = collect_rows(&mut topn).unwrap();
+            assert_eq!(
+                got, want,
+                "keys={:?} offset={} fetch={}",
+                keys, offset, fetch
+            );
+            let extras: std::collections::BTreeMap<_, _> =
+                topn.profile_extras().into_iter().collect();
+            assert_eq!(extras["topn"], 1);
+            assert!(!extras.contains_key("topn_fallback"));
+        }
+    }
+
+    /// NULLS LAST keys flow through TopN's comparator too.
+    #[test]
+    fn topn_respects_nulls_last() {
+        let (schema, rows) = topn_rows();
+        let keys = vec![SortKey {
+            col: 0,
+            asc: true,
+            nulls_first: false,
+        }];
+        let want = sort_then_limit(schema.clone(), &rows, keys.clone(), 0, 395);
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 32).unwrap());
+        let mut topn = TopN::new(src, keys, 0, 395, 64);
+        let got = collect_rows(&mut topn).unwrap();
+        assert_eq!(got, want);
+        assert!(got.iter().take(300).all(|r| r[0] != Value::Null));
+    }
+
+    /// Under a budget too small for the heap buffer, TopN falls back to the
+    /// external sort + limit pipeline and still matches exactly.
+    #[test]
+    fn topn_fallback_under_budget_matches() {
+        let (schema, rows) = topn_rows();
+        let keys = vec![SortKey::asc(0)];
+        let want = sort_then_limit(schema.clone(), &rows, keys.clone(), 5, 30);
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 32).unwrap());
+        let mut topn = TopN::new(src, keys, 5, 30, 64);
+        topn.set_mem_tracker(MemTracker::new(Arc::new(MemBudget::new(Some(512)))));
+        let got = collect_rows(&mut topn).unwrap();
+        assert_eq!(got, want, "fallback path must match sort+limit");
+        let extras: std::collections::BTreeMap<_, _> = topn.profile_extras().into_iter().collect();
+        assert_eq!(extras["topn_fallback"], 1);
+    }
+
+    /// fetch = 0 and empty input are both fine.
+    #[test]
+    fn topn_degenerate_cases() {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let src = Box::new(BatchSource::from_rows(schema.clone(), &[], 8).unwrap());
+        let mut empty = TopN::new(src, vec![SortKey::asc(0)], 0, 10, 8);
+        assert!(collect_rows(&mut empty).unwrap().is_empty());
+
+        let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::I64(i)]).collect();
+        let src = Box::new(BatchSource::from_rows(schema, &rows, 8).unwrap());
+        let mut zero = TopN::new(src, vec![SortKey::asc(0)], 0, 0, 8);
+        assert!(collect_rows(&mut zero).unwrap().is_empty());
     }
 }

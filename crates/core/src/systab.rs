@@ -81,8 +81,10 @@ pub fn system_schema(name: &str) -> Schema {
             Field::new("kind", DataType::Str),
             Field::new("value", DataType::F64),
         ]),
-        // One row: cumulative SimDisk counters for the database's disk.
+        // One row per SimDisk: the database's main disk plus one device per
+        // table range partition, each with its own cumulative counters.
         "vw_io" => Schema::new(vec![
+            Field::new("disk", DataType::Str),
             Field::new("reads", DataType::I64),
             Field::new("writes", DataType::I64),
             Field::new("bytes_read", DataType::I64),

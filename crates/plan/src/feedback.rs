@@ -247,6 +247,7 @@ pub fn node_name(plan: &LogicalPlan) -> &'static str {
         LogicalPlan::Filter { .. } => "Filter",
         LogicalPlan::Project { .. } => "Project",
         LogicalPlan::Join { .. } => "Join",
+        LogicalPlan::MergeJoin { .. } => "MergeJoin",
         LogicalPlan::Aggregate { .. } => "Aggregate",
         LogicalPlan::Sort { .. } => "Sort",
         LogicalPlan::Limit { .. } => "Limit",

@@ -29,5 +29,8 @@ pub use expr::{AggExpr, AggFunc, BinOp, DatePart, Expr, UnOp};
 pub use feedback::{fingerprint, recordable, AppliedCorrection, CardFeedback};
 pub use optimizer::{estimate_rows, optimize, optimize_with_feedback};
 pub use plan::{JoinKind, LogicalPlan, SortKey};
-pub use rewrite::{fold_constants, parallelize, prune_columns, push_down_filters, rewrite_default};
+pub use rewrite::{
+    apply_interesting_orders, fold_constants, parallelize, prune_columns, push_down_filters,
+    rewrite_default, DeliveredOrders,
+};
 pub use stats::{ColStats, Histogram, TableStats};

@@ -230,6 +230,12 @@ fn estimate_rows_static(
                 JoinKind::Anti => l * 0.5,
             }
         }
+        LogicalPlan::MergeJoin { left, right, .. } => {
+            let l = estimate_rows_with(left, stats, fb);
+            let r = estimate_rows_with(right, stats, fb);
+            // Same FK-join guess as the inner hash join it replaces.
+            (l * r / l.max(r).max(1.0)).max(1.0)
+        }
         LogicalPlan::Aggregate {
             input, group_by, ..
         } => {

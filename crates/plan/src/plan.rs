@@ -32,11 +32,42 @@ impl JoinKind {
     }
 }
 
-/// One ORDER BY key: output column index + direction.
+/// One ORDER BY key: output column index + direction + NULL placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SortKey {
     pub col: usize,
     pub asc: bool,
+    /// Whether NULLs sort before non-NULLs. Defaults to the direction's
+    /// historical behaviour (NULLs are the smallest value): FIRST when
+    /// ascending, LAST when descending. `ORDER BY … NULLS FIRST/LAST`
+    /// overrides it.
+    pub nulls_first: bool,
+}
+
+impl SortKey {
+    /// A key with the default NULL placement for its direction.
+    pub fn new(col: usize, asc: bool) -> SortKey {
+        SortKey {
+            col,
+            asc,
+            nulls_first: asc,
+        }
+    }
+
+    /// Ascending key, NULLS FIRST (the ascending default).
+    pub fn asc(col: usize) -> SortKey {
+        SortKey::new(col, true)
+    }
+
+    /// Descending key, NULLS LAST (the descending default).
+    pub fn desc(col: usize) -> SortKey {
+        SortKey::new(col, false)
+    }
+
+    /// True when the NULL placement is the default for the direction.
+    pub fn default_nulls(&self) -> bool {
+        self.nulls_first == self.asc
+    }
 }
 
 /// A logical query plan node.
@@ -71,6 +102,18 @@ pub enum LogicalPlan {
         kind: JoinKind,
         on: Vec<(usize, usize)>,
         residual: Option<Expr>,
+    },
+    /// Streaming merge join on equi-key pairs: both inputs must deliver rows
+    /// sorted ascending on their key columns (guaranteed by the ordering
+    /// pass, which only plans this over declared-order scans). Inner joins
+    /// only; spill-free and budget-light. Emission is probe-major (left
+    /// stream order, each left row paired with its matches in right stream
+    /// order — the hash join probes with the left input) so results are
+    /// byte-identical to the hash join it replaces.
+    MergeJoin {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        on: Vec<(usize, usize)>,
     },
     /// Group-by (possibly empty = scalar aggregate).
     Aggregate {
@@ -155,6 +198,7 @@ impl LogicalPlan {
                     }
                 }
             }
+            LogicalPlan::MergeJoin { left, right, .. } => Ok(left.schema()?.join(&right.schema()?)),
             LogicalPlan::Aggregate {
                 input,
                 group_by,
@@ -204,7 +248,9 @@ impl LogicalPlan {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Exchange { input, .. } => vec![input],
-            LogicalPlan::Join { left, right, .. } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::MergeJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -234,6 +280,15 @@ impl LogicalPlan {
                     kind: *kind,
                     on: on.clone(),
                     residual: residual.clone(),
+                }
+            }
+            LogicalPlan::MergeJoin { on, .. } => {
+                let left = children.remove(0);
+                let right = children.remove(0);
+                LogicalPlan::MergeJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: on.clone(),
                 }
             }
             LogicalPlan::Aggregate {
@@ -270,6 +325,7 @@ impl LogicalPlan {
             LogicalPlan::Filter { .. } => "Filter",
             LogicalPlan::Project { .. } => "Project",
             LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::MergeJoin { .. } => "MergeJoin",
             LogicalPlan::Aggregate { .. } => "Aggregate",
             LogicalPlan::Sort { .. } => "Sort",
             LogicalPlan::Limit { .. } => "Limit",
@@ -320,6 +376,13 @@ impl LogicalPlan {
                 }
                 s
             }
+            LogicalPlan::MergeJoin { on, .. } => format!(
+                "MergeJoin on {}",
+                on.iter()
+                    .map(|(l, r)| format!("l#{}=r#{}", l, r))
+                    .collect::<Vec<_>>()
+                    .join(" AND ")
+            ),
             LogicalPlan::Aggregate {
                 group_by,
                 aggs,
@@ -341,7 +404,16 @@ impl LogicalPlan {
             LogicalPlan::Sort { keys, .. } => format!(
                 "Sort [{}]",
                 keys.iter()
-                    .map(|k| format!("#{}{}", k.col, if k.asc { "" } else { " DESC" }))
+                    .map(|k| {
+                        let nulls = if k.default_nulls() {
+                            ""
+                        } else if k.nulls_first {
+                            " NULLS FIRST"
+                        } else {
+                            " NULLS LAST"
+                        };
+                        format!("#{}{}{}", k.col, if k.asc { "" } else { " DESC" }, nulls)
+                    })
                     .collect::<Vec<_>>()
                     .join(", ")
             ),

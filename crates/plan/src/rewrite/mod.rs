@@ -19,10 +19,12 @@
 //! `EngineConfig::rewrite_nulls` switch selects between that representation
 //! and a deliberately naive branch-per-value interpreter for experiment E8.
 
+pub mod ordering;
 pub mod parallel;
 pub mod prune;
 pub mod pushdown;
 
+pub use ordering::{apply_interesting_orders, delivered_order, DeliveredOrders};
 pub use parallel::parallelize;
 pub use prune::prune_columns;
 pub use pushdown::push_down_filters;

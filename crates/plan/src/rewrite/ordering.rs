@@ -1,0 +1,269 @@
+//! Order-aware planning ("interesting orders").
+//!
+//! Tables may declare a physical sort order (`CREATE TABLE … ORDER BY`),
+//! which the storage layer maintains across loads and checkpoints. This pass
+//! propagates that *delivered order* up through order-preserving operators
+//! (Filter, Project-of-columns, Limit) and exploits it twice:
+//!
+//! * a `Sort` whose keys are a prefix of the order its input already
+//!   delivers is dropped — the stream is a streaming pass-through;
+//! * an inner equi-`Join` whose two inputs both deliver their join keys in
+//!   ascending order becomes a streaming [`LogicalPlan::MergeJoin`] —
+//!   spill-free and budget-light, no hash build.
+//!
+//! The pass only fires for serial plans (`serial == true`, i.e. effective
+//! dop 1): parallel morsel execution interleaves row groups and destroys
+//! delivered order, and keeping the parallel plan shape unchanged preserves
+//! byte-identical results between ordered and unordered layouts at any dop.
+
+use crate::expr::Expr;
+use crate::plan::{JoinKind, LogicalPlan, SortKey};
+use std::collections::HashMap;
+use vw_common::{SortSpec, TableId};
+
+/// Per-table delivered storage order, as the executor will stream it. The
+/// caller (the database facade) includes a table only when its scan really
+/// delivers the declared order: layout declares one, the master PDT is
+/// empty (no unmerged churn), and partitioning is aligned with the leading
+/// sort column.
+pub type DeliveredOrders = HashMap<TableId, Vec<SortSpec>>;
+
+/// Apply order-aware rewrites. `serial` must be true only when the plan will
+/// not be parallelized afterwards.
+pub fn apply_interesting_orders(
+    plan: LogicalPlan,
+    delivered: &DeliveredOrders,
+    serial: bool,
+) -> LogicalPlan {
+    if !serial || delivered.is_empty() {
+        return plan;
+    }
+    rec(plan, delivered)
+}
+
+fn rec(plan: LogicalPlan, delivered: &DeliveredOrders) -> LogicalPlan {
+    let children: Vec<LogicalPlan> = plan
+        .children()
+        .into_iter()
+        .map(|c| rec(c.clone(), delivered))
+        .collect();
+    let node = plan.with_children(children);
+    match node {
+        LogicalPlan::Sort { input, keys } => {
+            let d = delivered_order(&input, delivered);
+            let redundant = !keys.is_empty()
+                && keys.len() <= d.len()
+                && keys.iter().zip(&d).all(|(k, dk)| k == dk);
+            if redundant {
+                *input
+            } else {
+                LogicalPlan::Sort { input, keys }
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JoinKind::Inner,
+            on,
+            residual: None,
+        } if !on.is_empty() => {
+            let dl = delivered_order(&left, delivered);
+            let dr = delivered_order(&right, delivered);
+            let streaming = on.len() <= dl.len()
+                && on.len() <= dr.len()
+                && on
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &(l, r))| dl[i].col == l && dl[i].asc && dr[i].col == r && dr[i].asc);
+            if streaming {
+                LogicalPlan::MergeJoin { left, right, on }
+            } else {
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    kind: JoinKind::Inner,
+                    on,
+                    residual: None,
+                }
+            }
+        }
+        other => other,
+    }
+}
+
+/// The sort order `plan`'s output stream delivers, in output-column
+/// coordinates. A prefix: truncated at the first declared column the node
+/// no longer carries as a pure column reference.
+pub fn delivered_order(plan: &LogicalPlan, delivered: &DeliveredOrders) -> Vec<SortKey> {
+    match plan {
+        LogicalPlan::Scan {
+            table_id,
+            schema,
+            projection,
+            ..
+        } => {
+            let Some(specs) = delivered.get(table_id) else {
+                return Vec::new();
+            };
+            let proj: Vec<usize> = match projection {
+                Some(p) => p.clone(),
+                None => (0..schema.len()).collect(),
+            };
+            let mut out = Vec::new();
+            for s in specs {
+                match proj.iter().position(|&c| c == s.col) {
+                    Some(p) => out.push(SortKey {
+                        col: p,
+                        asc: s.asc,
+                        nulls_first: s.nulls_first,
+                    }),
+                    None => break,
+                }
+            }
+            out
+        }
+        // Selection and row limits preserve the input's order.
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Limit { input, .. } => {
+            delivered_order(input, delivered)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let d = delivered_order(input, delivered);
+            let mut out = Vec::new();
+            for k in d {
+                match exprs
+                    .iter()
+                    .position(|(e, _)| matches!(e, Expr::Col(c) if *c == k.col))
+                {
+                    Some(p) => out.push(SortKey { col: p, ..k }),
+                    None => break,
+                }
+            }
+            out
+        }
+        LogicalPlan::Sort { keys, .. } => keys.clone(),
+        // Probe-major merge emission keeps the stream nondecreasing on the
+        // join keys (both sides carry equal key values, so left coordinates
+        // describe the output order too). Key columns never contain NULLs
+        // after an inner join.
+        LogicalPlan::MergeJoin { on, .. } => on
+            .iter()
+            .map(|&(l, _)| SortKey {
+                col: l,
+                asc: true,
+                nulls_first: true,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::{DataType, Field, Schema};
+
+    fn scan(tid: u64) -> LogicalPlan {
+        LogicalPlan::scan(
+            "t",
+            TableId::new(tid),
+            Schema::new(vec![
+                Field::new("k", DataType::I64),
+                Field::new("v", DataType::F64),
+            ]),
+        )
+    }
+
+    fn ordered_on_k(tid: u64) -> DeliveredOrders {
+        let mut m = HashMap::new();
+        m.insert(TableId::new(tid), vec![SortSpec::new(0, true)]);
+        m
+    }
+
+    #[test]
+    fn drops_redundant_sort() {
+        let d = ordered_on_k(1);
+        let p = scan(1).sort(vec![SortKey::asc(0)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(matches!(out, LogicalPlan::Scan { .. }), "{}", out.explain());
+    }
+
+    #[test]
+    fn keeps_sort_on_other_key_or_direction() {
+        let d = ordered_on_k(1);
+        let p = scan(1).sort(vec![SortKey::asc(1)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(matches!(out, LogicalPlan::Sort { .. }));
+        let p = scan(1).sort(vec![SortKey::desc(0)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(matches!(out, LogicalPlan::Sort { .. }));
+    }
+
+    #[test]
+    fn sort_survives_parallel_plans() {
+        let d = ordered_on_k(1);
+        let p = scan(1).sort(vec![SortKey::asc(0)]);
+        let out = apply_interesting_orders(p, &d, false);
+        assert!(matches!(out, LogicalPlan::Sort { .. }));
+    }
+
+    #[test]
+    fn order_crosses_filter_and_projection() {
+        let d = ordered_on_k(1);
+        let p = scan(1)
+            .filter(Expr::binary(
+                crate::expr::BinOp::Gt,
+                Expr::col(1),
+                Expr::lit(vw_common::Value::F64(0.0)),
+            ))
+            .project(vec![(Expr::col(0), "k2")])
+            .sort(vec![SortKey::asc(0)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(
+            matches!(out, LogicalPlan::Project { .. }),
+            "{}",
+            out.explain()
+        );
+    }
+
+    #[test]
+    fn plans_merge_join_when_both_sides_ordered() {
+        let mut d = ordered_on_k(1);
+        d.extend(ordered_on_k(2));
+        let p = scan(1).join(scan(2), JoinKind::Inner, vec![(0, 0)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(
+            matches!(out, LogicalPlan::MergeJoin { .. }),
+            "{}",
+            out.explain()
+        );
+    }
+
+    #[test]
+    fn hash_join_kept_when_one_side_unordered() {
+        let d = ordered_on_k(1);
+        let p = scan(1).join(scan(2), JoinKind::Inner, vec![(0, 0)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(matches!(out, LogicalPlan::Join { .. }));
+        // Non-inner kinds never convert.
+        let mut both = ordered_on_k(1);
+        both.extend(ordered_on_k(2));
+        let p = scan(1).join(scan(2), JoinKind::Semi, vec![(0, 0)]);
+        let out = apply_interesting_orders(p, &both, true);
+        assert!(matches!(out, LogicalPlan::Join { .. }));
+    }
+
+    #[test]
+    fn sort_over_merge_join_key_is_dropped() {
+        let mut d = ordered_on_k(1);
+        d.extend(ordered_on_k(2));
+        let p = scan(1)
+            .join(scan(2), JoinKind::Inner, vec![(0, 0)])
+            .sort(vec![SortKey::asc(0)]);
+        let out = apply_interesting_orders(p, &d, true);
+        assert!(
+            matches!(out, LogicalPlan::MergeJoin { .. }),
+            "{}",
+            out.explain()
+        );
+    }
+}

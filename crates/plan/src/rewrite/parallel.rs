@@ -242,7 +242,7 @@ mod tests {
     fn sort_and_limit_stay_on_top() {
         let p = scan()
             .aggregate(vec![0], vec![sum_a()])
-            .sort(vec![crate::plan::SortKey { col: 1, asc: false }])
+            .sort(vec![crate::plan::SortKey::desc(1)])
             .limit(0, 10);
         let out = parallelize(p, 2);
         match out {

@@ -191,6 +191,42 @@ fn prune_rec(plan: LogicalPlan, required: Vec<usize>) -> (LogicalPlan, ColMap) {
                 map,
             )
         }
+        LogicalPlan::MergeJoin { left, right, on } => {
+            // Same bookkeeping as an inner Join without a residual.
+            let lw = left.schema().map(|s| s.len()).unwrap_or(0);
+            let mut l_need = Vec::new();
+            let mut r_need = Vec::new();
+            for &i in &required {
+                if i < lw {
+                    l_need.push(i);
+                } else {
+                    r_need.push(i - lw);
+                }
+            }
+            for &(lk, rk) in &on {
+                l_need.push(lk);
+                r_need.push(rk);
+            }
+            let (new_left, l_map) = prune_rec(*left, sorted_dedup(l_need));
+            let (new_right, r_map) = prune_rec(*right, sorted_dedup(r_need));
+            let new_lw = new_left.schema().map(|s| s.len()).unwrap_or(0);
+            let on: Vec<(usize, usize)> = on.iter().map(|&(l, r)| (l_map[&l], r_map[&r])).collect();
+            let mut map: ColMap = ColMap::new();
+            for (&old, &new) in &l_map {
+                map.insert(old, new);
+            }
+            for (&old, &new) in &r_map {
+                map.insert(lw + old, new_lw + new);
+            }
+            (
+                LogicalPlan::MergeJoin {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    on,
+                },
+                map,
+            )
+        }
         LogicalPlan::Aggregate {
             input,
             group_by,
@@ -242,7 +278,7 @@ fn prune_rec(plan: LogicalPlan, required: Vec<usize>) -> (LogicalPlan, ColMap) {
                 .iter()
                 .map(|k| crate::plan::SortKey {
                     col: map[&k.col],
-                    asc: k.asc,
+                    ..*k
                 })
                 .collect();
             (
@@ -393,7 +429,7 @@ mod tests {
                 (Expr::col(1), "b"),
                 (Expr::col(2), "c"),
             ])
-            .sort(vec![crate::plan::SortKey { col: 2, asc: true }])
+            .sort(vec![crate::plan::SortKey::asc(2)])
             .limit(0, 3);
         let before = p.schema().unwrap();
         let pruned = prune_columns(p);

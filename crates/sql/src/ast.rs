@@ -9,6 +9,10 @@ pub enum Statement {
     CreateTable {
         name: String,
         columns: Vec<ColumnDef>,
+        /// Declared physical sort order: `ORDER BY (col [ASC|DESC], …)`.
+        order_by: Vec<OrderItem>,
+        /// Declared range partitioning: `PARTITION BY RANGE(col) PARTITIONS n`.
+        partition_by: Option<PartitionByRange>,
     },
     Insert {
         table: String,
@@ -115,6 +119,16 @@ pub enum AstJoinKind {
 pub struct OrderItem {
     pub expr: AstExpr,
     pub asc: bool,
+    /// `NULLS FIRST` / `NULLS LAST`; `None` = dialect default (NULLS FIRST
+    /// when ascending, NULLS LAST when descending).
+    pub nulls_first: Option<bool>,
+}
+
+/// `PARTITION BY RANGE(col) PARTITIONS n` clause of CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionByRange {
+    pub column: String,
+    pub partitions: usize,
 }
 
 /// Binary operators at the AST level (mapped to `vw_plan::BinOp`).

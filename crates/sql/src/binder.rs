@@ -32,6 +32,8 @@ pub enum BoundStatement {
     CreateTable {
         name: String,
         schema: Schema,
+        /// Declared physical design (sort order, range partitioning).
+        layout: vw_common::TableLayout,
     },
     Insert {
         table: TableId,
@@ -70,7 +72,12 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
             BoundStatement::Query(p) => Ok(BoundStatement::Trace(p)),
             _ => Err(bind_err!("TRACE supports only queries")),
         },
-        Statement::CreateTable { name, columns } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            order_by,
+            partition_by,
+        } => {
             let schema: Schema = columns
                 .iter()
                 .map(|c| vw_common::Field {
@@ -83,9 +90,28 @@ pub fn bind(stmt: &Statement, catalog: &dyn CatalogView) -> Result<BoundStatemen
             if catalog.resolve_table(name).is_some() {
                 return Err(VwError::Catalog(format!("table '{}' already exists", name)));
             }
+            let mut layout = vw_common::TableLayout::default();
+            for item in order_by {
+                let col = match &item.expr {
+                    AstExpr::Column(None, c) => schema.resolve(c)?,
+                    _ => return Err(bind_err!("ORDER BY in CREATE TABLE takes column names")),
+                };
+                layout.order.push(vw_common::SortSpec {
+                    col,
+                    asc: item.asc,
+                    nulls_first: item.nulls_first.unwrap_or(item.asc),
+                });
+            }
+            if let Some(p) = partition_by {
+                layout.partition = Some(vw_common::RangePartitionSpec {
+                    col: schema.resolve(&p.column)?,
+                    partitions: p.partitions,
+                });
+            }
             Ok(BoundStatement::CreateTable {
                 name: name.clone(),
                 schema,
+                layout,
             })
         }
         Statement::Insert {
@@ -575,7 +601,11 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogView) -> Result<Logic
             for item in &stmt.order_by {
                 let col = resolve_output_order_key(&item.expr, &out_schema)?
                     .ok_or_else(|| bind_err!("ORDER BY with DISTINCT must use output columns"))?;
-                keys.push(SortKey { col, asc: item.asc });
+                keys.push(SortKey {
+                    col,
+                    asc: item.asc,
+                    nulls_first: item.nulls_first.unwrap_or(item.asc),
+                });
             }
             plan = plan.sort(keys);
         }
@@ -836,7 +866,11 @@ fn apply_order_by(
                 }
             }
         };
-        keys.push(SortKey { col, asc: item.asc });
+        keys.push(SortKey {
+            col,
+            asc: item.asc,
+            nulls_first: item.nulls_first.unwrap_or(item.asc),
+        });
     }
     let projected = LogicalPlan::Project {
         input: Box::new(input),
@@ -1448,15 +1482,67 @@ mod tests {
     #[test]
     fn create_table_binding() {
         match bind_sql("CREATE TABLE newt (a BIGINT NOT NULL, b VARCHAR)").unwrap() {
-            BoundStatement::CreateTable { name, schema } => {
+            BoundStatement::CreateTable {
+                name,
+                schema,
+                layout,
+            } => {
                 assert_eq!(name, "newt");
                 assert!(!schema.field(0).nullable);
                 assert!(schema.field(1).nullable);
+                assert!(layout.is_trivial());
             }
             other => panic!("{:?}", other),
         }
         assert!(bind_sql("CREATE TABLE orders (a BIGINT)").is_err()); // exists
         assert!(bind_sql("CREATE TABLE d (a BIGINT, a BIGINT)").is_err()); // dup col
+    }
+
+    #[test]
+    fn create_table_layout_binding() {
+        match bind_sql(
+            "CREATE TABLE li (k BIGINT, d DATE, v DOUBLE) \
+             ORDER BY (d DESC NULLS LAST, k) PARTITION BY RANGE(d) PARTITIONS 3",
+        )
+        .unwrap()
+        {
+            BoundStatement::CreateTable { layout, .. } => {
+                assert_eq!(layout.order.len(), 2);
+                assert_eq!(layout.order[0].col, 1);
+                assert!(!layout.order[0].asc);
+                assert!(!layout.order[0].nulls_first);
+                assert_eq!(layout.order[1].col, 0);
+                assert!(layout.order[1].asc);
+                assert!(layout.order[1].nulls_first); // default for ASC
+                let p = layout.partition.unwrap();
+                assert_eq!(p.col, 1);
+                assert_eq!(p.partitions, 3);
+            }
+            other => panic!("{:?}", other),
+        }
+        // Unknown columns in the physical design are binder errors.
+        assert!(bind_sql("CREATE TABLE z (a BIGINT) ORDER BY (nosuch)").is_err());
+        assert!(
+            bind_sql("CREATE TABLE z (a BIGINT) PARTITION BY RANGE(nosuch) PARTITIONS 2").is_err()
+        );
+    }
+
+    #[test]
+    fn order_by_nulls_placement_binds() {
+        let plan = match bind_sql("SELECT custkey FROM orders ORDER BY custkey DESC NULLS FIRST") {
+            Ok(BoundStatement::Query(p)) => p,
+            other => panic!("{:?}", other),
+        };
+        fn find_sort(p: &LogicalPlan) -> Option<Vec<SortKey>> {
+            if let LogicalPlan::Sort { keys, .. } = p {
+                return Some(keys.clone());
+            }
+            p.children().into_iter().find_map(find_sort)
+        }
+        let keys = find_sort(&plan).expect("plan has a sort");
+        assert_eq!(keys.len(), 1);
+        assert!(!keys[0].asc);
+        assert!(keys[0].nulls_first);
     }
 
     #[test]

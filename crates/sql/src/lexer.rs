@@ -118,6 +118,12 @@ pub const KEYWORDS: &[&str] = &[
     "CHECKPOINT",
     "PRIMARY",
     "KEY",
+    "PARTITION",
+    "PARTITIONS",
+    "RANGE",
+    "NULLS",
+    "FIRST",
+    "LAST",
 ];
 
 /// Tokenize SQL text.

@@ -191,7 +191,73 @@ impl Parser {
             }
         }
         self.expect_kind(&TokenKind::RParen, ")")?;
-        Ok(Statement::CreateTable { name, columns })
+        // Physical design clauses: ORDER BY (col [ASC|DESC] [NULLS …], …)
+        // and PARTITION BY RANGE(col) PARTITIONS n.
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let parens = self.eat_kind(&TokenKind::LParen);
+            loop {
+                let col = self.ident()?;
+                let (asc, nulls_first) = self.order_direction()?;
+                order_by.push(OrderItem {
+                    expr: AstExpr::Column(None, col),
+                    asc,
+                    nulls_first,
+                });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            if parens {
+                self.expect_kind(&TokenKind::RParen, ")")?;
+            }
+        }
+        let mut partition_by = None;
+        if self.eat_kw("PARTITION") {
+            self.expect_kw("BY")?;
+            self.expect_kw("RANGE")?;
+            self.expect_kind(&TokenKind::LParen, "(")?;
+            let column = self.ident()?;
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            self.expect_kw("PARTITIONS")?;
+            let partitions = match self.peek() {
+                TokenKind::Int(n) if *n >= 1 => {
+                    let n = *n as usize;
+                    self.bump();
+                    n
+                }
+                _ => return Err(self.err("expected a partition count >= 1")),
+            };
+            partition_by = Some(PartitionByRange { column, partitions });
+        }
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            order_by,
+            partition_by,
+        })
+    }
+
+    /// `[ASC|DESC] [NULLS FIRST|NULLS LAST]` after an ORDER BY expression.
+    fn order_direction(&mut self) -> Result<(bool, Option<bool>)> {
+        let asc = if self.eat_kw("DESC") {
+            false
+        } else {
+            self.eat_kw("ASC");
+            true
+        };
+        let nulls_first = if self.eat_kw("NULLS") {
+            if self.eat_kw("FIRST") {
+                Some(true)
+            } else {
+                self.expect_kw("LAST")?;
+                Some(false)
+            }
+        } else {
+            None
+        };
+        Ok((asc, nulls_first))
     }
 
     fn data_type(&mut self) -> Result<DataType> {
@@ -362,13 +428,12 @@ impl Parser {
             self.expect_kw("BY")?;
             loop {
                 let e = self.expr(0)?;
-                let asc = if self.eat_kw("DESC") {
-                    false
-                } else {
-                    self.eat_kw("ASC");
-                    true
-                };
-                order_by.push(OrderItem { expr: e, asc });
+                let (asc, nulls_first) = self.order_direction()?;
+                order_by.push(OrderItem {
+                    expr: e,
+                    asc,
+                    nulls_first,
+                });
                 if !self.eat_kind(&TokenKind::Comma) {
                     break;
                 }
@@ -900,15 +965,49 @@ mod tests {
     fn dml_statements() {
         match parse_statement("CREATE TABLE t (a BIGINT NOT NULL, b VARCHAR(20), c DATE)").unwrap()
         {
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                order_by,
+                partition_by,
+            } => {
                 assert_eq!(name, "t");
                 assert_eq!(columns.len(), 3);
                 assert!(!columns[0].nullable);
                 assert!(columns[1].nullable);
                 assert_eq!(columns[2].ty, DataType::Date);
+                assert!(order_by.is_empty());
+                assert!(partition_by.is_none());
             }
             _ => panic!(),
         }
+        match parse_statement(
+            "CREATE TABLE li (k BIGINT, d DATE, v DOUBLE) \
+             ORDER BY (k, d DESC NULLS LAST) PARTITION BY RANGE(k) PARTITIONS 4",
+        )
+        .unwrap()
+        {
+            Statement::CreateTable {
+                order_by,
+                partition_by,
+                ..
+            } => {
+                assert_eq!(order_by.len(), 2);
+                assert_eq!(order_by[0].expr, AstExpr::Column(None, "k".into()));
+                assert!(order_by[0].asc);
+                assert_eq!(order_by[0].nulls_first, None);
+                assert!(!order_by[1].asc);
+                assert_eq!(order_by[1].nulls_first, Some(false));
+                let p = partition_by.unwrap();
+                assert_eq!(p.column, "k");
+                assert_eq!(p.partitions, 4);
+            }
+            _ => panic!(),
+        }
+        assert!(
+            parse_statement("CREATE TABLE bad (k BIGINT) PARTITION BY RANGE(k) PARTITIONS 0")
+                .is_err()
+        );
         match parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap() {
             Statement::Insert { rows, columns, .. } => {
                 assert_eq!(rows.len(), 2);

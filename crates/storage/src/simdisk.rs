@@ -79,11 +79,26 @@ impl DiskStats {
     }
 }
 
+/// Block ids are allocated from one process-wide counter so that a block id
+/// names a block *uniquely across disks* — the decode cache and the active
+/// buffer manager key their entries by `BlockId`, and with range-partitioned
+/// tables spreading row groups over several `SimDisk` devices, per-disk
+/// counters would alias unrelated blocks.
+static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
 /// The simulated block device.
+///
+/// A disk may be *sharded* (see [`SimDisk::shard`]): shards model the member
+/// devices of one array — each has its own label and independent virtual-I/O
+/// counters (so bandwidth use is attributable per device), while the block
+/// map is shared with the parent so that block-id-keyed readers (the buffer
+/// manager, the decode cache, spill files) resolve any block of the family.
 pub struct SimDisk {
     config: SimDiskConfig,
-    blocks: RwLock<HashMap<BlockId, Arc<Vec<u8>>>>,
-    next_id: AtomicU64,
+    /// Human-readable device name, surfaced in `vw_io` (e.g. `main`,
+    /// `lineitem.p2`).
+    label: String,
+    blocks: Arc<RwLock<HashMap<BlockId, Arc<Vec<u8>>>>>,
     reads: AtomicU64,
     writes: AtomicU64,
     bytes_read: AtomicU64,
@@ -94,10 +109,15 @@ pub struct SimDisk {
 
 impl SimDisk {
     pub fn new(config: SimDiskConfig) -> Self {
+        SimDisk::with_label(config, "main")
+    }
+
+    /// A disk with an explicit device label (one per range partition).
+    pub fn with_label(config: SimDiskConfig, label: impl Into<String>) -> Self {
         SimDisk {
             config,
-            blocks: RwLock::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
+            label: label.into(),
+            blocks: Arc::new(RwLock::new(HashMap::new())),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -115,10 +135,34 @@ impl SimDisk {
         self.config
     }
 
+    /// The device label shown in `vw_io`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// A member device of the same array: fresh label and fresh virtual-I/O
+    /// counters (its own latency/bandwidth budget), sharing this disk's
+    /// block map. Range-partitioned tables place each partition's row groups
+    /// on a shard so per-device I/O stays attributable, while block ids —
+    /// globally unique across disks — remain resolvable through any member.
+    pub fn shard(&self, label: impl Into<String>) -> Arc<SimDisk> {
+        Arc::new(SimDisk {
+            config: self.config,
+            label: label.into(),
+            blocks: Arc::clone(&self.blocks),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_skipped: AtomicU64::new(0),
+            virtual_read_ns: AtomicU64::new(0),
+        })
+    }
+
     /// Store a block, returning its id. Charges write counters only
     /// (writes happen at checkpoint time, off the query path).
     pub fn write_block(&self, bytes: Vec<u8>) -> BlockId {
-        let id = BlockId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let id = BlockId::new(NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed));
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
@@ -288,6 +332,29 @@ mod tests {
         disk.free_block(id);
         assert!(disk.read_block(id).is_err());
         assert_eq!(disk.block_count(), 0);
+    }
+
+    #[test]
+    fn shards_share_blocks_but_not_counters() {
+        let main = Arc::new(SimDisk::new(SimDiskConfig::default()));
+        let p0 = main.shard("t.p0");
+        let p1 = main.shard("t.p1");
+        assert_eq!(p0.label(), "t.p0");
+        let a = p0.write_block(vec![1, 2]);
+        let b = p1.write_block(vec![3, 4, 5]);
+        assert_ne!(a, b);
+        // Any family member resolves any block (buffer-manager paths)...
+        assert_eq!(&**main.read_block(a).unwrap(), &[1, 2]);
+        assert_eq!(&**p0.read_block(b).unwrap(), &[3, 4, 5]);
+        // ...but counters stay per-device.
+        assert_eq!(p0.stats().writes, 1);
+        assert_eq!(p0.stats().bytes_written, 2);
+        assert_eq!(p1.stats().bytes_written, 3);
+        assert_eq!(main.stats().writes, 0);
+        assert_eq!(main.stats().reads, 1);
+        assert_eq!(p0.stats().reads, 1);
+        p1.free_block(a);
+        assert!(main.read_block(a).is_err());
     }
 
     #[test]

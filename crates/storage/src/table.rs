@@ -15,9 +15,10 @@ use crate::block::{decode_block, encode_block, ColumnBlock, MinMax, PruneOp};
 use crate::column::{ColumnData, NullableColumn};
 use crate::cursor::BlockCursor;
 use crate::simdisk::SimDisk;
+use std::cmp::Ordering;
 use std::sync::Arc;
 use vw_common::config::BLOCK_VALUES;
-use vw_common::{BlockId, Result, Schema, Value, VwError};
+use vw_common::{BlockId, Result, Schema, TableLayout, Value, VwError};
 
 /// One row group: per-column blocks covering the same row range.
 #[derive(Debug, Clone)]
@@ -31,6 +32,13 @@ pub struct RowGroup {
 }
 
 /// The immutable stable image of one table.
+///
+/// When the table declares a [`TableLayout`], the stable image *maintains*
+/// it: every rebuild (bulk load finish, checkpoint) re-sorts rows on the
+/// declared order and re-buckets them into range partitions, each partition's
+/// row groups living on its own [`SimDisk`] shard. Between rebuilds, updates
+/// accumulate in PDTs and may locally violate the order — the planner only
+/// trusts the declared order while the master PDT is empty.
 pub struct TableStorage {
     schema: Schema,
     /// Table name, used only to contextualize error messages.
@@ -39,6 +47,17 @@ pub struct TableStorage {
     rows_per_group: usize,
     row_groups: Vec<RowGroup>,
     n_rows: u64,
+    layout: TableLayout,
+    /// One disk shard per range partition; empty when unpartitioned (all
+    /// groups live on `disk`).
+    part_disks: Vec<Arc<SimDisk>>,
+    /// Contiguous group-index range `[start, end)` of each partition.
+    /// Recomputed at every rebuild; empty when unpartitioned.
+    part_extents: Vec<(usize, usize)>,
+    /// Exclusive upper bound of each partition's key range (`None` =
+    /// unbounded). Partition `p` holds rows with
+    /// `bounds[p-1] <= key < bounds[p]`; NULL keys land in partition 0.
+    part_bounds: Vec<Option<Value>>,
 }
 
 impl TableStorage {
@@ -57,6 +76,10 @@ impl TableStorage {
             rows_per_group,
             row_groups: Vec::new(),
             n_rows: 0,
+            layout: TableLayout::default(),
+            part_disks: Vec::new(),
+            part_extents: Vec::new(),
+            part_bounds: Vec::new(),
         }
     }
 
@@ -75,6 +98,157 @@ impl TableStorage {
 
     pub fn disk(&self) -> &Arc<SimDisk> {
         &self.disk
+    }
+
+    pub fn layout(&self) -> &TableLayout {
+        &self.layout
+    }
+
+    /// Declare the physical design. Creates one disk shard per range
+    /// partition and, if the table already holds rows, reorganizes the
+    /// stable image in place.
+    pub fn set_layout(&mut self, layout: TableLayout) -> Result<()> {
+        for s in &layout.order {
+            if s.col >= self.schema.len() {
+                return Err(VwError::Storage(format!(
+                    "ORDER BY column {} out of range for '{}'",
+                    s.col, self.name
+                )));
+            }
+        }
+        if let Some(p) = &layout.partition {
+            if p.col >= self.schema.len() {
+                return Err(VwError::Storage(format!(
+                    "PARTITION BY column {} out of range for '{}'",
+                    p.col, self.name
+                )));
+            }
+            if p.partitions == 0 {
+                return Err(VwError::Storage("PARTITIONS must be >= 1".into()));
+            }
+        }
+        self.layout = layout;
+        let nparts = self.layout.partition_count();
+        self.part_disks = if nparts > 1 {
+            let base = if self.name.is_empty() {
+                "table"
+            } else {
+                &self.name
+            };
+            (0..nparts)
+                .map(|p| self.disk.shard(format!("{}.p{}", base, p)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.part_extents.clear();
+        self.part_bounds.clear();
+        if self.n_rows > 0 {
+            let cols = read_all_columns(self)?;
+            self.rebuild_from_chunks(&[cols])?;
+        }
+        Ok(())
+    }
+
+    /// Number of range partitions (1 when unpartitioned).
+    pub fn partition_count(&self) -> usize {
+        if self.part_disks.is_empty() {
+            1
+        } else {
+            self.part_disks.len()
+        }
+    }
+
+    /// The partition column, when range-partitioned.
+    pub fn partition_col(&self) -> Option<usize> {
+        if self.part_disks.is_empty() {
+            None
+        } else {
+            self.layout.partition.as_ref().map(|p| p.col)
+        }
+    }
+
+    /// Group-index range `[start, end)` of partition `p`.
+    pub fn partition_extent(&self, p: usize) -> (usize, usize) {
+        if self.part_disks.is_empty() {
+            (0, self.row_groups.len())
+        } else {
+            self.part_extents.get(p).copied().unwrap_or((0, 0))
+        }
+    }
+
+    /// The device holding partition `p`'s row groups.
+    pub fn partition_disk(&self, p: usize) -> &Arc<SimDisk> {
+        self.part_disks.get(p).unwrap_or(&self.disk)
+    }
+
+    /// All partition shards (empty when unpartitioned).
+    pub fn partition_disks(&self) -> &[Arc<SimDisk>] {
+        &self.part_disks
+    }
+
+    /// The partition a row group belongs to (0 when unpartitioned).
+    pub fn partition_of_group(&self, g: usize) -> usize {
+        self.part_extents
+            .iter()
+            .position(|&(s, e)| g >= s && g < e)
+            .unwrap_or(0)
+    }
+
+    fn disk_for_group(&self, g: usize) -> &Arc<SimDisk> {
+        if self.part_disks.is_empty() {
+            &self.disk
+        } else {
+            &self.part_disks[self.partition_of_group(g)]
+        }
+    }
+
+    /// Whether partition `p` can contain rows satisfying
+    /// `partition_col <op> bound`, judged from its range bounds alone.
+    /// Conservative: `true` unless the whole key range is excluded. An
+    /// empty partition never matches.
+    pub fn partition_may_match(&self, p: usize, op: PruneOp, bound: &Value) -> bool {
+        let (s, e) = self.partition_extent(p);
+        if s == e {
+            return false;
+        }
+        if self.part_disks.is_empty() {
+            return true;
+        }
+        let lower = if p == 0 {
+            &None
+        } else {
+            self.part_bounds.get(p - 1).unwrap_or(&None)
+        };
+        let upper = self.part_bounds.get(p).unwrap_or(&None);
+        // Keys in partition p satisfy lower <= key < upper.
+        let above_lower = |v: &Value| lower.as_ref().is_none_or(|l| v.total_cmp(l).is_ge());
+        let below_upper = |v: &Value| upper.as_ref().is_none_or(|u| v.total_cmp(u).is_lt());
+        match op {
+            PruneOp::Eq => above_lower(bound) && below_upper(bound),
+            // Some key < bound possible iff the partition starts below it.
+            PruneOp::Lt => lower.as_ref().is_none_or(|l| l.total_cmp(bound).is_lt()),
+            PruneOp::Le => lower.as_ref().is_none_or(|l| l.total_cmp(bound).is_le()),
+            // Some key >= bound possible iff bound is below the upper bound.
+            PruneOp::Gt | PruneOp::Ge => below_upper(bound),
+        }
+    }
+
+    /// An empty table with this table's schema, devices and layout —
+    /// the starting point for a reload that must preserve physical design.
+    pub fn fresh_like(&self) -> TableStorage {
+        TableStorage {
+            schema: self.schema.clone(),
+            name: self.name.clone(),
+            disk: self.disk.clone(),
+            rows_per_group: self.rows_per_group,
+            row_groups: Vec::new(),
+            n_rows: 0,
+            layout: self.layout.clone(),
+            part_disks: self.part_disks.clone(),
+            part_extents: Vec::new(),
+            part_bounds: Vec::new(),
+        }
     }
 
     pub fn n_rows(&self) -> u64 {
@@ -132,6 +306,11 @@ impl TableStorage {
     /// Append one chunk of columns as row groups, splitting at the group
     /// size. All columns must have identical, non-zero length.
     pub fn append_chunk(&mut self, columns: &[NullableColumn]) -> Result<()> {
+        self.append_chunk_on(columns, self.disk.clone())
+    }
+
+    /// Append a chunk whose blocks go to `disk` (a partition shard).
+    fn append_chunk_on(&mut self, columns: &[NullableColumn], disk: Arc<SimDisk>) -> Result<()> {
         if columns.len() != self.schema.len() {
             return Err(VwError::Storage(format!(
                 "chunk has {} columns, table has {}",
@@ -159,7 +338,7 @@ impl TableStorage {
                 let raw_bytes = piece.data.uncompressed_bytes();
                 let (bytes, scheme) = encode_block(&piece);
                 let encoded_bytes = bytes.len();
-                let block_id = self.disk.write_block(bytes);
+                let block_id = disk.write_block(bytes);
                 blocks.push(ColumnBlock {
                     block_id,
                     n_values: to - from,
@@ -199,9 +378,10 @@ impl TableStorage {
         Ok(self.block_at(group, col)?.block_id)
     }
 
-    /// Read and decode one column of one row group from disk.
+    /// Read and decode one column of one row group from its disk.
     pub fn read_column(&self, group: usize, col: usize) -> Result<NullableColumn> {
-        let bytes = self.disk.read_block(self.block_at(group, col)?.block_id)?;
+        let id = self.block_at(group, col)?.block_id;
+        let bytes = self.disk_for_group(group).read_block(id)?;
         self.decode_column_from(group, col, &bytes)
     }
 
@@ -229,7 +409,8 @@ impl TableStorage {
     /// decode vector slices on demand and evaluate predicates on the encoded
     /// form.
     pub fn read_column_cursor(&self, group: usize, col: usize) -> Result<BlockCursor> {
-        let bytes = self.disk.read_block(self.block_at(group, col)?.block_id)?;
+        let id = self.block_at(group, col)?.block_id;
+        let bytes = self.disk_for_group(group).read_block(id)?;
         self.column_cursor_from(group, col, bytes)
     }
 
@@ -278,20 +459,166 @@ impl TableStorage {
         Ok(out)
     }
 
-    /// Replace the whole stable image with new chunks (checkpoint).
-    /// Old blocks are freed from the disk.
+    /// Replace the whole stable image with new chunks (checkpoint, bulk
+    /// load). Old blocks are freed from their disks. When the table declares
+    /// a [`TableLayout`], the new image is reorganized to honour it: rows
+    /// are stably sorted on the declared order and bucketed into range
+    /// partitions whose bounds are recomputed as equal-count quantiles of
+    /// the partition key.
     pub fn rebuild_from_chunks(&mut self, chunks: &[Vec<NullableColumn>]) -> Result<()> {
-        let old: Vec<_> = self
-            .row_groups
-            .drain(..)
-            .flat_map(|g| g.columns.into_iter().map(|c| c.block_id))
+        let old: Vec<(BlockId, Arc<SimDisk>)> = (0..self.row_groups.len())
+            .flat_map(|g| {
+                let d = self.disk_for_group(g).clone();
+                self.row_groups[g]
+                    .columns
+                    .iter()
+                    .map(move |c| (c.block_id, d.clone()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
+        self.row_groups.clear();
         self.n_rows = 0;
-        for chunk in chunks {
-            self.append_chunk(chunk)?;
+        self.part_extents.clear();
+        self.part_bounds.clear();
+        let total: usize = chunks
+            .iter()
+            .map(|c| c.first().map_or(0, |col| col.len()))
+            .sum();
+        if self.layout.is_trivial() || total == 0 {
+            for chunk in chunks {
+                self.append_chunk(chunk)?;
+            }
+        } else {
+            let cols: Vec<NullableColumn> = if chunks.len() == 1 {
+                chunks[0].clone()
+            } else {
+                (0..self.schema.len())
+                    .map(|c| {
+                        let parts: Vec<NullableColumn> =
+                            chunks.iter().map(|ch| ch[c].clone()).collect();
+                        concat_columns(self.schema.field(c).ty, &parts)
+                    })
+                    .collect::<Result<_>>()?
+            };
+            self.reorganize(cols)?;
         }
-        for id in old {
-            self.disk.free_block(id);
+        for (id, d) in old {
+            d.free_block(id);
+        }
+        Ok(())
+    }
+
+    /// Rewrite full-table columns in declared order, bucketed by range
+    /// partition. Stable throughout: ties keep their input order, and
+    /// bucketing keeps each bucket's rows in sorted order, so reorganizing
+    /// already-conforming data is the identity permutation.
+    fn reorganize(&mut self, cols: Vec<NullableColumn>) -> Result<()> {
+        let n = cols.first().map_or(0, |c| c.len());
+        let value_at =
+            |c: usize, i: usize| -> Value { cols[c].get_value(i, self.schema.field(c).ty) };
+
+        // 1. Stable sort on the declared order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        if !self.layout.order.is_empty() {
+            let keys: Vec<Vec<Value>> = self
+                .layout
+                .order
+                .iter()
+                .map(|s| (0..n).map(|i| value_at(s.col, i)).collect())
+                .collect();
+            idx.sort_by(|&a, &b| {
+                for (s, kv) in self.layout.order.iter().zip(&keys) {
+                    let (x, y) = (&kv[a], &kv[b]);
+                    // NULL placement is absolute (NULLS FIRST/LAST), not
+                    // relative to the sort direction.
+                    let ord = match (x.is_null(), y.is_null()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => {
+                            if s.nulls_first {
+                                Ordering::Less
+                            } else {
+                                Ordering::Greater
+                            }
+                        }
+                        (false, true) => {
+                            if s.nulls_first {
+                                Ordering::Greater
+                            } else {
+                                Ordering::Less
+                            }
+                        }
+                        (false, false) => {
+                            let o = x.total_cmp(y);
+                            if s.asc {
+                                o
+                            } else {
+                                o.reverse()
+                            }
+                        }
+                    };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+
+        // 2. Bucket rows into range partitions on equal-count quantile
+        // bounds of the partition key (`Value::total_cmp` puts NULLs below
+        // every value, so NULL keys land in partition 0).
+        let nparts = if self.part_disks.is_empty() {
+            1
+        } else {
+            self.part_disks.len()
+        };
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+        if nparts > 1 {
+            let pcol = self.layout.partition.as_ref().map(|p| p.col).unwrap_or(0);
+            let pkeys: Vec<Value> = (0..n).map(|i| value_at(pcol, i)).collect();
+            let mut by_key: Vec<usize> = (0..n).collect();
+            by_key.sort_by(|&a, &b| pkeys[a].total_cmp(&pkeys[b]));
+            let mut bounds: Vec<Value> = Vec::new();
+            for p in 1..nparts {
+                let v = pkeys[by_key[p * n / nparts]].clone();
+                let is_new = !v.is_null()
+                    && bounds
+                        .last()
+                        .is_none_or(|b: &Value| b.total_cmp(&v).is_lt());
+                if is_new {
+                    bounds.push(v);
+                }
+            }
+            for &i in &idx {
+                let p = bounds
+                    .iter()
+                    .position(|b| pkeys[i].total_cmp(b).is_lt())
+                    .unwrap_or(bounds.len());
+                buckets[p].push(i);
+            }
+            self.part_bounds = (0..nparts).map(|p| bounds.get(p).cloned()).collect();
+        } else {
+            buckets[0] = idx;
+        }
+
+        // 3. Materialize each partition on its own device.
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            let start = self.row_groups.len();
+            if !bucket.is_empty() {
+                let part_cols: Vec<NullableColumn> = (0..self.schema.len())
+                    .map(|c| {
+                        let ty = self.schema.field(c).ty;
+                        let vals: Vec<Value> =
+                            bucket.iter().map(|&i| cols[c].get_value(i, ty)).collect();
+                        NullableColumn::from_values(ty, &vals)
+                    })
+                    .collect::<Result<_>>()?;
+                let disk = self.partition_disk(p).clone();
+                self.append_chunk_on(&part_cols, disk)?;
+            }
+            if !self.part_disks.is_empty() {
+                self.part_extents.push((start, self.row_groups.len()));
+            }
         }
         Ok(())
     }
@@ -314,6 +641,15 @@ impl TableBuilder {
     pub fn with_group_size(schema: Schema, disk: Arc<SimDisk>, rows_per_group: usize) -> Self {
         TableBuilder {
             table: TableStorage::with_group_size(schema, disk, rows_per_group),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Build into a prepared (typically [`TableStorage::fresh_like`]) table,
+    /// preserving its declared layout and partition devices.
+    pub fn for_table(table: TableStorage) -> Self {
+        TableBuilder {
+            table,
             buffer: Vec::new(),
         }
     }
@@ -356,9 +692,15 @@ impl TableBuilder {
         self.table.append_chunk(&columns)
     }
 
-    /// Flush remaining rows and return the finished table.
+    /// Flush remaining rows and return the finished table. Tables with a
+    /// declared layout are reorganized (sorted, range-bucketed) as the final
+    /// step, so a fresh load always conforms to its physical design.
     pub fn finish(mut self) -> Result<TableStorage> {
         self.flush()?;
+        if !self.table.layout.is_trivial() && self.table.n_rows > 0 {
+            let cols = read_all_columns(&self.table)?;
+            self.table.rebuild_from_chunks(&[cols])?;
+        }
         Ok(self.table)
     }
 }
@@ -628,6 +970,173 @@ mod tests {
         assert!(t.raw_bytes() > 200 * (8 + 8 + 4 + 2));
         assert!(t.raw_bytes() < 200 * 40);
         assert!(t.encoded_bytes() < t.raw_bytes());
+    }
+
+    fn shuffled_rows(n: usize) -> Vec<Vec<Value>> {
+        // Deterministic shuffle of build_rows(n) (LCG step over the index).
+        let rows = build_rows(n);
+        (0..n).map(|i| rows[(i * 73 + 19) % n].clone()).collect()
+    }
+
+    #[test]
+    fn declared_order_sorts_on_load_and_rebuild() {
+        use vw_common::SortSpec;
+        let mut t = TableStorage::with_group_size(lineitem_like_schema(), disk(), 50);
+        t.set_name("t");
+        t.set_layout(TableLayout::ordered(vec![SortSpec::new(0, true)]))
+            .unwrap();
+        let mut b = TableBuilder::for_table(t);
+        for r in shuffled_rows(200) {
+            b.push_row(r).unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(t.n_rows(), 200);
+        for i in 0..200u64 {
+            assert_eq!(t.read_row(i).unwrap()[0], Value::I64(i as i64));
+        }
+        // A rebuild from shuffled chunks re-sorts too (checkpoint path).
+        let rows = shuffled_rows(100);
+        let mut cols = Vec::new();
+        for (c, f) in lineitem_like_schema().fields().iter().enumerate() {
+            let vals: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+            cols.push(NullableColumn::from_values(f.ty, &vals).unwrap());
+        }
+        let mut t = t;
+        t.rebuild_from_chunks(&[cols]).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(t.read_row(i).unwrap()[0], Value::I64(i as i64));
+        }
+    }
+
+    #[test]
+    fn descending_order_and_nulls_last() {
+        use vw_common::SortSpec;
+        let schema = Schema::new(vec![Field::nullable("v", DataType::I64)]);
+        let mut t = TableStorage::with_group_size(schema, disk(), 10);
+        t.set_layout(TableLayout::ordered(vec![SortSpec {
+            col: 0,
+            asc: false,
+            nulls_first: false,
+        }]))
+        .unwrap();
+        let mut b = TableBuilder::for_table(t);
+        for v in [Value::Null, Value::I64(3), Value::I64(9), Value::I64(1)] {
+            b.push_row(vec![v]).unwrap();
+        }
+        let t = b.finish().unwrap();
+        let got: Vec<Value> = (0..4).map(|i| t.read_row(i).unwrap()[0].clone()).collect();
+        assert_eq!(
+            got,
+            vec![Value::I64(9), Value::I64(3), Value::I64(1), Value::Null]
+        );
+    }
+
+    #[test]
+    fn range_partitions_spread_groups_over_shards() {
+        use vw_common::{RangePartitionSpec, SortSpec};
+        let d = disk();
+        let mut t = TableStorage::with_group_size(lineitem_like_schema(), d.clone(), 25);
+        t.set_name("li");
+        t.set_layout(TableLayout {
+            order: vec![SortSpec::new(0, true)],
+            partition: Some(RangePartitionSpec {
+                col: 0,
+                partitions: 4,
+            }),
+        })
+        .unwrap();
+        let mut b = TableBuilder::for_table(t);
+        for r in shuffled_rows(400) {
+            b.push_row(r).unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(t.partition_count(), 4);
+        assert_eq!(t.partition_col(), Some(0));
+        // Equal-count split of 0..399: 100 rows = 4 groups per partition.
+        let mut seen = 0;
+        for p in 0..4 {
+            let (s, e) = t.partition_extent(p);
+            assert_eq!(e - s, 4, "partition {}", p);
+            assert!(t.partition_disk(p).label().starts_with("li.p"));
+            // Each shard holds exactly its partition's blocks.
+            assert!(t.partition_disk(p).stats().writes >= 16);
+            for g in s..e {
+                assert_eq!(t.partition_of_group(g), p);
+                seen += t.group(g).n_rows;
+            }
+        }
+        assert_eq!(seen, 400);
+        // Rows are globally sorted (partition col == leading order col).
+        for i in 0..400u64 {
+            assert_eq!(t.read_row(i).unwrap()[0], Value::I64(i as i64));
+        }
+        // Range pruning over partition bounds.
+        assert!(t.partition_may_match(0, PruneOp::Lt, &Value::I64(50)));
+        assert!(!t.partition_may_match(1, PruneOp::Lt, &Value::I64(50)));
+        assert!(!t.partition_may_match(3, PruneOp::Lt, &Value::I64(50)));
+        assert!(t.partition_may_match(3, PruneOp::Ge, &Value::I64(350)));
+        assert!(!t.partition_may_match(0, PruneOp::Ge, &Value::I64(350)));
+        assert!(t.partition_may_match(2, PruneOp::Eq, &Value::I64(250)));
+        assert!(!t.partition_may_match(1, PruneOp::Eq, &Value::I64(250)));
+        // Pruned partitions' reads never touch other shards: read a row
+        // from partition 3 and check p0's read counter is unchanged.
+        let before = t.partition_disk(0).stats().reads;
+        t.read_row(399).unwrap();
+        assert_eq!(t.partition_disk(0).stats().reads, before);
+    }
+
+    #[test]
+    fn partitioned_rebuild_frees_old_shard_blocks() {
+        use vw_common::{RangePartitionSpec, SortSpec};
+        let d = disk();
+        let mut t = TableStorage::with_group_size(lineitem_like_schema(), d.clone(), 25);
+        t.set_layout(TableLayout {
+            order: vec![SortSpec::new(0, true)],
+            partition: Some(RangePartitionSpec {
+                col: 0,
+                partitions: 2,
+            }),
+        })
+        .unwrap();
+        let mut b = TableBuilder::for_table(t);
+        for r in build_rows(100) {
+            b.push_row(r).unwrap();
+        }
+        let mut t = b.finish().unwrap();
+        // Shared family block map: main sees all live blocks.
+        let live = d.block_count();
+        assert_eq!(live, 4 * 4); // 4 groups x 4 columns
+        let rows = build_rows(50);
+        let mut cols = Vec::new();
+        for (c, f) in t.schema().fields().iter().enumerate() {
+            let vals: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+            cols.push(NullableColumn::from_values(f.ty, &vals).unwrap());
+        }
+        t.rebuild_from_chunks(&[cols]).unwrap();
+        assert_eq!(t.n_rows(), 50);
+        assert_eq!(d.block_count(), 2 * 4);
+        for i in 0..50u64 {
+            assert_eq!(t.read_row(i).unwrap()[0], Value::I64(i as i64));
+        }
+    }
+
+    #[test]
+    fn set_layout_reorganizes_existing_rows() {
+        use vw_common::SortSpec;
+        let mut b = TableBuilder::with_group_size(lineitem_like_schema(), disk(), 50);
+        for r in shuffled_rows(120) {
+            b.push_row(r).unwrap();
+        }
+        let mut t = b.finish().unwrap();
+        assert_ne!(t.read_row(0).unwrap()[0], Value::I64(0));
+        t.set_layout(TableLayout::ordered(vec![SortSpec::new(0, true)]))
+            .unwrap();
+        for i in 0..120u64 {
+            assert_eq!(t.read_row(i).unwrap()[0], Value::I64(i as i64));
+        }
+        assert!(t
+            .set_layout(TableLayout::ordered(vec![SortSpec::new(9, true)]))
+            .is_err());
     }
 
     #[test]

@@ -203,10 +203,7 @@ impl P {
     fn sort(self, keys: &[(&str, bool)]) -> P {
         let sort_keys: Vec<SortKey> = keys
             .iter()
-            .map(|(name, asc)| SortKey {
-                col: self.c(name),
-                asc: *asc,
-            })
+            .map(|(name, asc)| SortKey::new(self.c(name), *asc))
             .collect();
         P {
             plan: self.plan.sort(sort_keys),

@@ -146,7 +146,7 @@ proptest! {
         let db = spill_db(seed, fact_rows, dim_rows);
 
         // fact ⋈ dim (build = dim) → SUM/AVG/COUNT by nullable g → ordered.
-        let join_keys = vec![SortKey { col: 0, asc: true }];
+        let join_keys = vec![SortKey::asc(0)];
         let join_plan = scan(&db, "fact")
             .join(scan(&db, "dim"), JoinKind::Inner, vec![(0, 0)])
             .aggregate(
@@ -173,7 +173,7 @@ proptest! {
 
         // Left join keeps unmatched fact rows (NULL-padded) and sorts the
         // whole ~fact_rows stream: external merge sort territory at 32 KiB.
-        let sort_keys = vec![SortKey { col: 0, asc: true }, SortKey { col: 2, asc: false }];
+        let sort_keys = vec![SortKey::asc(0), SortKey::desc(2)];
         let sort_plan = scan(&db, "fact")
             .join(scan(&db, "dim"), JoinKind::Left, vec![(0, 0)])
             .sort(sort_keys.clone());
