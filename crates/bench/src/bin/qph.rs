@@ -14,7 +14,12 @@
 //! QPH_PROFILE=1 cargo run --release -p vw-bench --bin qph   # per-op dumps
 //! QPH_SMOKE=1 cargo run --release -p vw-bench --bin qph     # Q1 profile only
 //! QPH_MODE=qthr QPH_STREAMS=4 cargo run --release -p vw-bench --bin qph
+//! QPH_COMPARE=BENCH_baseline.json QPH_SMOKE=1 cargo run --release -p vw-bench --bin qph
 //! ```
+//!
+//! `QPH_COMPARE` points at a committed baseline (a previous run's
+//! `BENCH_qph.json`); the harness exits non-zero when this run's composite
+//! fell more than 25% below it.
 //!
 //! Qthr mode exercises the concurrent-serving stack end to end: each stream
 //! is a [`Session`](vw_core::Session) replaying all 22 queries at dop 1
@@ -112,6 +117,75 @@ fn write_bench_json(mode: &str, sf: f64, records: &[BenchRecord], scores: &[(&st
     match std::fs::write(&path, out) {
         Ok(()) => println!("wrote {}", path),
         Err(e) => eprintln!("could not write {}: {}", path, e),
+    }
+    compare_baseline(mode, scores);
+}
+
+/// Pull `"key": <number>` out of a baseline file written by
+/// [`write_bench_json`]. Hand-rolled to match that writer's flat format —
+/// no JSON dependency.
+fn json_score(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{}\": ", key);
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Regression gate (`QPH_COMPARE=<baseline.json>`): diff this run's
+/// composite against a committed baseline and exit non-zero when it fell
+/// more than 25% below. All composites are queries-per-hour shaped (higher
+/// is better). A missing or mode-mismatched baseline is an error too —
+/// a gate that silently skips is no gate.
+fn compare_baseline(mode: &str, scores: &[(&str, f64)]) {
+    let Ok(path) = std::env::var("QPH_COMPARE") else {
+        return;
+    };
+    // The composite per harness mode; everything else in "scores" is
+    // informational (adaptivity deltas, admission counters, ...).
+    let key = match mode {
+        "smoke" => "power",
+        "qthr" => "qthr_queries_per_hour",
+        _ => "vectorized_composite",
+    };
+    let Some((_, current)) = scores.iter().find(|(n, _)| *n == key) else {
+        return;
+    };
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("QPH_COMPARE: cannot read baseline {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let Some(base) = json_score(&baseline, key) else {
+        eprintln!(
+            "QPH_COMPARE: baseline {} has no \"{}\" score (recorded in a different mode?)",
+            path, key
+        );
+        std::process::exit(2);
+    };
+    const FLOOR: f64 = 0.75;
+    println!(
+        "baseline gate: {} = {:.0} vs baseline {:.0} ({:+.1}%, floor {:.0}%)",
+        key,
+        current,
+        base,
+        (current / base - 1.0) * 100.0,
+        FLOOR * 100.0
+    );
+    if base > 0.0 && *current < base * FLOOR {
+        eprintln!(
+            "REGRESSION: {} = {:.0} is more than {:.0}% below baseline {:.0} (from {})",
+            key,
+            current,
+            (1.0 - FLOOR) * 100.0,
+            base,
+            path
+        );
+        std::process::exit(1);
     }
 }
 
@@ -252,6 +326,14 @@ fn run_qthr(sf: f64, streams: usize) {
     );
     let (db, cat) = load_tpch(sf);
     let db = Arc::new(db);
+    // Plan-stability guard: cardinality feedback corrects plans as queries
+    // complete, so a stream replay may legally run a *different* (corrected)
+    // plan than the serial reference — and a different join order sums
+    // floats in a different order. Byte-identity is only a meaningful
+    // assertion with plans frozen; the smoke mode measures the adaptive
+    // delta on a single session where replays see the same feedback.
+    db.execute("SET GLOBAL adaptivity = 'off'")
+        .expect("freeze adaptivity");
     let abm = db.enable_cooperative_scans(256 << 20);
     // dop 1 everywhere: within one query floats sum in a fixed order, so
     // concurrency across streams is the only parallelism — and per-query
@@ -288,6 +370,7 @@ fn run_qthr(sf: f64, streams: usize) {
             let queries = all_queries(&cat);
             barrier.wait();
             let mut records = Vec::new();
+            let mut waited = 0usize;
             for i in 0..queries.len() {
                 // Offset start order so streams hit different queries at once
                 // while still overlapping on the hot tables.
@@ -302,6 +385,26 @@ fn run_qthr(sf: f64, streams: usize) {
                     s, n
                 );
                 let prof = session.profile_last_query();
+                // Lifecycle wait attribution: any query that measurably
+                // blocked in admission (>=1ms, the slow-wait event
+                // threshold) must carry an "admission" phase span in its
+                // chrome trace, timed from the same clock as the profile.
+                if prof
+                    .as_ref()
+                    .is_some_and(|p| p.timeline.admission_ns >= 1_000_000)
+                {
+                    waited += 1;
+                    let trace = session
+                        .export_trace()
+                        .expect("profiled stream query must produce a trace");
+                    assert!(
+                        trace.contains("\"admission\""),
+                        "stream {} Q{} waited in admission but its trace has no \
+                         admission span",
+                        s,
+                        n
+                    );
+                }
                 records.push(BenchRecord {
                     query: format!("S{}-Q{}", s, n),
                     dop: prof.as_ref().map_or(1, |p| p.dop),
@@ -315,12 +418,15 @@ fn run_qthr(sf: f64, streams: usize) {
                         .and_then(|d| d.hit_rate()),
                 });
             }
-            records
+            (records, waited)
         }));
     }
     let mut records = Vec::new();
+    let mut traced_waits = 0usize;
     for h in handles {
-        records.extend(h.join().unwrap());
+        let (r, w) = h.join().unwrap();
+        records.extend(r);
+        traced_waits += w;
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let qthr = (streams * n_queries) as f64 * 3600.0 / elapsed;
@@ -367,6 +473,34 @@ fn run_qthr(sf: f64, streams: usize) {
             adm.admitted - adm_before.admitted
         ),
     }
+
+    // Wait-state attribution must agree with the scheduler: every profiled
+    // query times its admission acquire, so the history ring's `vw_waits`
+    // rows always carry a nonzero admission total — and any stream query
+    // that blocked >=1ms was already checked above for an "admission" phase
+    // span in its chrome trace.
+    let wait_rows = db
+        .execute("SELECT wait_class, wait_ms FROM vw_waits")
+        .expect("vw_waits query")
+        .rows;
+    let adm_ms: f64 = wait_rows
+        .iter()
+        .filter(|r| matches!(&r[0], vw_common::Value::Str(s) if s == "admission"))
+        .map(|r| match &r[1] {
+            vw_common::Value::F64(v) => *v,
+            _ => 0.0,
+        })
+        .sum();
+    assert!(
+        adm_ms > 0.0,
+        "vw_waits attributes no admission time across {} rows",
+        wait_rows.len()
+    );
+    println!(
+        "waits: vw_waits attributes {:.2}ms of admission across the history \
+         ring; {} stream queries blocked >=1ms (trace spans verified)",
+        adm_ms, traced_waits
+    );
 
     // ABM bandwidth sharing between overlapping lineitem scans. The main run
     // usually produces shared hits; if the interleaving happened to never

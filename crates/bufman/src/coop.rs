@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vw_common::waits::{WaitClass, WaitStats, WaitTimer};
 use vw_common::{BlockId, Result, VwError};
 use vw_storage::SimDisk;
 
@@ -185,6 +186,7 @@ impl Abm {
             abm: self.clone(),
             id,
             done: false,
+            waits: None,
         }
     }
 
@@ -288,7 +290,12 @@ impl Abm {
     /// bandwidth sharing cooperative scans exist for. Blocks outside the
     /// scan's registered set are served too (graceful degradation), they
     /// just don't participate in relevance accounting.
-    fn fetch_for(&self, id: ScanId, block: BlockId) -> Result<Arc<Vec<u8>>> {
+    fn fetch_for(
+        &self,
+        id: ScanId,
+        block: BlockId,
+        waits: Option<&WaitStats>,
+    ) -> Result<Arc<Vec<u8>>> {
         {
             let mut g = self.state.lock();
             if let Some(cb) = g.cache.get_mut(&block) {
@@ -304,8 +311,11 @@ impl Abm {
                 return Ok(data);
             }
         }
-        // Miss: load outside the lock (charges virtual I/O time).
+        // Miss: load outside the lock (charges virtual I/O time). This is
+        // the scan's block-I/O wait; cache hits above cost no wait.
+        let io_timer = waits.map(|w| WaitTimer::start(w, WaitClass::BlockIo));
         let data = self.disk.read_block(block)?;
+        drop(io_timer);
         let mut g = self.state.lock();
         g.loads += 1;
         if let Some(scan) = g.scans.get_mut(&id) {
@@ -400,6 +410,10 @@ pub struct CoopScanHandle {
     abm: Arc<Abm>,
     id: ScanId,
     done: bool,
+    /// Wait-state sink: demand-fetch misses record their disk time here as
+    /// `block_io` waits (set by the executor per plan node; `None` costs
+    /// nothing).
+    waits: Option<Arc<WaitStats>>,
 }
 
 impl Clone for CoopScanHandle {
@@ -409,6 +423,7 @@ impl Clone for CoopScanHandle {
             abm: self.abm.clone(),
             id: self.id,
             done: false,
+            waits: self.waits.clone(),
         }
     }
 }
@@ -432,7 +447,12 @@ impl CoopScanHandle {
     /// Overlapping scans of the same blocks share loads: whoever reads a
     /// block first leaves it cached for the others ("shared hits").
     pub fn fetch(&self, block: BlockId) -> Result<Arc<Vec<u8>>> {
-        self.abm.fetch_for(self.id, block)
+        self.abm.fetch_for(self.id, block, self.waits.as_deref())
+    }
+
+    /// Attribute this handle's demand-fetch misses to `waits` as `block_io`.
+    pub fn set_waits(&mut self, waits: Arc<WaitStats>) {
+        self.waits = Some(waits);
     }
 }
 
@@ -488,6 +508,32 @@ mod tests {
         assert_eq!(s.loads, 10, "one disk pass for two scans");
         assert_eq!(s.shared_hits, 10, "second scan rode the first's loads");
         assert_eq!(disk.stats().reads, 10);
+    }
+
+    #[test]
+    fn demand_fetch_miss_records_block_io_wait() {
+        let (disk, ids) = setup(4, 100);
+        let abm = Abm::new(disk.clone(), 4 * 100);
+        let mut a = abm.register_scan(ids.clone());
+        let mut b = abm.register_scan(ids.clone());
+        let waits = Arc::new(WaitStats::new());
+        a.set_waits(waits.clone());
+        for &bid in &ids {
+            a.fetch(bid).unwrap();
+        }
+        // Every fetch was a miss: one block_io wait event per block.
+        assert_eq!(waits.count(WaitClass::BlockIo), 4);
+
+        // The overlapping scan rides a's loads: no new block_io waits.
+        let bw = Arc::new(WaitStats::new());
+        b.set_waits(bw.clone());
+        for &bid in &ids {
+            b.fetch(bid).unwrap();
+        }
+        assert_eq!(bw.count(WaitClass::BlockIo), 0, "cache hits are not waits");
+        // Clones share the sink.
+        let c = b.clone();
+        drop(c);
     }
 
     #[test]

@@ -109,6 +109,50 @@ fn env_adaptivity(var: &str) -> bool {
     }
 }
 
+/// Environment variable acting as the structured-event-log kill switch
+/// (`VW_LOG=off` disables event recording entirely, so the ring buffer is
+/// never touched). Anything else — including unset — leaves it on.
+pub const LOG_ENV: &str = "VW_LOG";
+
+fn env_event_log(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => {
+            !(v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("0"))
+        }
+        _ => true,
+    }
+}
+
+/// Default capacity of the per-database query-history ring (`vw_queries`).
+pub const QUERY_HISTORY_DEFAULT: usize = 128;
+
+/// Upper bound accepted by `SET query_history = N` (keeps the ring bounded
+/// even under adversarial settings).
+pub const QUERY_HISTORY_MAX: usize = 65_536;
+
+/// Parse a human-friendly duration into nanoseconds: a plain integer is
+/// nanoseconds; `us`/`ms`/`s` suffixes scale (case-insensitive, optional
+/// space). `SET log_min_duration = '5ms'` and `= 5000000` are equivalent.
+pub fn parse_duration_ns(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let digits_end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(s.len(), |(i, _)| i);
+    let n: u64 = s[..digits_end].parse().ok()?;
+    let unit = s[digits_end..].trim().to_ascii_lowercase();
+    let mult: u64 = match unit.as_str() {
+        "" | "ns" => 1,
+        "us" => 1_000,
+        "ms" => 1_000_000,
+        "s" => 1_000_000_000,
+        _ => return None,
+    };
+    n.checked_mul(mult)
+}
+
 fn env_byte_size(var: &str) -> Option<usize> {
     let v = std::env::var(var).ok()?;
     if v.eq_ignore_ascii_case("unbounded") || v.eq_ignore_ascii_case("none") {
@@ -152,6 +196,19 @@ pub struct EngineConfig {
     /// `SET adaptivity` mid-stream never changes a running query's
     /// behaviour. Defaults on; `VW_ADAPT=off` disables.
     pub adaptivity: bool,
+    /// Slow-query threshold in nanoseconds for the structured event log:
+    /// queries whose wall time meets or exceeds it emit a `slow_query`
+    /// event. `None` (default) disables slow-query logging. Set via
+    /// `SET log_min_duration = <ns | '5ms' | 0 to disable>`.
+    pub log_min_duration_ns: Option<u64>,
+    /// Capacity of the query-history ring backing `vw_queries`. Evictions
+    /// are counted in the `history_evicted_total` metric. Set via
+    /// `SET query_history = N` (clamped to [`QUERY_HISTORY_MAX`]).
+    pub query_history: usize,
+    /// Master switch for the structured event log. Defaults on (recording
+    /// is a handful of events per *query*, never per vector); `VW_LOG=off`
+    /// disables it so the ring is never touched.
+    pub event_log: bool,
 }
 
 impl Default for EngineConfig {
@@ -165,6 +222,9 @@ impl Default for EngineConfig {
             decode_cache_bytes: env_byte_size(DECODE_CACHE_ENV).unwrap_or(DECODE_CACHE_BYTES),
             agg_path: env_agg_path(AGG_PATH_ENV),
             adaptivity: env_adaptivity(ADAPT_ENV),
+            log_min_duration_ns: None,
+            query_history: QUERY_HISTORY_DEFAULT,
+            event_log: env_event_log(LOG_ENV),
         }
     }
 }
@@ -232,6 +292,36 @@ mod tests {
         assert_eq!(parse_byte_size("x"), None);
         assert_eq!(parse_byte_size("16XB"), None);
         assert_eq!(parse_byte_size(""), None);
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration_ns("0"), Some(0));
+        assert_eq!(parse_duration_ns("1"), Some(1));
+        assert_eq!(parse_duration_ns("5ms"), Some(5_000_000));
+        assert_eq!(parse_duration_ns("10 us"), Some(10_000));
+        assert_eq!(parse_duration_ns("2s"), Some(2_000_000_000));
+        assert_eq!(parse_duration_ns("7ns"), Some(7));
+        assert_eq!(parse_duration_ns("x"), None);
+        assert_eq!(parse_duration_ns("5m"), None);
+        assert_eq!(parse_duration_ns(""), None);
+    }
+
+    #[test]
+    fn event_log_tracks_env() {
+        // CI legs may run the whole suite with VW_LOG=off, so assert
+        // consistency with the environment rather than a fixed value.
+        let expected = match std::env::var(LOG_ENV) {
+            Ok(v) => {
+                !(v.eq_ignore_ascii_case("off")
+                    || v.eq_ignore_ascii_case("false")
+                    || v.eq_ignore_ascii_case("0"))
+            }
+            _ => true,
+        };
+        assert_eq!(EngineConfig::default().event_log, expected);
+        assert_eq!(EngineConfig::default().query_history, QUERY_HISTORY_DEFAULT);
+        assert_eq!(EngineConfig::default().log_min_duration_ns, None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod metrics;
 pub mod rng;
 pub mod schema;
 pub mod types;
+pub mod waits;
 
 pub use bitvec::BitVec;
 pub use config::VECTOR_SIZE;
@@ -28,3 +29,4 @@ pub use layout::{RangePartitionSpec, SortSpec, TableLayout};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricsRegistry};
 pub use schema::{Field, Schema};
 pub use types::{normalize_key_f64, DataType, Value};
+pub use waits::{WaitClass, WaitSnapshot, WaitStats, WaitTimer, ALL_WAIT_CLASSES, WAIT_CLASSES};

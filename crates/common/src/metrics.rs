@@ -166,6 +166,44 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket containing the target rank. Derived entirely from
+    /// the snapshot, so it costs nothing on the recording path; because the
+    /// buckets are fixed and the cells merge by addition, the estimate is
+    /// identical at any dop. Empty histograms return 0.0; ranks landing in
+    /// the overflow bucket return the last finite bound (the estimate is
+    /// clamped — we cannot interpolate toward +inf).
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += n;
+            if (cum as f64) >= rank {
+                let hi = match self.bounds.get(i) {
+                    Some(&b) => b as f64,
+                    // Overflow bucket: clamp to the last finite bound.
+                    None => return *self.bounds.last().unwrap() as f64,
+                };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let into = (rank - prev as f64) / n as f64;
+                return lo + (hi - lo) * into.clamp(0.0, 1.0);
+            }
+        }
+        *self.bounds.last().unwrap() as f64
+    }
 }
 
 /// One row of a registry snapshot; histograms expand into `_count`, `_sum`
@@ -288,6 +326,14 @@ impl MetricsRegistry {
                 kind: "histogram",
                 value: snap.sum as f64,
             });
+            for (suffix, q) in [("_p50", 0.50), ("_p95", 0.95), ("_p99", 0.99)] {
+                out.push(MetricSample {
+                    name: format!("{name}{suffix}"),
+                    label: label.clone(),
+                    kind: "histogram",
+                    value: snap.percentile(q),
+                });
+            }
             for (i, &n) in snap.counts.iter().enumerate() {
                 if n == 0 {
                     continue;
@@ -427,6 +473,101 @@ mod tests {
         assert_eq!(find("op_ns_count", "Scan"), 2.0);
         assert_eq!(find("op_ns_bucket", "Scan,le=100"), 1.0);
         assert_eq!(find("op_ns_bucket", "Scan,le=inf"), 1.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundary_values() {
+        // Bounds are inclusive upper bounds: a value exactly equal to a
+        // bound lands in that bucket, one past it lands in the next.
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [9, 10, 11, 99, 100, 101, 999, 1000, 1001] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 3, 3, 1]);
+        // partition_point never panics at the extremes.
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 3);
+        assert_eq!(s.counts[3], 2);
+    }
+
+    #[test]
+    fn percentiles_on_empty_and_single_bucket() {
+        // Empty histogram: every percentile is 0.
+        let h = Histogram::new(&[100, 200]);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.percentile(0.99), 0.0);
+
+        // All mass in one bucket: percentiles interpolate within [lo, hi]
+        // of that bucket and never escape it.
+        for _ in 0..10 {
+            h.record(150);
+        }
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let p = s.percentile(q);
+            assert!(
+                (100.0..=200.0).contains(&p),
+                "p{q} = {p} escaped the single occupied bucket"
+            );
+        }
+        // Monotone in q.
+        assert!(s.percentile(0.95) >= s.percentile(0.50));
+
+        // Overflow-only mass clamps to the last finite bound.
+        let h = Histogram::new(&[100, 200]);
+        h.record(5000);
+        assert_eq!(h.snapshot().percentile(0.5), 200.0);
+    }
+
+    #[test]
+    fn percentile_interpolation_is_dop_independent() {
+        // Same events recorded at dop 1 and dop 4 must give bit-identical
+        // percentile estimates (cells merge by addition).
+        let events: Vec<u64> = (0..5_000u64).map(|i| (i * 104_729) % 9_000_000).collect();
+        let serial = Histogram::new(LATENCY_BUCKETS_NS);
+        for &e in &events {
+            serial.record(e);
+        }
+        let par = Arc::new(Histogram::new(LATENCY_BUCKETS_NS));
+        thread::scope(|s| {
+            for w in 0..4usize {
+                let h = Arc::clone(&par);
+                let chunk: Vec<u64> = events.iter().copied().skip(w).step_by(4).collect();
+                s.spawn(move || {
+                    for e in chunk {
+                        h.record(e);
+                    }
+                });
+            }
+        });
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(
+                serial.snapshot().percentile(q).to_bits(),
+                par.snapshot().percentile(q).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_emits_percentile_samples() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns", "", LATENCY_BUCKETS_NS);
+        for i in 0..100u64 {
+            h.record(i * 10_000);
+        }
+        let snap = reg.snapshot();
+        let find = |n: &str| {
+            snap.iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("missing {n}"))
+                .value
+        };
+        let (p50, p95, p99) = (find("lat_ns_p50"), find("lat_ns_p95"), find("lat_ns_p99"));
+        assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99);
     }
 
     #[test]

@@ -206,6 +206,9 @@ fn compile_rec(
             if let Some(t) = &ctx.trace {
                 join.set_trace(t.clone());
             }
+            if let Some(p) = prof {
+                join.set_waits(p.waits().clone());
+            }
             Box::new(join)
         }
         LogicalPlan::Aggregate {
@@ -301,6 +304,9 @@ fn compile_rec(
                 if let Some(t) = &ctx.trace {
                     agg.set_trace(t.clone());
                 }
+                if let Some(p) = prof {
+                    agg.set_waits(p.waits().clone());
+                }
                 if let (true, Some(fb)) = (ctx.config.adaptivity, &ctx.agg_feedback) {
                     agg.set_agg_feedback(fb.clone(), table_id.as_u64(), shape_keys);
                 }
@@ -326,6 +332,9 @@ fn compile_rec(
                 if let Some(t) = &ctx.trace {
                     agg.set_trace(t.clone());
                 }
+                if let Some(p) = prof {
+                    agg.set_waits(p.waits().clone());
+                }
                 if ctx.config.agg_path == AggPath::Auto {
                     // Non-fused inputs have no storage-level MinMax hints, but
                     // bool/low-cardinality-string keys can still take the
@@ -349,6 +358,9 @@ fn compile_rec(
             }
             if let Some(t) = &ctx.trace {
                 sort.set_trace(t.clone());
+            }
+            if let Some(p) = prof {
+                sort.set_waits(p.waits().clone());
             }
             Box::new(sort)
         }
@@ -377,6 +389,9 @@ fn compile_rec(
                     }
                     if let Some(t) = &ctx.trace {
                         topn.set_trace(t.clone());
+                    }
+                    if let Some(p) = prof {
+                        topn.set_waits(p.waits().clone());
                     }
                     return Ok(finish_op(Box::new(topn), ctx, prof));
                 }
@@ -523,6 +538,12 @@ fn compile_scan(
     }
     if let Some(t) = &ctx.trace {
         scan.set_trace(t.clone());
+    }
+    if let Some(p) = prof {
+        // Hands the node's WaitStats to the scan AND its coop handle, so
+        // block I/O, decode misses and morsel contention all land on this
+        // plan node's wait ledger.
+        scan.set_waits(p.waits().clone());
     }
     scan.set_worker(ctx.worker);
     Ok(scan)

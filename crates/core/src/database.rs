@@ -11,21 +11,23 @@
 //! stable storage between checkpoints), so readers never block writers.
 
 use crate::compile::{compile_plan, ExecContext, TableProvider};
+use crate::events::{EventLog, LogEvent, Severity, EVENT_LOG_CAP};
 use crate::mem::MemBudget;
 use crate::operators::collect_rows;
-use crate::profile::{OpProfile, QueryProfile};
+use crate::profile::{OpProfile, QueryProfile, Timeline};
 use crate::sched::{AdmissionStats, Scheduler};
 use crate::session::Session;
 use crate::systab;
 use crate::trace::{TraceCollector, TraceHandle};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
-use vw_common::config::{AggPath, EngineConfig};
+use std::time::{Duration, Instant};
+use vw_common::config::{AggPath, EngineConfig, QUERY_HISTORY_MAX};
 use vw_common::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
+use vw_common::waits::{WaitClass, WaitSnapshot};
 use vw_common::{DataType, Result, Schema, TableId, TableLayout, Value, VwError};
 use vw_pdt::Pdt;
 use vw_plan::{
@@ -33,12 +35,35 @@ use vw_plan::{
     parallelize, prune_columns, push_down_filters, recordable, CardFeedback, LogicalPlan,
     TableStats,
 };
-use vw_sql::{compile_sql, BoundStatement, CatalogView, SetScope};
+use vw_sql::{bind, parse_statement, BoundStatement, CatalogView, SetScope};
 use vw_storage::{SimDisk, SimDiskConfig, TableBuilder, TableStorage};
 use vw_txn::{checkpoint_table, materialize_image, Transaction, TxnManager};
 
-/// How many recent queries the history ring buffer (`vw_queries`) retains.
-const QUERY_HISTORY_CAP: usize = 128;
+/// Admission waits at or above this emit an `admission_wait` event into the
+/// structured log (shorter stalls still show in `vw_waits` and the timeline).
+const ADMISSION_EVENT_THRESHOLD_NS: u64 = 1_000_000;
+
+/// Lifecycle marks accumulated before [`Database::run_query`] takes over:
+/// the instant the statement arrived plus the parse/bind durations measured
+/// around the SQL front-end. Plan-API entry points start the clock at
+/// `run_query` entry with zero front-end phases.
+#[derive(Clone, Copy)]
+pub(crate) struct Lifecycle {
+    epoch: Instant,
+    parse_ns: u64,
+    bind_ns: u64,
+}
+
+impl Lifecycle {
+    /// A lifecycle starting now, with no SQL front-end phases (plan API).
+    pub(crate) fn start() -> Lifecycle {
+        Lifecycle {
+            epoch: Instant::now(),
+            parse_ns: 0,
+            bind_ns: 0,
+        }
+    }
+}
 
 /// A query result: schema + row values.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,6 +154,12 @@ pub struct QueryRecord {
     /// Id of the [`Session`] that ran the query (0 = no session; the
     /// database-level convenience API).
     pub session: u64,
+    /// Lifecycle phase timeline; phases sum to `wall`. Recorded for every
+    /// query (timing the six phase boundaries costs nothing per vector).
+    pub timeline: Timeline,
+    /// Per-class wait attribution (operator waits rolled up + admission).
+    /// Only the admission class is populated when profiling was off.
+    pub waits: WaitSnapshot,
     /// Per-operator profile, when profiling was on for this query.
     pub profile: Option<Arc<QueryProfile>>,
 }
@@ -156,6 +187,8 @@ struct CoreMetrics {
     plan_corrections: Arc<Counter>,
     /// Aggregation-path choices the feedback store overrode.
     agg_path_switches: Arc<Counter>,
+    /// Queries evicted from the history ring (`vw_queries` drops).
+    history_evicted: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -170,6 +203,7 @@ impl CoreMetrics {
             adapt_reorders: registry.counter("adapt_reorders_total", ""),
             plan_corrections: registry.counter("plan_corrections_total", ""),
             agg_path_switches: registry.counter("agg_path_switches_total", ""),
+            history_evicted: registry.counter("history_evicted_total", ""),
         }
     }
 }
@@ -217,6 +251,13 @@ pub struct Database {
     /// Cross-query aggregation-path feedback (group counts, perfect-hash
     /// refusals), shared into running aggregates.
     agg_feedback: Arc<crate::adapt::AggFeedback>,
+    /// Structured event log (`vw_log`, [`Database::drain_events`]).
+    events: Arc<EventLog>,
+    /// Count of in-flight checkpoints + condvar. Queries entering execution
+    /// wait for it to reach zero, attributing the blocked time to the
+    /// timeline's checkpoint phase; with no checkpoint running the check is
+    /// one uncontended lock.
+    checkpoint_gate: (Mutex<usize>, Condvar),
 }
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -259,6 +300,7 @@ impl Database {
             metrics.register_polled(name, "", move || f(&sched.stats()) as f64);
         }
         let ledger = Arc::new(MemBudget::new(config.mem_budget_bytes));
+        let event_log_on = config.event_log;
         Ok(Database {
             disk,
             tables: RwLock::new(HashMap::new()),
@@ -280,6 +322,8 @@ impl Database {
             next_session_id: AtomicU64::new(1),
             card_feedback: Mutex::new(CardFeedback::new()),
             agg_feedback: Arc::new(crate::adapt::AggFeedback::new()),
+            events: Arc::new(EventLog::new(EVENT_LOG_CAP, event_log_on)),
+            checkpoint_gate: (Mutex::new(0), Condvar::new()),
         })
     }
 
@@ -413,6 +457,17 @@ impl Database {
     /// programmatic inspection).
     pub fn last_trace(&self) -> Option<Arc<TraceCollector>> {
         self.last_trace.read().clone()
+    }
+
+    /// The structured event log (also queryable as `vw_log`).
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.events
+    }
+
+    /// `tail -f`-style event drain: the typed events appended since the
+    /// previous `drain_events` call (harnesses poll this between batches).
+    pub fn drain_events(&self) -> Vec<LogEvent> {
+        self.events.drain()
     }
 
     // ------------------------------------------------------------- catalog
@@ -651,7 +706,7 @@ impl Database {
 
     /// Execute a logical plan, optionally inside a transaction's view.
     pub fn run_plan_in(&self, plan: LogicalPlan, txn: Option<&Transaction>) -> Result<QueryResult> {
-        self.run_query(plan, txn, false, None, self.config(), 0)
+        self.run_query(plan, txn, false, None, self.config(), 0, Lifecycle::start())
             .map(|o| o.result)
     }
 
@@ -665,6 +720,7 @@ impl Database {
     /// trace are returned in the [`QueryOutcome`] (per-session slots are the
     /// caller's job); the database-global `last_profile`/`last_trace` slots
     /// are still written as a deprecated single-session convenience.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_query(
         &self,
         plan: LogicalPlan,
@@ -673,7 +729,9 @@ impl Database {
         sql: Option<&str>,
         config: EngineConfig,
         session: u64,
+        lifecycle: Lifecycle,
     ) -> Result<QueryOutcome> {
+        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
         let plan = self.optimize_plan_with(plan, &config);
         // The corrections the feedback store actually applied to this plan
         // (for the metrics counter and the EXPLAIN ANALYZE feedback line).
@@ -683,14 +741,50 @@ impl Database {
             Vec::new()
         };
         let schema = plan.schema()?;
+        // Everything since the statement arrived that wasn't parse/bind is
+        // the optimize phase (rewrites, feedback lookup, schema check).
+        let optimize_ns = (lifecycle.epoch.elapsed().as_nanos() as u64)
+            .saturating_sub(lifecycle.parse_ns + lifecycle.bind_ns);
+        self.events.emit(
+            Severity::Info,
+            "query_start",
+            query_id,
+            session,
+            match sql {
+                Some(s) => vec![("sql", truncate_sql(s))],
+                None => Vec::new(),
+            },
+        );
         // Admission: block until the global ledger has headroom for this
         // plan's estimate. The grant (scheduler bookkeeping, not a ledger
         // reservation) is declared before the context so it drops *after*
         // the operators have released their memory.
         let ledger = self.ledger.read().clone();
+        let t_admit = Instant::now();
         let _grant = self
             .sched
             .admit(ledger.limit(), admission_want(&plan, ledger.limit()));
+        let admission_ns = t_admit.elapsed().as_nanos() as u64;
+        if admission_ns >= ADMISSION_EVENT_THRESHOLD_NS {
+            self.events.emit(
+                Severity::Warn,
+                "admission_wait",
+                query_id,
+                session,
+                vec![("wait_ms", format!("{:.3}", admission_ns as f64 / 1e6))],
+            );
+        }
+        // Don't start executing mid-checkpoint: wait out any in-flight
+        // checkpoint, attributing the blocked time to the checkpoint phase.
+        let t_ckpt = Instant::now();
+        {
+            let (lock, cv) = &self.checkpoint_gate;
+            let mut n = lock.lock();
+            while *n > 0 {
+                cv.wait(&mut n);
+            }
+        }
+        let checkpoint_ns = t_ckpt.elapsed().as_nanos() as u64;
         let mut ctx = self.exec_context_with(txn, config)?;
         if ledger.limit().is_some() {
             // Chain the per-query budget onto the shared ledger so
@@ -706,24 +800,52 @@ impl Database {
         ctx.profile = root.clone();
         ctx.metrics = Some(self.metrics.clone());
         // The trace rides the profiling switch: same amortization argument,
-        // and `TRACE`/`EXPLAIN ANALYZE` force both on together.
-        let collector = profiling.then(|| Arc::new(TraceCollector::new()));
+        // and `TRACE`/`EXPLAIN ANALYZE` force both on together. The epoch is
+        // the instant the statement arrived, so the lifecycle phase spans
+        // land at their true offsets ahead of the execution spans.
+        let collector = profiling.then(|| Arc::new(TraceCollector::with_epoch(lifecycle.epoch)));
         if let Some(c) = &collector {
-            c.set_meta(self.next_query_id.load(Ordering::Relaxed), session);
+            c.set_meta(query_id, session);
             ctx.trace = Some(TraceHandle::new(c.clone(), 0));
         }
         let disk_before = self.disk.stats();
         let buf_before = self.buffer.read().as_ref().map(|a| a.stats());
         let decode_before = self.decode_cache.stats();
-        let started = std::time::Instant::now();
         let mut op = compile_plan(&plan, &ctx)?;
         let rows = collect_rows(op.as_mut())?;
         drop(op); // flush profile extras from operators cut short by LIMIT
-        let wall = started.elapsed();
-        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+                  // Wall covers the full lifecycle (parse → drain); the execute phase
+                  // is the remainder after the five earlier phases, so the timeline
+                  // sums to wall exactly.
+        let wall = lifecycle.epoch.elapsed();
+        let timeline = Timeline {
+            parse_ns: lifecycle.parse_ns,
+            bind_ns: lifecycle.bind_ns,
+            optimize_ns,
+            admission_ns,
+            checkpoint_ns,
+            execute_ns: (wall.as_nanos() as u64).saturating_sub(
+                lifecycle.parse_ns + lifecycle.bind_ns + optimize_ns + admission_ns + checkpoint_ns,
+            ),
+        };
         if let Some(c) = &collector {
-            c.set_meta(query_id, session);
+            // Lifecycle phase spans on the coordinator track: back-to-back
+            // from the epoch, mirroring the Timeline line.
+            let t = TraceHandle::new(c.clone(), 0);
+            let mut at = 0u64;
+            for (name, dur) in timeline.phases() {
+                t.span_at(name, "phase", at, dur);
+                at += dur;
+            }
         }
+        // Roll operator waits up per class and add the admission wait (which
+        // happened before any operator existed).
+        let mut waits = root.as_ref().map(|r| r.rollup_waits()).unwrap_or_default();
+        waits.add(
+            WaitClass::Admission,
+            admission_ns,
+            (admission_ns > 0) as u64,
+        );
         let profile = root.map(|root| {
             Arc::new(QueryProfile {
                 root,
@@ -749,6 +871,8 @@ impl Database {
                         .collect::<Vec<_>>()
                         .join(", ")
                 }),
+                timeline,
+                waits,
             })
         });
         if let Some(p) = &profile {
@@ -794,6 +918,91 @@ impl Database {
         m.morsels_claimed.add(ctx.stats.morsels_claimed() as u64);
         m.join_builds.add(ctx.stats.builds_executed() as u64);
         m.query_wall.record(wall.as_nanos() as u64);
+        if self.events.enabled() {
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            self.events.emit(
+                Severity::Info,
+                "query_finish",
+                query_id,
+                session,
+                vec![
+                    ("wall_ms", format!("{wall_ms:.3}")),
+                    ("rows", rows.len().to_string()),
+                ],
+            );
+            if let Some(min) = ctx.config.log_min_duration_ns {
+                if wall.as_nanos() as u64 >= min {
+                    self.events.emit(
+                        Severity::Warn,
+                        "slow_query",
+                        query_id,
+                        session,
+                        match sql {
+                            Some(s) => vec![
+                                ("wall_ms", format!("{wall_ms:.3}")),
+                                ("sql", truncate_sql(s)),
+                            ],
+                            None => vec![("wall_ms", format!("{wall_ms:.3}"))],
+                        },
+                    );
+                }
+            }
+            if mem.spill_events > 0 {
+                self.events.emit(
+                    Severity::Warn,
+                    "spill",
+                    query_id,
+                    session,
+                    vec![
+                        ("events", mem.spill_events.to_string()),
+                        ("bytes", mem.spill_bytes.to_string()),
+                    ],
+                );
+            }
+            if let Some(p) = &profile {
+                let mut vetoes = 0u64;
+                let mut fallbacks = 0u64;
+                for n in p.nodes() {
+                    for (k, v) in n.extras() {
+                        match k {
+                            "agg_adapt_veto" => vetoes += v,
+                            "agg_fallback" => fallbacks += v,
+                            _ => {}
+                        }
+                    }
+                }
+                if vetoes > 0 {
+                    self.events.emit(
+                        Severity::Info,
+                        "agg_veto",
+                        query_id,
+                        session,
+                        vec![("count", vetoes.to_string())],
+                    );
+                }
+                if fallbacks > 0 {
+                    self.events.emit(
+                        Severity::Info,
+                        "agg_fallback",
+                        query_id,
+                        session,
+                        vec![("count", fallbacks.to_string())],
+                    );
+                }
+            }
+            for c in &corrections {
+                self.events.emit(
+                    Severity::Info,
+                    "plan_correction",
+                    query_id,
+                    session,
+                    vec![
+                        ("node", c.node.to_string()),
+                        ("factor", format!("{:.2}", c.factor)),
+                    ],
+                );
+            }
+        }
         let record = QueryRecord {
             id: query_id,
             sql: sql.map(str::to_string),
@@ -803,11 +1012,18 @@ impl Database {
             peak_mem_bytes: mem.peak,
             spill_bytes: mem.spill_bytes,
             session,
+            timeline,
+            waits,
             profile: profile.clone(),
         };
+        // The ring cap is the *global* `query_history` setting (a session
+        // `SET` changes only that session's config snapshot, but eviction is
+        // a database-wide concern).
+        let cap = self.config.read().query_history.max(1);
         let mut history = self.history.lock();
-        if history.len() >= QUERY_HISTORY_CAP {
+        while history.len() >= cap {
             history.pop_front();
+            self.core_metrics.history_evicted.inc();
         }
         history.push_back(record);
         drop(history);
@@ -871,6 +1087,8 @@ impl Database {
             "vw_metrics" => self.vw_metrics_rows(),
             "vw_io" => self.vw_io_rows(),
             "vw_cache" => self.vw_cache_rows(),
+            "vw_waits" => self.vw_waits_rows(),
+            "vw_log" => self.vw_log_rows(),
             other => {
                 return Err(VwError::Catalog(format!(
                     "unknown system table '{}'",
@@ -909,6 +1127,56 @@ impl Database {
                     Value::I64(q.peak_mem_bytes as i64),
                     Value::I64(q.spill_bytes as i64),
                     Value::I64(q.session as i64),
+                    Value::F64(q.timeline.parse_ns as f64 / 1e6),
+                    Value::F64(q.timeline.bind_ns as f64 / 1e6),
+                    Value::F64(q.timeline.optimize_ns as f64 / 1e6),
+                    Value::F64(q.timeline.admission_ns as f64 / 1e6),
+                    Value::F64(q.timeline.checkpoint_ns as f64 / 1e6),
+                    Value::F64(q.timeline.execute_ns as f64 / 1e6),
+                ]
+            })
+            .collect()
+    }
+
+    /// One row per query × wait class with nonzero time (oldest query first,
+    /// classes in declaration order).
+    fn vw_waits_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for q in self.history.lock().iter() {
+            for class in vw_common::ALL_WAIT_CLASSES {
+                let ns = q.waits.ns(class);
+                if ns == 0 {
+                    continue;
+                }
+                rows.push(vec![
+                    Value::I64(q.id as i64),
+                    Value::Str(class.name().to_string()),
+                    Value::F64(ns as f64 / 1e6),
+                    Value::I64(q.waits.count(class) as i64),
+                ]);
+            }
+        }
+        rows
+    }
+
+    fn vw_log_rows(&self) -> Vec<Vec<Value>> {
+        self.events
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                let detail = if e.fields.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Str(e.detail())
+                };
+                vec![
+                    Value::I64(e.seq as i64),
+                    Value::F64(e.ts_ms),
+                    Value::Str(e.severity.name().to_string()),
+                    Value::Str(e.event.to_string()),
+                    Value::I64(e.query_id as i64),
+                    Value::I64(e.session as i64),
+                    detail,
                 ]
             })
             .collect()
@@ -919,7 +1187,7 @@ impl Database {
         for q in self.history.lock().iter() {
             let Some(profile) = &q.profile else { continue };
             for node in profile.nodes() {
-                let extras = node.extras();
+                let extras = node.extras_full();
                 let extras = if extras.is_empty() {
                     Value::Null
                 } else {
@@ -1018,7 +1286,14 @@ impl Database {
     /// Execute one SQL statement, optionally on behalf of a [`Session`]
     /// (which scopes config snapshots, `SET`, and profile/trace slots).
     pub(crate) fn execute_opts(&self, sql: &str, session: Option<&Session>) -> Result<QueryResult> {
-        let bound = compile_sql(sql, self)?;
+        // Parse and bind separately so the lifecycle timeline can attribute
+        // each phase; `epoch` anchors the whole query's timeline.
+        let mut lifecycle = Lifecycle::start();
+        let stmt = parse_statement(sql)?;
+        lifecycle.parse_ns = lifecycle.epoch.elapsed().as_nanos() as u64;
+        let bound = bind(&stmt, self)?;
+        lifecycle.bind_ns =
+            (lifecycle.epoch.elapsed().as_nanos() as u64).saturating_sub(lifecycle.parse_ns);
         // One config snapshot per statement, taken at admission.
         let config = session.map_or_else(|| self.config(), |s| s.config());
         let sid = session.map_or(0, |s| s.id());
@@ -1029,7 +1304,8 @@ impl Database {
         };
         match bound {
             BoundStatement::Query(plan) => {
-                let outcome = self.run_query(plan, None, false, Some(sql), config, sid)?;
+                let outcome =
+                    self.run_query(plan, None, false, Some(sql), config, sid, lifecycle)?;
                 store(&outcome);
                 Ok(outcome.result)
             }
@@ -1046,7 +1322,8 @@ impl Database {
             BoundStatement::ExplainAnalyze(plan) => {
                 // Execute for real (profiling forced on) and return the
                 // annotated plan tree instead of the result rows.
-                let outcome = self.run_query(plan, None, true, Some(sql), config, sid)?;
+                let outcome =
+                    self.run_query(plan, None, true, Some(sql), config, sid, lifecycle)?;
                 store(&outcome);
                 let profile = outcome
                     .profile
@@ -1065,7 +1342,8 @@ impl Database {
                 // concatenating the rows reassembles the document. The JSON
                 // comes from *this* query's collector — never a concurrent
                 // session's.
-                let outcome = self.run_query(plan, None, true, Some(sql), config, sid)?;
+                let outcome =
+                    self.run_query(plan, None, true, Some(sql), config, sid, lifecycle)?;
                 store(&outcome);
                 let json = outcome
                     .trace
@@ -1150,6 +1428,13 @@ impl Database {
             "rewrite_nulls" => self.set_rewrite_nulls(set_bool(value)?),
             "agg_path" => self.config.write().agg_path = set_agg_path(value)?,
             "adaptivity" => self.config.write().adaptivity = set_bool(value)?,
+            "log_min_duration" => self.config.write().log_min_duration_ns = set_duration_ns(value)?,
+            "query_history" => self.set_query_history(set_usize(value)?),
+            "event_log" => {
+                let on = set_bool(value)?;
+                self.config.write().event_log = on;
+                self.events.set_enabled(on);
+            }
             other => {
                 return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
             }
@@ -1193,6 +1478,19 @@ impl Database {
                 let on = set_bool(value)?;
                 session.update_config(|c| c.adaptivity = on);
             }
+            "log_min_duration" => {
+                let ns = set_duration_ns(value)?;
+                session.update_config(|c| c.log_min_duration_ns = ns);
+            }
+            // The history ring is shared by every session, so its cap is
+            // global even from a session-scoped SET.
+            "query_history" => self.set_query_history(set_usize(value)?),
+            // The event log is likewise one shared ring.
+            "event_log" => {
+                let on = set_bool(value)?;
+                self.config.write().event_log = on;
+                self.events.set_enabled(on);
+            }
             other => {
                 return Err(VwError::Invalid(format!("unknown SET option '{}'", other)));
             }
@@ -1200,12 +1498,37 @@ impl Database {
         Ok(())
     }
 
+    /// Resize the query-history ring (clamped to `1..=QUERY_HISTORY_MAX`),
+    /// trimming oldest records immediately and counting each eviction.
+    fn set_query_history(&self, n: usize) {
+        let cap = n.clamp(1, QUERY_HISTORY_MAX);
+        self.config.write().query_history = cap;
+        let mut history = self.history.lock();
+        while history.len() > cap {
+            history.pop_front();
+            self.core_metrics.history_evicted.inc();
+        }
+    }
+
     /// Execute a SQL statement inside an open transaction (DML + queries).
     pub fn execute_in(&self, txn: &mut Transaction, sql: &str) -> Result<QueryResult> {
-        let bound = compile_sql(sql, self)?;
+        let mut lifecycle = Lifecycle::start();
+        let stmt = parse_statement(sql)?;
+        lifecycle.parse_ns = lifecycle.epoch.elapsed().as_nanos() as u64;
+        let bound = bind(&stmt, self)?;
+        lifecycle.bind_ns =
+            (lifecycle.epoch.elapsed().as_nanos() as u64).saturating_sub(lifecycle.parse_ns);
         match bound {
             BoundStatement::Query(plan) => self
-                .run_query(plan, Some(txn), false, Some(sql), self.config(), 0)
+                .run_query(
+                    plan,
+                    Some(txn),
+                    false,
+                    Some(sql),
+                    self.config(),
+                    0,
+                    lifecycle,
+                )
                 .map(|o| o.result),
             BoundStatement::Insert { table, rows } => {
                 check_writable(table)?;
@@ -1347,6 +1670,10 @@ impl Database {
     // ---------------------------------------------------------- maintenance
 
     /// Fold a table's PDT into stable storage and truncate the WAL.
+    ///
+    /// While the checkpoint runs, [`Database::run_query`] holds new queries
+    /// at the checkpoint gate and attributes the blocked time to the
+    /// `checkpoint` lifecycle phase.
     pub fn checkpoint(&self, name: &str) -> Result<u64> {
         let (id, storage) = {
             let tables = self.tables.read();
@@ -1355,9 +1682,35 @@ impl Database {
                 .ok_or_else(|| VwError::Catalog(format!("unknown table '{}'", name)))?;
             (entry.id, entry.storage.clone())
         };
-        let mgr = self.txn.read();
-        let mut storage = storage.write();
-        checkpoint_table(&mgr, id, &mut storage)
+        let t0 = Instant::now();
+        {
+            let (lock, _) = &self.checkpoint_gate;
+            *lock.lock() += 1;
+        }
+        let result = {
+            let mgr = self.txn.read();
+            let mut storage = storage.write();
+            checkpoint_table(&mgr, id, &mut storage)
+        };
+        {
+            let (lock, cv) = &self.checkpoint_gate;
+            *lock.lock() -= 1;
+            cv.notify_all();
+        }
+        self.events.emit(
+            Severity::Info,
+            "checkpoint",
+            0,
+            0,
+            vec![
+                ("table", name.to_string()),
+                (
+                    "wall_ms",
+                    format!("{:.3}", t0.elapsed().as_secs_f64() * 1e3),
+                ),
+            ],
+        );
+        result
     }
 
     /// Build optimizer statistics for a table from a sample of its stable
@@ -1460,6 +1813,39 @@ fn set_agg_path(v: &Value) -> Result<AggPath> {
             "agg_path must be 'auto' or 'generic', got {}",
             other
         ))),
+    }
+}
+
+/// Durations accept integers (nanoseconds) or strings with a unit
+/// ('250ms', '1s'); 0, NULL and 'off' disable the threshold.
+fn set_duration_ns(v: &Value) -> Result<Option<u64>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::I64(0) | Value::I32(0) => Ok(None),
+        Value::I64(n) if *n > 0 => Ok(Some(*n as u64)),
+        Value::I32(n) if *n > 0 => Ok(Some(*n as u64)),
+        Value::Str(s) if s.eq_ignore_ascii_case("off") => Ok(None),
+        Value::Str(s) => vw_common::config::parse_duration_ns(s)
+            .map(Some)
+            .ok_or_else(|| VwError::Invalid(format!("cannot parse '{}' as a duration", s))),
+        other => Err(VwError::Invalid(format!(
+            "expected a duration, got {}",
+            other
+        ))),
+    }
+}
+
+/// Trim a SQL text for an event field: single line, at most ~80 chars.
+fn truncate_sql(s: &str) -> String {
+    let one_line: String = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    if one_line.len() <= 80 {
+        one_line
+    } else {
+        let mut cut = 77;
+        while !one_line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}...", &one_line[..cut])
     }
 }
 
@@ -2020,7 +2406,10 @@ mod tests {
     fn system_tables_are_read_only_and_names_reserved() {
         let db = sample_db();
         let err = db
-            .execute("INSERT INTO vw_queries VALUES (1, 'x', 0.0, 0, 1, 0, 0, 0)")
+            .execute(
+                "INSERT INTO vw_queries VALUES \
+                 (1, 'x', 0.0, 0, 1, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)",
+            )
             .unwrap_err();
         assert!(err.to_string().contains("read-only"), "{}", err);
         let err = db.execute("DELETE FROM vw_io").unwrap_err();
@@ -2105,17 +2494,47 @@ mod tests {
     #[test]
     fn query_history_is_a_ring_buffer() {
         let db = wide_db(50);
-        for _ in 0..(QUERY_HISTORY_CAP + 10) {
+        let cap = vw_common::config::QUERY_HISTORY_DEFAULT;
+        for _ in 0..(cap + 10) {
             db.execute("SELECT COUNT(*) FROM t").unwrap();
         }
         let history = db.query_history();
-        assert_eq!(history.len(), QUERY_HISTORY_CAP);
+        assert_eq!(history.len(), cap);
         // Oldest entries were evicted: ids are contiguous and end at the
         // latest query.
         let first = history.first().unwrap().id;
         let last = history.last().unwrap().id;
-        assert_eq!(last - first + 1, QUERY_HISTORY_CAP as u64);
-        assert_eq!(last, (QUERY_HISTORY_CAP + 10) as u64);
+        assert_eq!(last - first + 1, cap as u64);
+        assert_eq!(last, (cap + 10) as u64);
+    }
+
+    #[test]
+    fn set_query_history_resizes_ring_and_counts_evictions() {
+        let db = wide_db(50);
+        for _ in 0..10 {
+            db.execute("SELECT COUNT(*) FROM t").unwrap();
+        }
+        // Shrinking trims oldest records immediately and counts them.
+        db.execute("SET GLOBAL query_history = 4").unwrap();
+        let history = db.query_history();
+        assert_eq!(history.len(), 4);
+        assert_eq!(history.last().unwrap().id, 10);
+        let evicted = db
+            .metrics()
+            .snapshot()
+            .into_iter()
+            .find(|s| s.name == "history_evicted_total")
+            .unwrap()
+            .value;
+        assert_eq!(evicted, 6.0);
+        // The new cap governs subsequent inserts.
+        for _ in 0..10 {
+            db.execute("SELECT COUNT(*) FROM t").unwrap();
+        }
+        assert_eq!(db.query_history().len(), 4);
+        // Out-of-range values clamp instead of erroring.
+        db.execute("SET GLOBAL query_history = 99999999").unwrap();
+        assert_eq!(db.config().query_history, QUERY_HISTORY_MAX);
     }
 
     #[test]
@@ -2232,5 +2651,265 @@ mod tests {
         assert!(st.peak_granted <= 256 << 10);
         // All grants returned once the query finished.
         assert_eq!(db.sched.granted_now(), 0);
+    }
+
+    // ------------------------------------------------- lifecycle timelines
+
+    #[test]
+    fn timeline_phases_sum_to_wall_and_waits_fit_operator_time() {
+        for dop in [1usize, 4] {
+            let db = wide_db(4000);
+            db.execute(&format!("SET GLOBAL parallelism = {dop}"))
+                .unwrap();
+            db.execute("SET GLOBAL profiling = on").unwrap();
+            db.execute("SELECT k, SUM(v) FROM t WHERE v >= 10 GROUP BY k ORDER BY k")
+                .unwrap();
+            let p = db.profile_last_query().unwrap();
+            let wall_ns = p.wall.as_nanos() as u64;
+            let sum = p.timeline.total_ns();
+            // The execute phase is defined as the remainder, so the phases
+            // sum to wall exactly (well inside the 5% criterion).
+            assert!(
+                sum.abs_diff(wall_ns) * 20 <= wall_ns.max(20),
+                "dop {dop}: timeline sums to {sum} ns but wall is {wall_ns} ns"
+            );
+            // Every phase the statement actually went through is recorded.
+            assert!(p.timeline.parse_ns > 0, "parse phase not timed");
+            assert!(p.timeline.execute_ns > 0, "execute phase not timed");
+            // Per operator: waits are timed strictly inside next() calls, so
+            // compute (time - wait) + wait stays within 5% of operator time.
+            for node in p.nodes() {
+                let time = node.time().as_nanos() as u64;
+                let wait = node.wait_ns();
+                assert!(
+                    wait * 100 <= time.max(1) * 105,
+                    "dop {dop}: node {} waited {wait} ns of {time} ns",
+                    node.label()
+                );
+                assert_eq!(
+                    node.compute_ns() + wait,
+                    time.max(wait),
+                    "compute + wait must reassemble operator time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explain_analyze_prints_timeline_line() {
+        let db = sample_db();
+        let r = db
+            .execute("EXPLAIN ANALYZE SELECT tag, COUNT(*) FROM items GROUP BY tag")
+            .unwrap();
+        let text: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+            .collect();
+        let tl = text
+            .iter()
+            .find(|l| l.contains("Timeline:"))
+            .expect("EXPLAIN ANALYZE must print a Timeline line");
+        for phase in [
+            "parse",
+            "bind",
+            "optimize",
+            "admission",
+            "checkpoint",
+            "execute",
+        ] {
+            assert!(tl.contains(phase), "Timeline line missing {phase}: {tl}");
+        }
+    }
+
+    #[test]
+    fn vw_queries_timeline_columns_sum_to_wall() {
+        let db = sample_db();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        let r = db
+            .execute(
+                "SELECT wall_ms, parse_ms, bind_ms, optimize_ms, admission_ms, \
+                 checkpoint_ms, execute_ms FROM vw_queries",
+            )
+            .unwrap();
+        let row = r.rows.first().expect("history row");
+        let as_f = |v: &Value| match v {
+            Value::F64(f) => *f,
+            other => panic!("expected F64, got {other}"),
+        };
+        let wall = as_f(&row[0]);
+        let sum: f64 = row[1..].iter().map(as_f).sum();
+        assert!(
+            (sum - wall).abs() <= wall * 0.05 + 1e-3,
+            "phase columns sum to {sum} ms but wall is {wall} ms"
+        );
+    }
+
+    #[test]
+    fn vw_waits_attributes_admission_for_every_query() {
+        let db = wide_db(500);
+        db.execute("SELECT COUNT(*) FROM t").unwrap();
+        let r = db
+            .execute(
+                "SELECT query_id, wait_class, wait_ms, wait_count FROM vw_waits \
+                 WHERE wait_class = 'admission'",
+            )
+            .unwrap();
+        // Admission is timed for every query (even an immediate grant takes
+        // measurable ns), so the first query must have a row.
+        assert!(
+            !r.rows.is_empty(),
+            "vw_waits has no admission rows: {:?}",
+            r.rows
+        );
+        assert_eq!(r.rows[0][0], Value::I64(1));
+        assert_eq!(r.rows[0][3], Value::I64(1));
+    }
+
+    #[test]
+    fn trace_includes_lifecycle_phase_spans() {
+        let db = sample_db();
+        db.execute("TRACE SELECT tag, COUNT(*) FROM items GROUP BY tag")
+            .unwrap();
+        let trace = db.last_trace().unwrap();
+        let events = trace.events();
+        for phase in [
+            "parse",
+            "bind",
+            "optimize",
+            "admission",
+            "checkpoint",
+            "execute",
+        ] {
+            assert!(
+                events.iter().any(|e| e.name == phase && e.cat == "phase"),
+                "trace missing lifecycle span '{phase}'"
+            );
+        }
+        // Phase spans are back-to-back from the epoch: they must all end
+        // before or at wall, and start at the previous phase's end.
+        let mut phases: Vec<_> = events.iter().filter(|e| e.cat == "phase").collect();
+        phases.sort_by_key(|e| e.ts_ns);
+        for w in phases.windows(2) {
+            assert_eq!(w[0].ts_ns + w[0].dur_ns.unwrap_or(0), w[1].ts_ns);
+        }
+    }
+
+    // --------------------------------------------------- structured events
+
+    #[test]
+    fn event_log_records_query_start_and_finish() {
+        let db = sample_db();
+        let before = db.events().len();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        let events = db.events().snapshot();
+        assert!(events.len() > before);
+        let start = events
+            .iter()
+            .find(|e| e.event == "query_start")
+            .expect("query_start event");
+        assert!(start.detail().contains("SELECT COUNT(*)"));
+        let finish = events
+            .iter()
+            .find(|e| e.event == "query_finish")
+            .expect("query_finish event");
+        assert_eq!(finish.query_id, start.query_id);
+        assert!(finish.detail().contains("rows=1"));
+    }
+
+    #[test]
+    fn set_event_log_toggles_recording() {
+        let db = sample_db();
+        db.execute("SET event_log = 'off'").unwrap();
+        let before = db.events().len();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(db.events().len(), before, "disabled log recorded events");
+        db.execute("SET event_log = 'on'").unwrap();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert!(db.events().len() > before, "re-enabled log stayed silent");
+    }
+
+    #[test]
+    fn slow_query_event_fires_on_log_min_duration() {
+        let db = sample_db();
+        // 1 ns threshold: everything is slow.
+        db.execute("SET GLOBAL log_min_duration = 1").unwrap();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        let slow: Vec<_> = db
+            .events()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.event == "slow_query")
+            .collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].severity, Severity::Warn);
+        assert!(slow[0].detail().contains("wall_ms="));
+        // 'off' disables it again.
+        db.execute("SET GLOBAL log_min_duration = 'off'").unwrap();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        let slow_after = db
+            .events()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.event == "slow_query")
+            .count();
+        assert_eq!(slow_after, 1, "threshold off must stop slow_query events");
+    }
+
+    #[test]
+    fn spill_event_fires_under_tiny_budget() {
+        let db = wide_db(20_000);
+        db.execute("SET GLOBAL memory_budget = '64KiB'").unwrap();
+        db.execute("SELECT k, v FROM t ORDER BY v").unwrap();
+        let spills: Vec<_> = db
+            .events()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.event == "spill")
+            .collect();
+        assert!(!spills.is_empty(), "tiny budget must emit a spill event");
+        assert!(spills[0].detail().contains("bytes="));
+        // The same query shows spill waits in vw_waits when profiled.
+        db.execute("SET GLOBAL profiling = on").unwrap();
+        db.execute("SELECT k, v FROM t ORDER BY v").unwrap();
+        let r = db
+            .execute("SELECT wait_class FROM vw_waits WHERE wait_class = 'spill_write'")
+            .unwrap();
+        assert!(!r.rows.is_empty(), "profiled spill must appear in vw_waits");
+    }
+
+    #[test]
+    fn vw_log_is_queryable_and_drain_tails() {
+        let db = sample_db();
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        let r = db
+            .execute("SELECT seq, severity, event, query_id FROM vw_log ORDER BY seq")
+            .unwrap();
+        assert!(!r.rows.is_empty());
+        assert_eq!(r.rows[0][1], Value::Str("info".into()));
+        // drain() is a tail -f cursor: first call returns everything so far
+        // (including the vw_log query's own events), the next only news.
+        let drained = db.drain_events();
+        assert!(!drained.is_empty());
+        assert!(db.drain_events().is_empty());
+        db.execute("SELECT COUNT(*) FROM items").unwrap();
+        let tail = db.drain_events();
+        assert!(tail.iter().any(|e| e.event == "query_finish"));
+    }
+
+    #[test]
+    fn checkpoint_emits_event() {
+        let db = sample_db();
+        db.checkpoint("items").unwrap();
+        let ev = db
+            .events()
+            .snapshot()
+            .into_iter()
+            .find(|e| e.event == "checkpoint")
+            .expect("checkpoint event");
+        assert!(ev.detail().contains("table=items"));
     }
 }

@@ -32,6 +32,7 @@ use crate::spill::{read_batch, spill_disk, write_batch};
 use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use vw_common::hash::FxHashMap;
+use vw_common::waits::WaitStats;
 use vw_common::{DataType, Field, Histogram, Result, Schema, Value, VwError};
 use vw_plan::plan::AggPhase;
 use vw_plan::rewrite::parallel::partial_avg_count_columns;
@@ -434,6 +435,8 @@ pub struct HashAggregate {
     output: Vec<Batch>,
     /// Query trace: table spills become timeline events.
     trace: Option<TraceHandle>,
+    /// Wait-state sink of the owning plan node (None = profiling off).
+    waits: Option<Arc<WaitStats>>,
     /// Perfect-hash coder plan, when `enable_perfect` accepted the key set.
     perfect_specs: Option<Vec<KeyCoderSpec>>,
     /// The run completed entirely on the perfect-hash path.
@@ -590,6 +593,7 @@ impl HashAggregate {
             done: false,
             output: Vec::new(),
             trace: None,
+            waits: None,
             perfect_specs: None,
             ran_perfect: false,
             perfect_fallback: false,
@@ -656,6 +660,11 @@ impl HashAggregate {
     /// Record table spills into the query trace timeline.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Attribute partial-aggregate spill I/O as blocked time.
+    pub fn set_waits(&mut self, waits: Arc<WaitStats>) {
+        self.waits = Some(waits);
     }
 
     fn run(&mut self) -> Result<()> {
@@ -956,7 +965,7 @@ impl HashAggregate {
                 continue;
             }
             let b = Batch::from_rows(&self.spill_schema, &rows)?;
-            let bytes = write_batch(&mut parts[p], &b)?;
+            let bytes = write_batch(&mut parts[p], &b, self.waits.as_deref())?;
             self.mem.note_spill(bytes);
             spilled += bytes as u64;
         }
@@ -1044,7 +1053,7 @@ impl HashAggregate {
         self.mem.force_grow(resident);
         let mut table = GroupTable::new(self.group_by.len());
         for c in 0..file.chunk_count() {
-            let batch = read_batch(&file, c)?;
+            let batch = read_batch(&file, c, self.waits.as_deref())?;
             self.merge_partial_batch(&mut table, &batch)?;
         }
         let rows = self.result_rows(&table);

@@ -30,6 +30,7 @@ use crate::trace::TraceHandle;
 use crate::vexpr::ExprEvaluator;
 use std::sync::Arc;
 use vw_common::hash::FxHashMap;
+use vw_common::waits::{WaitClass, WaitStats};
 use vw_common::{Result, Schema, VwError};
 use vw_plan::{Expr, JoinKind};
 use vw_storage::{ColumnData, SimDisk, SpillFile};
@@ -66,6 +67,8 @@ pub struct HashJoin {
     grace: Option<GraceProbe>,
     /// Query trace: build/build-wait spans and spill writes.
     trace: Option<TraceHandle>,
+    /// Wait-state sink of the owning plan node (None = profiling off).
+    waits: Option<Arc<WaitStats>>,
 }
 
 /// An in-memory build table: gathered columns + hash → row-index chains.
@@ -133,6 +136,7 @@ impl BuildData {
         on: &[(usize, usize)],
         mut mem: MemTracker,
         disk: &Option<Arc<SimDisk>>,
+        waits: Option<&WaitStats>,
     ) -> Result<BuildData> {
         let ncols = right.schema().len();
         let mut pending: Vec<Batch> = Vec::new();
@@ -146,7 +150,7 @@ impl BuildData {
             }
             rows_total += b.rows as u64;
             if let Some(files) = &mut parts {
-                partition_build_batch(&b, on, files, &mut mem)?;
+                partition_build_batch(&b, on, files, &mut mem, waits)?;
                 continue;
             }
             // Reserve batch bytes plus the hash-table share (~16B/row) up
@@ -164,11 +168,11 @@ impl BuildData {
                 .map(|_| SpillFile::new(d.clone()))
                 .collect();
             for pb in pending.drain(..) {
-                partition_build_batch(&pb, on, &mut files, &mut mem)?;
+                partition_build_batch(&pb, on, &mut files, &mut mem, waits)?;
             }
             mem.shrink(pending_bytes);
             pending_bytes = 0;
-            partition_build_batch(&b, on, &mut files, &mut mem)?;
+            partition_build_batch(&b, on, &mut files, &mut mem, waits)?;
             parts = Some(files);
         }
         let repr = match parts {
@@ -212,6 +216,7 @@ fn partition_build_batch(
     on: &[(usize, usize)],
     files: &mut [SpillFile],
     mem: &mut MemTracker,
+    waits: Option<&WaitStats>,
 ) -> Result<()> {
     let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); SPILL_PARTITIONS];
     'row: for i in 0..b.rows {
@@ -229,7 +234,7 @@ fn partition_build_batch(
             continue;
         }
         let sub = Batch::new(b.columns.iter().map(|c| c.gather(&idx)).collect());
-        let bytes = write_batch(&mut files[p], &sub)?;
+        let bytes = write_batch(&mut files[p], &sub, waits)?;
         mem.note_spill(bytes);
     }
     Ok(())
@@ -298,6 +303,7 @@ impl HashJoin {
             disk: None,
             grace: None,
             trace: None,
+            waits: None,
         })
     }
 
@@ -328,12 +334,18 @@ impl HashJoin {
         self.trace = Some(trace);
     }
 
+    /// Attribute build-wait and spill I/O blocked time to `waits`.
+    pub fn set_waits(&mut self, waits: Arc<WaitStats>) {
+        self.waits = Some(waits);
+    }
+
     fn build_side(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("build called twice");
         let on = self.on.clone();
         let stats = self.stats.clone();
         let mem = MemTracker::new(self.mem.budget().clone());
         let disk = self.disk.clone();
+        let waits = self.waits.clone();
         let executed = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let executed_in = executed.clone();
         let make = move || {
@@ -341,14 +353,20 @@ impl HashJoin {
             if let Some(s) = &stats {
                 s.note_build();
             }
-            BuildData::from_operator(right.as_mut(), &on, mem, &disk)
+            BuildData::from_operator(right.as_mut(), &on, mem, &disk, waits.as_deref())
         };
         let span = self.trace.as_ref().map(|t| t.start());
+        let t0 = self.waits.as_ref().map(|_| std::time::Instant::now());
         let data = match &self.shared {
             Some(slot) => slot.clone().get_or_build(make)?,
             None => Arc::new(make()?),
         };
         self.build_executed = executed.load(std::sync::atomic::Ordering::Relaxed);
+        // Workers that arrived while a sibling built were *blocked*; the
+        // executing worker's time is build compute, not a wait.
+        if let (Some(w), Some(t0), false) = (&self.waits, t0, self.build_executed) {
+            w.record(WaitClass::BuildWait, t0.elapsed().as_nanos() as u64);
+        }
         if let (Some(t), Some(start)) = (&self.trace, span) {
             // The same call site is a build on the executing worker and a
             // blocked wait on every worker that arrived while it ran.
@@ -516,7 +534,7 @@ impl HashJoin {
                     continue;
                 }
                 let sub = Batch::new(b.columns.iter().map(|c| c.gather(&idx)).collect());
-                let bytes = write_batch(&mut files[p], &sub)?;
+                let bytes = write_batch(&mut files[p], &sub, self.waits.as_deref())?;
                 self.mem.note_spill(bytes);
                 if let Some(t) = &self.trace {
                     t.instant("spill write", "spill", Some(("bytes", bytes as u64)));
@@ -550,7 +568,7 @@ impl HashJoin {
                 let mut chunks: Vec<Batch> = Vec::new();
                 let mut bytes = 0usize;
                 for ci in 0..f.chunk_count() {
-                    let b = read_batch(f, ci)?;
+                    let b = read_batch(f, ci, self.waits.as_deref())?;
                     bytes += batch_bytes(&b) + b.rows * 16;
                     chunks.push(b);
                 }
@@ -578,7 +596,7 @@ impl HashJoin {
                 g.part += 1;
                 continue;
             }
-            let probe = read_batch(&g.probe_parts[g.part], g.chunk)?;
+            let probe = read_batch(&g.probe_parts[g.part], g.chunk, self.waits.as_deref())?;
             g.chunk += 1;
             if probe.rows == 0 {
                 continue;

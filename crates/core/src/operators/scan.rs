@@ -31,6 +31,7 @@ use crate::vexpr::ExprEvaluator;
 use parking_lot::RwLock;
 use std::sync::Arc;
 use vw_bufman::{CoopScanHandle, DecodeCache};
+use vw_common::waits::{WaitClass, WaitStats, WaitTimer};
 use vw_common::{BlockId, DataType, Result, Schema, Value, VwError};
 use vw_pdt::{Change, Pdt};
 use vw_plan::{BinOp, Expr};
@@ -162,6 +163,9 @@ pub struct VecScan {
     /// Cooperative-scan registration: when set, block reads go through the
     /// ABM so overlapping scans of the same table share disk loads.
     coop: Option<CoopScanHandle>,
+    /// Wait-state sink (the owning plan node's [`WaitStats`]). `None` when
+    /// profiling is off — no timestamps are taken then.
+    waits: Option<Arc<WaitStats>>,
 }
 
 /// A planned scan-unit list plus the zone-map pruning outcome.
@@ -382,6 +386,7 @@ impl VecScan {
             adapt,
             trace: None,
             coop: None,
+            waits: None,
         })
     }
 
@@ -402,6 +407,21 @@ impl VecScan {
     /// one Exchange must pass clones of the SAME handle (one logical scan).
     pub fn set_coop(&mut self, coop: CoopScanHandle) {
         self.coop = Some(coop);
+        if let (Some(c), Some(w)) = (&mut self.coop, &self.waits) {
+            c.set_waits(w.clone());
+        }
+    }
+
+    /// Attribute this scan's blocked time (block I/O, decode-cache misses,
+    /// morsel-queue contention) to `waits`. Call order with [`set_coop`] is
+    /// immaterial: whichever comes second completes the plumbing.
+    ///
+    /// [`set_coop`]: VecScan::set_coop
+    pub fn set_waits(&mut self, waits: Arc<WaitStats>) {
+        if let Some(c) = &mut self.coop {
+            c.set_waits(waits.clone());
+        }
+        self.waits = Some(waits);
     }
 
     /// Ask the scan to skip decoding these output columns when a block is
@@ -774,7 +794,14 @@ impl VecScan {
                         &mut lg.cursors,
                         k,
                     )?;
+                    // A cache miss pays the decode; time it as a wait so the
+                    // profile can split compute from stalled-on-decode.
+                    let t = self
+                        .waits
+                        .as_deref()
+                        .map(|w| WaitTimer::start(w, WaitClass::Decode));
                     let col = cur.decode_slice(from, to)?;
+                    drop(t);
                     ctr.vec_decoded += 1;
                     if let Some(c) = cache.as_deref() {
                         c.insert(key, Arc::new(col.clone()));
@@ -1050,7 +1077,17 @@ impl super::Operator for VecScan {
     fn next(&mut self) -> Result<Option<Batch>> {
         loop {
             if self.current.is_none() {
-                match self.units.next() {
+                // Time the claim only for shared queues: contention on the
+                // queue lock is morsel starvation, a local iterator is not.
+                let t = match (&self.units, self.waits.as_deref()) {
+                    (UnitSource::Queue(..), Some(w)) => {
+                        Some(WaitTimer::start(w, WaitClass::Morsel))
+                    }
+                    _ => None,
+                };
+                let claimed = self.units.next();
+                drop(t);
+                match claimed {
                     Some(unit) => {
                         self.units_claimed += 1;
                         if let Some(t) = &self.trace {

@@ -17,6 +17,7 @@ use crate::batch::Batch;
 use crate::mem::MemTracker;
 use crate::spill::{batch_bytes, read_batch, spill_disk, write_batch};
 use crate::trace::TraceHandle;
+use vw_common::waits::WaitStats;
 use vw_common::{Result, Schema};
 use vw_plan::SortKey;
 use vw_storage::{SimDisk, SpillFile};
@@ -33,6 +34,8 @@ pub struct VecSort {
     disk: Option<Arc<SimDisk>>,
     state: State,
     trace: Option<TraceHandle>,
+    /// Wait-state sink of the owning plan node (None = profiling off).
+    waits: Option<Arc<WaitStats>>,
 }
 
 enum State {
@@ -53,7 +56,13 @@ impl VecSort {
             disk: None,
             state: State::Pending,
             trace: None,
+            waits: None,
         }
+    }
+
+    /// Attribute run spill reads/writes as blocked time.
+    pub fn set_waits(&mut self, waits: Arc<WaitStats>) {
+        self.waits = Some(waits);
     }
 
     /// Record run spills into the query trace timeline.
@@ -103,7 +112,7 @@ impl VecSort {
         let batch = concat_batches(std::mem::take(pending), self.schema.len());
         let mut file = SpillFile::new(spill_disk(&self.disk));
         for chunk in self.sorted_chunks(&batch) {
-            write_batch(&mut file, &chunk)?;
+            write_batch(&mut file, &chunk, self.waits.as_deref())?;
         }
         self.mem.note_spill(file.bytes());
         if let (Some(t), Some(start)) = (&self.trace, span) {
@@ -151,9 +160,10 @@ impl VecSort {
         if !pending.is_empty() {
             self.flush_run(&mut pending, &mut pending_bytes, &mut runs)?;
         }
+        let waits = self.waits.clone();
         let cursors = runs
             .into_iter()
-            .map(|file| RunCursor::open(file, &mut self.mem))
+            .map(|file| RunCursor::open(file, &mut self.mem, waits.as_deref()))
             .collect::<Result<Vec<_>>>()?;
         Ok(State::Merge(MergeState { cursors }))
     }
@@ -169,7 +179,7 @@ struct RunCursor {
 }
 
 impl RunCursor {
-    fn open(file: SpillFile, mem: &mut MemTracker) -> Result<RunCursor> {
+    fn open(file: SpillFile, mem: &mut MemTracker, waits: Option<&WaitStats>) -> Result<RunCursor> {
         let mut c = RunCursor {
             file,
             next_chunk: 0,
@@ -177,16 +187,16 @@ impl RunCursor {
             pos: 0,
             resident_bytes: 0,
         };
-        c.load_next(mem)?;
+        c.load_next(mem, waits)?;
         Ok(c)
     }
 
-    fn load_next(&mut self, mem: &mut MemTracker) -> Result<()> {
+    fn load_next(&mut self, mem: &mut MemTracker, waits: Option<&WaitStats>) -> Result<()> {
         mem.shrink(self.resident_bytes);
         self.resident_bytes = 0;
         self.batch = None;
         if self.next_chunk < self.file.chunk_count() {
-            let b = read_batch(&self.file, self.next_chunk)?;
+            let b = read_batch(&self.file, self.next_chunk, waits)?;
             self.next_chunk += 1;
             self.resident_bytes = batch_bytes(&b);
             // One chunk per run is the merge's minimal working unit.
@@ -201,10 +211,10 @@ impl RunCursor {
         self.batch.as_ref().map(|b| (b, self.pos))
     }
 
-    fn advance(&mut self, mem: &mut MemTracker) -> Result<()> {
+    fn advance(&mut self, mem: &mut MemTracker, waits: Option<&WaitStats>) -> Result<()> {
         self.pos += 1;
         if self.batch.as_ref().is_some_and(|b| self.pos >= b.rows) {
-            self.load_next(mem)?;
+            self.load_next(mem, waits)?;
         }
         Ok(())
     }
@@ -223,6 +233,7 @@ impl MergeState {
         schema: &Schema,
         vector_size: usize,
         mem: &mut MemTracker,
+        waits: Option<&WaitStats>,
     ) -> Result<Option<Batch>> {
         let mut rows: Vec<Vec<vw_common::Value>> = Vec::new();
         while rows.len() < vector_size {
@@ -255,7 +266,7 @@ impl MergeState {
                     .map(|(c, f)| c.get_value(i, f.ty))
                     .collect(),
             );
-            self.cursors[bi].advance(mem)?;
+            self.cursors[bi].advance(mem, waits)?;
         }
         if rows.is_empty() {
             return Ok(None);
@@ -288,7 +299,14 @@ impl Operator for VecSort {
             State::InMem(out) => Ok(out.pop()),
             State::Merge(m) => {
                 let keys = std::mem::take(&mut self.keys);
-                let r = m.next_batch(&keys, &self.schema, self.vector_size, &mut self.mem);
+                let waits = self.waits.clone();
+                let r = m.next_batch(
+                    &keys,
+                    &self.schema,
+                    self.vector_size,
+                    &mut self.mem,
+                    waits.as_deref(),
+                );
                 self.keys = keys;
                 r
             }
@@ -326,6 +344,8 @@ pub struct TopN {
     mem: MemTracker,
     disk: Option<Arc<SimDisk>>,
     trace: Option<TraceHandle>,
+    /// Wait-state sink of the owning plan node (None = profiling off).
+    waits: Option<Arc<WaitStats>>,
     state: TopNState,
     fell_back: bool,
 }
@@ -360,9 +380,15 @@ impl TopN {
             mem: MemTracker::detached(),
             disk: None,
             trace: None,
+            waits: None,
             state: TopNState::Pending,
             fell_back: false,
         }
+    }
+
+    /// Attribute fallback-sort spill I/O as blocked time.
+    pub fn set_waits(&mut self, waits: Arc<WaitStats>) {
+        self.waits = Some(waits);
     }
 
     pub fn set_mem_tracker(&mut self, mem: MemTracker) {
@@ -479,6 +505,9 @@ impl TopN {
                     }
                     if let Some(t) = &self.trace {
                         sort.set_trace(t.clone());
+                    }
+                    if let Some(w) = &self.waits {
+                        sort.set_waits(w.clone());
                     }
                     let limited = VecLimit::new(
                         Box::new(sort),

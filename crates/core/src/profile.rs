@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vw_common::waits::{WaitSnapshot, WaitStats, ALL_WAIT_CLASSES};
 use vw_common::{Result, Schema};
 use vw_plan::LogicalPlan;
 
@@ -40,6 +41,11 @@ pub struct OpProfile {
     /// Operator-specific counters (morsels claimed, groups pruned, build
     /// reuse, …), flushed once per operator instance at end-of-stream.
     extras: Mutex<BTreeMap<&'static str, u64>>,
+    /// Wait-state attribution for this node: blocked time inside `next()`
+    /// (block I/O, decode, build waits, spill I/O, morsel starvation),
+    /// shared by every worker instance like the counters above. Subtracting
+    /// [`OpProfile::wait_ns`] from the inclusive time yields compute time.
+    waits: Arc<WaitStats>,
 }
 
 impl OpProfile {
@@ -54,6 +60,7 @@ impl OpProfile {
             batches: AtomicU64::new(0),
             rows_out: AtomicU64::new(0),
             extras: Mutex::new(BTreeMap::new()),
+            waits: Arc::new(WaitStats::new()),
         })
     }
 
@@ -123,6 +130,40 @@ impl OpProfile {
         self.extras.lock().iter().map(|(k, v)| (*k, *v)).collect()
     }
 
+    /// This node's wait accumulator (handed to operators at compile time).
+    pub fn waits(&self) -> &Arc<WaitStats> {
+        &self.waits
+    }
+
+    /// Total blocked nanoseconds inside this node's `next()` calls.
+    pub fn wait_ns(&self) -> u64 {
+        self.waits.total_ns()
+    }
+
+    /// Compute nanoseconds: inclusive time minus attributed waits. The two
+    /// always satisfy `compute + wait == time` by construction (waits are
+    /// timed strictly inside `next()` calls).
+    pub fn compute_ns(&self) -> u64 {
+        self.time_ns
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.wait_ns())
+    }
+
+    /// Operator extras merged with the node's nonzero `wait_<class>_ns`
+    /// counters, in one deterministic sorted order (for `EXPLAIN ANALYZE`
+    /// and `vw_operator_stats`).
+    pub fn extras_full(&self) -> Vec<(&'static str, u64)> {
+        let mut m: BTreeMap<&'static str, u64> =
+            self.extras.lock().iter().map(|(k, v)| (*k, *v)).collect();
+        for c in ALL_WAIT_CLASSES {
+            let ns = self.waits.ns(c);
+            if ns > 0 {
+                *m.entry(c.extra_key()).or_insert(0) += ns;
+            }
+        }
+        m.into_iter().collect()
+    }
+
     pub(crate) fn record_next(&self, elapsed: Duration, produced: Option<usize>) {
         self.time_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -135,6 +176,16 @@ impl OpProfile {
 
     pub(crate) fn add_extra(&self, key: &'static str, n: u64) {
         *self.extras.lock().entry(key).or_insert(0) += n;
+    }
+
+    /// Roll this subtree's waits up into one per-class snapshot (used to
+    /// build the query-level attribution for `vw_waits`).
+    pub fn rollup_waits(&self) -> WaitSnapshot {
+        let mut s = self.waits.snapshot();
+        for c in &self.children {
+            s.merge(&c.rollup_waits());
+        }
+        s
     }
 
     fn render_into(&self, depth: usize, out: &mut String) {
@@ -150,7 +201,7 @@ impl OpProfile {
         if let Some(pct) = self.selectivity() {
             out.push_str(&format!(", sel={:.1}%", pct));
         }
-        for (k, v) in self.extras() {
+        for (k, v) in self.extras_full() {
             out.push_str(&format!(", {}={}", k, v));
         }
         out.push_str("]\n");
@@ -247,6 +298,62 @@ impl Drop for ProfiledOp {
     }
 }
 
+/// Per-query lifecycle timeline: contiguous phases from the moment the SQL
+/// text arrived to the last result row. Each phase is measured as the delta
+/// between consecutive `Instant` marks on the query path, so the phases sum
+/// to the recorded wall time *by construction* (no sampling, no gaps).
+///
+/// Queries entering through the plan API (no SQL text) have zero
+/// parse/bind/optimize phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Lexing + parsing the SQL text.
+    pub parse_ns: u64,
+    /// Binding names / building the logical plan.
+    pub bind_ns: u64,
+    /// Rewrites, ordering, feedback corrections, parallelization.
+    pub optimize_ns: u64,
+    /// Blocked in the admission controller before execution could start.
+    pub admission_ns: u64,
+    /// Blocked behind a checkpoint/reorganize (storage-lock interference).
+    pub checkpoint_ns: u64,
+    /// Compile + execute + drain (everything after admission).
+    pub execute_ns: u64,
+}
+
+impl Timeline {
+    /// Phases in lifecycle order, with stable names (used by the
+    /// `Timeline:` render line, chrome-trace spans and `vw_queries`).
+    pub fn phases(&self) -> [(&'static str, u64); 6] {
+        [
+            ("parse", self.parse_ns),
+            ("bind", self.bind_ns),
+            ("optimize", self.optimize_ns),
+            ("admission", self.admission_ns),
+            ("checkpoint", self.checkpoint_ns),
+            ("execute", self.execute_ns),
+        ]
+    }
+
+    /// Sum of all phases (equals wall time by construction).
+    pub fn total_ns(&self) -> u64 {
+        self.phases().iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// One-line rendering for `EXPLAIN ANALYZE`. Phases that are zero are
+    /// still shown — a 0.000 admission phase is information, not noise.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Timeline:");
+        for (i, (name, ns)) in self.phases().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(" {} {:.3} ms", name, ns as f64 / 1e6));
+        }
+        s
+    }
+}
+
 /// The complete profile of one executed query: the per-operator tree plus
 /// query-wide execution and I/O counters.
 #[derive(Clone)]
@@ -279,6 +386,12 @@ pub struct QueryProfile {
     /// History-learned cardinality corrections the optimizer applied to this
     /// plan, one human-readable entry per corrected node (adaptivity on).
     pub plan_feedback: Option<String>,
+    /// Lifecycle phase timeline (parse → bind → optimize → admission →
+    /// checkpoint-interference → execute); phases sum to `wall`.
+    pub timeline: Timeline,
+    /// Query-wide wait attribution: all operator waits rolled up per class,
+    /// plus the admission wait (which happens before any operator exists).
+    pub waits: WaitSnapshot,
 }
 
 impl QueryProfile {
@@ -301,6 +414,29 @@ impl QueryProfile {
             ));
         }
         s.push('\n');
+        s.push_str(&self.timeline.render());
+        s.push('\n');
+        if self.waits.total_ns() > 0 {
+            s.push_str("Waits:");
+            let mut first = true;
+            for c in ALL_WAIT_CLASSES {
+                let ns = self.waits.ns(c);
+                if ns == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!(
+                    " {} {:.3} ms ({}x)",
+                    c.name(),
+                    ns as f64 / 1e6,
+                    self.waits.count(c)
+                ));
+            }
+            s.push('\n');
+        }
         if self.disk.reads > 0 || self.disk.writes > 0 || self.disk.bytes_skipped > 0 {
             s.push_str(&format!(
                 "I/O: {} reads ({} KiB), {} writes, {:.3} ms virtual read time",

@@ -101,9 +101,15 @@ impl Session {
 
     /// Execute a logical plan in this session.
     pub fn run_plan(&self, plan: LogicalPlan) -> Result<QueryResult> {
-        let outcome = self
-            .db
-            .run_query(plan, None, false, None, self.config(), self.id)?;
+        let outcome = self.db.run_query(
+            plan,
+            None,
+            false,
+            None,
+            self.config(),
+            self.id,
+            crate::database::Lifecycle::start(),
+        )?;
         self.store_outcome(outcome.profile.clone(), outcome.trace.clone());
         Ok(outcome.result)
     }

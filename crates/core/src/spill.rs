@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use vw_common::waits::{WaitClass, WaitStats, WaitTimer};
 use vw_common::Result;
 use vw_storage::{SimDisk, SimDiskConfig, SpillCol, SpillFile};
 
@@ -23,8 +24,9 @@ pub fn batch_bytes(batch: &Batch) -> usize {
 }
 
 /// Append a dense batch (no selection vector) as one chunk; returns the
-/// encoded byte count.
-pub fn write_batch(file: &mut SpillFile, batch: &Batch) -> Result<u64> {
+/// encoded byte count. With `waits` set, the encode+write is attributed as
+/// [`WaitClass::SpillWrite`] blocked time (one timer per chunk).
+pub fn write_batch(file: &mut SpillFile, batch: &Batch, waits: Option<&WaitStats>) -> Result<u64> {
     debug_assert!(batch.sel.is_none(), "spill batches must be compacted");
     let cols: Vec<SpillCol> = batch
         .columns
@@ -34,12 +36,19 @@ pub fn write_batch(file: &mut SpillFile, batch: &Batch) -> Result<u64> {
             nulls: c.nulls.as_deref(),
         })
         .collect();
-    file.append_chunk(&cols, batch.rows)
+    let t = waits.map(|w| WaitTimer::start(w, WaitClass::SpillWrite));
+    let r = file.append_chunk(&cols, batch.rows);
+    drop(t);
+    r
 }
 
-/// Read chunk `i` back as a dense batch.
-pub fn read_batch(file: &SpillFile, i: usize) -> Result<Batch> {
-    let (cols, rows) = file.read_chunk(i)?;
+/// Read chunk `i` back as a dense batch (a [`WaitClass::SpillRead`] wait
+/// when `waits` is set).
+pub fn read_batch(file: &SpillFile, i: usize, waits: Option<&WaitStats>) -> Result<Batch> {
+    let t = waits.map(|w| WaitTimer::start(w, WaitClass::SpillRead));
+    let chunk = file.read_chunk(i);
+    drop(t);
+    let (cols, rows) = chunk?;
     let columns = cols
         .into_iter()
         .map(|(data, nulls)| ExecVector::new(data, nulls))
@@ -78,11 +87,11 @@ mod tests {
         let b = Batch::from_rows(&schema, &rows).unwrap();
         let mut f = SpillFile::new(spill_disk(&None));
         let est = batch_bytes(&b);
-        let written = write_batch(&mut f, &b).unwrap();
+        let written = write_batch(&mut f, &b, None).unwrap();
         // Strings are length-prefixed rather than offset-encoded, so the
         // estimate is close but not exact.
         assert!(written as usize >= est / 2 && (written as usize) <= est * 2 + 64);
-        let back = read_batch(&f, 0).unwrap();
+        let back = read_batch(&f, 0, None).unwrap();
         assert_eq!(back.to_rows(&schema), rows);
     }
 
@@ -92,8 +101,8 @@ mod tests {
         let b = Batch::from_rows(&schema, &[vec![], vec![]]).unwrap();
         assert_eq!(b.rows, 2);
         let mut f = SpillFile::new(spill_disk(&None));
-        write_batch(&mut f, &b).unwrap();
-        let back = read_batch(&f, 0).unwrap();
+        write_batch(&mut f, &b, None).unwrap();
+        let back = read_batch(&f, 0, None).unwrap();
         assert_eq!(back.rows, 2);
         assert_eq!(back.len(), 2);
     }

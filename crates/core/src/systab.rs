@@ -21,6 +21,8 @@ pub const SYSTEM_TABLE_NAMES: &[&str] = &[
     "vw_metrics",
     "vw_io",
     "vw_cache",
+    "vw_waits",
+    "vw_log",
 ];
 
 /// True if `id` denotes a virtual system table.
@@ -50,6 +52,8 @@ pub fn system_table_name(id: TableId) -> Option<&'static str> {
 pub fn system_schema(name: &str) -> Schema {
     match name {
         // One row per query retained in the history ring (oldest first).
+        // The *_ms tail mirrors the lifecycle timeline: the phases sum to
+        // wall_ms (see `profile::Timeline`).
         "vw_queries" => Schema::new(vec![
             Field::new("query_id", DataType::I64),
             Field::nullable("sql", DataType::Str),
@@ -59,6 +63,12 @@ pub fn system_schema(name: &str) -> Schema {
             Field::new("peak_mem_bytes", DataType::I64),
             Field::new("spill_bytes", DataType::I64),
             Field::new("session_id", DataType::I64),
+            Field::new("parse_ms", DataType::F64),
+            Field::new("bind_ms", DataType::F64),
+            Field::new("optimize_ms", DataType::F64),
+            Field::new("admission_ms", DataType::F64),
+            Field::new("checkpoint_ms", DataType::F64),
+            Field::new("execute_ms", DataType::F64),
         ]),
         // One row per operator of each profiled query in the history ring.
         "vw_operator_stats" => Schema::new(vec![
@@ -99,6 +109,28 @@ pub fn system_schema(name: &str) -> Schema {
             Field::new("misses", DataType::I64),
             Field::new("evictions", DataType::I64),
             Field::new("resident_bytes", DataType::I64),
+        ]),
+        // Wait-state attribution: one row per query in the history ring ×
+        // wait class with nonzero time (block_io, decode, build_wait,
+        // spill_read, spill_write, morsel, admission).
+        "vw_waits" => Schema::new(vec![
+            Field::new("query_id", DataType::I64),
+            Field::new("wait_class", DataType::Str),
+            Field::new("wait_ms", DataType::F64),
+            // Blocking events, not vectors ("wait_count" rather than "count"
+            // so the column name doesn't collide with the COUNT keyword).
+            Field::new("wait_count", DataType::I64),
+        ]),
+        // The structured event log ring, oldest first. `detail` holds the
+        // event's key-value fields rendered as "k=v k=v".
+        "vw_log" => Schema::new(vec![
+            Field::new("seq", DataType::I64),
+            Field::new("ts_ms", DataType::F64),
+            Field::new("severity", DataType::Str),
+            Field::new("event", DataType::Str),
+            Field::new("query_id", DataType::I64),
+            Field::new("session_id", DataType::I64),
+            Field::nullable("detail", DataType::Str),
         ]),
         other => panic!("unknown system table '{other}'"),
     }

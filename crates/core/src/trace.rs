@@ -60,13 +60,26 @@ impl Default for TraceCollector {
 
 impl TraceCollector {
     pub fn new() -> TraceCollector {
+        Self::with_epoch(Instant::now())
+    }
+
+    /// Collector whose timestamps are relative to `epoch`. The query path
+    /// uses the instant the SQL text arrived, so lifecycle phase spans
+    /// (parse/bind/optimize/admission) recorded *before* execution starts
+    /// land at their true offsets instead of before time zero.
+    pub fn with_epoch(epoch: Instant) -> TraceCollector {
         TraceCollector {
-            epoch: Instant::now(),
+            epoch,
             events: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             cap: DEFAULT_EVENT_CAP,
             meta: Mutex::new(None),
         }
+    }
+
+    /// Nanoseconds from the epoch to `t` (0 if `t` precedes the epoch).
+    pub fn ns_since_epoch(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
     }
 
     /// Attribute this trace to a query (and session, 0 = none). Rendered
@@ -232,6 +245,19 @@ impl TraceHandle {
             ts_ns: start_ns,
             dur_ns: Some(now.saturating_sub(start_ns)),
             arg,
+        });
+    }
+
+    /// Record a span with an explicit start offset and duration (used for
+    /// lifecycle phase spans reconstructed from timeline marks).
+    pub fn span_at(&self, name: &'static str, cat: &'static str, ts_ns: u64, dur_ns: u64) {
+        self.collector.record(TraceEvent {
+            name,
+            cat,
+            worker: self.worker,
+            ts_ns,
+            dur_ns: Some(dur_ns),
+            arg: None,
         });
     }
 

@@ -72,6 +72,73 @@ fn main() -> Result<(), vectorwise::VwError> {
     print!("{}", cache.format_table());
     assert!(!cache.rows.is_empty());
 
+    // ------------------------------------------- wait attribution + event log
+    // Re-run the heavy query under a 1ns slow-query threshold and a tiny
+    // memory budget: it must surface in vw_log as a slow_query, its forced
+    // sort/aggregate spills as spill events, and vw_waits must attribute
+    // both the admission acquire and the spill I/O it was blocked on.
+    println!("\n== vw_log / vw_waits under a tiny threshold and budget ==");
+    db.execute("SET log_min_duration = 1")?;
+    db.execute("SET memory_budget = '256KiB'")?;
+    db.execute(
+        "SELECT user_id, SUM(amount) AS s FROM events GROUP BY user_id ORDER BY s DESC LIMIT 5",
+    )?;
+    db.execute("SET memory_budget = unbounded")?;
+    db.execute("SET log_min_duration = 'off'")?;
+
+    let log = db.execute("SELECT severity, event, query_id, detail FROM vw_log")?;
+    let tail: Vec<_> = log.rows.iter().rev().take(8).rev().cloned().collect();
+    for row in &tail {
+        println!(
+            "  [{}] {:<14} q{} {}",
+            row[0].as_str().unwrap_or("?"),
+            row[1].as_str().unwrap_or("?"),
+            row[2].as_i64().unwrap_or(0),
+            row[3].as_str().unwrap_or("")
+        );
+    }
+    let has_event = |name: &str| log.rows.iter().any(|r| r[1].as_str() == Some(name));
+    assert!(
+        has_event("slow_query"),
+        "a 1ns log_min_duration must flag the query as slow"
+    );
+    assert!(
+        has_event("spill"),
+        "a 256KiB budget must make the sort/aggregate spill (and log it)"
+    );
+
+    let waits = db.execute("SELECT wait_class, wait_ms, wait_count FROM vw_waits")?;
+    let class_ms = |class: &str| -> f64 {
+        waits
+            .rows
+            .iter()
+            .filter(|r| r[0].as_str() == Some(class))
+            .map(|r| r[1].as_f64().unwrap_or(0.0))
+            .sum()
+    };
+    println!(
+        "vw_waits: admission {:.3}ms, spill_write {:.3}ms, spill_read {:.3}ms \
+         across {} rows",
+        class_ms("admission"),
+        class_ms("spill_write"),
+        class_ms("spill_read"),
+        waits.rows.len()
+    );
+    assert!(
+        class_ms("admission") > 0.0,
+        "every query's admission acquire is attributed in vw_waits"
+    );
+    assert!(
+        class_ms("spill_write") > 0.0,
+        "the spilling query's blocked write time lands in vw_waits"
+    );
+
+    // drain_events is the tail -f API: a cursor past everything above means
+    // a fresh query produces exactly its own events.
+    let drained = db.drain_events();
+    assert!(!drained.is_empty(), "undrained events were pending");
+    assert!(db.drain_events().is_empty(), "drain cursor advanced");
+
     // --------------------------------------------------------- trace export
     println!("\n== per-worker trace (chrome://tracing JSON) ==");
     db.execute("SELECT kind, SUM(amount) FROM events GROUP BY kind")?;
